@@ -1,0 +1,65 @@
+// bench_common.h — shared helpers for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the flow at the paper's configurations and prints the measured series
+// next to the paper's reported numbers.  Absolute values are expected to
+// differ (our substrate is a from-scratch simulator, not Innovus+StarRC on
+// a proprietary PDK); the *shape* — who wins, by roughly what factor, where
+// crossovers and saturation points sit — is the reproduction target.
+// EXPERIMENTS.md records the paper-vs-measured comparison these benches
+// print.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "flow/flow.h"
+
+namespace ffet::bench {
+
+inline void print_title(const std::string& id, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& s) {
+  std::printf("  %s\n", s.c_str());
+}
+
+inline flow::FlowConfig cfet_config() {
+  flow::FlowConfig cfg;
+  cfg.tech_kind = tech::TechKind::Cfet4T;
+  cfg.front_layers = 12;
+  cfg.back_layers = 0;
+  return cfg;
+}
+
+/// FFET with single-sided signals ("FFET FM12" in the paper).
+inline flow::FlowConfig ffet_fm12_config() {
+  flow::FlowConfig cfg;
+  cfg.tech_kind = tech::TechKind::Ffet3p5T;
+  cfg.front_layers = 12;
+  cfg.back_layers = 0;
+  cfg.backside_input_fraction = 0.0;
+  return cfg;
+}
+
+/// FFET with dual-sided signals and the given pin/layer DoE.
+inline flow::FlowConfig ffet_dual_config(double backside_fraction,
+                                         int front_layers = 12,
+                                         int back_layers = 12) {
+  flow::FlowConfig cfg;
+  cfg.tech_kind = tech::TechKind::Ffet3p5T;
+  cfg.front_layers = front_layers;
+  cfg.back_layers = back_layers;
+  cfg.backside_input_fraction = backside_fraction;
+  return cfg;
+}
+
+inline double pct(double ours, double base) {
+  return base == 0.0 ? 0.0 : (ours - base) / base * 100.0;
+}
+
+}  // namespace ffet::bench

@@ -1,0 +1,93 @@
+// bench_stages — google-benchmark microbenchmarks of the flow stages, so
+// regressions in the algorithmic kernels (placement, routing, extraction,
+// STA) are measurable.  Not a paper experiment; a developer tool.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "io/def.h"
+#include "pnr/cts.h"
+#include "pnr/floorplan.h"
+#include "pnr/placement.h"
+#include "pnr/powerplan.h"
+
+using namespace ffet;
+
+namespace {
+
+struct Prepared {
+  std::unique_ptr<flow::DesignContext> ctx;
+  Prepared() {
+    flow::FlowConfig cfg = bench::ffet_dual_config(0.5);
+    cfg.rv32_registers = 8;  // small core keeps iteration times sane
+    ctx = flow::prepare_design(cfg);
+  }
+};
+
+Prepared& prepared() {
+  static Prepared p;
+  return p;
+}
+
+void BM_Placement(benchmark::State& state) {
+  auto& p = prepared();
+  pnr::FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  for (auto _ : state) {
+    netlist::Netlist nl = p.ctx->netlist;
+    const pnr::Floorplan fp = pnr::make_floorplan(nl, p.ctx->tech(), fo);
+    const pnr::PowerPlan pp = pnr::build_power_plan(nl, fp, *p.ctx->library);
+    benchmark::DoNotOptimize(pnr::place(nl, fp, pp));
+  }
+}
+BENCHMARK(BM_Placement)->Unit(benchmark::kMillisecond);
+
+void BM_Routing(benchmark::State& state) {
+  auto& p = prepared();
+  netlist::Netlist nl = p.ctx->netlist;
+  pnr::FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  const pnr::Floorplan fp = pnr::make_floorplan(nl, p.ctx->tech(), fo);
+  const pnr::PowerPlan pp = pnr::build_power_plan(nl, fp, *p.ctx->library);
+  pnr::place(nl, fp, pp);
+  pnr::build_clock_tree(nl, fp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pnr::route_design(nl, fp));
+  }
+}
+BENCHMARK(BM_Routing)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractAndSta(benchmark::State& state) {
+  auto& p = prepared();
+  netlist::Netlist nl = p.ctx->netlist;
+  pnr::FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  const pnr::Floorplan fp = pnr::make_floorplan(nl, p.ctx->tech(), fo);
+  const pnr::PowerPlan pp = pnr::build_power_plan(nl, fp, *p.ctx->library);
+  pnr::place(nl, fp, pp);
+  const pnr::CtsResult cts = pnr::build_clock_tree(nl, fp);
+  const pnr::RouteResult rr = pnr::route_design(nl, fp);
+  const io::Def merged =
+      io::merge_defs(io::build_def(nl, rr, tech::Side::Front),
+                     io::build_def(nl, rr, tech::Side::Back));
+  for (auto _ : state) {
+    const extract::RcNetlist rc = extract::extract_rc(merged, nl, p.ctx->tech());
+    sta::Sta sta(&nl, &rc);
+    benchmark::DoNotOptimize(sta.analyze_timing(&cts.sink_latency_ps));
+  }
+}
+BENCHMARK(BM_ExtractAndSta)->Unit(benchmark::kMillisecond);
+
+void BM_FullPhysicalFlow(benchmark::State& state) {
+  auto& p = prepared();
+  flow::FlowConfig cfg = p.ctx->config;
+  cfg.utilization = 0.7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::run_physical(*p.ctx, cfg));
+  }
+}
+BENCHMARK(BM_FullPhysicalFlow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

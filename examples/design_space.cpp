@@ -1,0 +1,77 @@
+// design_space — a mini design-space exploration in the style of the
+// paper's Sec. IV: compares the CFET baseline against FFET variants
+// (single-sided, dual-sided full stack, and a cost-reduced 6+6-layer
+// pattern) on the RV32 core and prints a PPA summary table.
+//
+//   $ ./design_space
+
+#include <cstdio>
+#include <vector>
+
+#include "flow/flow.h"
+
+int main() {
+  using namespace ffet;
+
+  struct Variant {
+    const char* name;
+    flow::FlowConfig cfg;
+  };
+  std::vector<Variant> variants;
+  {
+    flow::FlowConfig c;
+    c.tech_kind = tech::TechKind::Cfet4T;
+    variants.push_back({"4T CFET (baseline)", c});
+  }
+  {
+    flow::FlowConfig c;
+    c.tech_kind = tech::TechKind::Ffet3p5T;
+    c.back_layers = 0;
+    variants.push_back({"3.5T FFET FM12 (single-sided)", c});
+  }
+  {
+    flow::FlowConfig c;
+    c.tech_kind = tech::TechKind::Ffet3p5T;
+    c.backside_input_fraction = 0.5;
+    variants.push_back({"3.5T FFET FM12BM12 FP0.5BP0.5", c});
+  }
+  {
+    flow::FlowConfig c;
+    c.tech_kind = tech::TechKind::Ffet3p5T;
+    c.front_layers = 6;
+    c.back_layers = 6;
+    c.backside_input_fraction = 0.5;
+    variants.push_back({"3.5T FFET FM6BM6 FP0.5BP0.5 (cost-reduced)", c});
+  }
+
+  std::printf("design-space exploration @ 1.5 GHz target, util 0.70\n\n");
+  std::printf("%-42s %10s %8s %8s %9s %8s %6s\n", "variant", "area um^2",
+              "f (GHz)", "P (uW)", "GHz/mW", "WL um", "valid");
+
+  double base_area = 0, base_freq = 0, base_power = 0;
+  for (const Variant& v : variants) {
+    flow::FlowConfig cfg = v.cfg;
+    cfg.target_freq_ghz = 1.5;
+    cfg.utilization = 0.70;
+    const flow::FlowResult r = flow::run_flow(cfg);
+    std::printf("%-42s %10.1f %8.3f %8.1f %9.3f %8.0f %6s\n", v.name,
+                r.core_area_um2, r.achieved_freq_ghz, r.power_uw,
+                r.efficiency_ghz_per_mw,
+                r.wirelength_front_um + r.wirelength_back_um,
+                r.valid() ? "yes" : "NO");
+    if (base_area == 0) {
+      base_area = r.core_area_um2;
+      base_freq = r.achieved_freq_ghz;
+      base_power = r.power_uw;
+    } else {
+      std::printf("%-42s %9.1f%% %+7.1f%% %+7.1f%%\n", "  vs CFET",
+                  (r.core_area_um2 / base_area - 1) * 100,
+                  (r.achieved_freq_ghz / base_freq - 1) * 100,
+                  (r.power_uw / base_power - 1) * 100);
+    }
+  }
+  std::printf("\npaper expectations: FFET beats CFET on area/frequency/power;"
+              "\ndual-sided signals add frequency at no power cost; the"
+              "\n6+6-layer pattern stays close to the full stack.\n");
+  return 0;
+}

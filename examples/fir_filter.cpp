@@ -1,0 +1,128 @@
+// fir_filter — digital signal processing on the RV32M core.
+//
+// Builds the benchmark core WITH the optional RV32M multiplier
+// (Rv32Options::enable_m), runs a 4-tap FIR filter over a sample stream on
+// the gate-level simulator, verifies the outputs against a reference, and
+// compares the physical footprint of the I-only vs IM cores through the
+// flow.
+//
+//   $ ./fir_filter
+
+#include <cstdio>
+#include <vector>
+
+#include "flow/flow.h"
+#include "liberty/characterize.h"
+#include "riscv/encode.h"
+#include "riscv/harness.h"
+#include "riscv/rv32.h"
+
+int main() {
+  using namespace ffet;
+  namespace e = riscv::enc;
+
+  tech::Technology tech = tech::make_ffet_3p5t();
+  stdcell::PinConfig pc;
+  pc.backside_input_fraction = 0.5;
+  stdcell::Library lib = stdcell::build_library(tech, pc);
+  liberty::characterize_library(lib);
+
+  riscv::Rv32Options opt;
+  opt.enable_m = true;
+  netlist::Netlist core = riscv::build_rv32_core(lib, opt);
+  std::printf("RV32IM core: %d instances (multiplier enabled)\n",
+              core.num_instances());
+
+  // 4-tap FIR: y[n] = sum_k h[k] * x[n-k]; coefficients and samples in
+  // data memory.  x at 0x400 (8 samples), h at 0x300 (4 taps), y at 0x500.
+  riscv::Rv32Harness h(&core);
+  const std::vector<std::int32_t> taps = {3, -2, 5, 1};
+  const std::vector<std::int32_t> xs = {10, -4, 7, 0, 13, -9, 2, 6};
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    h.write_mem(0x300 + 4 * static_cast<std::uint32_t>(i),
+                static_cast<std::uint32_t>(taps[i]));
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    h.write_mem(0x400 + 4 * static_cast<std::uint32_t>(i),
+                static_cast<std::uint32_t>(xs[i]));
+  }
+
+  const std::vector<std::uint32_t> prog = {
+      /* 0x00 */ e::addi(1, 0, 3),          // n = 3 (first full window)
+      /* 0x04 */ e::addi(10, 0, 0),         // acc = 0      (outer)
+      /* 0x08 */ e::addi(2, 0, 0),          // k = 0        (inner)
+      /* 0x0c */ e::slli(3, 2, 2),          // k*4
+      /* 0x10 */ e::addi(4, 0, 0x300),
+      /* 0x14 */ e::add(4, 4, 3),
+      /* 0x18 */ e::lw(5, 4, 0),            // h[k]
+      /* 0x1c */ e::sub(6, 1, 2),           // n-k
+      /* 0x20 */ e::slli(6, 6, 2),
+      /* 0x24 */ e::addi(7, 0, 0x400),
+      /* 0x28 */ e::add(7, 7, 6),
+      /* 0x2c */ e::lw(8, 7, 0),            // x[n-k]
+      /* 0x30 */ e::mul(9, 5, 8),           // h[k] * x[n-k]   (RV32M!)
+      /* 0x34 */ e::add(10, 10, 9),         // acc +=
+      /* 0x38 */ e::addi(2, 2, 1),          // k++
+      /* 0x3c */ e::addi(11, 0, 4),
+      /* 0x40 */ e::blt(2, 11, -52),        // k < 4 -> 0x0c
+      /* 0x44 */ e::addi(12, 1, -3),        // out index = n-3
+      /* 0x48 */ e::slli(12, 12, 2),
+      /* 0x4c */ e::addi(13, 0, 0x500),
+      /* 0x50 */ e::add(13, 13, 12),
+      /* 0x54 */ e::sw(10, 13, 0),          // y[n-3] = acc
+      /* 0x58 */ e::addi(1, 1, 1),          // n++
+      /* 0x5c */ e::addi(11, 0, 8),
+      /* 0x60 */ e::blt(1, 11, -92),        // n < 8 -> 0x04
+      /* 0x64 */ e::jal(0, 0),              // halt
+  };
+  h.load_program(prog);
+  h.reset();
+  int cycles = 0;
+  while (h.pc() != 0x64 && cycles < 5000) {
+    h.step();
+    ++cycles;
+  }
+  std::printf("FIR ran %d cycles\n", cycles);
+
+  bool ok = true;
+  std::printf("y = ");
+  for (int n = 3; n < 8; ++n) {
+    std::int32_t ref = 0;
+    for (int k = 0; k < 4; ++k) ref += taps[static_cast<std::size_t>(k)] *
+                                        xs[static_cast<std::size_t>(n - k)];
+    const auto got = static_cast<std::int32_t>(
+        h.read_mem(0x500 + 4 * static_cast<std::uint32_t>(n - 3)));
+    std::printf("%d ", got);
+    if (got != ref) {
+      std::printf("(expected %d!) ", ref);
+      ok = false;
+    }
+  }
+  std::printf("%s\n", ok ? "(all correct ✓)" : "(MISMATCH)");
+
+  // Physical cost of the multiplier: run both cores through the flow.
+  std::printf("\nphysical footprint, RV32I vs RV32IM (util 0.70, 1.5 GHz):\n");
+  for (bool with_m : {false, true}) {
+    flow::FlowConfig cfg;
+    cfg.tech_kind = tech::TechKind::Ffet3p5T;
+    cfg.backside_input_fraction = 0.5;
+    cfg.utilization = 0.70;
+    // prepare_design builds its own core; emulate enable_m by swapping the
+    // netlist in a prepared context.
+    auto ctx = flow::prepare_design(cfg);
+    if (with_m) {
+      riscv::Rv32Options mo;
+      mo.enable_m = true;
+      ctx->netlist = riscv::build_rv32_core(*ctx->library, mo);
+      synth::SynthOptions so;
+      so.target_freq_ghz = cfg.target_freq_ghz;
+      synth::size_for_frequency(ctx->netlist, so);
+    }
+    const flow::FlowResult r = flow::run_physical(*ctx, cfg);
+    std::printf("  %-7s: %5d cells, %6.1f um^2, %.3f GHz, %6.0f uW (%s)\n",
+                with_m ? "RV32IM" : "RV32I", r.num_instances, r.core_area_um2,
+                r.achieved_freq_ghz, r.power_uw,
+                r.valid() ? "valid" : "INVALID");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// run_program — execute a real RISC-V program on the gate-level core.
+//
+// The framework's RV32I core is generated structurally from the FFET cell
+// library; this example assembles a bubble-sort program with the built-in
+// encoder, runs it cycle by cycle on the gate-level simulator, and then
+// uses the recorded switching activity for an activity-accurate power
+// estimate of the physical block.
+//
+//   $ ./run_program
+
+#include <cstdio>
+#include <vector>
+
+#include "flow/flow.h"
+#include "riscv/encode.h"
+#include "riscv/harness.h"
+
+int main() {
+  using namespace ffet;
+  namespace e = riscv::enc;
+
+  flow::FlowConfig cfg;
+  cfg.tech_kind = tech::TechKind::Ffet3p5T;
+  cfg.backside_input_fraction = 0.5;
+  const auto ctx = flow::prepare_design(cfg);
+
+  riscv::Rv32Harness h(&ctx->netlist);
+
+  // Bubble sort of 6 words at 0x200 (x5 = base, x6 = n).
+  const std::vector<std::uint32_t> data = {42, 7, 99, 1, 64, 13};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    h.write_mem(0x200 + 4 * static_cast<std::uint32_t>(i), data[i]);
+  }
+  const std::vector<std::uint32_t> prog = {
+      /* 0x00 */ e::addi(5, 0, 0x200),      // base
+      /* 0x04 */ e::addi(6, 0, 6),          // n
+      /* 0x08 */ e::addi(1, 0, 0),          // i = 0          (outer)
+      /* 0x0c */ e::addi(2, 0, 0),          // j = 0          (inner)
+      /* 0x10 */ e::slli(3, 2, 2),          // j*4
+      /* 0x14 */ e::add(3, 3, 5),           // &a[j]
+      /* 0x18 */ e::lw(7, 3, 0),            // a[j]
+      /* 0x1c */ e::lw(8, 3, 4),            // a[j+1]
+      /* 0x20 */ e::bge(8, 7, 12),          // if a[j+1] >= a[j] skip swap
+      /* 0x24 */ e::sw(8, 3, 0),
+      /* 0x28 */ e::sw(7, 3, 4),
+      /* 0x2c */ e::addi(2, 2, 1),          // j++
+      /* 0x30 */ e::addi(4, 6, -1),         // n-1
+      /* 0x34 */ e::sub(4, 4, 1),           // n-1-i
+      /* 0x38 */ e::blt(2, 4, -40),         // inner loop -> 0x10
+      /* 0x3c */ e::addi(1, 1, 1),          // i++
+      /* 0x40 */ e::addi(4, 6, -1),
+      /* 0x44 */ e::blt(1, 4, -56),         // outer loop -> 0x0c (j=0)
+      /* 0x48 */ e::jal(0, 0),              // halt (spin)
+  };
+  h.load_program(prog);
+  h.reset();
+  h.sim().reset_activity();
+
+  std::printf("running bubble sort on the gate-level RV32 core...\n");
+  int cycles = 0;
+  while (h.pc() != 0x48 && cycles < 2000) {
+    h.step();
+    ++cycles;
+  }
+  std::printf("finished in %d cycles (pc=0x%x)\n", cycles, h.pc());
+
+  std::printf("sorted memory: ");
+  bool sorted = true;
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint32_t v = h.read_mem(0x200 + 4 * static_cast<std::uint32_t>(i));
+    std::printf("%u ", v);
+    if (v < prev) sorted = false;
+    prev = v;
+  }
+  std::printf("%s\n", sorted ? "(sorted ✓)" : "(NOT SORTED!)");
+
+  // Use the recorded toggle rates for an activity-accurate power estimate.
+  std::printf("\nactivity-accurate power at 1.5 GHz (from %llu simulated "
+              "cycles):\n",
+              static_cast<unsigned long long>(h.sim().cycles()));
+  std::vector<double> rates(static_cast<std::size_t>(ctx->netlist.num_nets()));
+  for (int n = 0; n < ctx->netlist.num_nets(); ++n) {
+    rates[static_cast<std::size_t>(n)] =
+        ctx->netlist.net(n).is_clock ? 2.0 : h.sim().toggle_rate(n);
+  }
+  sta::Sta sta(&ctx->netlist, nullptr);
+  sta.analyze_timing();
+  const sta::PowerReport with_activity = sta.analyze_power(1.5, &rates);
+  const sta::PowerReport with_default = sta.analyze_power(1.5);
+  std::printf("  measured activity : %.1f uW\n", with_activity.total_uw());
+  std::printf("  default activity  : %.1f uW (flat 0.15 toggle rate)\n",
+              with_default.total_uw());
+  return sorted ? 0 : 1;
+}

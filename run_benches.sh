@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerate every paper table/figure plus the extensions; used to produce
+# bench_output.txt referenced by EXPERIMENTS.md.
+set -e
+cd "$(dirname "$0")"
+for b in bench_table1 bench_fig4 bench_table2 bench_fig8 bench_fig9 \
+         bench_fig10 bench_fig11 bench_table3 bench_fig12 bench_fig13 \
+         bench_ablation bench_cost_extension; do
+  ./build/bench/$b
+done
+# google-benchmark microbenchmarks last (shorter repetitions).
+./build/bench/bench_stages --benchmark_min_time=0.2 || true

@@ -1,0 +1,80 @@
+// extract.h — dual-sided RC extraction (Sec. III.C).
+//
+// Consumes the **merged** DEF (front + back wires in one model, the paper's
+// StarRC input) and produces per-net RC trees:
+//
+//   * wire segments contribute distributed RC from their layer's derived
+//     electrical constants (pi-model: half the capacitance at each
+//     endpoint, series resistance between them);
+//   * layer changes and pin hookups contribute via-stack resistance;
+//   * the frontside and backside subtrees of a dual-sided net are joined at
+//     the driver through the Drain Merge (the dual-sided output pin) — its
+//     link resistance is the only structure crossing the wafer;
+//   * sink input-pin capacitances are attached at their hookup nodes;
+//   * **coupling**: wire capacitance grows with the local routed-wire
+//     density of its wafer side (neighboring tracks contribute Miller
+//     coupling), computed from the merged DEF's own geometry the way a
+//     field-solver-calibrated extractor derives coupling from neighborhood
+//     occupancy.  This is the mechanism that makes congested single-sided
+//     routing slower and hungrier than dual-sided routing at the same
+//     utilization — the source of the paper's Table III gains.
+//
+// Elmore delays to every node are precomputed; STA consumes the driver's
+// total load and the per-sink Elmore/slew-degradation terms.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/def.h"
+#include "netlist/netlist.h"
+#include "tech/tech.h"
+
+namespace ffet::extract {
+
+struct RcNode {
+  geom::Point pos;
+  tech::Side side = tech::Side::Front;
+  double cap_ff = 0.0;        ///< lumped capacitance at this node
+  int parent = -1;            ///< tree parent (-1 for the driver root)
+  double r_ohm = 0.0;         ///< resistance to parent
+};
+
+class RcTree {
+ public:
+  std::string net_name;
+  std::vector<RcNode> nodes;  ///< nodes[0] is the driver root
+  /// Node index for each sink pin, parallel to the net's sink list.
+  std::vector<int> sink_nodes;
+
+  double total_cap_ff = 0.0;  ///< wire + sink-pin capacitance seen by driver
+  double wire_cap_ff = 0.0;   ///< wire-only share (for switching power)
+
+  /// Elmore delay (ps) from the driver to each node.
+  std::vector<double> elmore_ps;
+
+  double elmore_to_sink(std::size_t sink_idx) const {
+    return elmore_ps[static_cast<std::size_t>(sink_nodes[sink_idx])];
+  }
+};
+
+struct RcNetlist {
+  std::vector<RcTree> trees;          ///< indexed by NetId
+  double total_wire_cap_ff = 0.0;
+  double total_wire_res_kohm = 0.0;
+};
+
+/// Extract RC for every net of `nl` from the merged DEF.  `merged` must
+/// contain the union of front and back wires (see io::merge_defs); nets
+/// present in the netlist but absent from the DEF get pin-only trees.
+RcNetlist extract_rc(const io::Def& merged, const netlist::Netlist& nl,
+                     const tech::Technology& tech);
+
+/// Recompute a tree's total capacitance and per-node Elmore delays from its
+/// node caps / parents / resistances (used by the extractor and by the
+/// SPEF reader).
+void finalize_rc_tree(RcTree& tree);
+
+}  // namespace ffet::extract

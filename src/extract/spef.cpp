@@ -1,0 +1,185 @@
+#include "extract/spef.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ffet::extract {
+
+void write_spef(const RcNetlist& rc, const netlist::Netlist& nl,
+                std::ostream& os) {
+  os << "*SPEF \"IEEE 1481-1998\"\n";
+  os << "*DESIGN \"" << nl.name() << "\"\n";
+  os << "*PROGRAM \"OpenFFET dual-sided extractor\"\n";
+  os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n\n";
+
+  for (std::size_t net_id = 0; net_id < rc.trees.size(); ++net_id) {
+    const RcTree& t = rc.trees[net_id];
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(net_id));
+    if (net.driver.inst == netlist::kNoInst && net.sinks.empty()) continue;
+
+    os << "*D_NET " << t.net_name << " " << t.total_cap_ff << "\n";
+    os << "*CONN\n";
+    if (net.driver.inst != netlist::kNoInst) {
+      const netlist::Instance& d = nl.instance(net.driver.inst);
+      os << "*I " << d.name << ":"
+         << d.type->pins()[static_cast<std::size_t>(net.driver.pin)].name
+         << " O\n";
+    } else if (net.port >= 0) {
+      os << "*P " << nl.port(net.port).name << " I\n";
+    }
+    for (const netlist::PinRef& s : net.sinks) {
+      const netlist::Instance& i = nl.instance(s.inst);
+      os << "*I " << i.name << ":"
+         << i.type->pins()[static_cast<std::size_t>(s.pin)].name << " I\n";
+    }
+
+    // Convention consumed by read_spef: node 0 is the driver root and the
+    // last |sinks| node indices are the sink pin nodes in netlist order.
+    os << "*CAP\n";
+    int cap_idx = 1;
+    for (std::size_t n = 0; n < t.nodes.size(); ++n) {
+      if (t.nodes[n].cap_ff <= 0.0) continue;
+      os << cap_idx++ << " " << t.net_name << ":" << n << " "
+         << t.nodes[n].cap_ff << " // side="
+         << tech::to_string(t.nodes[n].side) << "\n";
+    }
+    os << "*RES\n";
+    int res_idx = 1;
+    for (std::size_t n = 1; n < t.nodes.size(); ++n) {
+      if (t.nodes[n].parent < 0) continue;
+      os << res_idx++ << " " << t.net_name << ":" << t.nodes[n].parent << " "
+         << t.net_name << ":" << n << " " << t.nodes[n].r_ohm << "\n";
+    }
+    os << "*END\n\n";
+  }
+}
+
+std::string to_spef_string(const RcNetlist& rc, const netlist::Netlist& nl) {
+  std::ostringstream os;
+  write_spef(rc, nl, os);
+  return os.str();
+}
+
+namespace {
+
+/// Parse "<net>:<k>" and return k.
+int node_index_of(const std::string& token) {
+  const auto pos = token.rfind(':');
+  if (pos == std::string::npos) {
+    throw std::runtime_error("malformed SPEF node '" + token + "'");
+  }
+  return std::stoi(token.substr(pos + 1));
+}
+
+}  // namespace
+
+RcNetlist read_spef(std::istream& is, const netlist::Netlist& nl) {
+  RcNetlist out;
+  out.trees.resize(static_cast<std::size_t>(nl.num_nets()));
+
+  // Pre-create pin-only trees for every net so nets absent from the file
+  // still behave (root-only, no parasitics).
+  for (int n = 0; n < nl.num_nets(); ++n) {
+    RcTree& t = out.trees[static_cast<std::size_t>(n)];
+    t.net_name = nl.net(n).name;
+    t.nodes.push_back({});
+  }
+
+  std::string line;
+  RcTree* cur = nullptr;
+  netlist::NetId cur_net = netlist::kNoNet;
+  enum class Section { None, Cap, Res } section = Section::None;
+  // Collected entries per net; nodes may appear in any order.
+  std::map<int, RcNode> nodes;
+
+  auto flush = [&]() {
+    if (!cur) return;
+    int max_idx = 0;
+    for (const auto& [k, nd] : nodes) max_idx = std::max(max_idx, k);
+    cur->nodes.assign(static_cast<std::size_t>(max_idx) + 1, RcNode{});
+    cur->nodes[0].parent = -1;
+    for (const auto& [k, nd] : nodes) cur->nodes[static_cast<std::size_t>(k)] = nd;
+    // Sink nodes: by the writer's construction, the last |sinks| node
+    // indices are the sink pin nodes, in netlist sink order.
+    const netlist::Net& net = nl.net(cur_net);
+    cur->sink_nodes.clear();
+    const int n_sinks = static_cast<int>(net.sinks.size());
+    for (int i = 0; i < n_sinks; ++i) {
+      cur->sink_nodes.push_back(max_idx - n_sinks + 1 + i);
+    }
+    finalize_rc_tree(*cur);
+    double pin_cap = 0.0;
+    for (const netlist::PinRef& s : net.sinks) pin_cap += nl.pin_cap_ff(s);
+    cur->wire_cap_ff = std::max(0.0, cur->total_cap_ff - pin_cap);
+    out.total_wire_cap_ff += cur->wire_cap_ff;
+    for (std::size_t i = 1; i < cur->nodes.size(); ++i) {
+      out.total_wire_res_kohm += cur->nodes[i].r_ohm / 1000.0;
+    }
+    nodes.clear();
+    cur = nullptr;
+    cur_net = netlist::kNoNet;
+  };
+
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    if (tok == "*D_NET") {
+      flush();
+      std::string name;
+      ls >> name;
+      const auto id = nl.find_net(name);
+      if (!id) {
+        throw std::runtime_error("SPEF net '" + name + "' not in netlist");
+      }
+      cur_net = *id;
+      cur = &out.trees[static_cast<std::size_t>(*id)];
+      nodes[0] = RcNode{};
+      nodes[0].parent = -1;
+      section = Section::None;
+    } else if (tok == "*CAP") {
+      section = Section::Cap;
+    } else if (tok == "*RES") {
+      section = Section::Res;
+    } else if (tok == "*CONN" || tok == "*I" || tok == "*P") {
+      // Connectivity is re-derived from the netlist; skip.
+    } else if (tok == "*END") {
+      flush();
+      section = Section::None;
+    } else if (section == Section::Cap && cur) {
+      // "<k> <net>:<n> <cap> // side=..."
+      std::string node_tok;
+      double cap = 0.0;
+      std::string side_comment, side_val;
+      ls >> node_tok >> cap >> side_comment >> side_val;
+      const int idx = node_index_of(node_tok);
+      nodes[idx].cap_ff = cap;
+      if (side_val.rfind("side=", 0) == 0) {
+        nodes[idx].side = side_val.substr(5) == "back" ? tech::Side::Back
+                                                       : tech::Side::Front;
+      }
+    } else if (section == Section::Res && cur) {
+      // "<k> <net>:<a> <net>:<b> <r>"  — a is b's parent by construction.
+      std::string a_tok, b_tok;
+      double r = 0.0;
+      ls >> a_tok >> b_tok >> r;
+      const int a = node_index_of(a_tok);
+      const int b = node_index_of(b_tok);
+      nodes[b].parent = a;
+      nodes[b].r_ohm = r;
+      nodes.try_emplace(a);
+    }
+  }
+  flush();
+  return out;
+}
+
+RcNetlist read_spef_string(const std::string& text,
+                           const netlist::Netlist& nl) {
+  std::istringstream is(text);
+  return read_spef(is, nl);
+}
+
+}  // namespace ffet::extract

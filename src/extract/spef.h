@@ -1,0 +1,35 @@
+// spef.h — Standard Parasitic Exchange Format emission.
+//
+// The paper's StarRC run produces parasitics as SPEF for the downstream
+// STA/power tool; this writer emits the extractor's RC trees in IEEE
+// 1481-style SPEF (*D_NET sections with *CAP and *RES lists), so the
+// project's dual-sided extraction results can be consumed or inspected by
+// standard tooling.  Node naming: `<net>:<k>` for internal nodes, with the
+// driver node as `<net>:0`; a trailing comment per node records the wafer
+// side — the one piece of information standard SPEF has no field for.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "extract/extract.h"
+
+namespace ffet::extract {
+
+/// Write all nets' parasitics.  Nets without wires produce pin-only
+/// *D_NETs (total cap = pin caps).
+void write_spef(const RcNetlist& rc, const netlist::Netlist& nl,
+                std::ostream& os);
+std::string to_spef_string(const RcNetlist& rc, const netlist::Netlist& nl);
+
+/// Parse the dialect emitted by write_spef back into RC trees, re-deriving
+/// tree structure and Elmore delays from the *CAP/*RES lists.  `nl` is
+/// needed to order sink_nodes consistently with the netlist's sink lists.
+/// Round-trip property: extract → write → read reproduces total/wire caps
+/// and Elmore delays to numerical precision.
+RcNetlist read_spef(std::istream& is, const netlist::Netlist& nl);
+RcNetlist read_spef_string(const std::string& text,
+                           const netlist::Netlist& nl);
+
+}  // namespace ffet::extract

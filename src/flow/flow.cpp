@@ -1,0 +1,295 @@
+#include "flow/flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "io/def.h"
+#include "liberty/characterize.h"
+#include "netlist/sim.h"
+#include "pnr/floorplan.h"
+#include "pnr/drc.h"
+#include "pnr/powerplan.h"
+#include "riscv/encode.h"
+#include "riscv/harness.h"
+#include "riscv/rv32.h"
+
+namespace ffet::flow {
+
+std::string FlowConfig::label() const {
+  std::ostringstream os;
+  os << (tech_kind == tech::TechKind::Cfet4T ? "CFET" : "FFET");
+  os << " FM" << front_layers;
+  if (tech_kind == tech::TechKind::Ffet3p5T && back_layers > 0) {
+    os << "BM" << back_layers;
+  }
+  if (backside_input_fraction > 0) {
+    stdcell::PinConfig pc;
+    pc.backside_input_fraction = backside_input_fraction;
+    os << " " << pc.label();
+  }
+  os << " @" << target_freq_ghz << "GHz util=" << utilization;
+  return os.str();
+}
+
+namespace {
+
+/// Re-assign library input-pin sides so the *instance-weighted* backside
+/// fraction matches the DoE request.  The library-level error diffusion in
+/// build_library is exact over distinct pins, but instance counts weight
+/// pins very unevenly (a 32-bit datapath uses thousands of MUX2 pins and
+/// two of some corner cell), so the realized density of a netlist can
+/// drift far from the request.  This pass walks pins by descending
+/// instance weight with an error-diffusion accumulator — deterministic and
+/// exact to within the heaviest single pin.
+void rebalance_pin_sides(stdcell::Library& lib, const netlist::Netlist& nl,
+                         double backside_fraction) {
+  struct PinUse {
+    stdcell::CellType* cell;
+    std::size_t pin;
+    long uses;
+  };
+  std::map<std::pair<const stdcell::CellType*, std::size_t>, long> counts;
+  for (const netlist::Instance& inst : nl.instances()) {
+    if (inst.type->physical_only()) continue;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      if (inst.pin_nets[p] == netlist::kNoNet) continue;
+      if (inst.type->pins()[p].dir != stdcell::PinDir::Input) continue;
+      counts[{inst.type, p}] += 1;
+    }
+  }
+  std::vector<PinUse> pins;
+  for (const auto& cell : lib.cells()) {
+    if (cell->physical_only() ||
+        cell->function() == stdcell::Function::ClkBuf) {
+      continue;
+    }
+    for (std::size_t p = 0; p < cell->pins().size(); ++p) {
+      if (cell->pins()[p].dir != stdcell::PinDir::Input) continue;
+      const auto it = counts.find({cell.get(), p});
+      pins.push_back({cell.get(), p, it == counts.end() ? 0 : it->second});
+    }
+  }
+  std::sort(pins.begin(), pins.end(), [](const PinUse& a, const PinUse& b) {
+    if (a.uses != b.uses) return a.uses > b.uses;
+    if (a.cell->name() != b.cell->name()) return a.cell->name() < b.cell->name();
+    return a.pin < b.pin;
+  });
+  long total = 0;
+  for (const PinUse& p : pins) total += p.uses;
+  const double target = backside_fraction * static_cast<double>(total);
+  double assigned = 0.0;
+  double debt = 0.0;
+  for (const PinUse& p : pins) {
+    stdcell::CellPin& pin = p.cell->mutable_pins()[p.pin];
+    // Greedy error diffusion on instance weight.
+    debt += backside_fraction * static_cast<double>(p.uses);
+    if (assigned + static_cast<double>(p.uses) / 2.0 <= target &&
+        debt >= static_cast<double>(p.uses) / 2.0) {
+      pin.side = stdcell::PinSide::Back;
+      assigned += static_cast<double>(p.uses);
+      debt -= static_cast<double>(p.uses);
+    } else {
+      pin.side = stdcell::PinSide::Front;
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<DesignContext> prepare_design(const FlowConfig& config) {
+  tech::Technology tech = config.tech_kind == tech::TechKind::Cfet4T
+                              ? tech::make_cfet_4t()
+                              : tech::make_ffet_3p5t();
+  const int back = config.tech_kind == tech::TechKind::Cfet4T
+                       ? 12  // CFET backside layers are PDN-only anyway
+                       : config.back_layers;
+  tech = tech.with_routing_limit(config.front_layers, back);
+
+  stdcell::PinConfig pc;
+  pc.backside_input_fraction = config.backside_input_fraction;
+
+  // The library must outlive the netlist and hold a stable Technology
+  // pointer, so the context owns both; library points at ctx.tech after
+  // construction below.
+  auto ctx_tech = std::make_unique<tech::Technology>(std::move(tech));
+  auto lib = std::make_unique<stdcell::Library>(
+      stdcell::build_library(*ctx_tech, pc));
+  liberty::characterize_library(*lib);
+
+  riscv::Rv32Options rv;
+  rv.num_registers = config.rv32_registers;
+  netlist::Netlist nl = riscv::build_rv32_core(*lib, rv);
+
+  auto ctx = std::make_unique<DesignContext>(
+      config, std::move(ctx_tech), std::move(lib), std::move(nl));
+  if (config.backside_input_fraction > 0.0) {
+    rebalance_pin_sides(*ctx->library, ctx->netlist,
+                        config.backside_input_fraction);
+  }
+  // Realized fraction, instance-weighted (what the router actually sees).
+  {
+    long total = 0, back = 0;
+    for (const netlist::Instance& inst : ctx->netlist.instances()) {
+      if (inst.type->physical_only()) continue;
+      for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+        if (inst.pin_nets[p] == netlist::kNoNet) continue;
+        const auto& pin = inst.type->pins()[p];
+        if (pin.dir != stdcell::PinDir::Input) continue;
+        ++total;
+        if (pin.side == stdcell::PinSide::Back) ++back;
+      }
+    }
+    ctx->realized_backside_pin_fraction =
+        total ? static_cast<double>(back) / static_cast<double>(total) : 0.0;
+  }
+
+  synth::SynthOptions so;
+  so.target_freq_ghz = config.target_freq_ghz;
+  ctx->synth = synth::size_for_frequency(ctx->netlist, so);
+  return ctx;
+}
+
+namespace {
+
+/// A small benchmark workload (checksum loop with loads/stores/branches)
+/// used to extract realistic toggle rates.
+std::vector<std::uint32_t> activity_program() {
+  namespace e = riscv::enc;
+  return {
+      /* 0x00 */ e::addi(1, 0, 0),        // sum
+      /* 0x04 */ e::addi(2, 0, 64),       // i = 64
+      /* 0x08 */ e::addi(3, 0, 0x100),    // base
+      /* 0x0c */ e::lw(4, 3, 0),          // loop: x4 = mem[base]
+      /* 0x10 */ e::xor_(1, 1, 4),
+      /* 0x14 */ e::slli(4, 4, 1),
+      /* 0x18 */ e::add(1, 1, 4),
+      /* 0x1c */ e::sw(1, 3, 4),
+      /* 0x20 */ e::addi(3, 3, 4),
+      /* 0x24 */ e::addi(2, 2, -1),
+      /* 0x28 */ e::bne(2, 0, -28),
+      /* 0x2c */ e::jal(0, -44),          // restart
+  };
+}
+
+}  // namespace
+
+FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
+  FlowResult res;
+  res.config = config;
+
+  // Work on a private copy: taps, CTS buffers and placement are per-run.
+  netlist::Netlist nl = ctx.netlist;
+
+  // --- floorplan -------------------------------------------------------------
+  pnr::FloorplanOptions fo;
+  fo.target_utilization = config.utilization;
+  fo.aspect_ratio = config.aspect_ratio;
+  const pnr::Floorplan fp = pnr::make_floorplan(nl, ctx.tech(), fo);
+  res.core_area_um2 = fp.core_area_um2();
+  res.core_width_um = geom::to_um(fp.core.width());
+  res.core_height_um = geom::to_um(fp.core.height());
+  res.utilization = fp.achieved_utilization;
+
+  // --- powerplan ---------------------------------------------------------------
+  const pnr::PowerPlan pp = pnr::build_power_plan(nl, fp, *ctx.library);
+  res.num_tap_cells = static_cast<int>(pp.tap_cells.size());
+
+  // --- placement ----------------------------------------------------------------
+  pnr::PlacementOptions po;
+  po.seed = config.seed;
+  const pnr::PlacementResult pres = pnr::place(nl, fp, pp, po);
+  res.placement_legal = pres.legal;
+  res.placement_violations = pres.violations;
+  res.hpwl_um = pres.hpwl_um;
+  // Independent signoff check of what the placer claims.
+  res.placement_drc =
+      static_cast<int>(pnr::check_placement(nl, fp, pp).violations.size());
+
+  // --- CTS -----------------------------------------------------------------------
+  const pnr::CtsResult cts = pnr::build_clock_tree(nl, fp);
+  res.clock_skew_ps = cts.skew_ps;
+  res.clock_latency_ps = cts.mean_latency_ps;
+  res.clock_buffers = cts.num_buffers;
+
+  // Post-CTS hold fixing: pad short paths against the tree's skew before
+  // routing so the post-route hold check closes.
+  res.hold_buffers = synth::fix_hold(nl, cts.sink_latency_ps);
+
+  // --- routing (Algorithm 1) ------------------------------------------------------
+  const pnr::RouteResult routes = pnr::route_design(nl, fp);
+  res.route_valid = routes.valid;
+  res.drv = routes.drv_estimate;
+  res.wirelength_front_um = routes.wirelength_front_um;
+  res.wirelength_back_um = routes.wirelength_back_um;
+  res.num_instances = nl.num_instances();
+
+  // --- two DEFs -> merge -> dual-sided RC extraction -------------------------------
+  const io::Def front = io::build_def(nl, routes, tech::Side::Front);
+  const io::Def back = io::build_def(nl, routes, tech::Side::Back);
+  const io::Def merged = io::merge_defs(front, back);
+  const extract::RcNetlist rc = extract::extract_rc(merged, nl, ctx.tech());
+
+  // --- STA + power -------------------------------------------------------------------
+  sta::StaOptions so;
+  so.clock_skew_ps = cts.skew_ps;
+  so.pi_reference_latency_ps = cts.mean_latency_ps;
+  sta::Sta sta(&nl, &rc, so);
+  const sta::TimingReport timing = sta.analyze_timing(&cts.sink_latency_ps);
+  res.achieved_freq_ghz = timing.achieved_freq_ghz;
+  res.critical_path_ps = timing.critical_path_ps;
+  const sta::HoldReport hold = sta.analyze_hold(&cts.sink_latency_ps);
+  res.hold_slack_ps = hold.worst_slack_ps;
+  res.hold_violations = hold.violations;
+
+  std::vector<double> toggles;
+  const std::vector<double>* toggles_ptr = nullptr;
+  if (config.simulate_activity) {
+    riscv::Rv32Harness harness_like(&nl);  // drives clk/rst and memories
+    harness_like.load_program(activity_program());
+    harness_like.reset();
+    harness_like.sim().reset_activity();
+    harness_like.step(config.activity_cycles);
+    toggles.resize(static_cast<std::size_t>(nl.num_nets()), 0.0);
+    for (int n = 0; n < nl.num_nets(); ++n) {
+      toggles[static_cast<std::size_t>(n)] =
+          nl.net(n).is_clock ? 2.0 : harness_like.sim().toggle_rate(n);
+    }
+    toggles_ptr = &toggles;
+  }
+
+  const sta::PowerReport power =
+      sta.analyze_power(res.achieved_freq_ghz, toggles_ptr);
+  res.power_uw = power.total_uw();
+  res.switching_uw = power.switching_uw;
+  res.internal_uw = power.internal_uw;
+  res.leakage_uw = power.leakage_uw;
+  res.efficiency_ghz_per_mw = power.efficiency_ghz_per_mw();
+  res.ir_drop_mv = pp.estimate_ir_drop_mv(res.power_uw);
+  return res;
+}
+
+FlowResult run_flow(const FlowConfig& config) {
+  const auto ctx = prepare_design(config);
+  return run_physical(*ctx, config);
+}
+
+std::optional<double> find_max_utilization(const DesignContext& ctx,
+                                           FlowConfig config, double lo,
+                                           double hi, double tol) {
+  auto valid_at = [&](double util) {
+    config.utilization = util;
+    return run_physical(ctx, config).valid();
+  };
+  if (!valid_at(lo)) return std::nullopt;
+  if (valid_at(hi)) return hi;
+  // Invariant: lo valid, hi invalid.
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    (valid_at(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace ffet::flow

@@ -1,0 +1,151 @@
+// flow.h — the end-to-end evaluation framework (Fig. 7).
+//
+// Orchestrates the full pipeline the paper describes:
+//
+//   technology (+ routing-layer limits)        src/tech
+//     -> dual-sided library (+ pin DoE)        src/stdcell
+//     -> NLDM characterization                 src/liberty
+//     -> RV32 core generation                  src/riscv
+//     -> virtual synthesis @ target frequency  src/synth
+//     -> floorplan (utilization, AR)           src/pnr
+//     -> powerplan (BSPDN, Power Tap Cells)    src/pnr
+//     -> placement + IO planning               src/pnr
+//     -> clock-tree synthesis                  src/pnr
+//     -> dual-sided routing (Algorithm 1)      src/pnr
+//     -> two DEFs -> merged DEF                src/io
+//     -> dual-sided RC extraction              src/extract
+//     -> STA + power                           src/sta
+//
+// A `DesignContext` caches everything upstream of the physical stages so
+// utilization/layer sweeps re-run only floorplan→STA.
+//
+// Validity follows the paper: legal placement (no cell/tap violations) and
+// routing DRV < 10.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "extract/extract.h"
+#include "netlist/netlist.h"
+#include "pnr/cts.h"
+#include "pnr/placement.h"
+#include "pnr/router.h"
+#include "sta/sta.h"
+#include "stdcell/stdcell.h"
+#include "synth/synth.h"
+#include "tech/tech.h"
+
+namespace ffet::flow {
+
+struct FlowConfig {
+  tech::TechKind tech_kind = tech::TechKind::Ffet3p5T;
+
+  /// Routing-layer pattern: FM<front_layers> [BM<back_layers>].
+  int front_layers = 12;
+  int back_layers = 12;  ///< ignored for CFET (its backside is PDN-only)
+
+  /// Input-pin DoE: fraction of library input pins on the backside.
+  double backside_input_fraction = 0.0;
+
+  double target_freq_ghz = 1.5;
+  double utilization = 0.7;
+  double aspect_ratio = 1.0;
+
+  int rv32_registers = 32;
+  unsigned seed = 1;
+
+  /// Run a gate-level workload to extract real toggle rates (slower);
+  /// otherwise a default activity factor is used.
+  bool simulate_activity = false;
+  int activity_cycles = 120;
+
+  std::string label() const;
+};
+
+/// Everything upstream of the physical stages; reusable across
+/// utilization / aspect-ratio sweeps of the same design point.
+/// The Technology is heap-owned so the Library's internal pointer to it
+/// stays valid for the context's lifetime.
+struct DesignContext {
+  FlowConfig config;
+  std::unique_ptr<tech::Technology> tech_storage;
+  std::unique_ptr<stdcell::Library> library;
+  netlist::Netlist netlist;  ///< synthesized (sized + fanout-buffered)
+  synth::SynthReport synth;
+  double realized_backside_pin_fraction = 0.0;
+
+  const tech::Technology& tech() const { return *tech_storage; }
+
+  DesignContext(FlowConfig cfg, std::unique_ptr<tech::Technology> t,
+                std::unique_ptr<stdcell::Library> lib, netlist::Netlist nl)
+      : config(std::move(cfg)), tech_storage(std::move(t)),
+        library(std::move(lib)), netlist(std::move(nl)) {}
+};
+
+/// Build tech + library + characterization + core + synthesis.
+std::unique_ptr<DesignContext> prepare_design(const FlowConfig& config);
+
+struct FlowResult {
+  FlowConfig config;
+
+  // Physical outcome.
+  bool placement_legal = false;
+  int placement_violations = 0;
+  bool route_valid = false;
+  int drv = 0;
+  double core_area_um2 = 0.0;
+  double core_width_um = 0.0;
+  double core_height_um = 0.0;
+  double utilization = 0.0;  ///< achieved (after floorplan snapping)
+  double hpwl_um = 0.0;
+  double wirelength_front_um = 0.0;
+  double wirelength_back_um = 0.0;
+  int num_instances = 0;
+  int num_tap_cells = 0;
+
+  // CTS.
+  double clock_skew_ps = 0.0;
+  double clock_latency_ps = 0.0;
+  int clock_buffers = 0;
+
+  // Power integrity.
+  double ir_drop_mv = 0.0;
+
+  // Signoff-lite checks.
+  int placement_drc = 0;       ///< independent placement DRC count
+  double hold_slack_ps = 0.0;  ///< worst hold slack (negative = violation)
+  int hold_violations = 0;
+  int hold_buffers = 0;        ///< delay buffers inserted by hold fixing
+
+  // PPA.
+  double achieved_freq_ghz = 0.0;
+  double critical_path_ps = 0.0;
+  double power_uw = 0.0;        ///< total power at the achieved frequency
+  double switching_uw = 0.0;
+  double internal_uw = 0.0;
+  double leakage_uw = 0.0;
+  double efficiency_ghz_per_mw = 0.0;  ///< Fig. 13's metric
+
+  /// The paper's validity rule: legal placement and DRV < 10.
+  bool valid() const { return placement_legal && route_valid; }
+};
+
+/// Run floorplan → STA on a prepared design.  The context is not modified
+/// (the netlist is copied for tap cells / CTS buffers).
+FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config);
+
+/// Convenience: prepare + run.
+FlowResult run_flow(const FlowConfig& config);
+
+/// Highest utilization (within [lo, hi], to `tol`) at which the flow is
+/// valid; nullopt if even `lo` fails.  Uses bisection (validity is
+/// monotone in utilization for fixed everything-else).
+std::optional<double> find_max_utilization(const DesignContext& ctx,
+                                           FlowConfig config, double lo = 0.40,
+                                           double hi = 0.98,
+                                           double tol = 0.005);
+
+}  // namespace ffet::flow

@@ -1,0 +1,105 @@
+#include "flow/report_json.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace ffet::flow {
+
+namespace {
+
+class Obj {
+ public:
+  Obj(std::ostream& os, int indent) : os_(os), indent_(indent) {
+    os_ << "{";
+  }
+  ~Obj() {
+    os_ << "\n" << pad(indent_) << "}";
+  }
+
+  void field(const char* key, double v) { sep(); os_ << '"' << key << "\": " << v; }
+  void field(const char* key, int v) { sep(); os_ << '"' << key << "\": " << v; }
+  void field(const char* key, bool v) {
+    sep();
+    os_ << '"' << key << "\": " << (v ? "true" : "false");
+  }
+  void field(const char* key, const std::string& v) {
+    sep();
+    os_ << '"' << key << "\": \"" << v << '"';
+  }
+
+ private:
+  void sep() {
+    os_ << (first_ ? "\n" : ",\n") << pad(indent_ + 1);
+    first_ = false;
+  }
+  static std::string pad(int n) { return std::string(2 * static_cast<std::size_t>(n), ' '); }
+
+  std::ostream& os_;
+  int indent_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_json(const FlowResult& r, std::ostream& os) {
+  Obj o(os, 0);
+  o.field("label", r.config.label());
+  o.field("tech", std::string(tech::to_string(r.config.tech_kind)));
+  o.field("front_layers", r.config.front_layers);
+  o.field("back_layers", r.config.back_layers);
+  o.field("backside_input_fraction", r.config.backside_input_fraction);
+  o.field("target_freq_ghz", r.config.target_freq_ghz);
+  o.field("target_utilization", r.config.utilization);
+  o.field("valid", r.valid());
+  o.field("placement_legal", r.placement_legal);
+  o.field("placement_violations", r.placement_violations);
+  o.field("placement_drc", r.placement_drc);
+  o.field("route_valid", r.route_valid);
+  o.field("drv", r.drv);
+  o.field("core_area_um2", r.core_area_um2);
+  o.field("utilization", r.utilization);
+  o.field("hpwl_um", r.hpwl_um);
+  o.field("wirelength_front_um", r.wirelength_front_um);
+  o.field("wirelength_back_um", r.wirelength_back_um);
+  o.field("num_instances", r.num_instances);
+  o.field("num_tap_cells", r.num_tap_cells);
+  o.field("clock_skew_ps", r.clock_skew_ps);
+  o.field("clock_latency_ps", r.clock_latency_ps);
+  o.field("clock_buffers", r.clock_buffers);
+  o.field("hold_buffers", r.hold_buffers);
+  o.field("hold_slack_ps", r.hold_slack_ps);
+  o.field("hold_violations", r.hold_violations);
+  o.field("ir_drop_mv", r.ir_drop_mv);
+  o.field("achieved_freq_ghz", r.achieved_freq_ghz);
+  o.field("critical_path_ps", r.critical_path_ps);
+  o.field("power_uw", r.power_uw);
+  o.field("switching_uw", r.switching_uw);
+  o.field("internal_uw", r.internal_uw);
+  o.field("leakage_uw", r.leakage_uw);
+  o.field("efficiency_ghz_per_mw", r.efficiency_ghz_per_mw);
+}
+
+std::string to_json(const FlowResult& result, int indent) {
+  (void)indent;
+  std::ostringstream os;
+  write_json(result, os);
+  return os.str();
+}
+
+void write_json(const std::vector<FlowResult>& results, std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i) os << ",";
+    os << "\n";
+    write_json(results[i], os);
+  }
+  os << "\n]";
+}
+
+std::string to_json(const std::vector<FlowResult>& results) {
+  std::ostringstream os;
+  write_json(results, os);
+  return os.str();
+}
+
+}  // namespace ffet::flow

@@ -1,0 +1,26 @@
+// report_json.h — machine-readable flow results.
+//
+// Serializes FlowConfig/FlowResult as JSON so sweeps can be plotted or
+// post-processed without parsing log text.  Hand-rolled emitter (flat
+// structures, no external dependency).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+
+namespace ffet::flow {
+
+/// One result as a JSON object.
+std::string to_json(const FlowResult& result, int indent = 0);
+
+/// A sweep as a JSON array of objects.
+std::string to_json(const std::vector<FlowResult>& results);
+
+void write_json(const FlowResult& result, std::ostream& os);
+void write_json(const std::vector<FlowResult>& results, std::ostream& os);
+
+}  // namespace ffet::flow

@@ -1,0 +1,191 @@
+// geom.h — fundamental geometric types for the OpenFFET physical-design
+// database.
+//
+// All on-chip geometry in this project is expressed in integer nanometers
+// (`Nm`).  The virtual 5 nm PDK of the paper (Table II) has every pitch as an
+// integral number of nanometers, so an integer database is exact: there is no
+// accumulation of floating-point error across DEF round-trips or RC
+// extraction, and equality comparisons are meaningful.
+//
+// Conventions:
+//  * x grows to the right, y grows upward (standard DEF orientation).
+//  * `Rect` is half-open in neither direction: it stores [lo, hi] corner
+//    coordinates; width() == hi.x - lo.x.  A degenerate rect (zero width or
+//    height) is valid and models a wire centerline segment.
+//  * Areas are returned in double µm² (`area_um2`) because block areas exceed
+//    the 64-bit nm² range only for dies > ~4 m on a side — safe — but µm² is
+//    what every report in the paper uses.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ffet::geom {
+
+/// Integer nanometer database unit.
+using Nm = std::int64_t;
+
+/// Nanometers per micron; used when converting to report units.
+inline constexpr double kNmPerUm = 1000.0;
+
+/// Convert a length in nanometers to microns.
+constexpr double to_um(Nm v) { return static_cast<double>(v) / kNmPerUm; }
+
+/// Convert a length in microns to the nearest nanometer.
+constexpr Nm from_um(double um) {
+  return static_cast<Nm>(um * kNmPerUm + (um >= 0 ? 0.5 : -0.5));
+}
+
+/// A 2-D point in database units.
+struct Point {
+  Nm x = 0;
+  Nm y = 0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Manhattan distance between two points — the natural wirelength metric for
+/// gridded BEOL routing.
+constexpr Nm manhattan(const Point& a, const Point& b) {
+  const Nm dx = a.x >= b.x ? a.x - b.x : b.x - a.x;
+  const Nm dy = a.y >= b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// Axis-aligned rectangle, corners inclusive: lo <= hi in both axes for a
+/// well-formed rect.  Default-constructed rect is the empty rect at origin.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  constexpr Nm width() const { return hi.x - lo.x; }
+  constexpr Nm height() const { return hi.y - lo.y; }
+  constexpr bool well_formed() const { return lo.x <= hi.x && lo.y <= hi.y; }
+  constexpr bool degenerate() const { return width() == 0 || height() == 0; }
+
+  constexpr Point center() const {
+    return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  }
+
+  /// Area in µm².
+  double area_um2() const { return to_um(width()) * to_um(height()); }
+
+  constexpr bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  constexpr bool contains(const Rect& r) const {
+    return contains(r.lo) && contains(r.hi);
+  }
+
+  /// Closed-interval overlap test; rects that merely touch DO intersect.
+  constexpr bool intersects(const Rect& r) const {
+    return lo.x <= r.hi.x && r.lo.x <= hi.x && lo.y <= r.hi.y && r.lo.y <= hi.y;
+  }
+
+  /// Strict-interior overlap test; rects that only share an edge or corner do
+  /// NOT overlap.  This is the correct test for placement legality, where
+  /// abutting cells are legal.
+  constexpr bool overlaps_interior(const Rect& r) const {
+    return lo.x < r.hi.x && r.lo.x < hi.x && lo.y < r.hi.y && r.lo.y < hi.y;
+  }
+
+  /// Smallest rect containing both; if *this is empty-at-origin default, the
+  /// caller should use `bbox_of` instead to avoid absorbing the origin.
+  constexpr Rect united(const Rect& r) const {
+    return {{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y)},
+            {std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)}};
+  }
+
+  /// Intersection; result is well-formed only if intersects(r).
+  constexpr Rect intersected(const Rect& r) const {
+    return {{std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y)},
+            {std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)}};
+  }
+
+  constexpr Rect translated(const Point& d) const {
+    return {lo + d, hi + d};
+  }
+
+  constexpr Rect inflated(Nm margin) const {
+    return {{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+};
+
+/// Build a rect from an origin and a size.
+constexpr Rect make_rect(Point origin, Nm w, Nm h) {
+  return {origin, {origin.x + w, origin.y + h}};
+}
+
+/// 1-D closed interval on the integer line; used for track spans and row
+/// occupancy bookkeeping.
+struct Interval {
+  Nm lo = 0;
+  Nm hi = 0;
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+  friend constexpr auto operator<=>(const Interval&, const Interval&) = default;
+
+  constexpr Nm length() const { return hi - lo; }
+  constexpr bool well_formed() const { return lo <= hi; }
+  constexpr bool contains(Nm v) const { return v >= lo && v <= hi; }
+  constexpr bool intersects(const Interval& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  constexpr bool overlaps_interior(const Interval& o) const {
+    return lo < o.hi && o.lo < hi;
+  }
+  constexpr Interval intersected(const Interval& o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+};
+
+/// Orientation of a wire segment in gridded routing.
+enum class Dir : std::uint8_t { Horizontal, Vertical };
+
+constexpr Dir perpendicular(Dir d) {
+  return d == Dir::Horizontal ? Dir::Vertical : Dir::Horizontal;
+}
+
+/// Snap `v` down to a multiple of `pitch` offset by `offset`.
+constexpr Nm snap_down(Nm v, Nm pitch, Nm offset = 0) {
+  const Nm rel = v - offset;
+  Nm q = rel / pitch;
+  if (rel % pitch != 0 && rel < 0) --q;
+  return q * pitch + offset;
+}
+
+/// Snap `v` up to a multiple of `pitch` offset by `offset`.
+constexpr Nm snap_up(Nm v, Nm pitch, Nm offset = 0) {
+  const Nm down = snap_down(v, pitch, offset);
+  return down == v ? v : down + pitch;
+}
+
+/// Number of track lines with the given pitch that fit strictly inside
+/// [lo, hi] (inclusive of endpoints that land on a track).
+constexpr int tracks_in_span(Nm lo, Nm hi, Nm pitch, Nm offset = 0) {
+  if (hi < lo || pitch <= 0) return 0;
+  const Nm first = snap_up(lo, pitch, offset);
+  if (first > hi) return 0;
+  return static_cast<int>((hi - first) / pitch) + 1;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// Human-readable "(x, y)" in µm with 3 decimals, for reports.
+std::string to_string_um(const Point& p);
+std::string to_string_um(const Rect& r);
+
+}  // namespace ffet::geom

@@ -1,0 +1,148 @@
+// lef_reader.cpp — parse the project's LEF dialect back into a Library.
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/def.h"
+
+namespace ffet::io {
+
+namespace {
+
+/// Recover (function, drive) from a catalogue-style macro name.
+std::pair<stdcell::Function, int> function_of_name(const std::string& name) {
+  using stdcell::Function;
+  static const std::pair<const char*, Function> kPrefixes[] = {
+      // Longest-match order matters (CLKBUF before BUF, XNOR2 before NOR2,
+      // DFFR before DFF, TIELO/TIEHI before anything short).
+      {"CLKBUF", Function::ClkBuf}, {"XNOR2", Function::Xnor2},
+      {"NAND2", Function::Nand2},   {"TIELO", Function::TieLo},
+      {"TIEHI", Function::TieHi},   {"XOR2", Function::Xor2},
+      {"NOR2", Function::Nor2},     {"AND2", Function::And2},
+      {"AOI21", Function::Aoi21},   {"OAI21", Function::Oai21},
+      {"AOI22", Function::Aoi22},   {"OAI22", Function::Oai22},
+      {"MUX2", Function::Mux2},     {"DFFR", Function::DffR},
+      {"DFF", Function::Dff},       {"FILLER", Function::Filler},
+      {"TAPCELL", Function::Tap},   {"BUF", Function::Buf},
+      {"INV", Function::Inv},       {"OR2", Function::Or2},
+  };
+  for (const auto& [prefix, func] : kPrefixes) {
+    if (name.rfind(prefix, 0) == 0) {
+      const std::string rest = name.substr(std::string(prefix).size());
+      int drive = 1;
+      if (!rest.empty() && rest[0] == 'D') {
+        drive = std::atoi(rest.c_str() + 1);
+        if (drive <= 0) drive = 1;
+      }
+      return {func, drive};
+    }
+  }
+  throw std::runtime_error("LEF macro '" + name +
+                           "' does not match the catalogue naming");
+}
+
+geom::Nm um_token_to_nm(const std::string& t) {
+  return geom::from_um(std::stod(t));
+}
+
+}  // namespace
+
+stdcell::Library read_lef(std::istream& is, const tech::Technology& tech) {
+  stdcell::Library lib(&tech, {});
+
+  std::string tok;
+  std::string macro_name;
+  std::unique_ptr<stdcell::CellType> macro;
+  geom::Nm width = 0, height = 0;
+
+  // Pin parsing state.
+  std::string pin_name;
+  stdcell::PinDir pin_dir = stdcell::PinDir::Input;
+  bool pin_front = false, pin_back = false;
+  geom::Point pin_offset{0, 0};
+
+  auto finish_pin = [&]() {
+    if (pin_name.empty() || !macro) return;
+    stdcell::CellPin p;
+    p.name = pin_name;
+    p.dir = pin_dir;
+    p.side = pin_front && pin_back ? stdcell::PinSide::Both
+             : pin_back            ? stdcell::PinSide::Back
+                                   : stdcell::PinSide::Front;
+    p.offset = pin_offset;
+    macro->add_pin(std::move(p));
+    pin_name.clear();
+  };
+
+  while (is >> tok) {
+    if (tok == "MACRO") {
+      is >> macro_name;
+      width = height = 0;
+    } else if (tok == "SIZE" && !macro_name.empty()) {
+      std::string w, by, h;
+      is >> w >> by >> h;
+      width = um_token_to_nm(w);
+      height = um_token_to_nm(h);
+      const auto [func, drive] = function_of_name(macro_name);
+      stdcell::CellStructure st;
+      st.drive = drive;
+      // LEF carries no transistor-level structure; record what geometry
+      // implies so areas stay exact.
+      st.width_cpp_cfet = st.width_cpp_ffet =
+          static_cast<int>(width / tech.cpp());
+      macro = std::make_unique<stdcell::CellType>(macro_name, func, st,
+                                                  width, height);
+      if (func == stdcell::Function::Tap) lib.set_tap_cell_name(macro_name);
+    } else if (tok == "PIN" && macro) {
+      finish_pin();
+      is >> pin_name;
+      pin_dir = stdcell::PinDir::Input;
+      pin_front = pin_back = false;
+      pin_offset = {0, 0};
+    } else if (tok == "DIRECTION" && macro) {
+      std::string d;
+      is >> d;
+      if (d == "OUTPUT") pin_dir = stdcell::PinDir::Output;
+    } else if (tok == "USE" && macro) {
+      std::string u;
+      is >> u;
+      if (u == "CLOCK" && pin_dir == stdcell::PinDir::Input) {
+        pin_dir = stdcell::PinDir::Clock;
+      }
+    } else if (tok == "LAYER" && macro && !pin_name.empty()) {
+      std::string layer;
+      is >> layer;
+      if (layer == "FM0") pin_front = true;
+      if (layer == "BM0") pin_back = true;
+    } else if (tok == "RECT" && macro && !pin_name.empty()) {
+      std::string x1, y1, x2, y2;
+      is >> x1 >> y1 >> x2 >> y2;
+      pin_offset = {(um_token_to_nm(x1) + um_token_to_nm(x2)) / 2,
+                    (um_token_to_nm(y1) + um_token_to_nm(y2)) / 2};
+    } else if (tok == "END" && macro) {
+      std::string what;
+      is >> what;
+      if (what == macro_name) {
+        finish_pin();
+        lib.add_cell(std::move(macro));
+        macro.reset();
+        macro_name.clear();
+      } else if (what == pin_name) {
+        finish_pin();
+      }
+    }
+  }
+  if (lib.cells().empty()) {
+    throw std::runtime_error("LEF contained no macros");
+  }
+  return lib;
+}
+
+stdcell::Library read_lef_string(const std::string& text,
+                                 const tech::Technology& tech) {
+  std::istringstream is(text);
+  return read_lef(is, tech);
+}
+
+}  // namespace ffet::io

@@ -1,0 +1,232 @@
+#include "io/verilog.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ffet::io {
+
+using netlist::Netlist;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Nets attached to a port are referenced by the PORT name (the module
+/// interface) everywhere in the emitted Verilog.
+const std::string& printed_net_name(const Netlist& nl, netlist::NetId id) {
+  const netlist::Net& n = nl.net(id);
+  if (n.port >= 0) return nl.port(n.port).name;
+  return n.name;
+}
+
+}  // namespace
+
+void write_verilog(const Netlist& nl, std::ostream& os) {
+  os << "// structural netlist emitted by OpenFFET\n";
+  os << "module " << nl.name() << " (";
+  for (int p = 0; p < nl.num_ports(); ++p) {
+    if (p) os << ", ";
+    os << nl.port(p).name;
+  }
+  os << ");\n";
+
+  for (const netlist::Port& p : nl.ports()) {
+    os << "  " << (p.is_input ? "input" : "output") << " " << p.name
+       << ";\n";
+  }
+  // Wires: every net that is not a port net.
+  for (const netlist::Net& n : nl.nets()) {
+    if (n.port >= 0) continue;
+    os << "  wire " << n.name << ";\n";
+  }
+  os << "\n";
+  for (const netlist::Instance& inst : nl.instances()) {
+    os << "  " << inst.type->name() << " " << inst.name << " (";
+    bool first = true;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      if (inst.pin_nets[p] == netlist::kNoNet) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << "." << inst.type->pins()[p].name << "("
+         << printed_net_name(nl, inst.pin_nets[p]) << ")";
+    }
+    os << ");\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string to_verilog_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_verilog(nl, os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class VTokenizer {
+ public:
+  explicit VTokenizer(std::istream& is) : is_(is) {}
+
+  /// Next token: identifier, or a single punctuation char from "();,.".
+  std::string next() {
+    skip_space_and_comments();
+    int c = is_.peek();
+    if (c == EOF) throw std::runtime_error("unexpected end of Verilog");
+    if (std::strchr("();,.", c)) {
+      is_.get();
+      return std::string(1, static_cast<char>(c));
+    }
+    std::string t;
+    while (c != EOF && !std::isspace(c) && !std::strchr("();,.", c)) {
+      t.push_back(static_cast<char>(is_.get()));
+      c = is_.peek();
+    }
+    if (t.empty()) throw std::runtime_error("tokenizer stuck");
+    return t;
+  }
+
+  bool at_end() {
+    skip_space_and_comments();
+    return is_.peek() == EOF;
+  }
+
+  void expect(const std::string& want) {
+    const std::string t = next();
+    if (t != want) {
+      throw std::runtime_error("expected '" + want + "', got '" + t + "'");
+    }
+  }
+
+ private:
+  void skip_space_and_comments() {
+    for (;;) {
+      int c = is_.peek();
+      while (c != EOF && std::isspace(c)) {
+        is_.get();
+        c = is_.peek();
+      }
+      if (c != '/') return;
+      is_.get();
+      const int c2 = is_.peek();
+      if (c2 == '/') {
+        std::string line;
+        std::getline(is_, line);
+      } else if (c2 == '*') {
+        is_.get();
+        int prev = 0;
+        while (is_.good()) {
+          const int cur = is_.get();
+          if (prev == '*' && cur == '/') break;
+          prev = cur;
+        }
+      } else {
+        is_.unget();
+        return;
+      }
+    }
+  }
+
+  std::istream& is_;
+};
+
+}  // namespace
+
+Netlist read_verilog(std::istream& is, const stdcell::Library& lib) {
+  VTokenizer tk(is);
+  tk.expect("module");
+  const std::string name = tk.next();
+  Netlist nl(name, &lib);
+
+  // Header port list (names only; directions come from declarations).
+  std::vector<std::string> header_ports;
+  tk.expect("(");
+  for (;;) {
+    const std::string t = tk.next();
+    if (t == ")") break;
+    if (t == ",") continue;
+    header_ports.push_back(t);
+  }
+  tk.expect(";");
+
+  // Body.
+  std::map<std::string, netlist::NetId> nets;
+  auto net_of = [&](const std::string& n) {
+    auto it = nets.find(n);
+    if (it != nets.end()) return it->second;
+    const netlist::NetId id = nl.add_net(n);
+    nets.emplace(n, id);
+    return id;
+  };
+
+  for (;;) {
+    const std::string t = tk.next();
+    if (t == "endmodule") break;
+    if (t == "input" || t == "output" || t == "wire") {
+      for (;;) {
+        const std::string n = tk.next();
+        if (n == ";") break;
+        if (n == ",") continue;
+        if (t == "input") {
+          nets.emplace(n, nl.port(nl.add_input(n)).net);
+        } else if (t == "output") {
+          // Output port net: create net now, attach port.
+          const netlist::NetId id = net_of(n);
+          nl.add_output_for_net(n, id);
+        } else {
+          net_of(n);
+        }
+      }
+      continue;
+    }
+    // Otherwise: `<CELL> <inst> ( .PIN(net), ... ) ;`
+    const stdcell::CellType* cell = lib.find(t);
+    if (!cell) {
+      throw std::runtime_error("unknown cell '" + t + "' in Verilog");
+    }
+    const std::string inst_name = tk.next();
+    const netlist::InstId inst = nl.add_instance(inst_name, cell);
+    tk.expect("(");
+    for (;;) {
+      const std::string p = tk.next();
+      if (p == ")") break;
+      if (p == ",") continue;
+      if (p != ".") {
+        throw std::runtime_error("expected named connection in " + inst_name);
+      }
+      const std::string pin = tk.next();
+      tk.expect("(");
+      const std::string net = tk.next();
+      tk.expect(")");
+      nl.connect(inst, pin, net_of(net));
+    }
+    tk.expect(";");
+    // Preserve clock marking: nets driving CP pins become clock nets when
+    // they are input ports named like clocks is NOT assumed; the caller
+    // marks clocks explicitly after parsing.
+  }
+
+  // Sanity: all header ports declared.
+  for (const std::string& p : header_ports) {
+    if (!nl.find_port(p)) {
+      throw std::runtime_error("port '" + p + "' missing a direction");
+    }
+  }
+  return nl;
+}
+
+Netlist read_verilog_string(const std::string& text,
+                            const stdcell::Library& lib) {
+  std::istringstream is(text);
+  return read_verilog(is, lib);
+}
+
+}  // namespace ffet::io

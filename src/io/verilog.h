@@ -1,0 +1,37 @@
+// verilog.h — structural (gate-level) Verilog netlist exchange.
+//
+// The paper's flow moves netlists between synthesis and P&R as structural
+// Verilog; this module writes the project's netlists in that form and
+// parses the same subset back:
+//
+//   module <name> (ports...);
+//     input a; output z; wire n1;
+//     INVD1 u1 (.I(a), .ZN(n1));
+//     ...
+//   endmodule
+//
+// Supported subset: one module per file, scalar ports/wires (the generators
+// bit-blast buses), named port connections, no assigns/behavioural code.
+// Escaped identifiers are not needed because all generated names are plain.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace ffet::io {
+
+/// Write `nl` as a structural Verilog module.
+void write_verilog(const netlist::Netlist& nl, std::ostream& os);
+std::string to_verilog_string(const netlist::Netlist& nl);
+
+/// Parse a structural Verilog module against `lib` (cell names must
+/// resolve).  Throws std::runtime_error on syntax errors, unknown cells or
+/// unknown pins.
+netlist::Netlist read_verilog(std::istream& is, const stdcell::Library& lib);
+netlist::Netlist read_verilog_string(const std::string& text,
+                                     const stdcell::Library& lib);
+
+}  // namespace ffet::io

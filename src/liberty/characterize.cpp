@@ -1,0 +1,339 @@
+#include "liberty/characterize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "tech/tech.h"
+
+namespace ffet::liberty {
+
+using stdcell::CellPin;
+using stdcell::CellType;
+using stdcell::Function;
+using stdcell::Library;
+using stdcell::NldmTable;
+using stdcell::PinDir;
+using stdcell::PinSide;
+using stdcell::TimingArc;
+using stdcell::TimingModel;
+using tech::DeviceParams;
+using tech::TechKind;
+using tech::Technology;
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+// Output transition: 10-90% swing of an RC node = ln(9) * RC.
+constexpr double kLn9 = 2.1972245773362196;
+// Fraction of the input transition that adds to stage delay (ramp-input
+// correction of the step-response model).
+constexpr double kSlewDelayFactor = 0.18;
+// Short-circuit energy as a fraction of internal switched energy, scaled by
+// input slew relative to output transition.
+constexpr double kShortCircuitFactor = 0.08;
+// Share of the n-p link resistance seen by the rising (pull-up) edge.  The
+// falling edge discharges the far-side drain through the full link; the
+// rising edge is partially bypassed by the near-side landing metal.  This
+// asymmetry is what makes Table I's fall-timing advantages exceed the
+// rise-timing ones.
+constexpr double kRiseLinkShare = 0.55;
+
+/// Electrical summary of one CMOS stage of a cell.
+struct Stage {
+  double drive = 1.0;       ///< width multiple of a unit (two-fin) pair
+  double r_rise_ohm = 0.0;  ///< pull-up resistance incl. link share
+  double r_fall_ohm = 0.0;  ///< pull-down resistance incl. link share
+  double c_internal_ff = 0.0;  ///< parasitic cap switched at the stage output
+  double c_next_ff = 0.0;      ///< gate cap of the following stage (0 = load)
+};
+
+/// Per-stage drive distribution: the final stage carries the cell's rated
+/// drive; preceding stages taper at ratio ~2 (classic buffer sizing), never
+/// below 1.
+std::vector<double> stage_drives(int stages, int drive) {
+  std::vector<double> d(static_cast<std::size_t>(stages));
+  double cur = drive;
+  for (int i = stages - 1; i >= 0; --i) {
+    d[static_cast<std::size_t>(i)] = cur;
+    cur = std::max(1.0, cur / 2.0);
+  }
+  return d;
+}
+
+/// Build the stage chain for a cell in a given technology.
+std::vector<Stage> build_stages(const CellType& cell, const Technology& tech) {
+  const DeviceParams& dev = tech.device();
+  const auto& s = cell.structure();
+  const int n = std::max(1, s.stages);
+  const std::vector<double> drives = stage_drives(n, s.drive);
+
+  const bool is_ffet = tech.kind() == TechKind::Ffet3p5T;
+  const int width_cpp =
+      is_ffet ? s.width_cpp_ffet : s.width_cpp_cfet;
+
+  // Distribute the cell's structural parasitics across stages.  Links and
+  // transistor pairs concentrate mildly toward the output stage (which is
+  // the widest), modeled by weighting with stage drive.
+  double drive_sum = 0.0;
+  for (double d : drives) drive_sum += d;
+
+  // Gate links: in FFET, split-gate pairs skip the Gate Merge entirely; in
+  // CFET every pair needs the stacked-gate contact (split-gate pairs cost
+  // area there, not skipped parasitics).
+  const double gate_links =
+      is_ffet ? std::max(0, s.gate_links - s.split_gate_pairs) : s.gate_links;
+
+  std::vector<Stage> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Stage& st = out[static_cast<std::size_t>(i)];
+    st.drive = drives[static_cast<std::size_t>(i)];
+    const double share = st.drive / drive_sum;
+
+    const double fins = s.fins_per_device * st.drive;
+    const double r_n = dev.nfet_r_per_fin_ohm / fins;
+    const double r_p = dev.pfet_r_per_fin_ohm / fins;
+    // The n-p link of this stage: parallel links reduce its resistance only
+    // as well as the technology's link structure parallelizes (supervia
+    // chains are area-constrained; Drain Merges scale perfectly).
+    const double links_here = std::max(1.0, s.np_links * share);
+    const double link_r =
+        dev.np_link_r_ohm /
+        (1.0 + (links_here - 1.0) * dev.np_link_parallel_eff);
+    st.r_rise_ohm = r_p + kRiseLinkShare * link_r;
+    st.r_fall_ohm = r_n + link_r;
+
+    // Internal cap at the stage output: drain junctions of this stage's
+    // pair(s), its n-p link metal, its share of the intra-cell M0 tracks
+    // and of the gate-link metal of downstream gates.
+    double c = dev.drain_c_per_fin_ff * 2.0 * fins;  // n + p drains
+    c += dev.np_link_c_ff * links_here;
+    c += dev.internal_track_c_ff_per_cpp * width_cpp * share;
+    c += dev.gate_link_c_ff * gate_links * share;
+    if (i == n - 1) {
+      // Output pin landing metal spans the cell width; dual-sided output
+      // pins (FFET Drain Merge reaching FM0 *and* BM0) pay both sides.
+      const CellPin* out_pin = cell.output_pin();
+      const double sides = (out_pin && out_pin->side == PinSide::Both) ? 2.0
+                                                                       : 1.0;
+      c += dev.pin_c_ff_per_cpp_side * width_cpp * sides;
+    }
+    st.c_internal_ff = c;
+    if (i + 1 < n) {
+      const double next_fins = s.fins_per_device * drives[static_cast<std::size_t>(i) + 1];
+      out[static_cast<std::size_t>(i)].c_next_ff =
+          dev.gate_c_per_fin_ff * 2.0 * next_fins;
+    }
+  }
+  return out;
+}
+
+/// Propagate one edge through the stage chain.
+struct EdgeResult {
+  double delay_ps = 0.0;
+  double trans_ps = 0.0;
+  double energy_fj = 0.0;  ///< internal energy of all switched stage nodes
+};
+
+/// `rising_out` refers to the edge at the cell OUTPUT; alternating stages
+/// flip the edge backwards through the chain.
+EdgeResult propagate(const std::vector<Stage>& stages, bool rising_out,
+                     double input_slew_ps, double load_ff, double vdd) {
+  EdgeResult r;
+  double slew = input_slew_ps;
+  const int n = static_cast<int>(stages.size());
+  for (int i = 0; i < n; ++i) {
+    const Stage& st = stages[static_cast<std::size_t>(i)];
+    // Output edge of stage i: the final stage emits `rising_out`; each
+    // earlier stage is inverted once per stage in between.
+    const bool stage_rises = ((n - 1 - i) % 2 == 0) == rising_out;
+    const double res = stage_rises ? st.r_rise_ohm : st.r_fall_ohm;
+    const double cap = st.c_internal_ff + (i == n - 1 ? load_ff : st.c_next_ff);
+    // ohm * fF = 1e-15 * 1e0 s = femtoseconds*1e3 -> R[ohm]*C[fF] yields fs;
+    // divide by 1000 for ps.
+    const double rc_ps = res * cap / 1000.0;
+    r.delay_ps += kLn2 * rc_ps + kSlewDelayFactor * slew;
+    slew = kLn9 * rc_ps;
+    r.energy_fj += 0.5 * vdd * vdd * st.c_internal_ff;
+  }
+  r.trans_ps = slew;
+  // Short-circuit contribution grows with the final input slew feeding the
+  // last stage; approximated from the cell input slew.
+  r.energy_fj *= 1.0 + kShortCircuitFactor * std::min(2.0, input_slew_ps /
+                                                               std::max(1.0, r.trans_ps));
+  return r;
+}
+
+NldmTable make_table(const CharacterizeOptions& opts,
+                     const std::function<double(double, double)>& f) {
+  std::vector<double> v;
+  v.reserve(opts.slew_axis_ps.size() * opts.load_axis_ff.size());
+  for (double s : opts.slew_axis_ps) {
+    for (double l : opts.load_axis_ff) v.push_back(f(s, l));
+  }
+  return NldmTable(opts.slew_axis_ps, opts.load_axis_ff, std::move(v));
+}
+
+/// Number of transistor-pair gates one input pin drives, for pin-cap
+/// computation: inputs share the stage-1 pairs; select/clock style pins
+/// (later inputs of MUX/DFF) see buffered internal drivers instead, modeled
+/// as one unit pair.
+double pairs_driven_by_input(const CellType& cell) {
+  const auto& s = cell.structure();
+  const int n_inputs = std::max<std::size_t>(1, cell.input_pins().size());
+  const double first_stage_pairs =
+      std::max(1.0, stage_drives(std::max(1, s.stages), s.drive).front());
+  // Multi-input single-stage gates: each input drives one series/parallel
+  // pair per finger.
+  if (s.stages <= 1) {
+    return std::max(1.0, static_cast<double>(s.tx_pairs) / n_inputs);
+  }
+  return first_stage_pairs;
+}
+
+void characterize_cell(CellType& cell, const Technology& tech,
+                       const CharacterizeOptions& opts) {
+  if (cell.physical_only()) return;
+  const DeviceParams& dev = tech.device();
+  const auto& s = cell.structure();
+
+  // Input-pin capacitance.
+  const double pairs_in = pairs_driven_by_input(cell);
+  const bool is_ffet = tech.kind() == TechKind::Ffet3p5T;
+  for (CellPin& p : cell.mutable_pins()) {
+    if (p.dir == PinDir::Output) continue;
+    // An input drives the n and p gates of `pairs_in` pairs.  Split-gate
+    // pins (complementary-clock pins) drive only one device per pair, but
+    // the library abstracts this into the same pin model — consistent with
+    // the paper's simplification that "characteristics of the same cell
+    // remain the same across different input pin configurations".
+    double c = dev.gate_c_per_fin_ff * s.fins_per_device * 2.0 * pairs_in;
+    const double gate_links =
+        is_ffet ? std::max(0, s.gate_links - s.split_gate_pairs)
+                : s.gate_links;
+    const int n_inputs =
+        std::max<int>(1, static_cast<int>(cell.input_pins().size()));
+    c += dev.gate_link_c_ff * gate_links / n_inputs;
+    c += dev.pin_c_ff_per_cpp_side * 1.0;  // single-sided input landing metal
+    p.cap_ff = c;
+  }
+
+  const std::vector<Stage> stages = build_stages(cell, tech);
+  auto model = std::make_unique<TimingModel>();
+  model->leakage_nw = dev.leakage_nw_per_fin * s.fins_per_device * 2.0 *
+                      s.tx_pairs;
+
+  const int out_idx = cell.pin_index(cell.output_pin()->name);
+  for (const CellPin* in : cell.input_pins()) {
+    // DFF: only the clock pin has an arc to Q (CP->Q); D has constraints.
+    if (cell.sequential() && in->dir != PinDir::Clock) continue;
+    TimingArc arc;
+    arc.from_pin = cell.pin_index(in->name);
+    arc.to_pin = out_idx;
+    arc.delay_rise = make_table(opts, [&](double sl, double ld) {
+      return propagate(stages, true, sl, ld, dev.vdd_v).delay_ps;
+    });
+    arc.delay_fall = make_table(opts, [&](double sl, double ld) {
+      return propagate(stages, false, sl, ld, dev.vdd_v).delay_ps;
+    });
+    arc.trans_rise = make_table(opts, [&](double sl, double ld) {
+      return propagate(stages, true, sl, ld, dev.vdd_v).trans_ps;
+    });
+    arc.trans_fall = make_table(opts, [&](double sl, double ld) {
+      return propagate(stages, false, sl, ld, dev.vdd_v).trans_ps;
+    });
+    arc.energy_rise = make_table(opts, [&](double sl, double ld) {
+      return propagate(stages, true, sl, ld, dev.vdd_v).energy_fj;
+    });
+    arc.energy_fall = make_table(opts, [&](double sl, double ld) {
+      return propagate(stages, false, sl, ld, dev.vdd_v).energy_fj;
+    });
+    model->arcs.push_back(std::move(arc));
+  }
+
+  if (cell.sequential()) {
+    // Setup: the D signal must traverse the master latch (~2 stages at unit
+    // drive) before the clock edge; hold follows the same path shortened.
+    const double unit_rc =
+        (dev.nfet_r_per_fin_ohm / s.fins_per_device) *
+        (dev.gate_c_per_fin_ff * 2.0 * s.fins_per_device +
+         dev.np_link_c_ff) /
+        1000.0;
+    model->setup_ps = 2.0 * kLn2 * unit_rc * 4.0;
+    model->hold_ps = 0.5 * kLn2 * unit_rc * 4.0;
+  }
+
+  cell.set_timing_model(std::move(model));
+}
+
+}  // namespace
+
+void characterize_library(Library& lib, const CharacterizeOptions& opts) {
+  if (opts.slew_axis_ps.size() < 2 || opts.load_axis_ff.size() < 2) {
+    throw std::invalid_argument("characterization axes need >= 2 points");
+  }
+  for (const auto& cell : lib.cells()) {
+    characterize_cell(*cell, lib.tech(), opts);
+  }
+}
+
+CellKpi measure_kpi(const CellType& cell, double slew_ps, double load_ff) {
+  const TimingModel* m = cell.timing_model();
+  if (!m || m->arcs.empty()) {
+    throw std::logic_error("cell " + cell.name() + " is not characterized");
+  }
+  const TimingArc& a = m->arcs.front();
+  CellKpi k;
+  k.rise_delay_ps = a.delay_rise.lookup(slew_ps, load_ff);
+  k.fall_delay_ps = a.delay_fall.lookup(slew_ps, load_ff);
+  k.rise_trans_ps = a.trans_rise.lookup(slew_ps, load_ff);
+  k.fall_trans_ps = a.trans_fall.lookup(slew_ps, load_ff);
+  k.transition_energy_fj = a.energy_rise.lookup(slew_ps, load_ff) +
+                           a.energy_fall.lookup(slew_ps, load_ff);
+  k.leakage_nw = m->leakage_nw;
+  return k;
+}
+
+KpiDiff compare_cell(const CellType& ffet_cell, const CellType& cfet_cell) {
+  // Drive-proportional operating point: FO4-style load of 4 unit input
+  // caps per drive unit, nominal 15 ps input slew.
+  const double load_ff = 4.0 * 1.0 * ffet_cell.structure().drive;
+  const double slew_ps = 15.0;
+  const CellKpi f = measure_kpi(ffet_cell, slew_ps, load_ff);
+  const CellKpi c = measure_kpi(cfet_cell, slew_ps, load_ff);
+  auto pct = [](double a, double b) {
+    return b == 0.0 ? 0.0 : (a - b) / b * 100.0;
+  };
+  KpiDiff d;
+  d.cell = ffet_cell.name();
+  d.transition_power_pct = pct(f.transition_energy_fj, c.transition_energy_fj);
+  d.leakage_power_pct = pct(f.leakage_nw, c.leakage_nw);
+  d.rise_timing_pct = pct(f.rise_delay_ps, c.rise_delay_ps);
+  d.fall_timing_pct = pct(f.fall_delay_ps, c.fall_delay_ps);
+  d.rise_transition_pct = pct(f.rise_trans_ps, c.rise_trans_ps);
+  d.fall_transition_pct = pct(f.fall_trans_ps, c.fall_trans_ps);
+  return d;
+}
+
+std::vector<KpiDiff> compare_libraries(const Library& ffet_lib,
+                                       const Library& cfet_lib) {
+  std::vector<KpiDiff> out;
+  for (const auto& cell : ffet_lib.cells()) {
+    if (cell->physical_only() || !cell->timing_model() ||
+        cell->timing_model()->arcs.empty()) {
+      continue;  // physical or tie cells have no measurable arcs
+    }
+    const CellType* other = cfet_lib.find(cell->name());
+    if (!other || !other->timing_model() ||
+        other->timing_model()->arcs.empty()) {
+      continue;
+    }
+    out.push_back(compare_cell(*cell, *other));
+  }
+  return out;
+}
+
+}  // namespace ffet::liberty

@@ -1,0 +1,86 @@
+// characterize.h — analytic switch-level library characterization.
+//
+// Replaces the paper's SPICE-based characterization of the virtual 5 nm PDK
+// with a deterministic analytic model.  Every cell is treated as a chain of
+// CMOS stages; each stage is an RC switch:
+//
+//   delay  = ln(2) * (R_drive + R_link) * (C_internal + C_next)
+//            + slew-dependent input term,
+//   trans  = (ln(9)) * (R_drive + R_link) * (C_internal + C_load),
+//   energy = 1/2 * VDD^2 * C_internal  per output transition (load energy is
+//            accounted at the net level by the power analyzer — see sta/).
+//
+// The technology-dependent parasitics enter exactly where the paper locates
+// them (Sec. II.B):
+//
+//   * R_link / C_link of the n-p common-drain connection: a supervia chain
+//     in CFET vs. the compact Drain Merge in FFET;
+//   * gate-link capacitance (stacked-gate contact vs. Gate Merge via);
+//   * intra-cell M0 track capacitance per CPP of cell width: larger in CFET
+//     because part of the p-logic must detour to the frontside;
+//   * the *dual-sided output pin*: the FFET output pin presents M0 landing
+//     metal on BOTH sides, slightly increasing output-pin capacitance — the
+//     reason Table I shows FFET inverters paying ~+0.3 % transition power
+//     while multi-stage buffers (whose internal nodes carry no dual-sided
+//     pin but enjoy the smaller intra-cell parasitics) save 3-12 %.
+//
+// Leakage depends only on transistor count and the shared intrinsic device,
+// so the FFET-vs-CFET leakage delta is exactly 0 — Table I's middle row.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stdcell/nldm.h"
+#include "stdcell/stdcell.h"
+
+namespace ffet::liberty {
+
+/// Characterization grid; defaults cover the operating range of the RV32
+/// block (slews 2-160 ps, loads 0.4-40 fF).
+struct CharacterizeOptions {
+  std::vector<double> slew_axis_ps = {2, 5, 10, 20, 40, 80, 160};
+  std::vector<double> load_axis_ff = {0.4, 1, 2, 4, 8, 16, 40};
+};
+
+/// Fill NLDM models and input-pin capacitances for every logic cell in the
+/// library.  Idempotent: re-running replaces the models.
+void characterize_library(stdcell::Library& lib,
+                          const CharacterizeOptions& opts = {});
+
+/// KPIs of one characterized cell at a nominal operating point (used for the
+/// Table I comparison).
+struct CellKpi {
+  double transition_energy_fj = 0.0;  ///< rise + fall internal energy
+  double leakage_nw = 0.0;
+  double rise_delay_ps = 0.0;
+  double fall_delay_ps = 0.0;
+  double rise_trans_ps = 0.0;
+  double fall_trans_ps = 0.0;
+};
+
+/// Measure a characterized cell's first input→output arc at (slew, load).
+CellKpi measure_kpi(const stdcell::CellType& cell, double slew_ps,
+                    double load_ff);
+
+/// Percentage differences of an FFET cell w.r.t. the same-named CFET cell,
+/// at a drive-proportional nominal operating point — the Table I rows.
+struct KpiDiff {
+  std::string cell;
+  double transition_power_pct = 0.0;
+  double leakage_power_pct = 0.0;
+  double rise_timing_pct = 0.0;
+  double fall_timing_pct = 0.0;
+  double rise_transition_pct = 0.0;
+  double fall_transition_pct = 0.0;
+};
+
+KpiDiff compare_cell(const stdcell::CellType& ffet_cell,
+                     const stdcell::CellType& cfet_cell);
+
+/// Compare every cell present in both libraries; order follows `ffet_lib`.
+std::vector<KpiDiff> compare_libraries(const stdcell::Library& ffet_lib,
+                                       const stdcell::Library& cfet_lib);
+
+}  // namespace ffet::liberty

@@ -1,0 +1,135 @@
+#include "liberty/liberty_writer.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "stdcell/nldm.h"
+
+namespace ffet::liberty {
+
+namespace {
+
+void write_axis(std::ostream& os, const char* key,
+                const std::vector<double>& axis, const char* indent) {
+  os << indent << key << " (\"";
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (i) os << ", ";
+    os << axis[i];
+  }
+  os << "\");\n";
+}
+
+void write_table(std::ostream& os, const char* group,
+                 const stdcell::NldmTable& t, const char* indent) {
+  if (t.empty()) return;
+  os << indent << group << " (ffet_template) {\n";
+  std::string in(indent);
+  write_axis(os, "index_1", t.slew_axis(), (in + "  ").c_str());
+  write_axis(os, "index_2", t.load_axis(), (in + "  ").c_str());
+  os << in << "  values ( \\\n";
+  for (std::size_t s = 0; s < t.slew_axis().size(); ++s) {
+    os << in << "    \"";
+    for (std::size_t l = 0; l < t.load_axis().size(); ++l) {
+      if (l) os << ", ";
+      os << t.at(s, l);
+    }
+    os << "\"" << (s + 1 < t.slew_axis().size() ? ", \\" : " \\") << "\n";
+  }
+  os << in << "  );\n" << in << "}\n";
+}
+
+}  // namespace
+
+void write_liberty(const stdcell::Library& lib, std::ostream& os) {
+  const auto& tech = lib.tech();
+  std::string libname = tech.name();
+  os << "library (" << libname << ") {\n";
+  os << "  comment : \"OpenFFET characterized library — "
+     << lib.name() << "\";\n";
+  os << "  time_unit : \"1ps\";\n";
+  os << "  capacitive_load_unit (1, ff);\n";
+  os << "  leakage_power_unit : \"1nW\";\n";
+  os << "  voltage_unit : \"1V\";\n";
+  os << "  nom_voltage : " << tech.device().vdd_v << ";\n";
+  os << "  default_max_transition : 200;\n\n";
+  os << "  lu_table_template (ffet_template) {\n";
+  os << "    variable_1 : input_net_transition;\n";
+  os << "    variable_2 : total_output_net_capacitance;\n";
+  os << "  }\n\n";
+
+  for (const auto& cell : lib.cells()) {
+    if (cell->physical_only()) {
+      os << "  cell (" << cell->name() << ") {\n";
+      os << "    area : " << cell->area_um2() << ";\n";
+      os << "    dont_touch : true;\n    dont_use : true;\n  }\n\n";
+      continue;
+    }
+    const stdcell::TimingModel* model = cell->timing_model();
+    os << "  cell (" << cell->name() << ") {\n";
+    os << "    area : " << cell->area_um2() << ";\n";
+    if (model) {
+      os << "    cell_leakage_power : " << model->leakage_nw << ";\n";
+    }
+    if (cell->sequential()) os << "    ff (IQ, IQN) { }\n";
+
+    for (std::size_t pi = 0; pi < cell->pins().size(); ++pi) {
+      const stdcell::CellPin& pin = cell->pins()[pi];
+      os << "    pin (" << pin.name << ") {\n";
+      os << "      direction : "
+         << (pin.dir == stdcell::PinDir::Output ? "output" : "input")
+         << ";\n";
+      if (pin.dir != stdcell::PinDir::Output) {
+        os << "      capacitance : " << pin.cap_ff << ";\n";
+      }
+      if (pin.dir == stdcell::PinDir::Clock) {
+        os << "      clock : true;\n";
+      }
+      // Non-standard attribute carrying the dual-sided pin information the
+      // paper's modified LEF encodes (front/back/both).
+      os << "      ffet_pin_side : \"" << stdcell::to_string(pin.side)
+         << "\";\n";
+
+      if (pin.dir == stdcell::PinDir::Output && model) {
+        for (const stdcell::TimingArc& arc : model->arcs) {
+          if (arc.to_pin != static_cast<int>(pi)) continue;
+          const stdcell::CellPin& from =
+              cell->pins()[static_cast<std::size_t>(arc.from_pin)];
+          os << "      timing () {\n";
+          os << "        related_pin : \"" << from.name << "\";\n";
+          if (cell->sequential()) {
+            os << "        timing_type : rising_edge;\n";
+          }
+          write_table(os, "cell_rise", arc.delay_rise, "        ");
+          write_table(os, "cell_fall", arc.delay_fall, "        ");
+          write_table(os, "rise_transition", arc.trans_rise, "        ");
+          write_table(os, "fall_transition", arc.trans_fall, "        ");
+          os << "      }\n";
+          os << "      internal_power () {\n";
+          os << "        related_pin : \"" << from.name << "\";\n";
+          write_table(os, "rise_power", arc.energy_rise, "        ");
+          write_table(os, "fall_power", arc.energy_fall, "        ");
+          os << "      }\n";
+        }
+      }
+      if (cell->sequential() && pin.name == "D" && model) {
+        os << "      timing () {\n";
+        os << "        related_pin : \"CP\";\n";
+        os << "        timing_type : setup_rising;\n";
+        os << "        // setup: " << model->setup_ps << " ps, hold: "
+           << model->hold_ps << " ps\n";
+        os << "      }\n";
+      }
+      os << "    }\n";
+    }
+    os << "  }\n\n";
+  }
+  os << "}\n";
+}
+
+std::string to_liberty_string(const stdcell::Library& lib) {
+  std::ostringstream os;
+  write_liberty(lib, os);
+  return os.str();
+}
+
+}  // namespace ffet::liberty

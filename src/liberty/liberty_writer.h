@@ -1,0 +1,24 @@
+// liberty_writer.h — emit the characterized library in Liberty (.lib)
+// syntax.
+//
+// The paper's flow consumes characterized libraries as Liberty files; this
+// writer produces a faithful NLDM subset (lu_table_template, cell, pin,
+// timing and internal_power groups) so the project's libraries can be
+// inspected with standard tooling or diffed across technologies.  Units:
+// 1ns/1pf Liberty convention is NOT used — we emit ps/fF/fJ and declare
+// them in the header, keeping numbers identical to the in-memory model.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stdcell/stdcell.h"
+
+namespace ffet::liberty {
+
+/// Write the whole library; cells must be characterized.
+void write_liberty(const stdcell::Library& lib, std::ostream& os);
+std::string to_liberty_string(const stdcell::Library& lib);
+
+}  // namespace ffet::liberty

@@ -1,0 +1,362 @@
+#include "netlist/builder.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ffet::netlist {
+
+using stdcell::PinDir;
+
+Builder::Builder(std::string design_name, const stdcell::Library* lib)
+    : nl_(std::move(design_name), lib), lib_(lib) {}
+
+std::string Builder::fresh(std::string_view hint) {
+  return std::string(hint) + "_" + std::to_string(counter_++);
+}
+
+NetId Builder::wire(const std::string& hint) {
+  return nl_.add_net(fresh(hint));
+}
+
+InstId Builder::place_gate(std::string_view cell,
+                           std::initializer_list<NetId> data_inputs) {
+  const stdcell::CellType& type = lib_->at(cell);
+  const InstId inst = nl_.add_instance(fresh(type.name()), &type);
+  // Wire data inputs in pin order (clock pins are not part of this list).
+  auto it = data_inputs.begin();
+  for (const stdcell::CellPin& p : type.pins()) {
+    if (p.dir != PinDir::Input) continue;
+    if (it == data_inputs.end()) {
+      throw std::invalid_argument("too few inputs for " + type.name());
+    }
+    nl_.connect(inst, p.name, *it++);
+  }
+  if (it != data_inputs.end()) {
+    throw std::invalid_argument("too many inputs for " + type.name());
+  }
+  return inst;
+}
+
+NetId Builder::gate(std::string_view cell,
+                    std::initializer_list<NetId> data_inputs) {
+  const InstId inst = place_gate(cell, data_inputs);
+  const NetId out = nl_.add_net(fresh("n"));
+  nl_.connect(inst, nl_.instance(inst).type->output_pin()->name, out);
+  return out;
+}
+
+void Builder::drive(NetId out, std::string_view cell,
+                    std::initializer_list<NetId> data_inputs) {
+  const InstId inst = place_gate(cell, data_inputs);
+  nl_.connect(inst, nl_.instance(inst).type->output_pin()->name, out);
+}
+
+Bus Builder::wires(int bits, const std::string& hint) {
+  Bus r(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) r[static_cast<std::size_t>(i)] = wire(hint);
+  return r;
+}
+
+Bus Builder::input_bus(const std::string& base, int bits) {
+  Bus b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    b[static_cast<std::size_t>(i)] = input(base + std::to_string(i));
+  }
+  return b;
+}
+
+void Builder::output_bus(const std::string& base, const Bus& b) {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    output(base + std::to_string(i), b[i]);
+  }
+}
+
+NetId Builder::inv(NetId a) { return gate("INVD1", {a}); }
+NetId Builder::buf(NetId a) { return gate("BUFD1", {a}); }
+NetId Builder::nand2(NetId a, NetId b) { return gate("NAND2D1", {a, b}); }
+NetId Builder::nor2(NetId a, NetId b) { return gate("NOR2D1", {a, b}); }
+NetId Builder::and2(NetId a, NetId b) { return gate("AND2D1", {a, b}); }
+NetId Builder::or2(NetId a, NetId b) { return gate("OR2D1", {a, b}); }
+NetId Builder::xor2(NetId a, NetId b) { return gate("XOR2D1", {a, b}); }
+NetId Builder::xnor2(NetId a, NetId b) { return gate("XNOR2D1", {a, b}); }
+NetId Builder::aoi21(NetId a1, NetId a2, NetId b) {
+  return gate("AOI21D1", {a1, a2, b});
+}
+NetId Builder::oai21(NetId a1, NetId a2, NetId b) {
+  return gate("OAI21D1", {a1, a2, b});
+}
+NetId Builder::aoi22(NetId a1, NetId a2, NetId b1, NetId b2) {
+  return gate("AOI22D1", {a1, a2, b1, b2});
+}
+NetId Builder::oai22(NetId a1, NetId a2, NetId b1, NetId b2) {
+  return gate("OAI22D1", {a1, a2, b1, b2});
+}
+NetId Builder::mux2(NetId i0, NetId i1, NetId s) {
+  return gate("MUX2D1", {i0, i1, s});
+}
+
+NetId Builder::dff(NetId d, NetId clk) {
+  const stdcell::CellType& type = lib_->at("DFFD1");
+  const InstId inst = nl_.add_instance(fresh("DFFD1"), &type);
+  nl_.connect(inst, "D", d);
+  nl_.connect(inst, "CP", clk);
+  const NetId q = nl_.add_net(fresh("q"));
+  nl_.connect(inst, "Q", q);
+  return q;
+}
+
+NetId Builder::dffr(NetId d, NetId clk, NetId rn) {
+  const stdcell::CellType& type = lib_->at("DFFRD1");
+  const InstId inst = nl_.add_instance(fresh("DFFRD1"), &type);
+  nl_.connect(inst, "D", d);
+  nl_.connect(inst, "RN", rn);
+  nl_.connect(inst, "CP", clk);
+  const NetId q = nl_.add_net(fresh("q"));
+  nl_.connect(inst, "Q", q);
+  return q;
+}
+
+NetId Builder::zero() {
+  if (tie_lo_ == kNoNet) tie_lo_ = gate("TIELOD1", {});
+  return tie_lo_;
+}
+
+NetId Builder::one() {
+  if (tie_hi_ == kNoNet) tie_hi_ = gate("TIEHID1", {});
+  return tie_hi_;
+}
+
+NetId Builder::and_tree(const std::vector<NetId>& xs) {
+  if (xs.empty()) return one();
+  std::vector<NetId> level = xs;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(and2(level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+NetId Builder::or_tree(const std::vector<NetId>& xs) {
+  if (xs.empty()) return zero();
+  std::vector<NetId> level = xs;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(or2(level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+Bus Builder::not_bus(const Bus& a) {
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = inv(a[i]);
+  return r;
+}
+
+Bus Builder::and_bus(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = and2(a[i], b[i]);
+  return r;
+}
+
+Bus Builder::or_bus(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = or2(a[i], b[i]);
+  return r;
+}
+
+Bus Builder::xor_bus(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = xor2(a[i], b[i]);
+  return r;
+}
+
+Bus Builder::mux_bus(const Bus& i0, const Bus& i1, NetId s) {
+  assert(i0.size() == i1.size());
+  Bus r(i0.size());
+  for (std::size_t i = 0; i < i0.size(); ++i) r[i] = mux2(i0[i], i1[i], s);
+  return r;
+}
+
+Bus Builder::dff_bus(const Bus& d, NetId clk) {
+  Bus r(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) r[i] = dff(d[i], clk);
+  return r;
+}
+
+Bus Builder::dffr_bus(const Bus& d, NetId clk, NetId rn) {
+  Bus r(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) r[i] = dffr(d[i], clk, rn);
+  return r;
+}
+
+Bus Builder::mask_bus(const Bus& a, NetId en) {
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = and2(a[i], en);
+  return r;
+}
+
+std::pair<Bus, NetId> Builder::add(const Bus& a, const Bus& b, NetId cin) {
+  assert(a.size() == b.size());
+  Bus sum(a.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Full adder: p = a^b; sum = p^c; cout = !AOI22(a,b,p,c).
+    const NetId p = xor2(a[i], b[i]);
+    sum[i] = xor2(p, carry);
+    carry = inv(aoi22(a[i], b[i], p, carry));
+  }
+  return {sum, carry};
+}
+
+std::pair<Bus, NetId> Builder::add_fast(const Bus& a, const Bus& b,
+                                        NetId cin) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  // Bitwise propagate/generate.
+  Bus p(n), g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = xor2(a[i], b[i]);
+    g[i] = and2(a[i], b[i]);
+  }
+  // Sklansky prefix tree over (G, P): after the tree, G[i]/P[i] span bits
+  // [0..i].  Combine rule: (G, P) ∘ (G', P') = (G | P·G', P·P').
+  Bus G = g, P = p;
+  for (std::size_t k = 1; k < n; k <<= 1) {
+    Bus G2 = G, P2 = P;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((i & k) == 0) continue;
+      const std::size_t m = (i & ~(k - 1)) - 1;  // rightmost bit of the
+                                                 // lower block
+      G2[i] = or2(G[i], and2(P[i], G[m]));
+      P2[i] = and2(P[i], P[m]);
+    }
+    G = std::move(G2);
+    P = std::move(P2);
+  }
+  // Carries: c0 = cin; c_{i+1} = G[i] | P[i]&cin.
+  Bus sum(n);
+  NetId carry = cin;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NetId ci =
+        (i == 0) ? cin : or2(G[i - 1], and2(P[i - 1], cin));
+    sum[i] = xor2(p[i], ci);
+    (void)carry;
+  }
+  const NetId cout = or2(G[n - 1], and2(P[n - 1], cin));
+  return {sum, cout};
+}
+
+Bus Builder::multiply(const Bus& a, const Bus& b) {
+  const std::size_t n = a.size();
+  const std::size_t w = 2 * n;
+  // Partial-product bit matrix: column c holds the bits of weight 2^c.
+  std::vector<std::vector<NetId>> cols(w);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cols[i + j].push_back(and2(a[j], b[i]));
+    }
+  }
+  // Wallace reduction: 3:2 compress (full adder) and 2:2 (half adder)
+  // until every column holds at most two bits.
+  bool again = true;
+  while (again) {
+    again = false;
+    std::vector<std::vector<NetId>> next(w);
+    for (std::size_t c = 0; c < w; ++c) {
+      auto& col = cols[c];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        const NetId x = col[i], y = col[i + 1], z = col[i + 2];
+        i += 3;
+        const NetId p = xor2(x, y);
+        next[c].push_back(xor2(p, z));                   // sum
+        if (c + 1 < w) {
+          next[c + 1].push_back(inv(aoi22(x, y, p, z)));  // carry (majority)
+        }
+      }
+      if (col.size() - i == 2 && col.size() > 2) {
+        const NetId x = col[i], y = col[i + 1];
+        i += 2;
+        next[c].push_back(xor2(x, y));
+        if (c + 1 < w) next[c + 1].push_back(and2(x, y));
+      }
+      while (i < col.size()) next[c].push_back(col[i++]);
+    }
+    cols = std::move(next);
+    for (const auto& col : cols) {
+      if (col.size() > 2) again = true;
+    }
+  }
+  // Final carry-propagate add of the two remaining rows.
+  Bus row0(w), row1(w);
+  for (std::size_t c = 0; c < w; ++c) {
+    row0[c] = cols[c].empty() ? zero() : cols[c][0];
+    row1[c] = cols[c].size() > 1 ? cols[c][1] : zero();
+  }
+  return add_fast(row0, row1, zero()).first;
+}
+
+std::pair<Bus, NetId> Builder::sub(const Bus& a, const Bus& b) {
+  return add(a, not_bus(b), one());
+}
+
+NetId Builder::equal(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  std::vector<NetId> eqs(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) eqs[i] = xnor2(a[i], b[i]);
+  return and_tree(eqs);
+}
+
+Bus Builder::shift_right(const Bus& a, const Bus& amount5, NetId arith) {
+  assert(amount5.size() >= 1);
+  const std::size_t n = a.size();
+  // Fill bit: sign bit when arithmetic, 0 otherwise.
+  const NetId fill = and2(a[n - 1], arith);
+  Bus cur = a;
+  for (std::size_t stage = 0; stage < amount5.size(); ++stage) {
+    const std::size_t dist = std::size_t{1} << stage;
+    Bus next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NetId shifted = (i + dist < n) ? cur[i + dist] : fill;
+      next[i] = mux2(cur[i], shifted, amount5[stage]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Bus Builder::shift_left(const Bus& a, const Bus& amount5) {
+  const std::size_t n = a.size();
+  Bus cur = a;
+  for (std::size_t stage = 0; stage < amount5.size(); ++stage) {
+    const std::size_t dist = std::size_t{1} << stage;
+    Bus next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NetId shifted = (i >= dist) ? cur[i - dist] : zero();
+      next[i] = mux2(cur[i], shifted, amount5[stage]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Bus Builder::resize(const Bus& a, int bits) {
+  Bus r(static_cast<std::size_t>(bits));
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = i < a.size() ? a[i] : zero();
+  }
+  return r;
+}
+
+}  // namespace ffet::netlist

@@ -1,0 +1,137 @@
+// builder.h — structural netlist construction DSL.
+//
+// A thin functional layer over Netlist for generator code (the RV32 core,
+// test fixtures, synthetic workloads): each helper instantiates a library
+// cell, wires its inputs, and returns the freshly created output net.  Bus
+// helpers operate on vectors of nets (bit 0 = LSB).
+//
+// All instance/net names are derived from a monotonically increasing counter
+// under a caller-supplied prefix, so generated netlists are deterministic
+// and diff-stable.
+
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace ffet::netlist {
+
+using Bus = std::vector<NetId>;
+
+class Builder {
+ public:
+  Builder(std::string design_name, const stdcell::Library* lib);
+
+  Netlist& netlist() { return nl_; }
+  const Netlist& netlist() const { return nl_; }
+  /// Move the finished netlist out; the builder must not be used afterwards.
+  Netlist take() { return std::move(nl_); }
+
+  // --- ports ---------------------------------------------------------------
+
+  NetId input(const std::string& name) {
+    return nl_.port(nl_.add_input(name)).net;
+  }
+  void output(const std::string& name, NetId net) {
+    nl_.add_output_for_net(name, net);
+  }
+  /// Input bus `base0..base<bits-1>`.
+  Bus input_bus(const std::string& base, int bits);
+  void output_bus(const std::string& base, const Bus& b);
+
+  // --- single gates (D1 drive) ---------------------------------------------
+
+  NetId inv(NetId a);
+  NetId buf(NetId a);
+  NetId nand2(NetId a, NetId b);
+  NetId nor2(NetId a, NetId b);
+  NetId and2(NetId a, NetId b);
+  NetId or2(NetId a, NetId b);
+  NetId xor2(NetId a, NetId b);
+  NetId xnor2(NetId a, NetId b);
+  NetId aoi21(NetId a1, NetId a2, NetId b);   ///< !(a1·a2 + b)
+  NetId oai21(NetId a1, NetId a2, NetId b);   ///< !((a1+a2)·b)
+  NetId aoi22(NetId a1, NetId a2, NetId b1, NetId b2);
+  NetId oai22(NetId a1, NetId a2, NetId b1, NetId b2);
+  NetId mux2(NetId i0, NetId i1, NetId s);    ///< s ? i1 : i0
+  NetId dff(NetId d, NetId clk);              ///< returns Q
+  NetId dffr(NetId d, NetId clk, NetId rn);   ///< async active-low clear
+
+  /// Constant nets: implemented as a tied inverter pair from a dedicated
+  /// tie net (modeling tie cells without adding a cell type).
+  NetId zero();
+  NetId one();
+
+  // --- trees and buses -------------------------------------------------------
+
+  NetId and_tree(const std::vector<NetId>& xs);
+  NetId or_tree(const std::vector<NetId>& xs);
+
+  Bus not_bus(const Bus& a);
+  Bus and_bus(const Bus& a, const Bus& b);
+  Bus or_bus(const Bus& a, const Bus& b);
+  Bus xor_bus(const Bus& a, const Bus& b);
+  /// Per-bit 2:1 mux, shared select.
+  Bus mux_bus(const Bus& i0, const Bus& i1, NetId s);
+  Bus dff_bus(const Bus& d, NetId clk);
+  Bus dffr_bus(const Bus& d, NetId clk, NetId rn);
+  /// AND every bit with a single enable signal.
+  Bus mask_bus(const Bus& a, NetId en);
+
+  /// Ripple-carry adder; returns {sum, carry_out}.  Per bit: two XOR2 for
+  /// the sum, AOI22+INV for the majority carry.  Linear depth — compact but
+  /// slow; datapaths that set the critical path should use add_fast.
+  std::pair<Bus, NetId> add(const Bus& a, const Bus& b, NetId cin);
+
+  /// Sklansky parallel-prefix adder; logarithmic depth (what a synthesis
+  /// tool maps timing-critical additions to).  Same interface as add().
+  std::pair<Bus, NetId> add_fast(const Bus& a, const Bus& b, NetId cin);
+
+  /// Unsigned array multiplier with Wallace-tree (3:2 carry-save)
+  /// reduction and a prefix final adder; returns the full 2n-bit product.
+  Bus multiply(const Bus& a, const Bus& b);
+  /// a - b via two's complement (returns {diff, carry_out}; carry_out == 1
+  /// means no borrow, i.e. a >= b unsigned).
+  std::pair<Bus, NetId> sub(const Bus& a, const Bus& b);
+  /// Equality comparator (XNOR reduce).
+  NetId equal(const Bus& a, const Bus& b);
+
+  /// Logical/arithmetic right barrel shifter, 5 mux stages for 32 bits.
+  Bus shift_right(const Bus& a, const Bus& amount5, NetId arith);
+  Bus shift_left(const Bus& a, const Bus& amount5);
+
+  /// Zero-extend / truncate to `bits`.
+  Bus resize(const Bus& a, int bits);
+
+  /// Fresh uniquely named intermediate net; used together with the *_into
+  /// drivers to express feedback (register files, state machines).
+  NetId wire(const std::string& hint = "w");
+  Bus wires(int bits, const std::string& hint = "w");
+
+  /// Instantiate `cell` driving the pre-declared net `out` — the feedback
+  /// primitive.  `out` must not already have a driver.
+  void drive(NetId out, std::string_view cell,
+             std::initializer_list<NetId> data_inputs);
+  void buf_into(NetId out, NetId a) { drive(out, "BUFD1", {a}); }
+  void mux2_into(NetId out, NetId i0, NetId i1, NetId s) {
+    drive(out, "MUX2D1", {i0, i1, s});
+  }
+
+ private:
+  NetId gate(std::string_view cell, std::initializer_list<NetId> data_inputs);
+  InstId place_gate(std::string_view cell,
+                    std::initializer_list<NetId> data_inputs);
+  std::string fresh(std::string_view hint);
+
+  Netlist nl_;
+  const stdcell::Library* lib_;
+  std::uint64_t counter_ = 0;
+  NetId tie_lo_ = kNoNet;
+  NetId tie_hi_ = kNoNet;
+};
+
+}  // namespace ffet::netlist

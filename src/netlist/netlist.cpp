@@ -1,0 +1,301 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ffet::netlist {
+
+using stdcell::PinDir;
+
+Netlist::Netlist(std::string name, const stdcell::Library* lib)
+    : name_(std::move(name)), lib_(lib) {}
+
+InstId Netlist::add_instance(std::string inst_name,
+                             std::string_view cell_name) {
+  return add_instance(std::move(inst_name), &lib_->at(cell_name));
+}
+
+InstId Netlist::add_instance(std::string inst_name,
+                             const stdcell::CellType* type) {
+  if (inst_by_name_.contains(inst_name)) {
+    throw std::invalid_argument("duplicate instance " + inst_name);
+  }
+  Instance inst;
+  inst.name = std::move(inst_name);
+  inst.type = type;
+  inst.pin_nets.assign(type->pins().size(), kNoNet);
+  const InstId id = static_cast<InstId>(instances_.size());
+  inst_by_name_.emplace(inst.name, id);
+  instances_.push_back(std::move(inst));
+  return id;
+}
+
+NetId Netlist::add_net(std::string net_name) {
+  if (net_by_name_.contains(net_name)) {
+    throw std::invalid_argument("duplicate net " + net_name);
+  }
+  Net n;
+  n.name = std::move(net_name);
+  const NetId id = static_cast<NetId>(nets_.size());
+  net_by_name_.emplace(n.name, id);
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+PortId Netlist::add_input(std::string port_name) {
+  const NetId net = add_net(port_name);
+  Port p;
+  p.name = std::move(port_name);
+  p.is_input = true;
+  p.net = net;
+  const PortId id = static_cast<PortId>(ports_.size());
+  port_by_name_.emplace(p.name, id);
+  nets_[static_cast<std::size_t>(net)].port = id;
+  ports_.push_back(std::move(p));
+  return id;
+}
+
+PortId Netlist::add_output(std::string port_name) {
+  const NetId net = add_net(port_name);
+  Port p;
+  p.name = std::move(port_name);
+  p.is_input = false;
+  p.net = net;
+  const PortId id = static_cast<PortId>(ports_.size());
+  port_by_name_.emplace(p.name, id);
+  nets_[static_cast<std::size_t>(net)].port = id;
+  ports_.push_back(std::move(p));
+  return id;
+}
+
+PortId Netlist::add_output_for_net(std::string port_name, NetId net_id) {
+  Net& n = net(net_id);
+  if (n.port >= 0) {
+    throw std::invalid_argument("net " + n.name + " already has a port");
+  }
+  Port p;
+  p.name = std::move(port_name);
+  p.is_input = false;
+  p.net = net_id;
+  const PortId id = static_cast<PortId>(ports_.size());
+  if (port_by_name_.contains(p.name)) {
+    throw std::invalid_argument("duplicate port " + p.name);
+  }
+  port_by_name_.emplace(p.name, id);
+  n.port = id;
+  ports_.push_back(std::move(p));
+  return id;
+}
+
+void Netlist::connect(InstId inst, std::string_view pin_name, NetId net) {
+  Instance& i = instance(inst);
+  const int pin = i.type->pin_index(pin_name);
+  if (pin < 0) {
+    throw std::invalid_argument("instance " + i.name + " (" +
+                                i.type->name() + ") has no pin " +
+                                std::string(pin_name));
+  }
+  if (i.pin_nets[static_cast<std::size_t>(pin)] != kNoNet) {
+    throw std::invalid_argument("pin " + i.name + "/" +
+                                std::string(pin_name) + " already connected");
+  }
+  i.pin_nets[static_cast<std::size_t>(pin)] = net;
+  Net& n = this->net(net);
+  const PinDir dir = i.type->pins()[static_cast<std::size_t>(pin)].dir;
+  if (dir == PinDir::Output) {
+    if (n.driver.inst != kNoInst) {
+      throw std::invalid_argument("net " + n.name + " has two drivers");
+    }
+    n.driver = {inst, pin};
+  } else {
+    n.sinks.push_back({inst, pin});
+  }
+}
+
+void Netlist::reconnect_sink(InstId inst, std::string_view pin_name,
+                             NetId new_net) {
+  Instance& i = instance(inst);
+  const int pin = i.type->pin_index(pin_name);
+  if (pin < 0) {
+    throw std::invalid_argument("no pin " + std::string(pin_name));
+  }
+  const PinDir dir = i.type->pins()[static_cast<std::size_t>(pin)].dir;
+  if (dir == PinDir::Output) {
+    throw std::invalid_argument("reconnect_sink on driver pin " + i.name +
+                                "/" + std::string(pin_name));
+  }
+  const NetId old = i.pin_nets[static_cast<std::size_t>(pin)];
+  if (old != kNoNet) {
+    auto& sinks = net(old).sinks;
+    sinks.erase(std::remove(sinks.begin(), sinks.end(), PinRef{inst, pin}),
+                sinks.end());
+  }
+  i.pin_nets[static_cast<std::size_t>(pin)] = new_net;
+  net(new_net).sinks.push_back({inst, pin});
+}
+
+void Netlist::resize_instance(InstId inst, const stdcell::CellType* new_type) {
+  Instance& i = instance(inst);
+  if (i.type == new_type) return;
+  if (i.type->function() != new_type->function() ||
+      i.type->pins().size() != new_type->pins().size()) {
+    throw std::invalid_argument("resize across incompatible types: " +
+                                i.type->name() + " -> " + new_type->name());
+  }
+  for (std::size_t p = 0; p < i.type->pins().size(); ++p) {
+    if (i.type->pins()[p].name != new_type->pins()[p].name) {
+      throw std::invalid_argument("resize with mismatched pin order");
+    }
+  }
+  i.type = new_type;
+}
+
+void Netlist::mark_clock_net(NetId net_id) {
+  net(net_id).is_clock = true;
+}
+
+std::optional<NetId> Netlist::find_net(std::string_view n) const {
+  auto it = net_by_name_.find(n);
+  if (it == net_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<InstId> Netlist::find_instance(std::string_view n) const {
+  auto it = inst_by_name_.find(n);
+  if (it == inst_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PortId> Netlist::find_port(std::string_view n) const {
+  auto it = port_by_name_.find(n);
+  if (it == port_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+stdcell::PinSide Netlist::pin_side(const PinRef& p) const {
+  const Instance& i = instance(p.inst);
+  return i.type->pins()[static_cast<std::size_t>(p.pin)].side;
+}
+
+geom::Point Netlist::pin_position(const PinRef& p) const {
+  const Instance& i = instance(p.inst);
+  return i.pos + i.type->pins()[static_cast<std::size_t>(p.pin)].offset;
+}
+
+double Netlist::pin_cap_ff(const PinRef& p) const {
+  const Instance& i = instance(p.inst);
+  return i.type->pins()[static_cast<std::size_t>(p.pin)].cap_ff;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  s.num_instances = num_instances();
+  s.num_nets = num_nets();
+  double fanout_sum = 0.0;
+  int driven = 0;
+  for (const Instance& i : instances_) {
+    s.total_cell_area_um2 += i.type->area_um2();
+    if (i.type->sequential()) ++s.num_sequential;
+    for (NetId n : i.pin_nets) {
+      if (n != kNoNet) ++s.num_pins;
+    }
+  }
+  for (const Net& n : nets_) {
+    if (n.driver.inst != kNoInst) {
+      fanout_sum += static_cast<double>(n.sinks.size());
+      ++driven;
+    }
+  }
+  s.avg_fanout = driven ? fanout_sum / driven : 0.0;
+  return s;
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+  for (const Instance& i : instances_) {
+    if (i.type->physical_only()) continue;
+    for (std::size_t p = 0; p < i.pin_nets.size(); ++p) {
+      if (i.pin_nets[p] == kNoNet) {
+        problems.push_back("open pin " + i.name + "/" + i.type->pins()[p].name);
+      }
+    }
+  }
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    const bool has_driver =
+        net.driver.inst != kNoInst ||
+        (net.port >= 0 && ports_[static_cast<std::size_t>(net.port)].is_input);
+    if (!has_driver && !net.sinks.empty()) {
+      problems.push_back("undriven net " + net.name);
+    }
+    for (const PinRef& s : net.sinks) {
+      if (instance(s.inst).pin_nets[static_cast<std::size_t>(s.pin)] !=
+          static_cast<NetId>(n)) {
+        problems.push_back("inconsistent sink list on net " + net.name);
+      }
+    }
+  }
+  return problems;
+}
+
+std::vector<InstId> Netlist::topo_order() const {
+  // Kahn's algorithm over the combinational dependency graph: an edge
+  // A -> B exists when A's output net feeds a *data* input of combinational
+  // instance B.  Sequential instances are sources (their Q is available at
+  // cycle start) and never depend on anything combinationally.
+  std::vector<int> pending(instances_.size(), 0);
+  for (std::size_t b = 0; b < instances_.size(); ++b) {
+    const Instance& inst = instances_[b];
+    if (inst.type->physical_only() || inst.type->sequential()) continue;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const auto& pin = inst.type->pins()[p];
+      if (pin.dir == stdcell::PinDir::Output) continue;
+      const NetId n = inst.pin_nets[p];
+      if (n == kNoNet) continue;
+      const PinRef d = net(n).driver;
+      if (d.inst == kNoInst) continue;  // PI-driven
+      if (instance(d.inst).type->sequential()) continue;
+      ++pending[b];
+    }
+  }
+
+  std::queue<InstId> ready;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].type->physical_only()) continue;
+    if (pending[i] == 0) ready.push(static_cast<InstId>(i));
+  }
+
+  std::vector<InstId> order;
+  order.reserve(instances_.size());
+  while (!ready.empty()) {
+    const InstId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    const Instance& inst = instance(id);
+    if (inst.type->sequential()) continue;  // Q feeds next cycle, not topo
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      if (inst.type->pins()[p].dir != stdcell::PinDir::Output) continue;
+      const NetId n = inst.pin_nets[p];
+      if (n == kNoNet) continue;
+      for (const PinRef& s : net(n).sinks) {
+        const Instance& si = instance(s.inst);
+        if (si.type->sequential() || si.type->physical_only()) continue;
+        if (--pending[static_cast<std::size_t>(s.inst)] == 0) {
+          ready.push(s.inst);
+        }
+      }
+    }
+  }
+
+  std::size_t logic_count = 0;
+  for (const Instance& i : instances_) {
+    if (!i.type->physical_only()) ++logic_count;
+  }
+  if (order.size() != logic_count) {
+    throw std::runtime_error("combinational cycle detected in " + name_);
+  }
+  return order;
+}
+
+}  // namespace ffet::netlist

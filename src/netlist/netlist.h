@@ -1,0 +1,170 @@
+// netlist.h — gate-level netlist database.
+//
+// The design representation flowing through the whole framework: produced by
+// the RISC-V generator (src/riscv), resized by virtual synthesis
+// (src/synth), annotated with positions by placement (src/pnr), decomposed
+// into per-side nets by the dual-sided router, and traversed by STA
+// (src/sta).
+//
+// Identifiers are dense integer indices (InstId / NetId) into flat vectors —
+// the representation every serious P&R database uses; string names are kept
+// for DEF emission and debugging only.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/geom.h"
+#include "stdcell/stdcell.h"
+
+namespace ffet::netlist {
+
+using InstId = std::int32_t;
+using NetId = std::int32_t;
+using PortId = std::int32_t;
+inline constexpr InstId kNoInst = -1;
+inline constexpr NetId kNoNet = -1;
+
+/// A pin reference: instance + pin index within its cell type.
+struct PinRef {
+  InstId inst = kNoInst;
+  int pin = -1;
+
+  friend bool operator==(const PinRef&, const PinRef&) = default;
+};
+
+/// One placed cell instance.
+struct Instance {
+  std::string name;
+  const stdcell::CellType* type = nullptr;
+  /// Net bound to each cell pin, parallel to type->pins(); kNoNet = open.
+  std::vector<NetId> pin_nets;
+  /// Placement origin (lower-left), set by the placer.
+  geom::Point pos;
+  /// Fixed instances (Power Tap Cells, nTSV blockages) may not be moved.
+  bool fixed = false;
+
+  geom::Rect bbox() const {
+    return geom::make_rect(pos, type->width(), type->height());
+  }
+};
+
+/// A logical net: one driver, many sinks.  Primary inputs are modeled as
+/// driverless nets attached to an input port; primary outputs as ports
+/// listed among the sinks.
+struct Net {
+  std::string name;
+  PinRef driver;               ///< invalid (inst == kNoInst) for PI nets
+  std::vector<PinRef> sinks;   ///< cell input pins
+  PortId port = -1;            ///< attached primary port, if any
+  bool is_clock = false;       ///< marked by the clock definition / CTS
+};
+
+struct Port {
+  std::string name;
+  bool is_input = true;
+  NetId net = kNoNet;
+  /// IO placement on the core boundary, set during floorplan/IO planning.
+  geom::Point pos;
+};
+
+/// Aggregate statistics used by reports and the floorplanner.
+struct NetlistStats {
+  int num_instances = 0;
+  int num_sequential = 0;
+  int num_nets = 0;
+  int num_pins = 0;
+  double total_cell_area_um2 = 0.0;
+  double avg_fanout = 0.0;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name, const stdcell::Library* lib);
+
+  const std::string& name() const { return name_; }
+  const stdcell::Library& library() const { return *lib_; }
+
+  // --- construction -------------------------------------------------------
+
+  InstId add_instance(std::string inst_name, std::string_view cell_name);
+  InstId add_instance(std::string inst_name, const stdcell::CellType* type);
+  NetId add_net(std::string net_name);
+  PortId add_input(std::string port_name);   ///< creates and attaches a net
+  PortId add_output(std::string port_name);  ///< creates and attaches a net
+  /// Expose an existing (internally driven) net as a primary output.
+  PortId add_output_for_net(std::string port_name, NetId net);
+
+  /// Bind instance pin `pin_name` to `net`; registers the pin as driver or
+  /// sink according to its direction.  A pin may be connected only once.
+  void connect(InstId inst, std::string_view pin_name, NetId net);
+
+  /// Rebind an already-connected input pin to a different net (used by
+  /// synthesis buffering and CTS).  Driver pins cannot be moved this way.
+  void reconnect_sink(InstId inst, std::string_view pin_name, NetId new_net);
+
+  /// Replace the cell type of an instance with a same-footprint-family type
+  /// (same function + pin names) — the gate-sizing primitive.
+  void resize_instance(InstId inst, const stdcell::CellType* new_type);
+
+  void mark_clock_net(NetId net);
+
+  // --- access --------------------------------------------------------------
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+
+  Instance& instance(InstId id) { return instances_[static_cast<std::size_t>(id)]; }
+  const Instance& instance(InstId id) const {
+    return instances_[static_cast<std::size_t>(id)];
+  }
+  Net& net(NetId id) { return nets_[static_cast<std::size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<std::size_t>(id)]; }
+  Port& port(PortId id) { return ports_[static_cast<std::size_t>(id)]; }
+  const Port& port(PortId id) const { return ports_[static_cast<std::size_t>(id)]; }
+
+  std::optional<NetId> find_net(std::string_view net_name) const;
+  std::optional<InstId> find_instance(std::string_view inst_name) const;
+  std::optional<PortId> find_port(std::string_view port_name) const;
+
+  const std::vector<Instance>& instances() const { return instances_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Port>& ports() const { return ports_; }
+
+  /// The pin's side in the instance's cell master.
+  stdcell::PinSide pin_side(const PinRef& p) const;
+  /// Absolute pin position = instance origin + pin offset.
+  geom::Point pin_position(const PinRef& p) const;
+  double pin_cap_ff(const PinRef& p) const;
+
+  NetlistStats stats() const;
+
+  /// Verify structural sanity: every non-physical pin connected, each net
+  /// driven at most once, sink lists consistent.  Returns problem messages
+  /// (empty == healthy).
+  std::vector<std::string> validate() const;
+
+  /// Instances in topological order of the combinational graph (PIs and
+  /// register outputs are sources; register D pins and POs are sinks).
+  /// Throws std::runtime_error on a combinational cycle.
+  std::vector<InstId> topo_order() const;
+
+ private:
+  std::string name_;
+  const stdcell::Library* lib_;
+  std::vector<Instance> instances_;
+  std::vector<Net> nets_;
+  std::vector<Port> ports_;
+  std::map<std::string, InstId, std::less<>> inst_by_name_;
+  std::map<std::string, NetId, std::less<>> net_by_name_;
+  std::map<std::string, PortId, std::less<>> port_by_name_;
+};
+
+}  // namespace ffet::netlist

@@ -1,0 +1,132 @@
+#include "netlist/sim.h"
+
+#include <stdexcept>
+
+namespace ffet::netlist {
+
+using stdcell::Function;
+using stdcell::PinDir;
+
+Simulator::Simulator(const Netlist* nl)
+    : nl_(nl),
+      values_(static_cast<std::size_t>(nl->num_nets()), false),
+      ff_state_(static_cast<std::size_t>(nl->num_instances()), false),
+      topo_(nl->topo_order()),
+      toggles_(static_cast<std::size_t>(nl->num_nets()), 0) {}
+
+void Simulator::set_net(NetId net, bool v) {
+  auto idx = static_cast<std::size_t>(net);
+  if (values_[idx] != v) {
+    values_[idx] = v;
+    ++toggles_[idx];
+  }
+}
+
+void Simulator::set_input(PortId port, bool value) {
+  const Port& p = nl_->port(port);
+  if (!p.is_input) throw std::invalid_argument(p.name + " is not an input");
+  set_net(p.net, value);
+}
+
+void Simulator::set_input(std::string_view port_name, bool value) {
+  auto id = nl_->find_port(port_name);
+  if (!id) throw std::invalid_argument("no port " + std::string(port_name));
+  set_input(*id, value);
+}
+
+void Simulator::evaluate() {
+  for (InstId id : topo_) {
+    const Instance& inst = nl_->instance(id);
+    const auto& pins = inst.type->pins();
+    if (inst.type->sequential()) {
+      // Q reflects stored state (DFFR clears asynchronously on RN == 0).
+      bool q = ff_state_[static_cast<std::size_t>(id)];
+      if (inst.type->function() == Function::DffR) {
+        const int rn = inst.type->pin_index("RN");
+        const NetId rn_net = inst.pin_nets[static_cast<std::size_t>(rn)];
+        if (rn_net != kNoNet && !values_[static_cast<std::size_t>(rn_net)]) {
+          q = false;
+        }
+      }
+      for (std::size_t p = 0; p < pins.size(); ++p) {
+        if (pins[p].dir == PinDir::Output &&
+            inst.pin_nets[p] != kNoNet) {
+          set_net(inst.pin_nets[p], q);
+        }
+      }
+      continue;
+    }
+    std::vector<bool> in;
+    in.reserve(pins.size());
+    for (std::size_t p = 0; p < pins.size(); ++p) {
+      if (pins[p].dir != PinDir::Input) continue;
+      const NetId n = inst.pin_nets[p];
+      in.push_back(n == kNoNet ? false : values_[static_cast<std::size_t>(n)]);
+    }
+    const auto out = stdcell::evaluate(inst.type->function(), in);
+    if (!out) continue;  // physical-only
+    for (std::size_t p = 0; p < pins.size(); ++p) {
+      if (pins[p].dir == PinDir::Output && inst.pin_nets[p] != kNoNet) {
+        set_net(inst.pin_nets[p], *out);
+      }
+    }
+  }
+}
+
+void Simulator::tick() {
+  evaluate();
+  // Capture D for every flip-flop simultaneously (master/slave semantics).
+  for (std::size_t i = 0; i < ff_state_.size(); ++i) {
+    const Instance& inst = nl_->instance(static_cast<InstId>(i));
+    if (!inst.type->sequential()) continue;
+    const int d = inst.type->pin_index("D");
+    const NetId d_net = inst.pin_nets[static_cast<std::size_t>(d)];
+    bool next = d_net == kNoNet ? false
+                                : values_[static_cast<std::size_t>(d_net)];
+    if (inst.type->function() == Function::DffR) {
+      const int rn = inst.type->pin_index("RN");
+      const NetId rn_net = inst.pin_nets[static_cast<std::size_t>(rn)];
+      if (rn_net != kNoNet && !values_[static_cast<std::size_t>(rn_net)]) {
+        next = false;
+      }
+    }
+    ff_state_[i] = next;
+  }
+  ++cycles_;
+  evaluate();
+}
+
+bool Simulator::output(std::string_view port_name) const {
+  auto id = nl_->find_port(port_name);
+  if (!id) throw std::invalid_argument("no port " + std::string(port_name));
+  return values_[static_cast<std::size_t>(nl_->port(*id).net)];
+}
+
+std::uint64_t Simulator::read_bus(std::string_view base, int bits) const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::string name = std::string(base) + std::to_string(i);
+    if (output(name)) v |= (std::uint64_t{1} << i);
+  }
+  return v;
+}
+
+void Simulator::set_bus(std::string_view base, int bits, std::uint64_t value) {
+  for (int i = 0; i < bits; ++i) {
+    set_input(std::string(base) + std::to_string(i),
+              (value >> i) & 1u);
+  }
+}
+
+void Simulator::reset_activity() {
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  cycles_ = 0;
+}
+
+double Simulator::toggle_rate(NetId net) const {
+  if (cycles_ == 0) return 0.0;
+  return static_cast<double>(toggles_[static_cast<std::size_t>(net)]) /
+         static_cast<double>(cycles_);
+}
+
+}  // namespace ffet::netlist

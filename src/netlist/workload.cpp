@@ -1,0 +1,77 @@
+#include "netlist/workload.h"
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/builder.h"
+
+namespace ffet::netlist {
+
+Netlist generate_workload(const stdcell::Library& lib,
+                          const WorkloadOptions& opt) {
+  if (opt.num_inputs < 2 || opt.num_gates < 1) {
+    throw std::invalid_argument("workload needs >= 2 inputs and >= 1 gate");
+  }
+  Builder b("workload", &lib);
+  std::mt19937 rng(opt.seed);
+
+  const NetId clk = b.input("clk");
+  b.netlist().mark_clock_net(clk);
+
+  std::vector<NetId> nets;
+  nets.reserve(static_cast<std::size_t>(opt.num_gates + opt.num_inputs));
+  for (int i = 0; i < opt.num_inputs; ++i) {
+    nets.push_back(b.input("in" + std::to_string(i)));
+  }
+
+  auto pick = [&]() {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng) < opt.locality &&
+        nets.size() > static_cast<std::size_t>(opt.window)) {
+      std::uniform_int_distribution<std::size_t> recent(
+          nets.size() - static_cast<std::size_t>(opt.window),
+          nets.size() - 1);
+      return nets[recent(rng)];
+    }
+    std::uniform_int_distribution<std::size_t> uniform(0, nets.size() - 1);
+    return nets[uniform(rng)];
+  };
+
+  // Interleave flops among the combinational gates so register stages
+  // break long paths the way synthesized logic does.
+  const int total = opt.num_gates + opt.num_flops;
+  const int flop_every =
+      opt.num_flops > 0 ? std::max(1, total / opt.num_flops) : total + 1;
+
+  std::uniform_int_distribution<int> func(0, 7);
+  for (int g = 0; g < total; ++g) {
+    NetId out;
+    if (opt.num_flops > 0 && g % flop_every == flop_every - 1) {
+      out = b.dff(pick(), clk);
+    } else {
+      switch (func(rng)) {
+        case 0: out = b.inv(pick()); break;
+        case 1: out = b.nand2(pick(), pick()); break;
+        case 2: out = b.nor2(pick(), pick()); break;
+        case 3: out = b.xor2(pick(), pick()); break;
+        case 4: out = b.aoi21(pick(), pick(), pick()); break;
+        case 5: out = b.oai21(pick(), pick(), pick()); break;
+        case 6: out = b.mux2(pick(), pick(), pick()); break;
+        default: out = b.and2(pick(), pick()); break;
+      }
+    }
+    nets.push_back(out);
+  }
+
+  // Outputs: tap the most recent gate outputs (never input-port nets,
+  // which already carry a port).
+  const int n_out = std::min(opt.num_outputs, total);
+  for (int i = 0; i < n_out; ++i) {
+    b.output("out" + std::to_string(i),
+             nets[nets.size() - 1 - static_cast<std::size_t>(i)]);
+  }
+  return b.take();
+}
+
+}  // namespace ffet::netlist

@@ -1,0 +1,34 @@
+// workload.h — synthetic benchmark-netlist generator.
+//
+// The paper evaluates on one RISC-V core; framework users studying
+// placement/routing behaviour want a family of circuits with controllable
+// size and locality.  This generator produces random-logic netlists with a
+// tunable locality bias (a Rent's-rule-flavoured knob): each new gate draws
+// its inputs from recently created nets with probability `locality`, and
+// uniformly from the whole net population otherwise.  Registers are
+// sprinkled at a fixed ratio so the circuits are sequential and STA-able.
+// Fixed-seed deterministic.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace ffet::netlist {
+
+struct WorkloadOptions {
+  int num_gates = 2000;      ///< combinational instances
+  int num_flops = 200;       ///< sequential instances (DFF)
+  int num_inputs = 32;
+  int num_outputs = 32;
+  double locality = 0.8;     ///< P(input drawn from the recent window)
+  int window = 64;           ///< size of the "recent nets" window
+  unsigned seed = 1;
+};
+
+/// Generate a random sequential netlist on `lib`.  The result validates
+/// cleanly (no opens, single drivers, no combinational cycles) and has a
+/// `clk` input marked as the clock net.
+Netlist generate_workload(const stdcell::Library& lib,
+                          const WorkloadOptions& options = {});
+
+}  // namespace ffet::netlist

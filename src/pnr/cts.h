@@ -1,0 +1,46 @@
+// cts.h — clock-tree synthesis (Fig. 7 stage 4; "the same as the
+// conventional flow" per Sec. III.C).
+//
+// Recursive geometric bisection over the clock sinks (flip-flop CP pins):
+// regions with at most `max_fanout` sinks get a leaf clock buffer at their
+// centroid; larger regions split along their longer axis at the median and
+// get an internal buffer driving the two halves.  The tree is built with
+// CLKBUF cells inserted into the netlist; every created net is marked as a
+// clock net.
+//
+// The clock is routed on the *frontside* in every configuration (clock pins
+// are frontside pins in all the paper's DoEs — see stdcell).
+//
+// Per-sink insertion latency is estimated with the characterized CLKBUF
+// NLDM model plus lumped wire RC, giving the skew that STA folds into the
+// setup check.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "pnr/floorplan.h"
+
+namespace ffet::pnr {
+
+struct CtsOptions {
+  int max_fanout = 16;  ///< sinks per leaf buffer
+};
+
+struct CtsResult {
+  int num_buffers = 0;
+  int depth = 0;                 ///< buffer levels from root to leaves
+  double mean_latency_ps = 0.0;  ///< mean clock insertion delay
+  double skew_ps = 0.0;          ///< max - min sink latency
+  double wirelength_um = 0.0;    ///< total clock-tree wirelength estimate
+  /// Insertion latency per sequential instance (by InstId).
+  std::unordered_map<netlist::InstId, double> sink_latency_ps;
+};
+
+/// Build a buffered clock tree for the (single) clock net of `nl`.  The
+/// library must be characterized (CLKBUF NLDM models are consulted).
+/// Returns a zeroed result if the design has no clocked sinks.
+CtsResult build_clock_tree(netlist::Netlist& nl, const Floorplan& fp,
+                           const CtsOptions& options = {});
+
+}  // namespace ffet::pnr

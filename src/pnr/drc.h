@@ -1,0 +1,46 @@
+// drc.h — placement design-rule checking (signoff-lite).
+//
+// Independent verification of what the placer promises: every instance on
+// the site/row grid, inside the core, no interior overlaps between
+// instances, and no movable instance on top of a power-plan blockage
+// (Power Tap Cell footprints / nTSV pads).  The flow's tests run this after
+// placement; users can run it on any DEF they import.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnr/floorplan.h"
+#include "pnr/powerplan.h"
+
+namespace ffet::pnr {
+
+struct DrcViolation {
+  enum class Kind {
+    OutsideCore,
+    OffSiteGrid,
+    OffRowGrid,
+    CellOverlap,
+    BlockageOverlap,
+  };
+  Kind kind;
+  std::string a;  ///< offending instance
+  std::string b;  ///< second instance (overlaps only)
+  geom::Rect where;
+};
+
+std::string_view to_string(DrcViolation::Kind k);
+
+struct DrcReport {
+  std::vector<DrcViolation> violations;
+  bool clean() const { return violations.empty(); }
+  int count(DrcViolation::Kind k) const;
+  std::string summary() const;
+};
+
+/// Check a placed netlist against its floorplan and power plan.
+DrcReport check_placement(const netlist::Netlist& nl, const Floorplan& fp,
+                          const PowerPlan& pp);
+
+}  // namespace ffet::pnr

@@ -1,0 +1,53 @@
+#include "pnr/floorplan.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ffet::pnr {
+
+Floorplan make_floorplan(const netlist::Netlist& nl,
+                         const tech::Technology& tech,
+                         const FloorplanOptions& options) {
+  if (options.target_utilization <= 0.0 ||
+      options.target_utilization > 1.0) {
+    throw std::invalid_argument("target_utilization must be in (0, 1]");
+  }
+  if (options.aspect_ratio <= 0.0) {
+    throw std::invalid_argument("aspect_ratio must be positive");
+  }
+
+  const double cell_area = nl.stats().total_cell_area_um2;
+  if (cell_area <= 0.0) {
+    throw std::invalid_argument("netlist has no placeable area");
+  }
+  const double core_area = cell_area / options.target_utilization;
+
+  // Ideal dimensions in um, then snap: width to the power-stripe pitch so
+  // stripes tile evenly, height up to whole rows.
+  const double ideal_w = std::sqrt(core_area * options.aspect_ratio);
+  const Nm stripe_pitch =
+      tech.power_rules().stripe_pitch_cpp * tech.cpp();
+  Nm width = geom::snap_up(geom::from_um(ideal_w), stripe_pitch);
+  if (width < stripe_pitch) width = stripe_pitch;
+
+  const double ideal_h = core_area / geom::to_um(width);
+  Nm height = geom::snap_up(geom::from_um(ideal_h), tech.cell_height());
+  if (height < tech.cell_height()) height = tech.cell_height();
+
+  Floorplan fp;
+  fp.core = geom::make_rect({0, 0}, width, height);
+  fp.site_width = tech.cpp();
+  fp.row_height = tech.cell_height();
+  fp.target_utilization = options.target_utilization;
+  fp.cell_area_um2 = cell_area;
+  fp.achieved_utilization = cell_area / fp.core.area_um2();
+
+  const int rows = static_cast<int>(height / tech.cell_height());
+  fp.rows.reserve(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    fp.rows.push_back(Row{r * tech.cell_height(), {0, width}});
+  }
+  return fp;
+}
+
+}  // namespace ffet::pnr

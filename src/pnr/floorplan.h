@@ -1,0 +1,53 @@
+// floorplan.h — core-area planning (stage 1 of the physical flow, Fig. 7).
+//
+// Given the netlist's total standard-cell area, a target utilization and an
+// aspect ratio, produce the core box, the placement-row structure and the
+// site grid.  The core width is snapped to the power-stripe pitch (64 CPP,
+// Sec. IV) so the power plan's stripes land on even columns, and the height
+// to an integral row count.
+
+#pragma once
+
+#include <vector>
+
+#include "geom/geom.h"
+#include "netlist/netlist.h"
+#include "tech/tech.h"
+
+namespace ffet::pnr {
+
+using geom::Nm;
+
+struct FloorplanOptions {
+  double target_utilization = 0.7;  ///< cell area / core area
+  double aspect_ratio = 1.0;        ///< width / height
+};
+
+struct Row {
+  Nm y = 0;            ///< bottom edge of the row
+  geom::Interval x;    ///< usable span (full core width before blockages)
+};
+
+struct Floorplan {
+  geom::Rect core;
+  Nm site_width = 0;    ///< one placement site = 1 CPP
+  Nm row_height = 0;    ///< technology cell height
+  std::vector<Row> rows;
+  double target_utilization = 0.0;
+  double achieved_utilization = 0.0;  ///< cell area / snapped core area
+  double cell_area_um2 = 0.0;
+
+  double core_area_um2() const { return core.area_um2(); }
+  int num_rows() const { return static_cast<int>(rows.size()); }
+  int sites_per_row() const {
+    return static_cast<int>(core.width() / site_width);
+  }
+};
+
+/// Plan the core for `nl` on `tech`.  Throws std::invalid_argument for
+/// utilization outside (0, 1] or a non-positive aspect ratio.
+Floorplan make_floorplan(const netlist::Netlist& nl,
+                         const tech::Technology& tech,
+                         const FloorplanOptions& options);
+
+}  // namespace ffet::pnr

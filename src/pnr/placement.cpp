@@ -1,0 +1,418 @@
+#include "pnr/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "geom/grid.h"
+
+namespace ffet::pnr {
+
+using netlist::InstId;
+using netlist::Netlist;
+
+namespace {
+
+/// One free span of a row between blockages.  Placements punch holes into
+/// the span, so it keeps a sorted list of free intervals (gap list) — a
+/// forward-only cursor would permanently waste the left part of rows that
+/// receive their first cell late.
+struct Segment {
+  Nm lo = 0;
+  Nm hi = 0;
+  std::vector<geom::Interval> free_list;  ///< sorted, non-overlapping
+
+  Nm largest_free() const {
+    Nm best = 0;
+    for (const auto& iv : free_list) best = std::max(best, iv.length());
+    return best;
+  }
+
+  /// Best x for a cell of width `w` wanting `desired`; nullopt if no gap
+  /// fits.  Returns the x minimizing |x - desired|.
+  std::optional<Nm> best_position(Nm w, Nm desired, Nm site) const {
+    std::optional<Nm> best;
+    Nm best_d = std::numeric_limits<Nm>::max();
+    for (const auto& iv : free_list) {
+      if (iv.length() < w) continue;
+      const Nm lo_x = geom::snap_up(iv.lo, site);
+      const Nm hi_x = geom::snap_down(iv.hi - w, site);
+      if (lo_x > hi_x) continue;
+      const Nm x = std::clamp(geom::snap_down(desired, site), lo_x, hi_x);
+      const Nm d = std::abs(x - desired);
+      if (d < best_d) {
+        best_d = d;
+        best = x;
+      }
+    }
+    return best;
+  }
+
+  /// Remove [x, x+w) from the free list.
+  void occupy(Nm x, Nm w) {
+    for (std::size_t i = 0; i < free_list.size(); ++i) {
+      geom::Interval& iv = free_list[i];
+      if (x < iv.lo || x + w > iv.hi) continue;
+      const geom::Interval right{x + w, iv.hi};
+      iv.hi = x;
+      std::vector<geom::Interval> updated;
+      if (iv.length() <= 0) {
+        free_list.erase(free_list.begin() + static_cast<long>(i));
+        if (right.length() > 0) {
+          free_list.insert(free_list.begin() + static_cast<long>(i), right);
+        }
+      } else if (right.length() > 0) {
+        free_list.insert(free_list.begin() + static_cast<long>(i) + 1, right);
+      }
+      return;
+    }
+  }
+};
+
+struct RowState {
+  Nm y = 0;
+  std::vector<Segment> segments;
+};
+
+std::vector<RowState> build_row_segments(const Floorplan& fp,
+                                         const PowerPlan& pp) {
+  std::vector<RowState> rows;
+  rows.reserve(fp.rows.size());
+  for (const Row& r : fp.rows) {
+    RowState rs;
+    rs.y = r.y;
+    // Collect blockage intervals intersecting this row.
+    std::vector<geom::Interval> blocked;
+    for (const geom::Rect& b : pp.blockages) {
+      if (b.lo.y < r.y + fp.row_height && b.hi.y > r.y) {
+        blocked.push_back({b.lo.x, b.hi.x});
+      }
+    }
+    std::sort(blocked.begin(), blocked.end());
+    Nm cur = r.x.lo;
+    auto add_segment = [&rs](Nm lo, Nm hi) {
+      Segment seg;
+      seg.lo = lo;
+      seg.hi = hi;
+      seg.free_list.push_back({lo, hi});
+      rs.segments.push_back(std::move(seg));
+    };
+    for (const geom::Interval& b : blocked) {
+      if (b.lo > cur) add_segment(cur, b.lo);
+      cur = std::max(cur, b.hi);
+    }
+    if (cur < r.x.hi) add_segment(cur, r.x.hi);
+    rows.push_back(std::move(rs));
+  }
+  return rows;
+}
+
+/// Place IO ports evenly on the core boundary: inputs on the left/top
+/// edges, outputs on the right/bottom — a simple deterministic IO plan.
+void plan_ios(Netlist& nl, const Floorplan& fp) {
+  std::vector<netlist::PortId> ins, outs;
+  for (int p = 0; p < nl.num_ports(); ++p) {
+    (nl.port(p).is_input ? ins : outs).push_back(p);
+  }
+  auto spread = [&](const std::vector<netlist::PortId>& ports, bool left) {
+    const Nm perim = fp.core.height() + fp.core.width();
+    const std::size_t n = std::max<std::size_t>(1, ports.size());
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      const Nm d = static_cast<Nm>((i + 0.5) / n * perim);
+      geom::Point pos;
+      if (d < fp.core.height()) {
+        pos = {left ? fp.core.lo.x : fp.core.hi.x, fp.core.lo.y + d};
+      } else {
+        pos = {fp.core.lo.x + (d - fp.core.height()),
+               left ? fp.core.hi.y : fp.core.lo.y};
+      }
+      nl.port(ports[i]).pos = pos;
+    }
+  };
+  spread(ins, /*left=*/true);
+  spread(outs, /*left=*/false);
+}
+
+}  // namespace
+
+double compute_hpwl_um(const Netlist& nl) {
+  double total = 0.0;
+  for (const netlist::Net& net : nl.nets()) {
+    geom::Nm min_x = std::numeric_limits<geom::Nm>::max();
+    geom::Nm max_x = std::numeric_limits<geom::Nm>::min();
+    geom::Nm min_y = min_x, max_y = max_x;
+    int pins = 0;
+    auto absorb = [&](const geom::Point& p) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+      ++pins;
+    };
+    if (net.driver.inst != netlist::kNoInst) {
+      absorb(nl.pin_position(net.driver));
+    }
+    for (const netlist::PinRef& s : net.sinks) absorb(nl.pin_position(s));
+    if (net.port >= 0) absorb(nl.port(net.port).pos);
+    if (pins >= 2) {
+      total += geom::to_um(max_x - min_x) + geom::to_um(max_y - min_y);
+    }
+  }
+  return total;
+}
+
+PlacementResult place(Netlist& nl, const Floorplan& fp, const PowerPlan& pp,
+                      const PlacementOptions& options) {
+  PlacementResult res;
+
+  plan_ios(nl, fp);
+
+  std::vector<InstId> movable;
+  double movable_area = 0.0;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    if (nl.instance(i).fixed) continue;
+    movable.push_back(i);
+    movable_area += nl.instance(i).type->area_um2();
+  }
+
+  const double free_area =
+      fp.core.area_um2() * (1.0 - pp.blocked_site_fraction);
+  res.density = free_area > 0 ? movable_area / free_area : 1e9;
+
+  // --- global placement ---------------------------------------------------
+  std::mt19937 rng(options.seed);
+  std::uniform_real_distribution<double> ux(0.0, 1.0);
+  for (InstId id : movable) {
+    netlist::Instance& inst = nl.instance(id);
+    inst.pos = {static_cast<Nm>(ux(rng) * (fp.core.width() -
+                                           inst.type->width())),
+                static_cast<Nm>(ux(rng) * (fp.core.height() -
+                                           inst.type->height()))};
+  }
+
+  // Global placement: alternate connectivity averaging (Jacobi steps on
+  // the quadratic wirelength system, IO ports acting as anchors) with an
+  // order-preserving sort-and-balance spreading that equalizes density
+  // without destroying the relative cell order — the property that keeps
+  // locality through legalization.
+  auto centroid_pass = [&]() {
+    std::vector<geom::Point> desired(
+        static_cast<std::size_t>(nl.num_instances()));
+    for (InstId id : movable) {
+      const netlist::Instance& inst = nl.instance(id);
+      double sx = 0, sy = 0;
+      int n = 0;
+      for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+        const netlist::NetId net_id = inst.pin_nets[p];
+        if (net_id == netlist::kNoNet) continue;
+        const netlist::Net& net = nl.net(net_id);
+        if (net.is_clock) continue;  // the clock net doesn't pull placement
+        auto absorb = [&](const netlist::PinRef& ref) {
+          if (ref.inst == id || ref.inst == netlist::kNoInst) return;
+          const geom::Point q = nl.pin_position(ref);
+          sx += static_cast<double>(q.x);
+          sy += static_cast<double>(q.y);
+          ++n;
+        };
+        absorb(net.driver);
+        for (const netlist::PinRef& s : net.sinks) absorb(s);
+        if (net.port >= 0) {
+          sx += static_cast<double>(nl.port(net.port).pos.x);
+          sy += static_cast<double>(nl.port(net.port).pos.y);
+          ++n;
+        }
+      }
+      geom::Point target = inst.pos;
+      if (n > 0) {
+        target = {static_cast<Nm>(sx / n), static_cast<Nm>(sy / n)};
+      }
+      const double a = options.pull_strength;
+      desired[static_cast<std::size_t>(id)] = {
+          static_cast<Nm>(a * target.x + (1 - a) * inst.pos.x),
+          static_cast<Nm>(a * target.y + (1 - a) * inst.pos.y)};
+    }
+    for (InstId id : movable) {
+      nl.instance(id).pos = desired[static_cast<std::size_t>(id)];
+    }
+  };
+
+  // Recursive equal-area bisection spreading: split the cell set at its
+  // area-median along the region's longer axis, give each half one
+  // geometric half of the region, recurse.  Order is preserved along the
+  // split axis at every level, so connectivity structure built by the
+  // averaging passes survives while density becomes uniform.
+  auto spread_pass = [&]() {
+    struct Frame {
+      std::vector<InstId> cells;
+      geom::Rect region;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({movable, fp.core});
+    while (!stack.empty()) {
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      if (f.cells.empty()) continue;
+      const bool split_x = f.region.width() >= f.region.height();
+      if (static_cast<int>(f.cells.size()) <= 8 ||
+          f.region.width() <= 4 * fp.site_width ||
+          f.region.height() <= fp.row_height) {
+        // Leaf: scatter by rank along the longer axis.
+        std::sort(f.cells.begin(), f.cells.end(), [&](InstId a, InstId b) {
+          const auto& pa = nl.instance(a).pos;
+          const auto& pb = nl.instance(b).pos;
+          if (split_x && pa.x != pb.x) return pa.x < pb.x;
+          if (!split_x && pa.y != pb.y) return pa.y < pb.y;
+          return a < b;
+        });
+        for (std::size_t i = 0; i < f.cells.size(); ++i) {
+          const double t = (static_cast<double>(i) + 0.5) /
+                           static_cast<double>(f.cells.size());
+          netlist::Instance& inst = nl.instance(f.cells[i]);
+          if (split_x) {
+            inst.pos = {f.region.lo.x + static_cast<Nm>(t * f.region.width()),
+                        f.region.center().y};
+          } else {
+            inst.pos = {f.region.center().x,
+                        f.region.lo.y + static_cast<Nm>(t * f.region.height())};
+          }
+        }
+        continue;
+      }
+      std::sort(f.cells.begin(), f.cells.end(), [&](InstId a, InstId b) {
+        const auto& pa = nl.instance(a).pos;
+        const auto& pb = nl.instance(b).pos;
+        if (split_x && pa.x != pb.x) return pa.x < pb.x;
+        if (!split_x && pa.y != pb.y) return pa.y < pb.y;
+        return a < b;
+      });
+      double total = 0.0;
+      for (InstId id : f.cells) total += nl.instance(id).type->area_um2();
+      double acc = 0.0;
+      std::size_t cut = 0;
+      while (cut < f.cells.size() && acc < total / 2.0) {
+        acc += nl.instance(f.cells[cut]).type->area_um2();
+        ++cut;
+      }
+      Frame a, b;
+      a.cells.assign(f.cells.begin(), f.cells.begin() + static_cast<long>(cut));
+      b.cells.assign(f.cells.begin() + static_cast<long>(cut), f.cells.end());
+      if (split_x) {
+        const Nm mid = f.region.center().x;
+        a.region = {f.region.lo, {mid, f.region.hi.y}};
+        b.region = {{mid, f.region.lo.y}, f.region.hi};
+      } else {
+        const Nm mid = f.region.center().y;
+        a.region = {f.region.lo, {f.region.hi.x, mid}};
+        b.region = {{f.region.lo.x, mid}, f.region.hi};
+      }
+      stack.push_back(std::move(a));
+      stack.push_back(std::move(b));
+    }
+  };
+
+  // Phase 1: long averaging from the random start — the quadratic system
+  // settles into a (collapsed but correctly *ordered*) solution anchored by
+  // the IO ports.  Phase 2: alternate density spreading with short re-pull
+  // rounds so clusters stay even without losing the global order.
+  for (int i = 0; i < options.iterations; ++i) centroid_pass();
+  for (int round = 0; round < 6; ++round) {
+    spread_pass();
+    centroid_pass();
+    centroid_pass();
+  }
+  spread_pass();  // hand a density-legal picture to the legalizer
+
+  // --- legalization (Tetris) ------------------------------------------------
+  std::vector<RowState> rows = build_row_segments(fp, pp);
+
+  // Whitespace feasibility: the industrial density ceiling.
+  if (res.density > kMaxPlacementDensity) {
+    const double excess = movable_area - kMaxPlacementDensity * free_area;
+    const double avg =
+        movable_area / std::max<std::size_t>(1, movable.size());
+    res.violations = std::max(1, static_cast<int>(std::ceil(excess / avg)));
+    res.legal = false;
+    res.message = "placement density " + std::to_string(res.density) +
+                  " exceeds closable limit " +
+                  std::to_string(kMaxPlacementDensity);
+  }
+
+  // Sort by desired x, then pack greedily into the nearest feasible row.
+  std::vector<InstId> order = movable;
+  std::sort(order.begin(), order.end(), [&](InstId a, InstId bb) {
+    const auto& pa = nl.instance(a).pos;
+    const auto& pb = nl.instance(bb).pos;
+    if (pa.x != pb.x) return pa.x < pb.x;
+    if (pa.y != pb.y) return pa.y < pb.y;
+    return a < bb;
+  });
+
+  int unplaced = 0;
+  for (InstId id : order) {
+    netlist::Instance& inst = nl.instance(id);
+    const Nm w = inst.type->width();
+    const int want_row = std::clamp(
+        static_cast<int>(inst.pos.y / fp.row_height), 0,
+        fp.num_rows() - 1);
+    Nm best_cost = std::numeric_limits<Nm>::max();
+    RowState* best_row = nullptr;
+    Segment* best_seg = nullptr;
+    Nm best_x = 0;
+    for (int dr = 0; dr < fp.num_rows(); ++dr) {
+      for (int sgn : {1, -1}) {
+        const int r = want_row + sgn * dr;
+        if (sgn < 0 && dr == 0) continue;
+        if (r < 0 || r >= fp.num_rows()) continue;
+        const Nm dy = std::abs(rows[static_cast<std::size_t>(r)].y - inst.pos.y);
+        if (dy >= best_cost) continue;  // rows are visited near-to-far
+        for (Segment& seg :
+             rows[static_cast<std::size_t>(r)].segments) {
+          const auto x = seg.best_position(w, inst.pos.x, fp.site_width);
+          if (!x) continue;
+          const Nm cost = std::abs(*x - inst.pos.x) + dy;
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_row = &rows[static_cast<std::size_t>(r)];
+            best_seg = &seg;
+            best_x = *x;
+          }
+        }
+      }
+      // Stop expanding once the row distance alone exceeds the best cost.
+      if (best_row &&
+          static_cast<Nm>(dr) * fp.row_height > best_cost) {
+        break;
+      }
+    }
+    if (!best_row) {
+      ++unplaced;
+      // Clamp somewhere sane so downstream stages see finite coordinates.
+      inst.pos = {std::clamp<Nm>(inst.pos.x, 0,
+                                 fp.core.width() - w),
+                  std::clamp<Nm>(geom::snap_down(inst.pos.y, fp.row_height),
+                                 0, (fp.num_rows() - 1) * fp.row_height)};
+      continue;
+    }
+    inst.pos = {best_x, best_row->y};
+    best_seg->occupy(best_x, w);
+  }
+
+  if (unplaced > 0) {
+    res.violations = std::max(res.violations, unplaced);
+    res.legal = false;
+    if (res.message.empty()) {
+      res.message = std::to_string(unplaced) + " cells could not be legalized";
+    }
+  } else if (res.message.empty()) {
+    res.legal = true;
+    res.message = "legal";
+  }
+
+  res.hpwl_um = compute_hpwl_um(nl);
+  return res;
+}
+
+}  // namespace ffet::pnr

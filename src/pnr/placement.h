@@ -1,0 +1,60 @@
+// placement.h — standard-cell placement and IO planning (Fig. 7 stage 3).
+//
+// Two phases:
+//   1. Global placement: seeded-random start, then iterative centroid pulls
+//      interleaved with bin-based density spreading (a lightweight
+//      force-directed scheme).
+//   2. Legalization: row-based Tetris packing into the free segments left
+//      between the power plan's FIXED obstacles (Power Tap Cells / nTSV
+//      pads).
+//
+// Legality model.  Industrial legalizers need placement whitespace to
+// resolve discrete cell widths, pin access and local congestion; placement
+// densities above ~87-88 % are not closable.  We encode this as
+// kMaxPlacementDensity: the movable area must fit within that fraction of
+// the *free* (unblocked) row area.  This is the mechanism behind the
+// paper's utilization ceilings:
+//     FFET: free fraction = 1 - taps  (98.4 %)  -> max util ~86 %
+//     CFET: free fraction = 1 - nTSV  (96.0 %)  -> max util ~84 %
+// exactly the Fig. 8(a) behaviour ("utilization above 86 % results in
+// placement violations between standard cells and Power Tap Cells").
+
+#pragma once
+
+#include <string>
+
+#include "pnr/floorplan.h"
+#include "pnr/powerplan.h"
+
+namespace ffet::pnr {
+
+/// Maximum closable placement density (movable area / free area).  See the
+/// header comment; calibrated once, shared by both technologies.
+inline constexpr double kMaxPlacementDensity = 0.875;
+
+struct PlacementOptions {
+  unsigned seed = 1;
+  int iterations = 24;        ///< centroid/spreading rounds
+  double pull_strength = 0.7; ///< blend factor toward the connectivity centroid
+};
+
+struct PlacementResult {
+  bool legal = false;
+  int violations = 0;      ///< cells that could not be legally placed
+  double hpwl_um = 0.0;    ///< half-perimeter wirelength after legalization
+  double density = 0.0;    ///< movable area / free area
+  std::string message;
+};
+
+/// Place all movable instances of `nl` into the floorplan, avoiding the
+/// power plan's blockages, and assign IO port positions on the core
+/// boundary.  Writes Instance::pos; fixed instances are untouched.
+PlacementResult place(netlist::Netlist& nl, const Floorplan& fp,
+                      const PowerPlan& pp,
+                      const PlacementOptions& options = {});
+
+/// Half-perimeter wirelength of all multi-pin nets, in µm (uses current
+/// instance positions and port positions).
+double compute_hpwl_um(const netlist::Netlist& nl);
+
+}  // namespace ffet::pnr

@@ -1,0 +1,110 @@
+#include "pnr/powerplan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ffet::pnr {
+
+namespace {
+
+/// Share of a rail's current that flows through the worst-case tap path;
+/// with distributed taps the worst cell sees roughly half the rail span.
+constexpr double kWorstCaseShare = 0.5;
+
+}  // namespace
+
+double PowerPlan::estimate_ir_drop_mv(double block_power_uw) const {
+  if (num_rails <= 0) return 0.0;
+  // I = P / V; V is embedded in tap_r bookkeeping via vdd_v_ set below.
+  const double current_ua = block_power_uw / vdd_v_;
+  const double per_rail_ua = current_ua / num_rails;
+  // uA * ohm = uV; /1000 -> mV.
+  return per_rail_ua * kWorstCaseShare * (tap_r_ohm + rail_r_ohm_) / 1000.0;
+}
+
+PowerPlan build_power_plan(netlist::Netlist& nl, const Floorplan& fp,
+                           const stdcell::Library& lib) {
+  const tech::Technology& tech = lib.tech();
+  const tech::PowerPlanRules& rules = tech.power_rules();
+
+  PowerPlan plan;
+  plan.tap_r_ohm = tech.device().power_tap_r_ohm;
+  plan.vdd_v_ = tech.device().vdd_v;
+
+  const Nm stripe_pitch = rules.stripe_pitch_cpp * tech.cpp();
+  const Nm half = stripe_pitch / 2;
+
+  // Interleaved VDD/VSS stripes at 64 CPP pitch: same-type pitch 128 CPP.
+  int idx = 0;
+  for (Nm x = half; x < fp.core.width(); x += stripe_pitch, ++idx) {
+    if (idx % 2 == 0) {
+      plan.vdd_stripe_x.push_back(x);
+    } else {
+      plan.vss_stripe_x.push_back(x);
+    }
+  }
+  plan.num_rails = static_cast<int>(plan.vdd_stripe_x.size() +
+                                    plan.vss_stripe_x.size());
+  // Rail resistance of one backside stripe over half the core height.  The
+  // FFET BSPDN rides the *highest* backside layer available ("the highest
+  // PDN layer is determined by the highest signal routing layer on the
+  // backside", Sec. IV); the CFET uses its PDN-only BM2.
+  const tech::MetalLayer* rail_layer = nullptr;
+  for (const tech::MetalLayer& l : tech.layers()) {
+    if (l.side != tech::Side::Back || l.index < 0) continue;
+    if (!rail_layer || l.index > rail_layer->index) rail_layer = &l;
+  }
+  plan.rail_r_ohm_ =
+      rail_layer
+          ? rail_layer->r_ohm_per_um * geom::to_um(fp.core.height()) / 2.0
+          : 0.0;
+
+  double blocked_area = 0.0;
+
+  if (rules.tap_cell_width_cpp > 0) {
+    // FFET: a Power Tap Cell in every row under every backside VSS stripe,
+    // connecting the frontside VSS M0 rail around the backside VDD rail to
+    // the BSPDN (Fig. 6b).  FIXED: the placer must route around them.
+    const stdcell::CellType& tap = lib.at(lib.tap_cell_name());
+    int serial = 0;
+    for (Nm x : plan.vss_stripe_x) {
+      const Nm tap_x =
+          geom::snap_down(x - tap.width() / 2, fp.site_width);
+      for (const Row& row : fp.rows) {
+        const std::string name = "power_tap_" + std::to_string(serial++);
+        const netlist::InstId id = nl.add_instance(name, &tap);
+        nl.instance(id).pos = {tap_x, row.y};
+        nl.instance(id).fixed = true;
+        plan.tap_cells.push_back(id);
+        const geom::Rect bbox = nl.instance(id).bbox();
+        plan.blockages.push_back(bbox);
+        blocked_area += bbox.area_um2();
+      }
+    }
+  } else if (rules.tsv_blockage_fraction > 0.0) {
+    // CFET: nTSV landing pads along every stripe.  The pads are not
+    // site-quantized; each row contributes one pad per stripe whose width
+    // realizes the technology's blockage fraction exactly.
+    const Nm pad_w = static_cast<Nm>(rules.tsv_blockage_fraction *
+                                     static_cast<double>(stripe_pitch));
+    std::vector<Nm> all_stripes;
+    all_stripes.insert(all_stripes.end(), plan.vdd_stripe_x.begin(),
+                       plan.vdd_stripe_x.end());
+    all_stripes.insert(all_stripes.end(), plan.vss_stripe_x.begin(),
+                       plan.vss_stripe_x.end());
+    std::sort(all_stripes.begin(), all_stripes.end());
+    for (Nm x : all_stripes) {
+      for (const Row& row : fp.rows) {
+        const geom::Rect pad =
+            geom::make_rect({x - pad_w / 2, row.y}, pad_w, fp.row_height);
+        plan.blockages.push_back(pad);
+        blocked_area += pad.area_um2();
+      }
+    }
+  }
+
+  plan.blocked_site_fraction = blocked_area / fp.core.area_um2();
+  return plan;
+}
+
+}  // namespace ffet::pnr

@@ -1,0 +1,61 @@
+// powerplan.h — power-delivery planning (Sec. III.B).
+//
+// Both technologies are powered from the backside (the package constraint:
+// bumps exist on one side only, and the FFET's carrier wafer forces that
+// side to be the backside):
+//
+//   * FFET: backside VDD and VSS power stripes in an interleaved pattern at
+//     64 CPP pitch.  Backside M0 VDD rails connect to the BSPDN directly;
+//     frontside M0 VSS rails connect through **Power Tap Cells** placed in
+//     every row directly under each backside VSS stripe (Fig. 6a-b).  The
+//     tap cells are FIXED placement obstacles — they are what limits the
+//     maximum achievable utilization (Fig. 8a: "maximum utilization is
+//     limited by the placement of the Power Tap Cells").
+//
+//   * CFET: BPR + nTSV to a BM1/BM2 BSPDN (Fig. 6c).  The nTSV landing
+//     pads block a fraction of placement sites along the stripes.
+//
+// The power plan also produces a first-order IR-drop estimate so the
+// "power integrity" aspect of the paper's powerplan stage is checkable.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnr/floorplan.h"
+#include "stdcell/stdcell.h"
+
+namespace ffet::pnr {
+
+struct PowerPlan {
+  /// x positions (stripe centerlines) of backside VSS / VDD stripes.
+  std::vector<Nm> vss_stripe_x;
+  std::vector<Nm> vdd_stripe_x;
+
+  /// Fixed tap-cell instances added to the netlist (FFET only).
+  std::vector<netlist::InstId> tap_cells;
+
+  /// Placement blockages (tap-cell footprints and nTSV landing pads).
+  std::vector<geom::Rect> blockages;
+
+  /// Fraction of placement sites consumed by blockages.
+  double blocked_site_fraction = 0.0;
+
+  /// First-order worst-case static IR drop in mV at the given block power.
+  double estimate_ir_drop_mv(double block_power_uw) const;
+
+  // Model inputs kept for the IR estimate.
+  double tap_r_ohm = 0.0;
+  int num_rails = 0;
+  double vdd_v_ = 0.7;
+  double rail_r_ohm_ = 0.0;
+};
+
+/// Plan the PDN on a floorplan.  For FFET technologies this ADDS fixed
+/// TAPCELL instances to `nl` (they appear as FIXED components in the DEF);
+/// for CFET it records nTSV blockages only.
+PowerPlan build_power_plan(netlist::Netlist& nl, const Floorplan& fp,
+                           const stdcell::Library& lib);
+
+}  // namespace ffet::pnr

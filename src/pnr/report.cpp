@@ -1,0 +1,84 @@
+#include "pnr/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ffet::pnr {
+
+CongestionMap build_congestion_map(const RouteResult& routes, Side side) {
+  CongestionMap map;
+  map.side = side;
+  map.load = geom::Grid2D<double>(routes.gcols, routes.grows, 0.0);
+  for (const NetRoute& r : routes.routes) {
+    if (r.side != side) continue;
+    for (const GEdge& e : r.edges) {
+      const int a = std::min(e.a, e.b);
+      const int b = std::max(e.a, e.b);
+      map.load.at(a % routes.gcols, a / routes.gcols) += 0.5;
+      map.load.at(b % routes.gcols, b / routes.gcols) += 0.5;
+    }
+  }
+  double sum = 0.0;
+  for (double v : map.load) {
+    map.max_load = std::max(map.max_load, v);
+    sum += v;
+  }
+  map.mean_load = map.load.size() ? sum / static_cast<double>(map.load.size())
+                                  : 0.0;
+  return map;
+}
+
+DensityMap build_density_map(const netlist::Netlist& nl, const Floorplan& fp,
+                             int bins) {
+  DensityMap map;
+  map.density = geom::Grid2D<double>(bins, bins, 0.0);
+  const double bw = static_cast<double>(fp.core.width()) / bins;
+  const double bh = static_cast<double>(fp.core.height()) / bins;
+  for (const netlist::Instance& inst : nl.instances()) {
+    const geom::Point c = inst.bbox().center();
+    const int bx = std::clamp(static_cast<int>(c.x / bw), 0, bins - 1);
+    const int by = std::clamp(static_cast<int>(c.y / bh), 0, bins - 1);
+    map.density.at(bx, by) += inst.type->area_um2();
+  }
+  const double bin_area = bw * bh / 1e6;  // nm^2 -> um^2
+  double sum = 0.0;
+  for (double& v : map.density) {
+    v /= bin_area;
+    map.max_density = std::max(map.max_density, v);
+    sum += v;
+  }
+  map.mean_density =
+      map.density.size() ? sum / static_cast<double>(map.density.size()) : 0.0;
+  return map;
+}
+
+std::string render_heatmap(const geom::Grid2D<double>& grid) {
+  static const char kRamp[] = " .:-=+*#%@";
+  double max_v = 0.0;
+  for (double v : grid) max_v = std::max(max_v, v);
+  std::ostringstream os;
+  for (int r = grid.rows() - 1; r >= 0; --r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      const double t = max_v > 0 ? grid.at(c, r) / max_v : 0.0;
+      const int idx =
+          std::clamp(static_cast<int>(t * 9.0 + 0.5), 0, 9);
+      os << kRamp[idx];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string routing_summary(const RouteResult& r) {
+  std::ostringstream os;
+  os << "routed " << r.nets_front << " frontside + " << r.nets_back
+     << " backside subnets; wirelength " << static_cast<long>(r.wirelength_front_um)
+     << " um (F) + " << static_cast<long>(r.wirelength_back_um)
+     << " um (B); grid " << r.gcols << "x" << r.grows << "; DRV "
+     << r.drv_estimate << " (" << r.drv_wire << " wire + "
+     << r.drv_pin_access << " pin-access) -> "
+     << (r.valid ? "VALID" : "INVALID") << " (rule: <10)";
+  return os.str();
+}
+
+}  // namespace ffet::pnr

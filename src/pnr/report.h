@@ -1,0 +1,47 @@
+// report.h — physical-design reporting: congestion maps, placement density
+// maps, and routing summaries.
+//
+// Mirrors the congestion/utilization views a P&R tool's GUI provides (the
+// paper's Fig. 8b layout comparison), rendered as data grids plus compact
+// ASCII heatmaps for terminal inspection.
+
+#pragma once
+
+#include <string>
+
+#include "geom/grid.h"
+#include "pnr/floorplan.h"
+#include "pnr/router.h"
+
+namespace ffet::pnr {
+
+/// Per-gcell routed-wire load of one wafer side (sum of crossings of the
+/// four adjacent edges, halved — a standard congestion proxy).
+struct CongestionMap {
+  Side side = Side::Front;
+  geom::Grid2D<double> load;  ///< crossings per gcell
+  double max_load = 0.0;
+  double mean_load = 0.0;
+};
+
+CongestionMap build_congestion_map(const RouteResult& routes, Side side);
+
+/// Placement density per bin (cell area / bin area).
+struct DensityMap {
+  geom::Grid2D<double> density;
+  double max_density = 0.0;
+  double mean_density = 0.0;
+};
+
+DensityMap build_density_map(const netlist::Netlist& nl, const Floorplan& fp,
+                             int bins = 24);
+
+/// Render a grid as an ASCII heatmap (rows top-to-bottom = y descending),
+/// scaled to the grid's own maximum: ' ' empty … '@' saturated.
+std::string render_heatmap(const geom::Grid2D<double>& grid);
+
+/// One-paragraph textual routing summary (per-side wirelength, net counts,
+/// DRV breakdown) for logs and examples.
+std::string routing_summary(const RouteResult& routes);
+
+}  // namespace ffet::pnr

@@ -1,0 +1,573 @@
+#include "pnr/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace ffet::pnr {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinRef;
+using stdcell::PinSide;
+
+namespace {
+
+/// Backside routing capacity consumed by the BSPDN stripes (the FFET routes
+/// its PDN on the backside *signal* layers — Sec. IV: the highest PDN layer
+/// "is determined by the highest signal routing layer on the backside").
+constexpr double kPdnBacksideShare = 0.08;
+
+/// PathFinder history increment per unit of overflow per pass, and the
+/// per-pass decay that keeps stale history from forcing ever-longer
+/// detours (the classic negotiation-thrash failure mode).
+constexpr double kHistoryGain = 0.4;
+constexpr double kHistoryDecay = 0.85;
+
+/// One side's routing grid with separate horizontal/vertical edge pools.
+struct SideGrid {
+  int cols = 0, rows = 0;
+  geom::Nm gw = 0, gh = 0;
+  double h_cap = 0.0;  ///< capacity per horizontal edge (uniform)
+  double v_cap = 0.0;
+  // Horizontal edges: (cols-1) x rows; vertical: cols x (rows-1).
+  std::vector<double> h_base, h_use, h_hist;
+  std::vector<double> v_base, v_use, v_hist;
+
+  int node(int c, int r) const { return r * cols + c; }
+  int col_of(int n) const { return n % cols; }
+  int row_of(int n) const { return n / cols; }
+
+  int h_edge(int c, int r) const { return r * (cols - 1) + c; }  // (c,r)-(c+1,r)
+  int v_edge(int c, int r) const { return r * cols + c; }        // (c,r)-(c,r+1)
+
+  int clamp_gcell(geom::Point p) const {
+    const int c = std::clamp(static_cast<int>(p.x / gw), 0, cols - 1);
+    const int r = std::clamp(static_cast<int>(p.y / gh), 0, rows - 1);
+    return node(c, r);
+  }
+
+  double overflow() const {
+    double o = 0.0;
+    for (std::size_t i = 0; i < h_use.size(); ++i) {
+      o += std::max(0.0, h_base[i] + h_use[i] - h_cap);
+    }
+    for (std::size_t i = 0; i < v_use.size(); ++i) {
+      o += std::max(0.0, v_base[i] + v_use[i] - v_cap);
+    }
+    return o;
+  }
+
+  /// Overflow beyond the detail-route-absorbable slack — the DRV source.
+  double hard_overflow(double slack) const {
+    double o = 0.0;
+    for (std::size_t i = 0; i < h_use.size(); ++i) {
+      o += std::max(0.0, h_base[i] + h_use[i] - h_cap * (1.0 + slack));
+    }
+    for (std::size_t i = 0; i < v_use.size(); ++i) {
+      o += std::max(0.0, v_base[i] + v_use[i] - v_cap * (1.0 + slack));
+    }
+    return o;
+  }
+};
+
+double edge_cost(double base, double use, double cap, double hist) {
+  const double load = base + use;
+  if (cap <= 0.0) return (1.0 + hist) * 64.0;
+  // Multiplicative PathFinder-style cost: congested edges get expensive in
+  // proportion to their overload, history biases repeat offenders, and the
+  // sub-capacity term keeps a mild preference for empty regions.
+  double congestion = load / cap;
+  double mult = 1.0 + 0.3 * congestion;
+  if (load + 1.0 > cap) {
+    const double over = (load + 1.0 - cap) / cap;
+    mult += 3.0 * over + 2.0 * over * over;
+  }
+  return (1.0 + hist) * mult;
+}
+
+/// Route one subnet as a Steiner-ish tree: iteratively connect the nearest
+/// unconnected sink to the existing tree with a tree-targeted A* (Dijkstra
+/// with zero-cost sources at all tree nodes).
+struct PathRouter {
+  SideGrid& g;
+  std::vector<double> dist;
+  std::vector<int> prev;
+  std::vector<int> stamp_of;
+  int stamp = 0;
+
+  explicit PathRouter(SideGrid& grid)
+      : g(grid),
+        dist(static_cast<std::size_t>(grid.cols * grid.rows)),
+        prev(dist.size(), -1),
+        stamp_of(dist.size(), -1) {}
+
+  /// Dijkstra from every node in `tree` (cost 0) until `target` is settled.
+  /// Returns the path target -> tree as node list (excluding the tree node
+  /// it connects to? including both endpoints).
+  std::vector<int> connect(const std::vector<int>& tree, int target) {
+    ++stamp;
+    using QE = std::pair<double, int>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    for (int t : tree) {
+      dist[static_cast<std::size_t>(t)] = 0.0;
+      prev[static_cast<std::size_t>(t)] = -1;
+      stamp_of[static_cast<std::size_t>(t)] = stamp;
+      pq.push({0.0, t});
+    }
+    while (!pq.empty()) {
+      const auto [d, n] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<std::size_t>(n)] ||
+          stamp_of[static_cast<std::size_t>(n)] != stamp) {
+        continue;
+      }
+      if (n == target) break;
+      const int c = g.col_of(n), r = g.row_of(n);
+      auto relax = [&](int nn, double w) {
+        const auto ni = static_cast<std::size_t>(nn);
+        if (stamp_of[ni] != stamp || d + w < dist[ni]) {
+          stamp_of[ni] = stamp;
+          dist[ni] = d + w;
+          prev[ni] = n;
+          pq.push({d + w, nn});
+        }
+      };
+      if (c + 1 < g.cols) {
+        const int e = g.h_edge(c, r);
+        relax(g.node(c + 1, r),
+              edge_cost(g.h_base[static_cast<std::size_t>(e)],
+                        g.h_use[static_cast<std::size_t>(e)], g.h_cap,
+                        g.h_hist[static_cast<std::size_t>(e)]));
+      }
+      if (c - 1 >= 0) {
+        const int e = g.h_edge(c - 1, r);
+        relax(g.node(c - 1, r),
+              edge_cost(g.h_base[static_cast<std::size_t>(e)],
+                        g.h_use[static_cast<std::size_t>(e)], g.h_cap,
+                        g.h_hist[static_cast<std::size_t>(e)]));
+      }
+      if (r + 1 < g.rows) {
+        const int e = g.v_edge(c, r);
+        relax(g.node(c, r + 1),
+              edge_cost(g.v_base[static_cast<std::size_t>(e)],
+                        g.v_use[static_cast<std::size_t>(e)], g.v_cap,
+                        g.v_hist[static_cast<std::size_t>(e)]));
+      }
+      if (r - 1 >= 0) {
+        const int e = g.v_edge(c, r - 1);
+        relax(g.node(c, r - 1),
+              edge_cost(g.v_base[static_cast<std::size_t>(e)],
+                        g.v_use[static_cast<std::size_t>(e)], g.v_cap,
+                        g.v_hist[static_cast<std::size_t>(e)]));
+      }
+    }
+    // Walk back from target to the tree.
+    std::vector<int> path;
+    int n = target;
+    if (stamp_of[static_cast<std::size_t>(n)] != stamp) return path;  // unreachable
+    while (n != -1) {
+      path.push_back(n);
+      n = prev[static_cast<std::size_t>(n)];
+    }
+    return path;
+  }
+};
+
+/// Apply (or remove, sign=-1) a route's usage to the grid.
+void commit(SideGrid& g, const std::vector<GEdge>& edges, double sign) {
+  for (const GEdge& e : edges) {
+    const int a = std::min(e.a, e.b);
+    const int b = std::max(e.a, e.b);
+    const int ca = g.col_of(a), ra = g.row_of(a);
+    if (b == a + 1) {
+      g.h_use[static_cast<std::size_t>(g.h_edge(ca, ra))] += sign;
+    } else {
+      g.v_use[static_cast<std::size_t>(g.v_edge(ca, ra))] += sign;
+    }
+  }
+}
+
+/// A subnet to route: source + sinks on one side.
+struct SubNet {
+  NetId net = netlist::kNoNet;
+  Side side = Side::Front;
+  int source = 0;
+  std::vector<int> sinks;
+  geom::Nm hpwl = 0;
+};
+
+}  // namespace
+
+RouteResult route_design(const Netlist& nl, const Floorplan& fp,
+                         const RouteOptions& options) {
+  const tech::Technology& tech = nl.library().tech();
+  RouteResult res;
+
+  const geom::Nm gsize = options.gcell_tracks * tech.track_pitch();
+  res.gcell_w = gsize;
+  res.gcell_h = gsize;
+  res.gcols = std::max(1, static_cast<int>((fp.core.width() + gsize - 1) / gsize));
+  res.grows = std::max(1, static_cast<int>((fp.core.height() + gsize - 1) / gsize));
+
+  // --- build the per-side grids ------------------------------------------------
+  std::array<SideGrid, 2> grids;
+  auto side_index = [](Side s) { return s == Side::Front ? 0 : 1; };
+  for (Side s : {Side::Front, Side::Back}) {
+    SideGrid& g = grids[static_cast<std::size_t>(side_index(s))];
+    g.cols = res.gcols;
+    g.rows = res.grows;
+    g.gw = gsize;
+    g.gh = gsize;
+    double hc = 0.0, vc = 0.0;
+    for (const tech::MetalLayer* l : tech.routing_layers(s)) {
+      const int tracks = static_cast<int>(gsize / l->pitch);
+      if (l->preferred_dir == geom::Dir::Horizontal) {
+        hc += tracks;
+      } else {
+        vc += tracks;
+      }
+    }
+    g.h_cap = hc * options.capacity_factor;
+    g.v_cap = vc * options.capacity_factor;
+    if (s == Side::Back && g.h_cap > 0.0) {
+      // BSPDN shares the backside signal layers.
+      g.h_cap *= (1.0 - kPdnBacksideShare);
+      g.v_cap *= (1.0 - kPdnBacksideShare);
+    }
+    g.h_base.assign(static_cast<std::size_t>((g.cols - 1) * g.rows), 0.0);
+    g.h_use = g.h_base;
+    g.h_hist = g.h_base;
+    g.v_base.assign(static_cast<std::size_t>(g.cols * (g.rows - 1)), 0.0);
+    g.v_use = g.v_base;
+    g.v_hist = g.v_base;
+  }
+
+  // --- pin-access demand -------------------------------------------------------
+  // Every pin consumes a share of the routing resources around its gcell on
+  // the side(s) where its landing metal lives.  This is where FFET FM12's
+  // "higher pin density ... due to FFET's smaller cell area" (Fig. 8c)
+  // penalty enters, and what dual-sided pin redistribution relieves.
+  std::array<long, 2> pin_totals{0, 0};
+  auto add_pin_demand = [&](Side s, geom::Point pos) {
+    SideGrid& g = grids[static_cast<std::size_t>(side_index(s))];
+    ++pin_totals[static_cast<std::size_t>(side_index(s))];
+    if (g.h_cap <= 0.0 && g.v_cap <= 0.0) return;  // no layers: no wiring
+    const int n = g.clamp_gcell(pos);
+    const int c = g.col_of(n), r = g.row_of(n);
+    const double d = options.pin_access_demand / 2.0;
+    if (c > 0) g.h_base[static_cast<std::size_t>(g.h_edge(c - 1, r))] += d;
+    if (c + 1 < g.cols) g.h_base[static_cast<std::size_t>(g.h_edge(c, r))] += d;
+    if (r > 0) g.v_base[static_cast<std::size_t>(g.v_edge(c, r - 1))] += d;
+    if (r + 1 < g.rows) g.v_base[static_cast<std::size_t>(g.v_edge(c, r))] += d;
+  };
+  for (const netlist::Instance& inst : nl.instances()) {
+    if (inst.type->physical_only()) continue;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      if (inst.pin_nets[p] == netlist::kNoNet) continue;
+      const auto& pin = inst.type->pins()[p];
+      const geom::Point pos = inst.pos + pin.offset;
+      switch (pin.side) {
+        case PinSide::Front: add_pin_demand(Side::Front, pos); break;
+        case PinSide::Back: add_pin_demand(Side::Back, pos); break;
+        case PinSide::Both:
+          add_pin_demand(Side::Front, pos);
+          add_pin_demand(Side::Back, pos);
+          break;
+      }
+    }
+  }
+
+  // --- Algorithm 1: decompose nets into per-side subnets ------------------------
+  const bool has_back = tech.num_routing_layers(Side::Back) > 0;
+  std::vector<SubNet> subnets;
+  for (int n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    // Source gcell: driving cell pin or input port.
+    geom::Point src_pos;
+    PinSide src_side = PinSide::Front;
+    if (net.driver.inst != netlist::kNoInst) {
+      src_pos = nl.pin_position(net.driver);
+      src_side = nl.pin_side(net.driver);
+    } else if (net.port >= 0) {
+      src_pos = nl.port(net.port).pos;
+      // IO pads: FFET pads land on the backside bump stack but expose
+      // access on both sides (the pad via stack crosses the wafer);
+      // CFET pads are frontside-only.
+      src_side = has_back ? PinSide::Both : PinSide::Front;
+    } else {
+      continue;  // dangling net
+    }
+
+    std::array<std::vector<geom::Point>, 2> side_sinks;
+    for (const PinRef& sref : net.sinks) {
+      const PinSide ps = nl.pin_side(sref);
+      const Side s = ps == PinSide::Back ? Side::Back : Side::Front;
+      side_sinks[static_cast<std::size_t>(side_index(s))].push_back(
+          nl.pin_position(sref));
+    }
+    if (net.port >= 0 && !nl.port(net.port).is_input &&
+        net.driver.inst != netlist::kNoInst) {
+      side_sinks[0].push_back(nl.port(net.port).pos);  // PO pad, frontside
+    }
+
+    for (Side s : {Side::Front, Side::Back}) {
+      const auto& sinks = side_sinks[static_cast<std::size_t>(side_index(s))];
+      if (sinks.empty()) continue;
+      if (s == Side::Back) {
+        if (!has_back) {
+          throw std::runtime_error(
+              "net " + net.name +
+              " has backside sinks but the technology has no backside "
+              "routing layers (no bridging cells in this flow)");
+        }
+        if (src_side != PinSide::Both) {
+          throw std::runtime_error(
+              "net " + net.name +
+              " has backside sinks but its source pin is frontside-only");
+        }
+      }
+      SideGrid& g = grids[static_cast<std::size_t>(side_index(s))];
+      SubNet sn;
+      sn.net = n;
+      sn.side = s;
+      sn.source = g.clamp_gcell(src_pos);
+      geom::Rect bbox{src_pos, src_pos};
+      for (const geom::Point& p : sinks) {
+        sn.sinks.push_back(g.clamp_gcell(p));
+        bbox = bbox.united({p, p});
+      }
+      sn.hpwl = bbox.width() + bbox.height();
+      subnets.push_back(std::move(sn));
+    }
+  }
+
+  // Route order: short nets first (they have the least flexibility).
+  std::vector<std::size_t> order(subnets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (subnets[a].hpwl != subnets[b].hpwl) {
+      return subnets[a].hpwl < subnets[b].hpwl;
+    }
+    return subnets[a].net < subnets[b].net;
+  });
+
+  // --- route with rip-up-and-reroute --------------------------------------------
+  std::array<PathRouter, 2> routers{PathRouter(grids[0]), PathRouter(grids[1])};
+  std::vector<std::vector<GEdge>> route_edges(subnets.size());
+
+  auto route_one = [&](std::size_t si) {
+    SubNet& sn = subnets[si];
+    SideGrid& g = grids[static_cast<std::size_t>(side_index(sn.side))];
+    PathRouter& pr = routers[static_cast<std::size_t>(side_index(sn.side))];
+    std::vector<GEdge>& edges = route_edges[si];
+    edges.clear();
+    std::vector<int> tree = {sn.source};
+    // Connect sinks nearest-first.
+    std::vector<int> todo = sn.sinks;
+    std::sort(todo.begin(), todo.end(), [&](int a, int b) {
+      const auto da = std::abs(g.col_of(a) - g.col_of(sn.source)) +
+                      std::abs(g.row_of(a) - g.row_of(sn.source));
+      const auto db = std::abs(g.col_of(b) - g.col_of(sn.source)) +
+                      std::abs(g.row_of(b) - g.row_of(sn.source));
+      if (da != db) return da < db;
+      return a < b;
+    });
+    for (int sink : todo) {
+      if (std::find(tree.begin(), tree.end(), sink) != tree.end()) continue;
+      const std::vector<int> path = pr.connect(tree, sink);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        edges.push_back({path[i], path[i + 1]});
+        tree.push_back(path[i]);
+      }
+      if (!path.empty()) tree.push_back(path.back());
+    }
+    commit(g, edges, +1.0);
+  };
+
+  for (std::size_t si : order) route_one(si);
+
+  // Negotiated rip-up-and-reroute: decay history, bump it on overflowed
+  // edges, reroute the nets crossing them.  The best solution seen (by hard
+  // overflow, then total overflow) is kept — negotiation is not monotone.
+  auto total_overflow = [&] {
+    double o = 0.0;
+    for (const SideGrid& g : grids) o += g.overflow();
+    return o;
+  };
+  auto total_hard = [&] {
+    double o = 0.0;
+    for (const SideGrid& g : grids) o += g.hard_overflow(options.dr_slack);
+    return o;
+  };
+  std::vector<std::vector<GEdge>> best_routes = route_edges;
+  double best_hard = total_hard();
+  double best_soft = total_overflow();
+  int stale_passes = 0;
+  for (int pass = 1;
+       pass < options.rrr_passes && best_hard > 0.0 && stale_passes < 6;
+       ++pass) {
+    for (SideGrid& g : grids) {
+      for (std::size_t i = 0; i < g.h_use.size(); ++i) {
+        g.h_hist[i] *= kHistoryDecay;
+        const double o = g.h_base[i] + g.h_use[i] - g.h_cap;
+        if (o > 0) g.h_hist[i] += kHistoryGain * o / g.h_cap;
+      }
+      for (std::size_t i = 0; i < g.v_use.size(); ++i) {
+        g.v_hist[i] *= kHistoryDecay;
+        const double o = g.v_base[i] + g.v_use[i] - g.v_cap;
+        if (o > 0) g.v_hist[i] += kHistoryGain * o / g.v_cap;
+      }
+    }
+    auto crosses_overflow = [&](std::size_t si) {
+      const SideGrid& g =
+          grids[static_cast<std::size_t>(side_index(subnets[si].side))];
+      for (const GEdge& e : route_edges[si]) {
+        const int a = std::min(e.a, e.b), b = std::max(e.a, e.b);
+        const int c = g.col_of(a), r = g.row_of(a);
+        if (b == a + 1) {
+          const auto i = static_cast<std::size_t>(g.h_edge(c, r));
+          if (g.h_base[i] + g.h_use[i] > g.h_cap) return true;
+        } else {
+          const auto i = static_cast<std::size_t>(g.v_edge(c, r));
+          if (g.v_base[i] + g.v_use[i] > g.v_cap) return true;
+        }
+      }
+      return false;
+    };
+    std::vector<std::size_t> ripped;
+    for (std::size_t si : order) {
+      if (crosses_overflow(si)) ripped.push_back(si);
+    }
+    if (ripped.empty()) break;
+    for (std::size_t si : ripped) {
+      commit(grids[static_cast<std::size_t>(side_index(subnets[si].side))],
+             route_edges[si], -1.0);
+    }
+    for (std::size_t si : ripped) route_one(si);
+
+    const double hard = total_hard();
+    const double soft = total_overflow();
+    if (hard < best_hard || (hard == best_hard && soft < best_soft)) {
+      best_hard = hard;
+      best_soft = soft;
+      best_routes = route_edges;
+      stale_passes = 0;
+    } else {
+      ++stale_passes;
+    }
+  }
+  // Restore the best solution (usage arrays included, for diagnostics).
+  if (best_routes != route_edges) {
+    for (SideGrid& g : grids) {
+      std::fill(g.h_use.begin(), g.h_use.end(), 0.0);
+      std::fill(g.v_use.begin(), g.v_use.end(), 0.0);
+    }
+    route_edges = std::move(best_routes);
+    for (std::size_t si = 0; si < subnets.size(); ++si) {
+      commit(grids[static_cast<std::size_t>(side_index(subnets[si].side))],
+             route_edges[si], +1.0);
+    }
+  }
+
+  // --- results -------------------------------------------------------------------
+  const double gsize_um = geom::to_um(gsize);
+  // Layer assignment by wirelength quantile: longer nets ride higher layers.
+  std::vector<std::size_t> by_len(subnets.size());
+  for (std::size_t i = 0; i < by_len.size(); ++i) by_len[i] = i;
+  std::sort(by_len.begin(), by_len.end(), [&](std::size_t a, std::size_t b) {
+    if (route_edges[a].size() != route_edges[b].size()) {
+      return route_edges[a].size() < route_edges[b].size();
+    }
+    return subnets[a].net < subnets[b].net;
+  });
+  std::vector<double> quantile(subnets.size(), 0.0);
+  for (std::size_t rank = 0; rank < by_len.size(); ++rank) {
+    quantile[by_len[rank]] =
+        by_len.size() > 1
+            ? static_cast<double>(rank) / static_cast<double>(by_len.size() - 1)
+            : 0.0;
+  }
+
+  res.routes.reserve(subnets.size());
+  for (std::size_t si = 0; si < subnets.size(); ++si) {
+    const SubNet& sn = subnets[si];
+    NetRoute nr;
+    nr.net = sn.net;
+    nr.side = sn.side;
+    nr.edges = route_edges[si];
+    nr.sink_gcells = sn.sinks;
+    nr.source_gcell = sn.source;
+    nr.wirelength_um =
+        static_cast<double>(nr.edges.size()) * gsize_um +
+        0.2;  // local pin hookup
+    // Pick the layer pair by quantile over this side's available layers.
+    const auto layers = tech.routing_layers(sn.side);
+    std::vector<int> h_layers, v_layers;
+    for (const tech::MetalLayer* l : layers) {
+      (l->preferred_dir == geom::Dir::Horizontal ? h_layers : v_layers)
+          .push_back(l->index);
+    }
+    auto pick = [&](const std::vector<int>& ls) {
+      if (ls.empty()) return 0;
+      const auto k = static_cast<std::size_t>(
+          quantile[si] * 0.999 * static_cast<double>(ls.size()));
+      return ls[k];
+    };
+    nr.h_layer_index = pick(h_layers);
+    nr.v_layer_index = pick(v_layers);
+
+    if (sn.side == Side::Front) {
+      res.wirelength_front_um += nr.wirelength_um;
+      ++res.nets_front;
+    } else {
+      res.wirelength_back_um += nr.wirelength_um;
+      ++res.nets_back;
+    }
+    res.routes.push_back(std::move(nr));
+  }
+
+  double overflow = 0.0;
+  double hard_overflow = 0.0;
+  for (const SideGrid& g : grids) {
+    overflow += g.overflow();
+    hard_overflow += g.hard_overflow(options.dr_slack);
+    res.capacity_units +=
+        g.h_cap * static_cast<double>(g.h_use.size()) +
+        g.v_cap * static_cast<double>(g.v_use.size());
+    for (double u : g.h_use) res.wire_demand_units += u;
+    for (double u : g.v_use) res.wire_demand_units += u;
+    for (double u : g.h_base) res.pin_demand_units += u;
+    for (double u : g.v_base) res.pin_demand_units += u;
+  }
+  res.overflow_total = static_cast<int>(std::round(overflow));
+  res.drv_wire = static_cast<int>(std::round(hard_overflow));
+
+  // Pin-access DRVs: when a side's pin density exceeds what the detailed
+  // router can hook up, every pin beyond the budget becomes an access
+  // violation.  Density is evaluated block-wide per side — the sharp,
+  // deterministic version of the paper's pin-density routability limit.
+  const double core_area_um2 = fp.core.area_um2();
+  const double pin_budget =
+      options.pin_access_limit_per_um2 * core_area_um2;
+  double pin_drv = 0.0;
+  for (int side = 0; side < 2; ++side) {
+    // A side without routing layers carries no signal hookup (its pin
+    // landings are unused metal), so it cannot produce access violations.
+    const SideGrid& g = grids[static_cast<std::size_t>(side)];
+    if (g.h_cap <= 0.0 && g.v_cap <= 0.0) continue;
+    pin_drv += std::max(
+        0.0, static_cast<double>(pin_totals[static_cast<std::size_t>(side)]) -
+                 pin_budget);
+  }
+  res.drv_pin_access = static_cast<int>(std::round(pin_drv));
+
+  res.drv_estimate = res.drv_wire + res.drv_pin_access;
+  res.valid = res.drv_estimate < 10;  // the paper's validity rule
+  return res;
+}
+
+}  // namespace ffet::pnr

@@ -1,0 +1,125 @@
+// router.h — dual-sided global signal routing (Sec. III.A, Algorithm 1).
+//
+// The FFET enabler is the *dual-sided output pin*: every cell output is a
+// Drain Merge reaching both FM0 and BM0, so a net's source can drive wires
+// on either wafer side.  Algorithm 1 decomposes every net by its sinks'
+// pin sides:
+//
+//     for n in nets:
+//         n.front, n.back <- { n.source }
+//         for p in n.sinks:
+//             assign p to n.front or n.back by the pin side in the LEF
+//     route NF and NB independently; emit two DEFs
+//
+// No bridging cells are used (the paper's main flow minimizes area by
+// avoiding them).  In CFET — or FFET libraries with all input pins on the
+// frontside (FFET "FM12") — every net decomposes to a frontside net and the
+// backside stays signal-free.
+//
+// The per-side router is a congestion-negotiated gcell global router:
+// PathFinder-style A* with history costs over a grid whose edge capacities
+// derive from the Table II layer stacks (per preferred direction), minus
+// PDN usage, minus a pin-access share proportional to local pin density —
+// the mechanism behind the paper's observation that FFET with
+// frontside-only signals routs *worse* than CFET (higher pin density in a
+// smaller core, Fig. 8c) while dual-sided signals recover routability.
+//
+// Validity follows the paper's rule: a P&R result is valid only if the
+// estimated design-rule-violation count is below 10 (Sec. IV).
+
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "pnr/floorplan.h"
+
+namespace ffet::pnr {
+
+using tech::Side;
+
+struct RouteOptions {
+  int gcell_tracks = 15;       ///< gcell edge length in M2 track pitches
+  int rrr_passes = 24;         ///< rip-up-and-reroute iterations
+  /// Effective routed tracks per raw track-pitch crossing of a gcell edge.
+  /// Above 1 because a gcell-edge "usage unit" is one net crossing, which
+  /// occupies a track only across that gcell, while the capacity of a
+  /// physical track spans many gcells; the value also compensates the
+  /// lightweight global placer's extra wirelength vs. a commercial tool.
+  /// Calibrated once against the paper's Fig. 12 low-layer breakpoints
+  /// (FP0.5BP0.5 still closing at 2 layers/side near 70% utilization).
+  double capacity_factor = 3.2;
+  double pin_access_demand = 0.2;  ///< wire-demand share added per pin in a
+                                   ///< gcell (local hookup wiring)
+  double dr_slack = 0.15;  ///< per-edge overflow fraction a detailed router
+                           ///< absorbs before violations appear
+  /// Pin-access ceiling per µm² of gcell area *per side*: beyond it the
+  /// detailed router cannot reach every pin and emits DRVs.  This is the
+  /// paper's mechanism limiting FFET-with-frontside-only-signals to 76 %
+  /// utilization (Sec. IV / Fig. 8c: "higher pin density in FFET FM12 ...
+  /// due to FFET's smaller cell area") while dual-sided pin redistribution
+  /// halves the per-side density and removes the ceiling.  Layer-count
+  /// independent: pin access happens at M0/M1.
+  double pin_access_limit_per_um2 = 80.0;
+};
+
+/// A gcell-level routing edge: between grid nodes a and b (flat indices).
+struct GEdge {
+  int a = 0;
+  int b = 0;
+  friend bool operator==(const GEdge&, const GEdge&) = default;
+};
+
+/// One routed (sub)net on one side of the wafer.
+struct NetRoute {
+  netlist::NetId net = netlist::kNoNet;
+  Side side = Side::Front;
+  std::vector<GEdge> edges;      ///< tree edges in gcell space
+  std::vector<int> sink_gcells;  ///< gcell of each decomposed sink
+  int source_gcell = 0;
+  double wirelength_um = 0.0;
+  /// Layer indices assigned per direction (for RC extraction / DEF): the
+  /// horizontal-layer and vertical-layer this net predominantly uses.
+  int h_layer_index = 2;
+  int v_layer_index = 1;
+};
+
+/// Aggregate result of the dual-sided routing stage.
+struct RouteResult {
+  std::vector<NetRoute> routes;
+
+  int gcols = 0;
+  int grows = 0;
+  geom::Nm gcell_w = 0;
+  geom::Nm gcell_h = 0;
+
+  double wirelength_front_um = 0.0;
+  double wirelength_back_um = 0.0;
+  int nets_front = 0;
+  int nets_back = 0;
+
+  int overflow_total = 0;  ///< sum over edges of max(0, usage - capacity)
+  int drv_wire = 0;        ///< DRVs from unresolvable wire overflow
+  int drv_pin_access = 0;  ///< DRVs from per-gcell pin-access overload
+  int drv_estimate = 0;    ///< total estimated DRC violations
+  bool valid = false;      ///< drv_estimate < 10 (the paper's rule)
+
+  // Diagnostics (track-units aggregated over all edges of both sides).
+  double capacity_units = 0.0;
+  double wire_demand_units = 0.0;
+  double pin_demand_units = 0.0;
+
+  double total_wirelength_um() const {
+    return wirelength_front_um + wirelength_back_um;
+  }
+};
+
+/// Route all signal nets of a placed netlist.  Sinks on backside pins are
+/// reachable only because FFET output pins are dual-sided; requesting a
+/// route for a netlist with backside sinks on a technology without backside
+/// routing layers throws std::runtime_error (no bridging cells in this
+/// flow).
+RouteResult route_design(const netlist::Netlist& nl, const Floorplan& fp,
+                         const RouteOptions& options = {});
+
+}  // namespace ffet::pnr

@@ -1,0 +1,47 @@
+#include "pnr/track_assign.h"
+
+#include <algorithm>
+
+namespace ffet::pnr {
+
+TrackAssignment assign_tracks(const RouteResult& routes,
+                              int tracks_per_edge) {
+  TrackAssignment ta;
+  ta.track_of.resize(routes.routes.size());
+
+  // Edge key: (side, min node, max node).  Crossings collected in route
+  // order (deterministic: routes and edges are produced deterministically).
+  std::map<std::tuple<int, int, int>, int> next_track;
+
+  for (std::size_t r = 0; r < routes.routes.size(); ++r) {
+    const NetRoute& route = routes.routes[r];
+    ta.track_of[r].resize(route.edges.size(), 0);
+    for (std::size_t e = 0; e < route.edges.size(); ++e) {
+      const int a = std::min(route.edges[e].a, route.edges[e].b);
+      const int b = std::max(route.edges[e].a, route.edges[e].b);
+      const auto key = std::make_tuple(
+          route.side == tech::Side::Front ? 0 : 1, a, b);
+      int& counter = next_track[key];
+      int track = counter++;
+      if (tracks_per_edge > 0 && track >= tracks_per_edge) {
+        ++ta.overflow_crossings;
+        track %= tracks_per_edge;  // wrap: shares a track (reported)
+      }
+      ta.track_of[r][e] = track;
+      ta.max_tracks_seen = std::max(ta.max_tracks_seen, track + 1);
+    }
+  }
+  return ta;
+}
+
+geom::Nm track_offset_nm(int track, int tracks_per_edge, geom::Nm gcell_span) {
+  if (tracks_per_edge <= 1) return 0;
+  // Spread tracks across the middle 80% of the gcell, centered.
+  const double usable = 0.8 * static_cast<double>(gcell_span);
+  const double step = usable / static_cast<double>(tracks_per_edge);
+  const double centered =
+      (static_cast<double>(track) + 0.5) * step - usable / 2.0;
+  return static_cast<geom::Nm>(centered);
+}
+
+}  // namespace ffet::pnr

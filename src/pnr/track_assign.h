@@ -1,0 +1,46 @@
+// track_assign.h — track assignment (detailed-routing-lite).
+//
+// The global router works at gcell granularity: every crossing of a gcell
+// edge is one "usage unit".  This pass assigns each crossing a concrete
+// track index on its net's layer so that no two nets share a track across
+// the same edge — the first (and, on a gridded BEOL, the decisive) step of
+// detailed routing.  The DEF writer can then emit wires at real track
+// offsets instead of gcell centerlines, and the overlap invariant becomes
+// checkable.
+//
+// Assignment is per-edge greedy in deterministic net order; when an edge
+// carries more crossings than its layer-capacity (an overflow the global
+// router already reported), the surplus wraps and is counted in
+// `overflow_crossings`.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "pnr/router.h"
+
+namespace ffet::pnr {
+
+struct TrackAssignment {
+  /// track_of[i][j] = track index of routes[i].edges[j] on that net's
+  /// preferred layer for the edge's direction.
+  std::vector<std::vector<int>> track_of;
+
+  int max_tracks_seen = 0;       ///< largest track index + 1 on any edge
+  int overflow_crossings = 0;    ///< crossings beyond per-edge capacity
+
+  bool clean() const { return overflow_crossings == 0; }
+};
+
+/// Assign tracks for every routed edge.  `tracks_per_edge` bounds the
+/// indices (pass the router's effective capacity; crossings beyond it wrap
+/// and are reported as overflow).
+TrackAssignment assign_tracks(const RouteResult& routes,
+                              int tracks_per_edge);
+
+/// Perpendicular offset (in nm, centered on the gcell) for a track index,
+/// given the gcell span and the number of tracks laid across it.
+geom::Nm track_offset_nm(int track, int tracks_per_edge, geom::Nm gcell_span);
+
+}  // namespace ffet::pnr

@@ -1,0 +1,108 @@
+// encode.h — RV32I instruction encoders.
+//
+// Tiny constexpr assembler used by tests, examples and the workload
+// generator to produce instruction streams for the generated core without
+// an external toolchain.  Field order follows the RISC-V unprivileged spec.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ffet::riscv::enc {
+
+using u32 = std::uint32_t;
+
+constexpr u32 r_type(u32 funct7, u32 rs2, u32 rs1, u32 funct3, u32 rd,
+                     u32 opcode) {
+  return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+         (rd << 7) | opcode;
+}
+
+constexpr u32 i_type(std::int32_t imm, u32 rs1, u32 funct3, u32 rd,
+                     u32 opcode) {
+  return (static_cast<u32>(imm & 0xfff) << 20) | (rs1 << 15) |
+         (funct3 << 12) | (rd << 7) | opcode;
+}
+
+constexpr u32 s_type(std::int32_t imm, u32 rs2, u32 rs1, u32 funct3,
+                     u32 opcode) {
+  const u32 u = static_cast<u32>(imm & 0xfff);
+  return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+         ((u & 0x1f) << 7) | opcode;
+}
+
+constexpr u32 b_type(std::int32_t imm, u32 rs2, u32 rs1, u32 funct3,
+                     u32 opcode) {
+  const u32 u = static_cast<u32>(imm);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) | (rs2 << 20) |
+         (rs1 << 15) | (funct3 << 12) | (((u >> 1) & 0xf) << 8) |
+         (((u >> 11) & 1) << 7) | opcode;
+}
+
+constexpr u32 u_type(std::int32_t imm_upper20, u32 rd, u32 opcode) {
+  return (static_cast<u32>(imm_upper20 & 0xfffff) << 12) | (rd << 7) | opcode;
+}
+
+constexpr u32 j_type(std::int32_t imm, u32 rd, u32 opcode) {
+  const u32 u = static_cast<u32>(imm);
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+         (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) | (rd << 7) |
+         opcode;
+}
+
+// R-type ALU ops.
+constexpr u32 add(u32 rd, u32 rs1, u32 rs2) { return r_type(0, rs2, rs1, 0, rd, 0x33); }
+constexpr u32 sub(u32 rd, u32 rs1, u32 rs2) { return r_type(0x20, rs2, rs1, 0, rd, 0x33); }
+constexpr u32 sll(u32 rd, u32 rs1, u32 rs2) { return r_type(0, rs2, rs1, 1, rd, 0x33); }
+constexpr u32 slt(u32 rd, u32 rs1, u32 rs2) { return r_type(0, rs2, rs1, 2, rd, 0x33); }
+constexpr u32 sltu(u32 rd, u32 rs1, u32 rs2) { return r_type(0, rs2, rs1, 3, rd, 0x33); }
+constexpr u32 xor_(u32 rd, u32 rs1, u32 rs2) { return r_type(0, rs2, rs1, 4, rd, 0x33); }
+constexpr u32 srl(u32 rd, u32 rs1, u32 rs2) { return r_type(0, rs2, rs1, 5, rd, 0x33); }
+constexpr u32 sra(u32 rd, u32 rs1, u32 rs2) { return r_type(0x20, rs2, rs1, 5, rd, 0x33); }
+constexpr u32 or_(u32 rd, u32 rs1, u32 rs2) { return r_type(0, rs2, rs1, 6, rd, 0x33); }
+constexpr u32 and_(u32 rd, u32 rs1, u32 rs2) { return r_type(0, rs2, rs1, 7, rd, 0x33); }
+
+// I-type ALU ops.
+constexpr u32 addi(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 0, rd, 0x13); }
+constexpr u32 slti(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 2, rd, 0x13); }
+constexpr u32 sltiu(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 3, rd, 0x13); }
+constexpr u32 xori(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 4, rd, 0x13); }
+constexpr u32 ori(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 6, rd, 0x13); }
+constexpr u32 andi(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 7, rd, 0x13); }
+constexpr u32 slli(u32 rd, u32 rs1, u32 sh) { return i_type(static_cast<std::int32_t>(sh), rs1, 1, rd, 0x13); }
+constexpr u32 srli(u32 rd, u32 rs1, u32 sh) { return i_type(static_cast<std::int32_t>(sh), rs1, 5, rd, 0x13); }
+constexpr u32 srai(u32 rd, u32 rs1, u32 sh) { return i_type(static_cast<std::int32_t>(sh | 0x400), rs1, 5, rd, 0x13); }
+
+// Upper-immediate / jumps.
+constexpr u32 lui(u32 rd, std::int32_t upper20) { return u_type(upper20, rd, 0x37); }
+constexpr u32 auipc(u32 rd, std::int32_t upper20) { return u_type(upper20, rd, 0x17); }
+constexpr u32 jal(u32 rd, std::int32_t offset) { return j_type(offset, rd, 0x6f); }
+constexpr u32 jalr(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 0, rd, 0x67); }
+
+// Branches (byte offsets).
+constexpr u32 beq(u32 rs1, u32 rs2, std::int32_t off) { return b_type(off, rs2, rs1, 0, 0x63); }
+constexpr u32 bne(u32 rs1, u32 rs2, std::int32_t off) { return b_type(off, rs2, rs1, 1, 0x63); }
+constexpr u32 blt(u32 rs1, u32 rs2, std::int32_t off) { return b_type(off, rs2, rs1, 4, 0x63); }
+constexpr u32 bge(u32 rs1, u32 rs2, std::int32_t off) { return b_type(off, rs2, rs1, 5, 0x63); }
+constexpr u32 bltu(u32 rs1, u32 rs2, std::int32_t off) { return b_type(off, rs2, rs1, 6, 0x63); }
+constexpr u32 bgeu(u32 rs1, u32 rs2, std::int32_t off) { return b_type(off, rs2, rs1, 7, 0x63); }
+
+// Loads / stores.
+constexpr u32 lb(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 0, rd, 0x03); }
+constexpr u32 lh(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 1, rd, 0x03); }
+constexpr u32 lw(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 2, rd, 0x03); }
+constexpr u32 lbu(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 4, rd, 0x03); }
+constexpr u32 lhu(u32 rd, u32 rs1, std::int32_t imm) { return i_type(imm, rs1, 5, rd, 0x03); }
+constexpr u32 sb(u32 rs2, u32 rs1, std::int32_t imm) { return s_type(imm, rs2, rs1, 0, 0x23); }
+constexpr u32 sh(u32 rs2, u32 rs1, std::int32_t imm) { return s_type(imm, rs2, rs1, 1, 0x23); }
+constexpr u32 sw(u32 rs2, u32 rs1, std::int32_t imm) { return s_type(imm, rs2, rs1, 2, 0x23); }
+
+// RV32M multiplies (funct7 = 0000001).
+constexpr u32 mul(u32 rd, u32 rs1, u32 rs2) { return r_type(1, rs2, rs1, 0, rd, 0x33); }
+constexpr u32 mulh(u32 rd, u32 rs1, u32 rs2) { return r_type(1, rs2, rs1, 1, rd, 0x33); }
+constexpr u32 mulhsu(u32 rd, u32 rs1, u32 rs2) { return r_type(1, rs2, rs1, 2, rd, 0x33); }
+constexpr u32 mulhu(u32 rd, u32 rs1, u32 rs2) { return r_type(1, rs2, rs1, 3, rd, 0x33); }
+
+constexpr u32 nop() { return addi(0, 0, 0); }
+
+}  // namespace ffet::riscv::enc

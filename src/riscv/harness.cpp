@@ -1,0 +1,82 @@
+#include "riscv/harness.h"
+
+#include "riscv/encode.h"
+
+namespace ffet::riscv {
+
+Rv32Harness::Rv32Harness(const netlist::Netlist* core)
+    : nl_(core), sim_(core) {
+  sim_.set_input("clk", false);
+  sim_.set_input("rst_n", true);
+  sim_.set_bus("inst", 32, enc::nop());
+  sim_.set_bus("dmem_rdata", 32, 0);
+  sim_.evaluate();
+}
+
+void Rv32Harness::load_program(const std::vector<std::uint32_t>& words,
+                               std::uint32_t base) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    imem_[base / 4 + static_cast<std::uint32_t>(i)] = words[i];
+  }
+}
+
+void Rv32Harness::reset() {
+  sim_.set_input("rst_n", false);
+  sim_.tick();
+  sim_.set_input("rst_n", true);
+  service_memories();
+}
+
+void Rv32Harness::service_memories() {
+  // Fetch: instruction at the current PC.
+  const auto pc_word = static_cast<std::uint32_t>(sim_.read_bus("pc", 32)) / 4;
+  const auto it = imem_.find(pc_word);
+  sim_.set_bus("inst", 32, it == imem_.end() ? enc::nop() : it->second);
+  sim_.evaluate();
+  // Load: service combinationally so write-back sees the data this cycle.
+  if (sim_.output("dmem_re")) {
+    const auto addr =
+        static_cast<std::uint32_t>(sim_.read_bus("dmem_addr", 32)) / 4;
+    const auto dit = dmem_.find(addr);
+    sim_.set_bus("dmem_rdata", 32, dit == dmem_.end() ? 0 : dit->second);
+    sim_.evaluate();
+  }
+}
+
+void Rv32Harness::step(int n) {
+  for (int i = 0; i < n; ++i) {
+    service_memories();
+    // Commit stores before the clock edge.
+    const auto wmask = static_cast<std::uint32_t>(sim_.read_bus("dmem_wmask", 4));
+    if (wmask != 0) {
+      const auto addr =
+          static_cast<std::uint32_t>(sim_.read_bus("dmem_addr", 32)) / 4;
+      const auto wdata = static_cast<std::uint32_t>(sim_.read_bus("dmem_wdata", 32));
+      std::uint32_t cur = dmem_.count(addr) ? dmem_[addr] : 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        if ((wmask >> lane) & 1u) {
+          const std::uint32_t m = 0xffu << (8 * lane);
+          cur = (cur & ~m) | (wdata & m);
+        }
+      }
+      dmem_[addr] = cur;
+    }
+    sim_.tick();
+    service_memories();
+  }
+}
+
+std::uint32_t Rv32Harness::pc() const {
+  return static_cast<std::uint32_t>(sim_.read_bus("pc", 32));
+}
+
+std::uint32_t Rv32Harness::read_mem(std::uint32_t addr) const {
+  const auto it = dmem_.find(addr / 4);
+  return it == dmem_.end() ? 0 : it->second;
+}
+
+void Rv32Harness::write_mem(std::uint32_t addr, std::uint32_t value) {
+  dmem_[addr / 4] = value;
+}
+
+}  // namespace ffet::riscv

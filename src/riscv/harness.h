@@ -1,0 +1,50 @@
+// harness.h — simulation harness around the generated RV32 core.
+//
+// Couples the gate-level Simulator with behavioural instruction/data
+// memories (the memories are macros outside the standard-cell block, as in
+// the paper's P&R evaluation).  Used by the ISA test suite, the example
+// programs, and the power analyzer's activity extraction.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/sim.h"
+
+namespace ffet::riscv {
+
+class Rv32Harness {
+ public:
+  explicit Rv32Harness(const netlist::Netlist* core);
+
+  /// Load a program at word-aligned byte address `base`.
+  void load_program(const std::vector<std::uint32_t>& words,
+                    std::uint32_t base = 0);
+
+  /// Assert reset for one cycle and release it.
+  void reset();
+
+  /// Execute `n` instructions (single-cycle core: one instruction per
+  /// cycle).  Memory requests are serviced combinationally.
+  void step(int n = 1);
+
+  std::uint32_t pc() const;
+  /// Word-aligned data-memory access (test observation / preloading).
+  std::uint32_t read_mem(std::uint32_t addr) const;
+  void write_mem(std::uint32_t addr, std::uint32_t value);
+
+  netlist::Simulator& sim() { return sim_; }
+  const netlist::Simulator& sim() const { return sim_; }
+
+ private:
+  void service_memories();
+
+  const netlist::Netlist* nl_;
+  netlist::Simulator sim_;
+  std::unordered_map<std::uint32_t, std::uint32_t> imem_;  ///< by word addr
+  std::unordered_map<std::uint32_t, std::uint32_t> dmem_;
+};
+
+}  // namespace ffet::riscv

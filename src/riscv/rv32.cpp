@@ -1,0 +1,328 @@
+#include "riscv/rv32.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/builder.h"
+
+namespace ffet::riscv {
+
+using netlist::Builder;
+using netlist::Bus;
+using netlist::NetId;
+
+namespace {
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int log2i(int v) {
+  int b = 0;
+  while ((1 << b) < v) ++b;
+  return b;
+}
+
+/// Extract a sub-bus [lo, lo+n) from `a`.
+Bus slice(const Bus& a, int lo, int n) {
+  Bus r(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    r[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(lo + i)];
+  }
+  return r;
+}
+
+/// Decode a fixed bit pattern: AND of bits (inverted where the pattern has
+/// a zero).
+NetId match_pattern(Builder& b, const Bus& bits, unsigned pattern) {
+  std::vector<NetId> terms;
+  terms.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool want = (pattern >> i) & 1u;
+    terms.push_back(want ? bits[i] : b.inv(bits[i]));
+  }
+  return b.and_tree(terms);
+}
+
+/// Balanced binary mux tree over 2^k word inputs; sel LSB switches the
+/// lowest level.
+Bus mux_tree(Builder& b, std::vector<Bus> words, const Bus& sel) {
+  assert(is_pow2(static_cast<int>(words.size())));
+  std::size_t level = 0;
+  while (words.size() > 1) {
+    std::vector<Bus> next;
+    next.reserve(words.size() / 2);
+    for (std::size_t i = 0; i + 1 < words.size(); i += 2) {
+      next.push_back(b.mux_bus(words[i], words[i + 1], sel[level]));
+    }
+    words = std::move(next);
+    ++level;
+  }
+  return words.front();
+}
+
+Bus replicate(NetId v, int n) {
+  return Bus(static_cast<std::size_t>(n), v);
+}
+
+}  // namespace
+
+netlist::Netlist build_rv32_core(const stdcell::Library& lib,
+                                 const Rv32Options& options) {
+  const int R = options.num_registers;
+  if (!is_pow2(R) || R < 2) {
+    throw std::invalid_argument("num_registers must be a power of two >= 2");
+  }
+  const int RBITS = log2i(R);
+
+  Builder b("rv32_core", &lib);
+
+  // --- ports ---------------------------------------------------------------
+  const NetId clk = b.input("clk");
+  const NetId rst_n = b.input("rst_n");
+  const Bus inst = b.input_bus("inst", 32);
+  const Bus dmem_rdata = b.input_bus("dmem_rdata", 32);
+  b.netlist().mark_clock_net(clk);
+
+  // --- instruction fields ----------------------------------------------------
+  const Bus opcode = slice(inst, 0, 7);
+  const Bus rd_spec = slice(inst, 7, RBITS);
+  const Bus funct3 = slice(inst, 12, 3);
+  const Bus rs1_spec = slice(inst, 15, RBITS);
+  const Bus rs2_spec = slice(inst, 20, RBITS);
+  const NetId funct7b5 = inst[30];
+
+  const NetId is_lui = match_pattern(b, opcode, 0b0110111);
+  const NetId is_auipc = match_pattern(b, opcode, 0b0010111);
+  const NetId is_jal = match_pattern(b, opcode, 0b1101111);
+  const NetId is_jalr = match_pattern(b, opcode, 0b1100111);
+  const NetId is_branch = match_pattern(b, opcode, 0b1100011);
+  const NetId is_load = match_pattern(b, opcode, 0b0000011);
+  const NetId is_store = match_pattern(b, opcode, 0b0100011);
+  const NetId is_opimm = match_pattern(b, opcode, 0b0010011);
+  const NetId is_op = match_pattern(b, opcode, 0b0110011);
+
+  const NetId reg_write =
+      b.or_tree({is_lui, is_auipc, is_jal, is_jalr, is_load, is_opimm, is_op});
+
+  // --- immediates ------------------------------------------------------------
+  const NetId sign = inst[31];
+  Bus imm_i(32), imm_s(32), imm_b(32), imm_u(32), imm_j(32);
+  for (int i = 0; i < 32; ++i) {
+    auto at = [&](int bit) { return inst[static_cast<std::size_t>(bit)]; };
+    const auto idx = static_cast<std::size_t>(i);
+    imm_i[idx] = i < 11 ? at(20 + i) : sign;
+    imm_s[idx] = i < 5 ? at(7 + i) : (i < 11 ? at(25 + (i - 5)) : sign);
+    if (i == 0) imm_b[idx] = b.zero();
+    else if (i < 5) imm_b[idx] = at(8 + (i - 1));
+    else if (i < 11) imm_b[idx] = at(25 + (i - 5));
+    else if (i == 11) imm_b[idx] = at(7);
+    else imm_b[idx] = sign;
+    imm_u[idx] = i < 12 ? b.zero() : at(i);
+    if (i == 0) imm_j[idx] = b.zero();
+    else if (i < 11) imm_j[idx] = at(21 + (i - 1));
+    else if (i == 11) imm_j[idx] = at(20);
+    else if (i < 20) imm_j[idx] = at(12 + (i - 12));
+    else imm_j[idx] = sign;
+  }
+  Bus imm = b.mux_bus(imm_i, imm_s, is_store);
+  imm = b.mux_bus(imm, imm_b, is_branch);
+  imm = b.mux_bus(imm, imm_u, b.or2(is_lui, is_auipc));
+  imm = b.mux_bus(imm, imm_j, is_jal);
+
+  // --- program counter ---------------------------------------------------------
+  const Bus next_pc = b.wires(32, "next_pc");
+  const Bus pc = b.dffr_bus(next_pc, clk, rst_n);
+  b.output_bus("pc", pc);
+
+  Bus const4(32);
+  for (int i = 0; i < 32; ++i) {
+    const4[static_cast<std::size_t>(i)] = (i == 2) ? b.one() : b.zero();
+  }
+  const Bus pc_plus4 = b.add_fast(pc, const4, b.zero()).first;
+  const Bus pc_plus_imm = b.add_fast(pc, imm, b.zero()).first;
+
+  // --- register file (2R1W, x0 == 0) ------------------------------------------
+  const Bus wb_data = b.wires(32, "wb");
+  const NetId rd_nonzero = b.or_tree(rd_spec);
+  const NetId wr_en = b.and2(reg_write, rd_nonzero);
+
+  std::vector<Bus> regs(static_cast<std::size_t>(R));
+  regs[0] = replicate(b.zero(), 32);
+  for (int r = 1; r < R; ++r) {
+    const NetId sel = match_pattern(b, rd_spec, static_cast<unsigned>(r));
+    const NetId wen = b.and2(wr_en, sel);
+    const Bus d = b.wires(32, "rfd");
+    const Bus q = b.dff_bus(d, clk);
+    for (int i = 0; i < 32; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      b.mux2_into(d[idx], q[idx], wb_data[idx], wen);
+    }
+    regs[static_cast<std::size_t>(r)] = q;
+  }
+  const Bus rs1 = mux_tree(b, regs, rs1_spec);
+  const Bus rs2 = mux_tree(b, regs, rs2_spec);
+
+  // --- ALU ---------------------------------------------------------------------
+  // Operand A: rs1, or pc (AUIPC), or 0 (LUI).
+  Bus alu_a = b.mux_bus(rs1, pc, is_auipc);
+  alu_a = b.mux_bus(alu_a, replicate(b.zero(), 32), is_lui);
+  // Operand B: rs2 for register-register ops and branch compare, else imm.
+  const Bus alu_b = b.mux_bus(imm, rs2, b.or2(is_op, is_branch));
+
+  // funct3 is an ALU opcode only for OP/OP-IMM; everything else adds.
+  const NetId arith = b.or2(is_op, is_opimm);
+  Bus f3(3);
+  for (int i = 0; i < 3; ++i) {
+    f3[static_cast<std::size_t>(i)] =
+        b.and2(funct3[static_cast<std::size_t>(i)], arith);
+  }
+  const NetId f3_is_0 = b.nor2(b.or2(f3[0], f3[1]), f3[2]);
+  const NetId f3_is_slt = b.and2(b.and2(f3[1], b.inv(f3[2])), b.inv(f3[0]));
+  const NetId f3_is_sltu = b.and2(b.and2(f3[1], b.inv(f3[2])), f3[0]);
+
+  // Subtract for: branches, SUB (OP with funct7[5]), SLT/SLTU.
+  const NetId sub_en = b.or_tree(
+      {is_branch, b.and_tree({is_op, funct7b5, f3_is_0}), f3_is_slt,
+       f3_is_sltu});
+  const Bus adder_b = b.xor_bus(alu_b, replicate(sub_en, 32));
+  const auto [sum, cout] = b.add_fast(alu_a, adder_b, sub_en);
+
+  // Comparisons (valid when sub_en): unsigned from the carry, signed from
+  // sign bits and the difference sign.
+  const NetId ltu = b.inv(cout);
+  const NetId lt =
+      b.mux2(sum[31], alu_a[31], b.xor2(alu_a[31], alu_b[31]));
+  const NetId eq = b.equal(rs1, rs2);
+
+  // Shifters: shamt is alu_b[4:0] (covers SLLI/SRLI immediates and
+  // register shifts alike); arithmetic flag from funct7[5].
+  const Bus shamt = slice(alu_b, 0, 5);
+  const Bus sll = b.shift_left(alu_a, shamt);
+  const Bus srx = b.shift_right(alu_a, shamt, funct7b5);
+
+  // --- RV32M multiplier (optional) ---------------------------------------
+  // funct7 == 0000001 with OP: MUL (f3=000), MULH (001), MULHSU (010),
+  // MULHU (011).  Signed high words from the unsigned product via
+  //   mulh   = mulhu - (a<0 ? b : 0) - (b<0 ? a : 0)   (mod 2^32)
+  //   mulhsu = mulhu - (a<0 ? b : 0)                   (mod 2^32)
+  Bus mul_res;
+  NetId is_mulop = netlist::kNoNet;
+  if (options.enable_m) {
+    std::vector<NetId> f7_is_1;
+    f7_is_1.push_back(inst[25]);
+    for (int bit = 26; bit <= 31; ++bit) {
+      f7_is_1.push_back(b.inv(inst[static_cast<std::size_t>(bit)]));
+    }
+    // Only the multiply half of RV32M (funct3[2] == 0).
+    is_mulop = b.and_tree({is_op, b.and_tree(f7_is_1), b.inv(funct3[2])});
+    const Bus prod = b.multiply(rs1, rs2);  // 64-bit unsigned product
+    const Bus mul_lo = slice(prod, 0, 32);
+    const Bus mulhu_r = slice(prod, 32, 32);
+    const Bus corr_a = b.mask_bus(rs2, rs1[31]);  // a<0 ? b : 0
+    const Bus corr_b = b.mask_bus(rs1, rs2[31]);  // b<0 ? a : 0
+    const Bus mulhsu_r = b.sub(mulhu_r, corr_a).first;
+    const Bus mulh_r = b.sub(mulhsu_r, corr_b).first;
+    // funct3[1:0] select: 00 MUL, 01 MULH, 10 MULHSU, 11 MULHU.
+    const Bus m0 = b.mux_bus(mul_lo, mulh_r, funct3[0]);
+    const Bus m1 = b.mux_bus(mulhsu_r, mulhu_r, funct3[0]);
+    mul_res = b.mux_bus(m0, m1, funct3[1]);
+  }
+
+  const Bus and_r = b.and_bus(alu_a, alu_b);
+  const Bus or_r = b.or_bus(alu_a, alu_b);
+  const Bus xor_r = b.xor_bus(alu_a, alu_b);
+  Bus slt_r = replicate(b.zero(), 32);
+  slt_r[0] = lt;
+  Bus sltu_r = replicate(b.zero(), 32);
+  sltu_r[0] = ltu;
+
+  // funct3-indexed 8:1 result mux: 000 add 001 sll 010 slt 011 sltu
+  // 100 xor 101 srx 110 or 111 and.
+  const Bus m00 = b.mux_bus(sum, sll, f3[0]);
+  const Bus m01 = b.mux_bus(slt_r, sltu_r, f3[0]);
+  const Bus m10 = b.mux_bus(xor_r, srx, f3[0]);
+  const Bus m11 = b.mux_bus(or_r, and_r, f3[0]);
+  const Bus ma = b.mux_bus(m00, m01, f3[1]);
+  const Bus mb = b.mux_bus(m10, m11, f3[1]);
+  Bus alu_res = b.mux_bus(ma, mb, f3[2]);
+  if (options.enable_m) {
+    alu_res = b.mux_bus(alu_res, mul_res, is_mulop);
+  }
+
+  // --- branch resolution ---------------------------------------------------------
+  // funct3: 000 beq 001 bne 100 blt 101 bge 110 bltu 111 bgeu.
+  const NetId t_eq = b.mux2(eq, b.inv(eq), funct3[0]);
+  const NetId t_lt = b.mux2(lt, b.inv(lt), funct3[0]);
+  const NetId t_ltu = b.mux2(ltu, b.inv(ltu), funct3[0]);
+  const NetId t_cmp = b.mux2(t_lt, t_ltu, funct3[1]);
+  const NetId cond = b.mux2(t_eq, t_cmp, funct3[2]);
+  const NetId taken = b.and2(is_branch, cond);
+
+  // --- next PC ----------------------------------------------------------------
+  Bus jalr_target = sum;
+  jalr_target[0] = b.zero();  // JALR clears the target LSB
+  const Bus np1 =
+      b.mux_bus(pc_plus4, pc_plus_imm, b.or2(taken, is_jal));
+  for (int i = 0; i < 32; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    b.mux2_into(next_pc[idx], np1[idx], jalr_target[idx], is_jalr);
+  }
+
+  // --- data memory interface -----------------------------------------------------
+  b.output_bus("dmem_addr", sum);
+  // Store alignment: shift the store data left by 8 * addr[1:0].
+  const Bus store_shift = {b.zero(), b.zero(), b.zero(), sum[0], sum[1]};
+  const Bus wdata = b.shift_left(rs2, store_shift);
+  b.output_bus("dmem_wdata", wdata);
+
+  const NetId size_b = b.nor2(funct3[0], funct3[1]);
+  const NetId size_h = b.and2(funct3[0], b.inv(funct3[1]));
+  const NetId size_w = b.and2(funct3[1], b.inv(funct3[0]));
+  const NetId a0 = sum[0];
+  const NetId a1 = sum[1];
+  // Byte-lane masks.
+  Bus lane(4);
+  lane[0] = b.or_tree({size_w, b.and2(size_h, b.inv(a1)),
+                       b.and_tree({size_b, b.inv(a1), b.inv(a0)})});
+  lane[1] = b.or_tree({size_w, b.and2(size_h, b.inv(a1)),
+                       b.and_tree({size_b, b.inv(a1), a0})});
+  lane[2] = b.or_tree({size_w, b.and2(size_h, a1),
+                       b.and_tree({size_b, a1, b.inv(a0)})});
+  lane[3] = b.or_tree({size_w, b.and2(size_h, a1),
+                       b.and_tree({size_b, a1, a0})});
+  Bus wmask(4);
+  for (int i = 0; i < 4; ++i) {
+    wmask[static_cast<std::size_t>(i)] =
+        b.and2(lane[static_cast<std::size_t>(i)], is_store);
+  }
+  b.output_bus("dmem_wmask", wmask);
+  b.output("dmem_re", is_load);
+  b.output("reg_write", reg_write);
+
+  // --- load extraction -------------------------------------------------------------
+  const Bus load_shift = {b.zero(), b.zero(), b.zero(), sum[0], sum[1]};
+  const Bus shifted = b.shift_right(dmem_rdata, load_shift, b.zero());
+  const NetId usign = funct3[2];  // LBU/LHU
+  const NetId sign_b = b.and2(shifted[7], b.inv(usign));
+  const NetId sign_h = b.and2(shifted[15], b.inv(usign));
+  Bus load_b(32), load_h(32);
+  for (int i = 0; i < 32; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    load_b[idx] = i < 8 ? shifted[idx] : sign_b;
+    load_h[idx] = i < 16 ? shifted[idx] : sign_h;
+  }
+  const Bus ld1 = b.mux_bus(load_b, load_h, funct3[0]);
+  const Bus load_data = b.mux_bus(ld1, shifted, funct3[1]);
+
+  // --- write-back ---------------------------------------------------------------
+  const Bus wb1 = b.mux_bus(alu_res, load_data, is_load);
+  const NetId link = b.or2(is_jal, is_jalr);
+  for (int i = 0; i < 32; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    b.mux2_into(wb_data[idx], wb1[idx], pc_plus4[idx], link);
+  }
+
+  return b.take();
+}
+
+}  // namespace ffet::riscv

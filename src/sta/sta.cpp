@@ -1,0 +1,416 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stdcell/nldm.h"
+
+namespace ffet::sta {
+
+using netlist::InstId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinRef;
+using stdcell::PinDir;
+using stdcell::TimingArc;
+using stdcell::TimingModel;
+
+namespace {
+
+/// Slew degradation through an RC wire: combine the driver transition with
+/// the wire's step response (PERI-style root-sum-square).
+double degrade_slew(double slew_ps, double elmore_ps) {
+  const double wire = 2.2 * elmore_ps;
+  return std::sqrt(slew_ps * slew_ps + wire * wire);
+}
+
+}  // namespace
+
+Sta::Sta(const Netlist* nl, const extract::RcNetlist* rc, StaOptions options)
+    : nl_(nl), rc_(rc), opt_(options) {}
+
+double Sta::net_load_ff(NetId net) const {
+  if (rc_) {
+    return rc_->trees[static_cast<std::size_t>(net)].total_cap_ff;
+  }
+  const netlist::Net& n = nl_->net(net);
+  double pins = 0.0;
+  for (const PinRef& s : n.sinks) pins += nl_->pin_cap_ff(s);
+  return pins + opt_.wl_base_ff +
+         opt_.wl_per_fanout_ff * static_cast<double>(n.sinks.size());
+}
+
+double Sta::sink_wire_delay_ps(NetId net, std::size_t sink_idx) const {
+  if (rc_) {
+    return rc_->trees[static_cast<std::size_t>(net)].elmore_to_sink(sink_idx);
+  }
+  // Wireload: lumped R times downstream cap.
+  return 0.69 * opt_.wl_res_ohm * net_load_ff(net) / 1000.0;
+}
+
+TimingReport Sta::analyze_timing(
+    const std::unordered_map<InstId, double>* clock_latency_ps) {
+  const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
+  arrival_.assign(n_inst, 0.0);
+  slew_.assign(n_inst, opt_.input_slew_ps);
+  std::vector<InstId> from(n_inst, netlist::kNoInst);
+
+  TimingReport rep;
+
+  auto clock_latency = [&](InstId id) {
+    if (!clock_latency_ps) return 0.0;
+    const auto it = clock_latency_ps->find(id);
+    return it == clock_latency_ps->end() ? 0.0 : it->second;
+  };
+
+  // Arrival and slew at an instance *input pin*.
+  auto input_arrival = [&](const netlist::Net& net, std::size_t sink_idx,
+                           double& arr, double& slw,
+                           InstId& src) {
+    // SDC-style default input delay at PIs, referenced to the propagated
+    // clock.
+    arr = opt_.input_delay_ps + opt_.pi_reference_latency_ps;
+    slw = opt_.input_slew_ps;
+    src = netlist::kNoInst;
+    const NetId net_id = [&] {
+      // Recover net id from the sink's pin binding.
+      const PinRef& ref = net.sinks[sink_idx];
+      return nl_->instance(ref.inst)
+          .pin_nets[static_cast<std::size_t>(ref.pin)];
+    }();
+    if (net.driver.inst != netlist::kNoInst) {
+      arr = arrival_[static_cast<std::size_t>(net.driver.inst)];
+      slw = slew_[static_cast<std::size_t>(net.driver.inst)];
+      src = net.driver.inst;
+    }
+    const double wire =
+        sink_wire_delay_ps(net_id, sink_idx) * opt_.derate_late;
+    arr += wire;
+    slw = degrade_slew(slw, wire);
+  };
+
+  // Propagate in topological order.  topo_order() lists sequential
+  // instances (sources) before the combinational cone they feed.
+  for (InstId id : nl_->topo_order()) {
+    const netlist::Instance& inst = nl_->instance(id);
+    const TimingModel* model = inst.type->timing_model();
+    if (!model) continue;  // tie cells keep arrival 0
+
+    // Output net load.
+    NetId out_net = netlist::kNoNet;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      if (inst.type->pins()[p].dir == PinDir::Output) {
+        out_net = inst.pin_nets[p];
+        break;
+      }
+    }
+    if (out_net == netlist::kNoNet) continue;
+    const double load = net_load_ff(out_net);
+
+    if (inst.type->sequential()) {
+      // Launch: CP -> Q at the clock-insertion latency.
+      const TimingArc* arc = model->arcs.empty() ? nullptr : &model->arcs[0];
+      if (!arc) continue;
+      const double clk_slew = 15.0;
+      const double d = opt_.derate_late * 0.5 *
+                       (arc->delay_rise.lookup(clk_slew, load) +
+                        arc->delay_fall.lookup(clk_slew, load));
+      arrival_[static_cast<std::size_t>(id)] = clock_latency(id) + d;
+      slew_[static_cast<std::size_t>(id)] =
+          0.5 * (arc->trans_rise.lookup(clk_slew, load) +
+                 arc->trans_fall.lookup(clk_slew, load));
+      continue;
+    }
+
+    // Combinational: max over input arcs.
+    double best = 0.0;
+    double best_slew = opt_.input_slew_ps;
+    InstId best_src = netlist::kNoInst;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const auto& pin = inst.type->pins()[p];
+      if (pin.dir == PinDir::Output) continue;
+      const NetId in_net = inst.pin_nets[p];
+      if (in_net == netlist::kNoNet) continue;
+      const netlist::Net& net = nl_->net(in_net);
+      // Locate this pin in the net's sink list for the Elmore lookup.
+      std::size_t sink_idx = 0;
+      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+        if (net.sinks[s].inst == id &&
+            net.sinks[s].pin == static_cast<int>(p)) {
+          sink_idx = s;
+          break;
+        }
+      }
+      double arr, slw;
+      InstId src;
+      input_arrival(net, sink_idx, arr, slw, src);
+      const TimingArc* arc = model->arc_from(static_cast<int>(p));
+      if (!arc) continue;
+      const double d =
+          opt_.derate_late * std::max(arc->delay_rise.lookup(slw, load),
+                                      arc->delay_fall.lookup(slw, load));
+      if (arr + d > best) {
+        best = arr + d;
+        best_slew = std::max(arc->trans_rise.lookup(slw, load),
+                             arc->trans_fall.lookup(slw, load));
+        best_src = src;
+      }
+    }
+    arrival_[static_cast<std::size_t>(id)] = best;
+    slew_[static_cast<std::size_t>(id)] = best_slew;
+    from[static_cast<std::size_t>(id)] = best_src;
+    rep.max_slew_ps = std::max(rep.max_slew_ps, best_slew);
+  }
+
+  // Endpoints: flip-flop D pins (setup) and primary outputs.
+  double worst = 0.0;
+  InstId worst_end = netlist::kNoInst;
+  InstId worst_src = netlist::kNoInst;
+  for (int i = 0; i < nl_->num_instances(); ++i) {
+    const netlist::Instance& inst = nl_->instance(i);
+    if (!inst.type->sequential()) continue;
+    const TimingModel* model = inst.type->timing_model();
+    if (!model) continue;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const auto& pin = inst.type->pins()[p];
+      if (pin.dir != PinDir::Input || pin.name != "D") continue;
+      const NetId net_id = inst.pin_nets[p];
+      if (net_id == netlist::kNoNet) continue;
+      const netlist::Net& net = nl_->net(net_id);
+      std::size_t sink_idx = 0;
+      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+        if (net.sinks[s].inst == i && net.sinks[s].pin == static_cast<int>(p)) {
+          sink_idx = s;
+          break;
+        }
+      }
+      double arr, slw;
+      InstId src;
+      input_arrival(net, sink_idx, arr, slw, src);
+      // Capture edge benefits from this FF's own insertion latency.
+      const double path =
+          arr + model->setup_ps - clock_latency(i);
+      if (path > worst) {
+        worst = path;
+        worst_end = i;
+        worst_src = src;
+      }
+      ++rep.endpoints;
+    }
+  }
+  for (const netlist::Port& port : nl_->ports()) {
+    if (port.is_input || port.net == netlist::kNoNet) continue;
+    const netlist::Net& net = nl_->net(port.net);
+    if (net.driver.inst == netlist::kNoInst) continue;
+    const double arr = arrival_[static_cast<std::size_t>(net.driver.inst)];
+    if (arr > worst) {
+      worst = arr;
+      worst_end = net.driver.inst;
+      worst_src = from[static_cast<std::size_t>(net.driver.inst)];
+    }
+    ++rep.endpoints;
+  }
+
+  rep.critical_path_ps = worst + opt_.clock_skew_ps + opt_.uncertainty_ps;
+  rep.achieved_freq_ghz =
+      rep.critical_path_ps > 0 ? 1000.0 / rep.critical_path_ps : 0.0;
+
+  // Reconstruct the critical path (endpoint backwards).
+  critical_insts_.clear();
+  for (InstId cur = worst_src; cur != netlist::kNoInst;
+       cur = from[static_cast<std::size_t>(cur)]) {
+    critical_insts_.push_back(cur);
+    if (critical_insts_.size() > 10000) break;  // safety
+  }
+  std::reverse(critical_insts_.begin(), critical_insts_.end());
+  if (worst_end != netlist::kNoInst) critical_insts_.push_back(worst_end);
+  std::string desc;
+  for (std::size_t i = 0; i < critical_insts_.size(); ++i) {
+    if (i) desc += " -> ";
+    desc += nl_->instance(critical_insts_[i]).name;
+    if (desc.size() > 400) {
+      desc += " ...";
+      break;
+    }
+  }
+  rep.critical_path = desc;
+  return rep;
+}
+
+HoldReport Sta::analyze_hold(
+    const std::unordered_map<InstId, double>* clock_latency_ps) {
+  const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
+  std::vector<double> min_arrival(n_inst, 0.0);
+  std::vector<double> min_slew(n_inst, opt_.input_slew_ps);
+
+  auto clock_latency = [&](InstId id) {
+    if (!clock_latency_ps) return 0.0;
+    const auto it = clock_latency_ps->find(id);
+    return it == clock_latency_ps->end() ? 0.0 : it->second;
+  };
+
+  for (InstId id : nl_->topo_order()) {
+    const netlist::Instance& inst = nl_->instance(id);
+    const stdcell::TimingModel* model = inst.type->timing_model();
+    if (!model) continue;
+    NetId out_net = netlist::kNoNet;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      if (inst.type->pins()[p].dir == PinDir::Output) {
+        out_net = inst.pin_nets[p];
+        break;
+      }
+    }
+    if (out_net == netlist::kNoNet) continue;
+    const double load = net_load_ff(out_net);
+
+    if (inst.type->sequential()) {
+      const TimingArc* arc = model->arcs.empty() ? nullptr : &model->arcs[0];
+      if (!arc) continue;
+      const double d = opt_.derate_early *
+                       std::min(arc->delay_rise.lookup(15.0, load),
+                                arc->delay_fall.lookup(15.0, load));
+      min_arrival[static_cast<std::size_t>(id)] = clock_latency(id) + d;
+      min_slew[static_cast<std::size_t>(id)] =
+          std::min(arc->trans_rise.lookup(15.0, load),
+                   arc->trans_fall.lookup(15.0, load));
+      continue;
+    }
+
+    double best = std::numeric_limits<double>::max();
+    double best_slew = opt_.input_slew_ps;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const auto& pin = inst.type->pins()[p];
+      if (pin.dir == PinDir::Output) continue;
+      const NetId in_net = inst.pin_nets[p];
+      if (in_net == netlist::kNoNet) continue;
+      const netlist::Net& net = nl_->net(in_net);
+      std::size_t sink_idx = 0;
+      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+        if (net.sinks[s].inst == id &&
+            net.sinks[s].pin == static_cast<int>(p)) {
+          sink_idx = s;
+          break;
+        }
+      }
+      double arr = opt_.input_delay_ps + opt_.pi_reference_latency_ps;
+      double slw = opt_.input_slew_ps;
+      if (net.driver.inst != netlist::kNoInst) {
+        arr = min_arrival[static_cast<std::size_t>(net.driver.inst)];
+        slw = min_slew[static_cast<std::size_t>(net.driver.inst)];
+      }
+      const double wire =
+          sink_wire_delay_ps(in_net, sink_idx) * opt_.derate_early;
+      arr += wire;
+      slw = degrade_slew(slw, wire);
+      const TimingArc* arc = model->arc_from(static_cast<int>(p));
+      if (!arc) continue;
+      const double d = opt_.derate_early *
+                       std::min(arc->delay_rise.lookup(slw, load),
+                                arc->delay_fall.lookup(slw, load));
+      if (arr + d < best) {
+        best = arr + d;
+        best_slew = std::min(arc->trans_rise.lookup(slw, load),
+                             arc->trans_fall.lookup(slw, load));
+      }
+    }
+    if (best == std::numeric_limits<double>::max()) best = 0.0;
+    min_arrival[static_cast<std::size_t>(id)] = best;
+    min_slew[static_cast<std::size_t>(id)] = best_slew;
+  }
+
+  HoldReport rep;
+  rep.worst_slack_ps = std::numeric_limits<double>::max();
+  for (int i = 0; i < nl_->num_instances(); ++i) {
+    const netlist::Instance& inst = nl_->instance(i);
+    if (!inst.type->sequential()) continue;
+    const stdcell::TimingModel* model = inst.type->timing_model();
+    if (!model) continue;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const auto& pin = inst.type->pins()[p];
+      if (pin.dir != PinDir::Input || pin.name != "D") continue;
+      const NetId net_id = inst.pin_nets[p];
+      if (net_id == netlist::kNoNet) continue;
+      const netlist::Net& net = nl_->net(net_id);
+      std::size_t sink_idx = 0;
+      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+        if (net.sinks[s].inst == i && net.sinks[s].pin == static_cast<int>(p)) {
+          sink_idx = s;
+          break;
+        }
+      }
+      double arr = opt_.input_delay_ps + opt_.pi_reference_latency_ps;
+      if (net.driver.inst != netlist::kNoInst) {
+        arr = min_arrival[static_cast<std::size_t>(net.driver.inst)];
+      }
+      arr += sink_wire_delay_ps(net_id, sink_idx) * opt_.derate_early;
+      // Hold check at the same edge: data must stay stable past the
+      // capture flop's hold window, which opens at its clock latency.
+      const double skew =
+          clock_latency_ps ? clock_latency(i) : opt_.clock_skew_ps;
+      const double slack = arr - model->hold_ps - skew;
+      if (slack < rep.worst_slack_ps) {
+        rep.worst_slack_ps = slack;
+        rep.worst_endpoint = inst.name + "/D";
+      }
+      if (slack < 0.0) {
+        ++rep.violations;
+        rep.violating_endpoints.push_back({i, slack});
+      }
+    }
+  }
+  if (rep.worst_slack_ps == std::numeric_limits<double>::max()) {
+    rep.worst_slack_ps = 0.0;
+  }
+  return rep;
+}
+
+PowerReport Sta::analyze_power(double freq_ghz,
+                               const std::vector<double>* toggle_rates,
+                               double default_toggle) const {
+  PowerReport rep;
+  rep.freq_ghz = freq_ghz;
+  const double vdd = nl_->library().tech().device().vdd_v;
+
+  auto toggle_of = [&](NetId n) {
+    if (toggle_rates && static_cast<std::size_t>(n) < toggle_rates->size()) {
+      return (*toggle_rates)[static_cast<std::size_t>(n)];
+    }
+    return nl_->net(n).is_clock ? 2.0 : default_toggle;
+  };
+
+  // Net switching power: alpha/2 * C * V^2 * f   (fF * V^2 * GHz = uW).
+  for (int n = 0; n < nl_->num_nets(); ++n) {
+    const double cap = net_load_ff(n);
+    rep.switching_uw += 0.5 * toggle_of(n) * cap * vdd * vdd * freq_ghz;
+  }
+
+  // Internal power: per-transition NLDM energy at each driver.
+  for (int i = 0; i < nl_->num_instances(); ++i) {
+    const netlist::Instance& inst = nl_->instance(i);
+    const TimingModel* model = inst.type->timing_model();
+    if (!model) continue;
+    rep.leakage_uw += model->leakage_nw / 1000.0;
+    if (model->arcs.empty()) continue;
+    NetId out_net = netlist::kNoNet;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      if (inst.type->pins()[p].dir == PinDir::Output) {
+        out_net = inst.pin_nets[p];
+        break;
+      }
+    }
+    if (out_net == netlist::kNoNet) continue;
+    const double load = net_load_ff(out_net);
+    const double slw =
+        slew_.empty() ? opt_.input_slew_ps
+                      : slew_[static_cast<std::size_t>(i)];
+    const TimingArc& arc = model->arcs.front();
+    const double e_avg = 0.5 * (arc.energy_rise.lookup(slw, load) +
+                                arc.energy_fall.lookup(slw, load));
+    // fJ per transition * transitions/cycle * GHz = uW.
+    rep.internal_uw += e_avg * toggle_of(out_net) * freq_ghz;
+  }
+  return rep;
+}
+
+}  // namespace ffet::sta

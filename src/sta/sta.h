@@ -1,0 +1,142 @@
+// sta.h — graph-based static timing analysis and power analysis.
+//
+// Standard NLDM STA: instances are levelized topologically; arrival times
+// and transitions propagate through cell arcs (bilinear NLDM lookups) and
+// wire RC (Elmore delay from the extractor, with slew degradation).
+// Sequential elements launch at their clock-insertion latency (from CTS)
+// and capture with setup at the next edge.  The achieved frequency is the
+// reciprocal of the worst launch→capture path — the number the paper's
+// power-frequency plots report on the y/x axes.
+//
+// Power (the paper's "power" KPI) combines:
+//   * net switching power     alpha/2 * C_net * VDD^2 * f
+//   * cell internal power     per-transition NLDM energy * alpha * f
+//   * leakage                 per-cell static leakage
+// with per-net toggle rates taken from gate-level simulation when
+// available (the RV32 harness) or a default activity factor otherwise.
+//
+// When no extraction is available (pre-placement synthesis timing), a
+// fanout-based wireload model stands in for the RC trees.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extract/extract.h"
+#include "netlist/netlist.h"
+
+namespace ffet::sta {
+
+struct StaOptions {
+  /// Clock skew folded into every setup check (from CTS).
+  double clock_skew_ps = 0.0;
+  /// Input slew assumed at primary inputs.
+  double input_slew_ps = 20.0;
+  /// Default arrival time at primary inputs (an SDC-style input delay);
+  /// keeps PI-fed flip-flops from reporting spurious hold violations.
+  double input_delay_ps = 10.0;
+  /// Propagated-clock reference for primary inputs: external data is
+  /// launched by the same clock the capture flops receive through the
+  /// tree, so PI arrivals shift by the mean network latency.  The flow
+  /// sets this to the CTS mean insertion delay.
+  double pi_reference_latency_ps = 0.0;
+  /// Extra margin on the critical path (clock uncertainty).
+  double uncertainty_ps = 5.0;
+  /// Corner derates: max-delay (setup) analysis scales all cell and wire
+  /// delays by derate_late; min-delay (hold) by derate_early.  (1.0, 1.0)
+  /// is the typical corner; a classic signoff pair is (1.12, 0.88).
+  double derate_late = 1.0;
+  double derate_early = 1.0;
+  /// Wireload model (used only when no RcNetlist is supplied):
+  /// C = wl_base_ff + wl_per_fanout_ff * fanout.
+  double wl_base_ff = 0.3;
+  double wl_per_fanout_ff = 0.35;
+  double wl_res_ohm = 120.0;  ///< lumped wire resistance for wireload mode
+};
+
+struct TimingReport {
+  double critical_path_ps = 0.0;  ///< data path + setup + skew + uncertainty
+  double achieved_freq_ghz = 0.0;
+  double max_slew_ps = 0.0;
+  std::string critical_path;      ///< "ffA/Q -> u1/ZN -> ... -> ffB/D"
+  int endpoints = 0;
+
+  double slack_ps(double target_period_ps) const {
+    return target_period_ps - critical_path_ps;
+  }
+};
+
+/// Min-delay (hold) analysis result.
+struct HoldReport {
+  double worst_slack_ps = 0.0;  ///< min over endpoints of (min arrival −
+                                ///< hold − skew); negative = violation
+  int violations = 0;
+  std::string worst_endpoint;
+  /// Every violating flip-flop with its slack (for hold fixing).
+  std::vector<std::pair<netlist::InstId, double>> violating_endpoints;
+};
+
+struct PowerReport {
+  double switching_uw = 0.0;
+  double internal_uw = 0.0;
+  double leakage_uw = 0.0;
+  double freq_ghz = 0.0;
+  double total_uw() const { return switching_uw + internal_uw + leakage_uw; }
+  /// Power efficiency in GHz/mW — Fig. 13's metric.
+  double efficiency_ghz_per_mw() const {
+    const double mw = total_uw() / 1000.0;
+    return mw > 0 ? freq_ghz / mw : 0.0;
+  }
+};
+
+class Sta {
+ public:
+  /// `rc` may be null: synthesis-time analysis then uses the wireload
+  /// model.  `clock_latency_ps` (per sequential InstId, from CTS) may be
+  /// null for an ideal clock.
+  Sta(const netlist::Netlist* nl, const extract::RcNetlist* rc,
+      StaOptions options = {});
+
+  /// Full arrival propagation; fills per-instance arrival/slew tables.
+  TimingReport analyze_timing(
+      const std::unordered_map<netlist::InstId, double>* clock_latency_ps =
+          nullptr);
+
+  /// Min-delay propagation and hold checks at every flip-flop D pin.
+  /// Fast paths launched and captured by the same edge must exceed the
+  /// capture flop's hold requirement plus the clock skew between the two
+  /// flops (approximated by `StaOptions::clock_skew_ps` when no per-sink
+  /// latency map is given).
+  HoldReport analyze_hold(
+      const std::unordered_map<netlist::InstId, double>* clock_latency_ps =
+          nullptr);
+
+  /// Power at `freq_ghz` with per-net toggle rates (toggles per cycle,
+  /// indexed by NetId); null uses `default_toggle` for data nets and 2.0
+  /// for clock nets.
+  PowerReport analyze_power(double freq_ghz,
+                            const std::vector<double>* toggle_rates = nullptr,
+                            double default_toggle = 0.15) const;
+
+  /// Per-instance worst output arrival (ps), valid after analyze_timing.
+  const std::vector<double>& arrival_ps() const { return arrival_; }
+  /// Instances on the critical path, driver-first (for synthesis sizing).
+  const std::vector<netlist::InstId>& critical_instances() const {
+    return critical_insts_;
+  }
+
+ private:
+  double net_load_ff(netlist::NetId net) const;
+  double sink_wire_delay_ps(netlist::NetId net, std::size_t sink_idx) const;
+
+  const netlist::Netlist* nl_;
+  const extract::RcNetlist* rc_;
+  StaOptions opt_;
+  std::vector<double> arrival_;
+  std::vector<double> slew_;
+  std::vector<netlist::InstId> critical_insts_;
+};
+
+}  // namespace ffet::sta

@@ -1,0 +1,49 @@
+#include "stdcell/nldm.h"
+
+#include <algorithm>
+
+namespace ffet::stdcell {
+
+namespace {
+
+/// Locate `v` on `axis`: returns the index i such that axis[i] <= v <=
+/// axis[i+1], clamped to the valid segment range, plus the interpolation
+/// fraction within that segment (clamped to [0,1]).
+std::pair<std::size_t, double> locate(const std::vector<double>& axis,
+                                      double v) {
+  if (axis.size() < 2) return {0, 0.0};
+  if (v <= axis.front()) return {0, 0.0};
+  if (v >= axis.back()) return {axis.size() - 2, 1.0};
+  const auto it = std::upper_bound(axis.begin(), axis.end(), v);
+  const std::size_t hi = static_cast<std::size_t>(it - axis.begin());
+  const std::size_t lo = hi - 1;
+  const double span = axis[hi] - axis[lo];
+  const double frac = span > 0.0 ? (v - axis[lo]) / span : 0.0;
+  return {lo, frac};
+}
+
+}  // namespace
+
+double NldmTable::lookup(double slew_ps, double load_ff) const {
+  if (values_.empty()) return 0.0;
+  if (slew_ps_.size() == 1 && load_ff_.size() == 1) return values_[0];
+
+  const auto [si, sf] = locate(slew_ps_, slew_ps);
+  const auto [li, lf] = locate(load_ff_, load_ff);
+
+  if (slew_ps_.size() == 1) {
+    return at(0, li) * (1.0 - lf) + at(0, li + 1) * lf;
+  }
+  if (load_ff_.size() == 1) {
+    return at(si, 0) * (1.0 - sf) + at(si + 1, 0) * sf;
+  }
+  const double v00 = at(si, li);
+  const double v01 = at(si, li + 1);
+  const double v10 = at(si + 1, li);
+  const double v11 = at(si + 1, li + 1);
+  const double r0 = v00 * (1.0 - lf) + v01 * lf;
+  const double r1 = v10 * (1.0 - lf) + v11 * lf;
+  return r0 * (1.0 - sf) + r1 * sf;
+}
+
+}  // namespace ffet::stdcell

@@ -1,0 +1,88 @@
+// nldm.h — non-linear delay model (NLDM) lookup tables.
+//
+// The characterizer (src/liberty) fills these; static timing analysis
+// (src/sta) evaluates them.  Mirrors the Liberty NLDM format the paper's
+// commercial flow consumes: 2-D tables indexed by input transition time and
+// output load, one table each for delay, output transition and switching
+// energy, separately for rising and falling output edges.
+//
+// Units used throughout the project:
+//   time   — picoseconds (ps)
+//   cap    — femtofarads (fF)
+//   energy — femtojoules (fJ) per output transition
+//   power  — nanowatts (nW) for leakage
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ffet::stdcell {
+
+/// 2-D lookup table with bilinear interpolation and clamped extrapolation
+/// (commercial STA clamps rather than extrapolating wildly; we do the same
+/// so pathological slews cannot produce negative delays).
+class NldmTable {
+ public:
+  NldmTable() = default;
+  NldmTable(std::vector<double> slew_axis_ps, std::vector<double> load_axis_ff,
+            std::vector<double> values_row_major)
+      : slew_ps_(std::move(slew_axis_ps)),
+        load_ff_(std::move(load_axis_ff)),
+        values_(std::move(values_row_major)) {
+    assert(values_.size() == slew_ps_.size() * load_ff_.size());
+  }
+
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& slew_axis() const { return slew_ps_; }
+  const std::vector<double>& load_axis() const { return load_ff_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double at(std::size_t slew_idx, std::size_t load_idx) const {
+    return values_[slew_idx * load_ff_.size() + load_idx];
+  }
+
+  /// Bilinear interpolation; inputs outside the axis range are clamped to
+  /// the boundary (never extrapolated below the first sample).
+  double lookup(double slew_ps, double load_ff) const;
+
+ private:
+  std::vector<double> slew_ps_;
+  std::vector<double> load_ff_;
+  std::vector<double> values_;
+};
+
+/// One input→output timing arc.
+struct TimingArc {
+  int from_pin = -1;  ///< index into CellType::pins()
+  int to_pin = -1;
+
+  NldmTable delay_rise;   ///< ps, output rising
+  NldmTable delay_fall;   ///< ps, output falling
+  NldmTable trans_rise;   ///< output transition ps
+  NldmTable trans_fall;
+  NldmTable energy_rise;  ///< internal switching energy fJ
+  NldmTable energy_fall;
+};
+
+/// Full timing/power model for one cell type.
+struct TimingModel {
+  std::vector<TimingArc> arcs;
+
+  double leakage_nw = 0.0;
+
+  // Sequential-only fields (DFF): the CP→Q arc lives in `arcs`; these are
+  // the D-pin constraints.
+  double setup_ps = 0.0;
+  double hold_ps = 0.0;
+
+  const TimingArc* arc_from(int from_pin) const {
+    for (const TimingArc& a : arcs) {
+      if (a.from_pin == from_pin) return &a;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace ffet::stdcell

@@ -1,0 +1,215 @@
+// stdcell.h — dual-sided standard-cell library model.
+//
+// This module carries everything the paper's modified LEF carries:
+//
+//   * cell footprints (width in CPP × tech cell height), with the Fig. 4
+//     area relationships: simple combinational cells shrink by exactly the
+//     3.5T/4T height ratio; MUX/DFF shrink further in FFET thanks to the
+//     Split Gate; AOI22/OAI22 pay one extra CPP in FFET for the extra Drain
+//     Merge;
+//   * pin lists with *sides*.  In CFET every pin is on the frontside M0.
+//     In FFET every output pin is a *dual-sided output pin* (the Drain Merge
+//     reaches both FM0 and BM0 — Sec. III.A), and every input pin can be
+//     redistributed to the frontside or the backside ("their locations
+//     defined in the modified standard cell LEF files can be flexibly
+//     adjusted");
+//   * structural facts (stage count, transistor pairs, n-p links, gate
+//     links, Split-Gate usage) consumed by the library characterizer
+//     (src/liberty) to produce NLDM timing/power models;
+//   * the physical-only cells of the power plan: the FFET Power Tap Cell
+//     and filler cells.
+//
+// Input-pin redistribution (the FP_x BP_y DoEs of Sec. IV) is implemented by
+// `build_library` taking a PinConfig: input pins across the library are
+// deterministically assigned to the backside so that the library-wide
+// backside input-pin fraction matches the requested ratio.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/geom.h"
+#include "tech/tech.h"
+
+namespace ffet::stdcell {
+
+using geom::Nm;
+using tech::Side;
+using tech::Technology;
+
+/// Logical function of a cell type; drives structure, pin list and the
+/// gate-level evaluator used by tests and the netlist simulator.
+enum class Function : std::uint8_t {
+  Inv, Buf, Nand2, Nor2, And2, Or2, Xor2, Xnor2,
+  Aoi21, Oai21, Aoi22, Oai22, Mux2, Dff, DffR,
+  ClkBuf, TieLo, TieHi, Tap, Filler,
+};
+
+std::string_view to_string(Function f);
+
+bool is_sequential(Function f);
+/// Physical-only cells take placement area but have no pins/arcs.
+bool is_physical_only(Function f);
+
+enum class PinDir : std::uint8_t { Input, Output, Clock };
+
+/// Where a pin's access shapes live.  `Both` models the FFET dual-sided
+/// output pin: the router may reach it from either side.
+enum class PinSide : std::uint8_t { Front, Back, Both };
+
+std::string_view to_string(PinSide s);
+
+struct CellPin {
+  std::string name;
+  PinDir dir = PinDir::Input;
+  PinSide side = PinSide::Front;
+  /// Input capacitance in fF (filled by the characterizer; 0 for outputs).
+  double cap_ff = 0.0;
+  /// Pin access point, relative to the cell origin (lower-left).  Used for
+  /// DEF emission and for routing-demand estimation.
+  geom::Point offset;
+};
+
+/// Structural facts that determine both area and parasitics.  Width is
+/// stored per technology because the Split Gate / extra-Drain-Merge effects
+/// change CPP counts between CFET and FFET (Sec. II.B, Fig. 3-4).
+struct CellStructure {
+  int stages = 1;           ///< logic stages from input to output
+  int tx_pairs = 1;         ///< number of stacked n/p transistor pairs
+  int fins_per_device = 2;  ///< the paper's two-fin transistor assumption
+  int np_links = 1;         ///< n-p common-drain connections (Drain Merge in
+                            ///< FFET, supervia chain in CFET)
+  int gate_links = 1;       ///< n-p common-gate connections (Gate Merge in
+                            ///< FFET, stacked-gate contact in CFET)
+  int split_gate_pairs = 0; ///< pairs driven by *different* signals: in FFET
+                            ///< these skip the Gate Merge (Split Gate) and
+                            ///< save area; in CFET they cost one extra CPP
+                            ///< each (Fig. 3c)
+  int width_cpp_cfet = 2;
+  int width_cpp_ffet = 2;
+  int drive = 1;            ///< drive strength multiplier (D1/D2/D4/D8)
+};
+
+// Defined in stdcell/nldm.h; filled in by the characterizer (src/liberty)
+// and consumed by STA (src/sta).  Attached to cell types so downstream
+// stages need only the library.
+struct TimingModel;
+
+/// One cell master ("INVD1", "DFFD2", ...).
+class CellType {
+ public:
+  CellType(std::string name, Function func, CellStructure structure,
+           Nm width, Nm height);
+  ~CellType();
+  CellType(CellType&&) noexcept;
+  CellType& operator=(CellType&&) noexcept;
+  CellType(const CellType&) = delete;
+  CellType& operator=(const CellType&) = delete;
+
+  const std::string& name() const { return name_; }
+  Function function() const { return func_; }
+  const CellStructure& structure() const { return structure_; }
+
+  Nm width() const { return width_; }
+  Nm height() const { return height_; }
+  double area_um2() const {
+    return geom::to_um(width_) * geom::to_um(height_);
+  }
+
+  const std::vector<CellPin>& pins() const { return pins_; }
+  std::vector<CellPin>& mutable_pins() { return pins_; }
+  const CellPin* find_pin(std::string_view pin_name) const;
+  /// Index into pins() for a name; -1 if absent.
+  int pin_index(std::string_view pin_name) const;
+
+  /// The single output pin (nullptr for physical-only cells).
+  const CellPin* output_pin() const;
+  std::vector<const CellPin*> input_pins() const;  ///< includes clock pins
+
+  bool sequential() const { return is_sequential(func_); }
+  bool physical_only() const { return is_physical_only(func_); }
+
+  /// Attached NLDM model; null until the characterizer runs.
+  TimingModel* timing_model() const { return timing_.get(); }
+  void set_timing_model(std::unique_ptr<TimingModel> m);
+
+  void add_pin(CellPin pin) { pins_.push_back(std::move(pin)); }
+
+ private:
+  std::string name_;
+  Function func_;
+  CellStructure structure_;
+  Nm width_;
+  Nm height_;
+  std::vector<CellPin> pins_;
+  std::unique_ptr<TimingModel> timing_;
+};
+
+/// Input-pin redistribution configuration (Sec. IV DoEs).
+struct PinConfig {
+  /// Fraction of library input pins placed on the backside: 0.0 gives the
+  /// single-sided FFET FM12-style library (and is mandatory for CFET);
+  /// 0.5 gives FP0.5/BP0.5.
+  double backside_input_fraction = 0.0;
+
+  /// Label fragment for reports, e.g. "FP0.5BP0.5"; empty -> derived.
+  std::string label() const;
+};
+
+/// A characterized cell library bound to one technology + pin config.
+class Library {
+ public:
+  Library(const Technology* tech, PinConfig pin_config);
+
+  const Technology& tech() const { return *tech_; }
+  const PinConfig& pin_config() const { return pin_config_; }
+  const std::string& name() const { return name_; }
+
+  const CellType* find(std::string_view cell_name) const;
+  const CellType& at(std::string_view cell_name) const;
+  CellType& mutable_at(std::string_view cell_name);
+
+  const std::vector<std::unique_ptr<CellType>>& cells() const {
+    return cells_;
+  }
+
+  CellType& add_cell(std::unique_ptr<CellType> cell);
+
+  /// Library-wide realized backside input-pin fraction (over distinct
+  /// library pins, unweighted by instance counts).
+  double backside_input_pin_fraction() const;
+
+  /// Name of the physical tap cell, empty if the technology needs none.
+  const std::string& tap_cell_name() const { return tap_cell_name_; }
+  void set_tap_cell_name(std::string n) { tap_cell_name_ = std::move(n); }
+
+ private:
+  const Technology* tech_;
+  PinConfig pin_config_;
+  std::string name_;
+  std::vector<std::unique_ptr<CellType>> cells_;
+  std::map<std::string, CellType*, std::less<>> by_name_;
+  std::string tap_cell_name_;
+};
+
+/// Build the full Fig. 4 cell set (plus clock buffers and physical cells)
+/// for the given technology, with input pins redistributed per `config`.
+/// For CFET, `config.backside_input_fraction` must be 0 (no backside pins);
+/// violating this throws std::invalid_argument.
+///
+/// The returned library is *uncharacterized*: call
+/// liberty::characterize_library to attach NLDM models and pin caps.
+Library build_library(const Technology& tech, PinConfig config = {});
+
+/// Evaluate a combinational function on input values ordered as in the cell
+/// pin list (excluding clock).  Returns nullopt for sequential or physical
+/// cells.  Used by the gate-level simulator and by netlist property tests.
+std::optional<bool> evaluate(Function f, const std::vector<bool>& inputs);
+
+}  // namespace ffet::stdcell

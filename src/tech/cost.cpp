@@ -1,0 +1,47 @@
+#include "tech/cost.h"
+
+namespace ffet::tech {
+
+namespace {
+
+double layer_cost(const CostModel& m, Nm pitch) {
+  if (pitch < 50) return m.fine_layer;
+  if (pitch <= 200) return m.mid_layer;
+  return m.fat_layer;
+}
+
+}  // namespace
+
+CostBreakdown relative_process_cost(const Technology& tech,
+                                    const CostModel& model) {
+  CostBreakdown b;
+  bool has_backside_metal = false;
+  bool has_bpr = false;
+  for (const MetalLayer& l : tech.layers()) {
+    if (l.index < 0) {  // BPR
+      has_bpr = true;
+      continue;
+    }
+    const double c = layer_cost(model, l.pitch);
+    if (l.side == Side::Front) {
+      b.frontside_layers += c;
+    } else {
+      b.backside_layers += c;
+      has_backside_metal = true;
+    }
+    ++b.num_layers;
+  }
+
+  b.modules = model.stacked_device_module;  // both techs stack transistors
+  if (has_backside_metal) b.modules += model.backside_module;
+  if (has_bpr) b.modules += model.bpr_module;
+  if (tech.power_rules().tsv_blockage_fraction > 0.0) {
+    b.modules += model.ntsv_module;
+  }
+
+  b.total = model.base_wafer + b.frontside_layers + b.backside_layers +
+            b.modules;
+  return b;
+}
+
+}  // namespace ffet::tech

@@ -1,0 +1,50 @@
+// cost.h — BEOL process-cost model (extension beyond the paper).
+//
+// The paper motivates routing-layer reduction as "cost-friendly design"
+// (Sec. IV, Figs. 12-13) but never quantifies cost.  This extension assigns
+// each technology configuration a relative wafer-cost index from its layer
+// stack, using standard cost-of-ownership intuition:
+//
+//   * each metal layer costs litho+etch+CMP passes; tight-pitch layers need
+//     multi-patterning (more passes, higher cost per layer);
+//   * a functional backside adds the wafer flip/bond/thinning module once,
+//     plus its own per-layer costs;
+//   * the CFET's nTSV module and BPR add fixed steps.
+//
+// Values are relative (base frontside-only wafer with zero metal = 1.0) and
+// deliberately coarse — the point is ranking configurations and exposing
+// the PPA-per-cost trade the paper gestures at, not fab accounting.
+
+#pragma once
+
+#include "tech/tech.h"
+
+namespace ffet::tech {
+
+struct CostModel {
+  double base_wafer = 1.0;
+  /// Per-layer adders by pitch class.
+  double fine_layer = 0.085;  ///< pitch < 50 nm: multi-patterned
+  double mid_layer = 0.050;   ///< 50-200 nm: single-pattern immersion
+  double fat_layer = 0.025;   ///< > 200 nm: relaxed litho
+  /// One-time module costs.
+  double backside_module = 0.18;  ///< flip + bond + thin (FFET, and CFET BSPDN)
+  double ntsv_module = 0.06;      ///< CFET nano-TSV formation
+  double bpr_module = 0.04;       ///< buried power rail
+  double stacked_device_module = 0.10;  ///< CFET/FFET 3D transistor stack
+};
+
+struct CostBreakdown {
+  double total = 0.0;
+  double frontside_layers = 0.0;
+  double backside_layers = 0.0;
+  double modules = 0.0;
+  int num_layers = 0;
+};
+
+/// Relative process cost of a technology configuration (with its current
+/// routing-layer limits applied).
+CostBreakdown relative_process_cost(const Technology& tech,
+                                    const CostModel& model = {});
+
+}  // namespace ffet::tech

@@ -1,0 +1,205 @@
+// tech.h — technology / virtual-PDK model.
+//
+// Encodes the two rule decks of the paper's Table II:
+//
+//   * 4T CFET   — frontside BEOL FM0..FM12, backside BPR + BM1/BM2 which are
+//                 PDN-only (pitch 3200/2400 nm), buried power rail.
+//   * 3.5T FFET — fully symmetric BEOL: FM0..FM12 on the frontside and
+//                 BM0..BM12 on the backside, identical pitches per index.
+//
+// Beyond the published pitch table, each metal layer carries derived
+// electrical properties (sheet-style resistance per µm and capacitance per
+// µm) computed from its pitch with standard interconnect scaling assumptions
+// (half-pitch line width, aspect ratio 2, Cu resistivity with a size-effect
+// correction for narrow lines).  The paper's own PDK is proprietary; the
+// derivation here preserves the property the experiments depend on: narrow
+// lower layers are resistive, wide upper layers are fast, and removing upper
+// layers forces traffic into slow congested metal.
+//
+// The technology also carries the device-level parameters used by the
+// library characterizer (src/liberty): per-fin drive resistance and
+// capacitances, plus the parasitics of the three FFET interconnect
+// structures (Gate Merge, Drain Merge) and the CFET supervia / BPR taps that
+// Table I's KPI differences trace back to.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/geom.h"
+
+namespace ffet::tech {
+
+using geom::Dir;
+using geom::Nm;
+
+/// Which side of the wafer a structure lives on.
+enum class Side : std::uint8_t { Front, Back };
+
+constexpr Side opposite(Side s) {
+  return s == Side::Front ? Side::Back : Side::Front;
+}
+
+std::string_view to_string(Side s);
+
+/// The two technologies compared in the paper.
+enum class TechKind : std::uint8_t { Cfet4T, Ffet3p5T };
+
+std::string_view to_string(TechKind k);
+
+/// What a metal layer may legally carry.
+enum class LayerPurpose : std::uint8_t {
+  Signal,     ///< inter-cell signal routing (and PDN stripes where planned)
+  PowerOnly,  ///< PDN only — CFET's BM1/BM2 and the BPR
+  CellLevel,  ///< M0: intra-cell routing and pin shapes only (Sec. IV:
+              ///< "FM0 and BM0 are only used for intra-cell routing")
+};
+
+/// One metal layer of the BEOL stack (or the BPR).
+struct MetalLayer {
+  std::string name;          ///< e.g. "FM3", "BM0", "BPR"
+  Side side = Side::Front;
+  int index = 0;             ///< 0 for M0, 1 for M1, ... ; -1 for BPR
+  Nm pitch = 0;              ///< line pitch from Table II
+  Dir preferred_dir = Dir::Horizontal;
+  LayerPurpose purpose = LayerPurpose::Signal;
+
+  // Derived electrical model (see derive_electricals in tech.cpp).
+  double r_ohm_per_um = 0.0;  ///< wire resistance per micron of length
+  double c_ff_per_um = 0.0;   ///< wire capacitance per micron of length
+  double via_down_r_ohm = 0.0;  ///< resistance of a via to the layer below
+
+  bool is_signal_routing() const { return purpose == LayerPurpose::Signal; }
+};
+
+/// Device-level parameters consumed by the library characterizer.  All
+/// resistances in ohm, capacitances in fF.  "Per fin" values follow the
+/// paper's two-fin transistor assumption; both techs share the *intrinsic*
+/// transistor (Sec. IV: "same intrinsic transistor characteristics") and
+/// differ only in the interconnect-structure parasitics below.
+struct DeviceParams {
+  double nfet_r_per_fin_ohm = 0.0;   ///< on-resistance of one nFET fin
+  double pfet_r_per_fin_ohm = 0.0;   ///< on-resistance of one pFET fin
+  double gate_c_per_fin_ff = 0.0;    ///< gate capacitance of one fin
+  double drain_c_per_fin_ff = 0.0;   ///< junction/drain cap of one fin
+  double leakage_nw_per_fin = 0.0;   ///< leakage power per fin at nominal VDD
+
+  // Structure parasitics that differ between CFET and FFET.
+  double np_link_r_ohm = 0.0;  ///< n-p common-drain link: CFET supervia
+                               ///< chain vs. FFET Drain Merge
+  double np_link_c_ff = 0.0;   ///< capacitance of that link
+  double np_link_parallel_eff = 1.0;  ///< how well parallel fingers share the
+                                      ///< link: FFET Drain Merges parallelize
+                                      ///< perfectly (1.0); CFET supervia
+                                      ///< chains are area-constrained (<1),
+                                      ///< so the FFET timing advantage grows
+                                      ///< with drive strength (Table I)
+  double gate_link_r_ohm = 0.0;  ///< common-gate link: CFET stacked-gate
+                                 ///< contact vs. FFET Gate Merge via
+  double gate_link_c_ff = 0.0;
+  double internal_track_c_ff_per_cpp = 0.0;  ///< M0 intra-cell wire cap per
+                                             ///< CPP of cell width traversed
+  double pin_c_ff_per_cpp_side = 0.0;  ///< pin landing-metal cap per CPP of
+                                       ///< pin extent *per side exposed* —
+                                       ///< FFET dual-sided output pins pay
+                                       ///< this twice
+  double power_tap_r_ohm = 0.0;  ///< rail-to-PDN tap: CFET BPR via / FFET
+                                 ///< Power Tap Cell path (IR drop model)
+  double vdd_v = 0.7;            ///< nominal supply
+};
+
+/// Power-planning rules (Sec. III.B).
+struct PowerPlanRules {
+  int stripe_pitch_cpp = 64;   ///< backside power-stripe pitch: 64 CPP
+  Nm stripe_width = 0;         ///< width of one backside power stripe
+  int tap_cell_width_cpp = 0;  ///< Power Tap Cell width (FFET) in CPP; 0 if
+                               ///< the tech needs no tap cells (CFET nTSV)
+  double tsv_blockage_fraction = 0.0;  ///< CFET: fraction of placement sites
+                                       ///< blocked by nTSV landing pads
+};
+
+/// A complete technology: rule deck + derived models.
+class Technology {
+ public:
+  TechKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  /// Contacted poly pitch: horizontal placement quantum (50 nm, Table II).
+  Nm cpp() const { return cpp_; }
+  /// M2 pitch defines the routing track (1T == 1 M2 pitch, Sec. I).
+  Nm track_pitch() const { return track_pitch_; }
+  /// Standard-cell height in tracks (4.0 or 3.5).
+  double cell_height_tracks() const { return cell_height_tracks_; }
+  /// Standard-cell height in nm.
+  Nm cell_height() const { return cell_height_; }
+
+  const DeviceParams& device() const { return device_; }
+  const PowerPlanRules& power_rules() const { return power_rules_; }
+
+  const std::vector<MetalLayer>& layers() const { return layers_; }
+
+  /// Find a layer by name ("FM3", "BM0", ...); nullptr if absent.
+  const MetalLayer* find_layer(std::string_view name) const;
+
+  /// Signal-routing layers on one side, in ascending index order.  Excludes
+  /// M0 (cell-level) and PDN-only layers.
+  std::vector<const MetalLayer*> routing_layers(Side side) const;
+
+  int num_routing_layers(Side side) const;
+
+  /// True iff standard cells can expose pins on the backside — the defining
+  /// FFET capability.
+  bool supports_backside_pins() const { return kind_ == TechKind::Ffet3p5T; }
+
+  /// Restrict signal routing to layers FM1..FM<front_max> and
+  /// BM1..BM<back_max>; layers above become unavailable (demoted out of the
+  /// stack).  This implements the paper's "FM_x BM_y" routing-layer
+  /// patterns.  back_max is ignored for technologies without backside
+  /// signal layers.  Returns a modified copy.
+  Technology with_routing_limit(int front_max, int back_max) const;
+
+  /// Highest usable signal-routing layer index per side under the current
+  /// limits.
+  int max_routing_index(Side side) const;
+
+  /// Short pattern string for reports, e.g. "FM12BM12", "FM12", "FM6BM6".
+  std::string routing_pattern() const;
+
+  // Factory functions are the only way to build a Technology.
+  friend Technology make_cfet_4t();
+  friend Technology make_ffet_3p5t();
+
+ private:
+  Technology() = default;
+
+  TechKind kind_ = TechKind::Cfet4T;
+  std::string name_;
+  Nm cpp_ = 0;
+  Nm track_pitch_ = 0;
+  double cell_height_tracks_ = 0.0;
+  Nm cell_height_ = 0;
+  DeviceParams device_;
+  PowerPlanRules power_rules_;
+  std::vector<MetalLayer> layers_;
+};
+
+/// Build the 4T CFET technology of Table II (BPR + PDN-only BM1/BM2).
+Technology make_cfet_4t();
+
+/// Build the 3.5T FFET technology of Table II (symmetric FM/BM stacks).
+Technology make_ffet_3p5t();
+
+/// Derive R (ohm/µm), C (fF/µm) and via resistance from a layer pitch.
+/// Exposed for tests and for the extraction module's documentation.
+struct WireElectricals {
+  double r_ohm_per_um;
+  double c_ff_per_um;
+  double via_down_r_ohm;
+};
+WireElectricals derive_electricals(Nm pitch);
+
+}  // namespace ffet::tech

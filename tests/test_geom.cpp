@@ -1,0 +1,149 @@
+// Unit tests for the geometry substrate.
+
+#include <gtest/gtest.h>
+
+#include "geom/geom.h"
+#include "geom/grid.h"
+
+namespace ffet::geom {
+namespace {
+
+TEST(Point, ArithmeticAndComparison) {
+  const Point a{10, 20};
+  const Point b{3, -5};
+  EXPECT_EQ((a + b), (Point{13, 15}));
+  EXPECT_EQ((a - b), (Point{7, 25}));
+  EXPECT_TRUE(a == (Point{10, 20}));
+  EXPECT_TRUE(b < a);
+}
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-3, -4}, {3, 4}), 14);
+}
+
+TEST(UnitConversion, RoundTrips) {
+  EXPECT_DOUBLE_EQ(to_um(1500), 1.5);
+  EXPECT_EQ(from_um(1.5), 1500);
+  EXPECT_EQ(from_um(-0.25), -250);
+  EXPECT_EQ(from_um(to_um(123456)), 123456);
+}
+
+TEST(Rect, BasicProperties) {
+  const Rect r = make_rect({100, 200}, 300, 400);
+  EXPECT_EQ(r.width(), 300);
+  EXPECT_EQ(r.height(), 400);
+  EXPECT_TRUE(r.well_formed());
+  EXPECT_FALSE(r.degenerate());
+  EXPECT_EQ(r.center(), (Point{250, 400}));
+  EXPECT_DOUBLE_EQ(r.area_um2(), 0.3 * 0.4);
+}
+
+TEST(Rect, DegenerateWireSegment) {
+  const Rect seg{{0, 50}, {1000, 50}};
+  EXPECT_TRUE(seg.well_formed());
+  EXPECT_TRUE(seg.degenerate());
+  EXPECT_EQ(seg.width(), 1000);
+  EXPECT_EQ(seg.height(), 0);
+}
+
+TEST(Rect, ContainsPointInclusive) {
+  const Rect r = make_rect({0, 0}, 10, 10);
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_TRUE(r.contains(Point{5, 5}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_FALSE(r.contains(Point{5, -1}));
+}
+
+TEST(Rect, IntersectsVsOverlapsInterior) {
+  const Rect a = make_rect({0, 0}, 10, 10);
+  const Rect touching = make_rect({10, 0}, 10, 10);  // shares an edge
+  const Rect apart = make_rect({11, 0}, 10, 10);
+  const Rect inside = make_rect({2, 2}, 3, 3);
+  EXPECT_TRUE(a.intersects(touching));
+  EXPECT_FALSE(a.overlaps_interior(touching));  // abutment is legal placement
+  EXPECT_FALSE(a.intersects(apart));
+  EXPECT_TRUE(a.overlaps_interior(inside));
+}
+
+TEST(Rect, UnitedAndIntersected) {
+  const Rect a = make_rect({0, 0}, 10, 10);
+  const Rect b = make_rect({5, 5}, 10, 10);
+  const Rect u = a.united(b);
+  EXPECT_EQ(u, make_rect({0, 0}, 15, 15));
+  const Rect i = a.intersected(b);
+  EXPECT_EQ(i, make_rect({5, 5}, 5, 5));
+}
+
+TEST(Rect, TranslatedAndInflated) {
+  const Rect r = make_rect({0, 0}, 10, 10);
+  EXPECT_EQ(r.translated({5, -5}), make_rect({5, -5}, 10, 10));
+  const Rect inf = r.inflated(2);
+  EXPECT_EQ(inf, make_rect({-2, -2}, 14, 14));
+}
+
+TEST(Interval, OverlapSemantics) {
+  const Interval a{0, 10};
+  EXPECT_TRUE(a.intersects({10, 20}));
+  EXPECT_FALSE(a.overlaps_interior({10, 20}));
+  EXPECT_TRUE(a.overlaps_interior({9, 20}));
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(10));
+  EXPECT_FALSE(a.contains(11));
+  EXPECT_EQ(a.intersected({5, 20}), (Interval{5, 10}));
+}
+
+TEST(Snap, DownUpWithOffset) {
+  EXPECT_EQ(snap_down(95, 30), 90);
+  EXPECT_EQ(snap_down(90, 30), 90);
+  EXPECT_EQ(snap_up(91, 30), 120);
+  EXPECT_EQ(snap_up(90, 30), 90);
+  EXPECT_EQ(snap_down(95, 30, 5), 95);
+  EXPECT_EQ(snap_down(94, 30, 5), 65);
+  EXPECT_EQ(snap_down(-5, 30), -30);
+  EXPECT_EQ(snap_up(-5, 30), 0);
+}
+
+TEST(Tracks, CountInSpan) {
+  // Tracks at 0, 30, 60, 90 ...
+  EXPECT_EQ(tracks_in_span(0, 90, 30), 4);
+  EXPECT_EQ(tracks_in_span(1, 89, 30), 2);
+  EXPECT_EQ(tracks_in_span(31, 59, 30), 0);
+  EXPECT_EQ(tracks_in_span(30, 30, 30), 1);
+  EXPECT_EQ(tracks_in_span(10, 5, 30), 0);   // empty span
+  EXPECT_EQ(tracks_in_span(0, 100, 0), 0);   // invalid pitch
+}
+
+TEST(Grid2D, IndexingAndBounds) {
+  Grid2D<int> g(4, 3, 7);
+  EXPECT_EQ(g.cols(), 4);
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_TRUE(g.in_bounds(3, 2));
+  EXPECT_FALSE(g.in_bounds(4, 0));
+  EXPECT_FALSE(g.in_bounds(0, -1));
+  EXPECT_EQ(g.at(3, 2), 7);
+  g.at(1, 2) = 42;
+  EXPECT_EQ(g.at(1, 2), 42);
+  const std::size_t idx = g.index(1, 2);
+  EXPECT_EQ(g.col_of(idx), 1);
+  EXPECT_EQ(g.row_of(idx), 2);
+}
+
+TEST(Grid2D, FillAndIteration) {
+  Grid2D<double> g(5, 5);
+  g.fill(1.5);
+  double sum = 0;
+  for (double v : g) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 25 * 1.5);
+}
+
+TEST(FormatUm, HumanReadable) {
+  EXPECT_EQ(to_string_um(Point{1500, 2250}), "(1.500, 2.250) um");
+}
+
+}  // namespace
+}  // namespace ffet::geom

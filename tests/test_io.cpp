@@ -1,0 +1,218 @@
+// Tests for the LEF/DEF exchange layer: per-side DEF building, the paper's
+// two-DEF merge, writer/reader round-trips, and LEF pin-side encoding.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "io/def.h"
+#include "pnr/track_assign.h"
+#include "liberty/characterize.h"
+#include "pnr/cts.h"
+#include "pnr/floorplan.h"
+#include "pnr/placement.h"
+#include "pnr/powerplan.h"
+#include "riscv/rv32.h"
+
+namespace ffet::io {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tech_ = new tech::Technology(tech::make_ffet_3p5t());
+    stdcell::PinConfig dual;
+    dual.backside_input_fraction = 0.5;
+    lib_ = new stdcell::Library(stdcell::build_library(*tech_, dual));
+    liberty::characterize_library(*lib_);
+    riscv::Rv32Options opt;
+    opt.num_registers = 4;
+    nl_ = new netlist::Netlist(riscv::build_rv32_core(*lib_, opt));
+    pnr::FloorplanOptions fo;
+    fo.target_utilization = 0.6;
+    fp_ = new pnr::Floorplan(pnr::make_floorplan(*nl_, *tech_, fo));
+    const pnr::PowerPlan pp = pnr::build_power_plan(*nl_, *fp_, *lib_);
+    pnr::place(*nl_, *fp_, pp);
+    pnr::build_clock_tree(*nl_, *fp_);
+    rr_ = new pnr::RouteResult(pnr::route_design(*nl_, *fp_));
+  }
+  static void TearDownTestSuite() {
+    delete rr_;
+    delete fp_;
+    delete nl_;
+    delete lib_;
+    delete tech_;
+    rr_ = nullptr;
+    fp_ = nullptr;
+    nl_ = nullptr;
+    lib_ = nullptr;
+    tech_ = nullptr;
+  }
+
+  static tech::Technology* tech_;
+  static stdcell::Library* lib_;
+  static netlist::Netlist* nl_;
+  static pnr::Floorplan* fp_;
+  static pnr::RouteResult* rr_;
+};
+
+tech::Technology* IoTest::tech_ = nullptr;
+stdcell::Library* IoTest::lib_ = nullptr;
+netlist::Netlist* IoTest::nl_ = nullptr;
+pnr::Floorplan* IoTest::fp_ = nullptr;
+pnr::RouteResult* IoTest::rr_ = nullptr;
+
+TEST_F(IoTest, PerSideDefsCarryOnlyThatSidesWires) {
+  const Def front = build_def(*nl_, *rr_, tech::Side::Front);
+  const Def back = build_def(*nl_, *rr_, tech::Side::Back);
+  EXPECT_EQ(front.components.size(), back.components.size());
+  EXPECT_EQ(front.nets.size(), back.nets.size());
+  int front_wires = 0, back_wires = 0;
+  for (const DefNet& n : front.nets) {
+    for (const DefWire& w : n.wires) {
+      EXPECT_EQ(w.layer[0], 'F') << w.layer;
+      ++front_wires;
+    }
+  }
+  for (const DefNet& n : back.nets) {
+    for (const DefWire& w : n.wires) {
+      EXPECT_EQ(w.layer[0], 'B') << w.layer;
+      ++back_wires;
+    }
+  }
+  EXPECT_GT(front_wires, 0);
+  EXPECT_GT(back_wires, 0);  // 50/50 library: real backside signal wires
+}
+
+TEST_F(IoTest, MergeUnionsWires) {
+  const Def front = build_def(*nl_, *rr_, tech::Side::Front);
+  const Def back = build_def(*nl_, *rr_, tech::Side::Back);
+  const Def merged = merge_defs(front, back);
+  std::size_t fw = 0, bw = 0, mw = 0;
+  for (const DefNet& n : front.nets) fw += n.wires.size();
+  for (const DefNet& n : back.nets) bw += n.wires.size();
+  for (const DefNet& n : merged.nets) mw += n.wires.size();
+  EXPECT_EQ(mw, fw + bw);
+  EXPECT_EQ(merged.components.size(), front.components.size());
+}
+
+TEST_F(IoTest, MergeRejectsMismatchedDesigns) {
+  Def front = build_def(*nl_, *rr_, tech::Side::Front);
+  Def back = build_def(*nl_, *rr_, tech::Side::Back);
+  back.design = "other";
+  EXPECT_THROW(merge_defs(front, back), std::invalid_argument);
+  back.design = front.design;
+  back.nets[0].name = "renamed_net";
+  EXPECT_THROW(merge_defs(front, back), std::invalid_argument);
+}
+
+TEST_F(IoTest, DefWriterReaderRoundTrip) {
+  const Def front = build_def(*nl_, *rr_, tech::Side::Front);
+  const std::string text = to_def_string(front);
+  const Def again = read_def_string(text);
+
+  EXPECT_EQ(again.design, front.design);
+  EXPECT_EQ(again.die, front.die);
+  ASSERT_EQ(again.components.size(), front.components.size());
+  for (std::size_t i = 0; i < front.components.size(); ++i) {
+    EXPECT_EQ(again.components[i].name, front.components[i].name);
+    EXPECT_EQ(again.components[i].cell, front.components[i].cell);
+    EXPECT_EQ(again.components[i].pos, front.components[i].pos);
+    EXPECT_EQ(again.components[i].fixed, front.components[i].fixed);
+  }
+  ASSERT_EQ(again.ports.size(), front.ports.size());
+  ASSERT_EQ(again.nets.size(), front.nets.size());
+  for (std::size_t i = 0; i < front.nets.size(); ++i) {
+    EXPECT_EQ(again.nets[i].name, front.nets[i].name);
+    ASSERT_EQ(again.nets[i].pins.size(), front.nets[i].pins.size());
+    ASSERT_EQ(again.nets[i].wires.size(), front.nets[i].wires.size());
+    for (std::size_t w = 0; w < front.nets[i].wires.size(); ++w) {
+      EXPECT_EQ(again.nets[i].wires[w].layer, front.nets[i].wires[w].layer);
+      EXPECT_EQ(again.nets[i].wires[w].from, front.nets[i].wires[w].from);
+      EXPECT_EQ(again.nets[i].wires[w].to, front.nets[i].wires[w].to);
+    }
+  }
+}
+
+TEST_F(IoTest, MergedDefRoundTrips) {
+  const Def merged = merge_defs(build_def(*nl_, *rr_, tech::Side::Front),
+                                build_def(*nl_, *rr_, tech::Side::Back));
+  const Def again = read_def_string(to_def_string(merged));
+  std::size_t w1 = 0, w2 = 0;
+  for (const auto& n : merged.nets) w1 += n.wires.size();
+  for (const auto& n : again.nets) w2 += n.wires.size();
+  EXPECT_EQ(w1, w2);
+}
+
+TEST_F(IoTest, ReaderRejectsGarbage) {
+  EXPECT_THROW(read_def_string("VERSION"), std::runtime_error);
+  EXPECT_THROW(read_def_string("hello world ;"), std::runtime_error);
+  EXPECT_THROW(read_def_string(""), std::runtime_error);
+}
+
+TEST_F(IoTest, FixedComponentsSurvive) {
+  const Def front = build_def(*nl_, *rr_, tech::Side::Front);
+  int fixed = 0;
+  for (const DefComponent& c : front.components) {
+    if (c.fixed) {
+      ++fixed;
+      EXPECT_EQ(c.cell, "TAPCELL");
+    }
+  }
+  EXPECT_GT(fixed, 0) << "power tap cells must appear as FIXED";
+}
+
+TEST_F(IoTest, TrackAssignedDefSpreadsCoincidentWires) {
+  const Def plain = build_def(*nl_, *rr_, tech::Side::Front);
+  const pnr::TrackAssignment ta = pnr::assign_tracks(*rr_, 48);
+  const Def spread = build_def(*nl_, *rr_, tech::Side::Front, &ta, 48);
+
+  auto coincident = [](const Def& d) {
+    std::map<std::tuple<geom::Nm, geom::Nm, geom::Nm, geom::Nm>, int> seen;
+    long dup = 0;
+    for (const DefNet& n : d.nets) {
+      for (const DefWire& w : n.wires) {
+        if (++seen[{w.from.x, w.from.y, w.to.x, w.to.y}] > 1) ++dup;
+      }
+    }
+    return dup;
+  };
+  EXPECT_LT(coincident(spread), coincident(plain) / 4)
+      << "track offsets must de-overlap parallel runs";
+  // Same wire count, still parses.
+  std::size_t w1 = 0, w2 = 0;
+  for (const auto& n : plain.nets) w1 += n.wires.size();
+  for (const auto& n : spread.nets) w2 += n.wires.size();
+  EXPECT_EQ(w1, w2);
+  EXPECT_NO_THROW(read_def_string(to_def_string(spread)));
+}
+
+TEST_F(IoTest, LefEncodesPinSides) {
+  const std::string lef = to_lef_string(*lib_);
+  // Dual-sided output pins: the INVD1 output must expose ports on FM0 and
+  // BM0.
+  const auto macro_pos = lef.find("MACRO INVD1");
+  ASSERT_NE(macro_pos, std::string::npos);
+  const auto macro_end = lef.find("END INVD1");
+  const std::string macro = lef.substr(macro_pos, macro_end - macro_pos);
+  EXPECT_NE(macro.find("LAYER FM0"), std::string::npos);
+  EXPECT_NE(macro.find("LAYER BM0"), std::string::npos);
+  // Library-wide: some input pins on BM0 (50/50 split).
+  EXPECT_NE(lef.find("USE CLOCK"), std::string::npos);
+  EXPECT_NE(lef.find("SITE core"), std::string::npos);
+}
+
+TEST_F(IoTest, LefListsAllLayersAndMacros) {
+  const std::string lef = to_lef_string(*lib_);
+  for (const char* layer : {"LAYER FM0", "LAYER FM12", "LAYER BM0",
+                            "LAYER BM12"}) {
+    EXPECT_NE(lef.find(layer), std::string::npos) << layer;
+  }
+  for (const auto& cell : lib_->cells()) {
+    EXPECT_NE(lef.find("MACRO " + cell->name()), std::string::npos)
+        << cell->name();
+  }
+}
+
+}  // namespace
+}  // namespace ffet::io

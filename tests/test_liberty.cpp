@@ -1,0 +1,181 @@
+// Unit tests for the analytic library characterizer — including the Table I
+// relationships between the FFET and CFET libraries.
+
+#include <gtest/gtest.h>
+
+#include "liberty/characterize.h"
+#include "stdcell/nldm.h"
+#include "stdcell/stdcell.h"
+#include "tech/tech.h"
+
+namespace ffet::liberty {
+namespace {
+
+using stdcell::Library;
+using stdcell::PinDir;
+
+class CharacterizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    characterize_library(ffet_lib_);
+    characterize_library(cfet_lib_);
+  }
+
+  tech::Technology ffet_tech_ = tech::make_ffet_3p5t();
+  tech::Technology cfet_tech_ = tech::make_cfet_4t();
+  Library ffet_lib_ = stdcell::build_library(ffet_tech_);
+  Library cfet_lib_ = stdcell::build_library(cfet_tech_);
+};
+
+TEST_F(CharacterizeTest, EveryLogicCellGetsModelAndPinCaps) {
+  for (const auto& cell : ffet_lib_.cells()) {
+    if (cell->physical_only()) continue;
+    ASSERT_NE(cell->timing_model(), nullptr) << cell->name();
+    EXPECT_GT(cell->timing_model()->leakage_nw, 0.0) << cell->name();
+    for (const auto& pin : cell->pins()) {
+      if (pin.dir == PinDir::Output) continue;
+      EXPECT_GT(pin.cap_ff, 0.0) << cell->name() << "/" << pin.name;
+      EXPECT_LT(pin.cap_ff, 20.0) << cell->name() << "/" << pin.name;
+    }
+  }
+}
+
+TEST_F(CharacterizeTest, OneArcPerDataInput) {
+  const auto& nand2 = ffet_lib_.at("NAND2D1");
+  EXPECT_EQ(nand2.timing_model()->arcs.size(), 2u);
+  const auto& dff = ffet_lib_.at("DFFD1");
+  // Sequential: only the CP->Q arc.
+  EXPECT_EQ(dff.timing_model()->arcs.size(), 1u);
+  EXPECT_GT(dff.timing_model()->setup_ps, 0.0);
+  EXPECT_GT(dff.timing_model()->hold_ps, 0.0);
+  EXPECT_GT(dff.timing_model()->setup_ps, dff.timing_model()->hold_ps);
+}
+
+TEST_F(CharacterizeTest, DelayIncreasesWithLoadAndSlew) {
+  const auto k_light = measure_kpi(ffet_lib_.at("INVD1"), 5.0, 1.0);
+  const auto k_heavy = measure_kpi(ffet_lib_.at("INVD1"), 5.0, 16.0);
+  const auto k_slow = measure_kpi(ffet_lib_.at("INVD1"), 80.0, 1.0);
+  EXPECT_GT(k_heavy.rise_delay_ps, k_light.rise_delay_ps);
+  EXPECT_GT(k_heavy.fall_delay_ps, k_light.fall_delay_ps);
+  EXPECT_GT(k_heavy.rise_trans_ps, k_light.rise_trans_ps);
+  EXPECT_GT(k_slow.rise_delay_ps, k_light.rise_delay_ps);
+}
+
+TEST_F(CharacterizeTest, StrongerDrivesAreFasterAtFixedLoad) {
+  const auto d1 = measure_kpi(ffet_lib_.at("INVD1"), 10.0, 8.0);
+  const auto d2 = measure_kpi(ffet_lib_.at("INVD2"), 10.0, 8.0);
+  const auto d4 = measure_kpi(ffet_lib_.at("INVD4"), 10.0, 8.0);
+  EXPECT_GT(d1.fall_delay_ps, d2.fall_delay_ps);
+  EXPECT_GT(d2.fall_delay_ps, d4.fall_delay_ps);
+}
+
+TEST_F(CharacterizeTest, DelayMagnitudesPlausibleFor5nm) {
+  // An FO4-ish loaded inverter at a 5 nm-class node: a few ps to tens of ps.
+  const auto k = measure_kpi(ffet_lib_.at("INVD1"), 10.0, 2.0);
+  EXPECT_GT(k.fall_delay_ps, 1.0);
+  EXPECT_LT(k.fall_delay_ps, 50.0);
+}
+
+// --- Table I relationships --------------------------------------------------
+
+TEST_F(CharacterizeTest, TableI_LeakageIdentical) {
+  for (const KpiDiff& d : compare_libraries(ffet_lib_, cfet_lib_)) {
+    EXPECT_DOUBLE_EQ(d.leakage_power_pct, 0.0) << d.cell;
+  }
+}
+
+TEST_F(CharacterizeTest, TableI_FfetTimingFasterForInvBuf) {
+  for (const char* name : {"INVD1", "INVD2", "INVD4", "BUFD1", "BUFD2",
+                           "BUFD4"}) {
+    const KpiDiff d =
+        compare_cell(ffet_lib_.at(name), cfet_lib_.at(name));
+    EXPECT_LT(d.fall_timing_pct, 0.0) << name;
+    EXPECT_LT(d.fall_timing_pct, -1.0) << name;
+    EXPECT_GT(d.fall_timing_pct, -30.0) << name;
+  }
+}
+
+TEST_F(CharacterizeTest, TableI_FallAdvantageExceedsRise) {
+  // Paper: fall timing gains (-8..-16%) are larger than rise gains.
+  for (const char* name : {"INVD1", "BUFD2", "BUFD4"}) {
+    const KpiDiff d =
+        compare_cell(ffet_lib_.at(name), cfet_lib_.at(name));
+    EXPECT_LT(d.fall_timing_pct, d.rise_timing_pct) << name;
+  }
+}
+
+TEST_F(CharacterizeTest, TableI_BufferAdvantageGrowsWithDrive) {
+  const KpiDiff d1 = compare_cell(ffet_lib_.at("BUFD1"), cfet_lib_.at("BUFD1"));
+  const KpiDiff d4 = compare_cell(ffet_lib_.at("BUFD4"), cfet_lib_.at("BUFD4"));
+  EXPECT_LT(d4.fall_timing_pct, d1.fall_timing_pct)
+      << "BUFD4 should gain more than BUFD1 (Table I trend)";
+  const KpiDiff i1 = compare_cell(ffet_lib_.at("INVD1"), cfet_lib_.at("INVD1"));
+  const KpiDiff i4 = compare_cell(ffet_lib_.at("INVD4"), cfet_lib_.at("INVD4"));
+  EXPECT_LT(i4.fall_timing_pct, i1.fall_timing_pct);
+  // Magnitudes in the paper's Table I band: single digits at D1, growing to
+  // low teens at D4.
+  EXPECT_NEAR(i1.fall_timing_pct, -8.0, 4.0);
+  EXPECT_NEAR(i4.fall_timing_pct, -13.0, 5.0);
+}
+
+TEST_F(CharacterizeTest, TableI_InvPowerRoughlyNeutralBufPowerBetter) {
+  // Paper: INV transition power +0.2..0.3% (slightly worse, dual-sided
+  // output pin), BUF -3..-12% (better, smaller intra-cell parasitics).
+  for (const char* name : {"INVD1", "INVD2", "INVD4"}) {
+    const KpiDiff d =
+        compare_cell(ffet_lib_.at(name), cfet_lib_.at(name));
+    EXPECT_GT(d.transition_power_pct, -2.0) << name;
+    EXPECT_LT(d.transition_power_pct, 3.0) << name;
+  }
+  for (const char* name : {"BUFD2", "BUFD4"}) {
+    const KpiDiff d =
+        compare_cell(ffet_lib_.at(name), cfet_lib_.at(name));
+    EXPECT_LT(d.transition_power_pct, -0.5) << name;
+  }
+  // And the buffer advantage exceeds the inverter's at the same drive.
+  EXPECT_LT(compare_cell(ffet_lib_.at("BUFD1"), cfet_lib_.at("BUFD1"))
+                .transition_power_pct,
+            compare_cell(ffet_lib_.at("INVD1"), cfet_lib_.at("INVD1"))
+                    .transition_power_pct +
+                0.5);
+}
+
+TEST_F(CharacterizeTest, TableI_TransitionsImprove) {
+  for (const char* name : {"BUFD1", "BUFD2", "BUFD4"}) {
+    const KpiDiff d =
+        compare_cell(ffet_lib_.at(name), cfet_lib_.at(name));
+    EXPECT_LT(d.fall_transition_pct, 0.0) << name;
+  }
+}
+
+TEST_F(CharacterizeTest, CompareLibrariesCoversLogicCells) {
+  const auto diffs = compare_libraries(ffet_lib_, cfet_lib_);
+  EXPECT_GT(diffs.size(), 20u);
+  for (const auto& d : diffs) {
+    EXPECT_NE(d.cell.find("FILLER"), 0u);
+    EXPECT_NE(d.cell, "TAPCELL");
+  }
+}
+
+TEST_F(CharacterizeTest, RejectsDegenerateAxes) {
+  CharacterizeOptions bad;
+  bad.slew_axis_ps = {10.0};
+  Library lib = stdcell::build_library(ffet_tech_);
+  EXPECT_THROW(characterize_library(lib, bad), std::invalid_argument);
+}
+
+TEST_F(CharacterizeTest, PinConfigDoesNotChangeTiming) {
+  // Paper Sec. IV: "the characteristics of the same cell remain the same
+  // across different input pin configurations".
+  stdcell::PinConfig cfg;
+  cfg.backside_input_fraction = 0.5;
+  Library redistributed = stdcell::build_library(ffet_tech_, cfg);
+  characterize_library(redistributed);
+  const auto base = measure_kpi(ffet_lib_.at("NAND2D1"), 10.0, 4.0);
+  const auto redis = measure_kpi(redistributed.at("NAND2D1"), 10.0, 4.0);
+  EXPECT_DOUBLE_EQ(base.rise_delay_ps, redis.rise_delay_ps);
+  EXPECT_DOUBLE_EQ(base.transition_energy_fj, redis.transition_energy_fj);
+}
+
+}  // namespace
+}  // namespace ffet::liberty

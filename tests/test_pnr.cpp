@@ -1,0 +1,552 @@
+// Tests for the physical-implementation stack: floorplan, powerplan
+// (Power Tap Cells / nTSV), placement + legalization, CTS, and the
+// dual-sided router (Algorithm 1 invariants).
+
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "liberty/characterize.h"
+#include "netlist/builder.h"
+#include "pnr/cts.h"
+#include "pnr/floorplan.h"
+#include "pnr/placement.h"
+#include "pnr/powerplan.h"
+#include "pnr/router.h"
+#include "pnr/track_assign.h"
+#include "riscv/rv32.h"
+
+namespace ffet::pnr {
+namespace {
+
+using netlist::Builder;
+using netlist::Bus;
+using netlist::NetId;
+
+/// Shared fixture: a small RV32 core on each technology, characterized.
+class PnrTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ffet_tech_ = new tech::Technology(tech::make_ffet_3p5t());
+    cfet_tech_ = new tech::Technology(tech::make_cfet_4t());
+    stdcell::PinConfig dual;
+    dual.backside_input_fraction = 0.5;
+    ffet_lib_ = new stdcell::Library(stdcell::build_library(*ffet_tech_, dual));
+    cfet_lib_ = new stdcell::Library(stdcell::build_library(*cfet_tech_));
+    liberty::characterize_library(*ffet_lib_);
+    liberty::characterize_library(*cfet_lib_);
+    riscv::Rv32Options opt;
+    opt.num_registers = 8;
+    ffet_core_ = new netlist::Netlist(riscv::build_rv32_core(*ffet_lib_, opt));
+    cfet_core_ = new netlist::Netlist(riscv::build_rv32_core(*cfet_lib_, opt));
+  }
+  static void TearDownTestSuite() {
+    delete ffet_core_;
+    delete cfet_core_;
+    delete ffet_lib_;
+    delete cfet_lib_;
+    delete ffet_tech_;
+    delete cfet_tech_;
+    ffet_core_ = cfet_core_ = nullptr;
+    ffet_lib_ = cfet_lib_ = nullptr;
+    ffet_tech_ = cfet_tech_ = nullptr;
+  }
+
+  static tech::Technology* ffet_tech_;
+  static tech::Technology* cfet_tech_;
+  static stdcell::Library* ffet_lib_;
+  static stdcell::Library* cfet_lib_;
+  static netlist::Netlist* ffet_core_;
+  static netlist::Netlist* cfet_core_;
+};
+
+tech::Technology* PnrTest::ffet_tech_ = nullptr;
+tech::Technology* PnrTest::cfet_tech_ = nullptr;
+stdcell::Library* PnrTest::ffet_lib_ = nullptr;
+stdcell::Library* PnrTest::cfet_lib_ = nullptr;
+netlist::Netlist* PnrTest::ffet_core_ = nullptr;
+netlist::Netlist* PnrTest::cfet_core_ = nullptr;
+
+// --- floorplan ---------------------------------------------------------------
+
+TEST_F(PnrTest, FloorplanMeetsTargetUtilization) {
+  FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  const Floorplan fp = make_floorplan(*ffet_core_, *ffet_tech_, fo);
+  EXPECT_GT(fp.num_rows(), 10);
+  EXPECT_EQ(fp.row_height, ffet_tech_->cell_height());
+  EXPECT_EQ(fp.site_width, ffet_tech_->cpp());
+  // Snapping only lowers utilization (core grows to whole rows/stripes).
+  EXPECT_LE(fp.achieved_utilization, 0.7 + 1e-9);
+  EXPECT_GT(fp.achieved_utilization, 0.55);
+  // Width snapped to the power-stripe pitch.
+  const geom::Nm stripe =
+      ffet_tech_->power_rules().stripe_pitch_cpp * ffet_tech_->cpp();
+  EXPECT_EQ(fp.core.width() % stripe, 0);
+}
+
+TEST_F(PnrTest, FloorplanAspectRatio) {
+  FloorplanOptions fo;
+  fo.target_utilization = 0.6;
+  fo.aspect_ratio = 2.0;
+  const Floorplan fp = make_floorplan(*ffet_core_, *ffet_tech_, fo);
+  const double ar = static_cast<double>(fp.core.width()) /
+                    static_cast<double>(fp.core.height());
+  // Width snaps to the 3.2 um power-stripe pitch, so small cores land on a
+  // coarse AR grid; just require "clearly wider than tall, not extreme".
+  EXPECT_GT(ar, 1.3);
+  EXPECT_LT(ar, 3.0);
+}
+
+TEST_F(PnrTest, FloorplanRejectsBadOptions) {
+  FloorplanOptions fo;
+  fo.target_utilization = 0.0;
+  EXPECT_THROW(make_floorplan(*ffet_core_, *ffet_tech_, fo),
+               std::invalid_argument);
+  fo.target_utilization = 1.2;
+  EXPECT_THROW(make_floorplan(*ffet_core_, *ffet_tech_, fo),
+               std::invalid_argument);
+  fo.target_utilization = 0.5;
+  fo.aspect_ratio = -1.0;
+  EXPECT_THROW(make_floorplan(*ffet_core_, *ffet_tech_, fo),
+               std::invalid_argument);
+}
+
+TEST_F(PnrTest, HigherUtilizationShrinksCore) {
+  FloorplanOptions lo, hi;
+  lo.target_utilization = 0.5;
+  hi.target_utilization = 0.85;
+  const double a_lo =
+      make_floorplan(*ffet_core_, *ffet_tech_, lo).core_area_um2();
+  const double a_hi =
+      make_floorplan(*ffet_core_, *ffet_tech_, hi).core_area_um2();
+  EXPECT_GT(a_lo, a_hi);
+}
+
+// --- powerplan ----------------------------------------------------------------
+
+TEST_F(PnrTest, FfetPowerPlanPlacesTapCellsUnderVssStripes) {
+  netlist::Netlist nl = *ffet_core_;
+  FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  const Floorplan fp = make_floorplan(nl, *ffet_tech_, fo);
+  const int before = nl.num_instances();
+  const PowerPlan pp = build_power_plan(nl, fp, *ffet_lib_);
+
+  // Interleaved stripes: |#VDD - #VSS| <= 1, same-type pitch 128 CPP.
+  EXPECT_GE(pp.vdd_stripe_x.size(), 1u);
+  EXPECT_GE(pp.vss_stripe_x.size(), 1u);
+  EXPECT_LE(std::abs(static_cast<int>(pp.vdd_stripe_x.size()) -
+                     static_cast<int>(pp.vss_stripe_x.size())),
+            1);
+  if (pp.vss_stripe_x.size() >= 2) {
+    EXPECT_EQ(pp.vss_stripe_x[1] - pp.vss_stripe_x[0],
+              128 * ffet_tech_->cpp());
+  }
+
+  // One tap per row per VSS stripe, all FIXED TAPCELLs.
+  EXPECT_EQ(pp.tap_cells.size(),
+            pp.vss_stripe_x.size() * static_cast<std::size_t>(fp.num_rows()));
+  EXPECT_EQ(nl.num_instances(), before + static_cast<int>(pp.tap_cells.size()));
+  for (netlist::InstId id : pp.tap_cells) {
+    EXPECT_TRUE(nl.instance(id).fixed);
+    EXPECT_EQ(nl.instance(id).type->name(), "TAPCELL");
+    EXPECT_TRUE(fp.core.contains(nl.instance(id).bbox()));
+  }
+  EXPECT_GT(pp.blocked_site_fraction, 0.005);
+  EXPECT_LT(pp.blocked_site_fraction, 0.05);
+}
+
+TEST_F(PnrTest, CfetPowerPlanUsesTsvBlockagesNotTaps) {
+  netlist::Netlist nl = *cfet_core_;
+  FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  const Floorplan fp = make_floorplan(nl, *cfet_tech_, fo);
+  const int before = nl.num_instances();
+  const PowerPlan pp = build_power_plan(nl, fp, *cfet_lib_);
+  EXPECT_TRUE(pp.tap_cells.empty());
+  EXPECT_EQ(nl.num_instances(), before);  // nothing added
+  EXPECT_FALSE(pp.blockages.empty());
+  // nTSV fraction ~4% (tech rule), realized within rounding.
+  EXPECT_NEAR(pp.blocked_site_fraction,
+              cfet_tech_->power_rules().tsv_blockage_fraction, 0.01);
+}
+
+TEST_F(PnrTest, IrDropScalesWithPower) {
+  netlist::Netlist nl = *ffet_core_;
+  FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  const Floorplan fp = make_floorplan(nl, *ffet_tech_, fo);
+  const PowerPlan pp = build_power_plan(nl, fp, *ffet_lib_);
+  const double low = pp.estimate_ir_drop_mv(1000.0);
+  const double high = pp.estimate_ir_drop_mv(4000.0);
+  EXPECT_GT(low, 0.0);
+  EXPECT_NEAR(high / low, 4.0, 1e-6);
+  // A few-mW block should see millivolt-class IR drop, not volts.
+  EXPECT_LT(high, 70.0);
+}
+
+// --- placement -----------------------------------------------------------------
+
+TEST_F(PnrTest, PlacementLegalizesWithoutOverlaps) {
+  netlist::Netlist nl = *ffet_core_;
+  FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  const Floorplan fp = make_floorplan(nl, *ffet_tech_, fo);
+  const PowerPlan pp = build_power_plan(nl, fp, *ffet_lib_);
+  const PlacementResult res = place(nl, fp, pp);
+  ASSERT_TRUE(res.legal) << res.message;
+  EXPECT_EQ(res.violations, 0);
+  EXPECT_GT(res.hpwl_um, 0.0);
+
+  // No interior overlaps between any two instances (incl. taps), cells in
+  // rows, inside the core.
+  std::vector<geom::Rect> boxes;
+  for (const netlist::Instance& inst : nl.instances()) {
+    const geom::Rect b = inst.bbox();
+    EXPECT_TRUE(fp.core.contains(b)) << inst.name;
+    EXPECT_EQ(b.lo.y % fp.row_height, 0) << inst.name;
+    EXPECT_EQ(b.lo.x % fp.site_width, 0) << inst.name;
+    boxes.push_back(b);
+  }
+  // Overlap scan via row bucketing (O(n^2) within rows is fine here).
+  std::map<geom::Nm, std::vector<geom::Rect>> by_row;
+  for (const auto& b : boxes) by_row[b.lo.y].push_back(b);
+  for (auto& [y, v] : by_row) {
+    std::sort(v.begin(), v.end(),
+              [](const geom::Rect& a, const geom::Rect& b) {
+                return a.lo.x < b.lo.x;
+              });
+    for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+      EXPECT_LE(v[i].hi.x, v[i + 1].lo.x)
+          << "overlap in row y=" << y << " near x=" << v[i].hi.x;
+    }
+  }
+}
+
+TEST_F(PnrTest, PlacementRefusesOverMaxDensity) {
+  netlist::Netlist nl = *ffet_core_;
+  FloorplanOptions fo;
+  fo.target_utilization = 0.93;  // above the closable ceiling
+  const Floorplan fp = make_floorplan(nl, *ffet_tech_, fo);
+  const PowerPlan pp = build_power_plan(nl, fp, *ffet_lib_);
+  const PlacementResult res = place(nl, fp, pp);
+  EXPECT_FALSE(res.legal);
+  EXPECT_GT(res.violations, 0);
+}
+
+TEST_F(PnrTest, PlacementDeterministicForSameSeed) {
+  auto run = [&](unsigned seed) {
+    netlist::Netlist nl = *ffet_core_;
+    FloorplanOptions fo;
+    fo.target_utilization = 0.65;
+    const Floorplan fp = make_floorplan(nl, *ffet_tech_, fo);
+    const PowerPlan pp = build_power_plan(nl, fp, *ffet_lib_);
+    PlacementOptions po;
+    po.seed = seed;
+    place(nl, fp, pp, po);
+    std::vector<geom::Point> pos;
+    for (const auto& inst : nl.instances()) pos.push_back(inst.pos);
+    return pos;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST_F(PnrTest, PlacementBeatsRandomOnWirelength) {
+  netlist::Netlist nl = *ffet_core_;
+  FloorplanOptions fo;
+  fo.target_utilization = 0.65;
+  const Floorplan fp = make_floorplan(nl, *ffet_tech_, fo);
+  const PowerPlan pp = build_power_plan(nl, fp, *ffet_lib_);
+
+  // Baseline: seeded-random scatter (what global placement starts from).
+  {
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    for (int i = 0; i < nl.num_instances(); ++i) {
+      auto& inst = nl.instance(i);
+      inst.pos = {static_cast<geom::Nm>(u(rng) * (fp.core.width() -
+                                                  inst.type->width())),
+                  static_cast<geom::Nm>(u(rng) * (fp.core.height() -
+                                                  inst.type->height()))};
+    }
+  }
+  const double random_hpwl = compute_hpwl_um(nl);
+  const PlacementResult res = place(nl, fp, pp);
+  ASSERT_TRUE(res.legal);
+  // Global placement must recover substantial locality over random.
+  EXPECT_LT(res.hpwl_um, 0.75 * random_hpwl);
+}
+
+// --- CTS ------------------------------------------------------------------------
+
+TEST_F(PnrTest, ClockTreeCoversEverySequentialSink) {
+  netlist::Netlist nl = *ffet_core_;
+  FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  const Floorplan fp = make_floorplan(nl, *ffet_tech_, fo);
+  const PowerPlan pp = build_power_plan(nl, fp, *ffet_lib_);
+  place(nl, fp, pp);
+
+  int num_ff = 0;
+  for (const auto& inst : nl.instances()) {
+    if (inst.type->sequential()) ++num_ff;
+  }
+  const CtsResult cts = build_clock_tree(nl, fp);
+  EXPECT_GT(cts.num_buffers, 0);
+  EXPECT_GT(cts.depth, 1);
+  EXPECT_EQ(static_cast<int>(cts.sink_latency_ps.size()), num_ff);
+  for (const auto& [inst, lat] : cts.sink_latency_ps) {
+    EXPECT_GT(lat, 0.0);
+    EXPECT_LT(lat, 500.0);
+  }
+  EXPECT_GE(cts.skew_ps, 0.0);
+  EXPECT_LT(cts.skew_ps, cts.mean_latency_ps);
+  // Netlist still structurally sound after the surgery.
+  EXPECT_TRUE(nl.validate().empty());
+  // Root clock net now drives exactly one sink: the root buffer.
+  const auto clk = nl.find_net("clk");
+  ASSERT_TRUE(clk.has_value());
+  EXPECT_EQ(nl.net(*clk).sinks.size(), 1u);
+  // All CTS nets are clock-marked.
+  int clock_nets = 0;
+  for (const auto& net : nl.nets()) {
+    if (net.is_clock) ++clock_nets;
+  }
+  EXPECT_EQ(clock_nets, 1 + cts.num_buffers);
+}
+
+TEST_F(PnrTest, CtsNoSinksIsNoop) {
+  Builder b("comb", ffet_lib_);
+  b.output("z", b.inv(b.input("a")));
+  netlist::Netlist nl = b.take();
+  FloorplanOptions fo;
+  fo.target_utilization = 0.5;
+  const Floorplan fp = make_floorplan(nl, *ffet_tech_, fo);
+  const CtsResult cts = build_clock_tree(nl, fp);
+  EXPECT_EQ(cts.num_buffers, 0);
+}
+
+// --- routing: Algorithm 1 ---------------------------------------------------------
+
+struct RoutedDesign {
+  netlist::Netlist nl;
+  Floorplan fp;
+  RouteResult rr;
+};
+
+RoutedDesign route_core(const netlist::Netlist& core,
+                        const tech::Technology& tech,
+                        const stdcell::Library& lib, double util) {
+  RoutedDesign rd{core, {}, {}};
+  FloorplanOptions fo;
+  fo.target_utilization = util;
+  rd.fp = make_floorplan(rd.nl, tech, fo);
+  const PowerPlan pp = build_power_plan(rd.nl, rd.fp, lib);
+  place(rd.nl, rd.fp, pp);
+  build_clock_tree(rd.nl, rd.fp);
+  rd.rr = route_design(rd.nl, rd.fp);
+  return rd;
+}
+
+TEST_F(PnrTest, Algorithm1DecomposesNetsBySinkSide) {
+  const RoutedDesign rd = route_core(*ffet_core_, *ffet_tech_, *ffet_lib_, 0.6);
+  const auto& nl = rd.nl;
+
+  // Index routes by (net, side).
+  std::set<std::pair<netlist::NetId, Side>> routed;
+  for (const NetRoute& r : rd.rr.routes) {
+    routed.insert({r.net, r.side});
+  }
+
+  int dual_sided_nets = 0;
+  for (int n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.driver.inst == netlist::kNoInst && net.port < 0) continue;
+    // Output ports are frontside sinks when the net has a driver.
+    bool want_front =
+        net.port >= 0 && !nl.port(net.port).is_input &&
+        net.driver.inst != netlist::kNoInst;
+    bool want_back = false;
+    for (const netlist::PinRef& s : net.sinks) {
+      if (nl.pin_side(s) == stdcell::PinSide::Back) {
+        want_back = true;
+      } else {
+        want_front = true;
+      }
+    }
+    // Every sink side demanded must have a routed subnet, and no side
+    // without sinks may carry one (Algorithm 1 lines 2-8).
+    EXPECT_EQ(routed.contains({n, Side::Front}), want_front) << net.name;
+    EXPECT_EQ(routed.contains({n, Side::Back}), want_back) << net.name;
+    if (want_front && want_back) ++dual_sided_nets;
+  }
+  // The 50/50 library must actually produce dual-sided nets.
+  EXPECT_GT(dual_sided_nets, 100);
+  EXPECT_GT(rd.rr.wirelength_back_um, 0.0);
+  EXPECT_GT(rd.rr.wirelength_front_um, 0.0);
+}
+
+TEST_F(PnrTest, CfetRoutesFrontOnly) {
+  const RoutedDesign rd = route_core(*cfet_core_, *cfet_tech_, *cfet_lib_, 0.6);
+  EXPECT_EQ(rd.rr.nets_back, 0);
+  EXPECT_DOUBLE_EQ(rd.rr.wirelength_back_um, 0.0);
+  for (const NetRoute& r : rd.rr.routes) {
+    EXPECT_EQ(r.side, Side::Front);
+  }
+}
+
+TEST_F(PnrTest, RoutesFormConnectedTrees) {
+  const RoutedDesign rd = route_core(*ffet_core_, *ffet_tech_, *ffet_lib_, 0.6);
+  for (const NetRoute& r : rd.rr.routes) {
+    if (r.edges.empty()) continue;
+    // Union-find connectivity: all edges + source + sinks in one component.
+    std::map<int, int> parent;
+    std::function<int(int)> find = [&](int x) {
+      parent.try_emplace(x, x);
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+    for (const GEdge& e : r.edges) unite(e.a, e.b);
+    const int root = find(r.source_gcell);
+    for (int s : r.sink_gcells) {
+      EXPECT_EQ(find(s), root)
+          << "disconnected sink in net " << rd.nl.net(r.net).name;
+    }
+  }
+}
+
+TEST_F(PnrTest, BacksideSinksWithoutBacksideLayersThrow) {
+  // FFET library with backside pins, but the routing stack stripped of all
+  // backside layers: Algorithm 1 cannot place the backside subnet and the
+  // flow (which forbids bridging cells) must refuse.
+  tech::Technology limited = ffet_tech_->with_routing_limit(12, 0);
+  const RoutedDesign* ignored = nullptr;
+  (void)ignored;
+  netlist::Netlist nl = *ffet_core_;
+  FloorplanOptions fo;
+  fo.target_utilization = 0.6;
+  // Rebuild floorplan/placement against the limited tech but the library
+  // still exposes backside pins.
+  stdcell::PinConfig dual;
+  dual.backside_input_fraction = 0.5;
+  stdcell::Library lib2 = stdcell::build_library(limited, dual);
+  liberty::characterize_library(lib2);
+  riscv::Rv32Options opt;
+  opt.num_registers = 4;
+  netlist::Netlist nl2 = riscv::build_rv32_core(lib2, opt);
+  const Floorplan fp = make_floorplan(nl2, limited, fo);
+  const PowerPlan pp = build_power_plan(nl2, fp, lib2);
+  place(nl2, fp, pp);
+  EXPECT_THROW(route_design(nl2, fp), std::runtime_error);
+}
+
+TEST_F(PnrTest, DualSidedRoutingRelievesFrontside) {
+  // Same design, FFET with all-front pins vs 50/50 pins: the dual-sided
+  // library must shift a large share of wirelength to the backside.
+  stdcell::Library front_lib = stdcell::build_library(*ffet_tech_, {});
+  liberty::characterize_library(front_lib);
+  riscv::Rv32Options opt;
+  opt.num_registers = 8;
+  netlist::Netlist front_core = riscv::build_rv32_core(front_lib, opt);
+
+  const RoutedDesign all_front =
+      route_core(front_core, *ffet_tech_, front_lib, 0.6);
+  const RoutedDesign split = route_core(*ffet_core_, *ffet_tech_, *ffet_lib_, 0.6);
+  EXPECT_DOUBLE_EQ(all_front.rr.wirelength_back_um, 0.0);
+  EXPECT_GT(split.rr.wirelength_back_um,
+            0.2 * split.rr.total_wirelength_um());
+  EXPECT_LT(split.rr.wirelength_front_um, all_front.rr.wirelength_front_um);
+}
+
+TEST_F(PnrTest, FewerLayersMeansMoreCongestion) {
+  netlist::Netlist nl = *ffet_core_;
+  FloorplanOptions fo;
+  fo.target_utilization = 0.8;
+  const Floorplan fp = make_floorplan(nl, *ffet_tech_, fo);
+  const PowerPlan pp = build_power_plan(nl, fp, *ffet_lib_);
+  place(nl, fp, pp);
+  build_clock_tree(nl, fp);
+  const RouteResult full = route_design(nl, fp);
+
+  // Re-route the same placement against a 3+3-layer stack.
+  tech::Technology limited = ffet_tech_->with_routing_limit(3, 3);
+  stdcell::PinConfig dual;
+  dual.backside_input_fraction = 0.5;
+  stdcell::Library lib2 = stdcell::build_library(limited, dual);
+  liberty::characterize_library(lib2);
+  riscv::Rv32Options opt;
+  opt.num_registers = 8;
+  netlist::Netlist nl2 = riscv::build_rv32_core(lib2, opt);
+  const Floorplan fp2 = make_floorplan(nl2, limited, fo);
+  const PowerPlan pp2 = build_power_plan(nl2, fp2, lib2);
+  place(nl2, fp2, pp2);
+  build_clock_tree(nl2, fp2);
+  const RouteResult thin = route_design(nl2, fp2);
+
+  EXPECT_GE(thin.drv_estimate, full.drv_estimate);
+}
+
+TEST_F(PnrTest, TrackAssignmentUniquePerEdge) {
+  const RoutedDesign rd = route_core(*ffet_core_, *ffet_tech_, *ffet_lib_, 0.6);
+  const int tracks = 64;  // generous bound: no overflow expected at 60%
+  const TrackAssignment ta = assign_tracks(rd.rr, tracks);
+  ASSERT_EQ(ta.track_of.size(), rd.rr.routes.size());
+  EXPECT_EQ(ta.overflow_crossings, 0);
+  EXPECT_GT(ta.max_tracks_seen, 1);
+  EXPECT_LE(ta.max_tracks_seen, tracks);
+
+  // Invariant: within one (side, edge), every crossing has a distinct
+  // track.
+  std::map<std::tuple<int, int, int>, std::set<int>> seen;
+  for (std::size_t r = 0; r < rd.rr.routes.size(); ++r) {
+    const NetRoute& route = rd.rr.routes[r];
+    for (std::size_t e = 0; e < route.edges.size(); ++e) {
+      const int a = std::min(route.edges[e].a, route.edges[e].b);
+      const int b = std::max(route.edges[e].a, route.edges[e].b);
+      const auto key = std::make_tuple(
+          route.side == Side::Front ? 0 : 1, a, b);
+      EXPECT_TRUE(seen[key].insert(ta.track_of[r][e]).second)
+          << "track collision on edge " << a << "-" << b;
+    }
+  }
+}
+
+TEST_F(PnrTest, TrackOffsetsCenteredAndBounded) {
+  const geom::Nm span = 450;
+  for (int n : {2, 8, 32}) {
+    geom::Nm lo = span, hi = -span, sum = 0;
+    for (int t = 0; t < n; ++t) {
+      const geom::Nm off = track_offset_nm(t, n, span);
+      lo = std::min(lo, off);
+      hi = std::max(hi, off);
+      sum += off;
+      EXPECT_LT(std::abs(off), span / 2) << "track " << t << "/" << n;
+    }
+    EXPECT_LT(std::abs(sum), n) << "offsets should be centered";
+    EXPECT_LT(lo, 0);
+    EXPECT_GT(hi, 0);
+  }
+  EXPECT_EQ(track_offset_nm(0, 1, span), 0);
+}
+
+TEST_F(PnrTest, TrackAssignmentReportsOverflowWhenBound) {
+  const RoutedDesign rd = route_core(*ffet_core_, *ffet_tech_, *ffet_lib_, 0.6);
+  const TrackAssignment tight = assign_tracks(rd.rr, 2);
+  EXPECT_GT(tight.overflow_crossings, 0)
+      << "a 2-track bound must overflow somewhere";
+  EXPECT_LE(tight.max_tracks_seen, 2);
+}
+
+TEST_F(PnrTest, RouterDeterministic) {
+  const RoutedDesign a = route_core(*ffet_core_, *ffet_tech_, *ffet_lib_, 0.6);
+  const RoutedDesign b = route_core(*ffet_core_, *ffet_tech_, *ffet_lib_, 0.6);
+  EXPECT_EQ(a.rr.drv_estimate, b.rr.drv_estimate);
+  EXPECT_DOUBLE_EQ(a.rr.total_wirelength_um(), b.rr.total_wirelength_um());
+  ASSERT_EQ(a.rr.routes.size(), b.rr.routes.size());
+}
+
+}  // namespace
+}  // namespace ffet::pnr

@@ -1,0 +1,447 @@
+// ISA-level verification of the structurally generated RV32I core, executed
+// on the gate-level simulator.  Uses a reduced 8-register core for speed;
+// one test builds the full 32-register core and spot-checks it.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "riscv/encode.h"
+#include "riscv/harness.h"
+#include "riscv/rv32.h"
+#include "tech/tech.h"
+
+namespace ffet::riscv {
+namespace {
+
+namespace e = enc;
+using u32 = std::uint32_t;
+
+class Rv32Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tech_ = new tech::Technology(tech::make_ffet_3p5t());
+    lib_ = new stdcell::Library(stdcell::build_library(*tech_));
+    Rv32Options opt;
+    opt.num_registers = 8;
+    core_ = new netlist::Netlist(build_rv32_core(*lib_, opt));
+  }
+  static void TearDownTestSuite() {
+    delete core_;
+    delete lib_;
+    delete tech_;
+    core_ = nullptr;
+    lib_ = nullptr;
+    tech_ = nullptr;
+  }
+
+  /// Run `prog`, then return the word the program stored at `obs_addr`.
+  u32 run_and_read(const std::vector<u32>& prog, int cycles,
+                   u32 obs_addr = 0x100) {
+    Rv32Harness h(core_);
+    h.load_program(prog);
+    h.reset();
+    h.step(cycles);
+    return h.read_mem(obs_addr);
+  }
+
+  static tech::Technology* tech_;
+  static stdcell::Library* lib_;
+  static netlist::Netlist* core_;
+};
+
+tech::Technology* Rv32Test::tech_ = nullptr;
+stdcell::Library* Rv32Test::lib_ = nullptr;
+netlist::Netlist* Rv32Test::core_ = nullptr;
+
+TEST_F(Rv32Test, NetlistIsStructurallySound) {
+  EXPECT_TRUE(core_->validate().empty());
+  EXPECT_NO_THROW(core_->topo_order());
+  const auto s = core_->stats();
+  EXPECT_GT(s.num_instances, 1000);
+  EXPECT_GT(s.num_sequential, 32 * 7);  // 7 registers + 32-bit PC
+}
+
+TEST_F(Rv32Test, ResetClearsPcAndAdvancesBy4) {
+  Rv32Harness h(core_);
+  h.load_program({e::nop(), e::nop(), e::nop()});
+  h.reset();
+  EXPECT_EQ(h.pc(), 0u);
+  h.step();
+  EXPECT_EQ(h.pc(), 4u);
+  h.step();
+  EXPECT_EQ(h.pc(), 8u);
+}
+
+TEST_F(Rv32Test, AddiAndSw) {
+  const u32 got = run_and_read(
+      {
+          e::addi(1, 0, 42),       // x1 = 42
+          e::addi(2, 1, -5),       // x2 = 37
+          e::sw(2, 0, 0x100),      // mem[0x100] = x2
+      },
+      3);
+  EXPECT_EQ(got, 37u);
+}
+
+TEST_F(Rv32Test, ArithmeticRType) {
+  const u32 got = run_and_read(
+      {
+          e::addi(1, 0, 100),
+          e::addi(2, 0, 7),
+          e::sub(3, 1, 2),        // 93
+          e::add(3, 3, 2),        // 100
+          e::sw(3, 0, 0x100),
+      },
+      5);
+  EXPECT_EQ(got, 100u);
+}
+
+TEST_F(Rv32Test, LogicOps) {
+  const u32 got = run_and_read(
+      {
+          e::addi(1, 0, 0x5a5),       // x1
+          e::addi(2, 0, 0x0ff),
+          e::and_(3, 1, 2),           // 0x0a5
+          e::or_(4, 1, 2),            // 0x5ff
+          e::xor_(5, 1, 2),           // 0x55a
+          e::sw(3, 0, 0x100),
+          e::sw(4, 0, 0x104),
+          e::sw(5, 0, 0x108),
+      },
+      8);
+  EXPECT_EQ(got, 0x0a5u);
+}
+
+TEST_F(Rv32Test, LogicImmediates) {
+  Rv32Harness h(core_);
+  h.load_program({
+      e::addi(1, 0, 0x5a5),
+      e::andi(2, 1, 0x0f0),
+      e::ori(3, 1, 0x00f),
+      e::xori(4, 1, -1),  // bitwise not
+      e::sw(2, 0, 0x100),
+      e::sw(3, 0, 0x104),
+      e::sw(4, 0, 0x108),
+  });
+  h.reset();
+  h.step(7);
+  EXPECT_EQ(h.read_mem(0x100), 0x0a0u);
+  EXPECT_EQ(h.read_mem(0x104), 0x5afu);
+  EXPECT_EQ(h.read_mem(0x108), ~0x5a5u);
+}
+
+TEST_F(Rv32Test, Shifts) {
+  Rv32Harness h(core_);
+  h.load_program({
+      e::lui(1, 0x80000),      // x1 = 0x8000_0000
+      e::addi(1, 1, 0x700),    // x1 = 0x8000_0700
+      e::slli(2, 1, 4),
+      e::srli(3, 1, 8),
+      e::srai(4, 1, 8),
+      e::sw(2, 0, 0x100),
+      e::sw(3, 0, 0x104),
+      e::sw(4, 0, 0x108),
+  });
+  h.reset();
+  h.step(8);
+  EXPECT_EQ(h.read_mem(0x100), 0x80000700u << 4);
+  EXPECT_EQ(h.read_mem(0x104), 0x80000700u >> 8);
+  EXPECT_EQ(h.read_mem(0x108),
+            static_cast<u32>(static_cast<std::int32_t>(0x80000700u) >> 8));
+}
+
+TEST_F(Rv32Test, VariableShifts) {
+  Rv32Harness h(core_);
+  h.load_program({
+      e::addi(1, 0, 0x123),
+      e::addi(2, 0, 5),
+      e::sll(3, 1, 2),
+      e::srl(4, 3, 2),
+      e::sw(3, 0, 0x100),
+      e::sw(4, 0, 0x104),
+  });
+  h.reset();
+  h.step(6);
+  EXPECT_EQ(h.read_mem(0x100), 0x123u << 5);
+  EXPECT_EQ(h.read_mem(0x104), 0x123u);
+}
+
+TEST_F(Rv32Test, SetLessThan) {
+  Rv32Harness h(core_);
+  h.load_program({
+      e::addi(1, 0, -3),
+      e::addi(2, 0, 5),
+      e::slt(3, 1, 2),    // -3 < 5 signed -> 1
+      e::sltu(4, 1, 2),   // 0xfffffffd < 5 unsigned -> 0
+      e::slti(5, 2, 10),  // 5 < 10 -> 1
+      e::sltiu(6, 2, 4),  // 5 < 4 -> 0
+      e::sw(3, 0, 0x100),
+      e::sw(4, 0, 0x104),
+      e::sw(5, 0, 0x108),
+      e::sw(6, 0, 0x10c),
+  });
+  h.reset();
+  h.step(10);
+  EXPECT_EQ(h.read_mem(0x100), 1u);
+  EXPECT_EQ(h.read_mem(0x104), 0u);
+  EXPECT_EQ(h.read_mem(0x108), 1u);
+  EXPECT_EQ(h.read_mem(0x10c), 0u);
+}
+
+TEST_F(Rv32Test, LuiAuipc) {
+  Rv32Harness h(core_);
+  h.load_program({
+      e::lui(1, 0x12345),
+      e::auipc(2, 0x1),    // pc = 4 -> x2 = 0x1004
+      e::sw(1, 0, 0x100),
+      e::sw(2, 0, 0x104),
+  });
+  h.reset();
+  h.step(4);
+  EXPECT_EQ(h.read_mem(0x100), 0x12345000u);
+  EXPECT_EQ(h.read_mem(0x104), 0x1004u);
+}
+
+TEST_F(Rv32Test, LoadStoreWord) {
+  Rv32Harness h(core_);
+  h.write_mem(0x200, 0xdeadbeef);
+  h.load_program({
+      e::addi(1, 0, 0x200),
+      e::lw(2, 1, 0),
+      e::sw(2, 1, 8),
+  });
+  h.reset();
+  h.step(3);
+  EXPECT_EQ(h.read_mem(0x208), 0xdeadbeefu);
+}
+
+TEST_F(Rv32Test, ByteAndHalfwordAccess) {
+  Rv32Harness h(core_);
+  h.write_mem(0x200, 0x8091a2b3);
+  h.load_program({
+      e::addi(1, 0, 0x200),
+      e::lb(2, 1, 1),    // byte 1 = 0xa2 -> sign-extended 0xffffffa2
+      e::lbu(3, 1, 3),   // byte 3 = 0x80 -> 0x80
+      e::lh(4, 1, 2),    // half 1 = 0x8091 -> 0xffff8091
+      e::lhu(5, 1, 0),   // half 0 = 0xa2b3
+      e::sw(2, 0, 0x100),
+      e::sw(3, 0, 0x104),
+      e::sw(4, 0, 0x108),
+      e::sw(5, 0, 0x10c),
+      e::sb(3, 0, 0x110),     // store byte
+      e::sh(5, 0, 0x114),     // store half
+  });
+  h.reset();
+  h.step(11);
+  EXPECT_EQ(h.read_mem(0x100), 0xffffffa2u);
+  EXPECT_EQ(h.read_mem(0x104), 0x80u);
+  EXPECT_EQ(h.read_mem(0x108), 0xffff8091u);
+  EXPECT_EQ(h.read_mem(0x10c), 0xa2b3u);
+  EXPECT_EQ(h.read_mem(0x110) & 0xff, 0x80u);
+  EXPECT_EQ(h.read_mem(0x114) & 0xffff, 0xa2b3u);
+}
+
+TEST_F(Rv32Test, SubwordStoresMergeIntoWord) {
+  Rv32Harness h(core_);
+  h.write_mem(0x100, 0xaabbccdd);
+  h.load_program({
+      e::addi(1, 0, 0x11),
+      e::sb(1, 0, 0x101),  // replace byte 1
+  });
+  h.reset();
+  h.step(2);
+  EXPECT_EQ(h.read_mem(0x100), 0xaabb11ddu);
+}
+
+TEST_F(Rv32Test, BranchesTakenAndNotTaken) {
+  Rv32Harness h(core_);
+  h.load_program({
+      /* 0x00 */ e::addi(1, 0, 5),
+      /* 0x04 */ e::addi(2, 0, 5),
+      /* 0x08 */ e::beq(1, 2, 8),        // taken -> 0x10
+      /* 0x0c */ e::addi(3, 0, 111),     // skipped
+      /* 0x10 */ e::bne(1, 2, 8),        // not taken
+      /* 0x14 */ e::addi(3, 3, 1),       // executed: x3 = 1
+      /* 0x18 */ e::blt(0, 1, 8),        // 0 < 5 taken -> 0x20
+      /* 0x1c */ e::addi(3, 0, 222),     // skipped
+      /* 0x20 */ e::sw(3, 0, 0x100),
+  });
+  h.reset();
+  h.step(7);
+  EXPECT_EQ(h.read_mem(0x100), 1u);
+}
+
+TEST_F(Rv32Test, SignedVsUnsignedBranch) {
+  Rv32Harness h(core_);
+  h.load_program({
+      /* 0x00 */ e::addi(1, 0, -1),      // 0xffffffff
+      /* 0x04 */ e::addi(2, 0, 1),
+      /* 0x08 */ e::bltu(2, 1, 8),       // 1 < 0xffffffff unsigned: taken
+      /* 0x0c */ e::addi(3, 0, 99),      // skipped
+      /* 0x10 */ e::blt(2, 1, 8),        // 1 < -1 signed: NOT taken
+      /* 0x14 */ e::addi(3, 3, 7),       // x3 = 7
+      /* 0x18 */ e::sw(3, 0, 0x100),
+  });
+  h.reset();
+  h.step(6);
+  EXPECT_EQ(h.read_mem(0x100), 7u);
+}
+
+TEST_F(Rv32Test, BackwardBranchLoop) {
+  // Sum 1..5 with a loop.
+  Rv32Harness h(core_);
+  h.load_program({
+      /* 0x00 */ e::addi(1, 0, 5),    // i = 5
+      /* 0x04 */ e::addi(2, 0, 0),    // sum = 0
+      /* 0x08 */ e::add(2, 2, 1),     // sum += i
+      /* 0x0c */ e::addi(1, 1, -1),   // i--
+      /* 0x10 */ e::bne(1, 0, -8),    // loop while i != 0
+      /* 0x14 */ e::sw(2, 0, 0x100),
+  });
+  h.reset();
+  h.step(2 + 5 * 3 + 1);
+  EXPECT_EQ(h.read_mem(0x100), 15u);
+}
+
+TEST_F(Rv32Test, JalAndJalr) {
+  Rv32Harness h(core_);
+  h.load_program({
+      /* 0x00 */ e::jal(1, 12),          // jump to 0x0c, x1 = 4
+      /* 0x04 */ e::addi(2, 0, 111),     // skipped initially; ret lands here
+      /* 0x08 */ e::jal(0, 12),          // jump to 0x14
+      /* 0x0c */ e::addi(2, 0, 55),      // x2 = 55
+      /* 0x10 */ e::jalr(3, 1, 0),       // return to x1 = 4, x3 = 0x14
+      /* 0x14 */ e::sw(2, 0, 0x100),
+      /* 0x18 */ e::sw(3, 0, 0x104),
+      /* 0x1c */ e::sw(1, 0, 0x108),
+  });
+  h.reset();
+  h.step(8);
+  EXPECT_EQ(h.read_mem(0x100), 111u);   // executed after return
+  EXPECT_EQ(h.read_mem(0x104), 0x14u);  // link register of jalr
+  EXPECT_EQ(h.read_mem(0x108), 4u);     // link register of jal
+}
+
+TEST_F(Rv32Test, X0IsHardwiredZero) {
+  Rv32Harness h(core_);
+  h.load_program({
+      e::addi(0, 0, 123),   // writes to x0 are discarded
+      e::sw(0, 0, 0x100),
+  });
+  h.reset();
+  h.write_mem(0x100, 77);
+  h.step(2);
+  EXPECT_EQ(h.read_mem(0x100), 0u);
+}
+
+TEST_F(Rv32Test, FibonacciProgram) {
+  // fib(10) = 55, iteratively.
+  Rv32Harness h(core_);
+  h.load_program({
+      /* 0x00 */ e::addi(1, 0, 0),     // a = 0
+      /* 0x04 */ e::addi(2, 0, 1),     // b = 1
+      /* 0x08 */ e::addi(3, 0, 10),    // n = 10
+      /* 0x0c */ e::add(4, 1, 2),      // t = a + b
+      /* 0x10 */ e::addi(1, 2, 0),     // a = b
+      /* 0x14 */ e::addi(2, 4, 0),     // b = t
+      /* 0x18 */ e::addi(3, 3, -1),    // n--
+      /* 0x1c */ e::bne(3, 0, -16),    // loop
+      /* 0x20 */ e::sw(1, 0, 0x100),   // result = a = fib(10)
+  });
+  h.reset();
+  h.step(3 + 10 * 5 + 1);
+  EXPECT_EQ(h.read_mem(0x100), 55u);
+}
+
+TEST(Rv32Full, ThirtyTwoRegisterCoreWorks) {
+  tech::Technology t = tech::make_ffet_3p5t();
+  stdcell::Library lib = stdcell::build_library(t);
+  netlist::Netlist core = build_rv32_core(lib, {.num_registers = 32});
+  EXPECT_TRUE(core.validate().empty());
+  const auto s = core.stats();
+  // A real block: thousands of instances, >1k flip-flops.
+  EXPECT_GT(s.num_instances, 5000);
+  EXPECT_GE(s.num_sequential, 31 * 32 + 32);
+
+  Rv32Harness h(&core);
+  h.load_program({
+      e::addi(20, 0, 1000),   // high register numbers exercise full decode
+      e::addi(31, 20, 234),
+      e::sw(31, 0, 0x100),
+  });
+  h.reset();
+  h.step(3);
+  EXPECT_EQ(h.read_mem(0x100), 1234u);
+}
+
+TEST(Rv32M, MultiplierVariantsMatchReference) {
+  tech::Technology t = tech::make_ffet_3p5t();
+  stdcell::Library lib = stdcell::build_library(t);
+  netlist::Netlist core =
+      build_rv32_core(lib, {.num_registers = 8, .enable_m = true});
+  EXPECT_TRUE(core.validate().empty());
+
+  auto run_mul = [&](u32 (*op)(u32, u32, u32), std::uint32_t a,
+                     std::uint32_t bval) {
+    Rv32Harness h(&core);
+    h.write_mem(0x200, a);
+    h.write_mem(0x204, bval);
+    h.load_program({
+        e::lw(1, 0, 0x200),
+        e::lw(2, 0, 0x204),
+        op(3, 1, 2),
+        e::sw(3, 0, 0x100),
+    });
+    h.reset();
+    h.step(4);
+    return h.read_mem(0x100);
+  };
+
+  const std::uint32_t cases[][2] = {
+      {3, 5},
+      {0xffffffff, 2},            // -1 * 2
+      {0x80000000, 0x80000000},   // INT_MIN^2
+      {1234567, 89012345},
+      {0, 0xdeadbeef},
+      {0xfffffffe, 0xffffffff},   // -2 * -1
+  };
+  for (const auto& c : cases) {
+    const std::uint64_t au = c[0], bu = c[1];
+    const std::int64_t as = static_cast<std::int32_t>(c[0]);
+    const std::int64_t bs = static_cast<std::int32_t>(c[1]);
+    EXPECT_EQ(run_mul(e::mul, c[0], c[1]),
+              static_cast<std::uint32_t>(au * bu)) << c[0] << "*" << c[1];
+    EXPECT_EQ(run_mul(e::mulhu, c[0], c[1]),
+              static_cast<std::uint32_t>((au * bu) >> 32)) << "mulhu";
+    EXPECT_EQ(run_mul(e::mulh, c[0], c[1]),
+              static_cast<std::uint32_t>(
+                  (static_cast<std::uint64_t>(as * bs)) >> 32)) << "mulh";
+    EXPECT_EQ(run_mul(e::mulhsu, c[0], c[1]),
+              static_cast<std::uint32_t>(
+                  static_cast<std::uint64_t>(
+                      as * static_cast<std::int64_t>(bu)) >> 32)) << "mulhsu";
+  }
+}
+
+TEST(Rv32M, DisabledByDefault) {
+  tech::Technology t = tech::make_ffet_3p5t();
+  stdcell::Library lib = stdcell::build_library(t);
+  const auto plain = build_rv32_core(lib, {.num_registers = 4});
+  const auto with_m =
+      build_rv32_core(lib, {.num_registers = 4, .enable_m = true});
+  EXPECT_GT(with_m.num_instances(), plain.num_instances() + 3000)
+      << "the multiplier should add thousands of gates";
+}
+
+TEST(Rv32Options, RejectsBadRegisterCount) {
+  tech::Technology t = tech::make_ffet_3p5t();
+  stdcell::Library lib = stdcell::build_library(t);
+  EXPECT_THROW(build_rv32_core(lib, {.num_registers = 3}),
+               std::invalid_argument);
+  EXPECT_THROW(build_rv32_core(lib, {.num_registers = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ffet::riscv

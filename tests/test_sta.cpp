@@ -1,0 +1,254 @@
+// Tests for static timing analysis and power analysis.
+
+#include <gtest/gtest.h>
+
+#include "liberty/characterize.h"
+#include "netlist/builder.h"
+#include "netlist/sim.h"
+#include "sta/sta.h"
+
+namespace ffet::sta {
+namespace {
+
+using netlist::Builder;
+using netlist::Bus;
+using netlist::NetId;
+
+class StaTest : public ::testing::Test {
+ protected:
+  StaTest() : tech_(tech::make_ffet_3p5t()), lib_(stdcell::build_library(tech_)) {
+    liberty::characterize_library(lib_);
+  }
+  tech::Technology tech_;
+  stdcell::Library lib_;
+};
+
+TEST_F(StaTest, InverterChainDelayScalesWithLength) {
+  auto chain_delay = [&](int n) {
+    Builder b("chain", &lib_);
+    NetId x = b.input("a");
+    for (int i = 0; i < n; ++i) x = b.inv(x);
+    b.output("z", x);
+    netlist::Netlist nl = b.take();
+    Sta sta(&nl, nullptr);
+    return sta.analyze_timing().critical_path_ps;
+  };
+  const double d4 = chain_delay(4);
+  const double d8 = chain_delay(8);
+  const double d16 = chain_delay(16);
+  EXPECT_GT(d8, d4);
+  EXPECT_GT(d16, d8);
+  // Roughly linear in stages.
+  EXPECT_NEAR((d16 - d8) / (d8 - d4), 2.0, 0.5);
+}
+
+TEST_F(StaTest, RegisterToRegisterPathUsesSetupAndClkToQ) {
+  Builder b("r2r", &lib_);
+  const NetId clk = b.input("clk");
+  b.netlist().mark_clock_net(clk);
+  const NetId d0 = b.input("d");
+  const NetId q0 = b.dff(d0, clk);
+  NetId x = q0;
+  for (int i = 0; i < 6; ++i) x = b.inv(x);
+  const NetId q1 = b.dff(x, clk);
+  b.output("q", q1);
+  netlist::Netlist nl = b.take();
+  Sta sta(&nl, nullptr);
+  const TimingReport rep = sta.analyze_timing();
+  EXPECT_GT(rep.endpoints, 0);
+  // Path must exceed 6 inverter delays + clk->q + setup.
+  const auto* dff = lib_.find("DFFD1");
+  const double setup = dff->timing_model()->setup_ps;
+  EXPECT_GT(rep.critical_path_ps, setup);
+  EXPECT_GT(rep.achieved_freq_ghz, 0.0);
+  EXPECT_LT(rep.achieved_freq_ghz, 100.0);
+  EXPECT_FALSE(rep.critical_path.empty());
+}
+
+TEST_F(StaTest, SlackAgainstTarget) {
+  Builder b("s", &lib_);
+  const NetId a = b.input("a");
+  b.output("z", b.inv(a));
+  netlist::Netlist nl = b.take();
+  Sta sta(&nl, nullptr);
+  const TimingReport rep = sta.analyze_timing();
+  EXPECT_GT(rep.slack_ps(1000.0), 0.0);   // 1 GHz: easy
+  EXPECT_LT(rep.slack_ps(0.001), 0.0);    // 1 PHz: impossible
+}
+
+TEST_F(StaTest, ClockLatencyShiftsLaunchAndCapture) {
+  Builder b("lat", &lib_);
+  const NetId clk = b.input("clk");
+  b.netlist().mark_clock_net(clk);
+  const NetId d0 = b.input("d");
+  const NetId q0 = b.dff(d0, clk);
+  NetId x = b.inv(q0);
+  const NetId q1 = b.dff(x, clk);
+  b.output("q", q1);
+  netlist::Netlist nl = b.take();
+
+  const auto launch_id = nl.net(q0).driver.inst;
+  const auto capture_id = nl.net(q1).driver.inst;
+
+  Sta sta(&nl, nullptr);
+  const double base = sta.analyze_timing().critical_path_ps;
+
+  // Useful skew: giving the *capturing* FF extra latency relaxes the path.
+  std::unordered_map<netlist::InstId, double> lat;
+  lat[capture_id] = 20.0;
+  lat[launch_id] = 0.0;
+  Sta sta2(&nl, nullptr);
+  const double relaxed = sta2.analyze_timing(&lat).critical_path_ps;
+  EXPECT_LT(relaxed, base);
+
+  // Extra launch latency tightens it.
+  lat[capture_id] = 0.0;
+  lat[launch_id] = 20.0;
+  Sta sta3(&nl, nullptr);
+  const double tightened = sta3.analyze_timing(&lat).critical_path_ps;
+  EXPECT_GT(tightened, base);
+}
+
+TEST_F(StaTest, PowerScalesWithFrequencyAndActivity) {
+  Builder b("p", &lib_);
+  const NetId a = b.input("a");
+  NetId x = a;
+  for (int i = 0; i < 10; ++i) x = b.inv(x);
+  b.output("z", x);
+  netlist::Netlist nl = b.take();
+  Sta sta(&nl, nullptr);
+  sta.analyze_timing();
+
+  const PowerReport p1 = sta.analyze_power(1.0);
+  const PowerReport p2 = sta.analyze_power(2.0);
+  EXPECT_GT(p1.total_uw(), 0.0);
+  // Leakage is frequency-independent; dynamic power doubles.
+  EXPECT_DOUBLE_EQ(p1.leakage_uw, p2.leakage_uw);
+  EXPECT_NEAR(p2.switching_uw, 2.0 * p1.switching_uw, 1e-9);
+  EXPECT_NEAR(p2.internal_uw, 2.0 * p1.internal_uw, 1e-9);
+
+  const PowerReport quiet = sta.analyze_power(1.0, nullptr, 0.05);
+  const PowerReport busy = sta.analyze_power(1.0, nullptr, 0.40);
+  EXPECT_GT(busy.switching_uw, quiet.switching_uw);
+}
+
+TEST_F(StaTest, SimulatedToggleRatesDrivePower) {
+  Builder b("act", &lib_);
+  const NetId clk = b.input("clk");
+  b.netlist().mark_clock_net(clk);
+  const NetId d = b.wire("d");
+  const NetId q = b.dff(d, clk);
+  b.drive(d, "INVD1", {q});  // toggle flop: net q toggles every cycle
+  b.output("q", q);
+  netlist::Netlist nl = b.take();
+
+  netlist::Simulator sim(&nl);
+  sim.reset_activity();
+  for (int i = 0; i < 32; ++i) sim.tick();
+  std::vector<double> rates(static_cast<std::size_t>(nl.num_nets()), 0.0);
+  for (int n = 0; n < nl.num_nets(); ++n) {
+    rates[static_cast<std::size_t>(n)] =
+        nl.net(n).is_clock ? 2.0 : sim.toggle_rate(n);
+  }
+  Sta sta(&nl, nullptr);
+  sta.analyze_timing();
+  const PowerReport measured = sta.analyze_power(1.0, &rates);
+  const PowerReport idle = sta.analyze_power(
+      1.0, nullptr, /*default_toggle=*/0.0);
+  // With real activity the toggle flop burns more than the
+  // zero-data-activity case (which still clocks).
+  EXPECT_GT(measured.total_uw(), idle.total_uw());
+}
+
+TEST_F(StaTest, EfficiencyMetric) {
+  PowerReport r;
+  r.switching_uw = 500.0;
+  r.internal_uw = 400.0;
+  r.leakage_uw = 100.0;
+  r.freq_ghz = 2.0;
+  EXPECT_DOUBLE_EQ(r.total_uw(), 1000.0);
+  EXPECT_DOUBLE_EQ(r.efficiency_ghz_per_mw(), 2.0);
+}
+
+TEST_F(StaTest, WireloadVsExtractedConsistency) {
+  // Wireload STA must be finite and in the same decade as typical loads.
+  Builder b("wl", &lib_);
+  const NetId a = b.input("a");
+  NetId x = b.inv(a);
+  // Fanout-heavy node.
+  std::vector<NetId> outs;
+  for (int i = 0; i < 8; ++i) outs.push_back(b.inv(x));
+  b.output("z", b.or_tree(outs));
+  netlist::Netlist nl = b.take();
+  Sta sta(&nl, nullptr);
+  const TimingReport rep = sta.analyze_timing();
+  EXPECT_GT(rep.critical_path_ps, 5.0);
+  EXPECT_LT(rep.critical_path_ps, 2000.0);
+}
+
+TEST_F(StaTest, HoldAnalysisFindsShortPaths) {
+  // A direct FF->FF connection (no logic) is the classic hold risk.
+  Builder b("hold", &lib_);
+  const NetId clk = b.input("clk");
+  b.netlist().mark_clock_net(clk);
+  const NetId d = b.input("d");
+  const NetId q0 = b.dff(d, clk);
+  const NetId q1 = b.dff(q0, clk);  // direct path
+  b.output("q", q1);
+  netlist::Netlist nl = b.take();
+  Sta sta(&nl, nullptr);
+  sta.analyze_timing();
+  const HoldReport rep = sta.analyze_hold();
+  // Min arrival = clk->q (several ps) > hold (a couple ps): positive slack.
+  EXPECT_GT(rep.worst_slack_ps, 0.0);
+  EXPECT_EQ(rep.violations, 0);
+  EXPECT_FALSE(rep.worst_endpoint.empty());
+}
+
+TEST_F(StaTest, HoldViolationUnderLargeSkew) {
+  Builder b("holdskew", &lib_);
+  const NetId clk = b.input("clk");
+  b.netlist().mark_clock_net(clk);
+  const NetId d = b.input("d");
+  const NetId q0 = b.dff(d, clk);
+  const NetId q1 = b.dff(q0, clk);
+  b.output("q", q1);
+  netlist::Netlist nl = b.take();
+
+  const auto launch = nl.net(q0).driver.inst;
+  const auto capture = nl.net(q1).driver.inst;
+  std::unordered_map<netlist::InstId, double> lat;
+  lat[launch] = 0.0;
+  lat[capture] = 100.0;  // capture clock arrives much later: hold hazard
+  Sta sta(&nl, nullptr);
+  sta.analyze_timing(&lat);
+  const HoldReport rep = sta.analyze_hold(&lat);
+  EXPECT_LT(rep.worst_slack_ps, 0.0);
+  EXPECT_GT(rep.violations, 0);
+}
+
+TEST_F(StaTest, HoldSlackShrinksWithSkewOption) {
+  Builder b("holdopt", &lib_);
+  const NetId clk = b.input("clk");
+  b.netlist().mark_clock_net(clk);
+  const NetId q0 = b.dff(b.input("d"), clk);
+  const NetId q1 = b.dff(b.inv(q0), clk);
+  b.output("q", q1);
+  netlist::Netlist nl = b.take();
+
+  StaOptions tight;
+  tight.clock_skew_ps = 0.0;
+  Sta s1(&nl, nullptr, tight);
+  s1.analyze_timing();
+  const double slack0 = s1.analyze_hold().worst_slack_ps;
+
+  StaOptions skewed;
+  skewed.clock_skew_ps = 5.0;
+  Sta s2(&nl, nullptr, skewed);
+  s2.analyze_timing();
+  const double slack5 = s2.analyze_hold().worst_slack_ps;
+  EXPECT_NEAR(slack0 - slack5, 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ffet::sta

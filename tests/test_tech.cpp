@@ -1,0 +1,171 @@
+// Unit tests for the technology / virtual-PDK model (Table II rule decks).
+
+#include <gtest/gtest.h>
+
+#include "tech/tech.h"
+
+namespace ffet::tech {
+namespace {
+
+TEST(TechFactory, BasicParameters) {
+  const Technology cfet = make_cfet_4t();
+  const Technology ffet = make_ffet_3p5t();
+
+  EXPECT_EQ(cfet.kind(), TechKind::Cfet4T);
+  EXPECT_EQ(ffet.kind(), TechKind::Ffet3p5T);
+  EXPECT_EQ(cfet.cpp(), 50);
+  EXPECT_EQ(ffet.cpp(), 50);
+  EXPECT_EQ(cfet.track_pitch(), 30);
+  EXPECT_EQ(cfet.cell_height(), 120);   // 4T
+  EXPECT_EQ(ffet.cell_height(), 105);   // 3.5T
+  EXPECT_DOUBLE_EQ(cfet.cell_height_tracks(), 4.0);
+  EXPECT_DOUBLE_EQ(ffet.cell_height_tracks(), 3.5);
+}
+
+TEST(TechFactory, CellHeightRatioIsTwelvePointFivePercent) {
+  const Technology cfet = make_cfet_4t();
+  const Technology ffet = make_ffet_3p5t();
+  const double ratio = static_cast<double>(ffet.cell_height()) /
+                       static_cast<double>(cfet.cell_height());
+  EXPECT_NEAR(1.0 - ratio, 0.125, 1e-12);
+}
+
+// Table II pitches, exact.
+TEST(TableII, FrontsidePitchesIdenticalAcrossTechs) {
+  const Technology cfet = make_cfet_4t();
+  const Technology ffet = make_ffet_3p5t();
+  const struct { const char* name; geom::Nm pitch; } expected[] = {
+      {"FM0", 28}, {"FM1", 34}, {"FM2", 30}, {"FM3", 42}, {"FM4", 42},
+      {"FM5", 76}, {"FM6", 76}, {"FM7", 76}, {"FM8", 76}, {"FM9", 76},
+      {"FM10", 76}, {"FM11", 126}, {"FM12", 720},
+  };
+  for (const auto& e : expected) {
+    ASSERT_NE(cfet.find_layer(e.name), nullptr) << e.name;
+    ASSERT_NE(ffet.find_layer(e.name), nullptr) << e.name;
+    EXPECT_EQ(cfet.find_layer(e.name)->pitch, e.pitch) << e.name;
+    EXPECT_EQ(ffet.find_layer(e.name)->pitch, e.pitch) << e.name;
+  }
+}
+
+TEST(TableII, CfetBacksideIsPdnOnly) {
+  const Technology cfet = make_cfet_4t();
+  const MetalLayer* bpr = cfet.find_layer("BPR");
+  ASSERT_NE(bpr, nullptr);
+  EXPECT_EQ(bpr->pitch, 120);
+  EXPECT_EQ(bpr->purpose, LayerPurpose::PowerOnly);
+
+  const MetalLayer* bm1 = cfet.find_layer("BM1");
+  const MetalLayer* bm2 = cfet.find_layer("BM2");
+  ASSERT_NE(bm1, nullptr);
+  ASSERT_NE(bm2, nullptr);
+  EXPECT_EQ(bm1->pitch, 3200);
+  EXPECT_EQ(bm2->pitch, 2400);
+  EXPECT_EQ(bm1->purpose, LayerPurpose::PowerOnly);
+  EXPECT_EQ(bm2->purpose, LayerPurpose::PowerOnly);
+  EXPECT_EQ(cfet.find_layer("BM3"), nullptr);
+  EXPECT_EQ(cfet.num_routing_layers(Side::Back), 0);
+  EXPECT_FALSE(cfet.supports_backside_pins());
+}
+
+TEST(TableII, FfetBacksideMirrorsFrontside) {
+  const Technology ffet = make_ffet_3p5t();
+  EXPECT_TRUE(ffet.supports_backside_pins());
+  for (int i = 0; i <= 12; ++i) {
+    const std::string f = "FM" + std::to_string(i);
+    const std::string b = "BM" + std::to_string(i);
+    const MetalLayer* fl = ffet.find_layer(f);
+    const MetalLayer* bl = ffet.find_layer(b);
+    ASSERT_NE(fl, nullptr) << f;
+    ASSERT_NE(bl, nullptr) << b;
+    EXPECT_EQ(fl->pitch, bl->pitch) << f;
+    EXPECT_EQ(fl->purpose, bl->purpose) << f;
+  }
+  EXPECT_EQ(ffet.num_routing_layers(Side::Front), 12);
+  EXPECT_EQ(ffet.num_routing_layers(Side::Back), 12);
+}
+
+TEST(Layers, M0IsCellLevelNotRouting) {
+  const Technology ffet = make_ffet_3p5t();
+  EXPECT_EQ(ffet.find_layer("FM0")->purpose, LayerPurpose::CellLevel);
+  EXPECT_EQ(ffet.find_layer("BM0")->purpose, LayerPurpose::CellLevel);
+  for (const MetalLayer* l : ffet.routing_layers(Side::Front)) {
+    EXPECT_GE(l->index, 1);
+  }
+}
+
+TEST(RoutingLimit, RestrictsStack) {
+  const Technology full = make_ffet_3p5t();
+  const Technology limited = full.with_routing_limit(6, 4);
+  EXPECT_EQ(limited.num_routing_layers(Side::Front), 6);
+  EXPECT_EQ(limited.num_routing_layers(Side::Back), 4);
+  EXPECT_EQ(limited.max_routing_index(Side::Front), 6);
+  EXPECT_EQ(limited.max_routing_index(Side::Back), 4);
+  EXPECT_EQ(limited.routing_pattern(), "FM6BM4");
+  // Cell-level M0 survives the limit.
+  EXPECT_NE(limited.find_layer("FM0"), nullptr);
+  EXPECT_NE(limited.find_layer("BM0"), nullptr);
+  EXPECT_EQ(limited.find_layer("FM7"), nullptr);
+  EXPECT_EQ(limited.find_layer("BM5"), nullptr);
+}
+
+TEST(RoutingLimit, CfetPatternHasNoBacksideSignals) {
+  const Technology cfet = make_cfet_4t().with_routing_limit(12, 12);
+  EXPECT_EQ(cfet.routing_pattern(), "FM12");
+  EXPECT_EQ(cfet.num_routing_layers(Side::Back), 0);
+}
+
+TEST(Electricals, NarrowerPitchIsMoreResistive) {
+  const WireElectricals m2 = derive_electricals(30);
+  const WireElectricals m5 = derive_electricals(76);
+  const WireElectricals m12 = derive_electricals(720);
+  EXPECT_GT(m2.r_ohm_per_um, m5.r_ohm_per_um);
+  EXPECT_GT(m5.r_ohm_per_um, m12.r_ohm_per_um);
+  // Sanity of magnitudes at a 5 nm-class node.
+  EXPECT_GT(m2.r_ohm_per_um, 50.0);
+  EXPECT_LT(m2.r_ohm_per_um, 500.0);
+  EXPECT_LT(m12.r_ohm_per_um, 1.0);
+  // Capacitance per length nearly scale-invariant.
+  EXPECT_NEAR(m2.c_ff_per_um, m12.c_ff_per_um, 0.1);
+  EXPECT_GT(m2.c_ff_per_um, m12.c_ff_per_um);
+}
+
+TEST(Electricals, ViasMoreResistiveAtTightPitch) {
+  EXPECT_GT(derive_electricals(28).via_down_r_ohm,
+            derive_electricals(720).via_down_r_ohm);
+}
+
+TEST(Device, SharedIntrinsicTransistor) {
+  const DeviceParams c = make_cfet_4t().device();
+  const DeviceParams f = make_ffet_3p5t().device();
+  // Same intrinsic transistor characteristics (Sec. IV).
+  EXPECT_DOUBLE_EQ(c.nfet_r_per_fin_ohm, f.nfet_r_per_fin_ohm);
+  EXPECT_DOUBLE_EQ(c.pfet_r_per_fin_ohm, f.pfet_r_per_fin_ohm);
+  EXPECT_DOUBLE_EQ(c.gate_c_per_fin_ff, f.gate_c_per_fin_ff);
+  EXPECT_DOUBLE_EQ(c.leakage_nw_per_fin, f.leakage_nw_per_fin);
+  // Structure parasitics differ: the CFET supervia chain dominates the FFET
+  // Drain Merge (Sec. II.B).
+  EXPECT_GT(c.np_link_r_ohm, f.np_link_r_ohm);
+  EXPECT_GT(c.np_link_c_ff, f.np_link_c_ff);
+  EXPECT_GT(c.internal_track_c_ff_per_cpp, f.internal_track_c_ff_per_cpp);
+}
+
+TEST(PowerRules, TapCellsVsTsv) {
+  const PowerPlanRules c = make_cfet_4t().power_rules();
+  const PowerPlanRules f = make_ffet_3p5t().power_rules();
+  EXPECT_EQ(c.stripe_pitch_cpp, 64);  // Sec. IV: 64 CPP power stripe pitch
+  EXPECT_EQ(f.stripe_pitch_cpp, 64);
+  EXPECT_EQ(c.tap_cell_width_cpp, 0);   // CFET: BPR + nTSV, no tap cells
+  EXPECT_GT(f.tap_cell_width_cpp, 0);   // FFET: Power Tap Cells
+  EXPECT_GT(c.tsv_blockage_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(f.tsv_blockage_fraction, 0.0);
+}
+
+TEST(Side, Opposite) {
+  EXPECT_EQ(opposite(Side::Front), Side::Back);
+  EXPECT_EQ(opposite(Side::Back), Side::Front);
+  EXPECT_EQ(to_string(Side::Front), "front");
+  EXPECT_EQ(to_string(TechKind::Ffet3p5T), "3.5T FFET");
+}
+
+}  // namespace
+}  // namespace ffet::tech

@@ -1,0 +1,122 @@
+// Tests for the synthetic workload generator and the reporting module,
+// including a full physical run over a generated circuit.
+
+#include <gtest/gtest.h>
+
+#include "liberty/characterize.h"
+#include "netlist/workload.h"
+#include "pnr/cts.h"
+#include "pnr/floorplan.h"
+#include "pnr/placement.h"
+#include "pnr/powerplan.h"
+#include "pnr/report.h"
+
+namespace ffet::netlist {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest()
+      : tech_(tech::make_ffet_3p5t()), lib_(stdcell::build_library(tech_)) {
+    liberty::characterize_library(lib_);
+  }
+  tech::Technology tech_;
+  stdcell::Library lib_;
+};
+
+TEST_F(WorkloadTest, GeneratesValidNetlist) {
+  WorkloadOptions opt;
+  opt.num_gates = 800;
+  opt.num_flops = 100;
+  const Netlist nl = generate_workload(lib_, opt);
+  EXPECT_TRUE(nl.validate().empty());
+  EXPECT_NO_THROW(nl.topo_order());
+  const NetlistStats s = nl.stats();
+  EXPECT_EQ(s.num_instances, 900);
+  EXPECT_EQ(s.num_sequential, 100);
+  EXPECT_TRUE(nl.find_port("clk").has_value());
+  EXPECT_TRUE(nl.find_port("out0").has_value());
+}
+
+TEST_F(WorkloadTest, DeterministicPerSeed) {
+  WorkloadOptions opt;
+  opt.num_gates = 300;
+  opt.seed = 42;
+  const Netlist a = generate_workload(lib_, opt);
+  const Netlist b = generate_workload(lib_, opt);
+  ASSERT_EQ(a.num_instances(), b.num_instances());
+  for (int i = 0; i < a.num_instances(); ++i) {
+    EXPECT_EQ(a.instance(i).type->name(), b.instance(i).type->name());
+    EXPECT_EQ(a.instance(i).pin_nets, b.instance(i).pin_nets);
+  }
+  opt.seed = 43;
+  const Netlist c = generate_workload(lib_, opt);
+  bool differs = a.num_instances() != c.num_instances();
+  for (int i = 0; !differs && i < a.num_instances(); ++i) {
+    differs = a.instance(i).type->name() != c.instance(i).type->name() ||
+              a.instance(i).pin_nets != c.instance(i).pin_nets;
+  }
+  EXPECT_TRUE(differs) << "different seeds should differ";
+}
+
+TEST_F(WorkloadTest, LocalityReducesWirelength) {
+  // High-locality circuits should place with less wire than low-locality
+  // ones of identical size — the knob works end to end.
+  auto hpwl_for = [&](double locality) {
+    WorkloadOptions opt;
+    opt.num_gates = 1200;
+    opt.num_flops = 120;
+    opt.locality = locality;
+    Netlist nl = generate_workload(lib_, opt);
+    pnr::FloorplanOptions fo;
+    fo.target_utilization = 0.6;
+    const pnr::Floorplan fp = pnr::make_floorplan(nl, tech_, fo);
+    const pnr::PowerPlan pp = pnr::build_power_plan(nl, fp, lib_);
+    return pnr::place(nl, fp, pp).hpwl_um;
+  };
+  EXPECT_LT(hpwl_for(0.95), hpwl_for(0.1));
+}
+
+TEST_F(WorkloadTest, RejectsDegenerateOptions) {
+  WorkloadOptions opt;
+  opt.num_inputs = 1;
+  EXPECT_THROW(generate_workload(lib_, opt), std::invalid_argument);
+  opt.num_inputs = 8;
+  opt.num_gates = 0;
+  EXPECT_THROW(generate_workload(lib_, opt), std::invalid_argument);
+}
+
+TEST_F(WorkloadTest, FullPhysicalRunOnWorkload) {
+  WorkloadOptions opt;
+  opt.num_gates = 1000;
+  opt.num_flops = 150;
+  Netlist nl = generate_workload(lib_, opt);
+  pnr::FloorplanOptions fo;
+  fo.target_utilization = 0.65;
+  const pnr::Floorplan fp = pnr::make_floorplan(nl, tech_, fo);
+  const pnr::PowerPlan pp = pnr::build_power_plan(nl, fp, lib_);
+  const pnr::PlacementResult pres = pnr::place(nl, fp, pp);
+  EXPECT_TRUE(pres.legal);
+  pnr::build_clock_tree(nl, fp);
+  const pnr::RouteResult rr = pnr::route_design(nl, fp);
+  EXPECT_GT(rr.nets_front, 500);
+
+  // Report module over the same run.
+  const pnr::CongestionMap cmap =
+      pnr::build_congestion_map(rr, tech::Side::Front);
+  EXPECT_GT(cmap.max_load, 0.0);
+  EXPECT_GE(cmap.max_load, cmap.mean_load);
+  const std::string art = pnr::render_heatmap(cmap.load);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), cmap.load.rows());
+
+  const pnr::DensityMap dmap = pnr::build_density_map(nl, fp, 16);
+  EXPECT_GT(dmap.mean_density, 0.2);
+  EXPECT_LE(dmap.max_density, 1.5);  // center-binning quantization
+
+  const std::string summary = pnr::routing_summary(rr);
+  EXPECT_NE(summary.find("frontside"), std::string::npos);
+  EXPECT_NE(summary.find("DRV"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ffet::netlist
