@@ -4,6 +4,7 @@
 // from the mechanisms, not from output-side tuning.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "pnr/cts.h"
@@ -11,6 +12,7 @@
 #include "pnr/placement.h"
 #include "pnr/powerplan.h"
 #include "pnr/router.h"
+#include "runtime/thread_pool.h"
 
 using namespace ffet;
 
@@ -35,6 +37,7 @@ pnr::RouteResult route_with(const flow::DesignContext& ctx, double util,
 int main() {
   bench::print_title("Ablation",
                      "Which mechanism carries which paper result");
+  bench::SweepTimer timer("bench_ablation", 9);
 
   // --- 1. Pin-access limit: carries FFET FM12's 76% ceiling (Fig. 8c) ----
   {
@@ -44,8 +47,12 @@ int main() {
     pnr::RouteOptions without;
     without.pin_access_limit_per_um2 = 1e9;  // off
     bool pl = false;
-    const auto r_on = route_with(*ctx, 0.82, with, &pl);
-    const auto r_off = route_with(*ctx, 0.82, without, nullptr);
+    // The two route runs differ only in options — independent, so they run
+    // concurrently (each on its own private netlist copy).
+    pnr::RouteResult r_on, r_off;
+    runtime::parallel_invoke(
+        0, [&] { r_on = route_with(*ctx, 0.82, with, &pl); },
+        [&] { r_off = route_with(*ctx, 0.82, without, nullptr); });
     std::printf("    with limit   : DRV %d (%d pin-access) -> %s\n",
                 r_on.drv_estimate, r_on.drv_pin_access,
                 r_on.valid ? "valid" : "INVALID");
@@ -116,12 +123,19 @@ int main() {
     std::printf("\n[5] capacity_factor sweep, FFET FP0.5BP0.5 FM2BM2 @ 70%%\n");
     flow::FlowConfig cfg = bench::ffet_dual_config(0.5, 2, 2);
     auto ctx = flow::prepare_design(cfg);
-    for (double cf : {1.6, 2.4, 3.2, 4.0}) {
-      pnr::RouteOptions ro;
-      ro.capacity_factor = cf;
-      const auto r = route_with(*ctx, 0.70, ro, nullptr);
-      std::printf("    cf=%.1f: DRV %6d -> %s\n", cf, r.drv_estimate,
-                  r.valid ? "valid" : "INVALID");
+    const std::vector<double> cfs = {1.6, 2.4, 3.2, 4.0};
+    std::vector<pnr::RouteResult> rs(cfs.size());
+    runtime::parallel_for(
+        cfs.size(),
+        [&](std::size_t i) {
+          pnr::RouteOptions ro;
+          ro.capacity_factor = cfs[i];
+          rs[i] = route_with(*ctx, 0.70, ro, nullptr);
+        },
+        0, 1);
+    for (std::size_t i = 0; i < cfs.size(); ++i) {
+      std::printf("    cf=%.1f: DRV %6d -> %s\n", cfs[i], rs[i].drv_estimate,
+                  rs[i].valid ? "valid" : "INVALID");
     }
     std::printf("    => cf anchors where the 2-layer configuration stops "
                 "closing (Fig. 12's 70%% point).\n");

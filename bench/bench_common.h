@@ -11,10 +11,14 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "flow/flow.h"
+#include "runtime/thread_pool.h"
 
 namespace ffet::bench {
 
@@ -61,5 +65,48 @@ inline flow::FlowConfig ffet_dual_config(double backside_fraction,
 inline double pct(double ours, double base) {
   return base == 0.0 ? 0.0 : (ours - base) / base * 100.0;
 }
+
+/// Wall-clock instrumentation for the sweep benches.  On destruction it
+/// prints the elapsed time and, when the FFET_BENCH_JSON environment
+/// variable names a file, appends one machine-readable line:
+///   {"bench":"...","seconds":...,"threads":...,"points":...}
+/// run_benches.sh collects these lines into BENCH_sweeps.json.
+class SweepTimer {
+ public:
+  /// `threads` follows the flow convention: 0 = auto (FFET_THREADS env or
+  /// hardware concurrency) — record what the sweep actually used.
+  SweepTimer(std::string bench, int points, int threads = 0)
+      : bench_(std::move(bench)),
+        points_(points),
+        threads_(runtime::resolve_threads(threads)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  SweepTimer(const SweepTimer&) = delete;
+  SweepTimer& operator=(const SweepTimer&) = delete;
+
+  ~SweepTimer() {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::printf("\n  [timing] %s: %d sweep points in %.2f s (%d threads)\n",
+                bench_.c_str(), points_, seconds, threads_);
+    if (const char* path = std::getenv("FFET_BENCH_JSON")) {
+      if (std::FILE* f = std::fopen(path, "a")) {
+        std::fprintf(
+            f,
+            "{\"bench\":\"%s\",\"seconds\":%.3f,\"threads\":%d,\"points\":%d}\n",
+            bench_.c_str(), seconds, threads_, points_);
+        std::fclose(f);
+      }
+    }
+  }
+
+ private:
+  std::string bench_;
+  int points_;
+  int threads_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace ffet::bench

@@ -18,13 +18,23 @@ struct Point {
   bool valid;
 };
 
+// Utilization grid 0.46..0.86 step 0.05; integer index avoids the
+// float-accumulation drift that can drop or duplicate the final point.
+constexpr int kPoints = 9;
+
 std::vector<Point> sweep(const flow::DesignContext& ctx,
                          flow::FlowConfig cfg) {
+  std::vector<flow::FlowConfig> cfgs;
+  for (int i = 0; i < kPoints; ++i) {
+    cfg.utilization = 0.46 + 0.05 * i;
+    cfgs.push_back(cfg);
+  }
+  const std::vector<flow::FlowResult> results = flow::run_sweep(ctx, cfgs);
   std::vector<Point> pts;
-  for (double u = 0.46; u <= 0.87; u += 0.05) {
-    cfg.utilization = u;
-    const flow::FlowResult r = flow::run_physical(ctx, cfg);
-    pts.push_back({u, r.core_area_um2, r.achieved_freq_ghz, r.valid()});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const flow::FlowResult& r = results[i];
+    pts.push_back(
+        {cfgs[i].utilization, r.core_area_um2, r.achieved_freq_ghz, r.valid()});
   }
   return pts;
 }
@@ -34,6 +44,7 @@ std::vector<Point> sweep(const flow::DesignContext& ctx,
 int main() {
   bench::print_title("Fig. 10",
                      "Frequency-area: CFET vs FFET FM12 at 1.5GHz target");
+  bench::SweepTimer timer("bench_fig10", 2 * kPoints);
 
   flow::FlowConfig ccfg = bench::cfet_config();
   ccfg.target_freq_ghz = 1.5;

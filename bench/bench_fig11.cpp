@@ -18,12 +18,17 @@ int main() {
       "Power-frequency clouds across input-pin-density DoEs (FM12BM12)");
 
   const std::vector<double> backside = {0.04, 0.16, 0.3, 0.4, 0.5};
+  // Utilization grid 0.46..0.76 step 0.06; integer index avoids the
+  // float-accumulation drift that can drop or duplicate the final point.
+  constexpr int kPoints = 6;
   struct Cloud {
     double bp;
     double mean_freq = 0, mean_power = 0;
     int n = 0;
   };
   std::vector<Cloud> clouds;
+  bench::SweepTimer timer("bench_fig11",
+                          static_cast<int>(backside.size()) * kPoints);
 
   std::printf("\n%-14s %6s %10s %10s %8s\n", "DoE", "util", "f(GHz)",
               "P(uW)", "valid");
@@ -35,11 +40,17 @@ int main() {
     c.bp = bp;
     stdcell::PinConfig pc;
     pc.backside_input_fraction = bp;
-    for (double u = 0.46; u <= 0.765; u += 0.06) {
-      cfg.utilization = u;
-      const flow::FlowResult r = flow::run_physical(*ctx, cfg);
-      std::printf("%-14s %6.2f %10.3f %10.1f %8s\n", pc.label().c_str(), u,
-                  r.achieved_freq_ghz, r.power_uw, r.valid() ? "yes" : "NO");
+    std::vector<flow::FlowConfig> cfgs;
+    for (int i = 0; i < kPoints; ++i) {
+      cfg.utilization = 0.46 + 0.06 * i;
+      cfgs.push_back(cfg);
+    }
+    const std::vector<flow::FlowResult> results = flow::run_sweep(*ctx, cfgs);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const flow::FlowResult& r = results[i];
+      std::printf("%-14s %6.2f %10.3f %10.1f %8s\n", pc.label().c_str(),
+                  cfgs[i].utilization, r.achieved_freq_ghz, r.power_uw,
+                  r.valid() ? "yes" : "NO");
       if (r.valid()) {
         c.mean_freq += r.achieved_freq_ghz;
         c.mean_power += r.power_uw;

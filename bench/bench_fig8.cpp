@@ -31,12 +31,22 @@ struct Curve {
   double min_area = 1e18;
 };
 
+// Utilization grid 0.46..0.90 step 0.04; integer index avoids the
+// float-accumulation drift that can drop or duplicate the final point.
+constexpr int kPoints = 12;
+
 Curve sweep(const flow::DesignContext& ctx, flow::FlowConfig cfg) {
   Curve c;
   c.label = cfg.label();
-  for (double u = 0.46; u <= 0.905; u += 0.04) {
-    cfg.utilization = u;
-    const flow::FlowResult r = flow::run_physical(ctx, cfg);
+  std::vector<flow::FlowConfig> cfgs;
+  for (int i = 0; i < kPoints; ++i) {
+    cfg.utilization = 0.46 + 0.04 * i;
+    cfgs.push_back(cfg);
+  }
+  const std::vector<flow::FlowResult> results = flow::run_sweep(ctx, cfgs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double u = cfgs[i].utilization;
+    const flow::FlowResult& r = results[i];
     c.points.push_back({u, r});
     if (r.valid()) {
       c.max_util = std::max(c.max_util, u);
@@ -63,6 +73,7 @@ void print_curve(const Curve& c) {
 
 int main() {
   bench::print_title("Fig. 8", "Core area vs utilization");
+  bench::SweepTimer timer("bench_fig8", 3 * kPoints);
 
   // --- (a) CFET vs FFET FM12BM12 -------------------------------------------
   auto cfet_ctx = flow::prepare_design(bench::cfet_config());

@@ -33,6 +33,7 @@ void print_stack(const tech::Technology& t) {
 
 int main() {
   bench::print_title("Table II", "Design rules: BEOL metal layers");
+  bench::SweepTimer timer("bench_table2", 7);  // 2 stacks + 5 limited variants
   bench::print_note(
       "pitches are the paper's published values (model inputs, exact by");
   bench::print_note(

@@ -48,12 +48,21 @@ int main() {
   std::printf("%-42s %10s %8s %8s %9s %8s %6s\n", "variant", "area um^2",
               "f (GHz)", "P (uW)", "GHz/mW", "WL um", "valid");
 
-  double base_area = 0, base_freq = 0, base_power = 0;
+  // All four variants run as one parallel sweep (each prepares its own
+  // design); rows print afterwards in variant order.
+  std::vector<flow::FlowConfig> cfgs;
   for (const Variant& v : variants) {
     flow::FlowConfig cfg = v.cfg;
     cfg.target_freq_ghz = 1.5;
     cfg.utilization = 0.70;
-    const flow::FlowResult r = flow::run_flow(cfg);
+    cfgs.push_back(cfg);
+  }
+  const std::vector<flow::FlowResult> results = flow::run_sweep(cfgs);
+
+  double base_area = 0, base_freq = 0, base_power = 0;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    const flow::FlowResult& r = results[i];
     std::printf("%-42s %10.1f %8.3f %8.1f %9.3f %8.0f %6s\n", v.name,
                 r.core_area_um2, r.achieved_freq_ghz, r.power_uw,
                 r.efficiency_ghz_per_mw,

@@ -1,12 +1,59 @@
 #!/bin/sh
 # Regenerate every paper table/figure plus the extensions; used to produce
 # bench_output.txt referenced by EXPERIMENTS.md.
+#
+# Usage:
+#   ./run_benches.sh                  # full set
+#   ./run_benches.sh --quick          # fast smoke subset (CI)
+#   ./run_benches.sh bench_fig10 ...  # only the named benches
+#
+# Wall-clock timing of every sweep bench is collected (via the
+# FFET_BENCH_JSON hook in bench_common.h) into BENCH_sweeps.json.
 set -e
 cd "$(dirname "$0")"
-for b in bench_table1 bench_fig4 bench_table2 bench_fig8 bench_fig9 \
-         bench_fig10 bench_fig11 bench_table3 bench_fig12 bench_fig13 \
-         bench_ablation bench_cost_extension; do
+
+FULL="bench_table1 bench_fig4 bench_table2 bench_fig8 bench_fig9 \
+      bench_fig10 bench_fig11 bench_table3 bench_fig12 bench_fig13 \
+      bench_ablation bench_cost_extension"
+QUICK="bench_table1 bench_fig4 bench_table2"
+
+run_stages=1
+case "$1" in
+  --quick)
+    benches=$QUICK
+    run_stages=0
+    shift
+    ;;
+  "")
+    benches=$FULL
+    ;;
+  *)
+    benches="$@"
+    run_stages=0
+    ;;
+esac
+
+JSONL=$(mktemp)
+trap 'rm -f "$JSONL"' EXIT
+export FFET_BENCH_JSON="$JSONL"
+
+for b in $benches; do
   ./build/bench/$b
 done
+
 # google-benchmark microbenchmarks last (shorter repetitions).
-./build/bench/bench_stages --benchmark_min_time=0.2 || true
+if [ "$run_stages" = 1 ]; then
+  ./build/bench/bench_stages --benchmark_min_time=0.2 || true
+fi
+
+# Wrap the collected JSON lines into one machine-readable array.
+if [ -s "$JSONL" ]; then
+  {
+    echo '['
+    sed '$!s/$/,/' "$JSONL"
+    echo ']'
+  } > BENCH_sweeps.json
+  echo ""
+  echo "sweep timings written to BENCH_sweeps.json:"
+  cat BENCH_sweeps.json
+fi

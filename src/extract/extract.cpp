@@ -7,6 +7,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace ffet::extract {
 
 using netlist::Netlist;
@@ -128,7 +130,7 @@ struct Adj {
 }  // namespace
 
 RcNetlist extract_rc(const io::Def& merged, const Netlist& nl,
-                     const Technology& tech) {
+                     const Technology& tech, int threads) {
   RcNetlist out;
   out.trees.resize(static_cast<std::size_t>(nl.num_nets()));
 
@@ -141,7 +143,12 @@ RcNetlist extract_rc(const io::Def& merged, const Netlist& nl,
 
   const double drain_merge_r = tech.device().np_link_r_ohm;
 
-  for (int net_id = 0; net_id < nl.num_nets(); ++net_id) {
+  // Each net's tree is built from read-only shared state (DEF index,
+  // density grid, netlist) into its own out.trees slot, so the per-net loop
+  // parallelizes without synchronization; the aggregate totals are summed
+  // in net order afterwards to stay bit-identical to the serial loop.
+  auto build_tree = [&](std::size_t net_index) {
+    const int net_id = static_cast<int>(net_index);
     const netlist::Net& net = nl.net(net_id);
     RcTree& tree = out.trees[static_cast<std::size_t>(net_id)];
     tree.net_name = net.name;
@@ -273,11 +280,14 @@ RcNetlist extract_rc(const io::Def& merged, const Netlist& nl,
       pin_cap += nl.pin_cap_ff(sref);
     }
     tree.wire_cap_ff = std::max(0.0, tree.total_cap_ff - pin_cap);
+  };
 
-    const std::size_t n_nodes = tree.nodes.size();
+  runtime::parallel_for(static_cast<std::size_t>(nl.num_nets()), build_tree,
+                        threads, 0);
 
+  for (const RcTree& tree : out.trees) {
     out.total_wire_cap_ff += tree.wire_cap_ff;
-    for (std::size_t i = 1; i < n_nodes; ++i) {
+    for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
       out.total_wire_res_kohm += tree.nodes[i].r_ohm / 1000.0;
     }
   }

@@ -69,8 +69,11 @@ struct RcNetlist {
 /// Extract RC for every net of `nl` from the merged DEF.  `merged` must
 /// contain the union of front and back wires (see io::merge_defs); nets
 /// present in the netlist but absent from the DEF get pin-only trees.
+/// Per-net trees are independent, so `threads > 1` builds them in parallel
+/// (bit-identical to serial: each net's tree is a pure function of its DEF
+/// wires, and the totals are summed serially in net order).
 RcNetlist extract_rc(const io::Def& merged, const netlist::Netlist& nl,
-                     const tech::Technology& tech);
+                     const tech::Technology& tech, int threads = 1);
 
 /// Recompute a tree's total capacitance and per-node Elmore delays from its
 /// node caps / parents / resistances (used by the extractor and by the

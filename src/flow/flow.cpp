@@ -14,6 +14,7 @@
 #include "riscv/encode.h"
 #include "riscv/harness.h"
 #include "riscv/rv32.h"
+#include "runtime/thread_pool.h"
 
 namespace ffet::flow {
 
@@ -178,6 +179,7 @@ std::vector<std::uint32_t> activity_program() {
 FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   FlowResult res;
   res.config = config;
+  const int threads = runtime::resolve_threads(config.threads);
 
   // Work on a private copy: taps, CTS buffers and placement are per-run.
   netlist::Netlist nl = ctx.netlist;
@@ -218,7 +220,9 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   res.hold_buffers = synth::fix_hold(nl, cts.sink_latency_ps);
 
   // --- routing (Algorithm 1) ------------------------------------------------------
-  const pnr::RouteResult routes = pnr::route_design(nl, fp);
+  pnr::RouteOptions ro;
+  ro.threads = threads;
+  const pnr::RouteResult routes = pnr::route_design(nl, fp, ro);
   res.route_valid = routes.valid;
   res.drv = routes.drv_estimate;
   res.wirelength_front_um = routes.wirelength_front_um;
@@ -229,12 +233,14 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   const io::Def front = io::build_def(nl, routes, tech::Side::Front);
   const io::Def back = io::build_def(nl, routes, tech::Side::Back);
   const io::Def merged = io::merge_defs(front, back);
-  const extract::RcNetlist rc = extract::extract_rc(merged, nl, ctx.tech());
+  const extract::RcNetlist rc =
+      extract::extract_rc(merged, nl, ctx.tech(), threads);
 
   // --- STA + power -------------------------------------------------------------------
   sta::StaOptions so;
   so.clock_skew_ps = cts.skew_ps;
   so.pi_reference_latency_ps = cts.mean_latency_ps;
+  so.threads = threads;
   sta::Sta sta(&nl, &rc, so);
   const sta::TimingReport timing = sta.analyze_timing(&cts.sink_latency_ps);
   res.achieved_freq_ghz = timing.achieved_freq_ghz;
@@ -273,6 +279,47 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
 FlowResult run_flow(const FlowConfig& config) {
   const auto ctx = prepare_design(config);
   return run_physical(*ctx, config);
+}
+
+namespace {
+
+/// When the sweep level owns the parallelism, points that did not ask for
+/// intra-flow threads explicitly (threads == 0 -> auto) are pinned to 1 so
+/// k sweep workers do not each spawn k stage helpers.
+FlowConfig pin_point_threads(FlowConfig cfg, int sweep_threads) {
+  if (sweep_threads > 1 && cfg.threads == 0) cfg.threads = 1;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<FlowResult> run_sweep(const DesignContext& ctx,
+                                  const std::vector<FlowConfig>& configs,
+                                  int threads) {
+  const int k = runtime::resolve_threads(threads);
+  std::vector<FlowResult> out(configs.size());
+  runtime::parallel_for(
+      configs.size(),
+      [&](std::size_t i) {
+        out[i] = run_physical(ctx, pin_point_threads(configs[i], k));
+      },
+      k, 1);
+  return out;
+}
+
+std::vector<FlowResult> run_sweep(const std::vector<FlowConfig>& configs,
+                                  int threads) {
+  const int k = runtime::resolve_threads(threads);
+  std::vector<FlowResult> out(configs.size());
+  runtime::parallel_for(
+      configs.size(),
+      [&](std::size_t i) {
+        const FlowConfig cfg = pin_point_threads(configs[i], k);
+        const auto ctx = prepare_design(cfg);
+        out[i] = run_physical(*ctx, cfg);
+      },
+      k, 1);
+  return out;
 }
 
 std::optional<double> find_max_utilization(const DesignContext& ctx,

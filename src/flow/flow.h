@@ -27,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "extract/extract.h"
 #include "netlist/netlist.h"
@@ -61,6 +62,12 @@ struct FlowConfig {
   /// otherwise a default activity factor is used.
   bool simulate_activity = false;
   int activity_cycles = 120;
+
+  /// Worker threads for the intra-flow parallel stages (per-side routing,
+  /// per-net extraction, STA precompute).  0 = auto: the FFET_THREADS
+  /// environment variable if set, else std::thread::hardware_concurrency().
+  /// All stages are bit-identical to threads == 1.
+  int threads = 0;
 
   std::string label() const;
 };
@@ -139,6 +146,23 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config);
 
 /// Convenience: prepare + run.
 FlowResult run_flow(const FlowConfig& config);
+
+/// Run every config as an independent sweep point on the shared prepared
+/// design (each point still sees its own FlowConfig — the ctx supplies the
+/// synthesized netlist and library).  `threads` workers execute points
+/// concurrently (0 = auto, as FlowConfig::threads); results are returned in
+/// config order and are bit-identical to a serial loop of run_physical
+/// calls.  Points whose FlowConfig::threads == 0 run their intra-flow
+/// stages serially (the sweep level owns the parallelism).
+std::vector<FlowResult> run_sweep(const DesignContext& ctx,
+                                  const std::vector<FlowConfig>& configs,
+                                  int threads = 0);
+
+/// Sweep over configs that need their own prepared design (per-point
+/// prepare_design + run_physical).  The characterization cache makes the
+/// repeated library builds cheap.
+std::vector<FlowResult> run_sweep(const std::vector<FlowConfig>& configs,
+                                  int threads = 0);
 
 /// Highest utilization (within [lo, hi], to `tol`) at which the flow is
 /// valid; nullopt if even `lo` fails.  Uses bisection (validity is

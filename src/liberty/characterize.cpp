@@ -4,8 +4,13 @@
 #include <cassert>
 #include <cmath>
 #include <functional>
+#include <iomanip>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "tech/tech.h"
 
@@ -269,15 +274,103 @@ void characterize_cell(CellType& cell, const Technology& tech,
   cell.set_timing_model(std::move(model));
 }
 
+// --- process-wide characterization cache -----------------------------------
+//
+// Keyed on everything the electrical model reads: the technology kind (which
+// selects the DeviceParams and the per-kind cell widths), the library's pin
+// configuration, and the characterization axes.  Cell structures are fixed
+// per cell name by build_library, so the name suffices inside an entry.
+
+struct CachedCell {
+  std::vector<double> pin_caps_ff;  ///< parallel to CellType::pins()
+  TimingModel model;
+};
+
+struct CacheEntry {
+  std::map<std::string, CachedCell, std::less<>> cells;
+};
+
+std::mutex g_cache_mutex;
+std::map<std::string, std::shared_ptr<const CacheEntry>>& cache_map() {
+  static std::map<std::string, std::shared_ptr<const CacheEntry>> m;
+  return m;
+}
+CharacterizeCacheStats g_cache_stats;
+
+std::string cache_key(const Library& lib, const CharacterizeOptions& opts) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << static_cast<int>(lib.tech().kind()) << '|'
+     << lib.pin_config().backside_input_fraction << '|';
+  for (double s : opts.slew_axis_ps) os << s << ',';
+  os << '|';
+  for (double l : opts.load_axis_ff) os << l << ',';
+  return os.str();
+}
+
 }  // namespace
 
 void characterize_library(Library& lib, const CharacterizeOptions& opts) {
   if (opts.slew_axis_ps.size() < 2 || opts.load_axis_ff.size() < 2) {
     throw std::invalid_argument("characterization axes need >= 2 points");
   }
+
+  const std::string key = cache_key(lib, opts);
+  std::shared_ptr<const CacheEntry> hit;
+  {
+    std::lock_guard<std::mutex> lk(g_cache_mutex);
+    auto it = cache_map().find(key);
+    if (it != cache_map().end()) {
+      hit = it->second;
+      ++g_cache_stats.hits;
+    } else {
+      ++g_cache_stats.misses;
+    }
+  }
+
+  if (hit) {
+    for (const auto& cell : lib.cells()) {
+      auto it = hit->cells.find(cell->name());
+      if (it == hit->cells.end()) continue;  // physical-only cell
+      const CachedCell& cc = it->second;
+      auto& pins = cell->mutable_pins();
+      for (std::size_t p = 0; p < pins.size() && p < cc.pin_caps_ff.size();
+           ++p) {
+        pins[p].cap_ff = cc.pin_caps_ff[p];
+      }
+      cell->set_timing_model(std::make_unique<TimingModel>(cc.model));
+    }
+    return;
+  }
+
   for (const auto& cell : lib.cells()) {
     characterize_cell(*cell, lib.tech(), opts);
   }
+
+  auto entry = std::make_shared<CacheEntry>();
+  for (const auto& cell : lib.cells()) {
+    if (cell->physical_only() || !cell->timing_model()) continue;
+    CachedCell cc;
+    cc.pin_caps_ff.reserve(cell->pins().size());
+    for (const CellPin& p : cell->pins()) cc.pin_caps_ff.push_back(p.cap_ff);
+    cc.model = *cell->timing_model();
+    entry->cells.emplace(cell->name(), std::move(cc));
+  }
+  std::lock_guard<std::mutex> lk(g_cache_mutex);
+  // First store wins if two threads characterized the same key concurrently;
+  // both produced identical tables, so either entry is correct.
+  cache_map().emplace(key, std::move(entry));
+}
+
+CharacterizeCacheStats characterization_cache_stats() {
+  std::lock_guard<std::mutex> lk(g_cache_mutex);
+  return g_cache_stats;
+}
+
+void clear_characterization_cache() {
+  std::lock_guard<std::mutex> lk(g_cache_mutex);
+  cache_map().clear();
+  g_cache_stats = {};
 }
 
 CellKpi measure_kpi(const CellType& cell, double slew_ps, double load_ff) {

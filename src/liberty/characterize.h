@@ -29,6 +29,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -46,8 +47,27 @@ struct CharacterizeOptions {
 
 /// Fill NLDM models and input-pin capacitances for every logic cell in the
 /// library.  Idempotent: re-running replaces the models.
+///
+/// Results are memoized process-wide: characterization is a pure function of
+/// (technology kind, pin configuration, characterization axes) — input-pin
+/// *sides* never enter the electrical model (the paper assumes cell
+/// characteristics are identical across input pin configurations), so every
+/// library built for the same technology and axes shares one cache entry.
+/// The cache is thread-safe; concurrent sweep points may characterize at
+/// most once each and then reuse the stored tables.
 void characterize_library(stdcell::Library& lib,
                           const CharacterizeOptions& opts = {});
+
+/// Hit/miss counters of the process-wide characterization cache.
+struct CharacterizeCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+CharacterizeCacheStats characterization_cache_stats();
+
+/// Drop all cached characterizations and reset the stats (tests).
+void clear_characterization_cache();
 
 /// KPIs of one characterized cell at a nominal operating point (used for the
 /// Table I comparison).

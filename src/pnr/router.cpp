@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/thread_pool.h"
+
 namespace ffet::pnr {
 
 using netlist::NetId;
@@ -355,6 +357,17 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
     return subnets[a].net < subnets[b].net;
   });
 
+  // Per-side subsequences of `order`.  A subnet only ever touches its own
+  // side's grid and router, so the two sides can route concurrently; each
+  // side preserving its in-order subsequence of `order` makes any
+  // interleaving produce the same grids as the serial pass.
+  const bool concurrent_sides = options.threads > 1;
+  std::array<std::vector<std::size_t>, 2> side_order;
+  for (std::size_t si : order) {
+    side_order[static_cast<std::size_t>(side_index(subnets[si].side))]
+        .push_back(si);
+  }
+
   // --- route with rip-up-and-reroute --------------------------------------------
   std::array<PathRouter, 2> routers{PathRouter(grids[0]), PathRouter(grids[1])};
   std::vector<std::vector<GEdge>> route_edges(subnets.size());
@@ -388,7 +401,14 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
     commit(g, edges, +1.0);
   };
 
-  for (std::size_t si : order) route_one(si);
+  if (concurrent_sides) {
+    runtime::parallel_invoke(
+        options.threads,
+        [&] { for (std::size_t si : side_order[0]) route_one(si); },
+        [&] { for (std::size_t si : side_order[1]) route_one(si); });
+  } else {
+    for (std::size_t si : order) route_one(si);
+  }
 
   // Negotiated rip-up-and-reroute: decay history, bump it on overflowed
   // edges, reroute the nets crossing them.  The best solution seen (by hard
@@ -407,47 +427,74 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   double best_hard = total_hard();
   double best_soft = total_overflow();
   int stale_passes = 0;
+  auto decay_history = [](SideGrid& g) {
+    for (std::size_t i = 0; i < g.h_use.size(); ++i) {
+      g.h_hist[i] *= kHistoryDecay;
+      const double o = g.h_base[i] + g.h_use[i] - g.h_cap;
+      if (o > 0) g.h_hist[i] += kHistoryGain * o / g.h_cap;
+    }
+    for (std::size_t i = 0; i < g.v_use.size(); ++i) {
+      g.v_hist[i] *= kHistoryDecay;
+      const double o = g.v_base[i] + g.v_use[i] - g.v_cap;
+      if (o > 0) g.v_hist[i] += kHistoryGain * o / g.v_cap;
+    }
+  };
+  auto crosses_overflow = [&](std::size_t si) {
+    const SideGrid& g =
+        grids[static_cast<std::size_t>(side_index(subnets[si].side))];
+    for (const GEdge& e : route_edges[si]) {
+      const int a = std::min(e.a, e.b), b = std::max(e.a, e.b);
+      const int c = g.col_of(a), r = g.row_of(a);
+      if (b == a + 1) {
+        const auto i = static_cast<std::size_t>(g.h_edge(c, r));
+        if (g.h_base[i] + g.h_use[i] > g.h_cap) return true;
+      } else {
+        const auto i = static_cast<std::size_t>(g.v_edge(c, r));
+        if (g.v_base[i] + g.v_use[i] > g.v_cap) return true;
+      }
+    }
+    return false;
+  };
   for (int pass = 1;
        pass < options.rrr_passes && best_hard > 0.0 && stale_passes < 6;
        ++pass) {
-    for (SideGrid& g : grids) {
-      for (std::size_t i = 0; i < g.h_use.size(); ++i) {
-        g.h_hist[i] *= kHistoryDecay;
-        const double o = g.h_base[i] + g.h_use[i] - g.h_cap;
-        if (o > 0) g.h_hist[i] += kHistoryGain * o / g.h_cap;
-      }
-      for (std::size_t i = 0; i < g.v_use.size(); ++i) {
-        g.v_hist[i] *= kHistoryDecay;
-        const double o = g.v_base[i] + g.v_use[i] - g.v_cap;
-        if (o > 0) g.v_hist[i] += kHistoryGain * o / g.v_cap;
-      }
-    }
-    auto crosses_overflow = [&](std::size_t si) {
-      const SideGrid& g =
-          grids[static_cast<std::size_t>(side_index(subnets[si].side))];
-      for (const GEdge& e : route_edges[si]) {
-        const int a = std::min(e.a, e.b), b = std::max(e.a, e.b);
-        const int c = g.col_of(a), r = g.row_of(a);
-        if (b == a + 1) {
-          const auto i = static_cast<std::size_t>(g.h_edge(c, r));
-          if (g.h_base[i] + g.h_use[i] > g.h_cap) return true;
-        } else {
-          const auto i = static_cast<std::size_t>(g.v_edge(c, r));
-          if (g.v_base[i] + g.v_use[i] > g.v_cap) return true;
+    if (concurrent_sides) {
+      // Each side negotiates its pass independently: decay its history,
+      // find its overflowing subnets (in this side's `order` subsequence),
+      // rip them all, reroute them all — the same decay → find → rip →
+      // reroute sequence as the serial pass, restricted to state the other
+      // side never touches.  The pass barrier below (overflow totals, best
+      // tracking) is serial.
+      std::array<std::size_t, 2> ripped_counts{0, 0};
+      auto pass_side = [&](int s) {
+        const auto sz = static_cast<std::size_t>(s);
+        decay_history(grids[sz]);
+        std::vector<std::size_t> ripped;
+        for (std::size_t si : side_order[sz]) {
+          if (crosses_overflow(si)) ripped.push_back(si);
         }
+        for (std::size_t si : ripped) {
+          commit(grids[sz], route_edges[si], -1.0);
+        }
+        for (std::size_t si : ripped) route_one(si);
+        ripped_counts[sz] = ripped.size();
+      };
+      runtime::parallel_invoke(options.threads, [&] { pass_side(0); },
+                               [&] { pass_side(1); });
+      if (ripped_counts[0] + ripped_counts[1] == 0) break;
+    } else {
+      for (SideGrid& g : grids) decay_history(g);
+      std::vector<std::size_t> ripped;
+      for (std::size_t si : order) {
+        if (crosses_overflow(si)) ripped.push_back(si);
       }
-      return false;
-    };
-    std::vector<std::size_t> ripped;
-    for (std::size_t si : order) {
-      if (crosses_overflow(si)) ripped.push_back(si);
+      if (ripped.empty()) break;
+      for (std::size_t si : ripped) {
+        commit(grids[static_cast<std::size_t>(side_index(subnets[si].side))],
+               route_edges[si], -1.0);
+      }
+      for (std::size_t si : ripped) route_one(si);
     }
-    if (ripped.empty()) break;
-    for (std::size_t si : ripped) {
-      commit(grids[static_cast<std::size_t>(side_index(subnets[si].side))],
-             route_edges[si], -1.0);
-    }
-    for (std::size_t si : ripped) route_one(si);
 
     const double hard = total_hard();
     const double soft = total_overflow();

@@ -61,6 +61,12 @@ struct RouteOptions {
   /// halves the per-side density and removes the ceiling.  Layer-count
   /// independent: pin access happens at M0/M1.
   double pin_access_limit_per_um2 = 80.0;
+  /// Worker threads for the route stage.  Algorithm 1's decomposition makes
+  /// the two wafer sides fully independent (separate grids, separate edge
+  /// pools), so with threads >= 2 the frontside and backside route
+  /// concurrently within each PathFinder pass.  Results are bit-identical
+  /// to threads == 1, which runs the original interleaved serial order.
+  int threads = 1;
 };
 
 /// A gcell-level routing edge: between grid nodes a and b (flat indices).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/thread_pool.h"
 #include "stdcell/nldm.h"
 
 namespace ffet::sta {
@@ -27,10 +28,16 @@ double degrade_slew(double slew_ps, double elmore_ps) {
 
 }  // namespace
 
+namespace {
+/// Sentinel for "pin appears in no sink list"; lookups map it to 0, exactly
+/// like the original linear search's not-found fallback.
+constexpr std::size_t kNoSinkIndex = static_cast<std::size_t>(-1);
+}  // namespace
+
 Sta::Sta(const Netlist* nl, const extract::RcNetlist* rc, StaOptions options)
     : nl_(nl), rc_(rc), opt_(options) {}
 
-double Sta::net_load_ff(NetId net) const {
+double Sta::compute_net_load_ff(NetId net) const {
   if (rc_) {
     return rc_->trees[static_cast<std::size_t>(net)].total_cap_ff;
   }
@@ -39,6 +46,52 @@ double Sta::net_load_ff(NetId net) const {
   for (const PinRef& s : n.sinks) pins += nl_->pin_cap_ff(s);
   return pins + opt_.wl_base_ff +
          opt_.wl_per_fanout_ff * static_cast<double>(n.sinks.size());
+}
+
+double Sta::net_load_ff(NetId net) const {
+  ensure_caches();
+  return net_load_[static_cast<std::size_t>(net)];
+}
+
+std::size_t Sta::sink_index(InstId inst, std::size_t pin) const {
+  const std::size_t idx = sink_index_[static_cast<std::size_t>(inst)][pin];
+  return idx == kNoSinkIndex ? 0 : idx;
+}
+
+void Sta::ensure_caches() const {
+  if (caches_built_) return;
+  caches_built_ = true;
+  const auto n_nets = static_cast<std::size_t>(nl_->num_nets());
+  const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
+
+  net_load_.assign(n_nets, 0.0);
+  runtime::parallel_for(
+      n_nets,
+      [&](std::size_t n) {
+        net_load_[n] = compute_net_load_ff(static_cast<NetId>(n));
+      },
+      opt_.threads, 0);
+
+  // Sink-index map: each (inst, pin) belongs to exactly one net's sink
+  // list, so parallel per-net fills touch disjoint cells.
+  sink_index_.resize(n_inst);
+  for (std::size_t i = 0; i < n_inst; ++i) {
+    sink_index_[i].assign(nl_->instance(static_cast<InstId>(i)).pin_nets.size(),
+                          kNoSinkIndex);
+  }
+  runtime::parallel_for(
+      n_nets,
+      [&](std::size_t n) {
+        const netlist::Net& net = nl_->net(static_cast<NetId>(n));
+        for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+          const PinRef& ref = net.sinks[s];
+          auto& cell =
+              sink_index_[static_cast<std::size_t>(ref.inst)]
+                         [static_cast<std::size_t>(ref.pin)];
+          if (cell == kNoSinkIndex) cell = s;  // keep the first match
+        }
+      },
+      opt_.threads, 0);
 }
 
 double Sta::sink_wire_delay_ps(NetId net, std::size_t sink_idx) const {
@@ -51,6 +104,7 @@ double Sta::sink_wire_delay_ps(NetId net, std::size_t sink_idx) const {
 
 TimingReport Sta::analyze_timing(
     const std::unordered_map<InstId, double>* clock_latency_ps) {
+  ensure_caches();
   const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
   arrival_.assign(n_inst, 0.0);
   slew_.assign(n_inst, opt_.input_slew_ps);
@@ -133,15 +187,8 @@ TimingReport Sta::analyze_timing(
       const NetId in_net = inst.pin_nets[p];
       if (in_net == netlist::kNoNet) continue;
       const netlist::Net& net = nl_->net(in_net);
-      // Locate this pin in the net's sink list for the Elmore lookup.
-      std::size_t sink_idx = 0;
-      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
-        if (net.sinks[s].inst == id &&
-            net.sinks[s].pin == static_cast<int>(p)) {
-          sink_idx = s;
-          break;
-        }
-      }
+      // This pin's position in the net's sink list (for the Elmore lookup).
+      const std::size_t sink_idx = sink_index(id, p);
       double arr, slw;
       InstId src;
       input_arrival(net, sink_idx, arr, slw, src);
@@ -178,13 +225,7 @@ TimingReport Sta::analyze_timing(
       const NetId net_id = inst.pin_nets[p];
       if (net_id == netlist::kNoNet) continue;
       const netlist::Net& net = nl_->net(net_id);
-      std::size_t sink_idx = 0;
-      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
-        if (net.sinks[s].inst == i && net.sinks[s].pin == static_cast<int>(p)) {
-          sink_idx = s;
-          break;
-        }
-      }
+      const std::size_t sink_idx = sink_index(i, p);
       double arr, slw;
       InstId src;
       input_arrival(net, sink_idx, arr, slw, src);
@@ -240,6 +281,7 @@ TimingReport Sta::analyze_timing(
 
 HoldReport Sta::analyze_hold(
     const std::unordered_map<InstId, double>* clock_latency_ps) {
+  ensure_caches();
   const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
   std::vector<double> min_arrival(n_inst, 0.0);
   std::vector<double> min_slew(n_inst, opt_.input_slew_ps);
@@ -285,14 +327,7 @@ HoldReport Sta::analyze_hold(
       const NetId in_net = inst.pin_nets[p];
       if (in_net == netlist::kNoNet) continue;
       const netlist::Net& net = nl_->net(in_net);
-      std::size_t sink_idx = 0;
-      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
-        if (net.sinks[s].inst == id &&
-            net.sinks[s].pin == static_cast<int>(p)) {
-          sink_idx = s;
-          break;
-        }
-      }
+      const std::size_t sink_idx = sink_index(id, p);
       double arr = opt_.input_delay_ps + opt_.pi_reference_latency_ps;
       double slw = opt_.input_slew_ps;
       if (net.driver.inst != netlist::kNoInst) {
@@ -332,13 +367,7 @@ HoldReport Sta::analyze_hold(
       const NetId net_id = inst.pin_nets[p];
       if (net_id == netlist::kNoNet) continue;
       const netlist::Net& net = nl_->net(net_id);
-      std::size_t sink_idx = 0;
-      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
-        if (net.sinks[s].inst == i && net.sinks[s].pin == static_cast<int>(p)) {
-          sink_idx = s;
-          break;
-        }
-      }
+      const std::size_t sink_idx = sink_index(i, p);
       double arr = opt_.input_delay_ps + opt_.pi_reference_latency_ps;
       if (net.driver.inst != netlist::kNoInst) {
         arr = min_arrival[static_cast<std::size_t>(net.driver.inst)];

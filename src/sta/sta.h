@@ -54,6 +54,11 @@ struct StaOptions {
   double wl_base_ff = 0.3;
   double wl_per_fanout_ff = 0.35;
   double wl_res_ohm = 120.0;  ///< lumped wire resistance for wireload mode
+  /// Worker threads for the per-net precomputation (net loads and
+  /// sink-index maps).  The topological arrival propagation itself is
+  /// inherently serial; the precomputed tables are pure per-net functions,
+  /// so results are bit-identical at any thread count.
+  int threads = 1;
 };
 
 struct TimingReport {
@@ -129,7 +134,14 @@ class Sta {
 
  private:
   double net_load_ff(netlist::NetId net) const;
+  double compute_net_load_ff(netlist::NetId net) const;
   double sink_wire_delay_ps(netlist::NetId net, std::size_t sink_idx) const;
+  /// Cached position of (inst, pin) in its net's sink list (0 if absent —
+  /// the same fallback the original linear search used).
+  std::size_t sink_index(netlist::InstId inst, std::size_t pin) const;
+  /// Build the per-net load and sink-index caches (parallel_for over nets;
+  /// lazy, built on first analysis).
+  void ensure_caches() const;
 
   const netlist::Netlist* nl_;
   const extract::RcNetlist* rc_;
@@ -137,6 +149,12 @@ class Sta {
   std::vector<double> arrival_;
   std::vector<double> slew_;
   std::vector<netlist::InstId> critical_insts_;
+
+  mutable bool caches_built_ = false;
+  mutable std::vector<double> net_load_;  ///< per-net driver load (fF)
+  /// Per-instance, per-pin sink index (kNoSinkIndex = pin not in any sink
+  /// list; reads map it to 0).
+  mutable std::vector<std::vector<std::size_t>> sink_index_;
 };
 
 }  // namespace ffet::sta
