@@ -14,13 +14,52 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 
 #include "flow/flow.h"
+#include "obs/numfmt.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace ffet::bench {
+
+/// Shared command-line handling for the bench binaries.
+///   --quick         reduced sweep (each bench decides what that means)
+///   --trace[=path]  enable span tracing; dump a Chrome trace-event JSON
+///                   to `path` (default "trace_<bench>.json") at exit
+/// Unknown arguments are ignored so benches stay forward-compatible with
+/// run_benches.sh flags they don't care about.
+struct BenchArgs {
+  bool quick = false;
+  bool trace = false;
+  std::string trace_path;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  const std::string& bench) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      args.trace = true;
+      args.trace_path = "trace_" + bench + ".json";
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      args.trace = true;
+      args.trace_path = a + 8;
+    }
+  }
+  if (args.trace) {
+    obs::set_tracing(true);
+    obs::dump_trace_at_exit(args.trace_path);
+    std::printf("  [trace] writing Chrome trace to %s on exit\n",
+                args.trace_path.c_str());
+  }
+  return args;
+}
 
 inline void print_title(const std::string& id, const std::string& what) {
   std::printf("\n================================================================\n");
@@ -66,11 +105,19 @@ inline double pct(double ours, double base) {
   return base == 0.0 ? 0.0 : (ours - base) / base * 100.0;
 }
 
-/// Wall-clock instrumentation for the sweep benches.  On destruction it
-/// prints the elapsed time and, when the FFET_BENCH_JSON environment
-/// variable names a file, appends one machine-readable line:
-///   {"bench":"...","seconds":...,"threads":...,"points":...}
-/// run_benches.sh collects these lines into BENCH_sweeps.json.
+/// Wall-clock instrumentation for the sweep benches.  Construction turns
+/// the obs metrics registry on (cheap — pure atomics) and clears the
+/// per-point window; destruction prints the elapsed time plus per-point
+/// min/mean/max, and, when the FFET_BENCH_JSON environment variable names
+/// a file, appends one machine-readable line:
+///   {"bench":"...","seconds":...,"threads":...,"points":...,
+///    "point_ms_min":...,"point_ms_mean":...,"point_ms_max":...,
+///    "stage_ms":{"floorplan":...,...}}
+/// run_benches.sh collects these lines into BENCH_sweeps.json.  Per-point
+/// and per-stage numbers come from the "flow.point.ms" /
+/// "flow.stage.<name>.ms" histograms run_physical records; stage sums are
+/// deltas against the construction-time snapshot so sequential timers in
+/// one binary don't double-count.
 class SweepTimer {
  public:
   /// `threads` follows the flow convention: 0 = auto (FFET_THREADS env or
@@ -78,8 +125,19 @@ class SweepTimer {
   SweepTimer(std::string bench, int points, int threads = 0)
       : bench_(std::move(bench)),
         points_(points),
-        threads_(runtime::resolve_threads(threads)),
-        start_(std::chrono::steady_clock::now()) {}
+        threads_(runtime::resolve_threads(threads)) {
+    obs::init_from_env();
+    obs::set_thread_name("main");
+    // Benches default to metrics-on (per-point stats below are worth the
+    // few atomics); FFET_METRICS=0 is the explicit opt-out.
+    const char* menv = std::getenv("FFET_METRICS");
+    if (menv == nullptr || std::strcmp(menv, "0") != 0) {
+      obs::set_metrics(true);
+    }
+    obs::histogram("flow.point.ms").reset();  // own the per-point window
+    baseline_ = obs::metrics_snapshot();
+    start_ = std::chrono::steady_clock::now();
+  }
 
   SweepTimer(const SweepTimer&) = delete;
   SweepTimer& operator=(const SweepTimer&) = delete;
@@ -91,21 +149,76 @@ class SweepTimer {
             .count();
     std::printf("\n  [timing] %s: %d sweep points in %.2f s (%d threads)\n",
                 bench_.c_str(), points_, seconds, threads_);
+
+    const obs::Histogram& point = obs::histogram("flow.point.ms");
+    if (point.count() > 0) {
+      std::printf("  [points] per-point wall: min %.0f ms, mean %.0f ms, max %.0f ms (%llu points)\n",
+                  point.min(), point.mean(), point.max(),
+                  static_cast<unsigned long long>(point.count()));
+    }
+
     if (const char* path = std::getenv("FFET_BENCH_JSON")) {
+      std::string line;
+      line.reserve(512);
+      char head[256];
+      std::snprintf(
+          head, sizeof(head),
+          "{\"bench\":\"%s\",\"seconds\":%.3f,\"threads\":%d,\"points\":%d",
+          bench_.c_str(), seconds, threads_, points_);
+      line += head;
+      if (point.count() > 0) {
+        line += ",\"point_ms_min\":";
+        obs::append_double(line, point.min());
+        line += ",\"point_ms_mean\":";
+        obs::append_double(line, point.mean());
+        line += ",\"point_ms_max\":";
+        obs::append_double(line, point.max());
+      }
+      append_stage_ms(line);
+      line += "}\n";
       if (std::FILE* f = std::fopen(path, "a")) {
-        std::fprintf(
-            f,
-            "{\"bench\":\"%s\",\"seconds\":%.3f,\"threads\":%d,\"points\":%d}\n",
-            bench_.c_str(), seconds, threads_, points_);
+        std::fwrite(line.data(), 1, line.size(), f);
         std::fclose(f);
       }
     }
   }
 
  private:
+  /// Total wall ms spent per flow stage inside this timer's window, as a
+  /// compact "stage_ms" object (delta of the stage histograms' sums).
+  void append_stage_ms(std::string& line) const {
+    constexpr const char* kPrefix = "flow.stage.";
+    constexpr std::size_t kPrefixLen = 11;
+    constexpr const char* kSuffix = ".ms";
+    bool first = true;
+    for (const obs::MetricsSnapshot::Hist& h : obs::metrics_snapshot().histograms) {
+      if (h.name.rfind(kPrefix, 0) != 0) continue;
+      double sum = h.sum;
+      for (const obs::MetricsSnapshot::Hist& b : baseline_.histograms) {
+        if (b.name == h.name) {
+          sum -= b.sum;
+          break;
+        }
+      }
+      if (sum <= 0.0) continue;
+      std::string stage = h.name.substr(kPrefixLen);
+      if (stage.size() > 3 && stage.rfind(kSuffix) == stage.size() - 3) {
+        stage.resize(stage.size() - 3);
+      }
+      line += first ? ",\"stage_ms\":{" : ",";
+      first = false;
+      line += '"';
+      obs::append_escaped(line, stage);
+      line += "\":";
+      obs::append_double(line, sum);
+    }
+    if (!first) line += '}';
+  }
+
   std::string bench_;
   int points_;
   int threads_;
+  obs::MetricsSnapshot baseline_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -33,14 +33,17 @@ struct Curve {
 
 // Utilization grid 0.46..0.90 step 0.04; integer index avoids the
 // float-accumulation drift that can drop or duplicate the final point.
+// --quick coarsens to step 0.08 (6 points) and skips the Fig. 8(b) DEFs.
 constexpr int kPoints = 12;
+int g_points = kPoints;
+double g_step = 0.04;
 
 Curve sweep(const flow::DesignContext& ctx, flow::FlowConfig cfg) {
   Curve c;
   c.label = cfg.label();
   std::vector<flow::FlowConfig> cfgs;
-  for (int i = 0; i < kPoints; ++i) {
-    cfg.utilization = 0.46 + 0.04 * i;
+  for (int i = 0; i < g_points; ++i) {
+    cfg.utilization = 0.46 + g_step * i;
     cfgs.push_back(cfg);
   }
   const std::vector<flow::FlowResult> results = flow::run_sweep(ctx, cfgs);
@@ -71,9 +74,14 @@ void print_curve(const Curve& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, "bench_fig8");
+  if (args.quick) {
+    g_points = 6;
+    g_step = 0.08;
+  }
   bench::print_title("Fig. 8", "Core area vs utilization");
-  bench::SweepTimer timer("bench_fig8", 3 * kPoints);
+  bench::SweepTimer timer("bench_fig8", 3 * g_points);
 
   // --- (a) CFET vs FFET FM12BM12 -------------------------------------------
   auto cfet_ctx = flow::prepare_design(bench::cfet_config());
@@ -105,7 +113,7 @@ int main() {
               cfet.max_util);
 
   // --- (b) layout DEFs at 84% ------------------------------------------------
-  {
+  if (!args.quick) {
     flow::FlowConfig cfg = ffet_dual_ctx->config;
     cfg.utilization = 0.84;
     netlist::Netlist nl = ffet_dual_ctx->netlist;

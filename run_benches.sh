@@ -5,10 +5,18 @@
 # Usage:
 #   ./run_benches.sh                  # full set
 #   ./run_benches.sh --quick          # fast smoke subset (CI)
+#   ./run_benches.sh --trace          # also capture per-bench Chrome traces
 #   ./run_benches.sh bench_fig10 ...  # only the named benches
 #
 # Wall-clock timing of every sweep bench is collected (via the
-# FFET_BENCH_JSON hook in bench_common.h) into BENCH_sweeps.json.
+# FFET_BENCH_JSON hook in bench_common.h) into BENCH_sweeps.json; the lines
+# include per-point min/mean/max and per-stage wall-time breakdowns.  With
+# --trace each bench additionally writes trace_<bench>.json (Chrome
+# trace-event format — load in chrome://tracing or https://ui.perfetto.dev)
+# and appends per-point flow reports to flow_reports.jsonl.  Benches that
+# run no flow points (bench_table1/fig4/table2 print library/rule-deck
+# tables directly) legitimately produce tiny or no trace files and no
+# flow-report lines.
 set -e
 cd "$(dirname "$0")"
 
@@ -18,27 +26,41 @@ FULL="bench_table1 bench_fig4 bench_table2 bench_fig8 bench_fig9 \
 QUICK="bench_table1 bench_fig4 bench_table2"
 
 run_stages=1
-case "$1" in
-  --quick)
-    benches=$QUICK
-    run_stages=0
-    shift
-    ;;
-  "")
-    benches=$FULL
-    ;;
-  *)
-    benches="$@"
-    run_stages=0
-    ;;
-esac
+trace=0
+quick=0
+named=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    --trace) trace=1 ;;
+    *) named="$named $arg" ;;
+  esac
+done
+
+if [ -n "$named" ]; then
+  benches=$named
+  run_stages=0
+elif [ "$quick" = 1 ]; then
+  benches=$QUICK
+  run_stages=0
+else
+  benches=$FULL
+fi
 
 JSONL=$(mktemp)
 trap 'rm -f "$JSONL"' EXIT
 export FFET_BENCH_JSON="$JSONL"
 
+# A bench failure must fail the script (CI gates on it), but one bad bench
+# should not mask the results of the rest: run them all, then report.
+failures=""
 for b in $benches; do
-  ./build/bench/$b
+  if [ "$trace" = 1 ]; then
+    FFET_TRACE="trace_${b}.json" FFET_FLOW_REPORT="flow_reports.jsonl" \
+      ./build/bench/$b || failures="$failures $b"
+  else
+    ./build/bench/$b || failures="$failures $b"
+  fi
 done
 
 # google-benchmark microbenchmarks last (shorter repetitions).
@@ -56,4 +78,16 @@ if [ -s "$JSONL" ]; then
   echo ""
   echo "sweep timings written to BENCH_sweeps.json:"
   cat BENCH_sweeps.json
+fi
+
+if [ "$trace" = 1 ]; then
+  echo ""
+  echo "traces written:"
+  ls -1 trace_*.json 2>/dev/null || true
+fi
+
+if [ -n "$failures" ]; then
+  echo ""
+  echo "FAILED benches:$failures" >&2
+  exit 1
 fi

@@ -7,6 +7,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace ffet::extract {
@@ -131,6 +132,7 @@ struct Adj {
 
 RcNetlist extract_rc(const io::Def& merged, const Netlist& nl,
                      const Technology& tech, int threads) {
+  FFET_TRACE_SCOPE("extract.rc");
   RcNetlist out;
   out.trees.resize(static_cast<std::size_t>(nl.num_nets()));
 
@@ -148,6 +150,7 @@ RcNetlist extract_rc(const io::Def& merged, const Netlist& nl,
   // parallelizes without synchronization; the aggregate totals are summed
   // in net order afterwards to stay bit-identical to the serial loop.
   auto build_tree = [&](std::size_t net_index) {
+    FFET_TRACE_SCOPE("extract.net");
     const int net_id = static_cast<int>(net_index);
     const netlist::Net& net = nl.net(net_id);
     RcTree& tree = out.trees[static_cast<std::size_t>(net_id)];
@@ -284,6 +287,7 @@ RcNetlist extract_rc(const io::Def& merged, const Netlist& nl,
 
   runtime::parallel_for(static_cast<std::size_t>(nl.num_nets()), build_tree,
                         threads, 0);
+  FFET_METRIC_ADD("extract.nets", nl.num_nets());
 
   for (const RcTree& tree : out.trees) {
     out.total_wire_cap_ff += tree.wire_cap_ff;

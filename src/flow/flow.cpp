@@ -1,9 +1,16 @@
 #include "flow/flow.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <mutex>
 #include <sstream>
+
+#include "flow/report_json.h"
+#include "obs/obs.h"
 
 #include "io/def.h"
 #include "liberty/characterize.h"
@@ -174,9 +181,66 @@ std::vector<std::uint32_t> activity_program() {
   };
 }
 
+/// RAII wall/CPU timer for one flow stage: opens a "flow.<name>" trace
+/// span and appends a StageTiming to the result on destruction.  The
+/// timings themselves are always collected (two clock reads per stage);
+/// only the span and the per-stage histogram are gated on obs state.
+class StageClock {
+ public:
+  StageClock(FlowResult& res, const char* name)
+      : res_(res), name_(name), span_("flow.", name),
+        wall0_(std::chrono::steady_clock::now()),
+        cpu0_(obs::thread_cpu_ms()) {}
+
+  StageClock(const StageClock&) = delete;
+  StageClock& operator=(const StageClock&) = delete;
+
+  ~StageClock() {
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - wall0_)
+                               .count();
+    res_.stage_times.push_back(
+        {name_, wall_ms, obs::thread_cpu_ms() - cpu0_});
+    if (obs::metrics_enabled()) {
+      obs::histogram(std::string("flow.stage.") + name_ + ".ms")
+          .observe(wall_ms);
+    }
+  }
+
+ private:
+  FlowResult& res_;
+  const char* name_;
+  obs::TraceScope span_;
+  std::chrono::steady_clock::time_point wall0_;
+  double cpu0_;
+};
+
+/// Append one flow-report line (see flow_report_json) to the sink named by
+/// FlowConfig::flow_report_path, or the FFET_FLOW_REPORT environment
+/// variable when the config leaves it empty.  A process-wide mutex keeps
+/// lines whole when sweep points finish concurrently.
+void emit_flow_report(const FlowResult& res) {
+  std::string path = res.config.flow_report_path;
+  if (path.empty()) {
+    if (const char* env = std::getenv("FFET_FLOW_REPORT")) path = env;
+  }
+  if (path.empty()) return;
+  const std::string line = flow_report_json(res);
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
+  if (std::FILE* f = std::fopen(path.c_str(), "ab")) {
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+}
+
 }  // namespace
 
 FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
+  obs::init_from_env();
+  FFET_TRACE_SCOPE("flow.point");
+  const auto point0 = std::chrono::steady_clock::now();
   FlowResult res;
   res.config = config;
   const int threads = runtime::resolve_threads(config.threads);
@@ -188,53 +252,86 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   pnr::FloorplanOptions fo;
   fo.target_utilization = config.utilization;
   fo.aspect_ratio = config.aspect_ratio;
-  const pnr::Floorplan fp = pnr::make_floorplan(nl, ctx.tech(), fo);
+  const pnr::Floorplan fp = [&] {
+    StageClock clk(res, "floorplan");
+    return pnr::make_floorplan(nl, ctx.tech(), fo);
+  }();
   res.core_area_um2 = fp.core_area_um2();
   res.core_width_um = geom::to_um(fp.core.width());
   res.core_height_um = geom::to_um(fp.core.height());
   res.utilization = fp.achieved_utilization;
 
   // --- powerplan ---------------------------------------------------------------
-  const pnr::PowerPlan pp = pnr::build_power_plan(nl, fp, *ctx.library);
+  const pnr::PowerPlan pp = [&] {
+    StageClock clk(res, "powerplan");
+    return pnr::build_power_plan(nl, fp, *ctx.library);
+  }();
   res.num_tap_cells = static_cast<int>(pp.tap_cells.size());
 
   // --- placement ----------------------------------------------------------------
   pnr::PlacementOptions po;
   po.seed = config.seed;
-  const pnr::PlacementResult pres = pnr::place(nl, fp, pp, po);
+  const pnr::PlacementResult pres = [&] {
+    StageClock clk(res, "placement");
+    return pnr::place(nl, fp, pp, po);
+  }();
   res.placement_legal = pres.legal;
   res.placement_violations = pres.violations;
   res.hpwl_um = pres.hpwl_um;
+  res.place_mean_displacement_um = pres.mean_displacement_um;
+  res.place_max_displacement_um = pres.max_displacement_um;
   // Independent signoff check of what the placer claims.
-  res.placement_drc =
-      static_cast<int>(pnr::check_placement(nl, fp, pp).violations.size());
+  {
+    StageClock clk(res, "placement_drc");
+    res.placement_drc =
+        static_cast<int>(pnr::check_placement(nl, fp, pp).violations.size());
+  }
 
   // --- CTS -----------------------------------------------------------------------
-  const pnr::CtsResult cts = pnr::build_clock_tree(nl, fp);
+  const pnr::CtsResult cts = [&] {
+    StageClock clk(res, "cts");
+    return pnr::build_clock_tree(nl, fp);
+  }();
   res.clock_skew_ps = cts.skew_ps;
   res.clock_latency_ps = cts.mean_latency_ps;
   res.clock_buffers = cts.num_buffers;
 
   // Post-CTS hold fixing: pad short paths against the tree's skew before
   // routing so the post-route hold check closes.
-  res.hold_buffers = synth::fix_hold(nl, cts.sink_latency_ps);
+  res.hold_buffers = [&] {
+    StageClock clk(res, "hold_fix");
+    return synth::fix_hold(nl, cts.sink_latency_ps);
+  }();
 
   // --- routing (Algorithm 1) ------------------------------------------------------
   pnr::RouteOptions ro;
   ro.threads = threads;
-  const pnr::RouteResult routes = pnr::route_design(nl, fp, ro);
+  const pnr::RouteResult routes = [&] {
+    StageClock clk(res, "route");
+    return pnr::route_design(nl, fp, ro);
+  }();
   res.route_valid = routes.valid;
   res.drv = routes.drv_estimate;
+  res.route_passes = routes.rrr_passes;
+  res.route_ripups = routes.ripups_total;
+  res.route_overflow = routes.overflow_total;
+  res.drv_wire = routes.drv_wire;
+  res.drv_pin_access = routes.drv_pin_access;
   res.wirelength_front_um = routes.wirelength_front_um;
   res.wirelength_back_um = routes.wirelength_back_um;
   res.num_instances = nl.num_instances();
 
   // --- two DEFs -> merge -> dual-sided RC extraction -------------------------------
-  const io::Def front = io::build_def(nl, routes, tech::Side::Front);
-  const io::Def back = io::build_def(nl, routes, tech::Side::Back);
-  const io::Def merged = io::merge_defs(front, back);
-  const extract::RcNetlist rc =
-      extract::extract_rc(merged, nl, ctx.tech(), threads);
+  const io::Def merged = [&] {
+    StageClock clk(res, "def_merge");
+    const io::Def front = io::build_def(nl, routes, tech::Side::Front);
+    const io::Def back = io::build_def(nl, routes, tech::Side::Back);
+    return io::merge_defs(front, back);
+  }();
+  const extract::RcNetlist rc = [&] {
+    StageClock clk(res, "extract");
+    return extract::extract_rc(merged, nl, ctx.tech(), threads);
+  }();
 
   // --- STA + power -------------------------------------------------------------------
   sta::StaOptions so;
@@ -242,16 +339,23 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   so.pi_reference_latency_ps = cts.mean_latency_ps;
   so.threads = threads;
   sta::Sta sta(&nl, &rc, so);
-  const sta::TimingReport timing = sta.analyze_timing(&cts.sink_latency_ps);
+  const sta::TimingReport timing = [&] {
+    StageClock clk(res, "sta_timing");
+    return sta.analyze_timing(&cts.sink_latency_ps);
+  }();
   res.achieved_freq_ghz = timing.achieved_freq_ghz;
   res.critical_path_ps = timing.critical_path_ps;
-  const sta::HoldReport hold = sta.analyze_hold(&cts.sink_latency_ps);
+  const sta::HoldReport hold = [&] {
+    StageClock clk(res, "sta_hold");
+    return sta.analyze_hold(&cts.sink_latency_ps);
+  }();
   res.hold_slack_ps = hold.worst_slack_ps;
   res.hold_violations = hold.violations;
 
   std::vector<double> toggles;
   const std::vector<double>* toggles_ptr = nullptr;
   if (config.simulate_activity) {
+    StageClock clk(res, "activity_sim");
     riscv::Rv32Harness harness_like(&nl);  // drives clk/rst and memories
     harness_like.load_program(activity_program());
     harness_like.reset();
@@ -265,20 +369,46 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
     toggles_ptr = &toggles;
   }
 
-  const sta::PowerReport power =
-      sta.analyze_power(res.achieved_freq_ghz, toggles_ptr);
+  const sta::PowerReport power = [&] {
+    StageClock clk(res, "power");
+    return sta.analyze_power(res.achieved_freq_ghz, toggles_ptr);
+  }();
   res.power_uw = power.total_uw();
   res.switching_uw = power.switching_uw;
   res.internal_uw = power.internal_uw;
   res.leakage_uw = power.leakage_uw;
   res.efficiency_ghz_per_mw = power.efficiency_ghz_per_mw();
   res.ir_drop_mv = pp.estimate_ir_drop_mv(res.power_uw);
+
+  if (!res.placement_legal) {
+    res.invalid_reason =
+        "placement: " +
+        (pres.message.empty()
+             ? std::to_string(pres.violations) + " violations"
+             : pres.message);
+  } else if (!res.route_valid) {
+    std::ostringstream os;
+    os << "route: drv=" << res.drv << " (wire=" << res.drv_wire
+       << ", pin_access=" << res.drv_pin_access << ") after "
+       << res.route_passes << " RRR passes";
+    res.invalid_reason = os.str();
+  }
+
+  const double point_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - point0)
+                              .count();
+  FFET_METRIC_OBSERVE("flow.point.ms", point_ms);
+  FFET_METRIC_ADD("flow.points", 1);
+  emit_flow_report(res);
   return res;
 }
 
 FlowResult run_flow(const FlowConfig& config) {
+  if (!config.trace_path.empty()) obs::set_tracing(true);
   const auto ctx = prepare_design(config);
-  return run_physical(*ctx, config);
+  FlowResult res = run_physical(*ctx, config);
+  if (!config.trace_path.empty()) obs::dump_trace(config.trace_path);
+  return res;
 }
 
 namespace {

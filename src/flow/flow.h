@@ -69,6 +69,17 @@ struct FlowConfig {
   /// All stages are bit-identical to threads == 1.
   int threads = 0;
 
+  /// Telemetry sinks (src/obs).  `trace_path` enables span tracing and
+  /// dumps a Chrome trace-event JSON there when the process exits (same
+  /// effect as the FFET_TRACE environment variable).  `flow_report_path`
+  /// appends one structured-JSON line per run_physical call (stage
+  /// timings + metrics + validity verdict); the FFET_FLOW_REPORT
+  /// environment variable is the out-of-band equivalent.  Both empty by
+  /// default: the flow then records nothing and pays only a relaxed
+  /// atomic load per instrumentation site.
+  std::string trace_path;
+  std::string flow_report_path;
+
   std::string label() const;
 };
 
@@ -94,6 +105,14 @@ struct DesignContext {
 
 /// Build tech + library + characterization + core + synthesis.
 std::unique_ptr<DesignContext> prepare_design(const FlowConfig& config);
+
+/// Wall/CPU time of one named flow stage (telemetry; always collected —
+/// the cost is two clock reads per stage, independent of obs state).
+struct StageTiming {
+  std::string stage;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;  ///< calling thread's CPU time (helpers excluded)
+};
 
 struct FlowResult {
   FlowConfig config;
@@ -135,6 +154,21 @@ struct FlowResult {
   double internal_uw = 0.0;
   double leakage_uw = 0.0;
   double efficiency_ghz_per_mw = 0.0;  ///< Fig. 13's metric
+
+  // Convergence / quality diagnostics (telemetry).
+  int route_passes = 0;         ///< RRR passes the router actually ran
+  long route_ripups = 0;        ///< total subnet rip-ups across all passes
+  int route_overflow = 0;       ///< residual hard overflow (track units)
+  int drv_wire = 0;             ///< DRVs from wire overflow
+  int drv_pin_access = 0;       ///< DRVs from pin-access overload
+  double place_mean_displacement_um = 0.0;  ///< legalization displacement
+  double place_max_displacement_um = 0.0;
+
+  /// Per-stage wall/CPU timings in execution order (floorplan ... ir_drop).
+  std::vector<StageTiming> stage_times;
+
+  /// Why valid() is false, composed from the failing stage ("" when valid).
+  std::string invalid_reason;
 
   /// The paper's validity rule: legal placement and DRV < 10.
   bool valid() const { return placement_legal && route_valid; }

@@ -3,6 +3,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/obs.h"
+#include "obs/numfmt.h"
+
 namespace ffet::flow {
 
 namespace {
@@ -16,15 +19,24 @@ class Obj {
     os_ << "\n" << pad(indent_) << "}";
   }
 
-  void field(const char* key, double v) { sep(); os_ << '"' << key << "\": " << v; }
+  void field(const char* key, double v) {
+    sep();
+    os_ << '"' << key << "\": " << obs::format_double(v);
+  }
   void field(const char* key, int v) { sep(); os_ << '"' << key << "\": " << v; }
+  void field(const char* key, long v) {
+    sep();
+    os_ << '"' << key << "\": " << v;
+  }
   void field(const char* key, bool v) {
     sep();
     os_ << '"' << key << "\": " << (v ? "true" : "false");
   }
   void field(const char* key, const std::string& v) {
     sep();
-    os_ << '"' << key << "\": \"" << v << '"';
+    std::string escaped;
+    obs::append_escaped(escaped, v);
+    os_ << '"' << key << "\": \"" << escaped << '"';
   }
 
  private:
@@ -51,11 +63,19 @@ void write_json(const FlowResult& r, std::ostream& os) {
   o.field("target_freq_ghz", r.config.target_freq_ghz);
   o.field("target_utilization", r.config.utilization);
   o.field("valid", r.valid());
+  o.field("invalid_reason", r.invalid_reason);
   o.field("placement_legal", r.placement_legal);
   o.field("placement_violations", r.placement_violations);
   o.field("placement_drc", r.placement_drc);
+  o.field("place_mean_displacement_um", r.place_mean_displacement_um);
+  o.field("place_max_displacement_um", r.place_max_displacement_um);
   o.field("route_valid", r.route_valid);
   o.field("drv", r.drv);
+  o.field("drv_wire", r.drv_wire);
+  o.field("drv_pin_access", r.drv_pin_access);
+  o.field("route_passes", r.route_passes);
+  o.field("route_ripups", r.route_ripups);
+  o.field("route_overflow", r.route_overflow);
   o.field("core_area_um2", r.core_area_um2);
   o.field("utilization", r.utilization);
   o.field("hpwl_um", r.hpwl_um);
@@ -100,6 +120,147 @@ std::string to_json(const std::vector<FlowResult>& results) {
   std::ostringstream os;
   write_json(results, os);
   return os.str();
+}
+
+namespace {
+
+/// Minimal compact-JSON builder for the flow-report line (the pretty Obj
+/// above stays flat because tests require to_json to contain exactly one
+/// object; the report needs nesting, so it gets its own emitter).
+class Compact {
+ public:
+  explicit Compact(std::string& out) : out_(out) {}
+
+  void open_obj() { out_ += '{'; }
+  void close_obj() { out_ += '}'; }
+  void open_array(const char* key) {
+    sep();
+    key_(key);
+    out_ += '[';
+  }
+  void close_array() { out_ += ']'; }
+  void open_nested(const char* key) {
+    sep();
+    key_(key);
+    out_ += '{';
+  }
+  void element() {
+    if (out_.back() != '[') out_ += ',';
+  }
+
+  void field(const char* key, double v) {
+    sep();
+    key_(key);
+    obs::append_double(out_, v);
+  }
+  void field(const char* key, long long v) {
+    sep();
+    key_(key);
+    out_ += std::to_string(v);
+  }
+  void field(const char* key, bool v) {
+    sep();
+    key_(key);
+    out_ += v ? "true" : "false";
+  }
+  void field(const char* key, const std::string& v) {
+    sep();
+    key_(key);
+    out_ += '"';
+    obs::append_escaped(out_, v);
+    out_ += '"';
+  }
+
+ private:
+  void sep() {
+    if (out_.back() != '{' && out_.back() != '[') out_ += ',';
+  }
+  void key_(const char* key) {
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+
+  std::string& out_;
+};
+
+}  // namespace
+
+std::string flow_report_json(const FlowResult& r) {
+  std::string out;
+  out.reserve(2048);
+  Compact j(out);
+  j.open_obj();
+  j.field("schema", std::string("ffet.flow_report.v1"));
+  j.field("label", r.config.label());
+  j.field("tech", std::string(tech::to_string(r.config.tech_kind)));
+  j.field("front_layers", static_cast<long long>(r.config.front_layers));
+  j.field("back_layers", static_cast<long long>(r.config.back_layers));
+  j.field("backside_input_fraction", r.config.backside_input_fraction);
+  j.field("target_freq_ghz", r.config.target_freq_ghz);
+  j.field("target_utilization", r.config.utilization);
+  j.field("seed", static_cast<long long>(r.config.seed));
+
+  // Verdict.
+  j.field("valid", r.valid());
+  j.field("invalid_reason", r.invalid_reason);
+
+  // Convergence / quality diagnostics.
+  j.open_nested("diagnostics");
+  j.field("placement_violations", static_cast<long long>(r.placement_violations));
+  j.field("placement_drc", static_cast<long long>(r.placement_drc));
+  j.field("place_mean_displacement_um", r.place_mean_displacement_um);
+  j.field("place_max_displacement_um", r.place_max_displacement_um);
+  j.field("drv", static_cast<long long>(r.drv));
+  j.field("drv_wire", static_cast<long long>(r.drv_wire));
+  j.field("drv_pin_access", static_cast<long long>(r.drv_pin_access));
+  j.field("route_passes", static_cast<long long>(r.route_passes));
+  j.field("route_ripups", static_cast<long long>(r.route_ripups));
+  j.field("route_overflow", static_cast<long long>(r.route_overflow));
+  j.field("clock_skew_ps", r.clock_skew_ps);
+  j.field("ir_drop_mv", r.ir_drop_mv);
+  j.close_obj();
+
+  // PPA summary.
+  j.open_nested("ppa");
+  j.field("utilization", r.utilization);
+  j.field("core_area_um2", r.core_area_um2);
+  j.field("wirelength_front_um", r.wirelength_front_um);
+  j.field("wirelength_back_um", r.wirelength_back_um);
+  j.field("achieved_freq_ghz", r.achieved_freq_ghz);
+  j.field("power_uw", r.power_uw);
+  j.field("efficiency_ghz_per_mw", r.efficiency_ghz_per_mw);
+  j.close_obj();
+
+  // Per-stage timings, in execution order.
+  j.open_array("stages");
+  for (const StageTiming& st : r.stage_times) {
+    j.element();
+    j.open_obj();
+    j.field("stage", st.stage);
+    j.field("wall_ms", st.wall_ms);
+    j.field("cpu_ms", st.cpu_ms);
+    j.close_obj();
+  }
+  j.close_array();
+
+  // Metrics snapshot (only what the registry has seen so far; the
+  // histograms' full bucket vectors stay in the FFET_METRICS dump).
+  if (obs::metrics_enabled()) {
+    const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+    j.open_nested("metrics");
+    for (const auto& [name, v] : snap.counters) {
+      j.field(name.c_str(), static_cast<long long>(v));
+    }
+    for (const auto& [name, v] : snap.gauges) j.field(name.c_str(), v);
+    j.close_obj();
+  }
+  j.close_obj();
+  return out;
+}
+
+void write_flow_report(const FlowResult& result, std::ostream& os) {
+  os << flow_report_json(result);
 }
 
 }  // namespace ffet::flow

@@ -14,7 +14,9 @@
 
 namespace ffet::flow {
 
-/// One result as a JSON object.
+/// One result as a JSON object.  Doubles are formatted with std::to_chars
+/// (shortest round-trip, locale-independent), so serializing the same
+/// result twice yields identical bytes.
 std::string to_json(const FlowResult& result, int indent = 0);
 
 /// A sweep as a JSON array of objects.
@@ -22,5 +24,14 @@ std::string to_json(const std::vector<FlowResult>& results);
 
 void write_json(const FlowResult& result, std::ostream& os);
 void write_json(const std::vector<FlowResult>& results, std::ostream& os);
+
+/// One compact flow-report line (schema "ffet.flow_report.v1"): the result
+/// fields plus per-stage wall/CPU timings, convergence diagnostics, the
+/// validity verdict with its reason, and — when metrics are enabled — a
+/// snapshot of the obs counters and gauges.  This is the per-point record
+/// run_physical appends to FFET_FLOW_REPORT / FlowConfig::flow_report_path.
+std::string flow_report_json(const FlowResult& result);
+
+void write_flow_report(const FlowResult& result, std::ostream& os);
 
 }  // namespace ffet::flow

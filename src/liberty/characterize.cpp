@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
 #include "tech/tech.h"
 
 namespace ffet::liberty {
@@ -311,6 +312,7 @@ std::string cache_key(const Library& lib, const CharacterizeOptions& opts) {
 }  // namespace
 
 void characterize_library(Library& lib, const CharacterizeOptions& opts) {
+  FFET_TRACE_SCOPE("liberty.characterize");
   if (opts.slew_axis_ps.size() < 2 || opts.load_axis_ff.size() < 2) {
     throw std::invalid_argument("characterization axes need >= 2 points");
   }
@@ -323,8 +325,10 @@ void characterize_library(Library& lib, const CharacterizeOptions& opts) {
     if (it != cache_map().end()) {
       hit = it->second;
       ++g_cache_stats.hits;
+      FFET_METRIC_ADD("liberty.cache.hits", 1);
     } else {
       ++g_cache_stats.misses;
+      FFET_METRIC_ADD("liberty.cache.misses", 1);
     }
   }
 

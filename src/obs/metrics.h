@@ -1,0 +1,168 @@
+// metrics.h — a lock-cheap process-wide metrics registry.
+//
+// Three instrument kinds, all safe for concurrent recording:
+//
+//   * Counter   — monotonically increasing uint64 (relaxed fetch_add).
+//   * Gauge     — last-written double, plus a CAS running maximum.
+//   * Histogram — fixed base-2 log buckets with exact count/sum/min/max.
+//
+// Instruments are created on first use (`obs::counter("route.ripups")`) and
+// live for the whole process, so call sites may cache the reference.  The
+// registry mutex is only taken on lookup — recording is pure atomics.
+//
+// Disabled by default: recording sites guard on `metrics_enabled()` (one
+// relaxed atomic load).  Enable with `obs::set_metrics(true)` or
+// `FFET_METRICS=1`; an FFET_METRICS value that names a file (anything other
+// than 0/1) additionally dumps the registry as JSON there at process exit.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ffet::obs {
+
+/// Is metrics recording on?  One relaxed atomic load; the first call reads
+/// the environment (see obs.h) to pick the default.
+bool metrics_enabled();
+void set_metrics(bool on);
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Keep the running maximum (CAS loop; used for e.g. queue depths).
+  void set_max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram over fixed base-2 log buckets.  Bucket i spans
+/// [2^(i-9), 2^(i-8)) — i.e. bucket 9 is [1, 2); bucket 0 additionally
+/// collects everything below 2^-8 (including zero and negatives), and the
+/// top bucket everything from 2^22 up (including +inf).  With kBuckets = 32
+/// the resolved range is [2^-9, 2^22) ≈ [0.002, 4.2e6) — wide enough for
+/// values in ps, µm, ms, or plain counts.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  /// Bucket index for a value (clamped to [0, kBuckets-1]).
+  static int bucket_index(double v);
+  /// Inclusive lower edge of bucket i (0 for bucket 0).
+  static double bucket_lower_bound(int i);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// +inf / -inf while empty.
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  std::uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Find-or-create by name.  References stay valid for the process lifetime.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;
+  struct Hist {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when empty
+    double max = 0.0;  ///< 0 when empty
+    std::vector<std::uint64_t> buckets;
+  };
+  std::vector<Hist> histograms;
+};
+
+MetricsSnapshot metrics_snapshot();
+
+/// Zero every registered instrument (entries stay registered).
+void reset_metrics();
+
+/// Deterministic JSON of the whole registry (sorted names, to_chars floats).
+std::string metrics_to_json();
+
+/// Write metrics_to_json() to `path` at process exit (first caller wins).
+void dump_metrics_at_exit(std::string path);
+
+/// Record-if-enabled conveniences.  The instrument reference is resolved
+/// once (function-local static) and only when metrics are enabled.
+#define FFET_METRIC_ADD(name_literal, n)                                  \
+  do {                                                                    \
+    if (::ffet::obs::metrics_enabled()) {                                 \
+      static ::ffet::obs::Counter& ffet_metric_c =                        \
+          ::ffet::obs::counter(name_literal);                             \
+      ffet_metric_c.add(static_cast<std::uint64_t>(n));                   \
+    }                                                                     \
+  } while (0)
+
+#define FFET_METRIC_GAUGE_SET(name_literal, v)                            \
+  do {                                                                    \
+    if (::ffet::obs::metrics_enabled()) {                                 \
+      static ::ffet::obs::Gauge& ffet_metric_g =                          \
+          ::ffet::obs::gauge(name_literal);                               \
+      ffet_metric_g.set(static_cast<double>(v));                          \
+    }                                                                     \
+  } while (0)
+
+#define FFET_METRIC_GAUGE_MAX(name_literal, v)                            \
+  do {                                                                    \
+    if (::ffet::obs::metrics_enabled()) {                                 \
+      static ::ffet::obs::Gauge& ffet_metric_g =                          \
+          ::ffet::obs::gauge(name_literal);                               \
+      ffet_metric_g.set_max(static_cast<double>(v));                      \
+    }                                                                     \
+  } while (0)
+
+#define FFET_METRIC_OBSERVE(name_literal, v)                              \
+  do {                                                                    \
+    if (::ffet::obs::metrics_enabled()) {                                 \
+      static ::ffet::obs::Histogram& ffet_metric_h =                      \
+          ::ffet::obs::histogram(name_literal);                           \
+      ffet_metric_h.observe(static_cast<double>(v));                      \
+    }                                                                     \
+  } while (0)
+
+}  // namespace ffet::obs

@@ -1,0 +1,57 @@
+// numfmt.h — deterministic number formatting for the telemetry sinks.
+//
+// Every JSON emitter in the repo (flow reports, trace files, metrics dumps)
+// routes doubles through these helpers: std::to_chars produces the shortest
+// round-trip representation, is locale-independent, and emits identical
+// bytes for identical values — so two runs of the same deterministic flow
+// diff cleanly.  Non-finite values serialize as `null` (JSON has no
+// inf/nan literal).
+
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ffet::obs {
+
+inline void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+inline std::string format_double(double v) {
+  std::string s;
+  append_double(s, v);
+  return s;
+}
+
+/// JSON string-escape (quotes, backslashes, control characters).
+inline void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace ffet::obs

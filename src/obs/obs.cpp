@@ -1,0 +1,37 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <time.h>
+
+namespace ffet::obs {
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    detail::init_tracing_from_env();
+    detail::init_metrics_from_env();
+  });
+}
+
+bool verbose() {
+  static const bool v = [] {
+    const char* e = std::getenv("FFET_VERBOSE");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+  }();
+  return v;
+}
+
+double thread_cpu_ms() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace ffet::obs

@@ -1,0 +1,47 @@
+// obs.h — umbrella header of the instrumentation layer.
+//
+// src/obs is a leaf library (standard library only) providing:
+//
+//   * trace.h   — RAII span tracer, Chrome trace-event JSON dumps
+//   * metrics.h — counters / gauges / log-bucket histograms
+//   * numfmt.h  — deterministic (to_chars) number formatting for sinks
+//
+// Both instruments are compiled in but disabled by default; call sites
+// branch on one relaxed atomic flag, so the disabled cost is a few
+// nanoseconds per site.  Environment control:
+//
+//   FFET_TRACE=<path>  enable tracing; dump the trace to <path> at exit
+//   FFET_METRICS=1     enable metrics (a value naming a file additionally
+//                      dumps the registry as JSON there at exit)
+//   FFET_VERBOSE=1     per-pass router convergence lines etc.
+//
+// The environment is read lazily on the first tracing_enabled() /
+// metrics_enabled() query; explicit set_tracing()/set_metrics() calls made
+// before that take precedence over the environment default.
+
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ffet::obs {
+
+/// Read FFET_TRACE / FFET_METRICS once and settle both enable flags.
+/// Idempotent and thread-safe; called automatically on the first
+/// tracing_enabled()/metrics_enabled() query.
+void init_from_env();
+
+/// FFET_VERBOSE: human-oriented per-stage convergence logging (cached).
+bool verbose();
+
+/// CPU time consumed by the calling thread, in milliseconds (0 where
+/// unsupported).  Stage timings report this next to wall time so
+/// parallel-stage speedups and lock waits are visible.
+double thread_cpu_ms();
+
+namespace detail {
+void init_tracing_from_env();  // trace.cpp
+void init_metrics_from_env();  // metrics.cpp
+}  // namespace detail
+
+}  // namespace ffet::obs

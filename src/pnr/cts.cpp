@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.h"
 #include "stdcell/nldm.h"
 
 namespace ffet::pnr {
@@ -220,6 +221,7 @@ class TreeBuilder {
 
 CtsResult build_clock_tree(Netlist& nl, const Floorplan& fp,
                            const CtsOptions& options) {
+  FFET_TRACE_SCOPE("cts.build");
   CtsResult result;
 
   // Find the clock net and its current sinks.
@@ -261,6 +263,8 @@ CtsResult build_clock_tree(Netlist& nl, const Floorplan& fp,
     result.skew_ps = max_l - min_l;
     result.mean_latency_ps = sum / static_cast<double>(result.sink_latency_ps.size());
   }
+  FFET_METRIC_OBSERVE("cts.skew_ps", result.skew_ps);
+  FFET_METRIC_ADD("cts.buffers", result.num_buffers);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "geom/grid.h"
+#include "obs/obs.h"
 
 namespace ffet::pnr {
 
@@ -166,6 +167,7 @@ double compute_hpwl_um(const Netlist& nl) {
 
 PlacementResult place(Netlist& nl, const Floorplan& fp, const PowerPlan& pp,
                       const PlacementOptions& options) {
+  FFET_TRACE_SCOPE("place.design");
   PlacementResult res;
 
   plan_ios(nl, fp);
@@ -317,15 +319,19 @@ PlacementResult place(Netlist& nl, const Floorplan& fp, const PowerPlan& pp,
   // settles into a (collapsed but correctly *ordered*) solution anchored by
   // the IO ports.  Phase 2: alternate density spreading with short re-pull
   // rounds so clusters stay even without losing the global order.
-  for (int i = 0; i < options.iterations; ++i) centroid_pass();
-  for (int round = 0; round < 6; ++round) {
-    spread_pass();
-    centroid_pass();
-    centroid_pass();
+  {
+    FFET_TRACE_SCOPE("place.global");
+    for (int i = 0; i < options.iterations; ++i) centroid_pass();
+    for (int round = 0; round < 6; ++round) {
+      spread_pass();
+      centroid_pass();
+      centroid_pass();
+    }
+    spread_pass();  // hand a density-legal picture to the legalizer
   }
-  spread_pass();  // hand a density-legal picture to the legalizer
 
   // --- legalization (Tetris) ------------------------------------------------
+  FFET_TRACE_SCOPE("place.legalize");
   std::vector<RowState> rows = build_row_segments(fp, pp);
 
   // Whitespace feasibility: the industrial density ceiling.
@@ -351,6 +357,13 @@ PlacementResult place(Netlist& nl, const Floorplan& fp, const PowerPlan& pp,
   });
 
   int unplaced = 0;
+  // Legalization displacement (global position -> legal slot): the cheap
+  // proxy for how hard the density target was to realize.
+  double disp_sum_um = 0.0;
+  std::size_t disp_n = 0;
+  obs::Histogram* disp_hist =
+      obs::metrics_enabled() ? &obs::histogram("place.displacement_um")
+                             : nullptr;
   for (InstId id : order) {
     netlist::Instance& inst = nl.instance(id);
     const Nm w = inst.type->width();
@@ -396,9 +409,17 @@ PlacementResult place(Netlist& nl, const Floorplan& fp, const PowerPlan& pp,
                                  0, (fp.num_rows() - 1) * fp.row_height)};
       continue;
     }
+    const double disp_um = geom::to_um(std::abs(best_x - inst.pos.x) +
+                                       std::abs(best_row->y - inst.pos.y));
+    disp_sum_um += disp_um;
+    ++disp_n;
+    res.max_displacement_um = std::max(res.max_displacement_um, disp_um);
+    if (disp_hist != nullptr) disp_hist->observe(disp_um);
     inst.pos = {best_x, best_row->y};
     best_seg->occupy(best_x, w);
   }
+  res.mean_displacement_um =
+      disp_n > 0 ? disp_sum_um / static_cast<double>(disp_n) : 0.0;
 
   if (unplaced > 0) {
     res.violations = std::max(res.violations, unplaced);
@@ -412,6 +433,8 @@ PlacementResult place(Netlist& nl, const Floorplan& fp, const PowerPlan& pp,
   }
 
   res.hpwl_um = compute_hpwl_um(nl);
+  FFET_METRIC_GAUGE_MAX("place.max_displacement_um", res.max_displacement_um);
+  FFET_METRIC_ADD("place.violations", res.violations);
   return res;
 }
 

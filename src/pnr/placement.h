@@ -43,6 +43,11 @@ struct PlacementResult {
   int violations = 0;      ///< cells that could not be legally placed
   double hpwl_um = 0.0;    ///< half-perimeter wirelength after legalization
   double density = 0.0;    ///< movable area / free area
+  /// Legalization displacement (global position -> legal slot, Manhattan):
+  /// how far the Tetris packer had to move cells to realize the density
+  /// target.  Exported to the flow telemetry report.
+  double mean_displacement_um = 0.0;
+  double max_displacement_um = 0.0;
   std::string message;
 };
 

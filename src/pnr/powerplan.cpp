@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace ffet::pnr {
 
 namespace {
@@ -24,6 +26,7 @@ double PowerPlan::estimate_ir_drop_mv(double block_power_uw) const {
 
 PowerPlan build_power_plan(netlist::Netlist& nl, const Floorplan& fp,
                            const stdcell::Library& lib) {
+  FFET_TRACE_SCOPE("powerplan.build");
   const tech::Technology& tech = lib.tech();
   const tech::PowerPlanRules& rules = tech.power_rules();
 
@@ -104,6 +107,7 @@ PowerPlan build_power_plan(netlist::Netlist& nl, const Floorplan& fp,
   }
 
   plan.blocked_site_fraction = blocked_area / fp.core.area_um2();
+  FFET_METRIC_ADD("powerplan.taps", plan.tap_cells.size());
   return plan;
 }
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace ffet::pnr {
@@ -206,6 +208,7 @@ struct SubNet {
 
 RouteResult route_design(const Netlist& nl, const Floorplan& fp,
                          const RouteOptions& options) {
+  FFET_TRACE_SCOPE("route.design");
   const tech::Technology& tech = nl.library().tech();
   RouteResult res;
 
@@ -401,23 +404,27 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
     commit(g, edges, +1.0);
   };
 
+  // The two sides touch disjoint grids and routers, so iterating each
+  // side's in-order subsequence of `order` produces exactly the grids the
+  // original interleaved serial loop did — and gives every side a
+  // traceable span in both serial and concurrent execution.
+  auto route_side_initial = [&](int s) {
+    FFET_TRACE_SCOPE("route.initial.", s == 0 ? "front" : "back");
+    for (std::size_t si : side_order[static_cast<std::size_t>(s)]) {
+      route_one(si);
+    }
+  };
   if (concurrent_sides) {
-    runtime::parallel_invoke(
-        options.threads,
-        [&] { for (std::size_t si : side_order[0]) route_one(si); },
-        [&] { for (std::size_t si : side_order[1]) route_one(si); });
+    runtime::parallel_invoke(options.threads, [&] { route_side_initial(0); },
+                             [&] { route_side_initial(1); });
   } else {
-    for (std::size_t si : order) route_one(si);
+    route_side_initial(0);
+    route_side_initial(1);
   }
 
   // Negotiated rip-up-and-reroute: decay history, bump it on overflowed
   // edges, reroute the nets crossing them.  The best solution seen (by hard
   // overflow, then total overflow) is kept — negotiation is not monotone.
-  auto total_overflow = [&] {
-    double o = 0.0;
-    for (const SideGrid& g : grids) o += g.overflow();
-    return o;
-  };
   auto total_hard = [&] {
     double o = 0.0;
     for (const SideGrid& g : grids) o += g.hard_overflow(options.dr_slack);
@@ -425,8 +432,41 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   };
   std::vector<std::vector<GEdge>> best_routes = route_edges;
   double best_hard = total_hard();
-  double best_soft = total_overflow();
+  double best_soft_front = grids[0].overflow();
+  double best_soft_back = grids[1].overflow();
+  double best_soft = best_soft_front + best_soft_back;
   int stale_passes = 0;
+
+  // Convergence record + optional FFET_VERBOSE one-line-per-side summary
+  // (this replaces ad-hoc printf debugging of negotiation stalls).  The
+  // overflow values are passed in, not recomputed: the pass barrier scans
+  // each grid exactly once whether or not anyone reads the record.
+  auto record_pass = [&](int pass, std::size_t ripped_front,
+                         std::size_t ripped_back, double soft_front,
+                         double soft_back, double hard) {
+    RoutePassStat ps;
+    ps.pass = pass;
+    ps.ripped_front = static_cast<int>(ripped_front);
+    ps.ripped_back = static_cast<int>(ripped_back);
+    ps.overflow_front = soft_front;
+    ps.overflow_back = soft_back;
+    ps.hard_overflow = hard;
+    if (obs::verbose()) {
+      for (int s = 0; s < 2; ++s) {
+        std::printf(
+            "  [route] pass=%d side=%s %s=%d overflow_total=%.1f "
+            "hard=%.1f\n",
+            pass, s == 0 ? "front" : "back",
+            pass == 0 ? "routed" : "ripups",
+            s == 0 ? ps.ripped_front : ps.ripped_back,
+            s == 0 ? ps.overflow_front : ps.overflow_back,
+            ps.hard_overflow);
+      }
+    }
+    res.pass_stats.push_back(ps);
+  };
+  record_pass(0, side_order[0].size(), side_order[1].size(),
+              best_soft_front, best_soft_back, best_hard);
   auto decay_history = [](SideGrid& g) {
     for (std::size_t i = 0; i < g.h_use.size(); ++i) {
       g.h_hist[i] *= kHistoryDecay;
@@ -458,46 +498,47 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   for (int pass = 1;
        pass < options.rrr_passes && best_hard > 0.0 && stale_passes < 6;
        ++pass) {
-    if (concurrent_sides) {
-      // Each side negotiates its pass independently: decay its history,
-      // find its overflowing subnets (in this side's `order` subsequence),
-      // rip them all, reroute them all — the same decay → find → rip →
-      // reroute sequence as the serial pass, restricted to state the other
-      // side never touches.  The pass barrier below (overflow totals, best
-      // tracking) is serial.
-      std::array<std::size_t, 2> ripped_counts{0, 0};
-      auto pass_side = [&](int s) {
-        const auto sz = static_cast<std::size_t>(s);
-        decay_history(grids[sz]);
-        std::vector<std::size_t> ripped;
-        for (std::size_t si : side_order[sz]) {
-          if (crosses_overflow(si)) ripped.push_back(si);
-        }
-        for (std::size_t si : ripped) {
-          commit(grids[sz], route_edges[si], -1.0);
-        }
-        for (std::size_t si : ripped) route_one(si);
-        ripped_counts[sz] = ripped.size();
-      };
-      runtime::parallel_invoke(options.threads, [&] { pass_side(0); },
-                               [&] { pass_side(1); });
-      if (ripped_counts[0] + ripped_counts[1] == 0) break;
-    } else {
-      for (SideGrid& g : grids) decay_history(g);
+    // Each side negotiates its pass independently: decay its history,
+    // find its overflowing subnets (in this side's `order` subsequence),
+    // rip them all, reroute them all — restricted to state the other
+    // side never touches, so serial per-side execution and concurrent
+    // execution produce identical grids.  The pass barrier below
+    // (overflow totals, best tracking, convergence record) is serial.
+    std::array<std::size_t, 2> ripped_counts{0, 0};
+    auto pass_side = [&](int s) {
+      FFET_TRACE_SCOPE("route.pass.", pass, s == 0 ? ".front" : ".back");
+      const auto sz = static_cast<std::size_t>(s);
+      decay_history(grids[sz]);
       std::vector<std::size_t> ripped;
-      for (std::size_t si : order) {
+      for (std::size_t si : side_order[sz]) {
         if (crosses_overflow(si)) ripped.push_back(si);
       }
-      if (ripped.empty()) break;
       for (std::size_t si : ripped) {
-        commit(grids[static_cast<std::size_t>(side_index(subnets[si].side))],
-               route_edges[si], -1.0);
+        commit(grids[sz], route_edges[si], -1.0);
       }
       for (std::size_t si : ripped) route_one(si);
+      ripped_counts[sz] = ripped.size();
+    };
+    if (concurrent_sides) {
+      runtime::parallel_invoke(options.threads, [&] { pass_side(0); },
+                               [&] { pass_side(1); });
+    } else {
+      pass_side(0);
+      pass_side(1);
     }
+    if (ripped_counts[0] + ripped_counts[1] == 0) break;
+    res.rrr_passes = pass;
+    res.ripups_total +=
+        static_cast<long>(ripped_counts[0] + ripped_counts[1]);
+    FFET_METRIC_OBSERVE("route.ripups_per_pass",
+                        ripped_counts[0] + ripped_counts[1]);
 
     const double hard = total_hard();
-    const double soft = total_overflow();
+    const double soft_front = grids[0].overflow();
+    const double soft_back = grids[1].overflow();
+    const double soft = soft_front + soft_back;
+    record_pass(pass, ripped_counts[0], ripped_counts[1], soft_front,
+                soft_back, hard);
     if (hard < best_hard || (hard == best_hard && soft < best_soft)) {
       best_hard = hard;
       best_soft = soft;
@@ -614,6 +655,12 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
 
   res.drv_estimate = res.drv_wire + res.drv_pin_access;
   res.valid = res.drv_estimate < 10;  // the paper's validity rule
+
+  FFET_METRIC_ADD("route.ripups", res.ripups_total);
+  FFET_METRIC_ADD("route.drv.wire", res.drv_wire);
+  FFET_METRIC_ADD("route.drv.pin_access", res.drv_pin_access);
+  FFET_METRIC_OBSERVE("route.rrr_passes", res.rrr_passes);
+  FFET_METRIC_OBSERVE("route.overflow", overflow);
   return res;
 }
 

@@ -90,6 +90,18 @@ struct NetRoute {
   int v_layer_index = 1;
 };
 
+/// Convergence record of one negotiation pass.  Pass 0 is the initial
+/// route (ripped counts are the number of subnets *routed*); passes >= 1
+/// are rip-up-and-reroute rounds.  Overflows are measured after the pass.
+struct RoutePassStat {
+  int pass = 0;
+  int ripped_front = 0;
+  int ripped_back = 0;
+  double overflow_front = 0.0;  ///< soft overflow on the frontside grid
+  double overflow_back = 0.0;
+  double hard_overflow = 0.0;   ///< both sides, beyond detail-route slack
+};
+
 /// Aggregate result of the dual-sided routing stage.
 struct RouteResult {
   std::vector<NetRoute> routes;
@@ -114,6 +126,14 @@ struct RouteResult {
   double capacity_units = 0.0;
   double wire_demand_units = 0.0;
   double pin_demand_units = 0.0;
+
+  // Convergence diagnostics: one entry per executed pass (see
+  // RoutePassStat), the number of RRR passes actually run (excluding the
+  // initial route), and the total subnet rip-ups across all passes.  With
+  // FFET_VERBOSE set the router also prints a one-line per-pass summary.
+  std::vector<RoutePassStat> pass_stats;
+  int rrr_passes = 0;
+  long ripups_total = 0;
 
   double total_wirelength_um() const {
     return wirelength_front_um + wirelength_back_um;

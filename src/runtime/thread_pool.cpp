@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/obs.h"
+
 namespace ffet::runtime {
 
 int resolve_threads(int requested) {
@@ -42,13 +44,18 @@ void ThreadPool::ensure_workers(int count) {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lk(m_);
     if (!slots_.empty()) {
-      slots_[rr_++ % slots_.size()]->tasks.push_back(std::move(task));
+      Slot& slot = *slots_[rr_++ % slots_.size()];
+      slot.tasks.push_back(std::move(task));
+      depth = slot.tasks.size();
       task = nullptr;
     }
   }
+  FFET_METRIC_ADD("pool.submitted", 1);
+  FFET_METRIC_GAUGE_MAX("pool.queue_depth.max", depth);
   if (task) {
     task();  // zero-worker pool: run inline
     return;
@@ -69,7 +76,13 @@ bool ThreadPool::try_run_one() {
     }
   }
   if (!task) return false;
-  task();
+  {
+    // A cooperative waiter lending its thread to the pool: show the task on
+    // the caller's lane so borrowed time is attributed where it ran.
+    FFET_TRACE_SCOPE("pool.task");
+    FFET_METRIC_ADD("pool.tasks", 1);
+    task();
+  }
   return true;
 }
 
@@ -85,6 +98,7 @@ std::function<void()> ThreadPool::take_locked(std::size_t home) {
     if (!peer.tasks.empty()) {
       std::function<void()> t = std::move(peer.tasks.back());
       peer.tasks.pop_back();
+      FFET_METRIC_ADD("pool.steals", 1);
       return t;
     }
   }
@@ -92,12 +106,17 @@ std::function<void()> ThreadPool::take_locked(std::size_t home) {
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
+  obs::set_thread_name("pool.worker." + std::to_string(index));
   std::unique_lock<std::mutex> lk(m_);
   while (true) {
     std::function<void()> task = take_locked(index);
     if (task) {
       lk.unlock();
-      task();
+      {
+        FFET_TRACE_SCOPE("pool.task");
+        FFET_METRIC_ADD("pool.tasks", 1);
+        task();
+      }
       task = nullptr;
       lk.lock();
       continue;

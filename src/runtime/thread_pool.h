@@ -26,6 +26,12 @@
 // benches): an explicit positive request wins; otherwise the
 // `FFET_THREADS` environment variable; otherwise
 // `std::thread::hardware_concurrency()`.
+//
+// Telemetry (src/obs): each worker registers a named trace lane
+// ("pool.worker.N") and every executed task is wrapped in a "pool.task"
+// span, so an FFET_TRACE capture shows realized parallelism per lane.
+// Metrics record submissions, executed tasks, steals, and the maximum
+// queue depth; all of it is branch-on-atomic-flag and off by default.
 
 #pragma once
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "stdcell/nldm.h"
 
@@ -60,6 +61,7 @@ std::size_t Sta::sink_index(InstId inst, std::size_t pin) const {
 
 void Sta::ensure_caches() const {
   if (caches_built_) return;
+  FFET_TRACE_SCOPE("sta.precompute");
   caches_built_ = true;
   const auto n_nets = static_cast<std::size_t>(nl_->num_nets());
   const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
@@ -104,6 +106,7 @@ double Sta::sink_wire_delay_ps(NetId net, std::size_t sink_idx) const {
 
 TimingReport Sta::analyze_timing(
     const std::unordered_map<InstId, double>* clock_latency_ps) {
+  FFET_TRACE_SCOPE("sta.timing");
   ensure_caches();
   const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
   arrival_.assign(n_inst, 0.0);
@@ -281,6 +284,7 @@ TimingReport Sta::analyze_timing(
 
 HoldReport Sta::analyze_hold(
     const std::unordered_map<InstId, double>* clock_latency_ps) {
+  FFET_TRACE_SCOPE("sta.hold");
   ensure_caches();
   const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
   std::vector<double> min_arrival(n_inst, 0.0);
@@ -397,6 +401,7 @@ HoldReport Sta::analyze_hold(
 PowerReport Sta::analyze_power(double freq_ghz,
                                const std::vector<double>* toggle_rates,
                                double default_toggle) const {
+  FFET_TRACE_SCOPE("sta.power");
   PowerReport rep;
   rep.freq_ghz = freq_ghz;
   const double vdd = nl_->library().tech().device().vdd_v;

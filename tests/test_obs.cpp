@@ -1,0 +1,284 @@
+// test_obs — the instrumentation layer: span tracer, metrics registry,
+// deterministic serialization, and the zero-overhead disabled path.
+//
+// The obs state is process-global, so every test that enables tracing or
+// metrics restores the disabled default before returning (ObsGuard).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/numfmt.h"
+#include "obs/obs.h"
+#include "runtime/thread_pool.h"
+
+namespace ffet {
+namespace {
+
+/// Enable tracing/metrics for one test and restore the disabled default
+/// (with cleared buffers) on scope exit.
+class ObsGuard {
+ public:
+  ObsGuard(bool tracing, bool metrics) {
+    obs::set_tracing(tracing);
+    obs::set_metrics(metrics);
+    obs::clear_trace();
+    obs::reset_metrics();
+  }
+  ~ObsGuard() {
+    obs::set_tracing(false);
+    obs::set_metrics(false);
+    obs::clear_trace();
+    obs::reset_metrics();
+  }
+};
+
+// --- spans ------------------------------------------------------------------
+
+TEST(Trace, RecordsNestedSpansOnOneThread) {
+  ObsGuard g(true, false);
+  {
+    FFET_TRACE_SCOPE("outer");
+    FFET_TRACE_SCOPE("inner.", 42);
+  }
+  const auto events = obs::snapshot_trace();
+  ASSERT_EQ(events.size(), 2u);
+  // Same lane, sorted by start: outer begins first and contains inner.
+  const auto& outer = events[0].name == "outer" ? events[0] : events[1];
+  const auto& inner = events[0].name == "outer" ? events[1] : events[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.name, "inner.42");
+  EXPECT_EQ(outer.tid, inner.tid);
+  EXPECT_LE(outer.start_ns, inner.start_ns);
+  EXPECT_GE(outer.start_ns + outer.dur_ns, inner.start_ns + inner.dur_ns);
+}
+
+TEST(Trace, PoolWorkersGetNamedLanes) {
+  ObsGuard g(true, false);
+  {
+    runtime::ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([] { FFET_TRACE_SCOPE("work"); });
+    }
+  }  // pool destructor drains every queued task and joins
+
+  const auto events = obs::snapshot_trace();
+  int worker_spans = 0;
+  int task_spans = 0;
+  for (const auto& e : events) {
+    if (e.thread.rfind("pool.worker.", 0) == 0) {
+      ++worker_spans;
+      if (e.name == "pool.task") ++task_spans;
+    }
+  }
+  // Every task span and every user span sits on a named worker lane.
+  EXPECT_GE(task_spans, 8);
+  EXPECT_GE(worker_spans, 16);
+}
+
+TEST(Trace, SpanNestsInsidePoolTaskSpan) {
+  ObsGuard g(true, false);
+  {
+    runtime::ThreadPool pool(1);
+    pool.submit([] { FFET_TRACE_SCOPE("user.work"); });
+  }  // joined: both spans are recorded
+
+  const auto events = obs::snapshot_trace();
+  const obs::TraceEventView* task = nullptr;
+  const obs::TraceEventView* user = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "pool.task") task = &e;
+    if (e.name == "user.work") user = &e;
+  }
+  ASSERT_NE(task, nullptr);
+  ASSERT_NE(user, nullptr);
+  EXPECT_EQ(task->tid, user->tid);
+  EXPECT_LE(task->start_ns, user->start_ns);
+  EXPECT_GE(task->start_ns + task->dur_ns, user->start_ns + user->dur_ns);
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  ObsGuard g(false, false);
+  {
+    FFET_TRACE_SCOPE("invisible");
+    FFET_TRACE_SCOPE("also.", 1, ".invisible");
+  }
+  EXPECT_TRUE(obs::snapshot_trace().empty());
+}
+
+TEST(Trace, JsonIsValidAndByteStable) {
+  ObsGuard g(true, false);
+  obs::set_thread_name("main");
+  {
+    FFET_TRACE_SCOPE("stage.a");
+    FFET_TRACE_SCOPE("stage.b");
+  }
+  obs::set_tracing(false);  // freeze the buffers
+
+  const std::string a = obs::trace_to_json();
+  const std::string b = obs::trace_to_json();
+  EXPECT_EQ(a, b) << "same trace must serialize to identical bytes";
+
+  // Structural checks of the Chrome trace-event format.
+  EXPECT_EQ(a.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(a.substr(a.size() - 3), "]}\n");
+  EXPECT_NE(a.find("\"ph\":\"M\""), std::string::npos);  // lane metadata
+  EXPECT_NE(a.find("\"ph\":\"X\""), std::string::npos);  // complete events
+  EXPECT_NE(a.find("\"stage.a\""), std::string::npos);
+  EXPECT_NE(a.find("\"main\""), std::string::npos);
+
+  // Balanced braces/brackets outside strings => parseable structure.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char c = a[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Trace, DumpWritesFile) {
+  ObsGuard g(true, false);
+  { FFET_TRACE_SCOPE("dumped"); }
+  const std::string path = ::testing::TempDir() + "ffet_test_trace.json";
+  ASSERT_TRUE(obs::dump_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(std::string(buf).rfind("{\"traceEvents\":[", 0), 0u);
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(Metrics, HistogramBucketMath) {
+  using H = obs::Histogram;
+  // Bucket i spans [2^(i-9), 2^(i-8)); bucket 9 is [1, 2).
+  EXPECT_EQ(H::bucket_index(1.0), 9);
+  EXPECT_EQ(H::bucket_index(1.5), 9);
+  EXPECT_EQ(H::bucket_index(2.0), 10);
+  EXPECT_EQ(H::bucket_index(0.5), 8);
+  EXPECT_EQ(H::bucket_index(1024.0), 19);
+  // Clamping: zero/negatives below, huge values above.
+  EXPECT_EQ(H::bucket_index(0.0), 0);
+  EXPECT_EQ(H::bucket_index(-3.0), 0);
+  EXPECT_EQ(H::bucket_index(1e300), H::kBuckets - 1);
+  // Lower bounds are consistent with the index mapping.
+  EXPECT_EQ(H::bucket_lower_bound(0), 0.0);
+  EXPECT_EQ(H::bucket_lower_bound(9), 1.0);
+  EXPECT_EQ(H::bucket_lower_bound(10), 2.0);
+  for (int i = 1; i < H::kBuckets - 1; ++i) {
+    const double lo = H::bucket_lower_bound(i);
+    EXPECT_EQ(H::bucket_index(lo), i) << "lower bound of bucket " << i;
+    EXPECT_EQ(H::bucket_index(std::nextafter(lo, 0.0)), i - 1);
+  }
+}
+
+TEST(Metrics, HistogramObserveTracksExactStats) {
+  ObsGuard g(false, true);
+  obs::Histogram& h = obs::histogram("test.hist");
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(0.25);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 4.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.25 / 3.0);
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_index(1.0)), 1u);
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_index(3.0)), 1u);
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_index(0.25)), 1u);
+}
+
+TEST(Metrics, ConcurrentRecordingIsExact) {
+  ObsGuard g(false, true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  obs::Counter& c = obs::counter("test.concurrent.counter");
+  obs::Histogram& h = obs::histogram("test.concurrent.hist");
+  obs::Gauge& gmax = obs::gauge("test.concurrent.max");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        h.observe(1.0);
+        gmax.set_max(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(gmax.value(),
+                   static_cast<double>(kThreads * kPerThread - 1));
+}
+
+TEST(Metrics, DisabledMacrosTouchNothing) {
+  ObsGuard g(false, false);
+  FFET_METRIC_ADD("test.disabled.counter", 7);
+  FFET_METRIC_OBSERVE("test.disabled.hist", 3.5);
+  FFET_METRIC_GAUGE_MAX("test.disabled.gauge", 9.0);
+  const auto snap = obs::metrics_snapshot();
+  for (const auto& [name, v] : snap.counters) {
+    EXPECT_NE(name.rfind("test.disabled.", 0), 0u) << name;
+  }
+  for (const auto& h : snap.histograms) {
+    EXPECT_NE(h.name.rfind("test.disabled.", 0), 0u) << h.name;
+  }
+}
+
+TEST(Metrics, JsonIsDeterministic) {
+  ObsGuard g(false, true);
+  obs::counter("test.json.b").add(2);
+  obs::counter("test.json.a").add(1);
+  obs::histogram("test.json.h").observe(1.25);
+  const std::string a = obs::metrics_to_json();
+  const std::string b = obs::metrics_to_json();
+  EXPECT_EQ(a, b);
+  // Name-sorted: a before b.
+  EXPECT_LT(a.find("test.json.a"), a.find("test.json.b"));
+  EXPECT_NE(a.find("\"test.json.h\""), std::string::npos);
+}
+
+// --- numfmt -----------------------------------------------------------------
+
+TEST(NumFmt, ToCharsRoundTripAndNonFinite) {
+  EXPECT_EQ(obs::format_double(0.25), "0.25");
+  EXPECT_EQ(obs::format_double(1.0), "1");
+  EXPECT_EQ(obs::format_double(-3.5), "-3.5");
+  EXPECT_EQ(obs::format_double(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(obs::format_double(std::nan("")), "null");
+  // Shortest-round-trip: the classic float-drift case stays compact.
+  EXPECT_EQ(obs::format_double(0.1), "0.1");
+}
+
+TEST(NumFmt, EscapesJsonStrings) {
+  std::string out;
+  obs::append_escaped(out, "a\"b\\c\nd\te");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te");
+  out.clear();
+  obs::append_escaped(out, std::string("\x01", 1));
+  EXPECT_EQ(out, "\\u0001");
+}
+
+}  // namespace
+}  // namespace ffet
