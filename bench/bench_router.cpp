@@ -1,0 +1,200 @@
+// bench_router — microbenchmark of the dual-sided maze-routing kernel
+// (not a paper experiment; the perf trajectory of src/pnr/router.cpp).
+//
+// Routes the RV32 core front+back at three gcell sizes with both engines
+// (legacy full-grid Dijkstra vs. windowed A*), reporting routes/s, settled
+// nodes per route, and negotiation pass counts, and cross-checking the QoR
+// gate: the A* engine must be equal-or-better on hard overflow and total
+// wirelength at every configuration.
+//
+// Always writes BENCH_router.json (cwd).  The committed copy at the repo
+// root is the baseline the CI quick-bench step diffs against
+// (scripts/check_bench_router.py): `astar_settled_per_route` is
+// machine-independent and gated at +20 %; `speedup` is normalized against
+// the legacy engine measured in the same run, so it is load- and
+// machine-insensitive, and gated at -20 %.
+//
+//   --quick   1 timing rep per configuration instead of 3
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "liberty/characterize.h"
+#include "pnr/cts.h"
+#include "pnr/floorplan.h"
+#include "pnr/placement.h"
+#include "pnr/powerplan.h"
+#include "pnr/router.h"
+#include "riscv/rv32.h"
+
+using namespace ffet;
+
+namespace {
+
+struct EngineStat {
+  double seconds = 0.0;  ///< best-of-reps wall time of route_design()
+  double routes_per_s = 0.0;
+  double settled_per_route = 0.0;
+  int passes = 0;
+  long window_expansions = 0;
+  double wirelength_um = 0.0;
+  int drv_wire = 0;
+};
+
+EngineStat run_engine(const netlist::Netlist& nl, const pnr::Floorplan& fp,
+                      pnr::RouteEngine engine, int gcell_tracks, int reps) {
+  pnr::RouteOptions ro;
+  ro.engine = engine;
+  ro.gcell_tracks = gcell_tracks;
+  EngineStat st;
+  st.seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const pnr::RouteResult rr = pnr::route_design(nl, fp, ro);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (s < st.seconds) st.seconds = s;
+    if (rep == 0) {
+      const auto routes = static_cast<double>(rr.routes.size());
+      st.settled_per_route =
+          routes > 0.0 ? static_cast<double>(rr.settled_nodes) / routes : 0.0;
+      st.passes = rr.rrr_passes;
+      st.window_expansions = rr.window_expansions;
+      st.wirelength_um = rr.total_wirelength_um();
+      st.drv_wire = rr.drv_wire;
+      st.routes_per_s = routes;  // numerator; divided below
+    }
+  }
+  st.routes_per_s = st.seconds > 0.0 ? st.routes_per_s / st.seconds : 0.0;
+  return st;
+}
+
+void append_engine_json(std::string& out, const char* key,
+                        const EngineStat& st) {
+  out += "\"";
+  out += key;
+  out += "\":{\"seconds\":";
+  obs::append_double(out, st.seconds);
+  out += ",\"routes_per_s\":";
+  obs::append_double(out, st.routes_per_s);
+  out += ",\"settled_per_route\":";
+  obs::append_double(out, st.settled_per_route);
+  out += ",\"passes\":";
+  out += std::to_string(st.passes);
+  out += ",\"window_expansions\":";
+  out += std::to_string(st.window_expansions);
+  out += ",\"wirelength_um\":";
+  obs::append_double(out, st.wirelength_um);
+  out += ",\"drv_wire\":";
+  out += std::to_string(st.drv_wire);
+  out += "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, "router");
+  const int reps = args.quick ? 1 : 3;
+
+  bench::print_title("bench_router",
+                     "maze-routing kernel: legacy Dijkstra vs. windowed A*");
+  bench::print_note(
+      "RV32 core (8 registers), FFET FP0.5BP0.5, dual-sided routing at "
+      "70% utilization; best-of-" +
+      std::to_string(reps) + " wall time per configuration.");
+
+  // One placed design shared by every routing configuration (the gcell
+  // size is a router parameter, not a placement one).
+  tech::Technology tech = tech::make_ffet_3p5t();
+  stdcell::PinConfig pins;
+  pins.backside_input_fraction = 0.5;
+  stdcell::Library lib = stdcell::build_library(tech, pins);
+  liberty::characterize_library(lib);
+  riscv::Rv32Options ropt;
+  ropt.num_registers = 8;
+  netlist::Netlist nl = riscv::build_rv32_core(lib, ropt);
+  pnr::FloorplanOptions fo;
+  fo.target_utilization = 0.7;
+  const pnr::Floorplan fp = pnr::make_floorplan(nl, tech, fo);
+  const pnr::PowerPlan pp = pnr::build_power_plan(nl, fp, lib);
+  pnr::place(nl, fp, pp);
+  pnr::build_clock_tree(nl, fp);
+
+  std::printf(
+      "\n  %-6s %-7s %10s %10s %14s %7s %6s %10s %5s\n", "gcell", "engine",
+      "time_ms", "routes/s", "settled/route", "passes", "wexp", "wl_um",
+      "drv");
+
+  std::string json;
+  json.reserve(2048);
+  json += "{\"bench\":\"bench_router\",\"design\":"
+          "\"rv32r8_ffet_dual0.5_util0.70\",\"reps\":";
+  json += std::to_string(reps);
+  json += ",\"configs\":[";
+
+  bool qor_ok = true;
+  bool first = true;
+  double default_speedup = 0.0;
+  for (const int gcell_tracks : {10, 15, 22}) {
+    const EngineStat legacy = run_engine(nl, fp, pnr::RouteEngine::Legacy,
+                                         gcell_tracks, reps);
+    const EngineStat astar =
+        run_engine(nl, fp, pnr::RouteEngine::Astar, gcell_tracks, reps);
+    const double speedup =
+        astar.seconds > 0.0 ? legacy.seconds / astar.seconds : 0.0;
+    if (gcell_tracks == 15) default_speedup = speedup;
+    std::printf("  %-6d %-7s %10.1f %10.0f %14.1f %7d %6ld %10.1f %5d\n",
+                gcell_tracks, "legacy", legacy.seconds * 1e3,
+                legacy.routes_per_s, legacy.settled_per_route, legacy.passes,
+                legacy.window_expansions, legacy.wirelength_um,
+                legacy.drv_wire);
+    std::printf(
+        "  %-6d %-7s %10.1f %10.0f %14.1f %7d %6ld %10.1f %5d  (%.2fx)\n",
+        gcell_tracks, "astar", astar.seconds * 1e3, astar.routes_per_s,
+        astar.settled_per_route, astar.passes, astar.window_expansions,
+        astar.wirelength_um, astar.drv_wire, speedup);
+
+    // QoR gate: equal-or-better hard overflow and wirelength.
+    if (astar.drv_wire > legacy.drv_wire ||
+        astar.wirelength_um > legacy.wirelength_um + 1e-6) {
+      qor_ok = false;
+      std::printf("  ** QoR REGRESSION at gcell_tracks=%d **\n", gcell_tracks);
+    }
+
+    if (!first) json += ",";
+    first = false;
+    json += "{\"gcell_tracks\":";
+    json += std::to_string(gcell_tracks);
+    json += ",";
+    append_engine_json(json, "legacy", legacy);
+    json += ",";
+    append_engine_json(json, "astar", astar);
+    json += ",\"speedup\":";
+    obs::append_double(json, speedup);
+    json += ",\"astar_settled_per_route\":";
+    obs::append_double(json, astar.settled_per_route);
+    json += "}";
+  }
+  json += "],\"qor_ok\":";
+  json += qor_ok ? "true" : "false";
+  json += "}\n";
+
+  if (std::FILE* f = std::fopen("BENCH_router.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    bench::print_note("kernel timings written to BENCH_router.json");
+  }
+
+  std::printf("\n  speedup at default options (gcell_tracks=15): %.2fx %s\n",
+              default_speedup, default_speedup >= 3.0 ? "(target: >=3x ok)"
+                                                      : "(target: >=3x MISSED)");
+  if (!qor_ok) {
+    std::printf("  QoR gate FAILED: A* worse than legacy somewhere above\n");
+    return 1;
+  }
+  return 0;
+}

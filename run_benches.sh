@@ -10,7 +10,10 @@
 #
 # Wall-clock timing of every sweep bench is collected (via the
 # FFET_BENCH_JSON hook in bench_common.h) into BENCH_sweeps.json; the lines
-# include per-point min/mean/max and per-stage wall-time breakdowns.  With
+# include per-point min/mean/max and per-stage wall-time breakdowns.
+# bench_router additionally writes BENCH_router.json (maze-routing kernel:
+# legacy vs. windowed A*); the committed copy is the baseline CI's
+# quick-bench regression gate diffs against (scripts/check_bench_router.py).  With
 # --trace each bench additionally writes trace_<bench>.json (Chrome
 # trace-event format — load in chrome://tracing or https://ui.perfetto.dev)
 # and appends per-point flow reports to flow_reports.jsonl.  Benches that
@@ -22,7 +25,7 @@ cd "$(dirname "$0")"
 
 FULL="bench_table1 bench_fig4 bench_table2 bench_fig8 bench_fig9 \
       bench_fig10 bench_fig11 bench_table3 bench_fig12 bench_fig13 \
-      bench_ablation bench_cost_extension"
+      bench_ablation bench_cost_extension bench_router"
 QUICK="bench_table1 bench_fig4 bench_table2"
 
 run_stages=1

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Regression gate for the maze-routing kernel (bench_router).
+
+Usage: check_bench_router.py <baseline BENCH_router.json> <new BENCH_router.json>
+
+Compares the fresh bench_router output against the committed baseline and
+fails (exit 1) on a >20 % regression.  Only machine-portable metrics are
+gated, so the gate is stable on noisy shared CI runners:
+
+  * astar_settled_per_route — deterministic search-effort count; a rise
+    means the windowed A* engine is doing more work per route (window
+    policy, heuristic, or cost-cache regression);
+  * speedup — A* wall time normalized against the *legacy engine measured
+    in the same process on the same machine*, so absolute machine speed
+    and CI load cancel out;
+  * qor_ok — the bench's own equal-or-better check of hard overflow and
+    wirelength (A* vs. legacy); any false fails outright.
+
+Raw seconds/routes_per_s are reported for context but never gated.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.20  # >20 % regression fails
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {c["gcell_tracks"]: c for c in data["configs"]}, data
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    base_cfgs, base = load(sys.argv[1])
+    new_cfgs, new = load(sys.argv[2])
+
+    failures = []
+    if not new.get("qor_ok", False):
+        failures.append("qor_ok=false: A* worse than legacy on overflow/WL")
+
+    for tracks, b in sorted(base_cfgs.items()):
+        n = new_cfgs.get(tracks)
+        if n is None:
+            failures.append(f"gcell_tracks={tracks}: missing from new run")
+            continue
+
+        b_settled = b["astar_settled_per_route"]
+        n_settled = n["astar_settled_per_route"]
+        settled_ratio = n_settled / b_settled if b_settled > 0 else 1.0
+        b_speedup = b["speedup"]
+        n_speedup = n["speedup"]
+        speedup_ratio = n_speedup / b_speedup if b_speedup > 0 else 1.0
+
+        print(
+            f"gcell_tracks={tracks}: settled/route {b_settled:.1f} -> "
+            f"{n_settled:.1f} ({(settled_ratio - 1) * 100:+.1f}%), "
+            f"speedup {b_speedup:.2f}x -> {n_speedup:.2f}x "
+            f"({(speedup_ratio - 1) * 100:+.1f}%)"
+        )
+        if settled_ratio > 1.0 + TOLERANCE:
+            failures.append(
+                f"gcell_tracks={tracks}: settled/route regressed "
+                f"{(settled_ratio - 1) * 100:.1f}% (> {TOLERANCE:.0%})"
+            )
+        if speedup_ratio < 1.0 - TOLERANCE:
+            failures.append(
+                f"gcell_tracks={tracks}: speedup vs legacy regressed "
+                f"{(1 - speedup_ratio) * 100:.1f}% (> {TOLERANCE:.0%})"
+            )
+
+    if failures:
+        print("\nFAIL: bench_router regression gate", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: bench_router within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -315,6 +315,8 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   res.route_passes = routes.rrr_passes;
   res.route_ripups = routes.ripups_total;
   res.route_overflow = routes.overflow_total;
+  res.route_settled_nodes = routes.settled_nodes;
+  res.route_window_expansions = routes.window_expansions;
   res.drv_wire = routes.drv_wire;
   res.drv_pin_access = routes.drv_pin_access;
   res.wirelength_front_um = routes.wirelength_front_um;

@@ -159,6 +159,8 @@ struct FlowResult {
   int route_passes = 0;         ///< RRR passes the router actually ran
   long route_ripups = 0;        ///< total subnet rip-ups across all passes
   int route_overflow = 0;       ///< residual hard overflow (track units)
+  long route_settled_nodes = 0;  ///< maze-search nodes settled (all passes)
+  long route_window_expansions = 0;  ///< A* window retries (x2 / full grid)
   int drv_wire = 0;             ///< DRVs from wire overflow
   int drv_pin_access = 0;       ///< DRVs from pin-access overload
   double place_mean_displacement_um = 0.0;  ///< legalization displacement

@@ -76,6 +76,8 @@ void write_json(const FlowResult& r, std::ostream& os) {
   o.field("route_passes", r.route_passes);
   o.field("route_ripups", r.route_ripups);
   o.field("route_overflow", r.route_overflow);
+  o.field("route_settled_nodes", r.route_settled_nodes);
+  o.field("route_window_expansions", r.route_window_expansions);
   o.field("core_area_um2", r.core_area_um2);
   o.field("utilization", r.utilization);
   o.field("hpwl_um", r.hpwl_um);
@@ -217,6 +219,9 @@ std::string flow_report_json(const FlowResult& r) {
   j.field("route_passes", static_cast<long long>(r.route_passes));
   j.field("route_ripups", static_cast<long long>(r.route_ripups));
   j.field("route_overflow", static_cast<long long>(r.route_overflow));
+  j.field("route_settled_nodes", static_cast<long long>(r.route_settled_nodes));
+  j.field("route_window_expansions",
+          static_cast<long long>(r.route_window_expansions));
   j.field("clock_skew_ps", r.clock_skew_ps);
   j.field("ir_drop_mv", r.ir_drop_mv);
   j.close_obj();

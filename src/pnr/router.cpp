@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -31,53 +33,6 @@ constexpr double kPdnBacksideShare = 0.08;
 constexpr double kHistoryGain = 0.4;
 constexpr double kHistoryDecay = 0.85;
 
-/// One side's routing grid with separate horizontal/vertical edge pools.
-struct SideGrid {
-  int cols = 0, rows = 0;
-  geom::Nm gw = 0, gh = 0;
-  double h_cap = 0.0;  ///< capacity per horizontal edge (uniform)
-  double v_cap = 0.0;
-  // Horizontal edges: (cols-1) x rows; vertical: cols x (rows-1).
-  std::vector<double> h_base, h_use, h_hist;
-  std::vector<double> v_base, v_use, v_hist;
-
-  int node(int c, int r) const { return r * cols + c; }
-  int col_of(int n) const { return n % cols; }
-  int row_of(int n) const { return n / cols; }
-
-  int h_edge(int c, int r) const { return r * (cols - 1) + c; }  // (c,r)-(c+1,r)
-  int v_edge(int c, int r) const { return r * cols + c; }        // (c,r)-(c,r+1)
-
-  int clamp_gcell(geom::Point p) const {
-    const int c = std::clamp(static_cast<int>(p.x / gw), 0, cols - 1);
-    const int r = std::clamp(static_cast<int>(p.y / gh), 0, rows - 1);
-    return node(c, r);
-  }
-
-  double overflow() const {
-    double o = 0.0;
-    for (std::size_t i = 0; i < h_use.size(); ++i) {
-      o += std::max(0.0, h_base[i] + h_use[i] - h_cap);
-    }
-    for (std::size_t i = 0; i < v_use.size(); ++i) {
-      o += std::max(0.0, v_base[i] + v_use[i] - v_cap);
-    }
-    return o;
-  }
-
-  /// Overflow beyond the detail-route-absorbable slack — the DRV source.
-  double hard_overflow(double slack) const {
-    double o = 0.0;
-    for (std::size_t i = 0; i < h_use.size(); ++i) {
-      o += std::max(0.0, h_base[i] + h_use[i] - h_cap * (1.0 + slack));
-    }
-    for (std::size_t i = 0; i < v_use.size(); ++i) {
-      o += std::max(0.0, v_base[i] + v_use[i] - v_cap * (1.0 + slack));
-    }
-    return o;
-  }
-};
-
 double edge_cost(double base, double use, double cap, double hist) {
   const double load = base + use;
   if (cap <= 0.0) return (1.0 + hist) * 64.0;
@@ -93,26 +48,244 @@ double edge_cost(double base, double use, double cap, double hist) {
   return (1.0 + hist) * mult;
 }
 
+/// One side's routing grid with separate horizontal/vertical edge pools.
+///
+/// Beyond the raw capacity/usage/history arrays the grid owns two derived
+/// structures the maze search depends on:
+///
+///   * a per-pass *edge-cost cache* (`h_cost`/`v_cost`): edge_cost() of
+///     every edge, rebuilt by rebuild_costs() whenever history changes
+///     (pass start) and invalidated per-edge by apply_use_*() when a
+///     commit touches that edge.  The search kernels read only the cache,
+///     so a settled node costs 4 array loads instead of 4 edge_cost()
+///     evaluations;
+///   * *incremental overflow totals* (`soft_total`/`hard_total`):
+///     apply_use_*() maintains the running sum of per-edge overflow, so
+///     the negotiation pass barrier reads overflow in O(1) instead of
+///     rescanning every edge of both grids.
+struct SideGrid {
+  int cols = 0, rows = 0;
+  geom::Nm gw = 0, gh = 0;
+  double h_cap = 0.0;  ///< capacity per horizontal edge (uniform)
+  double v_cap = 0.0;
+  double h_cap_hard = 0.0;  ///< h_cap * (1 + dr_slack); beyond it: DRVs
+  double v_cap_hard = 0.0;
+  // Horizontal edges: (cols-1) x rows; vertical: cols x (rows-1).
+  std::vector<double> h_base, h_use, h_hist;
+  std::vector<double> v_base, v_use, v_hist;
+  std::vector<double> h_cost, v_cost;  ///< per-pass edge-cost cache
+  /// Admissible per-direction lower bounds on any edge cost reachable
+  /// during the current pass: history is fixed within a pass and
+  /// edge_cost() >= (1 + hist) * (cap > 0 ? 1 : 64) for any load, so the
+  /// minimum over edges of that expression underestimates every step the
+  /// A* heuristic has to account for — even after rip-ups lower loads.
+  double floor_h = 1.0, floor_v = 1.0;
+  double soft_total = 0.0;  ///< running sum of max(0, load - cap)
+  double hard_total = 0.0;  ///< running sum of max(0, load - cap_hard)
+
+  int node(int c, int r) const { return r * cols + c; }
+  int col_of(int n) const { return n % cols; }
+  int row_of(int n) const { return n / cols; }
+
+  int h_edge(int c, int r) const { return r * (cols - 1) + c; }  // (c,r)-(c+1,r)
+  int v_edge(int c, int r) const { return r * cols + c; }        // (c,r)-(c,r+1)
+
+  int clamp_gcell(geom::Point p) const {
+    const int c = std::clamp(static_cast<int>(p.x / gw), 0, cols - 1);
+    const int r = std::clamp(static_cast<int>(p.y / gh), 0, rows - 1);
+    return node(c, r);
+  }
+
+  /// Call once after capacities and pin-demand bases are final.
+  void finalize(double dr_slack) {
+    h_cap_hard = h_cap * (1.0 + dr_slack);
+    v_cap_hard = v_cap * (1.0 + dr_slack);
+    h_cost.assign(h_base.size(), 0.0);
+    v_cost.assign(v_base.size(), 0.0);
+    rebuild_costs();
+    rescan_overflow();
+  }
+
+  /// Rebuild the edge-cost cache and the heuristic floors.  Required
+  /// whenever history changes (pass start); within a pass the cache stays
+  /// valid because apply_use_*() refreshes every edge a commit touches.
+  void rebuild_costs() {
+    double min_hist_h = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < h_cost.size(); ++i) {
+      h_cost[i] = edge_cost(h_base[i], h_use[i], h_cap, h_hist[i]);
+      min_hist_h = std::min(min_hist_h, h_hist[i]);
+    }
+    double min_hist_v = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < v_cost.size(); ++i) {
+      v_cost[i] = edge_cost(v_base[i], v_use[i], v_cap, v_hist[i]);
+      min_hist_v = std::min(min_hist_v, v_hist[i]);
+    }
+    floor_h = h_cost.empty() ? 1.0
+                             : (1.0 + min_hist_h) * (h_cap > 0.0 ? 1.0 : 64.0);
+    floor_v = v_cost.empty() ? 1.0
+                             : (1.0 + min_hist_v) * (v_cap > 0.0 ? 1.0 : 64.0);
+  }
+
+  void apply_use_h(std::size_t i, double delta) {
+    const double before = h_base[i] + h_use[i];
+    h_use[i] += delta;
+    const double after = before + delta;
+    soft_total += std::max(0.0, after - h_cap) - std::max(0.0, before - h_cap);
+    hard_total +=
+        std::max(0.0, after - h_cap_hard) - std::max(0.0, before - h_cap_hard);
+    h_cost[i] = edge_cost(h_base[i], h_use[i], h_cap, h_hist[i]);
+  }
+  void apply_use_v(std::size_t i, double delta) {
+    const double before = v_base[i] + v_use[i];
+    v_use[i] += delta;
+    const double after = before + delta;
+    soft_total += std::max(0.0, after - v_cap) - std::max(0.0, before - v_cap);
+    hard_total +=
+        std::max(0.0, after - v_cap_hard) - std::max(0.0, before - v_cap_hard);
+    v_cost[i] = edge_cost(v_base[i], v_use[i], v_cap, v_hist[i]);
+  }
+
+  /// Would one more net on this edge push it beyond the detail-route
+  /// slack?  The windowed A* attempts prune such edges (negotiation can
+  /// absorb *soft* overflow; hard overflow is a DRV) and fall back to an
+  /// unpruned full-grid search if no clean path exists.
+  bool h_full(std::size_t i) const {
+    return h_base[i] + h_use[i] + 1.0 > h_cap_hard;
+  }
+  bool v_full(std::size_t i) const {
+    return v_base[i] + v_use[i] + 1.0 > v_cap_hard;
+  }
+
+  /// Soft overflow (absorbed by the detail router up to dr_slack).  O(1):
+  /// maintained incrementally; the max() guards last-ulp drift from the
+  /// running +/- updates when the true total is zero.
+  double overflow() const { return std::max(0.0, soft_total); }
+
+  /// Overflow beyond the detail-route-absorbable slack — the DRV source.
+  double hard_overflow() const { return std::max(0.0, hard_total); }
+
+  /// Recompute the running totals from scratch (initialization and the
+  /// best-solution restore; never on the per-pass barrier).
+  void rescan_overflow() {
+    soft_total = 0.0;
+    hard_total = 0.0;
+    for (std::size_t i = 0; i < h_use.size(); ++i) {
+      const double load = h_base[i] + h_use[i];
+      soft_total += std::max(0.0, load - h_cap);
+      hard_total += std::max(0.0, load - h_cap_hard);
+    }
+    for (std::size_t i = 0; i < v_use.size(); ++i) {
+      const double load = v_base[i] + v_use[i];
+      soft_total += std::max(0.0, load - v_cap);
+      hard_total += std::max(0.0, load - v_cap_hard);
+    }
+  }
+
+  void clear_use() {
+    std::fill(h_use.begin(), h_use.end(), 0.0);
+    std::fill(v_use.begin(), v_use.end(), 0.0);
+    rescan_overflow();
+  }
+};
+
 /// Route one subnet as a Steiner-ish tree: iteratively connect the nearest
-/// unconnected sink to the existing tree with a tree-targeted A* (Dijkstra
-/// with zero-cost sources at all tree nodes).
+/// unconnected sink to the existing tree with a tree-targeted maze search
+/// (zero-cost sources at all tree nodes).  Two kernels share the search
+/// state:
+///
+///   * connect_legacy(): the original unbounded full-grid Dijkstra
+///     (std::priority_queue, live edge_cost() calls) — the QoR baseline
+///     and FFET_ROUTE_ENGINE=legacy escape hatch;
+///   * connect_astar(): windowed A* — admissible Manhattan heuristic
+///     scaled by the grid's per-pass cost floors, deterministic
+///     (f, g, node-id) tie-breaking, a search window around the bounding
+///     box of {tree, target} that doubles its margin and finally opens to
+///     the full grid when no hard-overflow-free path exists inside it,
+///     cached edge costs, and a 4-ary open list.
 struct PathRouter {
   SideGrid& g;
   std::vector<double> dist;
   std::vector<int> prev;
   std::vector<int> stamp_of;
+  std::vector<int> tree_stamp_of;  ///< O(1) tree membership (stamped)
   int stamp = 0;
+  int tree_stamp = 0;
+  long settled = 0;     ///< nodes settled across all searches (both kernels)
+  long expansions = 0;  ///< A* window retries (x2 margin or full grid)
+
+  /// 4-ary min-heap keyed (f, g, node-id): lower f first, then *higher* g
+  /// (ties on f prefer nodes closer to the target), then lower node id —
+  /// a total order, so the open list is deterministic regardless of
+  /// insertion timing.  Flatter than a binary heap: fewer cache-missing
+  /// levels per sift on the push-heavy maze workload.
+  struct OpenList {
+    struct Item {
+      double f = 0.0;
+      double g = 0.0;
+      int n = 0;
+    };
+    std::vector<Item> v;
+
+    static bool before(const Item& a, const Item& b) {
+      if (a.f != b.f) return a.f < b.f;
+      if (a.g != b.g) return a.g > b.g;
+      return a.n < b.n;
+    }
+    bool empty() const { return v.empty(); }
+    void clear() { v.clear(); }
+    void reserve(std::size_t n) { v.reserve(n); }
+    void push(Item it) {
+      v.push_back(it);
+      std::size_t i = v.size() - 1;
+      while (i > 0) {
+        const std::size_t p = (i - 1) / 4;
+        if (!before(v[i], v[p])) break;
+        std::swap(v[i], v[p]);
+        i = p;
+      }
+    }
+    Item pop() {
+      const Item top = v.front();
+      v.front() = v.back();
+      v.pop_back();
+      const std::size_t n = v.size();
+      std::size_t i = 0;
+      while (true) {
+        const std::size_t c0 = 4 * i + 1;
+        if (c0 >= n) break;
+        std::size_t best = i;
+        const std::size_t c_end = std::min(c0 + 4, n);
+        for (std::size_t c = c0; c < c_end; ++c) {
+          if (before(v[c], v[best])) best = c;
+        }
+        if (best == i) break;
+        std::swap(v[i], v[best]);
+        i = best;
+      }
+      return top;
+    }
+  };
+  OpenList open;
 
   explicit PathRouter(SideGrid& grid)
       : g(grid),
         dist(static_cast<std::size_t>(grid.cols * grid.rows)),
         prev(dist.size(), -1),
-        stamp_of(dist.size(), -1) {}
+        stamp_of(dist.size(), -1),
+        tree_stamp_of(dist.size(), -1) {
+    open.reserve(256);
+  }
 
-  /// Dijkstra from every node in `tree` (cost 0) until `target` is settled.
-  /// Returns the path target -> tree as node list (excluding the tree node
-  /// it connects to? including both endpoints).
-  std::vector<int> connect(const std::vector<int>& tree, int target) {
+  void tree_begin() { ++tree_stamp; }
+  void tree_add(int n) { tree_stamp_of[static_cast<std::size_t>(n)] = tree_stamp; }
+  bool in_tree(int n) const {
+    return tree_stamp_of[static_cast<std::size_t>(n)] == tree_stamp;
+  }
+
+  /// Dijkstra from every node in `tree` (cost 0) until `target` is
+  /// settled.  Returns the path target -> tree as node list (both
+  /// endpoints included).
+  std::vector<int> connect_legacy(const std::vector<int>& tree, int target) {
     ++stamp;
     using QE = std::pair<double, int>;
     std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
@@ -129,6 +302,7 @@ struct PathRouter {
           stamp_of[static_cast<std::size_t>(n)] != stamp) {
         continue;
       }
+      ++settled;
       if (n == target) break;
       const int c = g.col_of(n), r = g.row_of(n);
       auto relax = [&](int nn, double w) {
@@ -169,10 +343,128 @@ struct PathRouter {
                         g.v_hist[static_cast<std::size_t>(e)]));
       }
     }
-    // Walk back from target to the tree.
+    return walk_back(target);
+  }
+
+  /// One bounded A* attempt inside [c_lo,c_hi]x[r_lo,r_hi].  With `prune`
+  /// set, edges already at their hard capacity are not crossed (a clean
+  /// path is demanded).  Returns true when `target` was settled.
+  bool search_window(const std::vector<int>& tree, int target, int c_lo,
+                     int c_hi, int r_lo, int r_hi, bool prune) {
+    ++stamp;
+    open.clear();
+    const double fh = g.floor_h;
+    const double fv = g.floor_v;
+    const int tc = g.col_of(target), tr = g.row_of(target);
+    auto heur = [&](int c, int r) {
+      return fh * static_cast<double>(std::abs(c - tc)) +
+             fv * static_cast<double>(std::abs(r - tr));
+    };
+    for (int t : tree) {
+      const auto ti = static_cast<std::size_t>(t);
+      dist[ti] = 0.0;
+      prev[ti] = -1;
+      stamp_of[ti] = stamp;
+      open.push({heur(g.col_of(t), g.row_of(t)), 0.0, t});
+    }
+    while (!open.empty()) {
+      const OpenList::Item it = open.pop();
+      const int n = it.n;
+      const auto ni = static_cast<std::size_t>(n);
+      if (stamp_of[ni] != stamp || it.g > dist[ni]) continue;
+      ++settled;
+      if (n == target) return true;
+      const int c = g.col_of(n), r = g.row_of(n);
+      const double d = it.g;
+      auto relax = [&](int nc, int nr, double w) {
+        const int nn = g.node(nc, nr);
+        const auto nni = static_cast<std::size_t>(nn);
+        const double nd = d + w;
+        if (stamp_of[nni] != stamp || nd < dist[nni]) {
+          stamp_of[nni] = stamp;
+          dist[nni] = nd;
+          prev[nni] = n;
+          open.push({nd + heur(nc, nr), nd, nn});
+        }
+      };
+      if (c + 1 <= c_hi) {
+        const auto e = static_cast<std::size_t>(g.h_edge(c, r));
+        if (!prune || !g.h_full(e)) relax(c + 1, r, g.h_cost[e]);
+      }
+      if (c - 1 >= c_lo) {
+        const auto e = static_cast<std::size_t>(g.h_edge(c - 1, r));
+        if (!prune || !g.h_full(e)) relax(c - 1, r, g.h_cost[e]);
+      }
+      if (r + 1 <= r_hi) {
+        const auto e = static_cast<std::size_t>(g.v_edge(c, r));
+        if (!prune || !g.v_full(e)) relax(c, r + 1, g.v_cost[e]);
+      }
+      if (r - 1 >= r_lo) {
+        const auto e = static_cast<std::size_t>(g.v_edge(c, r - 1));
+        if (!prune || !g.v_full(e)) relax(c, r - 1, g.v_cost[e]);
+      }
+    }
+    return false;
+  }
+
+  /// Windowed A*: bound the search to the bbox of {tree, target} plus a
+  /// margin; if no hard-overflow-free path exists inside, double the
+  /// margin, then fall back to an unpruned full-grid search (which always
+  /// succeeds on a connected grid), so connectivity never depends on the
+  /// window policy.
+  std::vector<int> connect_astar(const std::vector<int>& tree, int target,
+                                 int window_margin) {
+    int bc_lo = g.col_of(target), bc_hi = bc_lo;
+    int br_lo = g.row_of(target), br_hi = br_lo;
+    for (int t : tree) {
+      const int c = g.col_of(t), r = g.row_of(t);
+      bc_lo = std::min(bc_lo, c);
+      bc_hi = std::max(bc_hi, c);
+      br_lo = std::min(br_lo, r);
+      br_hi = std::max(br_hi, r);
+    }
+    int margin = std::max(1, window_margin);
+    int prev_c_lo = -1, prev_c_hi = -1, prev_r_lo = -1, prev_r_hi = -1;
+    bool searched_before = false;
+    for (int attempt = 0;; ++attempt) {
+      int c_lo, c_hi, r_lo, r_hi;
+      const bool prune = attempt < 2;
+      if (prune) {
+        c_lo = std::max(0, bc_lo - margin);
+        c_hi = std::min(g.cols - 1, bc_hi + margin);
+        r_lo = std::max(0, br_lo - margin);
+        r_hi = std::min(g.rows - 1, br_hi + margin);
+        margin *= 2;
+        // A re-attempt over the identical (clamped) window would fail
+        // identically; skip straight to the next escalation level.
+        if (searched_before && c_lo == prev_c_lo && c_hi == prev_c_hi &&
+            r_lo == prev_r_lo && r_hi == prev_r_hi) {
+          continue;
+        }
+      } else {
+        c_lo = 0;
+        c_hi = g.cols - 1;
+        r_lo = 0;
+        r_hi = g.rows - 1;
+      }
+      if (searched_before) ++expansions;
+      if (search_window(tree, target, c_lo, c_hi, r_lo, r_hi, prune)) {
+        return walk_back(target);
+      }
+      if (!prune) return {};  // full grid, unpruned: target unreachable
+      prev_c_lo = c_lo;
+      prev_c_hi = c_hi;
+      prev_r_lo = r_lo;
+      prev_r_hi = r_hi;
+      searched_before = true;
+    }
+  }
+
+ private:
+  std::vector<int> walk_back(int target) const {
     std::vector<int> path;
     int n = target;
-    if (stamp_of[static_cast<std::size_t>(n)] != stamp) return path;  // unreachable
+    if (stamp_of[static_cast<std::size_t>(n)] != stamp) return path;
     while (n != -1) {
       path.push_back(n);
       n = prev[static_cast<std::size_t>(n)];
@@ -181,16 +473,18 @@ struct PathRouter {
   }
 };
 
-/// Apply (or remove, sign=-1) a route's usage to the grid.
+/// Apply (or remove, sign=-1) a route's usage to the grid.  Goes through
+/// SideGrid::apply_use_*() so the edge-cost cache and the incremental
+/// overflow totals stay consistent.
 void commit(SideGrid& g, const std::vector<GEdge>& edges, double sign) {
   for (const GEdge& e : edges) {
     const int a = std::min(e.a, e.b);
     const int b = std::max(e.a, e.b);
     const int ca = g.col_of(a), ra = g.row_of(a);
     if (b == a + 1) {
-      g.h_use[static_cast<std::size_t>(g.h_edge(ca, ra))] += sign;
+      g.apply_use_h(static_cast<std::size_t>(g.h_edge(ca, ra)), sign);
     } else {
-      g.v_use[static_cast<std::size_t>(g.v_edge(ca, ra))] += sign;
+      g.apply_use_v(static_cast<std::size_t>(g.v_edge(ca, ra)), sign);
     }
   }
 }
@@ -204,6 +498,15 @@ struct SubNet {
   geom::Nm hpwl = 0;
 };
 
+RouteEngine resolve_engine(RouteEngine requested) {
+  if (requested != RouteEngine::Auto) return requested;
+  if (const char* env = std::getenv("FFET_ROUTE_ENGINE")) {
+    if (std::strcmp(env, "legacy") == 0) return RouteEngine::Legacy;
+    if (std::strcmp(env, "astar") == 0) return RouteEngine::Astar;
+  }
+  return RouteEngine::Astar;
+}
+
 }  // namespace
 
 RouteResult route_design(const Netlist& nl, const Floorplan& fp,
@@ -211,6 +514,8 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   FFET_TRACE_SCOPE("route.design");
   const tech::Technology& tech = nl.library().tech();
   RouteResult res;
+  const RouteEngine engine = resolve_engine(options.engine);
+  res.engine_used = engine;
 
   const geom::Nm gsize = options.gcell_tracks * tech.track_pitch();
   res.gcell_w = gsize;
@@ -285,6 +590,9 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
       }
     }
   }
+  // Bases are final: derive hard capacities, the edge-cost cache, and the
+  // incremental overflow totals.
+  for (SideGrid& g : grids) g.finalize(options.dr_slack);
 
   // --- Algorithm 1: decompose nets into per-side subnets ------------------------
   const bool has_back = tech.num_routing_layers(Side::Back) > 0;
@@ -381,6 +689,8 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
     PathRouter& pr = routers[static_cast<std::size_t>(side_index(sn.side))];
     std::vector<GEdge>& edges = route_edges[si];
     edges.clear();
+    pr.tree_begin();
+    pr.tree_add(sn.source);
     std::vector<int> tree = {sn.source};
     // Connect sinks nearest-first.
     std::vector<int> todo = sn.sinks;
@@ -393,13 +703,24 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
       return a < b;
     });
     for (int sink : todo) {
-      if (std::find(tree.begin(), tree.end(), sink) != tree.end()) continue;
-      const std::vector<int> path = pr.connect(tree, sink);
+      if (pr.in_tree(sink)) continue;
+      const std::vector<int> path =
+          engine == RouteEngine::Legacy
+              ? pr.connect_legacy(tree, sink)
+              : pr.connect_astar(tree, sink, options.window_margin);
       for (std::size_t i = 0; i + 1 < path.size(); ++i) {
         edges.push_back({path[i], path[i + 1]});
-        tree.push_back(path[i]);
       }
-      if (!path.empty()) tree.push_back(path.back());
+      // Grow the tree by the *new* nodes only: the joint node is already a
+      // member, and a path may revisit gcells the tree owns — appending
+      // those again used to inflate the search seed set quadratically on
+      // high-fanout nets.
+      for (int node : path) {
+        if (!pr.in_tree(node)) {
+          pr.tree_add(node);
+          tree.push_back(node);
+        }
+      }
     }
     commit(g, edges, +1.0);
   };
@@ -426,9 +747,7 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   // edges, reroute the nets crossing them.  The best solution seen (by hard
   // overflow, then total overflow) is kept — negotiation is not monotone.
   auto total_hard = [&] {
-    double o = 0.0;
-    for (const SideGrid& g : grids) o += g.hard_overflow(options.dr_slack);
-    return o;
+    return grids[0].hard_overflow() + grids[1].hard_overflow();
   };
   std::vector<std::vector<GEdge>> best_routes = route_edges;
   double best_hard = total_hard();
@@ -439,8 +758,11 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
 
   // Convergence record + optional FFET_VERBOSE one-line-per-side summary
   // (this replaces ad-hoc printf debugging of negotiation stalls).  The
-  // overflow values are passed in, not recomputed: the pass barrier scans
-  // each grid exactly once whether or not anyone reads the record.
+  // overflow values are passed in, not recomputed — and since commit()
+  // maintains them incrementally, the pass barrier never rescans a grid.
+  // Search-effort counters are read as deltas of the per-side routers.
+  std::array<long, 2> settled_mark{0, 0};
+  std::array<long, 2> expansions_mark{0, 0};
   auto record_pass = [&](int pass, std::size_t ripped_front,
                          std::size_t ripped_back, double soft_front,
                          double soft_back, double hard) {
@@ -451,16 +773,27 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
     ps.overflow_front = soft_front;
     ps.overflow_back = soft_back;
     ps.hard_overflow = hard;
+    ps.settled_front = routers[0].settled - settled_mark[0];
+    ps.settled_back = routers[1].settled - settled_mark[1];
+    ps.window_expansions_front =
+        static_cast<int>(routers[0].expansions - expansions_mark[0]);
+    ps.window_expansions_back =
+        static_cast<int>(routers[1].expansions - expansions_mark[1]);
+    settled_mark[0] = routers[0].settled;
+    settled_mark[1] = routers[1].settled;
+    expansions_mark[0] = routers[0].expansions;
+    expansions_mark[1] = routers[1].expansions;
     if (obs::verbose()) {
       for (int s = 0; s < 2; ++s) {
         std::printf(
             "  [route] pass=%d side=%s %s=%d overflow_total=%.1f "
-            "hard=%.1f\n",
+            "hard=%.1f settled=%ld expansions=%d\n",
             pass, s == 0 ? "front" : "back",
             pass == 0 ? "routed" : "ripups",
             s == 0 ? ps.ripped_front : ps.ripped_back,
-            s == 0 ? ps.overflow_front : ps.overflow_back,
-            ps.hard_overflow);
+            s == 0 ? ps.overflow_front : ps.overflow_back, ps.hard_overflow,
+            s == 0 ? ps.settled_front : ps.settled_back,
+            s == 0 ? ps.window_expansions_front : ps.window_expansions_back);
       }
     }
     res.pass_stats.push_back(ps);
@@ -499,16 +832,18 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
        pass < options.rrr_passes && best_hard > 0.0 && stale_passes < 6;
        ++pass) {
     // Each side negotiates its pass independently: decay its history,
-    // find its overflowing subnets (in this side's `order` subsequence),
-    // rip them all, reroute them all — restricted to state the other
-    // side never touches, so serial per-side execution and concurrent
-    // execution produce identical grids.  The pass barrier below
-    // (overflow totals, best tracking, convergence record) is serial.
+    // rebuild its edge-cost cache, find its overflowing subnets (in this
+    // side's `order` subsequence), rip them all, reroute them all —
+    // restricted to state the other side never touches, so serial
+    // per-side execution and concurrent execution produce identical
+    // grids.  The pass barrier below (overflow totals, best tracking,
+    // convergence record) is serial.
     std::array<std::size_t, 2> ripped_counts{0, 0};
     auto pass_side = [&](int s) {
       FFET_TRACE_SCOPE("route.pass.", pass, s == 0 ? ".front" : ".back");
       const auto sz = static_cast<std::size_t>(s);
       decay_history(grids[sz]);
+      grids[sz].rebuild_costs();
       std::vector<std::size_t> ripped;
       for (std::size_t si : side_order[sz]) {
         if (crosses_overflow(si)) ripped.push_back(si);
@@ -550,10 +885,7 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   }
   // Restore the best solution (usage arrays included, for diagnostics).
   if (best_routes != route_edges) {
-    for (SideGrid& g : grids) {
-      std::fill(g.h_use.begin(), g.h_use.end(), 0.0);
-      std::fill(g.v_use.begin(), g.v_use.end(), 0.0);
-    }
+    for (SideGrid& g : grids) g.clear_use();
     route_edges = std::move(best_routes);
     for (std::size_t si = 0; si < subnets.size(); ++si) {
       commit(grids[static_cast<std::size_t>(side_index(subnets[si].side))],
@@ -622,7 +954,7 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   double hard_overflow = 0.0;
   for (const SideGrid& g : grids) {
     overflow += g.overflow();
-    hard_overflow += g.hard_overflow(options.dr_slack);
+    hard_overflow += g.hard_overflow();
     res.capacity_units +=
         g.h_cap * static_cast<double>(g.h_use.size()) +
         g.v_cap * static_cast<double>(g.v_use.size());
@@ -633,6 +965,8 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   }
   res.overflow_total = static_cast<int>(std::round(overflow));
   res.drv_wire = static_cast<int>(std::round(hard_overflow));
+  res.settled_nodes = routers[0].settled + routers[1].settled;
+  res.window_expansions = routers[0].expansions + routers[1].expansions;
 
   // Pin-access DRVs: when a side's pin density exceeds what the detailed
   // router can hook up, every pin beyond the budget becomes an access
@@ -659,6 +993,8 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   FFET_METRIC_ADD("route.ripups", res.ripups_total);
   FFET_METRIC_ADD("route.drv.wire", res.drv_wire);
   FFET_METRIC_ADD("route.drv.pin_access", res.drv_pin_access);
+  FFET_METRIC_ADD("route.settled_nodes", res.settled_nodes);
+  FFET_METRIC_ADD("route.window_expansions", res.window_expansions);
   FFET_METRIC_OBSERVE("route.rrr_passes", res.rrr_passes);
   FFET_METRIC_OBSERVE("route.overflow", overflow);
   return res;

@@ -38,6 +38,16 @@ namespace ffet::pnr {
 
 using tech::Side;
 
+/// Maze-search kernel selection.  `Astar` is the windowed A* engine:
+/// admissible Manhattan lower bound scaled by the per-pass minimum edge
+/// cost, a search window around {tree, target} that adaptively expands
+/// (x2, then full grid) when no hard-overflow-free path exists inside it,
+/// a per-pass edge-cost cache, and O(1) stamped tree membership.  `Legacy`
+/// is the original unbounded full-grid Dijkstra (kept as an escape hatch
+/// and as the QoR baseline).  `Auto` resolves to the FFET_ROUTE_ENGINE
+/// environment variable ("legacy" or "astar") and defaults to Astar.
+enum class RouteEngine { Auto, Legacy, Astar };
+
 struct RouteOptions {
   int gcell_tracks = 15;       ///< gcell edge length in M2 track pitches
   int rrr_passes = 24;         ///< rip-up-and-reroute iterations
@@ -46,9 +56,13 @@ struct RouteOptions {
   /// occupies a track only across that gcell, while the capacity of a
   /// physical track spans many gcells; the value also compensates the
   /// lightweight global placer's extra wirelength vs. a commercial tool.
-  /// Calibrated once against the paper's Fig. 12 low-layer breakpoints
+  /// Calibrated against the paper's Fig. 12 low-layer breakpoints
   /// (FP0.5BP0.5 still closing at 2 layers/side near 70% utilization).
-  double capacity_factor = 3.2;
+  /// Re-derived (3.2 -> 3.0) when the windowed A* engine became the
+  /// default: its hard-overflow-avoiding search resolves congestion the
+  /// legacy Dijkstra kernel could not, so the fudge compensating router
+  /// weakness shrinks to keep the reproduction breakpoints in place.
+  double capacity_factor = 3.0;
   double pin_access_demand = 0.2;  ///< wire-demand share added per pin in a
                                    ///< gcell (local hookup wiring)
   double dr_slack = 0.15;  ///< per-edge overflow fraction a detailed router
@@ -67,6 +81,16 @@ struct RouteOptions {
   /// concurrently within each PathFinder pass.  Results are bit-identical
   /// to threads == 1, which runs the original interleaved serial order.
   int threads = 1;
+  /// Maze-search kernel (see RouteEngine).  Results are deterministic for
+  /// either engine and identical across `threads` settings; the engines
+  /// may legitimately differ from each other in tie-breaking.
+  RouteEngine engine = RouteEngine::Auto;
+  /// Initial A* search-window margin, in gcells, around the bounding box
+  /// of {current tree, target sink}.  Windowed attempts admit only paths
+  /// that create no *hard* overflow; if none exists the margin doubles
+  /// once, then the search falls back to the full grid with no pruning
+  /// (so connectivity never depends on the window).  Ignored by Legacy.
+  int window_margin = 6;
 };
 
 /// A gcell-level routing edge: between grid nodes a and b (flat indices).
@@ -100,6 +124,12 @@ struct RoutePassStat {
   double overflow_front = 0.0;  ///< soft overflow on the frontside grid
   double overflow_back = 0.0;
   double hard_overflow = 0.0;   ///< both sides, beyond detail-route slack
+  // Search-effort counters for this pass (A* and Legacy both count
+  // settled nodes; window expansions are A*-only by construction).
+  long settled_front = 0;       ///< maze-search nodes settled, frontside
+  long settled_back = 0;
+  int window_expansions_front = 0;  ///< A* window retries (x2 / full grid)
+  int window_expansions_back = 0;
 };
 
 /// Aggregate result of the dual-sided routing stage.
@@ -134,6 +164,13 @@ struct RouteResult {
   std::vector<RoutePassStat> pass_stats;
   int rrr_passes = 0;
   long ripups_total = 0;
+
+  /// Maze-search effort totals over all passes (sum of the per-pass
+  /// counters above), plus the kernel that actually ran after resolving
+  /// RouteOptions::engine / FFET_ROUTE_ENGINE.
+  long settled_nodes = 0;
+  long window_expansions = 0;
+  RouteEngine engine_used = RouteEngine::Astar;
 
   double total_wirelength_um() const {
     return wirelength_front_um + wirelength_back_um;

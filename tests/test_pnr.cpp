@@ -2,6 +2,9 @@
 // (Power Tap Cells / nTSV), placement + legalization, CTS, and the
 // dual-sided router (Algorithm 1 invariants).
 
+#include <cstdlib>
+#include <functional>
+#include <map>
 #include <random>
 #include <set>
 
@@ -338,7 +341,8 @@ struct RoutedDesign {
 
 RoutedDesign route_core(const netlist::Netlist& core,
                         const tech::Technology& tech,
-                        const stdcell::Library& lib, double util) {
+                        const stdcell::Library& lib, double util,
+                        const RouteOptions& ro = {}) {
   RoutedDesign rd{core, {}, {}};
   FloorplanOptions fo;
   fo.target_utilization = util;
@@ -346,8 +350,29 @@ RoutedDesign route_core(const netlist::Netlist& core,
   const PowerPlan pp = build_power_plan(rd.nl, rd.fp, lib);
   place(rd.nl, rd.fp, pp);
   build_clock_tree(rd.nl, rd.fp);
-  rd.rr = route_design(rd.nl, rd.fp);
+  rd.rr = route_design(rd.nl, rd.fp, ro);
   return rd;
+}
+
+/// Union-find connectivity over every route: source and all sinks in one
+/// component (the invariant both maze engines must preserve).
+void expect_all_sinks_connected(const netlist::Netlist& nl,
+                                const RouteResult& rr) {
+  for (const NetRoute& r : rr.routes) {
+    if (r.edges.empty()) continue;
+    std::map<int, int> parent;
+    std::function<int(int)> find = [&](int x) {
+      parent.try_emplace(x, x);
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (const GEdge& e : r.edges) parent[find(e.a)] = find(e.b);
+    const int root = find(r.source_gcell);
+    for (int s : r.sink_gcells) {
+      EXPECT_EQ(find(s), root)
+          << "disconnected sink in net " << nl.net(r.net).name;
+    }
+  }
 }
 
 TEST_F(PnrTest, Algorithm1DecomposesNetsBySinkSide) {
@@ -546,6 +571,132 @@ TEST_F(PnrTest, RouterDeterministic) {
   EXPECT_EQ(a.rr.drv_estimate, b.rr.drv_estimate);
   EXPECT_DOUBLE_EQ(a.rr.total_wirelength_um(), b.rr.total_wirelength_um());
   ASSERT_EQ(a.rr.routes.size(), b.rr.routes.size());
+}
+
+// --- routing: maze-search engines -------------------------------------------
+
+TEST_F(PnrTest, AstarMatchesLegacyQor) {
+  // The windowed A* engine must be QoR-equivalent to the legacy full-grid
+  // Dijkstra on the seed designs: equal-or-better hard overflow and total
+  // wirelength, every sink connected, and strictly less search effort.
+  RouteOptions legacy_ro;
+  legacy_ro.engine = RouteEngine::Legacy;
+  RouteOptions astar_ro;
+  astar_ro.engine = RouteEngine::Astar;
+
+  struct Case {
+    const netlist::Netlist* core;
+    const tech::Technology* tech;
+    const stdcell::Library* lib;
+  };
+  for (const Case& c : {Case{ffet_core_, ffet_tech_, ffet_lib_},
+                        Case{cfet_core_, cfet_tech_, cfet_lib_}}) {
+    const RoutedDesign l = route_core(*c.core, *c.tech, *c.lib, 0.6, legacy_ro);
+    const RoutedDesign a = route_core(*c.core, *c.tech, *c.lib, 0.6, astar_ro);
+    EXPECT_EQ(l.rr.engine_used, RouteEngine::Legacy);
+    EXPECT_EQ(a.rr.engine_used, RouteEngine::Astar);
+    EXPECT_LE(a.rr.drv_wire, l.rr.drv_wire);
+    EXPECT_LE(a.rr.total_wirelength_um(), l.rr.total_wirelength_um() + 1e-6);
+    ASSERT_EQ(a.rr.routes.size(), l.rr.routes.size());
+    expect_all_sinks_connected(l.nl, l.rr);
+    expect_all_sinks_connected(a.nl, a.rr);
+    EXPECT_GT(a.rr.settled_nodes, 0);
+    EXPECT_LT(a.rr.settled_nodes, l.rr.settled_nodes)
+        << "windowed A* should settle fewer nodes than full-grid Dijkstra";
+  }
+}
+
+TEST_F(PnrTest, AstarWindowExpandsUnderCongestion) {
+  // A deliberately congested fixture: 2+2 routing layers at 80 %
+  // utilization with the capacity fudge squeezed to 2.4 (the 8-register
+  // core is otherwise too small to congest).  Windowed attempts admit only
+  // hard-overflow-free paths, so saturated edges force window expansions
+  // (x2, then full grid); the full-grid fallback still connects every
+  // sink, and the A* result must remain equal-or-better than legacy on
+  // hard overflow.
+  tech::Technology limited = ffet_tech_->with_routing_limit(2, 2);
+  stdcell::PinConfig dual;
+  dual.backside_input_fraction = 0.5;
+  stdcell::Library lib2 = stdcell::build_library(limited, dual);
+  liberty::characterize_library(lib2);
+  riscv::Rv32Options opt;
+  opt.num_registers = 8;
+  netlist::Netlist nl2 = riscv::build_rv32_core(lib2, opt);
+  FloorplanOptions fo;
+  fo.target_utilization = 0.8;
+  const Floorplan fp2 = make_floorplan(nl2, limited, fo);
+  const PowerPlan pp2 = build_power_plan(nl2, fp2, lib2);
+  place(nl2, fp2, pp2);
+  build_clock_tree(nl2, fp2);
+
+  RouteOptions astar_ro;
+  astar_ro.capacity_factor = 2.4;
+  astar_ro.engine = RouteEngine::Astar;
+  const RouteResult a = route_design(nl2, fp2, astar_ro);
+  EXPECT_GT(a.window_expansions, 0)
+      << "a saturated 2+2 stack must trigger window expansion";
+  expect_all_sinks_connected(nl2, a);
+
+  // Per-pass counters must sum to the totals.
+  long settled = 0, wexp = 0;
+  for (const RoutePassStat& ps : a.pass_stats) {
+    settled += ps.settled_front + ps.settled_back;
+    wexp += ps.window_expansions_front + ps.window_expansions_back;
+  }
+  EXPECT_EQ(settled, a.settled_nodes);
+  EXPECT_EQ(wexp, a.window_expansions);
+
+  RouteOptions legacy_ro;
+  legacy_ro.capacity_factor = 2.4;
+  legacy_ro.engine = RouteEngine::Legacy;
+  const RouteResult l = route_design(nl2, fp2, legacy_ro);
+  EXPECT_EQ(l.window_expansions, 0);
+  EXPECT_LE(a.drv_wire, l.drv_wire);
+}
+
+TEST_F(PnrTest, RouterDeterministicAcrossThreadCounts) {
+  // Algorithm 1 routes the two wafer sides independently, so threaded
+  // passes (front/back concurrent) must be bit-identical to serial ones —
+  // for both maze engines.
+  for (const RouteEngine engine : {RouteEngine::Legacy, RouteEngine::Astar}) {
+    RouteOptions ro;
+    ro.engine = engine;
+    ro.threads = 1;
+    const RoutedDesign serial =
+        route_core(*ffet_core_, *ffet_tech_, *ffet_lib_, 0.6, ro);
+    ro.threads = 4;
+    const RoutedDesign threaded =
+        route_core(*ffet_core_, *ffet_tech_, *ffet_lib_, 0.6, ro);
+
+    EXPECT_DOUBLE_EQ(serial.rr.total_wirelength_um(),
+                     threaded.rr.total_wirelength_um());
+    EXPECT_EQ(serial.rr.drv_estimate, threaded.rr.drv_estimate);
+    EXPECT_EQ(serial.rr.settled_nodes, threaded.rr.settled_nodes);
+    EXPECT_EQ(serial.rr.window_expansions, threaded.rr.window_expansions);
+    ASSERT_EQ(serial.rr.routes.size(), threaded.rr.routes.size());
+    for (std::size_t i = 0; i < serial.rr.routes.size(); ++i) {
+      const NetRoute& s = serial.rr.routes[i];
+      const NetRoute& t = threaded.rr.routes[i];
+      EXPECT_EQ(s.net, t.net);
+      EXPECT_EQ(s.side, t.side);
+      EXPECT_EQ(s.edges, t.edges) << "route " << i << " differs";
+    }
+  }
+}
+
+TEST_F(PnrTest, RouteEngineEnvEscapeHatch) {
+  // RouteEngine::Auto resolves FFET_ROUTE_ENGINE; "legacy" must select the
+  // old kernel without touching any call site.
+  setenv("FFET_ROUTE_ENGINE", "legacy", 1);
+  const RoutedDesign l = route_core(*cfet_core_, *cfet_tech_, *cfet_lib_, 0.6);
+  setenv("FFET_ROUTE_ENGINE", "astar", 1);
+  const RoutedDesign a = route_core(*cfet_core_, *cfet_tech_, *cfet_lib_, 0.6);
+  unsetenv("FFET_ROUTE_ENGINE");
+  EXPECT_EQ(l.rr.engine_used, RouteEngine::Legacy);
+  EXPECT_EQ(a.rr.engine_used, RouteEngine::Astar);
+  // Unset, Auto defaults to Astar.
+  const RoutedDesign d = route_core(*cfet_core_, *cfet_tech_, *cfet_lib_, 0.6);
+  EXPECT_EQ(d.rr.engine_used, RouteEngine::Astar);
 }
 
 }  // namespace
