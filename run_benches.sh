@@ -25,8 +25,8 @@ cd "$(dirname "$0")"
 
 FULL="bench_table1 bench_fig4 bench_table2 bench_fig8 bench_fig9 \
       bench_fig10 bench_fig11 bench_table3 bench_fig12 bench_fig13 \
-      bench_ablation bench_cost_extension bench_router"
-QUICK="bench_table1 bench_fig4 bench_table2"
+      bench_ablation bench_cost_extension bench_router bench_eco"
+QUICK="bench_table1 bench_fig4 bench_table2 bench_eco"
 
 run_stages=1
 trace=0
@@ -58,11 +58,16 @@ export FFET_BENCH_JSON="$JSONL"
 # should not mask the results of the rest: run them all, then report.
 failures=""
 for b in $benches; do
+  # bench_eco sweeps a full RV32 flow twice; quick mode trims its ECO passes.
+  flags=""
+  if [ "$quick" = 1 ] && [ "$b" = bench_eco ]; then
+    flags="--quick"
+  fi
   if [ "$trace" = 1 ]; then
     FFET_TRACE="trace_${b}.json" FFET_FLOW_REPORT="flow_reports.jsonl" \
-      ./build/bench/$b || failures="$failures $b"
+      ./build/bench/$b $flags || failures="$failures $b"
   else
-    ./build/bench/$b || failures="$failures $b"
+    ./build/bench/$b $flags || failures="$failures $b"
   fi
 done
 

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Gate for the post-route ECO engine (bench_eco).
+
+Usage: check_bench_eco.py <baseline BENCH_eco.json> <new BENCH_eco.json>
+
+Unlike the router gate, the ECO gates are *absolute* properties of the new
+run, not ratios against the baseline — the accept/revert loop must never
+make the design slower, and the incremental STA must never be slower than
+the full re-analysis it replaces.  The committed baseline is printed for
+context only (it was produced with eco_passes=2; CI's quick run uses 1
+pass, so the magnitudes legitimately differ).
+
+Gated on the new run:
+
+  * post.freq_ghz >= pre.freq_ghz — the ECO accept rule forbids WNS
+    regressions, so a slowdown means the revert path is broken;
+  * post.iso_power_uw <= 1.01 * pre.power_uw — the "faster at ~equal
+    power" contract, judged at the pre-ECO frequency;
+  * sta_speedup >= 1 — the incremental update must beat full re-analysis
+    (a same-process ratio, so machine speed and CI load cancel out);
+  * gates_ok — the bench's own verdict (same three checks, computed
+    in-process before rounding).
+"""
+
+import json
+import sys
+
+ISO_POWER_TOLERANCE = 0.01  # post-ECO power at pre-ECO freq may rise <= 1 %
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    base = load(sys.argv[1])
+    new = load(sys.argv[2])
+
+    print(
+        f"baseline (eco_passes={base['eco_passes']}): "
+        f"{base['pre']['freq_ghz']:.3f} -> {base['post']['freq_ghz']:.3f} GHz "
+        f"({base['freq_gain_pct']:+.1f}%), iso power "
+        f"{base['iso_power_increase_pct']:+.2f}%, "
+        f"STA speedup {base['sta_speedup']:.2f}x"
+    )
+    print(
+        f"new      (eco_passes={new['eco_passes']}): "
+        f"{new['pre']['freq_ghz']:.3f} -> {new['post']['freq_ghz']:.3f} GHz "
+        f"({new['freq_gain_pct']:+.1f}%), iso power "
+        f"{new['iso_power_increase_pct']:+.2f}%, "
+        f"STA speedup {new['sta_speedup']:.2f}x"
+    )
+    print(
+        f"new transforms: {new['attempted']} attempted, "
+        f"{new['accepted']} accepted ({new['upsized']} upsize, "
+        f"{new['downsized']} downsize, {new['buffers']} repeater, "
+        f"{new['pin_flips']} pin-flip), {new['reverted']} reverted"
+    )
+
+    failures = []
+    if new["post"]["freq_ghz"] < new["pre"]["freq_ghz"]:
+        failures.append(
+            f"post-ECO freq {new['post']['freq_ghz']:.4f} GHz below pre-ECO "
+            f"{new['pre']['freq_ghz']:.4f} GHz (revert path broken?)"
+        )
+    iso_limit = (1.0 + ISO_POWER_TOLERANCE) * new["pre"]["power_uw"]
+    if new["post"]["iso_power_uw"] > iso_limit:
+        failures.append(
+            f"iso-frequency power {new['post']['iso_power_uw']:.1f} uW "
+            f"exceeds {iso_limit:.1f} uW "
+            f"(pre {new['pre']['power_uw']:.1f} uW + {ISO_POWER_TOLERANCE:.0%})"
+        )
+    if new["sta_speedup"] < 1.0:
+        failures.append(
+            f"incremental STA slower than full re-analysis "
+            f"(speedup {new['sta_speedup']:.2f}x < 1)"
+        )
+    if not new.get("gates_ok", False):
+        failures.append("gates_ok=false: the bench's in-process gates failed")
+
+    if failures:
+        print("\nFAIL: bench_eco gate", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: ECO improves frequency within the power budget and the "
+          "incremental STA beats full re-analysis")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,6 +128,160 @@ struct Adj {
   double r_ohm;
 };
 
+/// Build (or rebuild, resetting any prior contents) one net's RC tree from
+/// the merged-DEF wire index, the side density grids, and the current pin
+/// landscape — the shared kernel of extract_rc and reextract_nets.
+void build_net_tree(RcTree& tree, int net_id, const Netlist& nl,
+                    const Technology& tech,
+                    const std::map<std::string, const io::DefNet*>& def_nets,
+                    const DensityGrid& density, double drain_merge_r) {
+  FFET_TRACE_SCOPE("extract.net");
+  tree = RcTree{};
+  const netlist::Net& net = nl.net(net_id);
+  tree.net_name = net.name;
+
+  // Driver position.
+  geom::Point drv_pos{0, 0};
+  if (net.driver.inst != netlist::kNoInst) {
+    drv_pos = nl.pin_position(net.driver);
+  } else if (net.port >= 0) {
+    drv_pos = nl.port(net.port).pos;
+  }
+
+  // Root node.
+  tree.nodes.push_back({drv_pos, Side::Front, 0.0, -1, 0.0});
+
+  // Wire graph.
+  std::map<NodeKey, int> node_of;
+  std::vector<std::vector<Adj>> adj(1);
+  auto get_node = [&](Side s, geom::Point p) {
+    const NodeKey key{s, p.x, p.y};
+    auto it = node_of.find(key);
+    if (it != node_of.end()) return it->second;
+    const int idx = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back({p, s, 0.0, -1, 0.0});
+    adj.emplace_back();
+    node_of.emplace(key, idx);
+    return idx;
+  };
+
+  const io::DefNet* dn = nullptr;
+  if (auto it = def_nets.find(net.name); it != def_nets.end()) {
+    dn = it->second;
+  }
+  if (dn) {
+    for (const io::DefWire& w : dn->wires) {
+      const Side s = side_of_layer(w.layer);
+      const tech::MetalLayer* layer = tech.find_layer(w.layer);
+      if (!layer) {
+        throw std::runtime_error("merged DEF references unknown layer " +
+                                 w.layer);
+      }
+      const double len_um = geom::to_um(geom::manhattan(w.from, w.to));
+      const double r = std::max(1e-3, len_um * layer->r_ohm_per_um);
+      // Coupling: neighbors at the segment midpoint raise the effective
+      // capacitance (Miller factor on switching aggressors).
+      const geom::Point mid{(w.from.x + w.to.x) / 2,
+                            (w.from.y + w.to.y) / 2};
+      const double coupling =
+          1.0 + kMillerCoupling * density.ratio(s, mid);
+      const double c = len_um * layer->c_ff_per_um * coupling;
+      const int a = get_node(s, w.from);
+      const int b = get_node(s, w.to);
+      tree.nodes[static_cast<std::size_t>(a)].cap_ff += c / 2.0;
+      tree.nodes[static_cast<std::size_t>(b)].cap_ff += c / 2.0;
+      // Via stacks are charged at the pin hookups (kPinHookupOhm), not
+      // per gcell segment — a route stays on its track between bends.
+      adj[static_cast<std::size_t>(a)].push_back({b, r});
+      adj[static_cast<std::size_t>(b)].push_back({a, r});
+    }
+  }
+
+  // Join each side's nearest node to the driver root: the frontside via a
+  // pin hookup stack; the backside through the Drain Merge (the net's
+  // dual-sided output pin) — the only wafer-crossing structure.
+  for (Side s : {Side::Front, Side::Back}) {
+    int nearest = -1;
+    geom::Nm best = std::numeric_limits<geom::Nm>::max();
+    for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+      if (tree.nodes[i].side != s) continue;
+      const geom::Nm d = geom::manhattan(tree.nodes[i].pos, drv_pos);
+      if (d < best) {
+        best = d;
+        nearest = static_cast<int>(i);
+      }
+    }
+    if (nearest < 0) continue;
+    const double joint_r = kPinHookupOhm +
+                           (s == Side::Back ? drain_merge_r : 0.0);
+    adj[0].push_back({nearest, joint_r});
+    adj[static_cast<std::size_t>(nearest)].push_back({0, joint_r});
+  }
+
+  // Spanning tree by BFS from the root (drops redundant loop edges).
+  std::vector<bool> seen(tree.nodes.size(), false);
+  std::queue<int> q;
+  q.push(0);
+  seen[0] = true;
+  while (!q.empty()) {
+    const int n = q.front();
+    q.pop();
+    for (const Adj& e : adj[static_cast<std::size_t>(n)]) {
+      if (seen[static_cast<std::size_t>(e.to)]) continue;
+      seen[static_cast<std::size_t>(e.to)] = true;
+      tree.nodes[static_cast<std::size_t>(e.to)].parent = n;
+      tree.nodes[static_cast<std::size_t>(e.to)].r_ohm = e.r_ohm;
+      q.push(e.to);
+    }
+  }
+
+  // Sinks: nearest reachable node on the sink pin's side (root if none),
+  // plus the hookup stack and the pin capacitance.
+  tree.sink_nodes.reserve(net.sinks.size());
+  for (const netlist::PinRef& sref : net.sinks) {
+    const stdcell::PinSide ps = nl.pin_side(sref);
+    const Side s = ps == stdcell::PinSide::Back ? Side::Back : Side::Front;
+    const geom::Point pos = nl.pin_position(sref);
+    int nearest = 0;
+    geom::Nm best = std::numeric_limits<geom::Nm>::max();
+    for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+      if (!seen[i] || tree.nodes[i].side != s) continue;
+      const geom::Nm d = geom::manhattan(tree.nodes[i].pos, pos);
+      if (d < best) {
+        best = d;
+        nearest = static_cast<int>(i);
+      }
+    }
+    // Attach the pin as its own node so per-sink Elmore includes the
+    // hookup resistance.
+    const int pin_node = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(
+        {pos, s, nl.pin_cap_ff(sref), nearest, kPinHookupOhm});
+    seen.push_back(true);
+    tree.sink_nodes.push_back(pin_node);
+  }
+
+  finalize_rc_tree(tree);
+  double pin_cap = 0.0;
+  for (const netlist::PinRef& sref : net.sinks) {
+    pin_cap += nl.pin_cap_ff(sref);
+  }
+  tree.wire_cap_ff = std::max(0.0, tree.total_cap_ff - pin_cap);
+}
+
+/// Recompute the aggregate totals from scratch in net order (shared tail
+/// of the full and incremental extractions; keeps them bit-identical).
+void sum_totals(RcNetlist& out) {
+  out.total_wire_cap_ff = 0.0;
+  out.total_wire_res_kohm = 0.0;
+  for (const RcTree& tree : out.trees) {
+    out.total_wire_cap_ff += tree.wire_cap_ff;
+    for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+      out.total_wire_res_kohm += tree.nodes[i].r_ohm / 1000.0;
+    }
+  }
+}
+
 }  // namespace
 
 RcNetlist extract_rc(const io::Def& merged, const Netlist& nl,
@@ -150,152 +304,45 @@ RcNetlist extract_rc(const io::Def& merged, const Netlist& nl,
   // parallelizes without synchronization; the aggregate totals are summed
   // in net order afterwards to stay bit-identical to the serial loop.
   auto build_tree = [&](std::size_t net_index) {
-    FFET_TRACE_SCOPE("extract.net");
-    const int net_id = static_cast<int>(net_index);
-    const netlist::Net& net = nl.net(net_id);
-    RcTree& tree = out.trees[static_cast<std::size_t>(net_id)];
-    tree.net_name = net.name;
-
-    // Driver position.
-    geom::Point drv_pos{0, 0};
-    if (net.driver.inst != netlist::kNoInst) {
-      drv_pos = nl.pin_position(net.driver);
-    } else if (net.port >= 0) {
-      drv_pos = nl.port(net.port).pos;
-    }
-
-    // Root node.
-    tree.nodes.push_back({drv_pos, Side::Front, 0.0, -1, 0.0});
-
-    // Wire graph.
-    std::map<NodeKey, int> node_of;
-    std::vector<std::vector<Adj>> adj(1);
-    auto get_node = [&](Side s, geom::Point p) {
-      const NodeKey key{s, p.x, p.y};
-      auto it = node_of.find(key);
-      if (it != node_of.end()) return it->second;
-      const int idx = static_cast<int>(tree.nodes.size());
-      tree.nodes.push_back({p, s, 0.0, -1, 0.0});
-      adj.emplace_back();
-      node_of.emplace(key, idx);
-      return idx;
-    };
-
-    const io::DefNet* dn = nullptr;
-    if (auto it = def_nets.find(net.name); it != def_nets.end()) {
-      dn = it->second;
-    }
-    if (dn) {
-      for (const io::DefWire& w : dn->wires) {
-        const Side s = side_of_layer(w.layer);
-        const tech::MetalLayer* layer = tech.find_layer(w.layer);
-        if (!layer) {
-          throw std::runtime_error("merged DEF references unknown layer " +
-                                   w.layer);
-        }
-        const double len_um = geom::to_um(geom::manhattan(w.from, w.to));
-        const double r = std::max(1e-3, len_um * layer->r_ohm_per_um);
-        // Coupling: neighbors at the segment midpoint raise the effective
-        // capacitance (Miller factor on switching aggressors).
-        const geom::Point mid{(w.from.x + w.to.x) / 2,
-                              (w.from.y + w.to.y) / 2};
-        const double coupling =
-            1.0 + kMillerCoupling * density.ratio(s, mid);
-        const double c = len_um * layer->c_ff_per_um * coupling;
-        const int a = get_node(s, w.from);
-        const int b = get_node(s, w.to);
-        tree.nodes[static_cast<std::size_t>(a)].cap_ff += c / 2.0;
-        tree.nodes[static_cast<std::size_t>(b)].cap_ff += c / 2.0;
-        // Via stacks are charged at the pin hookups (kPinHookupOhm), not
-        // per gcell segment — a route stays on its track between bends.
-        adj[static_cast<std::size_t>(a)].push_back({b, r});
-        adj[static_cast<std::size_t>(b)].push_back({a, r});
-      }
-    }
-
-    // Join each side's nearest node to the driver root: the frontside via a
-    // pin hookup stack; the backside through the Drain Merge (the net's
-    // dual-sided output pin) — the only wafer-crossing structure.
-    for (Side s : {Side::Front, Side::Back}) {
-      int nearest = -1;
-      geom::Nm best = std::numeric_limits<geom::Nm>::max();
-      for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
-        if (tree.nodes[i].side != s) continue;
-        const geom::Nm d = geom::manhattan(tree.nodes[i].pos, drv_pos);
-        if (d < best) {
-          best = d;
-          nearest = static_cast<int>(i);
-        }
-      }
-      if (nearest < 0) continue;
-      const double joint_r = kPinHookupOhm +
-                             (s == Side::Back ? drain_merge_r : 0.0);
-      adj[0].push_back({nearest, joint_r});
-      adj[static_cast<std::size_t>(nearest)].push_back({0, joint_r});
-    }
-
-    // Spanning tree by BFS from the root (drops redundant loop edges).
-    std::vector<bool> seen(tree.nodes.size(), false);
-    std::queue<int> q;
-    q.push(0);
-    seen[0] = true;
-    while (!q.empty()) {
-      const int n = q.front();
-      q.pop();
-      for (const Adj& e : adj[static_cast<std::size_t>(n)]) {
-        if (seen[static_cast<std::size_t>(e.to)]) continue;
-        seen[static_cast<std::size_t>(e.to)] = true;
-        tree.nodes[static_cast<std::size_t>(e.to)].parent = n;
-        tree.nodes[static_cast<std::size_t>(e.to)].r_ohm = e.r_ohm;
-        q.push(e.to);
-      }
-    }
-
-    // Sinks: nearest reachable node on the sink pin's side (root if none),
-    // plus the hookup stack and the pin capacitance.
-    tree.sink_nodes.reserve(net.sinks.size());
-    for (const netlist::PinRef& sref : net.sinks) {
-      const stdcell::PinSide ps = nl.pin_side(sref);
-      const Side s = ps == stdcell::PinSide::Back ? Side::Back : Side::Front;
-      const geom::Point pos = nl.pin_position(sref);
-      int nearest = 0;
-      geom::Nm best = std::numeric_limits<geom::Nm>::max();
-      for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
-        if (!seen[i] || tree.nodes[i].side != s) continue;
-        const geom::Nm d = geom::manhattan(tree.nodes[i].pos, pos);
-        if (d < best) {
-          best = d;
-          nearest = static_cast<int>(i);
-        }
-      }
-      // Attach the pin as its own node so per-sink Elmore includes the
-      // hookup resistance.
-      const int pin_node = static_cast<int>(tree.nodes.size());
-      tree.nodes.push_back(
-          {pos, s, nl.pin_cap_ff(sref), nearest, kPinHookupOhm});
-      seen.push_back(true);
-      tree.sink_nodes.push_back(pin_node);
-    }
-
-    finalize_rc_tree(tree);
-    double pin_cap = 0.0;
-    for (const netlist::PinRef& sref : net.sinks) {
-      pin_cap += nl.pin_cap_ff(sref);
-    }
-    tree.wire_cap_ff = std::max(0.0, tree.total_cap_ff - pin_cap);
+    build_net_tree(out.trees[net_index], static_cast<int>(net_index), nl,
+                   tech, def_nets, density, drain_merge_r);
   };
 
   runtime::parallel_for(static_cast<std::size_t>(nl.num_nets()), build_tree,
                         threads, 0);
   FFET_METRIC_ADD("extract.nets", nl.num_nets());
 
-  for (const RcTree& tree : out.trees) {
-    out.total_wire_cap_ff += tree.wire_cap_ff;
-    for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
-      out.total_wire_res_kohm += tree.nodes[i].r_ohm / 1000.0;
-    }
-  }
+  sum_totals(out);
   return out;
+}
+
+void reextract_nets(RcNetlist& rc, const io::Def& merged,
+                    const Netlist& nl, const Technology& tech,
+                    const std::vector<netlist::NetId>& dirty_nets) {
+  FFET_TRACE_SCOPE("extract.reextract");
+  rc.trees.resize(static_cast<std::size_t>(nl.num_nets()));
+
+  std::map<std::string, const io::DefNet*> def_nets;
+  for (const io::DefNet& n : merged.nets) def_nets.emplace(n.name, &n);
+
+  // The density grid is global state: any rerouted wire shifts the coupling
+  // neighborhoods, so it is rebuilt from the *current* merged DEF.  Only
+  // the listed trees are rebuilt against it — the clean nets' DEF wires are
+  // unchanged by reroute_nets, so their trees (built from the same wires
+  // and density field) stay valid.
+  const DensityGrid density(merged, tech);
+  const double drain_merge_r = tech.device().np_link_r_ohm;
+
+  long rebuilt = 0;
+  for (const netlist::NetId n : dirty_nets) {
+    if (n < 0 || n >= nl.num_nets()) continue;
+    build_net_tree(rc.trees[static_cast<std::size_t>(n)], n, nl, tech,
+                   def_nets, density, drain_merge_r);
+    ++rebuilt;
+  }
+  FFET_METRIC_ADD("extract.reextracted_nets", rebuilt);
+
+  sum_totals(rc);
 }
 
 void finalize_rc_tree(RcTree& tree) {

@@ -75,6 +75,18 @@ struct RcNetlist {
 RcNetlist extract_rc(const io::Def& merged, const netlist::Netlist& nl,
                      const tech::Technology& tech, int threads = 1);
 
+/// Incremental re-extraction: rebuild only the trees of `dirty_nets` from
+/// the (re-merged) DEF and the current pin landscape, leaving every other
+/// tree untouched, then recompute the aggregate totals.  The density grid
+/// driving the coupling model is rebuilt from the current DEF (it is global
+/// state); the dirty trees therefore see exactly the field a full
+/// extraction would.  `rc.trees` is resized to the current netlist, so
+/// nets added since the last extraction must be listed dirty.  The ECO
+/// engine's extraction primitive.
+void reextract_nets(RcNetlist& rc, const io::Def& merged,
+                    const netlist::Netlist& nl, const tech::Technology& tech,
+                    const std::vector<netlist::NetId>& dirty_nets);
+
 /// Recompute a tree's total capacitance and per-node Elmore delays from its
 /// node caps / parents / resistances (used by the extractor and by the
 /// SPEF reader).

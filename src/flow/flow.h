@@ -63,6 +63,13 @@ struct FlowConfig {
   bool simulate_activity = false;
   int activity_cycles = 120;
 
+  /// Post-route ECO timing-closure passes (src/opt): 0 (default) skips the
+  /// stage entirely — the flow output is then bit-identical to a build
+  /// without the ECO engine.  With passes > 0 the flow runs the
+  /// accept/revert transform loop after routing/extraction and re-signs
+  /// off timing and power on the optimized design.
+  int eco_passes = 0;
+
   /// Worker threads for the intra-flow parallel stages (per-side routing,
   /// per-net extraction, STA precompute).  0 = auto: the FFET_THREADS
   /// environment variable if set, else std::thread::hardware_concurrency().
@@ -165,6 +172,26 @@ struct FlowResult {
   int drv_pin_access = 0;       ///< DRVs from pin-access overload
   double place_mean_displacement_um = 0.0;  ///< legalization displacement
   double place_max_displacement_um = 0.0;
+
+  // Post-route ECO (src/opt; populated only when config.eco_passes > 0).
+  int eco_passes_run = 0;
+  int eco_attempted = 0;
+  int eco_accepted = 0;
+  int eco_reverted = 0;
+  int eco_upsized = 0;
+  int eco_downsized = 0;
+  int eco_buffers = 0;
+  int eco_pin_flips = 0;
+  double eco_pre_freq_ghz = 0.0;   ///< signoff frequency before the ECO
+  double eco_post_freq_ghz = 0.0;  ///< and after (== achieved_freq_ghz)
+  double eco_pre_power_uw = 0.0;
+  double eco_post_power_uw = 0.0;  ///< at the (higher) post-ECO frequency
+  /// Optimized design's power evaluated at the *pre-ECO* frequency — the
+  /// iso-frequency number the paper-style "faster at ~equal power"
+  /// contract is judged on (power_uw/eco_post_power_uw include the power
+  /// cost of running faster).
+  double eco_iso_power_uw = 0.0;
+  double eco_sta_speedup = 0.0;  ///< mean full-STA / mean incremental-STA time
 
   /// Per-stage wall/CPU timings in execution order (floorplan ... ir_drop).
   std::vector<StageTiming> stage_times;

@@ -99,6 +99,22 @@ void write_json(const FlowResult& r, std::ostream& os) {
   o.field("internal_uw", r.internal_uw);
   o.field("leakage_uw", r.leakage_uw);
   o.field("efficiency_ghz_per_mw", r.efficiency_ghz_per_mw);
+  if (r.config.eco_passes > 0) {
+    o.field("eco_passes_run", r.eco_passes_run);
+    o.field("eco_attempted", r.eco_attempted);
+    o.field("eco_accepted", r.eco_accepted);
+    o.field("eco_reverted", r.eco_reverted);
+    o.field("eco_upsized", r.eco_upsized);
+    o.field("eco_downsized", r.eco_downsized);
+    o.field("eco_buffers", r.eco_buffers);
+    o.field("eco_pin_flips", r.eco_pin_flips);
+    o.field("eco_pre_freq_ghz", r.eco_pre_freq_ghz);
+    o.field("eco_post_freq_ghz", r.eco_post_freq_ghz);
+    o.field("eco_pre_power_uw", r.eco_pre_power_uw);
+    o.field("eco_post_power_uw", r.eco_post_power_uw);
+    o.field("eco_iso_power_uw", r.eco_iso_power_uw);
+    o.field("eco_sta_speedup", r.eco_sta_speedup);
+  }
 }
 
 std::string to_json(const FlowResult& result, int indent) {
@@ -236,6 +252,27 @@ std::string flow_report_json(const FlowResult& r) {
   j.field("power_uw", r.power_uw);
   j.field("efficiency_ghz_per_mw", r.efficiency_ghz_per_mw);
   j.close_obj();
+
+  // Post-route ECO (only when the stage ran; absent otherwise so reports
+  // from eco_passes == 0 runs stay byte-identical to older builds).
+  if (r.config.eco_passes > 0) {
+    j.open_nested("eco");
+    j.field("passes_run", static_cast<long long>(r.eco_passes_run));
+    j.field("attempted", static_cast<long long>(r.eco_attempted));
+    j.field("accepted", static_cast<long long>(r.eco_accepted));
+    j.field("reverted", static_cast<long long>(r.eco_reverted));
+    j.field("upsized", static_cast<long long>(r.eco_upsized));
+    j.field("downsized", static_cast<long long>(r.eco_downsized));
+    j.field("buffers", static_cast<long long>(r.eco_buffers));
+    j.field("pin_flips", static_cast<long long>(r.eco_pin_flips));
+    j.field("pre_freq_ghz", r.eco_pre_freq_ghz);
+    j.field("post_freq_ghz", r.eco_post_freq_ghz);
+    j.field("pre_power_uw", r.eco_pre_power_uw);
+    j.field("post_power_uw", r.eco_post_power_uw);
+    j.field("iso_power_uw", r.eco_iso_power_uw);
+    j.field("sta_speedup", r.eco_sta_speedup);
+    j.close_obj();
+  }
 
   // Per-stage timings, in execution order.
   j.open_array("stages");

@@ -155,6 +155,68 @@ void Netlist::mark_clock_net(NetId net_id) {
   net(net_id).is_clock = true;
 }
 
+void Netlist::disconnect_pin(InstId inst, std::string_view pin_name) {
+  Instance& i = instance(inst);
+  const int pin = i.type->pin_index(pin_name);
+  if (pin < 0) {
+    throw std::invalid_argument("no pin " + std::string(pin_name));
+  }
+  const NetId old = i.pin_nets[static_cast<std::size_t>(pin)];
+  if (old == kNoNet) return;
+  Net& n = net(old);
+  if (n.driver == PinRef{inst, pin}) {
+    n.driver = {};
+  } else {
+    n.sinks.erase(std::remove(n.sinks.begin(), n.sinks.end(),
+                              PinRef{inst, pin}),
+                  n.sinks.end());
+  }
+  i.pin_nets[static_cast<std::size_t>(pin)] = kNoNet;
+}
+
+void Netlist::pop_instance() {
+  if (instances_.empty()) {
+    throw std::logic_error("pop_instance on empty netlist");
+  }
+  const Instance& i = instances_.back();
+  for (const NetId n : i.pin_nets) {
+    if (n != kNoNet) {
+      throw std::logic_error("pop_instance " + i.name +
+                             ": pins still connected");
+    }
+  }
+  const auto id = static_cast<InstId>(instances_.size() - 1);
+  pin_side_override_.erase(
+      pin_side_override_.lower_bound({id, 0}),
+      pin_side_override_.lower_bound({id + 1, 0}));
+  inst_by_name_.erase(i.name);
+  instances_.pop_back();
+}
+
+void Netlist::pop_net() {
+  if (nets_.empty()) throw std::logic_error("pop_net on empty netlist");
+  const Net& n = nets_.back();
+  if (n.driver.inst != kNoInst || !n.sinks.empty() || n.port >= 0) {
+    throw std::logic_error("pop_net " + n.name + ": still connected");
+  }
+  net_by_name_.erase(n.name);
+  nets_.pop_back();
+}
+
+void Netlist::set_pin_side(const PinRef& p, stdcell::PinSide side) {
+  if (side == instance(p.inst)
+                  .type->pins()[static_cast<std::size_t>(p.pin)]
+                  .side) {
+    pin_side_override_.erase({p.inst, p.pin});
+  } else {
+    pin_side_override_[{p.inst, p.pin}] = side;
+  }
+}
+
+void Netlist::clear_pin_side(const PinRef& p) {
+  pin_side_override_.erase({p.inst, p.pin});
+}
+
 std::optional<NetId> Netlist::find_net(std::string_view n) const {
   auto it = net_by_name_.find(n);
   if (it == net_by_name_.end()) return std::nullopt;
@@ -174,6 +236,10 @@ std::optional<PortId> Netlist::find_port(std::string_view n) const {
 }
 
 stdcell::PinSide Netlist::pin_side(const PinRef& p) const {
+  if (!pin_side_override_.empty()) {
+    const auto it = pin_side_override_.find({p.inst, p.pin});
+    if (it != pin_side_override_.end()) return it->second;
+  }
   const Instance& i = instance(p.inst);
   return i.type->pins()[static_cast<std::size_t>(p.pin)].side;
 }

@@ -115,6 +115,30 @@ class Netlist {
 
   void mark_clock_net(NetId net);
 
+  /// Detach a connected pin from its net, removing it from the net's
+  /// driver or sink records (no-op on an open pin).  With pop_instance /
+  /// pop_net this gives the ECO engine exact structural revert of a trial
+  /// transform.
+  void disconnect_pin(InstId inst, std::string_view pin_name);
+
+  /// Remove the most recently added instance; all its pins must be
+  /// disconnected.  LIFO-only removal keeps InstId/NetId dense, so a trial
+  /// add_net/add_instance is undone by disconnect + pop in reverse order.
+  void pop_instance();
+  /// Remove the most recently added net; it must have no driver, no sinks,
+  /// and no attached port.
+  void pop_net();
+
+  // --- per-instance pin sides ----------------------------------------------
+
+  /// Override one instance pin's wafer side (the ECO dual-sided pin
+  /// re-assignment).  Pin sides normally live on the shared cell master;
+  /// the override reroutes just this instance's pin to the other side's
+  /// copy without disturbing other instances of the same cell type.
+  void set_pin_side(const PinRef& p, stdcell::PinSide side);
+  /// Drop the override, reverting to the cell master's side.
+  void clear_pin_side(const PinRef& p);
+
   // --- access --------------------------------------------------------------
 
   int num_instances() const { return static_cast<int>(instances_.size()); }
@@ -138,7 +162,8 @@ class Netlist {
   const std::vector<Net>& nets() const { return nets_; }
   const std::vector<Port>& ports() const { return ports_; }
 
-  /// The pin's side in the instance's cell master.
+  /// The pin's side: a per-instance override when set (set_pin_side),
+  /// otherwise the instance's cell master.
   stdcell::PinSide pin_side(const PinRef& p) const;
   /// Absolute pin position = instance origin + pin offset.
   geom::Point pin_position(const PinRef& p) const;
@@ -165,6 +190,8 @@ class Netlist {
   std::map<std::string, InstId, std::less<>> inst_by_name_;
   std::map<std::string, NetId, std::less<>> net_by_name_;
   std::map<std::string, PortId, std::less<>> port_by_name_;
+  /// Sparse per-instance pin-side overrides (empty outside ECO flows).
+  std::map<std::pair<InstId, int>, stdcell::PinSide> pin_side_override_;
 };
 
 }  // namespace ffet::netlist

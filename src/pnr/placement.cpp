@@ -52,6 +52,22 @@ struct Segment {
     return best;
   }
 
+  /// Return [x, x+w) (clamped to the segment span) to the free list,
+  /// merging with adjacent free intervals — the inverse of occupy().
+  void free_span(Nm x, Nm w) {
+    Nm a = std::max(x, lo);
+    Nm b = std::min(x + w, hi);
+    if (a >= b) return;
+    std::size_t i = 0;
+    while (i < free_list.size() && free_list[i].hi < a) ++i;
+    while (i < free_list.size() && free_list[i].lo <= b) {
+      a = std::min(a, free_list[i].lo);
+      b = std::max(b, free_list[i].hi);
+      free_list.erase(free_list.begin() + static_cast<long>(i));
+    }
+    free_list.insert(free_list.begin() + static_cast<long>(i), {a, b});
+  }
+
   /// Remove [x, x+w) from the free list.
   void occupy(Nm x, Nm w) {
     for (std::size_t i = 0; i < free_list.size(); ++i) {
@@ -436,6 +452,102 @@ PlacementResult place(Netlist& nl, const Floorplan& fp, const PowerPlan& pp,
   FFET_METRIC_GAUGE_MAX("place.max_displacement_um", res.max_displacement_um);
   FFET_METRIC_ADD("place.violations", res.violations);
   return res;
+}
+
+// --- incremental legalization (ECO support) -----------------------------------
+
+struct IncrementalLegalizer::Impl {
+  const Floorplan* fp = nullptr;
+  std::vector<RowState> rows;
+
+  /// Row whose y matches pos.y exactly (nullptr when the cell sits off-row,
+  /// e.g. a clamped unplaceable one).
+  RowState* row_at(Nm y) {
+    const int guess =
+        std::clamp(static_cast<int>(y / fp->row_height), 0,
+                   static_cast<int>(rows.size()) - 1);
+    if (rows[static_cast<std::size_t>(guess)].y == y) {
+      return &rows[static_cast<std::size_t>(guess)];
+    }
+    for (RowState& rs : rows) {
+      if (rs.y == y) return &rs;
+    }
+    return nullptr;
+  }
+
+  Segment* segment_at(RowState& rs, Nm x, Nm w) {
+    for (Segment& seg : rs.segments) {
+      if (x >= seg.lo && x + w <= seg.hi) return &seg;
+    }
+    return nullptr;
+  }
+};
+
+IncrementalLegalizer::IncrementalLegalizer(const Netlist& nl,
+                                           const Floorplan& fp,
+                                           const PowerPlan& pp)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->fp = &fp;
+  impl_->rows = build_row_segments(fp, pp);
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const netlist::Instance& inst = nl.instance(i);
+    if (inst.fixed || inst.type->physical_only()) continue;
+    occupy(inst.pos, inst.type->width());
+  }
+}
+
+IncrementalLegalizer::~IncrementalLegalizer() = default;
+
+void IncrementalLegalizer::release(geom::Point pos, geom::Nm width) {
+  RowState* rs = impl_->row_at(pos.y);
+  if (!rs) return;
+  if (Segment* seg = impl_->segment_at(*rs, pos.x, width)) {
+    seg->free_span(pos.x, width);
+  }
+}
+
+void IncrementalLegalizer::occupy(geom::Point pos, geom::Nm width) {
+  RowState* rs = impl_->row_at(pos.y);
+  if (!rs) return;
+  if (Segment* seg = impl_->segment_at(*rs, pos.x, width)) {
+    seg->occupy(pos.x, width);
+  }
+}
+
+std::optional<geom::Point> IncrementalLegalizer::claim(geom::Nm width,
+                                                       geom::Point desired) {
+  const Floorplan& fp = *impl_->fp;
+  std::vector<RowState>& rows = impl_->rows;
+  const int want_row = std::clamp(
+      static_cast<int>(desired.y / fp.row_height), 0, fp.num_rows() - 1);
+  Nm best_cost = std::numeric_limits<Nm>::max();
+  RowState* best_row = nullptr;
+  Segment* best_seg = nullptr;
+  Nm best_x = 0;
+  for (int dr = 0; dr < fp.num_rows(); ++dr) {
+    for (int sgn : {1, -1}) {
+      const int r = want_row + sgn * dr;
+      if (sgn < 0 && dr == 0) continue;
+      if (r < 0 || r >= fp.num_rows()) continue;
+      const Nm dy = std::abs(rows[static_cast<std::size_t>(r)].y - desired.y);
+      if (dy >= best_cost) continue;
+      for (Segment& seg : rows[static_cast<std::size_t>(r)].segments) {
+        const auto x = seg.best_position(width, desired.x, fp.site_width);
+        if (!x) continue;
+        const Nm cost = std::abs(*x - desired.x) + dy;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = &rows[static_cast<std::size_t>(r)];
+          best_seg = &seg;
+          best_x = *x;
+        }
+      }
+    }
+    if (best_row && static_cast<Nm>(dr) * fp.row_height > best_cost) break;
+  }
+  if (!best_row) return std::nullopt;
+  best_seg->occupy(best_x, width);
+  return geom::Point{best_x, best_row->y};
 }
 
 }  // namespace ffet::pnr

@@ -21,6 +21,8 @@
 
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "pnr/floorplan.h"
@@ -61,5 +63,39 @@ PlacementResult place(netlist::Netlist& nl, const Floorplan& fp,
 /// Half-perimeter wirelength of all multi-pin nets, in µm (uses current
 /// instance positions and port positions).
 double compute_hpwl_um(const netlist::Netlist& nl);
+
+/// Row-occupancy tracker for post-route ECO transforms: holds the same
+/// free-segment model the Tetris legalizer packs into, seeded from an
+/// already-legal placement, and supports exact do/undo of single-cell
+/// moves.  A resize is release(old) → claim(new width near the old spot);
+/// a buffer insertion is a claim; a revert replays the inverse ops
+/// (release the claimed slot, occupy the released one), restoring the
+/// occupancy map bit-exactly.  All queries are deterministic.
+class IncrementalLegalizer {
+ public:
+  /// Seeds the free-segment model from the floorplan/power plan and marks
+  /// every placed non-fixed instance footprint occupied.  The floorplan
+  /// and power plan must outlive the legalizer.
+  IncrementalLegalizer(const netlist::Netlist& nl, const Floorplan& fp,
+                       const PowerPlan& pp);
+  ~IncrementalLegalizer();
+  IncrementalLegalizer(const IncrementalLegalizer&) = delete;
+  IncrementalLegalizer& operator=(const IncrementalLegalizer&) = delete;
+
+  /// Free the footprint [pos.x, pos.x + width) in the row at pos.y
+  /// (no-op outside any row segment — e.g. a clamped unplaceable cell).
+  void release(geom::Point pos, geom::Nm width);
+  /// Find the legal slot nearest `desired` (same near-to-far row scan and
+  /// cost as the full legalizer), mark it occupied, and return its origin;
+  /// nullopt when no gap fits anywhere.
+  std::optional<geom::Point> claim(geom::Nm width, geom::Point desired);
+  /// Mark an exact span occupied again (the inverse of release; used when
+  /// reverting a trial transform).
+  void occupy(geom::Point pos, geom::Nm width);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace ffet::pnr

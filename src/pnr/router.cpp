@@ -507,34 +507,41 @@ RouteEngine resolve_engine(RouteEngine requested) {
   return RouteEngine::Astar;
 }
 
-}  // namespace
+int sidx(Side s) { return s == Side::Front ? 0 : 1; }
 
-RouteResult route_design(const Netlist& nl, const Floorplan& fp,
-                         const RouteOptions& options) {
-  FFET_TRACE_SCOPE("route.design");
-  const tech::Technology& tech = nl.library().tech();
-  RouteResult res;
-  const RouteEngine engine = resolve_engine(options.engine);
-  res.engine_used = engine;
+/// Everything derived from the floorplan + pin landscape before any net is
+/// routed: the two per-side grids with pin-access demand folded into the
+/// bases, and the per-side pin totals for the access-DRV check.  Shared by
+/// the full route and the incremental reroute so both see identical
+/// resources.
+struct GridSetup {
+  std::array<SideGrid, 2> grids;
+  std::array<long, 2> pin_totals{0, 0};
+  int gcols = 0;
+  int grows = 0;
+  geom::Nm gsize = 0;
+};
 
-  const geom::Nm gsize = options.gcell_tracks * tech.track_pitch();
-  res.gcell_w = gsize;
-  res.gcell_h = gsize;
-  res.gcols = std::max(1, static_cast<int>((fp.core.width() + gsize - 1) / gsize));
-  res.grows = std::max(1, static_cast<int>((fp.core.height() + gsize - 1) / gsize));
+GridSetup build_grid_setup(const Netlist& nl, const Floorplan& fp,
+                           const tech::Technology& tech,
+                           const RouteOptions& options) {
+  GridSetup gs;
+  gs.gsize = options.gcell_tracks * tech.track_pitch();
+  gs.gcols = std::max(
+      1, static_cast<int>((fp.core.width() + gs.gsize - 1) / gs.gsize));
+  gs.grows = std::max(
+      1, static_cast<int>((fp.core.height() + gs.gsize - 1) / gs.gsize));
 
   // --- build the per-side grids ------------------------------------------------
-  std::array<SideGrid, 2> grids;
-  auto side_index = [](Side s) { return s == Side::Front ? 0 : 1; };
   for (Side s : {Side::Front, Side::Back}) {
-    SideGrid& g = grids[static_cast<std::size_t>(side_index(s))];
-    g.cols = res.gcols;
-    g.rows = res.grows;
-    g.gw = gsize;
-    g.gh = gsize;
+    SideGrid& g = gs.grids[static_cast<std::size_t>(sidx(s))];
+    g.cols = gs.gcols;
+    g.rows = gs.grows;
+    g.gw = gs.gsize;
+    g.gh = gs.gsize;
     double hc = 0.0, vc = 0.0;
     for (const tech::MetalLayer* l : tech.routing_layers(s)) {
-      const int tracks = static_cast<int>(gsize / l->pitch);
+      const int tracks = static_cast<int>(gs.gsize / l->pitch);
       if (l->preferred_dir == geom::Dir::Horizontal) {
         hc += tracks;
       } else {
@@ -561,10 +568,9 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   // the side(s) where its landing metal lives.  This is where FFET FM12's
   // "higher pin density ... due to FFET's smaller cell area" (Fig. 8c)
   // penalty enters, and what dual-sided pin redistribution relieves.
-  std::array<long, 2> pin_totals{0, 0};
   auto add_pin_demand = [&](Side s, geom::Point pos) {
-    SideGrid& g = grids[static_cast<std::size_t>(side_index(s))];
-    ++pin_totals[static_cast<std::size_t>(side_index(s))];
+    SideGrid& g = gs.grids[static_cast<std::size_t>(sidx(s))];
+    ++gs.pin_totals[static_cast<std::size_t>(sidx(s))];
     if (g.h_cap <= 0.0 && g.v_cap <= 0.0) return;  // no layers: no wiring
     const int n = g.clamp_gcell(pos);
     const int c = g.col_of(n), r = g.row_of(n);
@@ -574,13 +580,16 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
     if (r > 0) g.v_base[static_cast<std::size_t>(g.v_edge(c, r - 1))] += d;
     if (r + 1 < g.rows) g.v_base[static_cast<std::size_t>(g.v_edge(c, r))] += d;
   };
-  for (const netlist::Instance& inst : nl.instances()) {
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const netlist::Instance& inst = nl.instance(i);
     if (inst.type->physical_only()) continue;
     for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
       if (inst.pin_nets[p] == netlist::kNoNet) continue;
       const auto& pin = inst.type->pins()[p];
       const geom::Point pos = inst.pos + pin.offset;
-      switch (pin.side) {
+      // Per-instance side (pin_side consults the ECO overrides; identical
+      // to the master's side when none are set).
+      switch (nl.pin_side({i, static_cast<int>(p)})) {
         case PinSide::Front: add_pin_demand(Side::Front, pos); break;
         case PinSide::Back: add_pin_demand(Side::Back, pos); break;
         case PinSide::Both:
@@ -592,9 +601,14 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   }
   // Bases are final: derive hard capacities, the edge-cost cache, and the
   // incremental overflow totals.
-  for (SideGrid& g : grids) g.finalize(options.dr_slack);
+  for (SideGrid& g : gs.grids) g.finalize(options.dr_slack);
+  return gs;
+}
 
-  // --- Algorithm 1: decompose nets into per-side subnets ------------------------
+// --- Algorithm 1: decompose nets into per-side subnets ------------------------
+std::vector<SubNet> decompose_subnets(const Netlist& nl,
+                                      const tech::Technology& tech,
+                                      GridSetup& gs) {
   const bool has_back = tech.num_routing_layers(Side::Back) > 0;
   std::vector<SubNet> subnets;
   for (int n = 0; n < nl.num_nets(); ++n) {
@@ -619,7 +633,7 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
     for (const PinRef& sref : net.sinks) {
       const PinSide ps = nl.pin_side(sref);
       const Side s = ps == PinSide::Back ? Side::Back : Side::Front;
-      side_sinks[static_cast<std::size_t>(side_index(s))].push_back(
+      side_sinks[static_cast<std::size_t>(sidx(s))].push_back(
           nl.pin_position(sref));
     }
     if (net.port >= 0 && !nl.port(net.port).is_input &&
@@ -628,7 +642,7 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
     }
 
     for (Side s : {Side::Front, Side::Back}) {
-      const auto& sinks = side_sinks[static_cast<std::size_t>(side_index(s))];
+      const auto& sinks = side_sinks[static_cast<std::size_t>(sidx(s))];
       if (sinks.empty()) continue;
       if (s == Side::Back) {
         if (!has_back) {
@@ -643,7 +657,7 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
               " has backside sinks but its source pin is frontside-only");
         }
       }
-      SideGrid& g = grids[static_cast<std::size_t>(side_index(s))];
+      SideGrid& g = gs.grids[static_cast<std::size_t>(sidx(s))];
       SubNet sn;
       sn.net = n;
       sn.side = s;
@@ -657,243 +671,88 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
       subnets.push_back(std::move(sn));
     }
   }
+  return subnets;
+}
 
-  // Route order: short nets first (they have the least flexibility).
-  std::vector<std::size_t> order(subnets.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (subnets[a].hpwl != subnets[b].hpwl) {
-      return subnets[a].hpwl < subnets[b].hpwl;
-    }
-    return subnets[a].net < subnets[b].net;
+/// Route one subnet on its side's grid and commit the usage (the shared
+/// inner kernel of route_design and reroute_nets).
+void route_one_subnet(RouteEngine engine, const RouteOptions& options,
+                      std::vector<SubNet>& subnets,
+                      std::array<SideGrid, 2>& grids,
+                      std::array<PathRouter, 2>& routers,
+                      std::vector<std::vector<GEdge>>& route_edges,
+                      std::size_t si) {
+  SubNet& sn = subnets[si];
+  SideGrid& g = grids[static_cast<std::size_t>(sidx(sn.side))];
+  PathRouter& pr = routers[static_cast<std::size_t>(sidx(sn.side))];
+  std::vector<GEdge>& edges = route_edges[si];
+  edges.clear();
+  pr.tree_begin();
+  pr.tree_add(sn.source);
+  std::vector<int> tree = {sn.source};
+  // Connect sinks nearest-first.
+  std::vector<int> todo = sn.sinks;
+  std::sort(todo.begin(), todo.end(), [&](int a, int b) {
+    const auto da = std::abs(g.col_of(a) - g.col_of(sn.source)) +
+                    std::abs(g.row_of(a) - g.row_of(sn.source));
+    const auto db = std::abs(g.col_of(b) - g.col_of(sn.source)) +
+                    std::abs(g.row_of(b) - g.row_of(sn.source));
+    if (da != db) return da < db;
+    return a < b;
   });
-
-  // Per-side subsequences of `order`.  A subnet only ever touches its own
-  // side's grid and router, so the two sides can route concurrently; each
-  // side preserving its in-order subsequence of `order` makes any
-  // interleaving produce the same grids as the serial pass.
-  const bool concurrent_sides = options.threads > 1;
-  std::array<std::vector<std::size_t>, 2> side_order;
-  for (std::size_t si : order) {
-    side_order[static_cast<std::size_t>(side_index(subnets[si].side))]
-        .push_back(si);
+  for (int sink : todo) {
+    if (pr.in_tree(sink)) continue;
+    const std::vector<int> path =
+        engine == RouteEngine::Legacy
+            ? pr.connect_legacy(tree, sink)
+            : pr.connect_astar(tree, sink, options.window_margin);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      edges.push_back({path[i], path[i + 1]});
+    }
+    // Grow the tree by the *new* nodes only: the joint node is already a
+    // member, and a path may revisit gcells the tree owns — appending
+    // those again used to inflate the search seed set quadratically on
+    // high-fanout nets.
+    for (int node : path) {
+      if (!pr.in_tree(node)) {
+        pr.tree_add(node);
+        tree.push_back(node);
+      }
+    }
   }
+  commit(g, edges, +1.0);
+}
 
-  // --- route with rip-up-and-reroute --------------------------------------------
-  std::array<PathRouter, 2> routers{PathRouter(grids[0]), PathRouter(grids[1])};
-  std::vector<std::vector<GEdge>> route_edges(subnets.size());
-
-  auto route_one = [&](std::size_t si) {
-    SubNet& sn = subnets[si];
-    SideGrid& g = grids[static_cast<std::size_t>(side_index(sn.side))];
-    PathRouter& pr = routers[static_cast<std::size_t>(side_index(sn.side))];
-    std::vector<GEdge>& edges = route_edges[si];
-    edges.clear();
-    pr.tree_begin();
-    pr.tree_add(sn.source);
-    std::vector<int> tree = {sn.source};
-    // Connect sinks nearest-first.
-    std::vector<int> todo = sn.sinks;
-    std::sort(todo.begin(), todo.end(), [&](int a, int b) {
-      const auto da = std::abs(g.col_of(a) - g.col_of(sn.source)) +
-                      std::abs(g.row_of(a) - g.row_of(sn.source));
-      const auto db = std::abs(g.col_of(b) - g.col_of(sn.source)) +
-                      std::abs(g.row_of(b) - g.row_of(sn.source));
-      if (da != db) return da < db;
-      return a < b;
-    });
-    for (int sink : todo) {
-      if (pr.in_tree(sink)) continue;
-      const std::vector<int> path =
-          engine == RouteEngine::Legacy
-              ? pr.connect_legacy(tree, sink)
-              : pr.connect_astar(tree, sink, options.window_margin);
-      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        edges.push_back({path[i], path[i + 1]});
-      }
-      // Grow the tree by the *new* nodes only: the joint node is already a
-      // member, and a path may revisit gcells the tree owns — appending
-      // those again used to inflate the search seed set quadratically on
-      // high-fanout nets.
-      for (int node : path) {
-        if (!pr.in_tree(node)) {
-          pr.tree_add(node);
-          tree.push_back(node);
-        }
-      }
-    }
-    commit(g, edges, +1.0);
-  };
-
-  // The two sides touch disjoint grids and routers, so iterating each
-  // side's in-order subsequence of `order` produces exactly the grids the
-  // original interleaved serial loop did — and gives every side a
-  // traceable span in both serial and concurrent execution.
-  auto route_side_initial = [&](int s) {
-    FFET_TRACE_SCOPE("route.initial.", s == 0 ? "front" : "back");
-    for (std::size_t si : side_order[static_cast<std::size_t>(s)]) {
-      route_one(si);
-    }
-  };
-  if (concurrent_sides) {
-    runtime::parallel_invoke(options.threads, [&] { route_side_initial(0); },
-                             [&] { route_side_initial(1); });
-  } else {
-    route_side_initial(0);
-    route_side_initial(1);
-  }
-
-  // Negotiated rip-up-and-reroute: decay history, bump it on overflowed
-  // edges, reroute the nets crossing them.  The best solution seen (by hard
-  // overflow, then total overflow) is kept — negotiation is not monotone.
-  auto total_hard = [&] {
-    return grids[0].hard_overflow() + grids[1].hard_overflow();
-  };
-  std::vector<std::vector<GEdge>> best_routes = route_edges;
-  double best_hard = total_hard();
-  double best_soft_front = grids[0].overflow();
-  double best_soft_back = grids[1].overflow();
-  double best_soft = best_soft_front + best_soft_back;
-  int stale_passes = 0;
-
-  // Convergence record + optional FFET_VERBOSE one-line-per-side summary
-  // (this replaces ad-hoc printf debugging of negotiation stalls).  The
-  // overflow values are passed in, not recomputed — and since commit()
-  // maintains them incrementally, the pass barrier never rescans a grid.
-  // Search-effort counters are read as deltas of the per-side routers.
-  std::array<long, 2> settled_mark{0, 0};
-  std::array<long, 2> expansions_mark{0, 0};
-  auto record_pass = [&](int pass, std::size_t ripped_front,
-                         std::size_t ripped_back, double soft_front,
-                         double soft_back, double hard) {
-    RoutePassStat ps;
-    ps.pass = pass;
-    ps.ripped_front = static_cast<int>(ripped_front);
-    ps.ripped_back = static_cast<int>(ripped_back);
-    ps.overflow_front = soft_front;
-    ps.overflow_back = soft_back;
-    ps.hard_overflow = hard;
-    ps.settled_front = routers[0].settled - settled_mark[0];
-    ps.settled_back = routers[1].settled - settled_mark[1];
-    ps.window_expansions_front =
-        static_cast<int>(routers[0].expansions - expansions_mark[0]);
-    ps.window_expansions_back =
-        static_cast<int>(routers[1].expansions - expansions_mark[1]);
-    settled_mark[0] = routers[0].settled;
-    settled_mark[1] = routers[1].settled;
-    expansions_mark[0] = routers[0].expansions;
-    expansions_mark[1] = routers[1].expansions;
-    if (obs::verbose()) {
-      for (int s = 0; s < 2; ++s) {
-        std::printf(
-            "  [route] pass=%d side=%s %s=%d overflow_total=%.1f "
-            "hard=%.1f settled=%ld expansions=%d\n",
-            pass, s == 0 ? "front" : "back",
-            pass == 0 ? "routed" : "ripups",
-            s == 0 ? ps.ripped_front : ps.ripped_back,
-            s == 0 ? ps.overflow_front : ps.overflow_back, ps.hard_overflow,
-            s == 0 ? ps.settled_front : ps.settled_back,
-            s == 0 ? ps.window_expansions_front : ps.window_expansions_back);
-      }
-    }
-    res.pass_stats.push_back(ps);
-  };
-  record_pass(0, side_order[0].size(), side_order[1].size(),
-              best_soft_front, best_soft_back, best_hard);
-  auto decay_history = [](SideGrid& g) {
-    for (std::size_t i = 0; i < g.h_use.size(); ++i) {
-      g.h_hist[i] *= kHistoryDecay;
-      const double o = g.h_base[i] + g.h_use[i] - g.h_cap;
-      if (o > 0) g.h_hist[i] += kHistoryGain * o / g.h_cap;
-    }
-    for (std::size_t i = 0; i < g.v_use.size(); ++i) {
-      g.v_hist[i] *= kHistoryDecay;
-      const double o = g.v_base[i] + g.v_use[i] - g.v_cap;
-      if (o > 0) g.v_hist[i] += kHistoryGain * o / g.v_cap;
-    }
-  };
-  auto crosses_overflow = [&](std::size_t si) {
-    const SideGrid& g =
-        grids[static_cast<std::size_t>(side_index(subnets[si].side))];
-    for (const GEdge& e : route_edges[si]) {
-      const int a = std::min(e.a, e.b), b = std::max(e.a, e.b);
-      const int c = g.col_of(a), r = g.row_of(a);
-      if (b == a + 1) {
-        const auto i = static_cast<std::size_t>(g.h_edge(c, r));
-        if (g.h_base[i] + g.h_use[i] > g.h_cap) return true;
-      } else {
-        const auto i = static_cast<std::size_t>(g.v_edge(c, r));
-        if (g.v_base[i] + g.v_use[i] > g.v_cap) return true;
-      }
-    }
-    return false;
-  };
-  for (int pass = 1;
-       pass < options.rrr_passes && best_hard > 0.0 && stale_passes < 6;
-       ++pass) {
-    // Each side negotiates its pass independently: decay its history,
-    // rebuild its edge-cost cache, find its overflowing subnets (in this
-    // side's `order` subsequence), rip them all, reroute them all —
-    // restricted to state the other side never touches, so serial
-    // per-side execution and concurrent execution produce identical
-    // grids.  The pass barrier below (overflow totals, best tracking,
-    // convergence record) is serial.
-    std::array<std::size_t, 2> ripped_counts{0, 0};
-    auto pass_side = [&](int s) {
-      FFET_TRACE_SCOPE("route.pass.", pass, s == 0 ? ".front" : ".back");
-      const auto sz = static_cast<std::size_t>(s);
-      decay_history(grids[sz]);
-      grids[sz].rebuild_costs();
-      std::vector<std::size_t> ripped;
-      for (std::size_t si : side_order[sz]) {
-        if (crosses_overflow(si)) ripped.push_back(si);
-      }
-      for (std::size_t si : ripped) {
-        commit(grids[sz], route_edges[si], -1.0);
-      }
-      for (std::size_t si : ripped) route_one(si);
-      ripped_counts[sz] = ripped.size();
-    };
-    if (concurrent_sides) {
-      runtime::parallel_invoke(options.threads, [&] { pass_side(0); },
-                               [&] { pass_side(1); });
+bool subnet_crosses_overflow(const std::vector<SubNet>& subnets,
+                             const std::array<SideGrid, 2>& grids,
+                             const std::vector<std::vector<GEdge>>& route_edges,
+                             std::size_t si) {
+  const SideGrid& g =
+      grids[static_cast<std::size_t>(sidx(subnets[si].side))];
+  for (const GEdge& e : route_edges[si]) {
+    const int a = std::min(e.a, e.b), b = std::max(e.a, e.b);
+    const int c = g.col_of(a), r = g.row_of(a);
+    if (b == a + 1) {
+      const auto i = static_cast<std::size_t>(g.h_edge(c, r));
+      if (g.h_base[i] + g.h_use[i] > g.h_cap) return true;
     } else {
-      pass_side(0);
-      pass_side(1);
-    }
-    if (ripped_counts[0] + ripped_counts[1] == 0) break;
-    res.rrr_passes = pass;
-    res.ripups_total +=
-        static_cast<long>(ripped_counts[0] + ripped_counts[1]);
-    FFET_METRIC_OBSERVE("route.ripups_per_pass",
-                        ripped_counts[0] + ripped_counts[1]);
-
-    const double hard = total_hard();
-    const double soft_front = grids[0].overflow();
-    const double soft_back = grids[1].overflow();
-    const double soft = soft_front + soft_back;
-    record_pass(pass, ripped_counts[0], ripped_counts[1], soft_front,
-                soft_back, hard);
-    if (hard < best_hard || (hard == best_hard && soft < best_soft)) {
-      best_hard = hard;
-      best_soft = soft;
-      best_routes = route_edges;
-      stale_passes = 0;
-    } else {
-      ++stale_passes;
+      const auto i = static_cast<std::size_t>(g.v_edge(c, r));
+      if (g.v_base[i] + g.v_use[i] > g.v_cap) return true;
     }
   }
-  // Restore the best solution (usage arrays included, for diagnostics).
-  if (best_routes != route_edges) {
-    for (SideGrid& g : grids) g.clear_use();
-    route_edges = std::move(best_routes);
-    for (std::size_t si = 0; si < subnets.size(); ++si) {
-      commit(grids[static_cast<std::size_t>(side_index(subnets[si].side))],
-             route_edges[si], +1.0);
-    }
-  }
+  return false;
+}
 
-  // --- results -------------------------------------------------------------------
+// --- results: wirelength, layer assignment, overflow + DRV accounting ---------
+void finalize_route_result(RouteResult& res, const Floorplan& fp,
+                           const tech::Technology& tech,
+                           const RouteOptions& options,
+                           const std::vector<SubNet>& subnets,
+                           const std::vector<std::vector<GEdge>>& route_edges,
+                           const std::array<SideGrid, 2>& grids,
+                           const std::array<PathRouter, 2>& routers,
+                           const std::array<long, 2>& pin_totals,
+                           geom::Nm gsize) {
   const double gsize_um = geom::to_um(gsize);
   // Layer assignment by wirelength quantile: longer nets ride higher layers.
   std::vector<std::size_t> by_len(subnets.size());
@@ -997,6 +856,400 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   FFET_METRIC_ADD("route.window_expansions", res.window_expansions);
   FFET_METRIC_OBSERVE("route.rrr_passes", res.rrr_passes);
   FFET_METRIC_OBSERVE("route.overflow", overflow);
+}
+
+}  // namespace
+
+RouteResult route_design(const Netlist& nl, const Floorplan& fp,
+                         const RouteOptions& options) {
+  FFET_TRACE_SCOPE("route.design");
+  const tech::Technology& tech = nl.library().tech();
+  RouteResult res;
+  const RouteEngine engine = resolve_engine(options.engine);
+  res.engine_used = engine;
+
+  GridSetup gs = build_grid_setup(nl, fp, tech, options);
+  const geom::Nm gsize = gs.gsize;
+  res.gcell_w = gsize;
+  res.gcell_h = gsize;
+  res.gcols = gs.gcols;
+  res.grows = gs.grows;
+  std::array<SideGrid, 2>& grids = gs.grids;
+  auto side_index = [](Side s) { return sidx(s); };
+
+  std::vector<SubNet> subnets = decompose_subnets(nl, tech, gs);
+
+  // Route order: short nets first (they have the least flexibility).
+  std::vector<std::size_t> order(subnets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (subnets[a].hpwl != subnets[b].hpwl) {
+      return subnets[a].hpwl < subnets[b].hpwl;
+    }
+    return subnets[a].net < subnets[b].net;
+  });
+
+  // Per-side subsequences of `order`.  A subnet only ever touches its own
+  // side's grid and router, so the two sides can route concurrently; each
+  // side preserving its in-order subsequence of `order` makes any
+  // interleaving produce the same grids as the serial pass.
+  const bool concurrent_sides = options.threads > 1;
+  std::array<std::vector<std::size_t>, 2> side_order;
+  for (std::size_t si : order) {
+    side_order[static_cast<std::size_t>(side_index(subnets[si].side))]
+        .push_back(si);
+  }
+
+  // --- route with rip-up-and-reroute --------------------------------------------
+  std::array<PathRouter, 2> routers{PathRouter(grids[0]), PathRouter(grids[1])};
+  std::vector<std::vector<GEdge>> route_edges(subnets.size());
+
+  auto route_one = [&](std::size_t si) {
+    route_one_subnet(engine, options, subnets, grids, routers, route_edges,
+                     si);
+  };
+
+  // The two sides touch disjoint grids and routers, so iterating each
+  // side's in-order subsequence of `order` produces exactly the grids the
+  // original interleaved serial loop did — and gives every side a
+  // traceable span in both serial and concurrent execution.
+  auto route_side_initial = [&](int s) {
+    FFET_TRACE_SCOPE("route.initial.", s == 0 ? "front" : "back");
+    for (std::size_t si : side_order[static_cast<std::size_t>(s)]) {
+      route_one(si);
+    }
+  };
+  if (concurrent_sides) {
+    runtime::parallel_invoke(options.threads, [&] { route_side_initial(0); },
+                             [&] { route_side_initial(1); });
+  } else {
+    route_side_initial(0);
+    route_side_initial(1);
+  }
+
+  // Negotiated rip-up-and-reroute: decay history, bump it on overflowed
+  // edges, reroute the nets crossing them.  The best solution seen (by hard
+  // overflow, then total overflow) is kept — negotiation is not monotone.
+  auto total_hard = [&] {
+    return grids[0].hard_overflow() + grids[1].hard_overflow();
+  };
+  std::vector<std::vector<GEdge>> best_routes = route_edges;
+  double best_hard = total_hard();
+  double best_soft_front = grids[0].overflow();
+  double best_soft_back = grids[1].overflow();
+  double best_soft = best_soft_front + best_soft_back;
+  int stale_passes = 0;
+
+  // Convergence record + optional FFET_VERBOSE one-line-per-side summary
+  // (this replaces ad-hoc printf debugging of negotiation stalls).  The
+  // overflow values are passed in, not recomputed — and since commit()
+  // maintains them incrementally, the pass barrier never rescans a grid.
+  // Search-effort counters are read as deltas of the per-side routers.
+  std::array<long, 2> settled_mark{0, 0};
+  std::array<long, 2> expansions_mark{0, 0};
+  auto record_pass = [&](int pass, std::size_t ripped_front,
+                         std::size_t ripped_back, double soft_front,
+                         double soft_back, double hard) {
+    RoutePassStat ps;
+    ps.pass = pass;
+    ps.ripped_front = static_cast<int>(ripped_front);
+    ps.ripped_back = static_cast<int>(ripped_back);
+    ps.overflow_front = soft_front;
+    ps.overflow_back = soft_back;
+    ps.hard_overflow = hard;
+    ps.settled_front = routers[0].settled - settled_mark[0];
+    ps.settled_back = routers[1].settled - settled_mark[1];
+    ps.window_expansions_front =
+        static_cast<int>(routers[0].expansions - expansions_mark[0]);
+    ps.window_expansions_back =
+        static_cast<int>(routers[1].expansions - expansions_mark[1]);
+    settled_mark[0] = routers[0].settled;
+    settled_mark[1] = routers[1].settled;
+    expansions_mark[0] = routers[0].expansions;
+    expansions_mark[1] = routers[1].expansions;
+    if (obs::verbose()) {
+      for (int s = 0; s < 2; ++s) {
+        std::printf(
+            "  [route] pass=%d side=%s %s=%d overflow_total=%.1f "
+            "hard=%.1f settled=%ld expansions=%d\n",
+            pass, s == 0 ? "front" : "back",
+            pass == 0 ? "routed" : "ripups",
+            s == 0 ? ps.ripped_front : ps.ripped_back,
+            s == 0 ? ps.overflow_front : ps.overflow_back, ps.hard_overflow,
+            s == 0 ? ps.settled_front : ps.settled_back,
+            s == 0 ? ps.window_expansions_front : ps.window_expansions_back);
+      }
+    }
+    res.pass_stats.push_back(ps);
+  };
+  record_pass(0, side_order[0].size(), side_order[1].size(),
+              best_soft_front, best_soft_back, best_hard);
+  auto decay_history = [](SideGrid& g) {
+    for (std::size_t i = 0; i < g.h_use.size(); ++i) {
+      g.h_hist[i] *= kHistoryDecay;
+      const double o = g.h_base[i] + g.h_use[i] - g.h_cap;
+      if (o > 0) g.h_hist[i] += kHistoryGain * o / g.h_cap;
+    }
+    for (std::size_t i = 0; i < g.v_use.size(); ++i) {
+      g.v_hist[i] *= kHistoryDecay;
+      const double o = g.v_base[i] + g.v_use[i] - g.v_cap;
+      if (o > 0) g.v_hist[i] += kHistoryGain * o / g.v_cap;
+    }
+  };
+  auto crosses_overflow = [&](std::size_t si) {
+    return subnet_crosses_overflow(subnets, grids, route_edges, si);
+  };
+  for (int pass = 1;
+       pass < options.rrr_passes && best_hard > 0.0 && stale_passes < 6;
+       ++pass) {
+    // Each side negotiates its pass independently: decay its history,
+    // rebuild its edge-cost cache, find its overflowing subnets (in this
+    // side's `order` subsequence), rip them all, reroute them all —
+    // restricted to state the other side never touches, so serial
+    // per-side execution and concurrent execution produce identical
+    // grids.  The pass barrier below (overflow totals, best tracking,
+    // convergence record) is serial.
+    std::array<std::size_t, 2> ripped_counts{0, 0};
+    auto pass_side = [&](int s) {
+      FFET_TRACE_SCOPE("route.pass.", pass, s == 0 ? ".front" : ".back");
+      const auto sz = static_cast<std::size_t>(s);
+      decay_history(grids[sz]);
+      grids[sz].rebuild_costs();
+      std::vector<std::size_t> ripped;
+      for (std::size_t si : side_order[sz]) {
+        if (crosses_overflow(si)) ripped.push_back(si);
+      }
+      for (std::size_t si : ripped) {
+        commit(grids[sz], route_edges[si], -1.0);
+      }
+      for (std::size_t si : ripped) route_one(si);
+      ripped_counts[sz] = ripped.size();
+    };
+    if (concurrent_sides) {
+      runtime::parallel_invoke(options.threads, [&] { pass_side(0); },
+                               [&] { pass_side(1); });
+    } else {
+      pass_side(0);
+      pass_side(1);
+    }
+    if (ripped_counts[0] + ripped_counts[1] == 0) break;
+    res.rrr_passes = pass;
+    res.ripups_total +=
+        static_cast<long>(ripped_counts[0] + ripped_counts[1]);
+    FFET_METRIC_OBSERVE("route.ripups_per_pass",
+                        ripped_counts[0] + ripped_counts[1]);
+
+    const double hard = total_hard();
+    const double soft_front = grids[0].overflow();
+    const double soft_back = grids[1].overflow();
+    const double soft = soft_front + soft_back;
+    record_pass(pass, ripped_counts[0], ripped_counts[1], soft_front,
+                soft_back, hard);
+    if (hard < best_hard || (hard == best_hard && soft < best_soft)) {
+      best_hard = hard;
+      best_soft = soft;
+      best_routes = route_edges;
+      stale_passes = 0;
+    } else {
+      ++stale_passes;
+    }
+  }
+  // Restore the best solution (usage arrays included, for diagnostics).
+  if (best_routes != route_edges) {
+    for (SideGrid& g : grids) g.clear_use();
+    route_edges = std::move(best_routes);
+    for (std::size_t si = 0; si < subnets.size(); ++si) {
+      commit(grids[static_cast<std::size_t>(side_index(subnets[si].side))],
+             route_edges[si], +1.0);
+    }
+  }
+
+  finalize_route_result(res, fp, tech, options, subnets, route_edges, grids,
+                        routers, gs.pin_totals, gsize);
+  return res;
+}
+
+RouteResult reroute_nets(const Netlist& nl, const Floorplan& fp,
+                         const RouteResult& prev,
+                         const std::vector<netlist::NetId>& dirty_nets,
+                         const RouteOptions& options) {
+  FFET_TRACE_SCOPE("route.reroute");
+  const tech::Technology& tech = nl.library().tech();
+  RouteResult res;
+  const RouteEngine engine = resolve_engine(options.engine);
+  res.engine_used = engine;
+
+  // Rebuild grids and pin demand from the *current* netlist (moved/resized
+  // cells and flipped pin sides shift the demand landscape), then decompose
+  // every net; untouched subnets take their committed edges from `prev`.
+  GridSetup gs = build_grid_setup(nl, fp, tech, options);
+  res.gcell_w = gs.gsize;
+  res.gcell_h = gs.gsize;
+  res.gcols = gs.gcols;
+  res.grows = gs.grows;
+  std::array<SideGrid, 2>& grids = gs.grids;
+  std::vector<SubNet> subnets = decompose_subnets(nl, tech, gs);
+
+  std::vector<char> is_dirty(static_cast<std::size_t>(nl.num_nets()), 0);
+  for (const netlist::NetId n : dirty_nets) {
+    if (n >= 0 && n < nl.num_nets()) is_dirty[static_cast<std::size_t>(n)] = 1;
+  }
+  std::vector<std::array<const NetRoute*, 2>> prev_of(
+      static_cast<std::size_t>(nl.num_nets()), {nullptr, nullptr});
+  for (const NetRoute& r : prev.routes) {
+    if (r.net >= 0 && r.net < nl.num_nets()) {
+      prev_of[static_cast<std::size_t>(r.net)]
+             [static_cast<std::size_t>(sidx(r.side))] = &r;
+    }
+  }
+
+  std::vector<std::vector<GEdge>> route_edges(subnets.size());
+  std::vector<char> needs_route(subnets.size(), 1);
+  std::vector<const NetRoute*> carried(subnets.size(), nullptr);
+  for (std::size_t si = 0; si < subnets.size(); ++si) {
+    const SubNet& sn = subnets[si];
+    if (is_dirty[static_cast<std::size_t>(sn.net)]) continue;
+    const NetRoute* p = prev_of[static_cast<std::size_t>(sn.net)]
+                               [static_cast<std::size_t>(sidx(sn.side))];
+    // Reuse only when the decomposition is unchanged; any mismatch (a
+    // terminal moved without the net being listed dirty) falls back to a
+    // fresh route of that subnet.
+    if (p && p->source_gcell == sn.source && p->sink_gcells == sn.sinks) {
+      route_edges[si] = p->edges;
+      needs_route[si] = 0;
+      carried[si] = p;
+    }
+  }
+  for (std::size_t si = 0; si < subnets.size(); ++si) {
+    if (!needs_route[si]) {
+      commit(grids[static_cast<std::size_t>(sidx(subnets[si].side))],
+             route_edges[si], +1.0);
+    }
+  }
+  // The carried usage shifts edge costs: refresh the cost caches before
+  // routing the dirty subnets against them.
+  for (SideGrid& g : grids) g.rebuild_costs();
+
+  // Dirty subnets in the same global short-first order as a full route.
+  std::vector<std::size_t> order;
+  for (std::size_t si = 0; si < subnets.size(); ++si) {
+    if (needs_route[si]) order.push_back(si);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (subnets[a].hpwl != subnets[b].hpwl) {
+      return subnets[a].hpwl < subnets[b].hpwl;
+    }
+    return subnets[a].net < subnets[b].net;
+  });
+  std::array<std::vector<std::size_t>, 2> side_order;
+  for (std::size_t si : order) {
+    side_order[static_cast<std::size_t>(sidx(subnets[si].side))].push_back(si);
+  }
+
+  std::array<PathRouter, 2> routers{PathRouter(grids[0]),
+                                    PathRouter(grids[1])};
+  const bool concurrent_sides = options.threads > 1;
+  auto route_side_initial = [&](int s) {
+    for (std::size_t si : side_order[static_cast<std::size_t>(s)]) {
+      route_one_subnet(engine, options, subnets, grids, routers, route_edges,
+                       si);
+    }
+  };
+  if (concurrent_sides) {
+    runtime::parallel_invoke(options.threads, [&] { route_side_initial(0); },
+                             [&] { route_side_initial(1); });
+  } else {
+    route_side_initial(0);
+    route_side_initial(1);
+  }
+
+  // Bounded negotiation over the dirty subnets only — the untouched nets'
+  // routes are pinned, exactly the "rip-up-and-reroute of only the
+  // modified nets" contract the ECO loop needs.
+  auto total_hard = [&] {
+    return grids[0].hard_overflow() + grids[1].hard_overflow();
+  };
+  std::vector<std::vector<GEdge>> best_routes = route_edges;
+  double best_hard = total_hard();
+  double best_soft = grids[0].overflow() + grids[1].overflow();
+  int stale_passes = 0;
+  for (int pass = 1;
+       pass < options.rrr_passes && best_hard > 0.0 && stale_passes < 6;
+       ++pass) {
+    std::array<std::size_t, 2> ripped_counts{0, 0};
+    auto pass_side = [&](int s) {
+      const auto sz = static_cast<std::size_t>(s);
+      SideGrid& g = grids[sz];
+      for (std::size_t i = 0; i < g.h_use.size(); ++i) {
+        g.h_hist[i] *= kHistoryDecay;
+        const double o = g.h_base[i] + g.h_use[i] - g.h_cap;
+        if (o > 0) g.h_hist[i] += kHistoryGain * o / g.h_cap;
+      }
+      for (std::size_t i = 0; i < g.v_use.size(); ++i) {
+        g.v_hist[i] *= kHistoryDecay;
+        const double o = g.v_base[i] + g.v_use[i] - g.v_cap;
+        if (o > 0) g.v_hist[i] += kHistoryGain * o / g.v_cap;
+      }
+      g.rebuild_costs();
+      std::vector<std::size_t> ripped;
+      for (std::size_t si : side_order[sz]) {
+        if (subnet_crosses_overflow(subnets, grids, route_edges, si)) {
+          ripped.push_back(si);
+        }
+      }
+      for (std::size_t si : ripped) {
+        commit(g, route_edges[si], -1.0);
+      }
+      for (std::size_t si : ripped) {
+        route_one_subnet(engine, options, subnets, grids, routers,
+                         route_edges, si);
+      }
+      ripped_counts[sz] = ripped.size();
+    };
+    if (concurrent_sides) {
+      runtime::parallel_invoke(options.threads, [&] { pass_side(0); },
+                               [&] { pass_side(1); });
+    } else {
+      pass_side(0);
+      pass_side(1);
+    }
+    if (ripped_counts[0] + ripped_counts[1] == 0) break;
+    res.rrr_passes = pass;
+    res.ripups_total += static_cast<long>(ripped_counts[0] + ripped_counts[1]);
+    const double hard = total_hard();
+    const double soft = grids[0].overflow() + grids[1].overflow();
+    if (hard < best_hard || (hard == best_hard && soft < best_soft)) {
+      best_hard = hard;
+      best_soft = soft;
+      best_routes = route_edges;
+      stale_passes = 0;
+    } else {
+      ++stale_passes;
+    }
+  }
+  if (best_routes != route_edges) {
+    for (SideGrid& g : grids) g.clear_use();
+    route_edges = std::move(best_routes);
+    for (std::size_t si = 0; si < subnets.size(); ++si) {
+      commit(grids[static_cast<std::size_t>(sidx(subnets[si].side))],
+             route_edges[si], +1.0);
+    }
+  }
+
+  finalize_route_result(res, fp, tech, options, subnets, route_edges, grids,
+                        routers, gs.pin_totals, gs.gsize);
+  // Untouched subnets keep their previous layer assignment — their DEF
+  // wires (and hence their extracted parasitics) must not drift when some
+  // other net was modified.  Dirty subnets take the fresh quantile rank.
+  for (std::size_t si = 0; si < subnets.size(); ++si) {
+    if (carried[si]) {
+      res.routes[si].h_layer_index = carried[si]->h_layer_index;
+      res.routes[si].v_layer_index = carried[si]->v_layer_index;
+    }
+  }
+  FFET_METRIC_ADD("route.reroutes", 1);
+  FFET_METRIC_OBSERVE("route.reroute_dirty_subnets",
+                      static_cast<double>(order.size()));
   return res;
 }
 

@@ -185,4 +185,17 @@ struct RouteResult {
 RouteResult route_design(const netlist::Netlist& nl, const Floorplan& fp,
                          const RouteOptions& options = {});
 
+/// Incremental rip-up-and-reroute: re-route only the nets in `dirty_nets`
+/// against the committed (pinned) routes of every other net from `prev`,
+/// rebuilding grids and pin demand from the current netlist state.  A
+/// clean net whose terminals nevertheless moved gcells (e.g. its driver
+/// was displaced by legalization without the caller listing it dirty) is
+/// conservatively re-routed too.  Untouched nets keep their previous layer
+/// assignment, so their DEF wires — and extracted parasitics — are
+/// bit-identical to `prev`.  The ECO engine's routing primitive.
+RouteResult reroute_nets(const netlist::Netlist& nl, const Floorplan& fp,
+                         const RouteResult& prev,
+                         const std::vector<netlist::NetId>& dirty_nets,
+                         const RouteOptions& options = {});
+
 }  // namespace ffet::pnr

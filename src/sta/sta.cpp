@@ -1,8 +1,11 @@
 #include "sta/sta.h"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 #include <limits>
+#include <queue>
+#include <utility>
 
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
@@ -33,6 +36,26 @@ namespace {
 /// Sentinel for "pin appears in no sink list"; lookups map it to 0, exactly
 /// like the original linear search's not-found fallback.
 constexpr std::size_t kNoSinkIndex = static_cast<std::size_t>(-1);
+
+/// Topological position of instances outside the timing graph
+/// (physical-only cells); they sort last in the incremental worklist and
+/// propagate as no-ops.
+constexpr int kNoTopoPos = INT_MAX;
+
+double clock_latency_of(
+    const std::unordered_map<InstId, double>* clock_latency_ps, InstId id) {
+  if (!clock_latency_ps) return 0.0;
+  const auto it = clock_latency_ps->find(id);
+  return it == clock_latency_ps->end() ? 0.0 : it->second;
+}
+
+/// The (unique) output net of an instance, kNoNet if none is connected.
+NetId output_net_of(const netlist::Instance& inst) {
+  for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+    if (inst.type->pins()[p].dir == PinDir::Output) return inst.pin_nets[p];
+  }
+  return netlist::kNoNet;
+}
 }  // namespace
 
 Sta::Sta(const Netlist* nl, const extract::RcNetlist* rc, StaOptions options)
@@ -96,6 +119,39 @@ void Sta::ensure_caches() const {
       opt_.threads, 0);
 }
 
+void Sta::refresh_caches_for(const std::vector<NetId>& nets) const {
+  ensure_caches();
+  // Structural growth/shrink: size the tables to the current netlist
+  // (fresh entries are filled below from the dirty-net list).
+  net_load_.resize(static_cast<std::size_t>(nl_->num_nets()), 0.0);
+  const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
+  sink_index_.resize(n_inst);
+  for (std::size_t i = 0; i < n_inst; ++i) {
+    const std::size_t pins =
+        nl_->instance(static_cast<InstId>(i)).pin_nets.size();
+    if (sink_index_[i].size() != pins) {
+      sink_index_[i].assign(pins, kNoSinkIndex);
+    }
+  }
+  for (const NetId n : nets) {
+    net_load_[static_cast<std::size_t>(n)] = compute_net_load_ff(n);
+    // Re-derive the sink indices of this net's current sinks with the same
+    // first-match semantics as the full build (reconnects shift the
+    // indices of every later sink in the list).
+    const netlist::Net& net = nl_->net(n);
+    for (const PinRef& ref : net.sinks) {
+      sink_index_[static_cast<std::size_t>(ref.inst)]
+                 [static_cast<std::size_t>(ref.pin)] = kNoSinkIndex;
+    }
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const PinRef& ref = net.sinks[s];
+      auto& cell = sink_index_[static_cast<std::size_t>(ref.inst)]
+                              [static_cast<std::size_t>(ref.pin)];
+      if (cell == kNoSinkIndex) cell = s;  // keep the first match
+    }
+  }
+}
+
 double Sta::sink_wire_delay_ps(NetId net, std::size_t sink_idx) const {
   if (rc_) {
     return rc_->trees[static_cast<std::size_t>(net)].elmore_to_sink(sink_idx);
@@ -104,113 +160,110 @@ double Sta::sink_wire_delay_ps(NetId net, std::size_t sink_idx) const {
   return 0.69 * opt_.wl_res_ohm * net_load_ff(net) / 1000.0;
 }
 
-TimingReport Sta::analyze_timing(
-    const std::unordered_map<InstId, double>* clock_latency_ps) {
-  FFET_TRACE_SCOPE("sta.timing");
-  ensure_caches();
-  const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
-  arrival_.assign(n_inst, 0.0);
-  slew_.assign(n_inst, opt_.input_slew_ps);
-  std::vector<InstId> from(n_inst, netlist::kNoInst);
+void Sta::rebuild_topo() const {
+  topo_order_ = nl_->topo_order();
+  topo_pos_.assign(static_cast<std::size_t>(nl_->num_instances()),
+                   kNoTopoPos);
+  for (std::size_t k = 0; k < topo_order_.size(); ++k) {
+    topo_pos_[static_cast<std::size_t>(topo_order_[k])] =
+        static_cast<int>(k);
+  }
+}
 
+void Sta::input_arrival_ps(NetId net_id, std::size_t sink_idx, double& arr,
+                           double& slw, InstId& src) const {
+  // SDC-style default input delay at PIs, referenced to the propagated
+  // clock.
+  arr = opt_.input_delay_ps + opt_.pi_reference_latency_ps;
+  slw = opt_.input_slew_ps;
+  src = netlist::kNoInst;
+  const netlist::Net& net = nl_->net(net_id);
+  if (net.driver.inst != netlist::kNoInst) {
+    arr = arrival_[static_cast<std::size_t>(net.driver.inst)];
+    slw = slew_[static_cast<std::size_t>(net.driver.inst)];
+    src = net.driver.inst;
+  }
+  const double wire = sink_wire_delay_ps(net_id, sink_idx) * opt_.derate_late;
+  arr += wire;
+  slw = degrade_slew(slw, wire);
+}
+
+bool Sta::propagate_instance(
+    InstId id, const std::unordered_map<InstId, double>* clock_latency_ps) {
+  const netlist::Instance& inst = nl_->instance(id);
+  const TimingModel* model = inst.type->timing_model();
+  if (!model) return false;  // tie cells keep arrival 0
+
+  const NetId out_net = output_net_of(inst);
+  if (out_net == netlist::kNoNet) return false;
+  const double load = net_load_ff(out_net);
+  const auto sid = static_cast<std::size_t>(id);
+
+  if (inst.type->sequential()) {
+    // Launch: CP -> Q at the clock-insertion latency.
+    const TimingArc* arc = model->arcs.empty() ? nullptr : &model->arcs[0];
+    if (!arc) return false;
+    const double clk_slew = 15.0;
+    const double d = opt_.derate_late * 0.5 *
+                     (arc->delay_rise.lookup(clk_slew, load) +
+                      arc->delay_fall.lookup(clk_slew, load));
+    const double arr = clock_latency_of(clock_latency_ps, id) + d;
+    const double slw = 0.5 * (arc->trans_rise.lookup(clk_slew, load) +
+                              arc->trans_fall.lookup(clk_slew, load));
+    const bool changed = arr != arrival_[sid] || slw != slew_[sid];
+    arrival_[sid] = arr;
+    slew_[sid] = slw;
+    return changed;
+  }
+
+  // Combinational: max over input arcs.
+  double best = 0.0;
+  double best_slew = opt_.input_slew_ps;
+  InstId best_src = netlist::kNoInst;
+  for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+    const auto& pin = inst.type->pins()[p];
+    if (pin.dir == PinDir::Output) continue;
+    const NetId in_net = inst.pin_nets[p];
+    if (in_net == netlist::kNoNet) continue;
+    // This pin's position in the net's sink list (for the Elmore lookup).
+    const std::size_t sink_idx = sink_index(id, p);
+    double arr, slw;
+    InstId src;
+    input_arrival_ps(in_net, sink_idx, arr, slw, src);
+    const TimingArc* arc = model->arc_from(static_cast<int>(p));
+    if (!arc) continue;
+    const double d =
+        opt_.derate_late * std::max(arc->delay_rise.lookup(slw, load),
+                                    arc->delay_fall.lookup(slw, load));
+    if (arr + d > best) {
+      best = arr + d;
+      best_slew = std::max(arc->trans_rise.lookup(slw, load),
+                           arc->trans_fall.lookup(slw, load));
+      best_src = src;
+    }
+  }
+  const bool changed = best != arrival_[sid] || best_slew != slew_[sid];
+  arrival_[sid] = best;
+  slew_[sid] = best_slew;
+  from_[sid] = best_src;
+  return changed;
+}
+
+TimingReport Sta::build_report(
+    const std::unordered_map<InstId, double>* clock_latency_ps) {
   TimingReport rep;
 
-  auto clock_latency = [&](InstId id) {
-    if (!clock_latency_ps) return 0.0;
-    const auto it = clock_latency_ps->find(id);
-    return it == clock_latency_ps->end() ? 0.0 : it->second;
-  };
-
-  // Arrival and slew at an instance *input pin*.
-  auto input_arrival = [&](const netlist::Net& net, std::size_t sink_idx,
-                           double& arr, double& slw,
-                           InstId& src) {
-    // SDC-style default input delay at PIs, referenced to the propagated
-    // clock.
-    arr = opt_.input_delay_ps + opt_.pi_reference_latency_ps;
-    slw = opt_.input_slew_ps;
-    src = netlist::kNoInst;
-    const NetId net_id = [&] {
-      // Recover net id from the sink's pin binding.
-      const PinRef& ref = net.sinks[sink_idx];
-      return nl_->instance(ref.inst)
-          .pin_nets[static_cast<std::size_t>(ref.pin)];
-    }();
-    if (net.driver.inst != netlist::kNoInst) {
-      arr = arrival_[static_cast<std::size_t>(net.driver.inst)];
-      slw = slew_[static_cast<std::size_t>(net.driver.inst)];
-      src = net.driver.inst;
-    }
-    const double wire =
-        sink_wire_delay_ps(net_id, sink_idx) * opt_.derate_late;
-    arr += wire;
-    slw = degrade_slew(slw, wire);
-  };
-
-  // Propagate in topological order.  topo_order() lists sequential
-  // instances (sources) before the combinational cone they feed.
-  for (InstId id : nl_->topo_order()) {
-    const netlist::Instance& inst = nl_->instance(id);
+  // Worst output slew over the combinational instances that propagated
+  // (same filter as the propagation loop; slew_ stores exactly the values
+  // the full pass maximized over, so this scan is bit-identical to the
+  // in-loop accumulation).
+  for (int i = 0; i < nl_->num_instances(); ++i) {
+    const netlist::Instance& inst = nl_->instance(i);
     const TimingModel* model = inst.type->timing_model();
-    if (!model) continue;  // tie cells keep arrival 0
-
-    // Output net load.
-    NetId out_net = netlist::kNoNet;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-      if (inst.type->pins()[p].dir == PinDir::Output) {
-        out_net = inst.pin_nets[p];
-        break;
-      }
-    }
-    if (out_net == netlist::kNoNet) continue;
-    const double load = net_load_ff(out_net);
-
-    if (inst.type->sequential()) {
-      // Launch: CP -> Q at the clock-insertion latency.
-      const TimingArc* arc = model->arcs.empty() ? nullptr : &model->arcs[0];
-      if (!arc) continue;
-      const double clk_slew = 15.0;
-      const double d = opt_.derate_late * 0.5 *
-                       (arc->delay_rise.lookup(clk_slew, load) +
-                        arc->delay_fall.lookup(clk_slew, load));
-      arrival_[static_cast<std::size_t>(id)] = clock_latency(id) + d;
-      slew_[static_cast<std::size_t>(id)] =
-          0.5 * (arc->trans_rise.lookup(clk_slew, load) +
-                 arc->trans_fall.lookup(clk_slew, load));
-      continue;
-    }
-
-    // Combinational: max over input arcs.
-    double best = 0.0;
-    double best_slew = opt_.input_slew_ps;
-    InstId best_src = netlist::kNoInst;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-      const auto& pin = inst.type->pins()[p];
-      if (pin.dir == PinDir::Output) continue;
-      const NetId in_net = inst.pin_nets[p];
-      if (in_net == netlist::kNoNet) continue;
-      const netlist::Net& net = nl_->net(in_net);
-      // This pin's position in the net's sink list (for the Elmore lookup).
-      const std::size_t sink_idx = sink_index(id, p);
-      double arr, slw;
-      InstId src;
-      input_arrival(net, sink_idx, arr, slw, src);
-      const TimingArc* arc = model->arc_from(static_cast<int>(p));
-      if (!arc) continue;
-      const double d =
-          opt_.derate_late * std::max(arc->delay_rise.lookup(slw, load),
-                                      arc->delay_fall.lookup(slw, load));
-      if (arr + d > best) {
-        best = arr + d;
-        best_slew = std::max(arc->trans_rise.lookup(slw, load),
-                             arc->trans_fall.lookup(slw, load));
-        best_src = src;
-      }
-    }
-    arrival_[static_cast<std::size_t>(id)] = best;
-    slew_[static_cast<std::size_t>(id)] = best_slew;
-    from[static_cast<std::size_t>(id)] = best_src;
-    rep.max_slew_ps = std::max(rep.max_slew_ps, best_slew);
+    if (!model || inst.type->sequential()) continue;
+    if (output_net_of(inst) == netlist::kNoNet) continue;
+    rep.max_slew_ps =
+        std::max(rep.max_slew_ps, slew_[static_cast<std::size_t>(i)]);
   }
 
   // Endpoints: flip-flop D pins (setup) and primary outputs.
@@ -227,14 +280,13 @@ TimingReport Sta::analyze_timing(
       if (pin.dir != PinDir::Input || pin.name != "D") continue;
       const NetId net_id = inst.pin_nets[p];
       if (net_id == netlist::kNoNet) continue;
-      const netlist::Net& net = nl_->net(net_id);
       const std::size_t sink_idx = sink_index(i, p);
       double arr, slw;
       InstId src;
-      input_arrival(net, sink_idx, arr, slw, src);
+      input_arrival_ps(net_id, sink_idx, arr, slw, src);
       // Capture edge benefits from this FF's own insertion latency.
       const double path =
-          arr + model->setup_ps - clock_latency(i);
+          arr + model->setup_ps - clock_latency_of(clock_latency_ps, i);
       if (path > worst) {
         worst = path;
         worst_end = i;
@@ -251,7 +303,7 @@ TimingReport Sta::analyze_timing(
     if (arr > worst) {
       worst = arr;
       worst_end = net.driver.inst;
-      worst_src = from[static_cast<std::size_t>(net.driver.inst)];
+      worst_src = from_[static_cast<std::size_t>(net.driver.inst)];
     }
     ++rep.endpoints;
   }
@@ -263,7 +315,7 @@ TimingReport Sta::analyze_timing(
   // Reconstruct the critical path (endpoint backwards).
   critical_insts_.clear();
   for (InstId cur = worst_src; cur != netlist::kNoInst;
-       cur = from[static_cast<std::size_t>(cur)]) {
+       cur = from_[static_cast<std::size_t>(cur)]) {
     critical_insts_.push_back(cur);
     if (critical_insts_.size() > 10000) break;  // safety
   }
@@ -280,6 +332,203 @@ TimingReport Sta::analyze_timing(
   }
   rep.critical_path = desc;
   return rep;
+}
+
+TimingReport Sta::analyze_timing(
+    const std::unordered_map<InstId, double>* clock_latency_ps) {
+  FFET_TRACE_SCOPE("sta.timing");
+  ensure_caches();
+  rebuild_topo();
+  const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
+  arrival_.assign(n_inst, 0.0);
+  slew_.assign(n_inst, opt_.input_slew_ps);
+  from_.assign(n_inst, netlist::kNoInst);
+
+  // Propagate in topological order.  topo_order() lists sequential
+  // instances (sources) before the combinational cone they feed.
+  for (InstId id : topo_order_) propagate_instance(id, clock_latency_ps);
+
+  return build_report(clock_latency_ps);
+}
+
+TimingReport Sta::update_timing(
+    const DirtySet& dirty,
+    const std::unordered_map<InstId, double>* clock_latency_ps) {
+  // No prior full analysis to update (or an unannounced structural
+  // change) — fall back to the full pass.
+  if (arrival_.empty() || topo_order_.empty() ||
+      (!dirty.structure_changed &&
+       arrival_.size() != static_cast<std::size_t>(nl_->num_instances()))) {
+    return analyze_timing(clock_latency_ps);
+  }
+  FFET_TRACE_SCOPE("sta.update");
+  if (dirty.structure_changed) {
+    rebuild_topo();
+    const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
+    arrival_.resize(n_inst, 0.0);
+    slew_.resize(n_inst, opt_.input_slew_ps);
+    from_.resize(n_inst, netlist::kNoInst);
+  }
+  const auto n_inst = static_cast<std::size_t>(nl_->num_instances());
+
+  // Expand to the affected net set: the dirty nets plus every net touching
+  // a dirty instance (its delay depends on the output load; its sinks see
+  // new wire delays when it was resized/moved).
+  std::vector<NetId> nets = dirty.nets;
+  for (const InstId id : dirty.insts) {
+    for (const NetId n : nl_->instance(id).pin_nets) {
+      if (n != netlist::kNoNet) nets.push_back(n);
+    }
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  refresh_caches_for(nets);
+
+  // Seeds: every instance whose own computation reads a dirty quantity —
+  // drivers (output load changed) and sinks (wire delay changed) of the
+  // affected nets, plus the dirty instances themselves.
+  std::vector<InstId> seeds = dirty.insts;
+  for (const NetId n : nets) {
+    const netlist::Net& net = nl_->net(n);
+    if (net.driver.inst != netlist::kNoInst) seeds.push_back(net.driver.inst);
+    for (const PinRef& s : net.sinks) seeds.push_back(s.inst);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  // Levelized worklist: pop in topological position order, so every
+  // instance is recomputed at most once and only after all its recomputed
+  // predecessors — the per-instance arithmetic then sees exactly the same
+  // inputs as a full pass.
+  using Entry = std::pair<int, InstId>;  // (topo position, instance)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> work;
+  std::vector<char> queued(n_inst, 0);
+  std::vector<char> processed(n_inst, 0);
+  for (const InstId id : seeds) {
+    queued[static_cast<std::size_t>(id)] = 1;
+    work.push({topo_pos_[static_cast<std::size_t>(id)], id});
+  }
+
+  long recomputed = 0;
+  while (!work.empty()) {
+    const auto [pos, id] = work.top();
+    work.pop();
+    const auto sid = static_cast<std::size_t>(id);
+    if (processed[sid]) continue;
+    processed[sid] = 1;
+    ++recomputed;
+    if (!propagate_instance(id, clock_latency_ps)) continue;
+    // The stored (arrival, slew) changed: downstream combinational sinks
+    // must recompute.  Sequential sinks are endpoints — their launch does
+    // not depend on the D input, and the endpoint scan below re-reads the
+    // new arrival directly.
+    const NetId out_net = output_net_of(nl_->instance(id));
+    if (out_net == netlist::kNoNet) continue;
+    for (const PinRef& s : nl_->net(out_net).sinks) {
+      const auto ss = static_cast<std::size_t>(s.inst);
+      if (queued[ss] || nl_->instance(s.inst).type->sequential()) continue;
+      queued[ss] = 1;
+      work.push({topo_pos_[ss], s.inst});
+    }
+  }
+  last_update_recomputed_ = recomputed;
+  FFET_METRIC_ADD("sta.incremental_updates", 1);
+  FFET_METRIC_ADD("sta.incremental_recomputed", recomputed);
+
+  return build_report(clock_latency_ps);
+}
+
+std::vector<PathEnd> Sta::worst_paths(
+    int k,
+    const std::unordered_map<InstId, double>* clock_latency_ps) const {
+  std::vector<PathEnd> ends;
+  for (int i = 0; i < nl_->num_instances(); ++i) {
+    const netlist::Instance& inst = nl_->instance(i);
+    if (!inst.type->sequential()) continue;
+    const TimingModel* model = inst.type->timing_model();
+    if (!model) continue;
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const auto& pin = inst.type->pins()[p];
+      if (pin.dir != PinDir::Input || pin.name != "D") continue;
+      const NetId net_id = inst.pin_nets[p];
+      if (net_id == netlist::kNoNet) continue;
+      const std::size_t sink_idx = sink_index(i, p);
+      double arr, slw;
+      InstId src;
+      input_arrival_ps(net_id, sink_idx, arr, slw, src);
+      ends.push_back(
+          {i, false,
+           arr + model->setup_ps - clock_latency_of(clock_latency_ps, i)});
+    }
+  }
+  for (const netlist::Port& port : nl_->ports()) {
+    if (port.is_input || port.net == netlist::kNoNet) continue;
+    const netlist::Net& net = nl_->net(port.net);
+    if (net.driver.inst == netlist::kNoInst) continue;
+    ends.push_back(
+        {net.driver.inst, true,
+         arrival_[static_cast<std::size_t>(net.driver.inst)]});
+  }
+  // Worst-first; ties resolve like the full scan's strict-greater
+  // comparison: the endpoint visited first wins (FFs by id, then POs).
+  std::sort(ends.begin(), ends.end(),
+            [](const PathEnd& a, const PathEnd& b) {
+              if (a.path_ps != b.path_ps) return a.path_ps > b.path_ps;
+              if (a.is_port != b.is_port) return !a.is_port;
+              return a.endpoint < b.endpoint;
+            });
+  if (k >= 0 && ends.size() > static_cast<std::size_t>(k)) {
+    ends.resize(static_cast<std::size_t>(k));
+  }
+  return ends;
+}
+
+double Sta::endpoint_path_ps(
+    InstId endpoint, bool is_port,
+    const std::unordered_map<InstId, double>* clock_latency_ps) const {
+  if (is_port) return arrival_[static_cast<std::size_t>(endpoint)];
+  const netlist::Instance& inst = nl_->instance(endpoint);
+  const TimingModel* model = inst.type->timing_model();
+  if (!model) return 0.0;
+  for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+    const auto& pin = inst.type->pins()[p];
+    if (pin.dir != PinDir::Input || pin.name != "D") continue;
+    const NetId net_id = inst.pin_nets[p];
+    if (net_id == netlist::kNoNet) continue;
+    const std::size_t sink_idx = sink_index(endpoint, p);
+    double arr, slw;
+    InstId src;
+    input_arrival_ps(net_id, sink_idx, arr, slw, src);
+    return arr + model->setup_ps -
+           clock_latency_of(clock_latency_ps, endpoint);
+  }
+  return 0.0;
+}
+
+std::vector<InstId> Sta::path_instances(const PathEnd& e) const {
+  std::vector<InstId> path;
+  InstId src = netlist::kNoInst;
+  if (e.is_port) {
+    src = from_[static_cast<std::size_t>(e.endpoint)];
+  } else {
+    const netlist::Instance& inst = nl_->instance(e.endpoint);
+    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const auto& pin = inst.type->pins()[p];
+      if (pin.dir != PinDir::Input || pin.name != "D") continue;
+      const NetId net_id = inst.pin_nets[p];
+      if (net_id == netlist::kNoNet) continue;
+      src = nl_->net(net_id).driver.inst;
+      break;
+    }
+  }
+  for (InstId cur = src; cur != netlist::kNoInst;
+       cur = from_[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+    if (path.size() > 10000) break;  // safety
+  }
+  std::reverse(path.begin(), path.end());
+  path.push_back(e.endpoint);
+  return path;
 }
 
 HoldReport Sta::analyze_hold(

@@ -73,6 +73,27 @@ struct TimingReport {
   }
 };
 
+/// Netlist elements whose timing-relevant state changed since the last
+/// analysis: nets whose parasitics / load / sink list changed, and
+/// instances whose cell master (or clock latency) changed.  Set
+/// `structure_changed` whenever instances or nets were added or removed —
+/// the incremental update then re-derives the topological order; otherwise
+/// the cached order from the previous analysis is reused.
+struct DirtySet {
+  std::vector<netlist::NetId> nets;
+  std::vector<netlist::InstId> insts;
+  bool structure_changed = false;
+};
+
+/// One timing endpoint — a flip-flop D pin or a primary output — with its
+/// unconstrained path delay (the quantity analyze_timing maximizes before
+/// adding the skew/uncertainty margins).
+struct PathEnd {
+  netlist::InstId endpoint = netlist::kNoInst;  ///< FF, or the PO's driver
+  bool is_port = false;                         ///< primary-output endpoint
+  double path_ps = 0.0;  ///< FF: arrival + setup − capture latency; PO: arrival
+};
+
 /// Min-delay (hold) analysis result.
 struct HoldReport {
   double worst_slack_ps = 0.0;  ///< min over endpoints of (min arrival −
@@ -109,6 +130,52 @@ class Sta {
       const std::unordered_map<netlist::InstId, double>* clock_latency_ps =
           nullptr);
 
+  /// Incremental re-analysis after a full analyze_timing(): re-propagates
+  /// arrivals and slews only through the downstream cone of the dirty
+  /// elements (levelized worklist ordered by cached topological position;
+  /// propagation stops where recomputed values are bitwise unchanged).
+  /// The returned report — and the arrival/slew tables — are bit-identical
+  /// to a fresh full analyze_timing() on the current netlist state.  With
+  /// `dirty.structure_changed` the topological order is rebuilt and the
+  /// per-instance tables are resized; newly added nets/instances must then
+  /// be listed in the dirty set.  Falls back to a full analysis when no
+  /// prior one exists.  Serial and deterministic at any `threads` setting.
+  TimingReport update_timing(
+      const DirtySet& dirty,
+      const std::unordered_map<netlist::InstId, double>* clock_latency_ps =
+          nullptr);
+
+  /// The `k` worst endpoints by unconstrained path delay, valid after an
+  /// analysis.  Ordered worst-first; ties resolve exactly like the full
+  /// scan (flip-flop endpoints before primary outputs, then by id), so the
+  /// first entry is always the endpoint of `critical_path`.
+  std::vector<PathEnd> worst_paths(
+      int k, const std::unordered_map<netlist::InstId, double>*
+                 clock_latency_ps = nullptr) const;
+
+  /// Current unconstrained path delay of one endpoint (same arithmetic as
+  /// the full endpoint scan); valid after an analysis.
+  double endpoint_path_ps(
+      netlist::InstId endpoint, bool is_port,
+      const std::unordered_map<netlist::InstId, double>* clock_latency_ps =
+          nullptr) const;
+
+  /// Slack of an endpoint at `target_period_ps`, including the same
+  /// skew + uncertainty margins folded into `critical_path_ps`.
+  double endpoint_slack_ps(const PathEnd& e, double target_period_ps) const {
+    return target_period_ps -
+           (e.path_ps + opt_.clock_skew_ps + opt_.uncertainty_ps);
+  }
+
+  /// Instances on the path into endpoint `e`, driver-first, ending with
+  /// the endpoint itself (launch FF, combinational cone, capture FF / PO
+  /// driver).  Valid after an analysis.
+  std::vector<netlist::InstId> path_instances(const PathEnd& e) const;
+
+  /// Instances recomputed by the last update_timing() (worklist pops) —
+  /// the incremental-STA effort metric benches and telemetry report.
+  long last_update_recomputed() const { return last_update_recomputed_; }
+
   /// Min-delay propagation and hold checks at every flip-flop D pin.
   /// Fast paths launched and captured by the same edge must exceed the
   /// capture flop's hold requirement plus the clock skew between the two
@@ -127,6 +194,8 @@ class Sta {
 
   /// Per-instance worst output arrival (ps), valid after analyze_timing.
   const std::vector<double>& arrival_ps() const { return arrival_; }
+  /// Per-instance worst output slew (ps), valid after analyze_timing.
+  const std::vector<double>& slew_ps() const { return slew_; }
   /// Instances on the critical path, driver-first (for synthesis sizing).
   const std::vector<netlist::InstId>& critical_instances() const {
     return critical_insts_;
@@ -142,19 +211,44 @@ class Sta {
   /// Build the per-net load and sink-index caches (parallel_for over nets;
   /// lazy, built on first analysis).
   void ensure_caches() const;
+  /// Resize the lazy caches to the current netlist and recompute the
+  /// entries of `nets` (update_timing support).
+  void refresh_caches_for(const std::vector<netlist::NetId>& nets) const;
+  /// Rebuild topo_order_/topo_pos_ from the current netlist.
+  void rebuild_topo() const;
+  /// Arrival and slew at an instance input pin fed by `net_id`.
+  void input_arrival_ps(netlist::NetId net_id, std::size_t sink_idx,
+                        double& arr, double& slw, netlist::InstId& src) const;
+  /// Recompute one instance's arrival/slew/from from its current inputs
+  /// (the shared body of the full and incremental analyses).  Returns true
+  /// when the stored (arrival, slew) pair changed bitwise.
+  bool propagate_instance(
+      netlist::InstId id,
+      const std::unordered_map<netlist::InstId, double>* clock_latency_ps);
+  /// Endpoint scan + critical-path reconstruction + max-slew scan over the
+  /// current arrival/slew tables (shared by full and incremental paths).
+  TimingReport build_report(
+      const std::unordered_map<netlist::InstId, double>* clock_latency_ps);
 
   const netlist::Netlist* nl_;
   const extract::RcNetlist* rc_;
   StaOptions opt_;
   std::vector<double> arrival_;
   std::vector<double> slew_;
+  std::vector<netlist::InstId> from_;  ///< per-instance worst-arc source
   std::vector<netlist::InstId> critical_insts_;
+  long last_update_recomputed_ = 0;
 
   mutable bool caches_built_ = false;
   mutable std::vector<double> net_load_;  ///< per-net driver load (fF)
   /// Per-instance, per-pin sink index (kNoSinkIndex = pin not in any sink
   /// list; reads map it to 0).
   mutable std::vector<std::vector<std::size_t>> sink_index_;
+  /// Topological order cached by the last analysis (update_timing reuses
+  /// it; rebuilt on structure changes).  topo_pos_ maps InstId → position
+  /// (kNoTopoPos for instances outside the timing graph).
+  mutable std::vector<netlist::InstId> topo_order_;
+  mutable std::vector<int> topo_pos_;
 };
 
 }  // namespace ffet::sta

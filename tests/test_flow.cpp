@@ -144,6 +144,43 @@ TEST_F(FlowTest, LabelsAreInformative) {
   EXPECT_EQ(c.label().find("BM"), std::string::npos);
 }
 
+TEST_F(FlowTest, LabelEncodesEveryPpaChangingField) {
+  FlowConfig base;
+  const std::string ref = base.label();
+  // Defaults stay byte-identical to the historical label (it keys the
+  // characterization cache and the committed bench baselines).
+  EXPECT_EQ(ref.find(" ar="), std::string::npos);
+  EXPECT_EQ(ref.find(" regs="), std::string::npos);
+  EXPECT_EQ(ref.find(" seed="), std::string::npos);
+  EXPECT_EQ(ref.find(" act="), std::string::npos);
+  EXPECT_EQ(ref.find(" eco="), std::string::npos);
+
+  // Every PPA-changing knob must move the label, so two configs that can
+  // produce different results never share a cache key.
+  auto differs = [&](auto&& tweak) {
+    FlowConfig c;
+    tweak(c);
+    return c.label() != ref;
+  };
+  EXPECT_TRUE(differs([](FlowConfig& c) { c.aspect_ratio = 2.0; }));
+  EXPECT_TRUE(differs([](FlowConfig& c) { c.rv32_registers = 8; }));
+  EXPECT_TRUE(differs([](FlowConfig& c) { c.seed = 3; }));
+  EXPECT_TRUE(differs([](FlowConfig& c) { c.simulate_activity = true; }));
+  EXPECT_TRUE(differs([](FlowConfig& c) { c.eco_passes = 1; }));
+  EXPECT_TRUE(differs([](FlowConfig& c) { c.utilization = 0.55; }));
+  EXPECT_TRUE(differs([](FlowConfig& c) { c.target_freq_ghz = 2.0; }));
+  EXPECT_TRUE(differs([](FlowConfig& c) { c.front_layers = 6; }));
+  EXPECT_TRUE(differs([](FlowConfig& c) { c.back_layers = 6; }));
+  EXPECT_TRUE(
+      differs([](FlowConfig& c) { c.backside_input_fraction = 0.5; }));
+  EXPECT_TRUE(
+      differs([](FlowConfig& c) { c.tech_kind = tech::TechKind::Cfet4T; }));
+
+  FlowConfig eco;
+  eco.eco_passes = 2;
+  EXPECT_NE(eco.label().find("eco=2"), std::string::npos);
+}
+
 TEST_F(FlowTest, PreparedContextReflectsPinConfig) {
   EXPECT_NEAR(ffet_ctx_->realized_backside_pin_fraction, 0.5, 0.05);
   EXPECT_DOUBLE_EQ(cfet_ctx_->realized_backside_pin_fraction, 0.0);

@@ -277,6 +277,93 @@ TEST_F(FormatsTest, SpefRoundTripReproducesRc) {
   EXPECT_GT(compared, 1000);
 }
 
+// The accumulator_* DEFs (examples/dual_sided_routing) round-trip: writing
+// both sides' DEFs, reading them back, merging and re-extracting must give
+// bitwise-identical RC trees — DEF text is the flow's extraction input, so
+// any writer/reader loss would silently skew downstream timing.
+TEST_F(FormatsTest, AccumulatorDefRoundTripReExtractsIdentically) {
+  stdcell::PinConfig pc;
+  pc.backside_input_fraction = 0.5;
+  stdcell::Library dual = stdcell::build_library(tech_, pc);
+  liberty::characterize_library(dual);
+
+  netlist::Builder b("accumulator", &dual);
+  const netlist::NetId clk = b.input("clk");
+  b.netlist().mark_clock_net(clk);
+  const netlist::NetId rst_n = b.input("rst_n");
+  const netlist::Bus din = b.input_bus("din", 8);
+  const netlist::Bus acc_d = b.wires(8, "acc_d");
+  const netlist::Bus acc_q = b.dffr_bus(acc_d, clk, rst_n);
+  const auto [sum, carry] = b.add(acc_q, din, b.zero());
+  for (int i = 0; i < 8; ++i) {
+    b.drive(acc_d[static_cast<std::size_t>(i)], "BUFD1",
+            {sum[static_cast<std::size_t>(i)]});
+  }
+  b.output_bus("acc", acc_q);
+  b.output("carry", carry);
+  netlist::NetId parity = acc_q[0];
+  for (int i = 1; i < 8; ++i) {
+    parity = b.xor2(parity, acc_q[static_cast<std::size_t>(i)]);
+  }
+  b.output("parity", parity);
+  netlist::Netlist nl = b.take();
+
+  pnr::FloorplanOptions fo;
+  fo.target_utilization = 0.6;
+  const pnr::Floorplan fp = pnr::make_floorplan(nl, tech_, fo);
+  const pnr::PowerPlan pp = pnr::build_power_plan(nl, fp, dual);
+  pnr::place(nl, fp, pp);
+  pnr::build_clock_tree(nl, fp);
+  const pnr::RouteResult rr = pnr::route_design(nl, fp);
+
+  const io::Def front = io::build_def(nl, rr, tech::Side::Front);
+  const io::Def back = io::build_def(nl, rr, tech::Side::Back);
+  const extract::RcNetlist rc =
+      extract::extract_rc(io::merge_defs(front, back), nl, tech_);
+
+  // Write → read each side, merge, re-extract.
+  const io::Def front2 = io::read_def_string(io::to_def_string(front));
+  const io::Def back2 = io::read_def_string(io::to_def_string(back));
+  const extract::RcNetlist rc2 =
+      extract::extract_rc(io::merge_defs(front2, back2), nl, tech_);
+
+  ASSERT_EQ(rc2.trees.size(), rc.trees.size());
+  EXPECT_EQ(rc2.total_wire_cap_ff, rc.total_wire_cap_ff);
+  EXPECT_EQ(rc2.total_wire_res_kohm, rc.total_wire_res_kohm);
+  bool saw_dual_sided = false;
+  for (std::size_t n = 0; n < rc.trees.size(); ++n) {
+    const extract::RcTree& a = rc.trees[n];
+    const extract::RcTree& c = rc2.trees[n];
+    ASSERT_EQ(c.nodes.size(), a.nodes.size()) << a.net_name;
+    EXPECT_EQ(c.total_cap_ff, a.total_cap_ff) << a.net_name;
+    EXPECT_EQ(c.wire_cap_ff, a.wire_cap_ff) << a.net_name;
+    bool has_f = false, has_b = false;
+    for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+      EXPECT_EQ(c.nodes[i].parent, a.nodes[i].parent) << a.net_name;
+      EXPECT_EQ(c.nodes[i].r_ohm, a.nodes[i].r_ohm) << a.net_name;
+      EXPECT_EQ(c.nodes[i].cap_ff, a.nodes[i].cap_ff) << a.net_name;
+      EXPECT_EQ(c.nodes[i].side, a.nodes[i].side) << a.net_name;
+      EXPECT_EQ(c.elmore_ps[i], a.elmore_ps[i]) << a.net_name;
+      (a.nodes[i].side == tech::Side::Front ? has_f : has_b) = true;
+    }
+    EXPECT_EQ(c.sink_nodes, a.sink_nodes) << a.net_name;
+    saw_dual_sided |= has_f && has_b;
+  }
+  EXPECT_TRUE(saw_dual_sided) << "fixture must exercise dual-sided trees";
+
+  // And the SPEF emitted from the re-extracted parasitics reads back to
+  // the same totals (write -> read -> compare, accumulator flavor of the
+  // RV32 round-trip above).
+  const extract::RcNetlist spef_rt =
+      extract::read_spef_string(extract::to_spef_string(rc2, nl), nl);
+  ASSERT_EQ(spef_rt.trees.size(), rc.trees.size());
+  for (std::size_t n = 0; n < rc.trees.size(); ++n) {
+    EXPECT_NEAR(spef_rt.trees[n].total_cap_ff, rc.trees[n].total_cap_ff,
+                1e-6 + 1e-4 * rc.trees[n].total_cap_ff)
+        << rc.trees[n].net_name;
+  }
+}
+
 TEST_F(FormatsTest, SpefReaderRejectsUnknownNet) {
   netlist::Builder b("x", &lib_);
   b.output("z", b.inv(b.input("a")));
