@@ -12,13 +12,16 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "flow/flow.h"
+#include "flow/report_json.h"
 #include "obs/numfmt.h"
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
@@ -160,22 +163,21 @@ class SweepTimer {
     if (const char* path = std::getenv("FFET_BENCH_JSON")) {
       std::string line;
       line.reserve(512);
-      char head[256];
-      std::snprintf(
-          head, sizeof(head),
-          "{\"bench\":\"%s\",\"seconds\":%.3f,\"threads\":%d,\"points\":%d",
-          bench_.c_str(), seconds, threads_, points_);
-      line += head;
+      flow::JsonBuilder j(line);
+      j.open_obj();
+      j.field("bench", bench_);
+      // Keep the historical 3-decimal resolution for total runtime.
+      j.field("seconds", std::round(seconds * 1000.0) / 1000.0);
+      j.field("threads", threads_);
+      j.field("points", points_);
       if (point.count() > 0) {
-        line += ",\"point_ms_min\":";
-        obs::append_double(line, point.min());
-        line += ",\"point_ms_mean\":";
-        obs::append_double(line, point.mean());
-        line += ",\"point_ms_max\":";
-        obs::append_double(line, point.max());
+        j.field("point_ms_min", point.min());
+        j.field("point_ms_mean", point.mean());
+        j.field("point_ms_max", point.max());
       }
-      append_stage_ms(line);
-      line += "}\n";
+      append_stage_ms(j);
+      j.close_obj();
+      line += '\n';
       if (std::FILE* f = std::fopen(path, "a")) {
         std::fwrite(line.data(), 1, line.size(), f);
         std::fclose(f);
@@ -186,11 +188,11 @@ class SweepTimer {
  private:
   /// Total wall ms spent per flow stage inside this timer's window, as a
   /// compact "stage_ms" object (delta of the stage histograms' sums).
-  void append_stage_ms(std::string& line) const {
+  void append_stage_ms(flow::JsonBuilder& j) const {
     constexpr const char* kPrefix = "flow.stage.";
     constexpr std::size_t kPrefixLen = 11;
     constexpr const char* kSuffix = ".ms";
-    bool first = true;
+    std::vector<std::pair<std::string, double>> stages;
     for (const obs::MetricsSnapshot::Hist& h : obs::metrics_snapshot().histograms) {
       if (h.name.rfind(kPrefix, 0) != 0) continue;
       double sum = h.sum;
@@ -205,14 +207,12 @@ class SweepTimer {
       if (stage.size() > 3 && stage.rfind(kSuffix) == stage.size() - 3) {
         stage.resize(stage.size() - 3);
       }
-      line += first ? ",\"stage_ms\":{" : ",";
-      first = false;
-      line += '"';
-      obs::append_escaped(line, stage);
-      line += "\":";
-      obs::append_double(line, sum);
+      stages.emplace_back(std::move(stage), sum);
     }
-    if (!first) line += '}';
+    if (stages.empty()) return;
+    j.open_nested("stage_ms");
+    for (const auto& [stage, sum] : stages) j.field(stage.c_str(), sum);
+    j.close_obj();
   }
 
   std::string bench_;

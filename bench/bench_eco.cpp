@@ -12,7 +12,7 @@
 //   * incremental-vs-full STA speedup measured inside the ECO inner loop.
 //
 // Always writes BENCH_eco.json (cwd).  The committed copy at the repo root
-// is the baseline for the CI quick-bench step (scripts/check_bench_eco.py),
+// is the baseline for the CI quick-bench step (scripts/check_bench.py eco),
 // which gates post_freq >= pre_freq and sta_speedup >= 1 — both
 // machine-independent (the speedup is a same-process ratio).
 //
@@ -84,51 +84,37 @@ int main(int argc, char** argv) {
 
   std::string json;
   json.reserve(1024);
-  json += "{\"bench\":\"bench_eco\",\"design\":\"";
-  json += "rv32_ffet_fm12bm12_dual0.5_util0.76";
-  json += "\",\"eco_passes\":";
-  json += std::to_string(eco_passes);
-  json += ",\"pre\":{\"freq_ghz\":";
-  obs::append_double(json, pre.achieved_freq_ghz);
-  json += ",\"power_uw\":";
-  obs::append_double(json, pre.power_uw);
-  json += ",\"critical_path_ps\":";
-  obs::append_double(json, pre.critical_path_ps);
-  json += ",\"drv\":";
-  json += std::to_string(pre.drv);
-  json += "},\"post\":{\"freq_ghz\":";
-  obs::append_double(json, post.achieved_freq_ghz);
-  json += ",\"power_uw\":";
-  obs::append_double(json, post.power_uw);
-  json += ",\"iso_power_uw\":";
-  obs::append_double(json, post.eco_iso_power_uw);
-  json += ",\"critical_path_ps\":";
-  obs::append_double(json, post.critical_path_ps);
-  json += ",\"drv\":";
-  json += std::to_string(post.drv);
-  json += "},\"freq_gain_pct\":";
-  obs::append_double(json, freq_gain);
-  json += ",\"iso_power_increase_pct\":";
-  obs::append_double(json, iso_power_pct);
-  json += ",\"sta_speedup\":";
-  obs::append_double(json, post.eco_sta_speedup);
-  json += ",\"attempted\":";
-  json += std::to_string(post.eco_attempted);
-  json += ",\"accepted\":";
-  json += std::to_string(post.eco_accepted);
-  json += ",\"reverted\":";
-  json += std::to_string(post.eco_reverted);
-  json += ",\"upsized\":";
-  json += std::to_string(post.eco_upsized);
-  json += ",\"downsized\":";
-  json += std::to_string(post.eco_downsized);
-  json += ",\"buffers\":";
-  json += std::to_string(post.eco_buffers);
-  json += ",\"pin_flips\":";
-  json += std::to_string(post.eco_pin_flips);
-  json += ",\"gates_ok\":";
-  json += (freq_ok && power_ok && speedup_ok) ? "true" : "false";
-  json += "}\n";
+  flow::JsonBuilder j(json);
+  j.open_obj();
+  j.field("bench", "bench_eco");
+  j.field("design", "rv32_ffet_fm12bm12_dual0.5_util0.76");
+  j.field("eco_passes", eco_passes);
+  j.open_nested("pre");
+  j.field("freq_ghz", pre.achieved_freq_ghz);
+  j.field("power_uw", pre.power_uw);
+  j.field("critical_path_ps", pre.critical_path_ps);
+  j.field("drv", pre.drv);
+  j.close_obj();
+  j.open_nested("post");
+  j.field("freq_ghz", post.achieved_freq_ghz);
+  j.field("power_uw", post.power_uw);
+  j.field("iso_power_uw", post.eco_iso_power_uw);
+  j.field("critical_path_ps", post.critical_path_ps);
+  j.field("drv", post.drv);
+  j.close_obj();
+  j.field("freq_gain_pct", freq_gain);
+  j.field("iso_power_increase_pct", iso_power_pct);
+  j.field("sta_speedup", post.eco_sta_speedup);
+  j.field("attempted", post.eco_attempted);
+  j.field("accepted", post.eco_accepted);
+  j.field("reverted", post.eco_reverted);
+  j.field("upsized", post.eco_upsized);
+  j.field("downsized", post.eco_downsized);
+  j.field("buffers", post.eco_buffers);
+  j.field("pin_flips", post.eco_pin_flips);
+  j.field("gates_ok", freq_ok && power_ok && speedup_ok);
+  j.close_obj();
+  json += '\n';
 
   if (std::FILE* f = std::fopen("BENCH_eco.json", "w")) {
     std::fwrite(json.data(), 1, json.size(), f);

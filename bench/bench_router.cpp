@@ -9,7 +9,7 @@
 //
 // Always writes BENCH_router.json (cwd).  The committed copy at the repo
 // root is the baseline the CI quick-bench step diffs against
-// (scripts/check_bench_router.py): `astar_settled_per_route` is
+// (scripts/check_bench.py router): `astar_settled_per_route` is
 // machine-independent and gated at +20 %; `speedup` is normalized against
 // the legacy engine measured in the same run, so it is load- and
 // machine-insensitive, and gated at -20 %.
@@ -73,25 +73,17 @@ EngineStat run_engine(const netlist::Netlist& nl, const pnr::Floorplan& fp,
   return st;
 }
 
-void append_engine_json(std::string& out, const char* key,
+void append_engine_json(flow::JsonBuilder& j, const char* key,
                         const EngineStat& st) {
-  out += "\"";
-  out += key;
-  out += "\":{\"seconds\":";
-  obs::append_double(out, st.seconds);
-  out += ",\"routes_per_s\":";
-  obs::append_double(out, st.routes_per_s);
-  out += ",\"settled_per_route\":";
-  obs::append_double(out, st.settled_per_route);
-  out += ",\"passes\":";
-  out += std::to_string(st.passes);
-  out += ",\"window_expansions\":";
-  out += std::to_string(st.window_expansions);
-  out += ",\"wirelength_um\":";
-  obs::append_double(out, st.wirelength_um);
-  out += ",\"drv_wire\":";
-  out += std::to_string(st.drv_wire);
-  out += "}";
+  j.open_nested(key);
+  j.field("seconds", st.seconds);
+  j.field("routes_per_s", st.routes_per_s);
+  j.field("settled_per_route", st.settled_per_route);
+  j.field("passes", st.passes);
+  j.field("window_expansions", st.window_expansions);
+  j.field("wirelength_um", st.wirelength_um);
+  j.field("drv_wire", st.drv_wire);
+  j.close_obj();
 }
 
 }  // namespace
@@ -131,13 +123,14 @@ int main(int argc, char** argv) {
 
   std::string json;
   json.reserve(2048);
-  json += "{\"bench\":\"bench_router\",\"design\":"
-          "\"rv32r8_ffet_dual0.5_util0.70\",\"reps\":";
-  json += std::to_string(reps);
-  json += ",\"configs\":[";
+  flow::JsonBuilder j(json);
+  j.open_obj();
+  j.field("bench", "bench_router");
+  j.field("design", "rv32r8_ffet_dual0.5_util0.70");
+  j.field("reps", reps);
+  j.open_array("configs");
 
   bool qor_ok = true;
-  bool first = true;
   double default_speedup = 0.0;
   for (const int gcell_tracks : {10, 15, 22}) {
     const EngineStat legacy = run_engine(nl, fp, pnr::RouteEngine::Legacy,
@@ -165,23 +158,19 @@ int main(int argc, char** argv) {
       std::printf("  ** QoR REGRESSION at gcell_tracks=%d **\n", gcell_tracks);
     }
 
-    if (!first) json += ",";
-    first = false;
-    json += "{\"gcell_tracks\":";
-    json += std::to_string(gcell_tracks);
-    json += ",";
-    append_engine_json(json, "legacy", legacy);
-    json += ",";
-    append_engine_json(json, "astar", astar);
-    json += ",\"speedup\":";
-    obs::append_double(json, speedup);
-    json += ",\"astar_settled_per_route\":";
-    obs::append_double(json, astar.settled_per_route);
-    json += "}";
+    j.element();
+    j.open_obj();
+    j.field("gcell_tracks", gcell_tracks);
+    append_engine_json(j, "legacy", legacy);
+    append_engine_json(j, "astar", astar);
+    j.field("speedup", speedup);
+    j.field("astar_settled_per_route", astar.settled_per_route);
+    j.close_obj();
   }
-  json += "],\"qor_ok\":";
-  json += qor_ok ? "true" : "false";
-  json += "}\n";
+  j.close_array();
+  j.field("qor_ok", qor_ok);
+  j.close_obj();
+  json += '\n';
 
   if (std::FILE* f = std::fopen("BENCH_router.json", "w")) {
     std::fwrite(json.data(), 1, json.size(), f);

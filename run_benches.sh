@@ -13,7 +13,7 @@
 # include per-point min/mean/max and per-stage wall-time breakdowns.
 # bench_router additionally writes BENCH_router.json (maze-routing kernel:
 # legacy vs. windowed A*); the committed copy is the baseline CI's
-# quick-bench regression gate diffs against (scripts/check_bench_router.py).  With
+# quick-bench regression gate diffs against (scripts/check_bench.py router).  With
 # --trace each bench additionally writes trace_<bench>.json (Chrome
 # trace-event format — load in chrome://tracing or https://ui.perfetto.dev)
 # and appends per-point flow reports to flow_reports.jsonl.  Benches that

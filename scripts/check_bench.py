@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Unified quick-bench gate — a thin wrapper over `ffet_report diff`.
+
+Usage: check_bench.py <eco|router|flow> <baseline.json[l]> <new.json[l]>
+
+The actual comparison logic lives in C++ (src/report/qor.cpp), next to the
+emitters it parses, so the gate and the reports can never drift apart.
+This wrapper only locates the binary:
+
+  * $FFET_REPORT_BIN if set, else
+  * ./build/examples/ffet_report (the default CMake layout).
+
+Exit codes pass through from `ffet_report diff`: 0 pass, 1 regression,
+2 malformed input / missing binary.
+
+Modes:
+  eco     — absolute gates on the new BENCH_eco.json (post freq >= pre,
+            iso power within 1 %, incremental-STA speedup >= 1, gates_ok);
+  router  — BENCH_router.json vs committed baseline (settled/route +20 %,
+            speedup -20 %, qor_ok);
+  flow    — flow-report JSONL vs JSONL (schema ffet.flow_report.v1):
+            frequency / power / wirelength / DRV / validity deltas.
+"""
+
+import os
+import subprocess
+import sys
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[1] not in ("eco", "router", "flow"):
+        sys.stderr.write(__doc__)
+        return 2
+    binary = os.environ.get("FFET_REPORT_BIN", "./build/examples/ffet_report")
+    if not (os.path.isfile(binary) and os.access(binary, os.X_OK)):
+        sys.stderr.write(
+            f"check_bench.py: ffet_report binary not found at {binary!r} "
+            "(build it, or set FFET_REPORT_BIN)\n"
+        )
+        return 2
+    return subprocess.call(
+        [binary, "diff", "--mode", sys.argv[1], sys.argv[2], sys.argv[3]]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -356,6 +356,17 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   }();
   res.achieved_freq_ghz = timing.achieved_freq_ghz;
   res.critical_path_ps = timing.critical_path_ps;
+  if (obs::verbose()) {
+    const auto worst = sta.worst_paths(1, &cts.sink_latency_ps);
+    if (!worst.empty()) {
+      const std::string ep = sta.endpoint_name(worst[0]);
+      std::printf("  [sta] signoff: worst_slack=%+.2f ps (%.3f GHz) "
+                  "endpoint=%s side_crossings=%d\n",
+                  timing.slack_ps(1000.0 / config.target_freq_ghz),
+                  timing.achieved_freq_ghz, ep.c_str(),
+                  sta.path_side_crossings(worst[0]));
+    }
+  }
   const sta::HoldReport hold = [&] {
     StageClock clk(res, "sta_hold");
     return sta.analyze_hold(&cts.sink_latency_ps);
@@ -416,6 +427,10 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
     res.eco_buffers = eco.buffers;
     res.eco_pin_flips = eco.pin_flips;
     res.eco_sta_speedup = eco.sta_speedup();
+    if (obs::verbose()) {
+      std::printf("  [eco] passes=%d accepted=%d/%d (reverted %d)\n",
+                  eco.passes_run, eco.accepted, eco.attempted, eco.reverted);
+    }
 
     // Full re-signoff on the optimized design: fresh merge + extraction +
     // STA (the incremental state is bit-identical by construction, but the
@@ -436,6 +451,17 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
           eco_sta.analyze_hold(&cts.sink_latency_ps);
       res.hold_slack_ps = eco_hold.worst_slack_ps;
       res.hold_violations = eco_hold.violations;
+      if (obs::verbose()) {
+        const auto worst = eco_sta.worst_paths(1, &cts.sink_latency_ps);
+        if (!worst.empty()) {
+          const std::string ep = eco_sta.endpoint_name(worst[0]);
+          std::printf("  [sta] eco_signoff: worst_slack=%+.2f ps (%.3f GHz) "
+                      "endpoint=%s side_crossings=%d\n",
+                      eco_timing.slack_ps(1000.0 / config.target_freq_ghz),
+                      eco_timing.achieved_freq_ghz, ep.c_str(),
+                      eco_sta.path_side_crossings(worst[0]));
+        }
+      }
 
       if (config.simulate_activity) {
         // ECO buffers add nets: re-derive toggle rates on the final netlist.

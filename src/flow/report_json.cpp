@@ -140,74 +140,10 @@ std::string to_json(const std::vector<FlowResult>& results) {
   return os.str();
 }
 
-namespace {
-
-/// Minimal compact-JSON builder for the flow-report line (the pretty Obj
-/// above stays flat because tests require to_json to contain exactly one
-/// object; the report needs nesting, so it gets its own emitter).
-class Compact {
- public:
-  explicit Compact(std::string& out) : out_(out) {}
-
-  void open_obj() { out_ += '{'; }
-  void close_obj() { out_ += '}'; }
-  void open_array(const char* key) {
-    sep();
-    key_(key);
-    out_ += '[';
-  }
-  void close_array() { out_ += ']'; }
-  void open_nested(const char* key) {
-    sep();
-    key_(key);
-    out_ += '{';
-  }
-  void element() {
-    if (out_.back() != '[') out_ += ',';
-  }
-
-  void field(const char* key, double v) {
-    sep();
-    key_(key);
-    obs::append_double(out_, v);
-  }
-  void field(const char* key, long long v) {
-    sep();
-    key_(key);
-    out_ += std::to_string(v);
-  }
-  void field(const char* key, bool v) {
-    sep();
-    key_(key);
-    out_ += v ? "true" : "false";
-  }
-  void field(const char* key, const std::string& v) {
-    sep();
-    key_(key);
-    out_ += '"';
-    obs::append_escaped(out_, v);
-    out_ += '"';
-  }
-
- private:
-  void sep() {
-    if (out_.back() != '{' && out_.back() != '[') out_ += ',';
-  }
-  void key_(const char* key) {
-    out_ += '"';
-    out_ += key;
-    out_ += "\":";
-  }
-
-  std::string& out_;
-};
-
-}  // namespace
-
 std::string flow_report_json(const FlowResult& r) {
   std::string out;
   out.reserve(2048);
-  Compact j(out);
+  JsonBuilder j(out);
   j.open_obj();
   j.field("schema", std::string("ffet.flow_report.v1"));
   j.field("label", r.config.label());

@@ -11,8 +11,80 @@
 #include <vector>
 
 #include "flow/flow.h"
+#include "obs/numfmt.h"
 
 namespace ffet::flow {
+
+/// Minimal compact-JSON builder: no whitespace, keys emitted as given,
+/// doubles via obs::append_double (std::to_chars — shortest round-trip,
+/// locale-independent), strings escaped with obs::append_escaped.  The
+/// single formatter behind the flow-report line and the bench JSON
+/// emitters, so every machine-readable artifact is byte-deterministic and
+/// parses back with the same number semantics (report/json reads
+/// std::from_chars, the exact mirror).
+class JsonBuilder {
+ public:
+  explicit JsonBuilder(std::string& out) : out_(out) {}
+
+  void open_obj() { out_ += '{'; }
+  void close_obj() { out_ += '}'; }
+  void open_array(const char* key) {
+    sep();
+    key_(key);
+    out_ += '[';
+  }
+  void close_array() { out_ += ']'; }
+  void open_nested(const char* key) {
+    sep();
+    key_(key);
+    out_ += '{';
+  }
+  /// Element separator inside an open array (call before each element).
+  void element() {
+    if (out_.back() != '[') out_ += ',';
+  }
+
+  void field(const char* key, double v) {
+    sep();
+    key_(key);
+    obs::append_double(out_, v);
+  }
+  void field(const char* key, long long v) {
+    sep();
+    key_(key);
+    out_ += std::to_string(v);
+  }
+  void field(const char* key, long v) { field(key, static_cast<long long>(v)); }
+  void field(const char* key, int v) { field(key, static_cast<long long>(v)); }
+  void field(const char* key, unsigned v) {
+    field(key, static_cast<long long>(v));
+  }
+  void field(const char* key, bool v) {
+    sep();
+    key_(key);
+    out_ += v ? "true" : "false";
+  }
+  void field(const char* key, const std::string& v) {
+    sep();
+    key_(key);
+    out_ += '"';
+    obs::append_escaped(out_, v);
+    out_ += '"';
+  }
+  void field(const char* key, const char* v) { field(key, std::string(v)); }
+
+ private:
+  void sep() {
+    if (out_.back() != '{' && out_.back() != '[') out_ += ',';
+  }
+  void key_(const char* key) {
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+
+  std::string& out_;
+};
 
 /// One result as a JSON object.  Doubles are formatted with std::to_chars
 /// (shortest round-trip, locale-independent), so serializing the same

@@ -1,0 +1,62 @@
+// json.h — minimal JSON value model + parser for the reporting layer.
+//
+// The QoR diff engine reads back what the repo's own emitters write: the
+// flow-report JSONL (src/flow/report_json), BENCH_eco.json and
+// BENCH_router.json (bench/).  Those are plain JSON, so the reader is a
+// small recursive-descent parser with no external dependency — objects
+// keep member order (the emitters are deterministic, and order-preserving
+// reads make round-trip tests exact), numbers parse with std::from_chars
+// (the mirror of the std::to_chars every emitter uses).
+//
+// Tolerance policy: parse() either returns a full document or nullopt with
+// a position-annotated error — malformed-line tolerance (skip and count)
+// is the *caller's* job (see qor.h), keeping the parser itself strict.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ffet::report::json {
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> items;  ///< array elements
+  /// Object members in document order (duplicate keys kept as written).
+  std::vector<std::pair<std::string, Value>> members;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  /// First member with `key` (objects only); nullptr when absent.
+  const Value* find(std::string_view key) const;
+
+  double number_or(double fallback) const {
+    return is_number() ? number : fallback;
+  }
+  bool bool_or(bool fallback) const { return is_bool() ? boolean : fallback; }
+
+  /// Convenience for nested lookups: member `key`'s number, or `fallback`
+  /// when the member is absent or not a number.
+  double member_number(std::string_view key, double fallback = 0.0) const;
+};
+
+/// Parse one complete JSON document (leading/trailing whitespace allowed;
+/// any other trailing bytes are an error).  On failure returns nullopt and,
+/// when `error` is non-null, a message with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace ffet::report::json

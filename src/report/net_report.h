@@ -1,0 +1,86 @@
+// net_report.h — per-net attribution over the routed, extracted design.
+//
+// For every net: routed length split by wafer side and by layer, via
+// count, extracted wire R / total C, the worst sink Elmore delay and its
+// share of the design-wide Elmore total — plus design-level log-bucket
+// histograms (net length, capacitance, Elmore) built with the obs
+// histogram machinery.  Everything derives from the *merged* DEF (the
+// paper's StarRC input) and the RC netlist; building a report never
+// mutates either.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "extract/extract.h"
+#include "io/def.h"
+#include "netlist/netlist.h"
+#include "obs/metrics.h"
+
+namespace ffet::report {
+
+struct NetAttribution {
+  netlist::NetId net = netlist::kNoNet;
+  std::string name;
+  bool is_clock = false;
+  int fanout = 0;
+
+  double length_front_um = 0.0;
+  double length_back_um = 0.0;
+  /// Routed length per layer name, layer-name order ("BM1" < "FM2" ...).
+  std::vector<std::pair<std::string, double>> layer_um;
+  /// Layer-change count estimated from wire endpoints sharing a point on
+  /// different layers (includes the front<->back Drain-Merge hookup).
+  int vias = 0;
+  bool dual_sided = false;  ///< routed wires on both wafer sides
+
+  double wire_r_ohm = 0.0;   ///< summed segment resistance
+  double total_cap_ff = 0.0; ///< wire + sink-pin cap seen by the driver
+  double wire_cap_ff = 0.0;
+  double worst_elmore_ps = 0.0;  ///< max over the net's sinks
+  double elmore_share_pct = 0.0; ///< of the design-wide worst-Elmore total
+
+  double length_um() const { return length_front_um + length_back_um; }
+};
+
+/// Plain-value copy of one obs::Histogram (atomics are not copyable).
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;
+  std::array<std::uint64_t, obs::Histogram::kBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+struct NetReport {
+  std::vector<NetAttribution> nets;  ///< NetId order
+  double total_elmore_ps = 0.0;      ///< sum of per-net worst Elmore
+  double total_length_um = 0.0;
+  int total_vias = 0;
+
+  HistogramSnapshot length_hist;  ///< µm, one observation per routed net
+  HistogramSnapshot cap_hist;     ///< fF (total cap), every net
+  HistogramSnapshot elmore_hist;  ///< ps (worst sink), every net
+};
+
+/// Attribute the merged DEF's wires and the RC trees back to nets.
+/// Read-only; deterministic.
+NetReport build_net_report(const netlist::Netlist& nl, const io::Def& merged,
+                           const extract::RcNetlist& rc);
+
+/// Design-level summary + histograms + the `top_n` nets by worst Elmore.
+std::string format_net_report(const NetReport& rep, int top_n = 20);
+
+/// Full attribution of one net by name ("" -> "net not found" text).
+std::string format_net_detail(const NetReport& rep, const std::string& net_name);
+
+}  // namespace ffet::report

@@ -1,0 +1,62 @@
+#include "report/snapshot.h"
+
+#include "opt/eco.h"
+#include "runtime/thread_pool.h"
+#include "synth/synth.h"
+
+namespace ffet::report {
+
+std::unique_ptr<Snapshot> build_snapshot(const flow::FlowConfig& config) {
+  auto snap = std::make_unique<Snapshot>(config, flow::prepare_design(config));
+  const flow::DesignContext& ctx = *snap->ctx;
+  netlist::Netlist& nl = snap->nl;
+  const int threads = runtime::resolve_threads(config.threads);
+
+  // Stage sequence mirrors flow::run_physical exactly (see snapshot.h).
+  pnr::FloorplanOptions fo;
+  fo.target_utilization = config.utilization;
+  fo.aspect_ratio = config.aspect_ratio;
+  snap->fp = pnr::make_floorplan(nl, ctx.tech(), fo);
+
+  snap->pp = pnr::build_power_plan(nl, snap->fp, *ctx.library);
+
+  pnr::PlacementOptions po;
+  po.seed = config.seed;
+  snap->placement = pnr::place(nl, snap->fp, snap->pp, po);
+
+  snap->cts = pnr::build_clock_tree(nl, snap->fp);
+  synth::fix_hold(nl, snap->cts.sink_latency_ps);
+
+  pnr::RouteOptions ro;
+  ro.threads = threads;
+  snap->routes = pnr::route_design(nl, snap->fp, ro);
+
+  snap->merged =
+      io::merge_defs(io::build_def(nl, snap->routes, tech::Side::Front),
+                     io::build_def(nl, snap->routes, tech::Side::Back));
+  snap->rc = extract::extract_rc(snap->merged, nl, ctx.tech(), threads);
+
+  snap->sta_options.clock_skew_ps = snap->cts.skew_ps;
+  snap->sta_options.pi_reference_latency_ps = snap->cts.mean_latency_ps;
+  snap->sta_options.threads = threads;
+
+  if (config.eco_passes > 0 && snap->placement.legal && snap->routes.valid) {
+    opt::EcoOptions eo;
+    eo.passes = config.eco_passes;
+    eo.threads = threads;
+    eo.sta = snap->sta_options;
+    eo.route = ro;
+    opt::run_eco(nl, snap->fp, snap->pp, snap->routes, snap->rc,
+                 snap->cts.sink_latency_ps, eo);
+    // The flow re-signs off on a fresh merge + full extraction; keep the
+    // snapshot on the same data.
+    snap->merged =
+        io::merge_defs(io::build_def(nl, snap->routes, tech::Side::Front),
+                       io::build_def(nl, snap->routes, tech::Side::Back));
+    snap->rc = extract::extract_rc(snap->merged, nl, ctx.tech(), threads);
+    snap->eco_ran = true;
+  }
+  return snap;
+}
+
+}  // namespace ffet::report

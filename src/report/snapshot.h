@@ -1,0 +1,53 @@
+// snapshot.h — rebuild a flow's physical design state for reporting.
+//
+// The flow (src/flow) runs floorplan → ... → STA and returns scalar KPIs;
+// the intermediate artifacts (placed netlist, merged DEF, RC trees, CTS
+// latencies) die inside run_physical.  The reporting CLI needs those
+// artifacts to expand timing paths and attribute nets, so build_snapshot
+// replays the *exact* stage sequence of flow::run_physical — same
+// functions, same options, same order (including the optional ECO loop
+// and its full re-merge/re-extract signoff) — and keeps everything alive.
+// Determinism of every stage makes the snapshot bit-identical to what the
+// flow computed for the same FlowConfig.
+
+#pragma once
+
+#include <memory>
+
+#include "extract/extract.h"
+#include "flow/flow.h"
+#include "io/def.h"
+#include "netlist/netlist.h"
+#include "pnr/cts.h"
+#include "pnr/floorplan.h"
+#include "pnr/placement.h"
+#include "pnr/powerplan.h"
+#include "pnr/router.h"
+#include "sta/sta.h"
+
+namespace ffet::report {
+
+struct Snapshot {
+  flow::FlowConfig config;
+  std::unique_ptr<flow::DesignContext> ctx;  ///< owns tech + library
+  netlist::Netlist nl;  ///< private copy, post-placement/CTS/ECO
+
+  pnr::Floorplan fp;
+  pnr::PowerPlan pp;
+  pnr::PlacementResult placement;
+  pnr::CtsResult cts;
+  pnr::RouteResult routes;
+  io::Def merged;          ///< front+back merge (post-ECO when eco ran)
+  extract::RcNetlist rc;
+  sta::StaOptions sta_options;  ///< what the flow's signoff Sta used
+  bool eco_ran = false;
+
+  Snapshot(flow::FlowConfig cfg, std::unique_ptr<flow::DesignContext> c)
+      : config(std::move(cfg)), ctx(std::move(c)), nl(ctx->netlist) {}
+};
+
+/// prepare_design + the physical stages of flow::run_physical, artifacts
+/// retained.  Never returns null.
+std::unique_ptr<Snapshot> build_snapshot(const flow::FlowConfig& config);
+
+}  // namespace ffet::report

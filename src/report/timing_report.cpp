@@ -1,0 +1,189 @@
+#include "report/timing_report.h"
+
+#include <cstdio>
+
+namespace ffet::report {
+
+namespace {
+
+using netlist::InstId;
+using netlist::NetId;
+using stdcell::PinDir;
+using stdcell::PinSide;
+
+NetId output_net_of(const netlist::Instance& inst) {
+  const auto& pins = inst.type->pins();
+  for (std::size_t p = 0; p < pins.size(); ++p) {
+    if (pins[p].dir == PinDir::Output && inst.pin_nets[p] != netlist::kNoNet) {
+      return inst.pin_nets[p];
+    }
+  }
+  return netlist::kNoNet;
+}
+
+const char* side_str(PinSide s) {
+  switch (s) {
+    case PinSide::Front: return "F";
+    case PinSide::Back: return "B";
+    case PinSide::Both: return "F+B";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<TimingPath> build_timing_paths(
+    const sta::Sta& sta, const netlist::Netlist& nl,
+    const extract::RcNetlist* rc,
+    const std::unordered_map<netlist::InstId, double>* clock_latency_ps,
+    const TimingReportOptions& options) {
+  std::vector<TimingPath> out;
+  const std::vector<sta::PathEnd> ends =
+      sta.worst_paths(options.top_k, clock_latency_ps);
+  if (ends.empty()) return out;
+
+  // Default slack reference: the period at which the worst endpoint has
+  // exactly zero slack (slack against the achieved frequency).
+  const double period = options.target_period_ps > 0.0
+                            ? options.target_period_ps
+                            : -sta.endpoint_slack_ps(ends[0], 0.0);
+
+  out.reserve(ends.size());
+  for (const sta::PathEnd& e : ends) {
+    TimingPath tp;
+    tp.end = e;
+    tp.endpoint = sta.endpoint_name(e);
+    tp.path_ps = e.path_ps;
+    tp.slack_ps = sta.endpoint_slack_ps(e, period);
+    tp.side_crossings = sta.path_side_crossings(e);
+    tp.path_names = sta.path_string(e);
+
+    const std::vector<InstId> path = sta.path_instances(e);
+    tp.stages.reserve(path.size());
+
+    // Side-crossing state: tracks the normalized (Both -> Front, the
+    // routable-from-front convention of Sta::path_side_crossings) side of
+    // the previous stage's data input pin.  The first stage's clock / PI
+    // pin does not participate.
+    bool have_prev = false;
+    PinSide prev = PinSide::Front;
+    NetId prev_out = netlist::kNoNet;
+
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const netlist::Instance& inst = nl.instance(path[i]);
+      const auto& pins = inst.type->pins();
+      PathStage st;
+      st.inst = path[i];
+      st.inst_name = inst.name;
+      st.cell = inst.type->name();
+      st.is_endpoint = (i + 1 == path.size());
+
+      if (i == 0) {
+        // Launch stage: a flip-flop enters through its clock pin; a
+        // PI-fed combinational stage has no named entry pin.
+        if (inst.type->sequential()) {
+          for (std::size_t p = 0; p < pins.size(); ++p) {
+            if (pins[p].dir == PinDir::Clock) {
+              st.in_pin = pins[p].name;
+              st.in_side = nl.pin_side({path[i], static_cast<int>(p)});
+              break;
+            }
+          }
+        }
+      } else {
+        for (std::size_t p = 0; p < pins.size(); ++p) {
+          if (inst.pin_nets[p] != prev_out) continue;
+          if (pins[p].dir == PinDir::Output) continue;
+          st.in_pin = pins[p].name;
+          st.in_side = nl.pin_side({path[i], static_cast<int>(p)});
+          PinSide s = st.in_side;
+          if (s == PinSide::Both) s = PinSide::Front;
+          st.crossing = have_prev && s != prev;
+          prev = s;
+          have_prev = true;
+          break;
+        }
+      }
+
+      const NetId out_net = output_net_of(inst);
+      // A flip-flop endpoint row reports its D arrival, not its Q output.
+      if (st.is_endpoint && !e.is_port) {
+        st.arrival_ps = e.path_ps;
+      } else {
+        st.arrival_ps = st.is_endpoint ? e.path_ps
+                                       : sta.arrival_ps()[static_cast<std::size_t>(
+                                             path[i])];
+        st.slew_ps = sta.slew_ps()[static_cast<std::size_t>(path[i])];
+        if (out_net != netlist::kNoNet) {
+          st.has_output = true;
+          st.fanout = static_cast<int>(nl.net(out_net).sinks.size());
+          if (rc && static_cast<std::size_t>(out_net) < rc->trees.size()) {
+            st.load_ff = rc->trees[static_cast<std::size_t>(out_net)].total_cap_ff;
+          }
+          for (std::size_t p = 0; p < pins.size(); ++p) {
+            if (pins[p].dir == PinDir::Output &&
+                inst.pin_nets[p] == out_net) {
+              st.out_side = nl.pin_side({path[i], static_cast<int>(p)});
+              break;
+            }
+          }
+        }
+      }
+      prev_out = out_net;
+      tp.stages.push_back(std::move(st));
+    }
+    out.push_back(std::move(tp));
+  }
+  return out;
+}
+
+std::string format_timing_report(const std::vector<TimingPath>& paths,
+                                 double target_period_ps) {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "Timing report: top %zu endpoint paths, slack at period "
+                "%.2f ps (%.3f GHz)\n",
+                paths.size(), target_period_ps,
+                target_period_ps > 0 ? 1000.0 / target_period_ps : 0.0);
+  out += buf;
+
+  int idx = 0;
+  for (const TimingPath& tp : paths) {
+    ++idx;
+    std::snprintf(buf, sizeof(buf),
+                  "\nPath %d: endpoint=%s  data=%.2f ps  slack=%+.2f ps  "
+                  "side-crossings=%d\n",
+                  idx, tp.endpoint.c_str(), tp.path_ps, tp.slack_ps,
+                  tp.side_crossings);
+    out += buf;
+    out += "  path: " + tp.path_names + "\n";
+    out += "    #  instance              cell        in    side  "
+           "arrival     slew  load(fF)  fanout  out\n";
+    int sno = 0;
+    for (const PathStage& st : tp.stages) {
+      std::string side = st.in_pin.empty() ? "-" : side_str(st.in_side);
+      if (st.crossing) side += "*";
+      std::snprintf(buf, sizeof(buf), "  %3d  %-20s  %-10s  %-4s  %-5s %8.2f",
+                    sno++, st.inst_name.c_str(), st.cell.c_str(),
+                    st.in_pin.empty() ? "-" : st.in_pin.c_str(), side.c_str(),
+                    st.arrival_ps);
+      out += buf;
+      if (st.is_endpoint && !st.has_output) {
+        out += "        -         -       -    -";
+      } else {
+        std::snprintf(buf, sizeof(buf), " %8.2f  %8.3f  %6d  %-3s",
+                      st.slew_ps, st.load_ff, st.fanout,
+                      st.has_output ? side_str(st.out_side) : "-");
+        out += buf;
+      }
+      out += "\n";
+    }
+  }
+  out += "\n  * = input pin on the opposite wafer side of the previous "
+         "stage's:\n      the hop crosses front<->back through the driver's "
+         "dual-sided\n      Drain-Merge output pin.\n";
+  return out;
+}
+
+}  // namespace ffet::report

@@ -1,0 +1,85 @@
+// timing_report.h — multi-path signoff timing reports with wafer-side
+// annotations.
+//
+// Expands the STA's top-K worst endpoints (sta::Sta::worst_paths) into
+// stage-by-stage path reports: per pin the arrival, slew, driven load and
+// fanout, plus the *wafer side* of every input pin — and an explicit
+// crossing marker wherever the path hops front<->back through the driving
+// cell's dual-sided Drain-Merge output pin (the only structure crossing
+// the wafer, Sec. III.A/III.C).  The paper's Fig. 9 critical paths are
+// exactly these reports; the crossing markers make the dual-sided routing
+// visible in a classic timing-report format.
+//
+// The worst path's rendered name chain is bit-identical to
+// TimingReport::critical_path (both use the same formatter in src/sta).
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extract/extract.h"
+#include "netlist/netlist.h"
+#include "sta/sta.h"
+
+namespace ffet::report {
+
+/// One instance ("stage") along a timing path, driver-first.
+struct PathStage {
+  netlist::InstId inst = netlist::kNoInst;
+  std::string inst_name;
+  std::string cell;
+
+  /// Input pin this path enters through: the clock pin for a launching
+  /// flip-flop, the data pin fed by the previous stage otherwise; empty for
+  /// a PI-fed combinational first stage.
+  std::string in_pin;
+  stdcell::PinSide in_side = stdcell::PinSide::Front;
+  /// This stage's input pin sits on the other wafer side than the previous
+  /// stage's — the hop crossed through the driver's Drain Merge.
+  bool crossing = false;
+
+  double arrival_ps = 0.0;  ///< worst output arrival (endpoint: path delay)
+  double slew_ps = 0.0;     ///< worst output slew (0 on the endpoint row)
+  double load_ff = 0.0;     ///< extracted total cap on the output net
+  int fanout = 0;           ///< sink pins on the output net
+  bool has_output = false;  ///< false on a flip-flop endpoint row
+  stdcell::PinSide out_side = stdcell::PinSide::Front;
+
+  bool is_endpoint = false;
+};
+
+struct TimingPath {
+  sta::PathEnd end;
+  std::string endpoint;     ///< "ff_12/D" or "port:dmem_addr"
+  double path_ps = 0.0;     ///< unconstrained path delay (PathEnd::path_ps)
+  double slack_ps = 0.0;    ///< at the report's target period
+  int side_crossings = 0;   ///< == Sta::path_side_crossings
+  std::string path_names;   ///< "a -> b -> ..." (worst path: bit-identical
+                            ///< to TimingReport::critical_path)
+  std::vector<PathStage> stages;
+};
+
+struct TimingReportOptions {
+  int top_k = 10;
+  /// Slack reference.  <= 0 derives the period that puts the worst endpoint
+  /// at exactly zero slack (signoff convention: report slacks relative to
+  /// the achieved frequency).
+  double target_period_ps = 0.0;
+};
+
+/// Expand the top-K endpoints of the last analysis into full path reports.
+/// `rc` may be null (load columns read 0).  Read-only over all inputs.
+std::vector<TimingPath> build_timing_paths(
+    const sta::Sta& sta, const netlist::Netlist& nl,
+    const extract::RcNetlist* rc,
+    const std::unordered_map<netlist::InstId, double>* clock_latency_ps,
+    const TimingReportOptions& options = {});
+
+/// Render paths as a classic text timing report (stage tables with side
+/// and crossing annotations).  Deterministic.
+std::string format_timing_report(const std::vector<TimingPath>& paths,
+                                 double target_period_ps);
+
+}  // namespace ffet::report

@@ -56,6 +56,22 @@ NetId output_net_of(const netlist::Instance& inst) {
   }
   return netlist::kNoNet;
 }
+
+/// The "a -> b -> ..." path rendering shared by TimingReport::critical_path
+/// and Sta::path_string — one formatter so the two stay bit-identical.
+std::string format_path_names(const Netlist& nl,
+                              const std::vector<InstId>& path) {
+  std::string desc;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) desc += " -> ";
+    desc += nl.instance(path[i]).name;
+    if (desc.size() > 400) {
+      desc += " ...";
+      break;
+    }
+  }
+  return desc;
+}
 }  // namespace
 
 Sta::Sta(const Netlist* nl, const extract::RcNetlist* rc, StaOptions options)
@@ -321,16 +337,7 @@ TimingReport Sta::build_report(
   }
   std::reverse(critical_insts_.begin(), critical_insts_.end());
   if (worst_end != netlist::kNoInst) critical_insts_.push_back(worst_end);
-  std::string desc;
-  for (std::size_t i = 0; i < critical_insts_.size(); ++i) {
-    if (i) desc += " -> ";
-    desc += nl_->instance(critical_insts_[i]).name;
-    if (desc.size() > 400) {
-      desc += " ...";
-      break;
-    }
-  }
-  rep.critical_path = desc;
+  rep.critical_path = format_path_names(*nl_, critical_insts_);
   return rep;
 }
 
@@ -529,6 +536,45 @@ std::vector<InstId> Sta::path_instances(const PathEnd& e) const {
   std::reverse(path.begin(), path.end());
   path.push_back(e.endpoint);
   return path;
+}
+
+std::string Sta::path_string(const PathEnd& e) const {
+  return format_path_names(*nl_, path_instances(e));
+}
+
+std::string Sta::endpoint_name(const PathEnd& e) const {
+  if (!e.is_port) return nl_->instance(e.endpoint).name + "/D";
+  for (const netlist::Port& port : nl_->ports()) {
+    if (port.is_input || port.net == netlist::kNoNet) continue;
+    if (nl_->net(port.net).driver.inst == e.endpoint) {
+      return "port:" + port.name;
+    }
+  }
+  return nl_->instance(e.endpoint).name + "/out";
+}
+
+int Sta::path_side_crossings(const PathEnd& e) const {
+  const std::vector<InstId> path = path_instances(e);
+  int crossings = 0;
+  bool have_prev = false;
+  stdcell::PinSide prev = stdcell::PinSide::Front;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NetId out = output_net_of(nl_->instance(path[i]));
+    if (out == netlist::kNoNet) continue;
+    const netlist::Instance& sink = nl_->instance(path[i + 1]);
+    for (std::size_t p = 0; p < sink.pin_nets.size(); ++p) {
+      if (sink.pin_nets[p] != out) continue;
+      if (sink.type->pins()[p].dir == PinDir::Output) continue;
+      stdcell::PinSide s =
+          nl_->pin_side({path[i + 1], static_cast<int>(p)});
+      if (s == stdcell::PinSide::Both) s = stdcell::PinSide::Front;
+      if (have_prev && s != prev) ++crossings;
+      prev = s;
+      have_prev = true;
+      break;
+    }
+  }
+  return crossings;
 }
 
 HoldReport Sta::analyze_hold(

@@ -172,6 +172,24 @@ class Sta {
   /// driver).  Valid after an analysis.
   std::vector<netlist::InstId> path_instances(const PathEnd& e) const;
 
+  /// The path into `e` rendered exactly like `TimingReport::critical_path`
+  /// ("a -> b -> ...", truncated past 400 characters with " ...").  For the
+  /// worst endpoint of the last analysis the returned bytes are identical
+  /// to the report's string (both go through the same formatter).
+  std::string path_string(const PathEnd& e) const;
+
+  /// Human-readable endpoint name: "inst/D" for a flip-flop D pin,
+  /// "port:NAME" for a primary output ("inst/out" if the port lookup
+  /// fails — e.g. the driver feeds several ports and the first wins).
+  std::string endpoint_name(const PathEnd& e) const;
+
+  /// Front<->back wafer crossings along the data path into `e`: the number
+  /// of consecutive hop pairs whose sink input pins sit on different wafer
+  /// sides.  Each change of side passes through the driving cell's
+  /// dual-sided Drain-Merge output pin — the only structure crossing the
+  /// wafer (Sec. III.C).  Dual-sided (Both) input pins count as frontside.
+  int path_side_crossings(const PathEnd& e) const;
+
   /// Instances recomputed by the last update_timing() (worklist pops) —
   /// the incremental-STA effort metric benches and telemetry report.
   long last_update_recomputed() const { return last_update_recomputed_; }

@@ -1,0 +1,382 @@
+// Signoff reporting subsystem tests: the JSON value parser, the
+// flow-report JSONL reader (round-trip against src/flow's emitter,
+// malformed-line and unknown-field tolerance), the QoR diff engine's
+// pairing/threshold semantics, and — over a real reduced flow — the
+// multi-path timing report's bit-identity with the STA's critical path
+// plus the per-net attribution invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+#include "flow/report_json.h"
+#include "io/def.h"
+#include "report/json.h"
+#include "report/net_report.h"
+#include "report/qor.h"
+#include "report/snapshot.h"
+#include "report/timing_report.h"
+#include "sta/sta.h"
+
+namespace ffet::report {
+namespace {
+
+// ---------------------------------------------------------------- parser
+
+TEST(JsonParser, ScalarsNestingAndOrder) {
+  std::string err;
+  const std::optional<json::Value> doc = json::parse(
+      R"({"a":1.5,"b":-2,"c":true,"d":"x\ny","e":[1,2,3],"f":{"g":3}})", &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const json::Value& v = *doc;
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members.size(), 6u);
+  EXPECT_EQ(v.members[0].first, "a");  // emission order preserved
+  EXPECT_EQ(v.members[5].first, "f");
+  EXPECT_DOUBLE_EQ(v.member_number("a"), 1.5);
+  EXPECT_DOUBLE_EQ(v.member_number("b"), -2.0);
+  EXPECT_TRUE(v.find("c")->bool_or(false));
+  EXPECT_EQ(v.find("d")->str, "x\ny");
+  ASSERT_EQ(v.find("e")->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("e")->items[2].number, 3.0);
+  EXPECT_DOUBLE_EQ(v.find("f")->member_number("g"), 3.0);
+}
+
+TEST(JsonParser, UnicodeEscape) {
+  std::string err;
+  const std::optional<json::Value> doc =
+      json::parse(R"({"k":"A\u00e9"})", &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->find("k")->str, "A\xc3\xa9");  // UTF-8 re-encoding
+}
+
+TEST(JsonParser, RejectsMalformed) {
+  std::string err;
+  EXPECT_FALSE(json::parse(R"({"a":)", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(json::parse(R"({"a":1} trailing)", &err).has_value())
+      << "trailing bytes must be rejected";
+  EXPECT_FALSE(json::parse("", &err).has_value());
+}
+
+// ------------------------------------------------------ flow-report reader
+
+/// A FlowResult with distinctive values in every section the reader maps.
+flow::FlowResult make_result(double freq_ghz, double power_uw, int drv,
+                             int eco_passes) {
+  flow::FlowResult r;
+  r.config.rv32_registers = 8;
+  r.config.utilization = 0.65;
+  r.config.eco_passes = eco_passes;
+  r.placement_legal = true;
+  r.route_valid = true;
+  r.achieved_freq_ghz = freq_ghz;
+  r.critical_path_ps = 1000.0 / freq_ghz;
+  r.power_uw = power_uw;
+  r.efficiency_ghz_per_mw = freq_ghz / (power_uw / 1000.0);
+  r.drv = drv;
+  r.drv_wire = drv;
+  r.wirelength_front_um = 123.25;
+  r.wirelength_back_um = 67.5;
+  r.utilization = 0.645;
+  r.core_area_um2 = 480.0;
+  r.clock_skew_ps = 3.75;
+  r.ir_drop_mv = 21.5;
+  r.route_passes = 2;
+  r.place_mean_displacement_um = 0.4;
+  if (eco_passes > 0) {
+    r.eco_passes_run = eco_passes;
+    r.eco_attempted = 12;
+    r.eco_accepted = 5;
+    r.eco_reverted = 7;
+    r.eco_buffers = 3;
+    r.eco_pre_freq_ghz = freq_ghz * 0.97;
+    r.eco_post_freq_ghz = freq_ghz;
+    r.eco_pre_power_uw = power_uw * 0.98;
+    r.eco_post_power_uw = power_uw;
+    r.eco_iso_power_uw = power_uw * 0.99;
+    r.eco_sta_speedup = 2.5;
+  }
+  r.stage_times = {{"floorplan", 1.5, 1.25}, {"route", 40.0, 38.5}};
+  return r;
+}
+
+FlowRecord record_of(const flow::FlowResult& r) {
+  std::istringstream is(flow::flow_report_json(r) + "\n");
+  ReadStats stats;
+  const std::vector<FlowRecord> recs = read_flow_reports(is, &stats);
+  EXPECT_EQ(stats.parsed, 1);
+  EXPECT_EQ(stats.malformed, 0);
+  return recs.empty() ? FlowRecord{} : recs.front();
+}
+
+TEST(FlowReportReader, RoundTripsEveryMappedSection) {
+  const flow::FlowResult r = make_result(1.25, 4000.0, 0, 2);
+  const FlowRecord rec = record_of(r);
+
+  EXPECT_EQ(rec.schema, "ffet.flow_report.v1");
+  EXPECT_EQ(rec.label, r.config.label());
+  EXPECT_TRUE(rec.valid);
+  EXPECT_TRUE(rec.invalid_reason.empty());
+
+  EXPECT_DOUBLE_EQ(rec.config.at("target_utilization"), 0.65);
+  EXPECT_DOUBLE_EQ(rec.diagnostics.at("drv"), 0.0);
+  EXPECT_DOUBLE_EQ(rec.diagnostics.at("clock_skew_ps"), 3.75);
+  EXPECT_DOUBLE_EQ(rec.ppa.at("achieved_freq_ghz"), 1.25);
+  EXPECT_DOUBLE_EQ(rec.ppa.at("power_uw"), 4000.0);
+  EXPECT_DOUBLE_EQ(rec.ppa.at("wirelength_front_um"), 123.25);
+  EXPECT_DOUBLE_EQ(rec.ppa.at("wirelength_back_um"), 67.5);
+
+  ASSERT_TRUE(rec.has_eco);
+  EXPECT_DOUBLE_EQ(rec.eco.at("passes_run"), 2.0);
+  EXPECT_DOUBLE_EQ(rec.eco.at("sta_speedup"), 2.5);
+  EXPECT_DOUBLE_EQ(rec.eco.at("post_freq_ghz"), 1.25);
+
+  ASSERT_EQ(rec.stages.size(), 2u);
+  EXPECT_EQ(rec.stages[0].stage, "floorplan");
+  EXPECT_DOUBLE_EQ(rec.stages[1].wall_ms, 40.0);
+  EXPECT_DOUBLE_EQ(rec.total_wall_ms(), 41.5);
+  EXPECT_DOUBLE_EQ(rec.total_cpu_ms(), 39.75);
+}
+
+TEST(FlowReportReader, EcoSectionAbsentWhenEcoOff) {
+  const FlowRecord rec = record_of(make_result(1.25, 4000.0, 0, 0));
+  EXPECT_FALSE(rec.has_eco);
+  EXPECT_TRUE(rec.eco.empty());
+}
+
+TEST(FlowReportReader, SkipsMalformedLinesAndKeepsTheRest) {
+  const std::string good = flow::flow_report_json(make_result(1.0, 1000.0, 0, 0));
+  std::istringstream is(good + "\nnot json at all\n" +
+                        good.substr(0, good.size() / 2) + "\n\n" + good + "\n");
+  ReadStats stats;
+  const std::vector<FlowRecord> recs = read_flow_reports(is, &stats);
+  EXPECT_EQ(recs.size(), 2u);
+  EXPECT_EQ(stats.parsed, 2);
+  EXPECT_EQ(stats.malformed, 2);
+  EXPECT_EQ(stats.lines, 4);  // the blank line is not counted
+}
+
+TEST(FlowReportReader, ToleratesUnknownFields) {
+  std::string line = flow::flow_report_json(make_result(1.0, 1000.0, 0, 0));
+  // A future schema adds a numeric and a string field at top level.
+  line.insert(line.size() - 1, R"(,"future_num":123,"future_str":"abc")");
+  std::istringstream is(line + "\n");
+  ReadStats stats;
+  const std::vector<FlowRecord> recs = read_flow_reports(is, &stats);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_DOUBLE_EQ(recs[0].extra.at("future_num"), 123.0);
+  EXPECT_EQ(stats.unknown_fields, 1);  // the string, counted but not fatal
+  EXPECT_DOUBLE_EQ(recs[0].ppa.at("achieved_freq_ghz"), 1.0);
+}
+
+// ------------------------------------------------------------ diff engine
+
+TEST(QorDiff, SelfDiffIsEmptyAndPasses) {
+  const std::vector<FlowRecord> recs = {record_of(make_result(1.2, 4000.0, 0, 0)),
+                                        record_of(make_result(0.9, 5000.0, 2, 2))};
+  const DiffReport rep = diff_flow_reports(recs, recs);
+  EXPECT_EQ(rep.pairs, 2);
+  EXPECT_TRUE(rep.deltas.empty());
+  EXPECT_EQ(rep.regressions, 0);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(QorDiff, EcoRunSurfacesFrequencyDeltaWithoutRegression) {
+  const std::vector<FlowRecord> base = {record_of(make_result(1.00, 4000.0, 0, 0))};
+  const std::vector<FlowRecord> now = {record_of(make_result(1.05, 4010.0, 0, 2))};
+  const DiffReport rep = diff_flow_reports(base, now);
+  const Delta* freq = nullptr;
+  for (const Delta& d : rep.deltas) {
+    if (d.metric == "ppa.achieved_freq_ghz") freq = &d;
+  }
+  ASSERT_NE(freq, nullptr) << "eco=2 vs eco=0 must flag the frequency delta";
+  EXPECT_DOUBLE_EQ(freq->base, 1.00);
+  EXPECT_DOUBLE_EQ(freq->now, 1.05);
+  EXPECT_FALSE(freq->regression) << "a frequency gain is not a regression";
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(QorDiff, FrequencyDropBeyondThresholdFails) {
+  const std::vector<FlowRecord> base = {record_of(make_result(1.05, 4000.0, 0, 0))};
+  const std::vector<FlowRecord> now = {record_of(make_result(1.00, 4000.0, 0, 0))};
+  const DiffReport rep = diff_flow_reports(base, now);  // default: -1 % gate
+  EXPECT_FALSE(rep.ok());
+  // Loosening the threshold past the drop turns the same delta into a pass.
+  DiffOptions loose;
+  loose.freq_drop_pct = 10.0;
+  EXPECT_TRUE(diff_flow_reports(base, now, loose).ok());
+}
+
+TEST(QorDiff, DrvIncreaseIsARegression) {
+  const std::vector<FlowRecord> base = {record_of(make_result(1.0, 4000.0, 0, 0))};
+  const std::vector<FlowRecord> now = {record_of(make_result(1.0, 4000.0, 3, 0))};
+  const DiffReport rep = diff_flow_reports(base, now);
+  EXPECT_FALSE(rep.ok());
+  DiffOptions no_drv;
+  no_drv.gate_drv = false;
+  EXPECT_TRUE(diff_flow_reports(base, now, no_drv).ok());
+}
+
+TEST(QorDiff, ValidToInvalidIsARegression) {
+  flow::FlowResult bad = make_result(1.0, 4000.0, 0, 0);
+  bad.route_valid = false;
+  bad.invalid_reason = "routing failed";
+  const std::vector<FlowRecord> base = {record_of(make_result(1.0, 4000.0, 0, 0))};
+  const std::vector<FlowRecord> now = {record_of(bad)};
+  EXPECT_FALSE(diff_flow_reports(base, now).ok());
+}
+
+TEST(QorDiff, EcoPostBelowPreIsARegression) {
+  flow::FlowResult broken = make_result(1.0, 4000.0, 0, 2);
+  broken.eco_pre_freq_ghz = 1.10;  // revert path failed: ended slower
+  broken.eco_post_freq_ghz = 1.00;
+  const std::vector<FlowRecord> base = {record_of(make_result(1.0, 4000.0, 0, 0))};
+  const DiffReport rep =
+      diff_flow_reports(base, {record_of(broken)});
+  EXPECT_FALSE(rep.ok());
+  bool found = false;
+  for (const Delta& d : rep.deltas) {
+    if (d.metric == "eco.post_vs_pre_freq_ghz") found = d.regression;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QorDiff, FormatNamesRegressionsAndVerdict) {
+  const std::vector<FlowRecord> base = {record_of(make_result(1.0, 4000.0, 0, 0))};
+  const std::vector<FlowRecord> now = {record_of(make_result(1.0, 4200.0, 0, 0))};
+  const DiffReport rep = diff_flow_reports(base, now);  // +5 % power, gate 2 %
+  const std::string text = format_diff(rep);
+  EXPECT_NE(text.find("ppa.power_uw"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  const std::string ok_text = format_diff(diff_flow_reports(base, base));
+  EXPECT_NE(ok_text.find("no differences"), std::string::npos);
+  EXPECT_NE(ok_text.find("OK"), std::string::npos);
+}
+
+// ------------------------------------------- reports over a real flow
+
+class ReportFlowTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    flow::FlowConfig cfg;
+    cfg.tech_kind = tech::TechKind::Ffet3p5T;
+    cfg.backside_input_fraction = 0.5;
+    cfg.rv32_registers = 8;  // reduced core, same as test_flow
+    cfg.utilization = 0.65;
+    snap_ = build_snapshot(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete snap_;
+    snap_ = nullptr;
+  }
+  static Snapshot* snap_;
+};
+
+Snapshot* ReportFlowTest::snap_ = nullptr;
+
+TEST_F(ReportFlowTest, WorstPathIsBitIdenticalToStaCriticalPath) {
+  sta::Sta sta(&snap_->nl, &snap_->rc, snap_->sta_options);
+  const sta::TimingReport timing =
+      sta.analyze_timing(&snap_->cts.sink_latency_ps);
+
+  TimingReportOptions opts;
+  opts.top_k = 10;
+  const std::vector<TimingPath> paths = build_timing_paths(
+      sta, snap_->nl, &snap_->rc, &snap_->cts.sink_latency_ps, opts);
+
+  ASSERT_GE(paths.size(), 10u) << "the reduced core has >= 10 endpoints";
+  EXPECT_EQ(paths[0].path_names, timing.critical_path)
+      << "worst path must render bit-identically to the STA's string";
+
+  const std::vector<sta::PathEnd> ends =
+      sta.worst_paths(static_cast<int>(paths.size()),
+                      &snap_->cts.sink_latency_ps);
+  std::vector<std::string> endpoints;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(paths[i].endpoint, sta.endpoint_name(ends[i]));
+    EXPECT_EQ(paths[i].side_crossings, sta.path_side_crossings(ends[i]));
+    EXPECT_FALSE(paths[i].stages.empty());
+    // The stage-level crossing markers must sum to the path's count.
+    int marked = 0;
+    for (const PathStage& s : paths[i].stages) marked += s.crossing ? 1 : 0;
+    EXPECT_EQ(marked, paths[i].side_crossings) << "path " << i;
+    endpoints.push_back(paths[i].endpoint);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  EXPECT_EQ(std::unique(endpoints.begin(), endpoints.end()), endpoints.end())
+      << "top-K endpoints are distinct by construction";
+
+  // Slack convention: with no explicit period the worst endpoint sits at
+  // exactly zero slack, everything else at >= 0.
+  EXPECT_DOUBLE_EQ(paths[0].slack_ps, 0.0);
+  for (const TimingPath& p : paths) EXPECT_GE(p.slack_ps, -1e-9);
+
+  const std::string text = format_timing_report(paths, 0.0);
+  EXPECT_NE(text.find("side-crossings"), std::string::npos);
+  EXPECT_NE(text.find(paths[0].endpoint), std::string::npos);
+}
+
+TEST_F(ReportFlowTest, TimingReportIsDeterministic) {
+  sta::Sta sta(&snap_->nl, &snap_->rc, snap_->sta_options);
+  sta.analyze_timing(&snap_->cts.sink_latency_ps);
+  TimingReportOptions opts;
+  opts.top_k = 5;
+  const auto a = build_timing_paths(sta, snap_->nl, &snap_->rc,
+                                    &snap_->cts.sink_latency_ps, opts);
+  const auto b = build_timing_paths(sta, snap_->nl, &snap_->rc,
+                                    &snap_->cts.sink_latency_ps, opts);
+  EXPECT_EQ(format_timing_report(a, 0.0), format_timing_report(b, 0.0));
+}
+
+TEST_F(ReportFlowTest, NetAttributionCoversRoutedDesign) {
+  const std::string def_before = io::to_def_string(snap_->merged);
+  const NetReport rep = build_net_report(snap_->nl, snap_->merged, snap_->rc);
+  EXPECT_EQ(io::to_def_string(snap_->merged), def_before)
+      << "building a report must not mutate the design";
+
+  ASSERT_EQ(rep.nets.size(),
+            static_cast<std::size_t>(snap_->nl.num_nets()));
+  EXPECT_GT(rep.total_length_um, 0.0);
+  EXPECT_GT(rep.total_elmore_ps, 0.0);
+  EXPECT_GT(rep.total_vias, 0);
+
+  // At 50/50 dual-sided pins, both sides carry wire and at least one net
+  // is routed on both (its driver's Drain Merge feeds front and back).
+  double front = 0.0, back = 0.0;
+  bool any_dual = false;
+  for (const NetAttribution& n : rep.nets) {
+    front += n.length_front_um;
+    back += n.length_back_um;
+    any_dual = any_dual || n.dual_sided;
+    // Per-layer split must reconcile with the side totals.
+    double layer_sum = 0.0;
+    for (const auto& [layer, um] : n.layer_um) layer_sum += um;
+    EXPECT_NEAR(layer_sum, n.length_um(), 1e-6) << n.name;
+  }
+  EXPECT_GT(front, 0.0);
+  EXPECT_GT(back, 0.0);
+  EXPECT_TRUE(any_dual);
+
+  EXPECT_GT(rep.length_hist.count, 0u);
+  EXPECT_GT(rep.cap_hist.count, 0u);
+  EXPECT_GT(rep.elmore_hist.count, 0u);
+
+  const std::string summary = format_net_report(rep, 10);
+  EXPECT_NE(summary.find("Net attribution"), std::string::npos);
+  EXPECT_NE(summary.find("Top 10 nets by worst sink Elmore"),
+            std::string::npos);
+  const std::string detail =
+      format_net_detail(rep, rep.nets.front().name);
+  EXPECT_NE(detail.find(rep.nets.front().name), std::string::npos);
+  EXPECT_NE(format_net_detail(rep, "no_such_net").find("not found"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ffet::report
