@@ -40,6 +40,10 @@ for arg in "$@"; do
   esac
 done
 
+# Bench-name filtering and --quick compose: a named list picks *which*
+# benches run, --quick independently picks *how* they run.  Earlier
+# revisions dropped the quick flag (and with it the router artifacts) as
+# soon as a bench list was named.
 if [ -n "$named" ]; then
   benches=$named
   run_stages=0
@@ -58,9 +62,11 @@ export FFET_BENCH_JSON="$JSONL"
 # should not mask the results of the rest: run them all, then report.
 failures=""
 for b in $benches; do
-  # bench_eco sweeps a full RV32 flow twice; quick mode trims its ECO passes.
+  # Every bench parses --quick (bench_common.h); each decides what a
+  # reduced sweep means (bench_eco trims ECO passes, bench_router drops to
+  # one timing rep, the sweep benches thin their points).
   flags=""
-  if [ "$quick" = 1 ] && [ "$b" = bench_eco ]; then
+  if [ "$quick" = 1 ]; then
     flags="--quick"
   fi
   if [ "$trace" = 1 ]; then

@@ -16,8 +16,9 @@ Exit codes pass through from `ffet_report diff`: 0 pass, 1 regression,
 Modes:
   eco     — absolute gates on the new BENCH_eco.json (post freq >= pre,
             iso power within 1 %, incremental-STA speedup >= 1, gates_ok);
-  router  — BENCH_router.json vs committed baseline (settled/route +20 %,
-            speedup -20 %, qor_ok);
+  router  — BENCH_router.json vs committed baseline (astar/astar2
+            settled/route +20 %, speedup/speedup2 -20 %, >= 1.8x stage-2
+            floor at congested configs, qor_ok);
   flow    — flow-report JSONL vs JSONL (schema ffet.flow_report.v1):
             frequency / power / wirelength / DRV / validity deltas.
 """

@@ -323,9 +323,12 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   res.drv = routes.drv_estimate;
   res.route_passes = routes.rrr_passes;
   res.route_ripups = routes.ripups_total;
+  res.route_region_ripups = routes.region_ripups_total;
   res.route_overflow = routes.overflow_total;
   res.route_settled_nodes = routes.settled_nodes;
   res.route_window_expansions = routes.window_expansions;
+  res.route_steiner_subnets = routes.steiner_subnets;
+  res.route_fastpath = routes.fastpath_routes;
   res.drv_wire = routes.drv_wire;
   res.drv_pin_access = routes.drv_pin_access;
   res.wirelength_front_um = routes.wirelength_front_um;

@@ -164,10 +164,19 @@ struct FlowResult {
 
   // Convergence / quality diagnostics (telemetry).
   int route_passes = 0;         ///< RRR passes the router actually ran
-  long route_ripups = 0;        ///< total subnet rip-ups across all passes
+  /// Total subnet-level rip-ups across all passes: 2-pin subnets for the
+  /// stage-2 engine, whole per-side subnets for the stage-1 engines —
+  /// distinct granularities, reported distinctly from the region events
+  /// below.
+  long route_ripups = 0;
+  /// Congestion regions processed across all passes (stage-2 engine only;
+  /// each region is one batched rip-up-and-reroute unit).
+  long route_region_ripups = 0;
   int route_overflow = 0;       ///< residual hard overflow (track units)
   long route_settled_nodes = 0;  ///< maze-search nodes settled (all passes)
   long route_window_expansions = 0;  ///< A* window retries (x2 / full grid)
+  long route_steiner_subnets = 0;  ///< 2-pin subnets from Steiner decomposition
+  long route_fastpath = 0;  ///< 2-pin routes satisfied by the L/Z fast path
   int drv_wire = 0;             ///< DRVs from wire overflow
   int drv_pin_access = 0;       ///< DRVs from pin-access overload
   double place_mean_displacement_um = 0.0;  ///< legalization displacement

@@ -75,9 +75,12 @@ void write_json(const FlowResult& r, std::ostream& os) {
   o.field("drv_pin_access", r.drv_pin_access);
   o.field("route_passes", r.route_passes);
   o.field("route_ripups", r.route_ripups);
+  o.field("route_region_ripups", r.route_region_ripups);
   o.field("route_overflow", r.route_overflow);
   o.field("route_settled_nodes", r.route_settled_nodes);
   o.field("route_window_expansions", r.route_window_expansions);
+  o.field("route_steiner_subnets", r.route_steiner_subnets);
+  o.field("route_fastpath", r.route_fastpath);
   o.field("core_area_um2", r.core_area_um2);
   o.field("utilization", r.utilization);
   o.field("hpwl_um", r.hpwl_um);
@@ -170,10 +173,15 @@ std::string flow_report_json(const FlowResult& r) {
   j.field("drv_pin_access", static_cast<long long>(r.drv_pin_access));
   j.field("route_passes", static_cast<long long>(r.route_passes));
   j.field("route_ripups", static_cast<long long>(r.route_ripups));
+  j.field("route_region_ripups",
+          static_cast<long long>(r.route_region_ripups));
   j.field("route_overflow", static_cast<long long>(r.route_overflow));
   j.field("route_settled_nodes", static_cast<long long>(r.route_settled_nodes));
   j.field("route_window_expansions",
           static_cast<long long>(r.route_window_expansions));
+  j.field("route_steiner_subnets",
+          static_cast<long long>(r.route_steiner_subnets));
+  j.field("route_fastpath", static_cast<long long>(r.route_fastpath));
   j.field("clock_skew_ps", r.clock_skew_ps);
   j.field("ir_drop_mv", r.ir_drop_mv);
   j.close_obj();

@@ -1,0 +1,111 @@
+#include "pnr/region.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ffet::pnr {
+
+bool regions_overlap(const CongestionRegion& a, const CongestionRegion& b) {
+  return a.c_lo <= b.c_hi && b.c_lo <= a.c_hi && a.r_lo <= b.r_hi &&
+         b.r_lo <= a.r_hi;
+}
+
+namespace {
+
+int find_root(std::vector<int>& parent, int x) {
+  while (parent[static_cast<std::size_t>(x)] != x) {
+    parent[static_cast<std::size_t>(x)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    x = parent[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<CongestionRegion> cluster_congestion_regions(
+    const std::vector<int>& overflowed, int cols, int rows, int merge_dist,
+    int margin) {
+  if (overflowed.empty() || cols <= 0 || rows <= 0) return {};
+
+  // Canonical seed order: sorted unique flat indices.
+  std::vector<int> cells = overflowed;
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  const int n = static_cast<int>(cells.size());
+
+  // Union cells within Chebyshev distance merge_dist.  O(n^2) over the
+  // overflowed cells only — a pass rarely overflows more than a few dozen
+  // gcells, and determinism matters more than asymptotics here.
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  for (int i = 0; i < n; ++i) {
+    const int ci = cells[static_cast<std::size_t>(i)] % cols;
+    const int ri = cells[static_cast<std::size_t>(i)] / cols;
+    for (int j = i + 1; j < n; ++j) {
+      const int cj = cells[static_cast<std::size_t>(j)] % cols;
+      const int rj = cells[static_cast<std::size_t>(j)] / cols;
+      if (std::abs(ci - cj) <= merge_dist && std::abs(ri - rj) <= merge_dist) {
+        parent[static_cast<std::size_t>(find_root(parent, j))] =
+            find_root(parent, i);
+      }
+    }
+  }
+
+  // Bounding box per cluster root, expanded by the margin.
+  std::vector<CongestionRegion> boxes;
+  std::vector<int> box_of(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const int root = find_root(parent, i);
+    const int c = cells[static_cast<std::size_t>(i)] % cols;
+    const int r = cells[static_cast<std::size_t>(i)] / cols;
+    int& slot = box_of[static_cast<std::size_t>(root)];
+    if (slot < 0) {
+      slot = static_cast<int>(boxes.size());
+      boxes.push_back({c, c, r, r, 0});
+    }
+    CongestionRegion& b = boxes[static_cast<std::size_t>(slot)];
+    b.c_lo = std::min(b.c_lo, c);
+    b.c_hi = std::max(b.c_hi, c);
+    b.r_lo = std::min(b.r_lo, r);
+    b.r_hi = std::max(b.r_hi, r);
+    ++b.cells;
+  }
+  for (CongestionRegion& b : boxes) {
+    b.c_lo = std::max(0, b.c_lo - margin);
+    b.c_hi = std::min(cols - 1, b.c_hi + margin);
+    b.r_lo = std::max(0, b.r_lo - margin);
+    b.r_hi = std::min(rows - 1, b.r_hi + margin);
+  }
+
+  // Transitively merge boxes that overlap after expansion, in index order,
+  // until a fixpoint: the output regions are pairwise disjoint.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t i = 0; i < boxes.size() && !merged; ++i) {
+      for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+        if (!regions_overlap(boxes[i], boxes[j])) continue;
+        boxes[i].c_lo = std::min(boxes[i].c_lo, boxes[j].c_lo);
+        boxes[i].c_hi = std::max(boxes[i].c_hi, boxes[j].c_hi);
+        boxes[i].r_lo = std::min(boxes[i].r_lo, boxes[j].r_lo);
+        boxes[i].r_hi = std::max(boxes[i].r_hi, boxes[j].r_hi);
+        boxes[i].cells += boxes[j].cells;
+        boxes.erase(boxes.begin() + static_cast<std::ptrdiff_t>(j));
+        merged = true;
+        break;
+      }
+    }
+  }
+
+  std::sort(boxes.begin(), boxes.end(),
+            [](const CongestionRegion& a, const CongestionRegion& b) {
+              if (a.r_lo != b.r_lo) return a.r_lo < b.r_lo;
+              if (a.c_lo != b.c_lo) return a.c_lo < b.c_lo;
+              if (a.r_hi != b.r_hi) return a.r_hi < b.r_hi;
+              return a.c_hi < b.c_hi;
+            });
+  return boxes;
+}
+
+}  // namespace ffet::pnr

@@ -6,11 +6,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <numeric>
 #include <queue>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/obs.h"
+#include "pnr/region.h"
+#include "pnr/steiner.h"
 #include "runtime/thread_pool.h"
 
 namespace ffet::pnr {
@@ -188,6 +192,28 @@ struct SideGrid {
   }
 };
 
+/// A private usage overlay for the stage-2 region-batched reroute: during
+/// the snapshot-search phase of a pass every congestion region routes its
+/// 2-pin subnets against the *frozen* grid plus this per-region delta of
+/// the paths the region has already picked, so subnets of one region see
+/// each other while disjoint regions stay independent.  Keyed by edge
+/// index per direction; commits to the real grid happen only at the serial
+/// barrier.  (The overlay counts every path crossing, deliberately ignoring
+/// same-net refcount sharing — a conservative, deterministic approximation
+/// that only ever over-prices an edge.)
+struct UseOverlay {
+  std::unordered_map<int, double> h, v;
+
+  double h_delta(std::size_t e) const {
+    const auto it = h.find(static_cast<int>(e));
+    return it == h.end() ? 0.0 : it->second;
+  }
+  double v_delta(std::size_t e) const {
+    const auto it = v.find(static_cast<int>(e));
+    return it == v.end() ? 0.0 : it->second;
+  }
+};
+
 /// Route one subnet as a Steiner-ish tree: iteratively connect the nearest
 /// unconnected sink to the existing tree with a tree-targeted maze search
 /// (zero-cost sources at all tree nodes).  Two kernels share the search
@@ -212,6 +238,32 @@ struct PathRouter {
   int tree_stamp = 0;
   long settled = 0;     ///< nodes settled across all searches (both kernels)
   long expansions = 0;  ///< A* window retries (x2 margin or full grid)
+  /// Stage-2 snapshot-search usage overlay; when set, the A* kernel prices
+  /// and prunes edges as if the overlay deltas were already committed.
+  /// The heuristic floors stay admissible: deltas only add load, and
+  /// edge_cost() is monotone in load.
+  const UseOverlay* overlay = nullptr;
+
+  double h_weight(std::size_t e) const {
+    if (overlay == nullptr) return g.h_cost[e];
+    const double d = overlay->h_delta(e);
+    if (d == 0.0) return g.h_cost[e];
+    return edge_cost(g.h_base[e], g.h_use[e] + d, g.h_cap, g.h_hist[e]);
+  }
+  double v_weight(std::size_t e) const {
+    if (overlay == nullptr) return g.v_cost[e];
+    const double d = overlay->v_delta(e);
+    if (d == 0.0) return g.v_cost[e];
+    return edge_cost(g.v_base[e], g.v_use[e] + d, g.v_cap, g.v_hist[e]);
+  }
+  bool h_blocked(std::size_t e) const {
+    const double d = overlay == nullptr ? 0.0 : overlay->h_delta(e);
+    return g.h_base[e] + g.h_use[e] + d + 1.0 > g.h_cap_hard;
+  }
+  bool v_blocked(std::size_t e) const {
+    const double d = overlay == nullptr ? 0.0 : overlay->v_delta(e);
+    return g.v_base[e] + g.v_use[e] + d + 1.0 > g.v_cap_hard;
+  }
 
   /// 4-ary min-heap keyed (f, g, node-id): lower f first, then *higher* g
   /// (ties on f prefer nodes closer to the target), then lower node id —
@@ -389,19 +441,19 @@ struct PathRouter {
       };
       if (c + 1 <= c_hi) {
         const auto e = static_cast<std::size_t>(g.h_edge(c, r));
-        if (!prune || !g.h_full(e)) relax(c + 1, r, g.h_cost[e]);
+        if (!prune || !h_blocked(e)) relax(c + 1, r, h_weight(e));
       }
       if (c - 1 >= c_lo) {
         const auto e = static_cast<std::size_t>(g.h_edge(c - 1, r));
-        if (!prune || !g.h_full(e)) relax(c - 1, r, g.h_cost[e]);
+        if (!prune || !h_blocked(e)) relax(c - 1, r, h_weight(e));
       }
       if (r + 1 <= r_hi) {
         const auto e = static_cast<std::size_t>(g.v_edge(c, r));
-        if (!prune || !g.v_full(e)) relax(c, r + 1, g.v_cost[e]);
+        if (!prune || !v_blocked(e)) relax(c, r + 1, v_weight(e));
       }
       if (r - 1 >= r_lo) {
         const auto e = static_cast<std::size_t>(g.v_edge(c, r - 1));
-        if (!prune || !g.v_full(e)) relax(c, r - 1, g.v_cost[e]);
+        if (!prune || !v_blocked(e)) relax(c, r - 1, v_weight(e));
       }
     }
     return false;
@@ -460,6 +512,41 @@ struct PathRouter {
     }
   }
 
+  /// Hard-pruned-only variant of connect_astar(): one windowed attempt,
+  /// then one full-grid attempt, both refusing edges at hard capacity.
+  /// Returns an empty path when no hard-clean route exists.  Because it
+  /// never crosses a saturated edge it can never *create* hard overflow,
+  /// which makes it safe for strict-improvement repair.
+  std::vector<int> connect_pruned(const std::vector<int>& tree, int target,
+                                  int window_margin) {
+    int bc_lo = g.col_of(target), bc_hi = bc_lo;
+    int br_lo = g.row_of(target), br_hi = br_lo;
+    for (int t : tree) {
+      const int c = g.col_of(t), r = g.row_of(t);
+      bc_lo = std::min(bc_lo, c);
+      bc_hi = std::max(bc_hi, c);
+      br_lo = std::min(br_lo, r);
+      br_hi = std::max(br_hi, r);
+    }
+    const int margin = std::max(1, window_margin);
+    const int c_lo = std::max(0, bc_lo - margin);
+    const int c_hi = std::min(g.cols - 1, bc_hi + margin);
+    const int r_lo = std::max(0, br_lo - margin);
+    const int r_hi = std::min(g.rows - 1, br_hi + margin);
+    if (search_window(tree, target, c_lo, c_hi, r_lo, r_hi, true)) {
+      return walk_back(target);
+    }
+    const bool was_full =
+        c_lo == 0 && r_lo == 0 && c_hi == g.cols - 1 && r_hi == g.rows - 1;
+    if (!was_full) {
+      ++expansions;
+      if (search_window(tree, target, 0, g.cols - 1, 0, g.rows - 1, true)) {
+        return walk_back(target);
+      }
+    }
+    return {};
+  }
+
  private:
   std::vector<int> walk_back(int target) const {
     std::vector<int> path;
@@ -503,8 +590,9 @@ RouteEngine resolve_engine(RouteEngine requested) {
   if (const char* env = std::getenv("FFET_ROUTE_ENGINE")) {
     if (std::strcmp(env, "legacy") == 0) return RouteEngine::Legacy;
     if (std::strcmp(env, "astar") == 0) return RouteEngine::Astar;
+    if (std::strcmp(env, "astar2") == 0) return RouteEngine::Astar2;
   }
-  return RouteEngine::Astar;
+  return RouteEngine::Astar2;
 }
 
 int sidx(Side s) { return s == Side::Front ? 0 : 1; }
@@ -743,6 +831,749 @@ bool subnet_crosses_overflow(const std::vector<SubNet>& subnets,
   return false;
 }
 
+/// Per-pass PathFinder history update: decay, then bump every overflowed
+/// edge in proportion to its overload (shared by all negotiation loops).
+void decay_history(SideGrid& g) {
+  for (std::size_t i = 0; i < g.h_use.size(); ++i) {
+    g.h_hist[i] *= kHistoryDecay;
+    const double o = g.h_base[i] + g.h_use[i] - g.h_cap;
+    if (o > 0) g.h_hist[i] += kHistoryGain * o / g.h_cap;
+  }
+  for (std::size_t i = 0; i < g.v_use.size(); ++i) {
+    g.v_hist[i] *= kHistoryDecay;
+    const double o = g.v_base[i] + g.v_use[i] - g.v_cap;
+    if (o > 0) g.v_hist[i] += kHistoryGain * o / g.v_cap;
+  }
+}
+
+// --- stage 2 (Astar2): Steiner 2-pin decomposition + region negotiation -------
+
+/// One 2-pin subnet: a segment of its parent per-side subnet's Steiner
+/// topology, routed independently of its siblings.
+struct TwoPin {
+  int parent = 0;  ///< index into the SubNet list
+  int a = 0;       ///< endpoint gcell nodes
+  int b = 0;
+  int len = 0;     ///< Manhattan endpoint distance (route-order key)
+};
+
+/// Per-side stage-2 state: the 2-pin subnets, their committed paths, and
+/// the gcell -> passing-subnets color map that lets a congestion region
+/// collect the subnets crossing it without scanning every path.
+struct TwoPinSide {
+  std::vector<TwoPin> tps;
+  std::vector<std::vector<int>> paths;          ///< committed node lists
+  std::vector<std::vector<int>> cell_tps;       ///< gcell -> tp ids
+  std::vector<std::size_t> route_order;         ///< (len, id) ascending
+};
+
+/// (direction, edge index) of the grid edge between adjacent nodes u, v;
+/// direction 0 is horizontal, 1 vertical.
+std::pair<int, int> edge_key(const SideGrid& g, int u, int v) {
+  const int a = std::min(u, v);
+  const int b = std::max(u, v);
+  const int c = g.col_of(a), r = g.row_of(a);
+  if (b == a + 1) return {0, g.h_edge(c, r)};
+  return {1, g.v_edge(c, r)};
+}
+
+/// Commit a 2-pin path: bump the parent subnet's per-edge refcounts (the
+/// grid sees +1 only on a 0 -> 1 transition, so overlapping paths of one
+/// net occupy one track, exactly like the stage-1 tree commit), and color
+/// every gcell the path crosses with the subnet id.
+void commit_tp(SideGrid& g, TwoPinSide& ts,
+               std::vector<std::unordered_map<int, int>>& edge_refs,
+               std::size_t tp_id, std::vector<int> path) {
+  auto& refs = edge_refs[static_cast<std::size_t>(ts.tps[tp_id].parent)];
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto [dir, e] = edge_key(g, path[i], path[i + 1]);
+    const int key = (e << 1) | dir;
+    if (++refs[key] == 1) {
+      if (dir == 0) {
+        g.apply_use_h(static_cast<std::size_t>(e), +1.0);
+      } else {
+        g.apply_use_v(static_cast<std::size_t>(e), +1.0);
+      }
+    }
+  }
+  for (int n : path) {
+    ts.cell_tps[static_cast<std::size_t>(n)].push_back(
+        static_cast<int>(tp_id));
+  }
+  ts.paths[tp_id] = std::move(path);
+}
+
+/// Undo commit_tp: decrement refcounts (grid sees -1 only on 1 -> 0) and
+/// swap-remove the subnet from the color map of every crossed gcell.
+void rip_tp(SideGrid& g, TwoPinSide& ts,
+            std::vector<std::unordered_map<int, int>>& edge_refs,
+            std::size_t tp_id) {
+  std::vector<int>& path = ts.paths[tp_id];
+  auto& refs = edge_refs[static_cast<std::size_t>(ts.tps[tp_id].parent)];
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto [dir, e] = edge_key(g, path[i], path[i + 1]);
+    const int key = (e << 1) | dir;
+    const auto it = refs.find(key);
+    if (--it->second == 0) {
+      refs.erase(it);
+      if (dir == 0) {
+        g.apply_use_h(static_cast<std::size_t>(e), -1.0);
+      } else {
+        g.apply_use_v(static_cast<std::size_t>(e), -1.0);
+      }
+    }
+  }
+  for (int n : path) {
+    std::vector<int>& cell = ts.cell_tps[static_cast<std::size_t>(n)];
+    for (std::size_t i = 0; i < cell.size(); ++i) {
+      if (cell[i] == static_cast<int>(tp_id)) {
+        cell[i] = cell.back();
+        cell.pop_back();
+        break;
+      }
+    }
+  }
+  path.clear();
+}
+
+/// Record a fresh path in a region's private overlay (every crossing
+/// counts; see UseOverlay).
+void overlay_add(UseOverlay& ov, const SideGrid& g,
+                 const std::vector<int>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto [dir, e] = edge_key(g, path[i], path[i + 1]);
+    (dir == 0 ? ov.h : ov.v)[e] += 1.0;
+  }
+}
+
+/// Monotonic L/Z fast path between adjacent-or-distant gcells a and b: try
+/// the two L-shapes and every single-intermediate-bend Z-shape inside the
+/// bounding box, and return the cheapest candidate that is *clean* — no
+/// edge it crosses would exceed its soft capacity.  Monotone paths never
+/// detour, every edge read is two array loads, and no search state is
+/// touched, so the common uncongested subnet skips the A* heap entirely.
+/// Returns an empty path when no clean monotone candidate exists (the
+/// caller falls back to A*, which may detour around the congestion).
+std::vector<int> monotone_fast_path(const SideGrid& g, const UseOverlay* ov,
+                                    int a, int b) {
+  const int ca = g.col_of(a), ra = g.row_of(a);
+  const int cb = g.col_of(b), rb = g.row_of(b);
+  const int dc = std::abs(ca - cb);
+  const int dr = std::abs(ra - rb);
+
+  // Cost + cleanliness of straight runs; `clean` is cleared, never set.
+  auto h_run = [&](int r, int c_from, int c_to, bool& clean) {
+    double cost = 0.0;
+    const int lo = std::min(c_from, c_to), hi = std::max(c_from, c_to);
+    for (int c = lo; c < hi; ++c) {
+      const auto e = static_cast<std::size_t>(g.h_edge(c, r));
+      const double d = ov == nullptr ? 0.0 : ov->h_delta(e);
+      if (g.h_base[e] + g.h_use[e] + d + 1.0 > g.h_cap) clean = false;
+      cost += d == 0.0 ? g.h_cost[e]
+                       : edge_cost(g.h_base[e], g.h_use[e] + d, g.h_cap,
+                                   g.h_hist[e]);
+    }
+    return cost;
+  };
+  auto v_run = [&](int c, int r_from, int r_to, bool& clean) {
+    double cost = 0.0;
+    const int lo = std::min(r_from, r_to), hi = std::max(r_from, r_to);
+    for (int r = lo; r < hi; ++r) {
+      const auto e = static_cast<std::size_t>(g.v_edge(c, r));
+      const double d = ov == nullptr ? 0.0 : ov->v_delta(e);
+      if (g.v_base[e] + g.v_use[e] + d + 1.0 > g.v_cap) clean = false;
+      cost += d == 0.0 ? g.v_cost[e]
+                       : edge_cost(g.v_base[e], g.v_use[e] + d, g.v_cap,
+                                   g.v_hist[e]);
+    }
+    return cost;
+  };
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  int best_x = -1, best_y = -1;  // HVH bend column / VHV bend row
+
+  // Degenerate straight segments evaluate as a single run via x == ca.
+  // Full enumeration is O((dc + dr)^2); long segments (rare — Steiner
+  // segments are short) check only the Ls and the centre bends.
+  const bool sparse = dc + dr > 96;
+  auto try_hvh = [&](int x) {
+    bool clean = true;
+    double cost = h_run(ra, ca, x, clean) + v_run(x, ra, rb, clean) +
+                  h_run(rb, x, cb, clean);
+    if (clean && cost < best_cost) {
+      best_cost = cost;
+      best_x = x;
+      best_y = -1;
+    }
+  };
+  auto try_vhv = [&](int y) {
+    bool clean = true;
+    double cost = v_run(ca, ra, y, clean) + h_run(y, ca, cb, clean) +
+                  v_run(cb, y, rb, clean);
+    if (clean && cost < best_cost) {
+      best_cost = cost;
+      best_x = -1;
+      best_y = y;
+    }
+  };
+  if (sparse) {
+    try_hvh(cb);
+    try_hvh(ca);
+    if (dc > 1) try_hvh((ca + cb) / 2);
+    if (dr > 1) try_vhv((ra + rb) / 2);
+  } else {
+    const int c_lo = std::min(ca, cb), c_hi = std::max(ca, cb);
+    for (int x = c_lo; x <= c_hi; ++x) try_hvh(x);
+    // The VHV bends at y == ra / y == rb are the L-shapes again.
+    const int r_lo = std::min(ra, rb), r_hi = std::max(ra, rb);
+    for (int y = r_lo + 1; y < r_hi; ++y) try_vhv(y);
+  }
+  if (best_x < 0 && best_y < 0) return {};
+
+  std::vector<int> path;
+  path.reserve(static_cast<std::size_t>(dc + dr) + 1);
+  path.push_back(a);
+  auto walk_h = [&](int& c, int r, int c_to) {
+    const int step = c_to > c ? 1 : -1;
+    while (c != c_to) {
+      c += step;
+      path.push_back(g.node(c, r));
+    }
+  };
+  auto walk_v = [&](int c, int& r, int r_to) {
+    const int step = r_to > r ? 1 : -1;
+    while (r != r_to) {
+      r += step;
+      path.push_back(g.node(c, r));
+    }
+  };
+  int c = ca, r = ra;
+  if (best_x >= 0) {
+    walk_h(c, r, best_x);
+    walk_v(c, r, rb);
+    walk_h(c, r, cb);
+  } else {
+    walk_v(c, r, best_y);
+    walk_h(c, r, cb);
+    walk_v(c, r, rb);
+  }
+  return path;
+}
+
+/// Search (do not commit) one 2-pin subnet: monotone fast path first, A*
+/// fallback when every monotone candidate is congested.
+std::vector<int> route_tp_search(const RouteOptions& options, SideGrid& g,
+                                 PathRouter& pr, const UseOverlay* ov,
+                                 const TwoPin& tp, long& fastpath) {
+  std::vector<int> path = monotone_fast_path(g, ov, tp.a, tp.b);
+  if (!path.empty()) {
+    ++fastpath;
+    return path;
+  }
+  // The fallback window scales with the segment: a 2-pin bbox is much
+  // smaller than a stage-1 whole-tree bbox, and a margin-6 window around a
+  // segment pinned inside a saturated band escalates straight to the
+  // unpruned full grid — creating hard overflow a wider pruned window
+  // would have detoured around.
+  pr.overlay = ov;
+  path = pr.connect_astar({tp.a}, tp.b,
+                          std::max(options.window_margin, tp.len));
+  pr.overlay = nullptr;
+  return path;
+}
+
+/// The stage-2 route loop: Steiner-decompose every subnet into 2-pin
+/// subnets, route them short-first (fast path, then A*), then negotiate by
+/// congestion region — cluster the overflowed gcells, rip only the subnets
+/// crossing each region, search region reroutes in parallel against a
+/// frozen snapshot (private overlays), and commit serially in region order.
+/// Serial and threaded runs execute the same searches against the same
+/// frozen state, so results are bit-identical at any thread count.
+/// Fills route_edges (per parent subnet, deduplicated) and the res
+/// counters; the caller finalizes.
+void route_astar2(RouteResult& res, const RouteOptions& options,
+                  const std::vector<SubNet>& subnets,
+                  std::array<SideGrid, 2>& grids,
+                  std::array<PathRouter, 2>& routers,
+                  std::vector<std::vector<GEdge>>& route_edges) {
+  // --- decompose over Steiner topologies -----------------------------------
+  std::array<TwoPinSide, 2> sides;
+  std::vector<std::unordered_map<int, int>> edge_refs(subnets.size());
+  for (std::size_t si = 0; si < subnets.size(); ++si) {
+    const SubNet& sn = subnets[si];
+    const auto sz = static_cast<std::size_t>(sidx(sn.side));
+    SideGrid& g = grids[sz];
+    TwoPinSide& ts = sides[sz];
+    std::vector<int> term_nodes;
+    std::vector<SteinerPoint> terms;
+    auto add_term = [&](int n) {
+      for (int m : term_nodes) {
+        if (m == n) return;
+      }
+      term_nodes.push_back(n);
+      terms.push_back({g.col_of(n), g.row_of(n)});
+    };
+    add_term(sn.source);
+    for (int s : sn.sinks) add_term(s);
+    if (terms.size() < 2) continue;  // all terminals share one gcell
+    const SteinerTree tree = build_steiner_tree(terms);
+    for (const SteinerSeg& seg : tree.segs) {
+      const SteinerPoint& pa = tree.points[static_cast<std::size_t>(seg.a)];
+      const SteinerPoint& pb = tree.points[static_cast<std::size_t>(seg.b)];
+      if (pa == pb) continue;
+      TwoPin tp;
+      tp.parent = static_cast<int>(si);
+      tp.a = g.node(pa.c, pa.r);
+      tp.b = g.node(pb.c, pb.r);
+      tp.len = std::abs(pa.c - pb.c) + std::abs(pa.r - pb.r);
+      ts.tps.push_back(tp);
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    TwoPinSide& ts = sides[static_cast<std::size_t>(s)];
+    const SideGrid& g = grids[static_cast<std::size_t>(s)];
+    ts.paths.assign(ts.tps.size(), {});
+    ts.cell_tps.assign(static_cast<std::size_t>(g.cols * g.rows), {});
+    ts.route_order.resize(ts.tps.size());
+    std::iota(ts.route_order.begin(), ts.route_order.end(), std::size_t{0});
+    std::sort(ts.route_order.begin(), ts.route_order.end(),
+              [&](std::size_t x, std::size_t y) {
+                if (ts.tps[x].len != ts.tps[y].len) {
+                  return ts.tps[x].len < ts.tps[y].len;
+                }
+                return x < y;
+              });
+    res.steiner_subnets += static_cast<long>(ts.tps.size());
+  }
+
+  // --- initial route: short 2-pin subnets first ----------------------------
+  const bool concurrent_sides = options.threads > 1;
+  std::array<long, 2> fastpath{0, 0};
+  // Search-effort marks captured *before* the initial route so the pass-0
+  // record shows its real settled/expansion counts.
+  std::array<long, 2> settled_mark{routers[0].settled, routers[1].settled};
+  std::array<long, 2> expansions_mark{routers[0].expansions,
+                                      routers[1].expansions};
+  auto route_side_initial = [&](int s) {
+    FFET_TRACE_SCOPE("route.initial.", s == 0 ? "front" : "back");
+    const auto sz = static_cast<std::size_t>(s);
+    for (std::size_t t : sides[sz].route_order) {
+      std::vector<int> path =
+          route_tp_search(options, grids[sz], routers[sz], nullptr,
+                          sides[sz].tps[t], fastpath[sz]);
+      commit_tp(grids[sz], sides[sz], edge_refs, t, std::move(path));
+    }
+  };
+  if (concurrent_sides) {
+    runtime::parallel_invoke(options.threads, [&] { route_side_initial(0); },
+                             [&] { route_side_initial(1); });
+  } else {
+    route_side_initial(0);
+    route_side_initial(1);
+  }
+
+  // --- hard-overflow repair -------------------------------------------------
+  // The Steiner topology is fixed before congestion is known, so some
+  // subnets end up pinned across hard-saturated edges that stage-1's
+  // congestion-aware tree growth would have skirted.  Repair one subnet
+  // at a time: rip a crossing subnet and retry with hard-pruned search
+  // only (fast path, window, full grid — never unpruned), keeping the new
+  // path only when the side's hard overflow strictly drops and reverting
+  // otherwise.  Serial, id-ordered, and run at pass barriers on the
+  // (deterministic) negotiated state: bit-identical at any thread count,
+  // and monotone — hard overflow can only decrease.  Running it right
+  // after the initial route pulls hard overflow down to (near) its
+  // structural floor before any negotiation pass is paid for.
+  auto crosses_hard = [](const SideGrid& g, const std::vector<int>& path) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto [dir, e] = edge_key(g, path[i], path[i + 1]);
+      const auto ei = static_cast<std::size_t>(e);
+      if (dir == 0) {
+        if (g.h_base[ei] + g.h_use[ei] > g.h_cap_hard) return true;
+      } else {
+        if (g.v_base[ei] + g.v_use[ei] > g.v_cap_hard) return true;
+      }
+    }
+    return false;
+  };
+  // A subnet whose repair failed is only retried once the side's hard
+  // overflow has strictly improved since the failure — without this the
+  // structurally-pinned residue re-pays two pruned searches (one of them
+  // full-grid) every pass barrier for the same negative answer.
+  std::array<std::vector<double>, 2> repair_fail_at{
+      std::vector<double>(sides[0].tps.size(),
+                          std::numeric_limits<double>::infinity()),
+      std::vector<double>(sides[1].tps.size(),
+                          std::numeric_limits<double>::infinity())};
+  auto repair_hard = [&](int s) {
+    const auto sz = static_cast<std::size_t>(s);
+    SideGrid& g = grids[sz];
+    TwoPinSide& ts = sides[sz];
+    PathRouter& pr = routers[sz];
+    for (int round = 0; round < 6 && g.hard_overflow() > 0.0; ++round) {
+      bool improved = false;
+      for (std::size_t t = 0; t < ts.tps.size(); ++t) {
+        if (ts.paths[t].empty() || !crosses_hard(g, ts.paths[t])) continue;
+        if (g.hard_overflow() >= repair_fail_at[sz][t]) continue;
+        std::vector<int> old_path = ts.paths[t];
+        const double before = g.hard_overflow();
+        rip_tp(g, ts, edge_refs, t);
+        std::vector<int> repl =
+            monotone_fast_path(g, nullptr, ts.tps[t].a, ts.tps[t].b);
+        if (repl.empty()) {
+          repl = pr.connect_pruned(
+              {ts.tps[t].a}, ts.tps[t].b,
+              std::max(options.window_margin, ts.tps[t].len));
+        }
+        bool accepted = false;
+        if (!repl.empty()) {
+          commit_tp(g, ts, edge_refs, t, std::move(repl));
+          if (g.hard_overflow() < before) {
+            accepted = true;
+          } else {
+            rip_tp(g, ts, edge_refs, t);
+          }
+        }
+        if (accepted) {
+          improved = true;
+          ++res.ripups_total;
+        } else {
+          commit_tp(g, ts, edge_refs, t, std::move(old_path));
+          repair_fail_at[sz][t] = g.hard_overflow();
+        }
+      }
+      if (!improved) break;
+    }
+  };
+  repair_hard(0);
+  repair_hard(1);
+
+  // --- region-negotiated rip-up-and-reroute --------------------------------
+  auto total_hard = [&] {
+    return grids[0].hard_overflow() + grids[1].hard_overflow();
+  };
+  // The structural hard floor: pin base demand alone already past the hard
+  // capacity.  No rip-up or reroute can get below it, so negotiating
+  // toward zero when the floor is positive only burns stale passes against
+  // an unreachable target — the loop gates on the floor instead.
+  double hard_floor = 0.0;
+  for (const SideGrid& g : grids) {
+    for (std::size_t e = 0; e < g.h_base.size(); ++e) {
+      hard_floor += std::max(0.0, g.h_base[e] - g.h_cap_hard);
+    }
+    for (std::size_t e = 0; e < g.v_base.size(); ++e) {
+      hard_floor += std::max(0.0, g.v_base[e] - g.v_cap_hard);
+    }
+  }
+  std::array<std::vector<std::vector<int>>, 2> best_paths{sides[0].paths,
+                                                          sides[1].paths};
+  bool current_is_best = true;
+  double best_hard = total_hard();
+  double best_soft_front = grids[0].overflow();
+  double best_soft_back = grids[1].overflow();
+  double best_soft = best_soft_front + best_soft_back;
+  int stale_passes = 0;
+
+  auto record_pass = [&](int pass, std::size_t ripped_front,
+                         std::size_t ripped_back, double soft_front,
+                         double soft_back, double hard, int regions_front,
+                         int regions_back) {
+    RoutePassStat ps;
+    ps.pass = pass;
+    ps.ripped_front = static_cast<int>(ripped_front);
+    ps.ripped_back = static_cast<int>(ripped_back);
+    ps.overflow_front = soft_front;
+    ps.overflow_back = soft_back;
+    ps.hard_overflow = hard;
+    ps.settled_front = routers[0].settled - settled_mark[0];
+    ps.settled_back = routers[1].settled - settled_mark[1];
+    ps.window_expansions_front =
+        static_cast<int>(routers[0].expansions - expansions_mark[0]);
+    ps.window_expansions_back =
+        static_cast<int>(routers[1].expansions - expansions_mark[1]);
+    ps.regions_front = regions_front;
+    ps.regions_back = regions_back;
+    settled_mark[0] = routers[0].settled;
+    settled_mark[1] = routers[1].settled;
+    expansions_mark[0] = routers[0].expansions;
+    expansions_mark[1] = routers[1].expansions;
+    if (obs::verbose()) {
+      for (int s = 0; s < 2; ++s) {
+        std::printf(
+            "  [route2] pass=%d side=%s %s=%d regions=%d overflow_total=%.1f "
+            "hard=%.1f settled=%ld expansions=%d\n",
+            pass, s == 0 ? "front" : "back",
+            pass == 0 ? "routed" : "ripups",
+            s == 0 ? ps.ripped_front : ps.ripped_back,
+            s == 0 ? ps.regions_front : ps.regions_back,
+            s == 0 ? ps.overflow_front : ps.overflow_back, ps.hard_overflow,
+            s == 0 ? ps.settled_front : ps.settled_back,
+            s == 0 ? ps.window_expansions_front : ps.window_expansions_back);
+      }
+    }
+    res.pass_stats.push_back(ps);
+  };
+  record_pass(0, sides[0].tps.size(), sides[1].tps.size(), best_soft_front,
+              best_soft_back, best_hard, 0, 0);
+
+  std::array<std::size_t, 2> ripped_counts{0, 0};
+  std::array<int, 2> region_counts{0, 0};
+  auto pass_side = [&](int s, int pass) {
+    FFET_TRACE_SCOPE("route.pass.", pass, s == 0 ? ".front" : ".back");
+    const auto sz = static_cast<std::size_t>(s);
+    SideGrid& g = grids[sz];
+    TwoPinSide& ts = sides[sz];
+    decay_history(g);
+    g.rebuild_costs();
+
+    // Overflowed gcells = endpoints of every *rippable* soft-overflowed
+    // edge: wire usage must contribute (use > 0).  An edge whose pin base
+    // demand alone exceeds the capacity is structural — no rip-up can fix
+    // it, and seeding regions from it merges the whole die into one giant
+    // region that churns every pass for nothing.
+    std::vector<int> hot;
+    std::vector<char> is_hot(static_cast<std::size_t>(g.cols * g.rows), 0);
+    for (int r = 0; r < g.rows; ++r) {
+      for (int c = 0; c + 1 < g.cols; ++c) {
+        const auto e = static_cast<std::size_t>(g.h_edge(c, r));
+        if (g.h_use[e] > 0.0 && g.h_base[e] + g.h_use[e] > g.h_cap) {
+          hot.push_back(g.node(c, r));
+          hot.push_back(g.node(c + 1, r));
+        }
+      }
+    }
+    for (int r = 0; r + 1 < g.rows; ++r) {
+      for (int c = 0; c < g.cols; ++c) {
+        const auto e = static_cast<std::size_t>(g.v_edge(c, r));
+        if (g.v_use[e] > 0.0 && g.v_base[e] + g.v_use[e] > g.v_cap) {
+          hot.push_back(g.node(c, r));
+          hot.push_back(g.node(c, r + 1));
+        }
+      }
+    }
+    for (int n : hot) is_hot[static_cast<std::size_t>(n)] = 1;
+    const std::vector<CongestionRegion> regions = cluster_congestion_regions(
+        hot, g.cols, g.rows, options.region_merge_dist, options.region_margin);
+    region_counts[sz] = static_cast<int>(regions.size());
+    if (regions.empty()) {
+      ripped_counts[sz] = 0;
+      return;
+    }
+
+    // Claim the rip set.  The color map narrows candidates to subnets
+    // touching a hot gcell; the rip criterion is then the exact PathFinder
+    // one — the path crosses an *overflowed edge* (the margin-expanded
+    // region box defines batch grouping and reroute context, NOT the rip
+    // set, else a busy region would churn every subnet that merely
+    // transits it).  Each ripped subnet joins the region of the first hot
+    // gcell along its path; hot gcells seeded the clustering, so that
+    // region always exists, and the assignment is deterministic.
+    std::vector<int> region_of(static_cast<std::size_t>(g.cols * g.rows), -1);
+    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+      const CongestionRegion& reg = regions[ri];
+      for (int r = reg.r_lo; r <= reg.r_hi; ++r) {
+        for (int c = reg.c_lo; c <= reg.c_hi; ++c) {
+          region_of[static_cast<std::size_t>(g.node(c, r))] =
+              static_cast<int>(ri);
+        }
+      }
+    }
+    std::vector<int> cand_ids;
+    for (std::size_t n = 0; n < is_hot.size(); ++n) {
+      if (!is_hot[n]) continue;
+      const auto& cell = ts.cell_tps[n];
+      cand_ids.insert(cand_ids.end(), cell.begin(), cell.end());
+    }
+    std::sort(cand_ids.begin(), cand_ids.end());
+    cand_ids.erase(std::unique(cand_ids.begin(), cand_ids.end()),
+                   cand_ids.end());
+    std::vector<std::vector<std::size_t>> region_tps(regions.size());
+    for (int t : cand_ids) {
+      const std::vector<int>& path = ts.paths[static_cast<std::size_t>(t)];
+      bool crosses = false;
+      for (std::size_t i = 0; i + 1 < path.size() && !crosses; ++i) {
+        const auto [dir, e] = edge_key(g, path[i], path[i + 1]);
+        const auto ei = static_cast<std::size_t>(e);
+        crosses = dir == 0 ? g.h_use[ei] > 0.0 &&
+                                 g.h_base[ei] + g.h_use[ei] > g.h_cap
+                           : g.v_use[ei] > 0.0 &&
+                                 g.v_base[ei] + g.v_use[ei] > g.v_cap;
+      }
+      if (!crosses) continue;
+      for (int n : path) {
+        if (is_hot[static_cast<std::size_t>(n)]) {
+          region_tps[static_cast<std::size_t>(
+                         region_of[static_cast<std::size_t>(n)])]
+              .push_back(static_cast<std::size_t>(t));
+          break;
+        }
+      }
+    }
+    for (auto& rtps : region_tps) {
+      std::sort(rtps.begin(), rtps.end(),
+                [&](std::size_t x, std::size_t y) {
+                  if (ts.tps[x].len != ts.tps[y].len) {
+                    return ts.tps[x].len < ts.tps[y].len;
+                  }
+                  return x < y;
+                });
+    }
+
+    // Rip every claimed subnet, then freeze the grid: the snapshot phase
+    // below only reads it.
+    std::size_t n_ripped = 0;
+    for (const auto& rtps : region_tps) {
+      n_ripped += rtps.size();
+      for (std::size_t t : rtps) rip_tp(g, ts, edge_refs, t);
+    }
+
+    // Snapshot search, batched across the pool: each region prices its own
+    // fresh paths through a private overlay; disjoint regions never see
+    // each other, so any schedule computes the same candidates.
+    std::vector<std::vector<std::vector<int>>> cand(regions.size());
+    std::vector<long> r_settled(regions.size(), 0);
+    std::vector<long> r_expansions(regions.size(), 0);
+    std::vector<long> r_fastpath(regions.size(), 0);
+    runtime::parallel_for(
+        regions.size(),
+        [&](std::size_t ri) {
+          UseOverlay ov;
+          PathRouter rpr(g);
+          cand[ri].resize(region_tps[ri].size());
+          long fast = 0;
+          for (std::size_t k = 0; k < region_tps[ri].size(); ++k) {
+            std::vector<int> p = route_tp_search(
+                options, g, rpr, &ov, ts.tps[region_tps[ri][k]], fast);
+            overlay_add(ov, g, p);
+            cand[ri][k] = std::move(p);
+          }
+          r_settled[ri] = rpr.settled;
+          r_expansions[ri] = rpr.expansions;
+          r_fastpath[ri] = fast;
+        },
+        options.threads);
+
+    // Commit barrier: serial, in canonical region order.
+    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+      for (std::size_t k = 0; k < region_tps[ri].size(); ++k) {
+        commit_tp(g, ts, edge_refs, region_tps[ri][k], std::move(cand[ri][k]));
+      }
+      routers[sz].settled += r_settled[ri];
+      routers[sz].expansions += r_expansions[ri];
+      fastpath[sz] += r_fastpath[ri];
+    }
+    ripped_counts[sz] = n_ripped;
+  };
+
+  for (int pass = 1; pass < options.rrr_passes &&
+                     best_hard > hard_floor + 1e-9 && stale_passes < 6;
+       ++pass) {
+    if (concurrent_sides) {
+      runtime::parallel_invoke(options.threads, [&] { pass_side(0, pass); },
+                               [&] { pass_side(1, pass); });
+    } else {
+      pass_side(0, pass);
+      pass_side(1, pass);
+    }
+    if (ripped_counts[0] + ripped_counts[1] == 0) break;
+    // Repair at the pass barrier: the pass's history update and region
+    // reroutes shift soft congestion, which can open hard-clean detours
+    // that were blocked a pass earlier.
+    repair_hard(0);
+    repair_hard(1);
+    res.rrr_passes = pass;
+    res.ripups_total += static_cast<long>(ripped_counts[0] + ripped_counts[1]);
+    res.region_ripups_total +=
+        static_cast<long>(region_counts[0] + region_counts[1]);
+    FFET_METRIC_OBSERVE("route.ripups_per_pass",
+                        ripped_counts[0] + ripped_counts[1]);
+
+    const double hard = total_hard();
+    const double soft_front = grids[0].overflow();
+    const double soft_back = grids[1].overflow();
+    const double soft = soft_front + soft_back;
+    record_pass(pass, ripped_counts[0], ripped_counts[1], soft_front,
+                soft_back, hard, region_counts[0], region_counts[1]);
+    if (hard < best_hard || (hard == best_hard && soft < best_soft)) {
+      best_hard = hard;
+      best_soft = soft;
+      best_paths = {sides[0].paths, sides[1].paths};
+      current_is_best = true;
+      stale_passes = 0;
+    } else {
+      current_is_best = false;
+      ++stale_passes;
+    }
+  }
+
+  // Restore the best solution (usage arrays included, for diagnostics).
+  // The refcount union is order-independent, so recommitting in id order
+  // reproduces the exact grid state of the snapshot.
+  if (!current_is_best) {
+    for (SideGrid& g : grids) g.clear_use();
+    edge_refs.assign(subnets.size(), {});
+    for (int s = 0; s < 2; ++s) {
+      const auto sz = static_cast<std::size_t>(s);
+      sides[sz].paths = best_paths[sz];
+      SideGrid& g = grids[sz];
+      auto& cell_tps = sides[sz].cell_tps;
+      for (auto& cell : cell_tps) cell.clear();
+      for (std::size_t t = 0; t < sides[sz].tps.size(); ++t) {
+        auto& refs =
+            edge_refs[static_cast<std::size_t>(sides[sz].tps[t].parent)];
+        const std::vector<int>& path = sides[sz].paths[t];
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          const auto [dir, e] = edge_key(g, path[i], path[i + 1]);
+          const int key = (e << 1) | dir;
+          if (++refs[key] == 1) {
+            if (dir == 0) {
+              g.apply_use_h(static_cast<std::size_t>(e), +1.0);
+            } else {
+              g.apply_use_v(static_cast<std::size_t>(e), +1.0);
+            }
+          }
+        }
+        for (int n : path) {
+          cell_tps[static_cast<std::size_t>(n)].push_back(
+              static_cast<int>(t));
+        }
+      }
+    }
+  }
+
+  // Emit each parent subnet's deduplicated edge set (sorted by key for a
+  // stable order) — the per-parent refcount maps are exactly that set.
+  for (std::size_t si = 0; si < subnets.size(); ++si) {
+    const SideGrid& g =
+        grids[static_cast<std::size_t>(sidx(subnets[si].side))];
+    std::vector<int> keys;
+    keys.reserve(edge_refs[si].size());
+    for (const auto& [key, cnt] : edge_refs[si]) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    route_edges[si].clear();
+    route_edges[si].reserve(keys.size());
+    for (int key : keys) {
+      const int dir = key & 1;
+      const int e = key >> 1;
+      int a;
+      int b;
+      if (dir == 0) {
+        const int c = e % (g.cols - 1);
+        const int r = e / (g.cols - 1);
+        a = g.node(c, r);
+        b = a + 1;
+      } else {
+        const int c = e % g.cols;
+        const int r = e / g.cols;
+        a = g.node(c, r);
+        b = a + g.cols;
+      }
+      route_edges[si].push_back({a, b});
+    }
+  }
+  res.fastpath_routes = fastpath[0] + fastpath[1];
+}
+
 // --- results: wirelength, layer assignment, overflow + DRV accounting ---------
 void finalize_route_result(RouteResult& res, const Floorplan& fp,
                            const tech::Technology& tech,
@@ -850,6 +1681,9 @@ void finalize_route_result(RouteResult& res, const Floorplan& fp,
   res.valid = res.drv_estimate < 10;  // the paper's validity rule
 
   FFET_METRIC_ADD("route.ripups", res.ripups_total);
+  FFET_METRIC_ADD("route.region_ripups", res.region_ripups_total);
+  FFET_METRIC_ADD("route.steiner_subnets", res.steiner_subnets);
+  FFET_METRIC_ADD("route.fastpath_routes", res.fastpath_routes);
   FFET_METRIC_ADD("route.drv.wire", res.drv_wire);
   FFET_METRIC_ADD("route.drv.pin_access", res.drv_pin_access);
   FFET_METRIC_ADD("route.settled_nodes", res.settled_nodes);
@@ -879,6 +1713,17 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
 
   std::vector<SubNet> subnets = decompose_subnets(nl, tech, gs);
 
+  std::array<PathRouter, 2> routers{PathRouter(grids[0]), PathRouter(grids[1])};
+  std::vector<std::vector<GEdge>> route_edges(subnets.size());
+
+  if (engine == RouteEngine::Astar2) {
+    // Stage 2: Steiner 2-pin decomposition + congestion-region rip-up.
+    route_astar2(res, options, subnets, grids, routers, route_edges);
+    finalize_route_result(res, fp, tech, options, subnets, route_edges, grids,
+                          routers, gs.pin_totals, gsize);
+    return res;
+  }
+
   // Route order: short nets first (they have the least flexibility).
   std::vector<std::size_t> order(subnets.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -901,9 +1746,6 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   }
 
   // --- route with rip-up-and-reroute --------------------------------------------
-  std::array<PathRouter, 2> routers{PathRouter(grids[0]), PathRouter(grids[1])};
-  std::vector<std::vector<GEdge>> route_edges(subnets.size());
-
   auto route_one = [&](std::size_t si) {
     route_one_subnet(engine, options, subnets, grids, routers, route_edges,
                      si);
@@ -984,18 +1826,6 @@ RouteResult route_design(const Netlist& nl, const Floorplan& fp,
   };
   record_pass(0, side_order[0].size(), side_order[1].size(),
               best_soft_front, best_soft_back, best_hard);
-  auto decay_history = [](SideGrid& g) {
-    for (std::size_t i = 0; i < g.h_use.size(); ++i) {
-      g.h_hist[i] *= kHistoryDecay;
-      const double o = g.h_base[i] + g.h_use[i] - g.h_cap;
-      if (o > 0) g.h_hist[i] += kHistoryGain * o / g.h_cap;
-    }
-    for (std::size_t i = 0; i < g.v_use.size(); ++i) {
-      g.v_hist[i] *= kHistoryDecay;
-      const double o = g.v_base[i] + g.v_use[i] - g.v_cap;
-      if (o > 0) g.v_hist[i] += kHistoryGain * o / g.v_cap;
-    }
-  };
   auto crosses_overflow = [&](std::size_t si) {
     return subnet_crosses_overflow(subnets, grids, route_edges, si);
   };
@@ -1078,6 +1908,11 @@ RouteResult reroute_nets(const Netlist& nl, const Floorplan& fp,
   RouteResult res;
   const RouteEngine engine = resolve_engine(options.engine);
   res.engine_used = engine;
+  // The ECO primitive routes its (few) dirty subnets monolithically with
+  // the windowed A* kernel even under Astar2: region negotiation needs the
+  // color map of *every* route, which carried nets don't have, and the ECO
+  // contract pins them anyway.  route_one_subnet maps any non-Legacy
+  // engine to connect_astar, so no translation is needed here.
 
   // Rebuild grids and pin demand from the *current* netlist (moved/resized
   // cells and flipped pin sides shift the demand landscape), then decompose
@@ -1180,16 +2015,7 @@ RouteResult reroute_nets(const Netlist& nl, const Floorplan& fp,
     auto pass_side = [&](int s) {
       const auto sz = static_cast<std::size_t>(s);
       SideGrid& g = grids[sz];
-      for (std::size_t i = 0; i < g.h_use.size(); ++i) {
-        g.h_hist[i] *= kHistoryDecay;
-        const double o = g.h_base[i] + g.h_use[i] - g.h_cap;
-        if (o > 0) g.h_hist[i] += kHistoryGain * o / g.h_cap;
-      }
-      for (std::size_t i = 0; i < g.v_use.size(); ++i) {
-        g.v_hist[i] *= kHistoryDecay;
-        const double o = g.v_base[i] + g.v_use[i] - g.v_cap;
-        if (o > 0) g.v_hist[i] += kHistoryGain * o / g.v_cap;
-      }
+      decay_history(g);
       g.rebuild_costs();
       std::vector<std::size_t> ripped;
       for (std::size_t si : side_order[sz]) {

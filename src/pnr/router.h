@@ -38,15 +38,23 @@ namespace ffet::pnr {
 
 using tech::Side;
 
-/// Maze-search kernel selection.  `Astar` is the windowed A* engine:
-/// admissible Manhattan lower bound scaled by the per-pass minimum edge
-/// cost, a search window around {tree, target} that adaptively expands
-/// (x2, then full grid) when no hard-overflow-free path exists inside it,
-/// a per-pass edge-cost cache, and O(1) stamped tree membership.  `Legacy`
-/// is the original unbounded full-grid Dijkstra (kept as an escape hatch
-/// and as the QoR baseline).  `Auto` resolves to the FFET_ROUTE_ENGINE
-/// environment variable ("legacy" or "astar") and defaults to Astar.
-enum class RouteEngine { Auto, Legacy, Astar };
+/// Maze-search kernel selection.  `Astar2` is the stage-2 engine: every
+/// multi-sink subnet is decomposed over a rectilinear Steiner topology
+/// (src/pnr/steiner.h) into independently-routed 2-pin subnets, uncongested
+/// subnets take a monotonic L/Z fast path that never touches the A* heap,
+/// and negotiation rips up by congestion *region* (src/pnr/region.h) with
+/// region reroutes batched across the thread pool (snapshot search + serial
+/// commit barrier, bit-identical at any thread count).  `Astar` is the
+/// stage-1 windowed A* engine: admissible Manhattan lower bound scaled by
+/// the per-pass minimum edge cost, a search window around {tree, target}
+/// that adaptively expands (x2, then full grid) when no hard-overflow-free
+/// path exists inside it, a per-pass edge-cost cache, and O(1) stamped tree
+/// membership; it routes each subnet monolithically source-to-sinks and
+/// rips up whole subnets.  `Legacy` is the original unbounded full-grid
+/// Dijkstra (kept as an escape hatch and as the QoR baseline).  `Auto`
+/// resolves to the FFET_ROUTE_ENGINE environment variable ("legacy",
+/// "astar" or "astar2") and defaults to Astar2.
+enum class RouteEngine { Auto, Legacy, Astar, Astar2 };
 
 struct RouteOptions {
   int gcell_tracks = 15;       ///< gcell edge length in M2 track pitches
@@ -91,6 +99,13 @@ struct RouteOptions {
   /// once, then the search falls back to the full grid with no pruning
   /// (so connectivity never depends on the window).  Ignored by Legacy.
   int window_margin = 6;
+  /// Stage-2 (Astar2) region clustering: overflowed gcells within this
+  /// Chebyshev distance join one congestion region, and each region's
+  /// bounding box grows by `region_margin` gcells so the batched reroute
+  /// sees congestion context beyond the hot cells.  Ignored by the other
+  /// engines.
+  int region_merge_dist = 2;
+  int region_margin = 3;
 };
 
 /// A gcell-level routing edge: between grid nodes a and b (flat indices).
@@ -124,12 +139,17 @@ struct RoutePassStat {
   double overflow_front = 0.0;  ///< soft overflow on the frontside grid
   double overflow_back = 0.0;
   double hard_overflow = 0.0;   ///< both sides, beyond detail-route slack
-  // Search-effort counters for this pass (A* and Legacy both count
-  // settled nodes; window expansions are A*-only by construction).
+  // Search-effort counters for this pass (all engines count settled
+  // nodes; window expansions are A*-only by construction).
   long settled_front = 0;       ///< maze-search nodes settled, frontside
   long settled_back = 0;
   int window_expansions_front = 0;  ///< A* window retries (x2 / full grid)
   int window_expansions_back = 0;
+  // Stage-2 (Astar2) congestion-region counters: regions clustered this
+  // pass; the ripped counts above are then 2-pin subnet rip-ups scoped to
+  // those regions.  Zero for the other engines.
+  int regions_front = 0;
+  int regions_back = 0;
 };
 
 /// Aggregate result of the dual-sided routing stage.
@@ -159,18 +179,31 @@ struct RouteResult {
 
   // Convergence diagnostics: one entry per executed pass (see
   // RoutePassStat), the number of RRR passes actually run (excluding the
-  // initial route), and the total subnet rip-ups across all passes.  With
-  // FFET_VERBOSE set the router also prints a one-line per-pass summary.
+  // initial route), and the total subnet-level rip-ups across all passes
+  // (2-pin subnets for Astar2; whole per-side subnets for the stage-1
+  // engines).  With FFET_VERBOSE set the router also prints a one-line
+  // per-pass summary.
   std::vector<RoutePassStat> pass_stats;
   int rrr_passes = 0;
   long ripups_total = 0;
+  /// Congestion regions processed across all passes (region-level rip-up
+  /// events; zero for the stage-1 engines, which rip whole subnets in pass
+  /// order with no spatial scoping).
+  long region_ripups_total = 0;
+
+  /// Stage-2 decomposition counters: 2-pin subnets produced by the Steiner
+  /// decomposition (zero for stage-1 engines, which route per-side subnets
+  /// monolithically), and how many 2-pin routes (initial + reroutes) were
+  /// satisfied by the monotonic L/Z fast path without touching the A* heap.
+  long steiner_subnets = 0;
+  long fastpath_routes = 0;
 
   /// Maze-search effort totals over all passes (sum of the per-pass
   /// counters above), plus the kernel that actually ran after resolving
   /// RouteOptions::engine / FFET_ROUTE_ENGINE.
   long settled_nodes = 0;
   long window_expansions = 0;
-  RouteEngine engine_used = RouteEngine::Astar;
+  RouteEngine engine_used = RouteEngine::Astar2;
 
   double total_wirelength_um() const {
     return wirelength_front_um + wirelength_back_um;

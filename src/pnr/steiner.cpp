@@ -1,0 +1,212 @@
+#include "pnr/steiner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace ffet::pnr {
+
+namespace {
+
+long dist(const SteinerPoint& a, const SteinerPoint& b) {
+  return static_cast<long>(std::abs(a.c - b.c)) +
+         static_cast<long>(std::abs(a.r - b.r));
+}
+
+/// Prim spanning tree over `pts` with Manhattan edge weights.  Ties break
+/// toward the lower (attach-to, new-node) index pair, so the tree is a
+/// deterministic function of the point list.  Returns the parent of every
+/// node (parent[0] == -1) and, optionally, the total length.
+std::vector<int> prim_parents(const std::vector<SteinerPoint>& pts,
+                              long* total_len = nullptr) {
+  const std::size_t n = pts.size();
+  std::vector<int> parent(n, -1);
+  if (n <= 1) {
+    if (total_len) *total_len = 0;
+    return parent;
+  }
+  std::vector<char> in_tree(n, 0);
+  std::vector<long> best(n, std::numeric_limits<long>::max());
+  std::vector<int> best_from(n, 0);
+  in_tree[0] = 1;
+  for (std::size_t j = 1; j < n; ++j) {
+    best[j] = dist(pts[0], pts[j]);
+    best_from[j] = 0;
+  }
+  long len = 0;
+  for (std::size_t added = 1; added < n; ++added) {
+    // Lowest connection cost; ties to the lowest node index.
+    std::size_t pick = 0;
+    long pick_cost = std::numeric_limits<long>::max();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && best[j] < pick_cost) {
+        pick_cost = best[j];
+        pick = j;
+      }
+    }
+    in_tree[pick] = 1;
+    parent[pick] = best_from[pick];
+    len += pick_cost;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      const long d = dist(pts[pick], pts[j]);
+      if (d < best[j]) {
+        best[j] = d;
+        best_from[j] = static_cast<int>(pick);
+      }
+    }
+  }
+  if (total_len) *total_len = len;
+  return parent;
+}
+
+long spanning_length(const std::vector<SteinerPoint>& pts) {
+  long len = 0;
+  prim_parents(pts, &len);
+  return len;
+}
+
+void segs_from_parents(const std::vector<int>& parent, SteinerTree& tree) {
+  tree.segs.clear();
+  for (std::size_t j = 1; j < parent.size(); ++j) {
+    tree.segs.push_back({parent[j], static_cast<int>(j)});
+  }
+}
+
+/// Exact RSMT for <= 3 points: for 3, the median point connects all three
+/// with the provably minimal rectilinear length.
+void build_small(SteinerTree& tree) {
+  auto& pts = tree.points;
+  if (pts.size() < 3) {
+    for (std::size_t j = 1; j < pts.size(); ++j) {
+      tree.segs.push_back({0, static_cast<int>(j)});
+    }
+    return;
+  }
+  int cs[3] = {pts[0].c, pts[1].c, pts[2].c};
+  int rs[3] = {pts[0].r, pts[1].r, pts[2].r};
+  std::sort(cs, cs + 3);
+  std::sort(rs, rs + 3);
+  const SteinerPoint median{cs[1], rs[1]};
+  // Reuse a coincident terminal instead of adding a duplicate point.
+  int m = -1;
+  for (int j = 0; j < 3; ++j) {
+    if (pts[static_cast<std::size_t>(j)] == median) {
+      m = j;
+      break;
+    }
+  }
+  if (m < 0) {
+    m = static_cast<int>(pts.size());
+    pts.push_back(median);
+  }
+  for (int j = 0; j < 3; ++j) {
+    if (j != m) tree.segs.push_back({m, j});
+  }
+}
+
+/// Iterated 1-Steiner (Kahng-Robins): repeatedly add the Hanan-grid point
+/// whose insertion most reduces the spanning-tree length; stop at zero gain
+/// or when n-2 Steiner points have been placed.
+void build_one_steiner(SteinerTree& tree) {
+  auto& pts = tree.points;
+  const int n_term = tree.num_terminals;
+  long cur_len = 0;
+  std::vector<int> parent = prim_parents(pts, &cur_len);
+
+  // Hanan grid of the *terminals* (sorted unique coordinates).
+  std::vector<int> xs, ys;
+  for (int t = 0; t < n_term; ++t) {
+    xs.push_back(pts[static_cast<std::size_t>(t)].c);
+    ys.push_back(pts[static_cast<std::size_t>(t)].r);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  const int max_steiner = std::max(0, n_term - 2);
+  std::vector<SteinerPoint> trial = pts;
+  for (int round = 0; round < max_steiner; ++round) {
+    long best_len = cur_len;
+    SteinerPoint best_pt;
+    bool found = false;
+    for (int x : xs) {
+      for (int y : ys) {
+        const SteinerPoint cand{x, y};
+        bool exists = false;
+        for (const SteinerPoint& p : pts) {
+          if (p == cand) {
+            exists = true;
+            break;
+          }
+        }
+        if (exists) continue;
+        trial = pts;
+        trial.push_back(cand);
+        const long len = spanning_length(trial);
+        // Strict improvement; grid scan order (x then y ascending) breaks
+        // ties deterministically toward the first best candidate.
+        if (len < best_len) {
+          best_len = len;
+          best_pt = cand;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    pts.push_back(best_pt);
+    cur_len = best_len;
+  }
+
+  // Prune Steiner points that end up as leaves of the final tree (they can
+  // appear when a later insertion obsoletes an earlier one): a leaf Steiner
+  // point only lengthens the tree.
+  while (true) {
+    parent = prim_parents(pts, &cur_len);
+    std::vector<int> degree(pts.size(), 0);
+    for (std::size_t j = 1; j < pts.size(); ++j) {
+      ++degree[static_cast<std::size_t>(parent[j])];
+      ++degree[j];
+    }
+    int drop = -1;
+    for (std::size_t j = static_cast<std::size_t>(n_term); j < pts.size();
+         ++j) {
+      if (degree[j] <= 1) {
+        drop = static_cast<int>(j);
+        break;
+      }
+    }
+    if (drop < 0) break;
+    pts.erase(pts.begin() + drop);
+  }
+  segs_from_parents(parent, tree);
+}
+
+}  // namespace
+
+long SteinerTree::length() const {
+  long len = 0;
+  for (const SteinerSeg& s : segs) {
+    len += dist(points[static_cast<std::size_t>(s.a)],
+                points[static_cast<std::size_t>(s.b)]);
+  }
+  return len;
+}
+
+SteinerTree build_steiner_tree(const std::vector<SteinerPoint>& terminals) {
+  SteinerTree tree;
+  tree.points = terminals;
+  tree.num_terminals = static_cast<int>(terminals.size());
+  if (terminals.size() <= 1) return tree;
+  if (terminals.size() <= 3) {
+    build_small(tree);
+  } else if (terminals.size() <= static_cast<std::size_t>(kExactTerminals)) {
+    build_one_steiner(tree);
+  } else {
+    segs_from_parents(prim_parents(tree.points), tree);
+  }
+  return tree;
+}
+
+}  // namespace ffet::pnr

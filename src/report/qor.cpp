@@ -1,6 +1,7 @@
 #include "report/qor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>
@@ -475,49 +476,71 @@ int router_gate(const json::Value& base, const json::Value& now,
     failures.push_back("qor_ok=false: A* worse than legacy on overflow/WL");
   }
 
-  std::map<long, const json::Value*> new_by_tracks;
-  for (const json::Value& c : n_cfgs->items) {
-    new_by_tracks[static_cast<long>(c.member_number("gcell_tracks"))] = &c;
-  }
-  std::map<long, const json::Value*> base_by_tracks;
-  for (const json::Value& c : b_cfgs->items) {
-    base_by_tracks[static_cast<long>(c.member_number("gcell_tracks"))] = &c;
-  }
+  // Configs are keyed by gcell_tracks plus the regime label: two tracks=10
+  // configs exist (congested / stress), and a baseline written before the
+  // label field existed still keys uniquely by tracks alone ("" label).
+  auto cfg_key = [](const json::Value& c) {
+    std::string key =
+        std::to_string(static_cast<long>(c.member_number("gcell_tracks")));
+    if (const json::Value* l = c.find("label"); l && l->is_string()) {
+      key += ":" + l->str;
+    }
+    return key;
+  };
+  std::map<std::string, const json::Value*> new_by_cfg;
+  for (const json::Value& c : n_cfgs->items) new_by_cfg[cfg_key(c)] = &c;
+  std::map<std::string, const json::Value*> base_by_cfg;
+  for (const json::Value& c : b_cfgs->items) base_by_cfg[cfg_key(c)] = &c;
 
-  for (const auto& [tracks, b] : base_by_tracks) {
-    const auto it = new_by_tracks.find(tracks);
-    if (it == new_by_tracks.end()) {
-      failures.push_back("gcell_tracks=" + std::to_string(tracks) +
-                         ": missing from new run");
+  // Ratio-vs-baseline checks: per-route search effort (machine
+  // independent) at most +20 %, normalized engine-vs-engine speedups at
+  // most -20 %.  The stage-2 fields are skipped when a pre-stage-2
+  // baseline lacks them.
+  auto check_ratio = [&](const std::string& key, const json::Value& b,
+                         const json::Value& n, const char* field,
+                         bool regress_is_up) {
+    const json::Value* bf = b.find(field);
+    const json::Value* nf = n.find(field);
+    if (!bf || !bf->is_number() || !nf || !nf->is_number()) return;
+    const double bv = bf->number;
+    const double nv = nf->number;
+    const double ratio = bv > 0 ? nv / bv : 1.0;
+    appendf(out, "%s: %s %.2f -> %.2f (%+.1f%%)\n", key.c_str(), field, bv,
+            nv, (ratio - 1.0) * 100.0);
+    const bool fail = regress_is_up ? ratio > 1.0 + kTolerance
+                                    : ratio < 1.0 - kTolerance;
+    if (fail) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%s: %s regressed %.1f%% (> 20%%)",
+                    key.c_str(), field,
+                    std::fabs(ratio - 1.0) * 100.0);
+      failures.push_back(buf);
+    }
+  };
+  for (const auto& [key, b] : base_by_cfg) {
+    const auto it = new_by_cfg.find(key);
+    if (it == new_by_cfg.end()) {
+      failures.push_back(key + ": missing from new run");
       continue;
     }
     const json::Value& n = *it->second;
-    const double b_settled = b->member_number("astar_settled_per_route");
-    const double n_settled = n.member_number("astar_settled_per_route");
-    const double settled_ratio = b_settled > 0 ? n_settled / b_settled : 1.0;
-    const double b_speedup = b->member_number("speedup");
-    const double n_speedup = n.member_number("speedup");
-    const double speedup_ratio = b_speedup > 0 ? n_speedup / b_speedup : 1.0;
+    check_ratio(key, *b, n, "astar_settled_per_route", true);
+    check_ratio(key, *b, n, "astar2_settled_per_route", true);
+    check_ratio(key, *b, n, "speedup", false);
+    check_ratio(key, *b, n, "speedup2", false);
+  }
 
-    appendf(out,
-            "gcell_tracks=%ld: settled/route %.1f -> %.1f (%+.1f%%), "
-            "speedup %.2fx -> %.2fx (%+.1f%%)\n",
-            tracks, b_settled, n_settled, (settled_ratio - 1.0) * 100.0,
-            b_speedup, n_speedup, (speedup_ratio - 1.0) * 100.0);
-    if (settled_ratio > 1.0 + kTolerance) {
-      char buf[128];
-      std::snprintf(buf, sizeof(buf),
-                    "gcell_tracks=%ld: settled/route regressed %.1f%% (> 20%%)",
-                    tracks, (settled_ratio - 1.0) * 100.0);
-      failures.push_back(buf);
+  // Absolute floor, independent of the baseline: at every congested
+  // config the stage-2 engine must keep >= 1.8x over stage 1.
+  for (const auto& [key, n] : new_by_cfg) {
+    if (!n->find("congested") || !n->find("congested")->bool_or(false)) {
+      continue;
     }
-    if (speedup_ratio < 1.0 - kTolerance) {
-      char buf[128];
-      std::snprintf(
-          buf, sizeof(buf),
-          "gcell_tracks=%ld: speedup vs legacy regressed %.1f%% (> 20%%)",
-          tracks, (1.0 - speedup_ratio) * 100.0);
-      failures.push_back(buf);
+    const double speedup2 = n->member_number("speedup2");
+    appendf(out, "%s: congested speedup2 %.2fx (floor 1.80x)\n", key.c_str(),
+            speedup2);
+    if (speedup2 < 1.8) {
+      failures.push_back(key + ": congested stage-2 speedup below 1.8x");
     }
   }
 

@@ -7,6 +7,7 @@
 #include <map>
 #include <random>
 #include <set>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -16,7 +17,9 @@
 #include "pnr/floorplan.h"
 #include "pnr/placement.h"
 #include "pnr/powerplan.h"
+#include "pnr/region.h"
 #include "pnr/router.h"
+#include "pnr/steiner.h"
 #include "pnr/track_assign.h"
 #include "riscv/rv32.h"
 
@@ -658,7 +661,8 @@ TEST_F(PnrTest, RouterDeterministicAcrossThreadCounts) {
   // Algorithm 1 routes the two wafer sides independently, so threaded
   // passes (front/back concurrent) must be bit-identical to serial ones —
   // for both maze engines.
-  for (const RouteEngine engine : {RouteEngine::Legacy, RouteEngine::Astar}) {
+  for (const RouteEngine engine :
+       {RouteEngine::Legacy, RouteEngine::Astar, RouteEngine::Astar2}) {
     RouteOptions ro;
     ro.engine = engine;
     ro.threads = 1;
@@ -673,6 +677,8 @@ TEST_F(PnrTest, RouterDeterministicAcrossThreadCounts) {
     EXPECT_EQ(serial.rr.drv_estimate, threaded.rr.drv_estimate);
     EXPECT_EQ(serial.rr.settled_nodes, threaded.rr.settled_nodes);
     EXPECT_EQ(serial.rr.window_expansions, threaded.rr.window_expansions);
+    EXPECT_EQ(serial.rr.region_ripups_total, threaded.rr.region_ripups_total);
+    EXPECT_EQ(serial.rr.steiner_subnets, threaded.rr.steiner_subnets);
     ASSERT_EQ(serial.rr.routes.size(), threaded.rr.routes.size());
     for (std::size_t i = 0; i < serial.rr.routes.size(); ++i) {
       const NetRoute& s = serial.rr.routes[i];
@@ -685,18 +691,274 @@ TEST_F(PnrTest, RouterDeterministicAcrossThreadCounts) {
 }
 
 TEST_F(PnrTest, RouteEngineEnvEscapeHatch) {
-  // RouteEngine::Auto resolves FFET_ROUTE_ENGINE; "legacy" must select the
-  // old kernel without touching any call site.
+  // RouteEngine::Auto resolves FFET_ROUTE_ENGINE; each value must select
+  // its kernel without touching any call site.
   setenv("FFET_ROUTE_ENGINE", "legacy", 1);
   const RoutedDesign l = route_core(*cfet_core_, *cfet_tech_, *cfet_lib_, 0.6);
   setenv("FFET_ROUTE_ENGINE", "astar", 1);
   const RoutedDesign a = route_core(*cfet_core_, *cfet_tech_, *cfet_lib_, 0.6);
+  setenv("FFET_ROUTE_ENGINE", "astar2", 1);
+  const RoutedDesign a2 =
+      route_core(*cfet_core_, *cfet_tech_, *cfet_lib_, 0.6);
   unsetenv("FFET_ROUTE_ENGINE");
   EXPECT_EQ(l.rr.engine_used, RouteEngine::Legacy);
   EXPECT_EQ(a.rr.engine_used, RouteEngine::Astar);
-  // Unset, Auto defaults to Astar.
+  EXPECT_EQ(a2.rr.engine_used, RouteEngine::Astar2);
+  // The stage-1 engines never decompose into 2-pin subnets; stage 2 always
+  // does (every multi-gcell net contributes at least one).
+  EXPECT_EQ(a.rr.steiner_subnets, 0);
+  EXPECT_GT(a2.rr.steiner_subnets, 0);
+  // Unset, Auto defaults to Astar2.
   const RoutedDesign d = route_core(*cfet_core_, *cfet_tech_, *cfet_lib_, 0.6);
-  EXPECT_EQ(d.rr.engine_used, RouteEngine::Astar);
+  EXPECT_EQ(d.rr.engine_used, RouteEngine::Astar2);
+}
+
+// --- routing: stage 2 (Steiner / congestion regions) ------------------------
+
+/// Manhattan distance helper for Steiner checks.
+int manhattan(const SteinerPoint& a, const SteinerPoint& b) {
+  return std::abs(a.c - b.c) + std::abs(a.r - b.r);
+}
+
+/// Sum of |terminal - terminal 0| — the star topology every tree must beat
+/// or match.
+long star_length(const std::vector<SteinerPoint>& terms) {
+  long len = 0;
+  for (const SteinerPoint& t : terms) len += manhattan(terms[0], t);
+  return len;
+}
+
+/// Union-find over tree points: every terminal reachable through segs.
+void expect_tree_connects_terminals(const SteinerTree& tree) {
+  ASSERT_FALSE(tree.points.empty());
+  ASSERT_EQ(tree.segs.size(), tree.points.size() - 1);
+  std::vector<int> parent(tree.points.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = int(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const SteinerSeg& s : tree.segs) parent[find(s.a)] = find(s.b);
+  const int root = find(0);
+  for (int t = 0; t < tree.num_terminals; ++t) {
+    EXPECT_EQ(find(t), root) << "terminal " << t << " disconnected";
+  }
+}
+
+TEST(SteinerTest, TreeConnectsTerminalsAndBeatsStar) {
+  // Deterministic pseudo-random terminal sets across all three topology
+  // tiers (exact <=3, iterated 1-Steiner <=9, spanning fallback above).
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> coord(0, 40);
+  for (const int n : {1, 2, 3, 5, 7, 9, 12, 20}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<SteinerPoint> terms;
+      terms.reserve(n);
+      for (int i = 0; i < n; ++i) terms.push_back({coord(rng), coord(rng)});
+      const SteinerTree tree = build_steiner_tree(terms);
+      ASSERT_EQ(tree.num_terminals, n);
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(tree.points[i], terms[i]) << "terminal order not preserved";
+      }
+      expect_tree_connects_terminals(tree);
+      // The tree must never be longer than the star topology (source to
+      // every sink directly) — the bound Algorithm 1's legacy tree growth
+      // trivially meets, so stage 2 must meet it too.
+      EXPECT_LE(tree.length(), star_length(terms)) << n << " terminals";
+    }
+  }
+}
+
+TEST(SteinerTest, ThreeTerminalMedianIsOptimal) {
+  // For <=3 terminals the rectilinear Steiner minimum is the half-perimeter
+  // of the bounding box (median-point construction); the builder must hit
+  // it exactly.
+  const std::vector<std::vector<SteinerPoint>> cases = {
+      {{0, 0}, {10, 0}, {5, 8}},
+      {{3, 7}, {3, 7}, {3, 7}},  // duplicates collapse
+      {{0, 0}, {0, 9}, {9, 0}},
+      {{2, 5}, {11, 1}, {7, 13}},
+  };
+  for (const auto& terms : cases) {
+    int c_lo = terms[0].c, c_hi = terms[0].c;
+    int r_lo = terms[0].r, r_hi = terms[0].r;
+    for (const SteinerPoint& t : terms) {
+      c_lo = std::min(c_lo, t.c);
+      c_hi = std::max(c_hi, t.c);
+      r_lo = std::min(r_lo, t.r);
+      r_hi = std::max(r_hi, t.r);
+    }
+    const SteinerTree tree = build_steiner_tree(terms);
+    expect_tree_connects_terminals(tree);
+    EXPECT_EQ(tree.length(), (c_hi - c_lo) + (r_hi - r_lo));
+  }
+}
+
+TEST(SteinerTest, DeterministicForSameTerminals) {
+  std::mt19937 rng(19);
+  std::uniform_int_distribution<int> coord(0, 30);
+  std::vector<SteinerPoint> terms;
+  for (int i = 0; i < 8; ++i) terms.push_back({coord(rng), coord(rng)});
+  const SteinerTree a = build_steiner_tree(terms);
+  const SteinerTree b = build_steiner_tree(terms);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i], b.points[i]);
+  }
+  ASSERT_EQ(a.segs.size(), b.segs.size());
+  for (std::size_t i = 0; i < a.segs.size(); ++i) {
+    EXPECT_EQ(a.segs[i].a, b.segs[i].a);
+    EXPECT_EQ(a.segs[i].b, b.segs[i].b);
+  }
+}
+
+TEST(RegionTest, ClustersDisjointHotSpotsSeparately) {
+  // Two hot spots far apart on a 30x30 grid: two disjoint regions, each
+  // expanded by the margin and holding its seed cells.
+  const int cols = 30, rows = 30;
+  auto node = [&](int c, int r) { return r * cols + c; };
+  const std::vector<int> hot = {node(5, 5), node(6, 5), node(25, 24),
+                                node(25, 25)};
+  const auto regions = cluster_congestion_regions(hot, cols, rows,
+                                                  /*merge_dist=*/2,
+                                                  /*margin=*/3);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_TRUE(regions[0].contains(5, 5));
+  EXPECT_TRUE(regions[0].contains(6, 5));
+  EXPECT_TRUE(regions[1].contains(25, 24));
+  EXPECT_EQ(regions[0].cells, 2);
+  EXPECT_EQ(regions[1].cells, 2);
+  EXPECT_FALSE(regions_overlap(regions[0], regions[1]));
+  // Margin expansion: 3 gcells beyond the seed bounding box.
+  EXPECT_EQ(regions[0].c_lo, 2);
+  EXPECT_EQ(regions[0].c_hi, 9);
+  EXPECT_EQ(regions[0].r_lo, 2);
+  EXPECT_EQ(regions[0].r_hi, 8);
+  // Sorted by (r_lo, c_lo, ...).
+  EXPECT_LT(regions[0].r_lo, regions[1].r_lo);
+}
+
+TEST(RegionTest, MarginClampsToGridAndNearbyCellsMerge) {
+  const int cols = 12, rows = 12;
+  auto node = [&](int c, int r) { return r * cols + c; };
+  // A corner cell plus one within Chebyshev distance 2: one cluster, with
+  // the margin clamped at the grid edge.
+  const auto one = cluster_congestion_regions({node(0, 0), node(2, 1)}, cols,
+                                              rows, 2, 3);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].c_lo, 0);
+  EXPECT_EQ(one[0].r_lo, 0);
+  EXPECT_EQ(one[0].c_hi, 5);
+  EXPECT_EQ(one[0].r_hi, 4);
+  EXPECT_EQ(one[0].cells, 2);
+
+  // Two clusters beyond merge_dist but whose margin boxes overlap must
+  // merge transitively into one region (regions stay pairwise disjoint).
+  const auto merged = cluster_congestion_regions({node(1, 6), node(8, 6)},
+                                                 cols, rows, 2, 4);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_TRUE(merged[0].contains(1, 6));
+  EXPECT_TRUE(merged[0].contains(8, 6));
+  EXPECT_EQ(merged[0].cells, 2);
+}
+
+TEST(RegionTest, DeterministicUnderInputOrderAndDuplicates) {
+  const int cols = 40, rows = 20;
+  auto node = [&](int c, int r) { return r * cols + c; };
+  const std::vector<int> a = {node(3, 3),  node(4, 4),  node(30, 10),
+                              node(31, 10), node(18, 2)};
+  std::vector<int> b = {node(31, 10), node(18, 2), node(4, 4),
+                        node(3, 3),  node(30, 10), node(3, 3)};
+  const auto ra = cluster_congestion_regions(a, cols, rows);
+  const auto rb = cluster_congestion_regions(b, cols, rows);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i], rb[i]) << "region " << i;
+  }
+  // Sorted output, pairwise disjoint.
+  for (std::size_t i = 1; i < ra.size(); ++i) {
+    EXPECT_FALSE(regions_overlap(ra[i - 1], ra[i]));
+    EXPECT_LE(std::tie(ra[i - 1].r_lo, ra[i - 1].c_lo),
+              std::tie(ra[i].r_lo, ra[i].c_lo));
+  }
+}
+
+TEST_F(PnrTest, Astar2MatchesAstarQor) {
+  // The stage-2 Steiner/region engine must be QoR-equivalent to stage-1 A*
+  // on the seed designs: equal-or-better DRVs and total wirelength, every
+  // sink connected, and the 2-pin fast path must actually fire (monotone
+  // subnets skip the heap entirely).
+  RouteOptions astar_ro;
+  astar_ro.engine = RouteEngine::Astar;
+  RouteOptions astar2_ro;
+  astar2_ro.engine = RouteEngine::Astar2;
+
+  struct Case {
+    const netlist::Netlist* core;
+    const tech::Technology* tech;
+    const stdcell::Library* lib;
+  };
+  for (const Case& c : {Case{ffet_core_, ffet_tech_, ffet_lib_},
+                        Case{cfet_core_, cfet_tech_, cfet_lib_}}) {
+    const RoutedDesign a = route_core(*c.core, *c.tech, *c.lib, 0.6, astar_ro);
+    const RoutedDesign s =
+        route_core(*c.core, *c.tech, *c.lib, 0.6, astar2_ro);
+    EXPECT_EQ(s.rr.engine_used, RouteEngine::Astar2);
+    EXPECT_LE(s.rr.drv_wire, a.rr.drv_wire);
+    EXPECT_LE(s.rr.total_wirelength_um(), a.rr.total_wirelength_um() + 1e-6);
+    ASSERT_EQ(s.rr.routes.size(), a.rr.routes.size());
+    expect_all_sinks_connected(s.nl, s.rr);
+    EXPECT_GT(s.rr.steiner_subnets, 0);
+    EXPECT_GT(s.rr.fastpath_routes, 0)
+        << "uncongested subnets should take the monotone fast path";
+    EXPECT_LT(s.rr.settled_nodes, a.rr.settled_nodes)
+        << "the fast path should skip most heap searches";
+  }
+}
+
+TEST_F(PnrTest, Astar2DeterministicUnderCongestion) {
+  // The region rip-up machinery batches disjoint regions across the thread
+  // pool; on the congested 2+2-layer fixture (capacity squeezed to 2.4)
+  // the threaded schedule must still be bit-identical to the serial one —
+  // frozen-snapshot searches plus the serial commit barrier make the result
+  // a pure function of the overflow picture.
+  tech::Technology limited = ffet_tech_->with_routing_limit(2, 2);
+  stdcell::PinConfig dual;
+  dual.backside_input_fraction = 0.5;
+  stdcell::Library lib2 = stdcell::build_library(limited, dual);
+  liberty::characterize_library(lib2);
+  riscv::Rv32Options opt;
+  opt.num_registers = 8;
+  netlist::Netlist nl2 = riscv::build_rv32_core(lib2, opt);
+  FloorplanOptions fo;
+  fo.target_utilization = 0.8;
+  const Floorplan fp2 = make_floorplan(nl2, limited, fo);
+  const PowerPlan pp2 = build_power_plan(nl2, fp2, lib2);
+  place(nl2, fp2, pp2);
+  build_clock_tree(nl2, fp2);
+
+  RouteOptions ro;
+  ro.engine = RouteEngine::Astar2;
+  ro.capacity_factor = 2.4;
+  ro.threads = 1;
+  const RouteResult serial = route_design(nl2, fp2, ro);
+  ro.threads = 4;
+  const RouteResult threaded = route_design(nl2, fp2, ro);
+
+  expect_all_sinks_connected(nl2, serial);
+  EXPECT_GT(serial.steiner_subnets, 0);
+  EXPECT_DOUBLE_EQ(serial.total_wirelength_um(),
+                   threaded.total_wirelength_um());
+  EXPECT_EQ(serial.drv_wire, threaded.drv_wire);
+  EXPECT_EQ(serial.settled_nodes, threaded.settled_nodes);
+  EXPECT_EQ(serial.ripups_total, threaded.ripups_total);
+  EXPECT_EQ(serial.region_ripups_total, threaded.region_ripups_total);
+  EXPECT_EQ(serial.rrr_passes, threaded.rrr_passes);
+  ASSERT_EQ(serial.routes.size(), threaded.routes.size());
+  for (std::size_t i = 0; i < serial.routes.size(); ++i) {
+    EXPECT_EQ(serial.routes[i].edges, threaded.routes[i].edges)
+        << "route " << i << " differs between threads=1 and threads=4";
+  }
 }
 
 }  // namespace
