@@ -115,7 +115,7 @@ inline double pct(double ours, double base) {
 /// a file, appends one machine-readable line:
 ///   {"bench":"...","seconds":...,"threads":...,"points":...,
 ///    "point_ms_min":...,"point_ms_mean":...,"point_ms_max":...,
-///    "stage_ms":{"floorplan":...,...}}
+///    "peak_rss_kb":...,"stage_ms":{"floorplan":...,...}}
 /// run_benches.sh collects these lines into BENCH_sweeps.json.  Per-point
 /// and per-stage numbers come from the "flow.point.ms" /
 /// "flow.stage.<name>.ms" histograms run_physical records; stage sums are
@@ -174,6 +174,11 @@ class SweepTimer {
         j.field("point_ms_min", point.min());
         j.field("point_ms_mean", point.mean());
         j.field("point_ms_max", point.max());
+      }
+      // Peak RSS of the whole bench process (absent with FFET_RESOURCE=0,
+      // keeping those lines byte-identical to pre-probe builds).
+      if (obs::resource_enabled()) {
+        j.field("peak_rss_kb", obs::sample_resources().peak_rss_kb);
       }
       append_stage_ms(j);
       j.close_obj();

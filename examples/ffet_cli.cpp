@@ -27,6 +27,7 @@
 
 #include "extract/spef.h"
 #include "flow/flow.h"
+#include "flow/version.h"
 #include "io/def.h"
 #include "io/verilog.h"
 #include "liberty/liberty_writer.h"
@@ -43,7 +44,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--tech ffet|cfet] [--fm N] [--bm N] "
               "[--backside-pins F] [--util F] [--freq F] [--registers N] "
-              "[--activity] [--dump PREFIX] [--max-util] [--congestion]\n",
+              "[--activity] [--dump PREFIX] [--max-util] [--congestion] "
+              "[--version]\n",
               argv0);
   std::exit(2);
 }
@@ -67,6 +69,9 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage(argv[0]);
+    } else if (!std::strcmp(argv[i], "--version")) {
+      std::printf("ffet_cli %s\n", ffet::kVersion);
+      return 0;
     } else if (!std::strcmp(argv[i], "--tech")) {
       const std::string v = need_value("--tech");
       if (v == "ffet") {

@@ -22,6 +22,18 @@
 //       formerly implemented by scripts/check_bench_{eco,router}.py on two
 //       BENCH_*.json files.  Exit 0 = pass, 1 = regression, 2 = bad input.
 //
+//   ffet_report history [LABEL] [--ledger PATH] [--kind flow|bench]
+//       Chronological listing of the run ledger (ffet.ledger.v1 JSONL the
+//       flow and run_benches.sh append to), optionally filtered to one
+//       label.
+//
+//   ffet_report trend [LABEL] [--ledger PATH] [--kind flow|bench]
+//                     [--window N] [thresholds]
+//       Per-label time series over the ledger: for every (kind, label)
+//       group the latest run is gated against the median of the previous
+//       N runs (default 5) with the same thresholds as `diff`.  Exit 0 =
+//       no regression, 1 = regression, 2 = bad input.
+//
 // Flow options (timing/nets): --tech ffet|cfet  --fm N  --bm N
 //   --backside-pins F  --util F  --freq F  --registers N  --eco N
 //   --seed N  --threads N
@@ -33,6 +45,8 @@
 #include <string>
 
 #include "flow/flow.h"
+#include "flow/version.h"
+#include "report/ledger.h"
 #include "report/net_report.h"
 #include "report/qor.h"
 #include "report/snapshot.h"
@@ -43,16 +57,25 @@ using namespace ffet;
 
 namespace {
 
+// Usage goes to stderr and exits nonzero: an unknown subcommand or flag
+// must never look like a successful (empty) report to a calling script.
 [[noreturn]] void usage(const char* argv0) {
-  std::printf(
-      "usage: %s timing [flow-opts] [--top K] [--period PS]\n"
-      "       %s nets   [flow-opts] [--top N] [--net NAME]\n"
-      "       %s diff   [--mode flow|eco|router] [--freq-drop PCT]\n"
-      "                 [--power-rise PCT] [--wl-rise PCT] [--runtime-rise "
+  std::fprintf(
+      stderr,
+      "usage: %s timing  [flow-opts] [--top K] [--period PS]\n"
+      "       %s nets    [flow-opts] [--top N] [--net NAME]\n"
+      "       %s diff    [--mode flow|eco|router] [--freq-drop PCT]\n"
+      "                  [--power-rise PCT] [--wl-rise PCT] [--runtime-rise "
       "PCT] BASE NEW\n"
+      "       %s history [LABEL] [--ledger PATH] [--kind flow|bench]\n"
+      "       %s trend   [LABEL] [--ledger PATH] [--kind flow|bench]\n"
+      "                  [--window N] [--freq-drop PCT] [--power-rise PCT]\n"
+      "                  [--wl-rise PCT] [--runtime-rise PCT] [--rss-rise "
+      "PCT]\n"
+      "       %s --version\n"
       "flow-opts: --tech ffet|cfet --fm N --bm N --backside-pins F --util F\n"
       "           --freq F --registers N --eco N --seed N --threads N\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -63,7 +86,7 @@ struct ArgReader {
 
   const char* need_value(const char* flag) {
     if (i + 1 >= argc) {
-      std::printf("missing value for %s\n", flag);
+      std::fprintf(stderr, "missing value for %s\n", flag);
       usage(argv[0]);
     }
     return argv[++i];
@@ -263,13 +286,99 @@ int cmd_diff(ArgReader& args) {
   return rc;
 }
 
+/// Shared argument handling for `history` and `trend`: a positional LABEL,
+/// --ledger PATH, --kind, plus (trend only) --window and the thresholds.
+struct LedgerArgs {
+  std::string path;
+  report::TrendOptions opts;
+};
+
+bool parse_ledger_args(ArgReader& args, LedgerArgs& out, bool trend) {
+  for (; args.i < args.argc; ++args.i) {
+    char* arg = args.argv[args.i];
+    if (!std::strcmp(arg, "--ledger")) {
+      out.path = args.need_value("--ledger");
+    } else if (!std::strcmp(arg, "--kind")) {
+      out.opts.kind = args.need_value("--kind");
+    } else if (trend && !std::strcmp(arg, "--window")) {
+      out.opts.window = std::atoi(args.need_value("--window"));
+    } else if (trend && !std::strcmp(arg, "--freq-drop")) {
+      out.opts.freq_drop_pct = std::atof(args.need_value("--freq-drop"));
+    } else if (trend && !std::strcmp(arg, "--power-rise")) {
+      out.opts.power_rise_pct = std::atof(args.need_value("--power-rise"));
+    } else if (trend && !std::strcmp(arg, "--wl-rise")) {
+      out.opts.wirelength_rise_pct = std::atof(args.need_value("--wl-rise"));
+    } else if (trend && !std::strcmp(arg, "--runtime-rise")) {
+      out.opts.runtime_rise_pct = std::atof(args.need_value("--runtime-rise"));
+    } else if (trend && !std::strcmp(arg, "--rss-rise")) {
+      out.opts.rss_rise_pct = std::atof(args.need_value("--rss-rise"));
+    } else if (arg[0] == '-' && arg[1] == '-') {
+      return false;
+    } else if (out.opts.label.empty()) {
+      out.opts.label = arg;
+    } else {
+      return false;
+    }
+  }
+  if (out.path.empty()) out.path = flow::resolve_ledger_path();
+  if (out.path.empty()) out.path = flow::kDefaultLedgerPath;
+  return true;
+}
+
+std::vector<report::LedgerEntry> load_ledger(const LedgerArgs& la, int& rc) {
+  report::ReadStats stats;
+  std::string err;
+  const auto entries = report::read_ledger_file(la.path, &stats, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    rc = 2;
+    return {};
+  }
+  if (stats.malformed) {
+    std::printf("note: skipped %d malformed ledger line(s)\n", stats.malformed);
+  }
+  rc = 0;
+  return entries;
+}
+
+int cmd_history(ArgReader& args) {
+  LedgerArgs la;
+  if (!parse_ledger_args(args, la, /*trend=*/false)) usage(args.argv[0]);
+  int rc = 0;
+  const auto entries = load_ledger(la, rc);
+  if (rc) return rc;
+  std::printf("ledger: %s (%d entries)\n", la.path.c_str(),
+              static_cast<int>(entries.size()));
+  std::fputs(report::format_history(entries, la.opts.label).c_str(), stdout);
+  return 0;
+}
+
+int cmd_trend(ArgReader& args) {
+  LedgerArgs la;
+  if (!parse_ledger_args(args, la, /*trend=*/true)) usage(args.argv[0]);
+  int rc = 0;
+  const auto entries = load_ledger(la, rc);
+  if (rc) return rc;
+  std::printf("ledger: %s (%d entries)\n", la.path.c_str(),
+              static_cast<int>(entries.size()));
+  const report::TrendReport rep = report::analyze_trend(entries, la.opts);
+  std::fputs(report::format_trend(rep).c_str(), stdout);
+  return rep.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
+  if (!std::strcmp(argv[1], "--version") || !std::strcmp(argv[1], "version")) {
+    std::printf("ffet_report %s\n", ffet::kVersion);
+    return 0;
+  }
   ArgReader args{argc, argv};
   if (!std::strcmp(argv[1], "timing")) return cmd_timing(args);
   if (!std::strcmp(argv[1], "nets")) return cmd_nets(args);
   if (!std::strcmp(argv[1], "diff")) return cmd_diff(args);
+  if (!std::strcmp(argv[1], "history")) return cmd_history(args);
+  if (!std::strcmp(argv[1], "trend")) return cmd_trend(args);
   usage(argv[0]);
 }

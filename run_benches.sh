@@ -11,6 +11,12 @@
 # Wall-clock timing of every sweep bench is collected (via the
 # FFET_BENCH_JSON hook in bench_common.h) into BENCH_sweeps.json; the lines
 # include per-point min/mean/max and per-stage wall-time breakdowns.
+# Every bench additionally appends one "ffet.ledger.v1" line (kind=bench,
+# wall time + peak RSS, recorded even when the bench fails) to the run
+# ledger, and the flows inside the benches append their own kind=flow
+# lines; `ffet_report history` / `ffet_report trend` read that history.
+# FFET_LEDGER controls the path (unset here defaults to
+# .ffet_ledger/ledger.jsonl; set FFET_LEDGER=0 to disable).
 # bench_router additionally writes BENCH_router.json (maze-routing kernel:
 # legacy vs. windowed A*); the committed copy is the baseline CI's
 # quick-bench regression gate diffs against (scripts/check_bench.py router).  With
@@ -58,6 +64,59 @@ JSONL=$(mktemp)
 trap 'rm -f "$JSONL"' EXIT
 export FFET_BENCH_JSON="$JSONL"
 
+# Resolve the run-ledger path with the same semantics as the flow
+# (flow::resolve_ledger_path): unset/empty here defaults the ledger ON.
+case "${FFET_LEDGER-1}" in
+  ""|0) LEDGER="" ;;
+  1)    LEDGER=".ffet_ledger/ledger.jsonl" ;;
+  *)    LEDGER="$FFET_LEDGER" ;;
+esac
+if [ -n "$LEDGER" ]; then
+  mkdir -p "$(dirname "$LEDGER")" 2>/dev/null || true
+  export FFET_LEDGER="$LEDGER"   # flows inside the benches append too
+else
+  unset FFET_LEDGER
+fi
+
+# Append one kind=bench ledger line for a finished bench (pass or fail).
+# Peak RSS comes from polling /proc/<pid>/status VmHWM while the bench
+# runs (no GNU time dependency); 0 when /proc is unavailable.
+ledger_bench_line() {
+  # $1=bench $2=exit-code $3=wall-ms $4=peak-rss-kb
+  [ -n "$LEDGER" ] || return 0
+  if [ "$2" = 0 ]; then _valid=true; else _valid=false; fi
+  printf '{"schema":"ffet.ledger.v1","kind":"bench","label":"%s","timestamp_s":%s,"host":"%s","threads":%s,"valid":%s,"metrics":{"runtime_ms":%s,"peak_rss_kb":%s,"exit_code":%s}}\n' \
+    "$1" "$(date +%s)" "$(hostname 2>/dev/null || echo unknown)" \
+    "${FFET_THREADS:-0}" "$_valid" "$3" "$4" "$2" >> "$LEDGER"
+}
+
+# Run one bench, timing it and tracking its peak RSS; records the ledger
+# line even when the bench exits nonzero, then propagates that exit code.
+run_bench() {
+  _b=$1; shift
+  _t0=$(date +%s%N)
+  "$@" &
+  _pid=$!
+  _peak=0
+  while kill -0 "$_pid" 2>/dev/null; do
+    _hwm=$(awk '/^VmHWM:/{print $2}' "/proc/$_pid/status" 2>/dev/null)
+    case "$_hwm" in
+      ''|*[!0-9]*) ;;
+      *) [ "$_hwm" -gt "$_peak" ] && _peak=$_hwm ;;
+    esac
+    sleep 0.05
+  done
+  wait "$_pid"
+  _rc=$?
+  _t1=$(date +%s%N)
+  case "$_t0$_t1" in
+    *N*) _ms=0 ;;  # date without %N support
+    *)   _ms=$(( (_t1 - _t0) / 1000000 )) ;;
+  esac
+  ledger_bench_line "$_b" "$_rc" "$_ms" "$_peak"
+  return $_rc
+}
+
 # A bench failure must fail the script (CI gates on it), but one bad bench
 # should not mask the results of the rest: run them all, then report.
 failures=""
@@ -70,11 +129,12 @@ for b in $benches; do
     flags="--quick"
   fi
   if [ "$trace" = 1 ]; then
-    FFET_TRACE="trace_${b}.json" FFET_FLOW_REPORT="flow_reports.jsonl" \
-      ./build/bench/$b $flags || failures="$failures $b"
-  else
-    ./build/bench/$b $flags || failures="$failures $b"
+    # Exported (not assignment-prefixed) because run_bench is a function:
+    # POSIX leaves prefix-assignment visibility on functions unspecified.
+    export FFET_TRACE="trace_${b}.json"
+    export FFET_FLOW_REPORT="flow_reports.jsonl"
   fi
+  run_bench "$b" ./build/bench/$b $flags || failures="$failures $b"
 done
 
 # google-benchmark microbenchmarks last (shorter repetitions).

@@ -5,9 +5,17 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <map>
 #include <mutex>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <unistd.h>
+#define FFET_FLOW_HAVE_UNISTD 1
+#endif
 
 #include "flow/report_json.h"
 #include "obs/obs.h"
@@ -48,6 +56,14 @@ std::string FlowConfig::label() const {
   if (simulate_activity) os << " act=" << activity_cycles;
   if (eco_passes > 0) os << " eco=" << eco_passes;
   return os.str();
+}
+
+std::string resolve_ledger_path(const std::string& explicit_path) {
+  if (!explicit_path.empty()) return explicit_path;
+  const char* env = std::getenv("FFET_LEDGER");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0) return {};
+  if (std::strcmp(env, "1") == 0) return kDefaultLedgerPath;
+  return env;
 }
 
 namespace {
@@ -193,13 +209,16 @@ std::vector<std::uint32_t> activity_program() {
 /// RAII wall/CPU timer for one flow stage: opens a "flow.<name>" trace
 /// span and appends a StageTiming to the result on destruction.  The
 /// timings themselves are always collected (two clock reads per stage);
-/// only the span and the per-stage histogram are gated on obs state.
+/// the span and the per-stage histogram are gated on obs state, and the
+/// per-stage RSS delta on the resource probe (zero syscalls when off).
 class StageClock {
  public:
   StageClock(FlowResult& res, const char* name)
       : res_(res), name_(name), span_("flow.", name),
+        resource_on_(obs::resource_enabled()),
         wall0_(std::chrono::steady_clock::now()),
-        cpu0_(obs::thread_cpu_ms()) {}
+        cpu0_(obs::thread_cpu_ms()),
+        rss0_kb_(resource_on_ ? obs::sample_current_rss_kb() : 0) {}
 
   StageClock(const StageClock&) = delete;
   StageClock& operator=(const StageClock&) = delete;
@@ -208,11 +227,22 @@ class StageClock {
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - wall0_)
                                .count();
-    res_.stage_times.push_back(
-        {name_, wall_ms, obs::thread_cpu_ms() - cpu0_});
+    const double cpu_ms = obs::thread_cpu_ms() - cpu0_;
+    const long long rss_delta_kb =
+        resource_on_ ? obs::sample_current_rss_kb() - rss0_kb_ : 0;
+    res_.stage_times.push_back({name_, wall_ms, cpu_ms, rss_delta_kb});
     if (obs::metrics_enabled()) {
       obs::histogram(std::string("flow.stage.") + name_ + ".ms")
           .observe(wall_ms);
+    }
+    if (obs::verbose()) {
+      if (resource_on_) {
+        std::printf("  [stage] %s: %.1f ms wall / %.1f ms cpu, rss %+lld kB\n",
+                    name_, wall_ms, cpu_ms, rss_delta_kb);
+      } else {
+        std::printf("  [stage] %s: %.1f ms wall / %.1f ms cpu\n", name_,
+                    wall_ms, cpu_ms);
+      }
     }
   }
 
@@ -220,8 +250,10 @@ class StageClock {
   FlowResult& res_;
   const char* name_;
   obs::TraceScope span_;
+  bool resource_on_;
   std::chrono::steady_clock::time_point wall0_;
   double cpu0_;
+  long long rss0_kb_;
 };
 
 /// Append one flow-report line (see flow_report_json) to the sink named by
@@ -244,6 +276,67 @@ void emit_flow_report(const FlowResult& res) {
   }
 }
 
+std::string host_name() {
+#if defined(FFET_FLOW_HAVE_UNISTD)
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  if (const char* h = std::getenv("HOSTNAME")) return h;
+  return "unknown";
+}
+
+/// Append one "ffet.ledger.v1" line for this flow point to the run ledger
+/// (FlowConfig::ledger_path / FFET_LEDGER, see resolve_ledger_path).  Runs
+/// strictly after the result is complete — the ledger can record but never
+/// influence a flow.  Creates the ledger's parent directory on first use
+/// (the default path lives under .ffet_ledger/).
+void emit_ledger(const FlowResult& res, int threads) {
+  const std::string path = resolve_ledger_path(res.config.ledger_path);
+  if (path.empty()) return;
+
+  std::string line;
+  line.reserve(512);
+  JsonBuilder j(line);
+  j.open_obj();
+  j.field("schema", "ffet.ledger.v1");
+  j.field("kind", "flow");
+  j.field("label", res.config.label());
+  j.field("timestamp_s", static_cast<long long>(std::time(nullptr)));
+  j.field("host", host_name());
+  j.field("threads", threads);
+  j.field("valid", res.valid());
+  j.open_nested("metrics");
+  j.field("achieved_freq_ghz", res.achieved_freq_ghz);
+  j.field("power_uw", res.power_uw);
+  j.field("wirelength_um",
+          res.wirelength_front_um + res.wirelength_back_um);
+  j.field("drv", static_cast<long long>(res.drv));
+  double wall_ms = 0.0;
+  for (const StageTiming& st : res.stage_times) wall_ms += st.wall_ms;
+  j.field("runtime_ms", wall_ms);
+  if (res.resource.sampled) {
+    j.field("peak_rss_kb", res.resource.peak_rss_kb);
+    j.field("rc_nodes", res.resource.rc_nodes);
+    j.field("netlist_cells", res.resource.netlist_cells);
+  }
+  j.close_obj();
+  j.close_obj();
+
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
+#if defined(FFET_FLOW_HAVE_UNISTD)
+  if (const auto slash = path.find_last_of('/');
+      slash != std::string::npos && slash > 0) {
+    ::mkdir(path.substr(0, slash).c_str(), 0777);  // best-effort, one level
+  }
+#endif
+  if (std::FILE* f = std::fopen(path.c_str(), "ab")) {
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+}
+
 }  // namespace
 
 FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
@@ -253,6 +346,10 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   FlowResult res;
   res.config = config;
   const int threads = runtime::resolve_threads(config.threads);
+  // One probe decision per point: every stage delta and the final sample
+  // agree, even if set_resource() flips concurrently.
+  const bool resource_on = obs::resource_enabled();
+  res.resource.sampled = resource_on;
 
   // Work on a private copy: taps, CTS buffers and placement are per-run.
   netlist::Netlist nl = ctx.netlist;
@@ -346,6 +443,30 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
     StageClock clk(res, "extract");
     return extract::extract_rc(merged, nl, ctx.tech(), threads);
   }();
+
+  // Structure-size accounting (the resource section's "allocation
+  // counters"): how big the per-point data plane actually got.  Re-run
+  // after eco_signoff when the ECO reshapes the netlist/routes.
+  const auto record_structure_sizes = [&](const io::Def& def,
+                                          const extract::RcNetlist& rcn) {
+    if (!resource_on) return;
+    long long rc_nodes = 0;
+    for (const extract::RcTree& t : rcn.trees) {
+      rc_nodes += static_cast<long long>(t.nodes.size());
+    }
+    long long wires = 0;
+    for (const io::DefNet& n : def.nets) {
+      wires += static_cast<long long>(n.wires.size());
+    }
+    res.resource.netlist_cells = nl.num_instances();
+    res.resource.netlist_nets = nl.num_nets();
+    res.resource.rc_nodes = rc_nodes;
+    res.resource.route_grid_nodes =
+        static_cast<long long>(routes.gcols) * routes.grows;
+    res.resource.def_components = static_cast<long long>(def.components.size());
+    res.resource.def_wires = wires;
+  };
+  record_structure_sizes(merged, rc);
 
   // --- STA + power -------------------------------------------------------------------
   sta::StaOptions so;
@@ -503,6 +624,7 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
       res.wirelength_back_um = routes.wirelength_back_um;
       res.hpwl_um = pnr::compute_hpwl_um(nl);
       res.num_instances = nl.num_instances();
+      record_structure_sizes(eco_merged, rc);
     }
     res.eco_post_freq_ghz = res.achieved_freq_ghz;
     res.eco_post_power_uw = res.power_uw;
@@ -522,12 +644,42 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
     res.invalid_reason = os.str();
   }
 
+  // Final resource sample for the point: peak RSS is process-wide (a
+  // high-water mark), current RSS and faults are where this point left the
+  // process.  Surfaced as gauges alongside the report/ledger fields.
+  if (resource_on) {
+    const obs::ResourceSample rs = obs::sample_resources();
+    res.resource.peak_rss_kb = rs.peak_rss_kb;
+    res.resource.current_rss_kb = rs.current_rss_kb;
+    res.resource.minor_faults = rs.minor_faults;
+    res.resource.major_faults = rs.major_faults;
+    FFET_METRIC_GAUGE_MAX("resource.peak_rss_kb", rs.peak_rss_kb);
+    FFET_METRIC_GAUGE_SET("resource.current_rss_kb", rs.current_rss_kb);
+    FFET_METRIC_GAUGE_SET("resource.minor_faults", rs.minor_faults);
+    FFET_METRIC_GAUGE_SET("resource.major_faults", rs.major_faults);
+    FFET_METRIC_GAUGE_MAX("resource.netlist_cells",
+                          res.resource.netlist_cells);
+    FFET_METRIC_GAUGE_MAX("resource.netlist_nets", res.resource.netlist_nets);
+    FFET_METRIC_GAUGE_MAX("resource.rc_nodes", res.resource.rc_nodes);
+    FFET_METRIC_GAUGE_MAX("resource.route_grid_nodes",
+                          res.resource.route_grid_nodes);
+    FFET_METRIC_GAUGE_MAX("resource.def_wires", res.resource.def_wires);
+    if (obs::verbose()) {
+      std::printf("  [resource] peak_rss=%lld kB current=%lld kB "
+                  "faults=%lld/%lld cells=%lld nets=%lld rc_nodes=%lld\n",
+                  rs.peak_rss_kb, rs.current_rss_kb, rs.minor_faults,
+                  rs.major_faults, res.resource.netlist_cells,
+                  res.resource.netlist_nets, res.resource.rc_nodes);
+    }
+  }
+
   const double point_ms = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - point0)
                               .count();
   FFET_METRIC_OBSERVE("flow.point.ms", point_ms);
   FFET_METRIC_ADD("flow.points", 1);
   emit_flow_report(res);
+  emit_ledger(res, threads);
   return res;
 }
 

@@ -87,8 +87,27 @@ struct FlowConfig {
   std::string trace_path;
   std::string flow_report_path;
 
+  /// Run-ledger sink (src/report reads it back): when non-empty,
+  /// run_physical appends one "ffet.ledger.v1" JSON line per point
+  /// (label + timestamp + host/threads + PPA/runtime/peak-RSS metrics)
+  /// to this file.  Empty (default) defers to the FFET_LEDGER environment
+  /// variable: unset/"0" = off, "1" = the default .ffet_ledger/ledger.jsonl,
+  /// anything else = that path.  Ledger writes happen after the result is
+  /// fully computed, so they can never perturb flow output.
+  std::string ledger_path;
+
   std::string label() const;
 };
+
+/// Resolve the ledger sink path shared by the flow emitter, the bench
+/// wrapper and the ffet_report CLI: `explicit_path` if non-empty, else the
+/// FFET_LEDGER environment variable ("0"/unset -> "" = off, "1" -> the
+/// default ".ffet_ledger/ledger.jsonl", anything else -> that value).
+std::string resolve_ledger_path(const std::string& explicit_path = {});
+
+/// The default on-disk ledger location (used when FFET_LEDGER=1 and as the
+/// CLI's read-side default).
+inline constexpr const char kDefaultLedgerPath[] = ".ffet_ledger/ledger.jsonl";
 
 /// Everything upstream of the physical stages; reusable across
 /// utilization / aspect-ratio sweeps of the same design point.
@@ -119,6 +138,32 @@ struct StageTiming {
   std::string stage;
   double wall_ms = 0.0;
   double cpu_ms = 0.0;  ///< calling thread's CPU time (helpers excluded)
+  /// Resident-set growth across the stage (end minus start, in kB; may be
+  /// negative when the allocator returns memory).  Always 0 when the
+  /// resource probe is disabled (FFET_RESOURCE=0) — the probe then makes
+  /// no syscalls and reports omit the field.
+  long long rss_delta_kb = 0;
+};
+
+/// Process resource usage for one flow point, sampled by the obs resource
+/// probe at the end of run_physical, plus the sizes of the big per-point
+/// data structures ("allocation counters" — the memory observability the
+/// 1M-cell data-plane work trends against).  `sampled` is false when the
+/// probe is disabled: everything stays 0 and the flow report omits the
+/// whole section, byte-identical to a build without the probe.
+struct ResourceUsage {
+  bool sampled = false;
+  long long peak_rss_kb = 0;     ///< process high-water RSS (VmHWM)
+  long long current_rss_kb = 0;  ///< RSS when the point finished
+  long long minor_faults = 0;
+  long long major_faults = 0;
+  // Structure sizes at signoff (post-ECO when the stage ran).
+  long long netlist_cells = 0;      ///< instances incl. taps/buffers
+  long long netlist_nets = 0;
+  long long rc_nodes = 0;           ///< RC tree nodes across all nets
+  long long route_grid_nodes = 0;   ///< gcells (gcols * grows)
+  long long def_components = 0;     ///< merged-DEF components
+  long long def_wires = 0;          ///< merged-DEF wire segments (both sides)
 };
 
 struct FlowResult {
@@ -204,6 +249,10 @@ struct FlowResult {
 
   /// Per-stage wall/CPU timings in execution order (floorplan ... ir_drop).
   std::vector<StageTiming> stage_times;
+
+  /// Peak/current RSS, fault counters and structure sizes (see
+  /// ResourceUsage); populated only while the obs resource probe is on.
+  ResourceUsage resource;
 
   /// Why valid() is false, composed from the failing stage ("" when valid).
   std::string invalid_reason;

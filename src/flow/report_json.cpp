@@ -218,7 +218,25 @@ std::string flow_report_json(const FlowResult& r) {
     j.close_obj();
   }
 
-  // Per-stage timings, in execution order.
+  // Resource usage (obs resource probe; absent when disabled so reports
+  // from FFET_RESOURCE=0 runs stay byte-identical to older builds).
+  if (r.resource.sampled) {
+    j.open_nested("resource");
+    j.field("peak_rss_kb", r.resource.peak_rss_kb);
+    j.field("current_rss_kb", r.resource.current_rss_kb);
+    j.field("minor_faults", r.resource.minor_faults);
+    j.field("major_faults", r.resource.major_faults);
+    j.field("netlist_cells", r.resource.netlist_cells);
+    j.field("netlist_nets", r.resource.netlist_nets);
+    j.field("rc_nodes", r.resource.rc_nodes);
+    j.field("route_grid_nodes", r.resource.route_grid_nodes);
+    j.field("def_components", r.resource.def_components);
+    j.field("def_wires", r.resource.def_wires);
+    j.close_obj();
+  }
+
+  // Per-stage timings, in execution order (plus per-stage RSS growth when
+  // the resource probe is on).
   j.open_array("stages");
   for (const StageTiming& st : r.stage_times) {
     j.element();
@@ -226,6 +244,7 @@ std::string flow_report_json(const FlowResult& r) {
     j.field("stage", st.stage);
     j.field("wall_ms", st.wall_ms);
     j.field("cpu_ms", st.cpu_ms);
+    if (r.resource.sampled) j.field("rss_delta_kb", st.rss_delta_kb);
     j.close_obj();
   }
   j.close_array();

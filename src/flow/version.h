@@ -1,0 +1,13 @@
+// version.h — single source of truth for the tool version string.
+//
+// Shared by `ffet_cli --version` and `ffet_report --version`; keep in sync
+// with the `project(... VERSION ...)` declaration in the top-level
+// CMakeLists.txt.
+
+#pragma once
+
+namespace ffet {
+
+inline constexpr const char kVersion[] = "0.1.0";
+
+}  // namespace ffet

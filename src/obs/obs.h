@@ -2,18 +2,24 @@
 //
 // src/obs is a leaf library (standard library only) providing:
 //
-//   * trace.h   — RAII span tracer, Chrome trace-event JSON dumps
-//   * metrics.h — counters / gauges / log-bucket histograms
-//   * numfmt.h  — deterministic (to_chars) number formatting for sinks
+//   * trace.h    — RAII span tracer, Chrome trace-event JSON dumps
+//   * metrics.h  — counters / gauges / log-bucket histograms
+//   * resource.h — process resource probe (RSS / page-fault sampling)
+//   * numfmt.h   — deterministic (to_chars) number formatting for sinks
 //
-// Both instruments are compiled in but disabled by default; call sites
+// Tracing and metrics are compiled in but disabled by default; call sites
 // branch on one relaxed atomic flag, so the disabled cost is a few
-// nanoseconds per site.  Environment control:
+// nanoseconds per site.  The resource probe is the one *enabled-by-default*
+// instrument (reports are expected to carry peak RSS); FFET_RESOURCE=0
+// turns it into a zero-syscall no-op.  Environment control:
 //
 //   FFET_TRACE=<path>  enable tracing; dump the trace to <path> at exit
 //   FFET_METRICS=1     enable metrics (a value naming a file additionally
 //                      dumps the registry as JSON there at exit)
-//   FFET_VERBOSE=1     per-pass router convergence lines etc.
+//   FFET_RESOURCE=0    disable the resource probe (no syscalls, no
+//                      resource fields in any report)
+//   FFET_VERBOSE=1     per-pass router convergence / per-stage timing+RSS
+//                      one-liners
 //
 // The environment is read lazily on the first tracing_enabled() /
 // metrics_enabled() query; explicit set_tracing()/set_metrics() calls made
@@ -22,6 +28,7 @@
 #pragma once
 
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace ffet::obs {

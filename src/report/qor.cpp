@@ -105,6 +105,8 @@ std::vector<FlowRecord> read_flow_reports(std::istream& is, ReadStats* stats) {
         read_number_map(v, rec.eco, stats);
       } else if (key == "metrics" && v.is_object()) {
         read_number_map(v, rec.metrics, stats);
+      } else if (key == "resource" && v.is_object()) {
+        read_number_map(v, rec.resource, stats);
       } else if (key == "stages" && v.is_array()) {
         for (const json::Value& sv : v.items) {
           if (!sv.is_object()) continue;
@@ -115,6 +117,7 @@ std::vector<FlowRecord> read_flow_reports(std::istream& is, ReadStats* stats) {
           }
           st.wall_ms = sv.member_number("wall_ms");
           st.cpu_ms = sv.member_number("cpu_ms");
+          st.rss_delta_kb = sv.member_number("rss_delta_kb");
           rec.stages.push_back(std::move(st));
         }
       } else if (v.is_number()) {
@@ -241,6 +244,7 @@ void diff_pair(const FlowRecord& b, const FlowRecord& n, const DiffOptions& o,
   diff_maps(label, "ppa.", b.ppa, n.ppa, o, rep);
   diff_maps(label, "eco.", b.eco, n.eco, o, rep);
   diff_maps(label, "metrics.", b.metrics, n.metrics, o, rep);
+  diff_maps(label, "resource.", b.resource, n.resource, o, rep);
   diff_maps(label, "extra.", b.extra, n.extra, o, rep);
 
   // Total wirelength carries the gate (one side may legitimately shrink

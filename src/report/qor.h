@@ -31,6 +31,7 @@ struct StageTime {
   std::string stage;
   double wall_ms = 0.0;
   double cpu_ms = 0.0;
+  double rss_delta_kb = 0.0;  ///< resident-set growth (0 when probe off)
 };
 
 /// One parsed flow-report line.  Numeric fields land in per-section maps so
@@ -50,6 +51,7 @@ struct FlowRecord {
   std::map<std::string, double> ppa;
   std::map<std::string, double> eco;
   std::map<std::string, double> metrics;
+  std::map<std::string, double> resource;  ///< peak RSS, faults, sizes
   std::map<std::string, double> extra;  ///< unknown numeric top-level fields
   std::vector<StageTime> stages;
 

@@ -280,5 +280,69 @@ TEST(NumFmt, EscapesJsonStrings) {
   EXPECT_EQ(out, "\\u0001");
 }
 
+// --- resource probe ---------------------------------------------------------
+
+/// Pin the resource probe for one test and restore the enabled default
+/// (the probe, unlike tracing/metrics, defaults ON) on scope exit.
+class ResourceGuard {
+ public:
+  explicit ResourceGuard(bool on) { obs::set_resource(on); }
+  ~ResourceGuard() { obs::set_resource(true); }
+};
+
+TEST(Resource, SampleReportsPositiveRssWhenEnabled) {
+  ResourceGuard g(true);
+  const obs::ResourceSample s = obs::sample_resources();
+#if defined(__linux__)
+  EXPECT_GT(s.peak_rss_kb, 0);
+  EXPECT_GT(s.current_rss_kb, 0);
+  EXPECT_GE(s.peak_rss_kb, s.current_rss_kb) << "HWM is a high-water mark";
+  EXPECT_GT(s.minor_faults, 0) << "any live process has reclaimed pages";
+  EXPECT_GT(obs::sample_current_rss_kb(), 0);
+#else
+  // Non-Linux: the sources may be absent, but the call must not crash and
+  // must never report negative values.
+  EXPECT_GE(s.peak_rss_kb, 0);
+  EXPECT_GE(s.current_rss_kb, 0);
+#endif
+}
+
+TEST(Resource, PeakIsMonotonicAcrossAllocations) {
+  ResourceGuard g(true);
+  const obs::ResourceSample before = obs::sample_resources();
+  // Touch a few MB so the high-water mark cannot shrink below it.
+  std::vector<char> ballast(4 << 20, 1);
+  EXPECT_GT(ballast[ballast.size() / 2], 0);
+  const obs::ResourceSample after = obs::sample_resources();
+  EXPECT_GE(after.peak_rss_kb, before.peak_rss_kb);
+  EXPECT_GE(after.minor_faults, before.minor_faults);
+}
+
+TEST(Resource, DisabledSamplesAreAllZero) {
+  ResourceGuard g(false);
+  EXPECT_FALSE(obs::resource_enabled());
+  const obs::ResourceSample s = obs::sample_resources();
+  EXPECT_EQ(s.peak_rss_kb, 0);
+  EXPECT_EQ(s.current_rss_kb, 0);
+  EXPECT_EQ(s.minor_faults, 0);
+  EXPECT_EQ(s.major_faults, 0);
+  EXPECT_EQ(obs::sample_current_rss_kb(), 0);
+}
+
+TEST(Resource, ToggleIsRaceFreeUnderConcurrentSampling) {
+  // TSan checks the relaxed-atomic enable flag against concurrent
+  // samplers (the same contract the tracing/metrics flags have).
+  ResourceGuard g(true);
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    for (int i = 0; i < 200; ++i) obs::set_resource(i % 2 == 0);
+    stop.store(true);
+  });
+  long long sink = 0;
+  while (!stop.load()) sink += obs::sample_current_rss_kb();
+  toggler.join();
+  EXPECT_GE(sink, 0);
+}
+
 }  // namespace
 }  // namespace ffet

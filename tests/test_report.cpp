@@ -12,10 +12,15 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
 #include "flow/flow.h"
 #include "flow/report_json.h"
 #include "io/def.h"
+#include "obs/obs.h"
 #include "report/json.h"
+#include "report/ledger.h"
 #include "report/net_report.h"
 #include "report/qor.h"
 #include "report/snapshot.h"
@@ -257,6 +262,377 @@ TEST(QorDiff, FormatNamesRegressionsAndVerdict) {
   const std::string ok_text = format_diff(diff_flow_reports(base, base));
   EXPECT_NE(ok_text.find("no differences"), std::string::npos);
   EXPECT_NE(ok_text.find("OK"), std::string::npos);
+}
+
+// ------------------------------------------------------ resource fields
+
+/// make_result plus a populated resource section and per-stage deltas.
+flow::FlowResult make_resourceful_result() {
+  flow::FlowResult r = make_result(1.25, 4000.0, 0, 0);
+  r.resource.sampled = true;
+  r.resource.peak_rss_kb = 123456;
+  r.resource.current_rss_kb = 120000;
+  r.resource.minor_faults = 7890;
+  r.resource.major_faults = 3;
+  r.resource.netlist_cells = 3660;
+  r.resource.netlist_nets = 3506;
+  r.resource.rc_nodes = 47988;
+  r.resource.route_grid_nodes = 936;
+  r.resource.def_components = 3660;
+  r.resource.def_wires = 32760;
+  r.stage_times = {{"floorplan", 1.5, 1.25, 128}, {"route", 40.0, 38.5, 4096}};
+  return r;
+}
+
+TEST(FlowReportReader, RoundTripsResourceSectionByteStably) {
+  const flow::FlowResult r = make_resourceful_result();
+  EXPECT_EQ(flow::flow_report_json(r), flow::flow_report_json(r))
+      << "the emitter must be byte-deterministic";
+
+  const FlowRecord rec = record_of(r);
+  EXPECT_DOUBLE_EQ(rec.resource.at("peak_rss_kb"), 123456.0);
+  EXPECT_DOUBLE_EQ(rec.resource.at("current_rss_kb"), 120000.0);
+  EXPECT_DOUBLE_EQ(rec.resource.at("minor_faults"), 7890.0);
+  EXPECT_DOUBLE_EQ(rec.resource.at("major_faults"), 3.0);
+  EXPECT_DOUBLE_EQ(rec.resource.at("rc_nodes"), 47988.0);
+  EXPECT_DOUBLE_EQ(rec.resource.at("route_grid_nodes"), 936.0);
+  ASSERT_EQ(rec.stages.size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.stages[0].rss_delta_kb, 128.0);
+  EXPECT_DOUBLE_EQ(rec.stages[1].rss_delta_kb, 4096.0);
+}
+
+TEST(FlowReportReader, ResourceFieldsAbsentWhenProbeOff) {
+  // A probe-off run must serialize byte-identically to a pre-probe build:
+  // no "resource" section and no per-stage rss_delta_kb at all.
+  const std::string off = flow::flow_report_json(make_result(1.25, 4000.0, 0, 0));
+  EXPECT_EQ(off.find("resource"), std::string::npos);
+  EXPECT_EQ(off.find("rss_delta_kb"), std::string::npos);
+  EXPECT_EQ(off.find("peak_rss_kb"), std::string::npos);
+  const FlowRecord rec = record_of(make_result(1.25, 4000.0, 0, 0));
+  EXPECT_TRUE(rec.resource.empty());
+
+  // And the probe-on emission differs from probe-off ONLY by resource
+  // fields: stripping the resource object and the per-stage deltas from
+  // the sampled line recovers the probe-off bytes exactly.
+  std::string on = flow::flow_report_json(make_resourceful_result());
+  const std::size_t rb = on.find(",\"resource\":{");
+  ASSERT_NE(rb, std::string::npos);
+  on.erase(rb, on.find("}", rb) - rb + 1);
+  for (std::size_t p = on.find(",\"rss_delta_kb\":");
+       p != std::string::npos; p = on.find(",\"rss_delta_kb\":")) {
+    on.erase(p, on.find_first_of(",}", p + 1) - p);
+  }
+  EXPECT_EQ(on, off);
+}
+
+TEST(QorDiff, ResourceDeltasAreReportedButNeverGated) {
+  flow::FlowResult base = make_resourceful_result();
+  flow::FlowResult now = make_resourceful_result();
+  now.resource.peak_rss_kb = base.resource.peak_rss_kb * 3;  // huge rise
+  const DiffReport rep =
+      diff_flow_reports({record_of(base)}, {record_of(now)});
+  EXPECT_TRUE(rep.ok()) << "RSS is machine-dependent; diff must not gate it";
+  bool saw = false;
+  for (const Delta& d : rep.deltas) saw |= d.metric == "resource.peak_rss_kb";
+  EXPECT_TRUE(saw) << "the delta itself must still be surfaced";
+}
+
+// --------------------------------------------------------------- ledger
+
+LedgerEntry make_entry(double freq, double power, double wl, double drv,
+                       long long ts, bool valid = true) {
+  LedgerEntry e;
+  e.kind = "flow";
+  e.label = "unit";
+  e.host = "testhost";
+  e.timestamp_s = ts;
+  e.threads = 2;
+  e.valid = valid;
+  e.metrics = {{"achieved_freq_ghz", freq}, {"power_uw", power},
+               {"wirelength_um", wl},       {"drv", drv},
+               {"runtime_ms", 50.0},        {"peak_rss_kb", 20000.0}};
+  return e;
+}
+
+std::vector<LedgerEntry> reparse(const std::vector<LedgerEntry>& in,
+                                 ReadStats* stats = nullptr) {
+  std::string text;
+  for (const LedgerEntry& e : in) text += ledger_entry_json(e) + "\n";
+  std::istringstream is(text);
+  return read_ledger(is, stats);
+}
+
+TEST(Ledger, JsonRoundTripsAndIsByteStable) {
+  const LedgerEntry e = make_entry(1.25, 4000.5, 15000.25, 0, 1700000000);
+  EXPECT_EQ(ledger_entry_json(e), ledger_entry_json(e));
+
+  ReadStats stats;
+  const std::vector<LedgerEntry> back = reparse({e}, &stats);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(stats.parsed, 1);
+  EXPECT_EQ(back[0].schema, "ffet.ledger.v1");
+  EXPECT_EQ(back[0].kind, "flow");
+  EXPECT_EQ(back[0].label, "unit");
+  EXPECT_EQ(back[0].host, "testhost");
+  EXPECT_EQ(back[0].timestamp_s, 1700000000);
+  EXPECT_EQ(back[0].threads, 2);
+  EXPECT_TRUE(back[0].valid);
+  EXPECT_DOUBLE_EQ(back[0].metrics.at("achieved_freq_ghz"), 1.25);
+  EXPECT_DOUBLE_EQ(back[0].metrics.at("power_uw"), 4000.5);
+  EXPECT_DOUBLE_EQ(back[0].metrics.at("wirelength_um"), 15000.25);
+  // Emit -> parse -> emit is a fixed point (doubles via to_chars/from_chars).
+  EXPECT_EQ(ledger_entry_json(back[0]), ledger_entry_json(e));
+}
+
+TEST(Ledger, ReaderSkipsMalformedLinesAndCountsThem) {
+  const std::string good =
+      ledger_entry_json(make_entry(1.0, 1000.0, 500.0, 0, 1));
+  std::istringstream is(good + "\n" +
+                        "{\"schema\":\"ffet.ledger.v1\",\"torn\n" +  // torn
+                        "not json at all\n" +
+                        "{\"schema\":\"other.v1\"}\n" +  // wrong schema
+                        good + "\r\n");                  // CRLF tolerated
+  ReadStats stats;
+  const std::vector<LedgerEntry> entries = read_ledger(is, &stats);
+  EXPECT_EQ(stats.lines, 5);
+  EXPECT_EQ(stats.parsed, 2);
+  EXPECT_EQ(stats.malformed, 3);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].label, entries[1].label);
+}
+
+TEST(Ledger, ReaderPreservesUnknownFields) {
+  std::string line = ledger_entry_json(make_entry(1.0, 1000.0, 500.0, 0, 1));
+  // Splice in a top-level numeric, an unknown metric, and a non-numeric.
+  line.insert(line.size() - 1, ",\"future_number\":42,\"future_text\":\"x\"");
+  const std::size_t m = line.find("\"metrics\":{") + 11;
+  line.insert(m, "\"future_metric\":7,");
+  std::istringstream is(line + "\n");
+  ReadStats stats;
+  const std::vector<LedgerEntry> entries = read_ledger(is, &stats);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(entries[0].extra.at("future_number"), 42.0);
+  EXPECT_DOUBLE_EQ(entries[0].metrics.at("future_metric"), 7.0);
+  EXPECT_EQ(stats.unknown_fields, 1) << "only the non-numeric is uncounted";
+}
+
+TEST(Ledger, AppendCreatesParentDirectoryAndAppends) {
+  const std::string dir = ::testing::TempDir() + "ffet_ledger_test";
+  const std::string path = dir + "/ledger.jsonl";
+  std::remove(path.c_str());
+  std::string err;
+  ASSERT_TRUE(append_ledger_line(path, "{\"schema\":\"ffet.ledger.v1\"}", &err))
+      << err;
+  ASSERT_TRUE(append_ledger_line(
+      path, ledger_entry_json(make_entry(1.0, 1.0, 1.0, 0, 1)), &err))
+      << err;
+  ReadStats stats;
+  const std::vector<LedgerEntry> entries = read_ledger_file(path, &stats, &err);
+  EXPECT_TRUE(err.empty());
+  EXPECT_EQ(stats.lines, 2);
+  ASSERT_EQ(entries.size(), 2u);  // bare-schema line still parses
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- trend
+
+TEST(Trend, SingleRunIsANoteNotARegression) {
+  const TrendReport rep =
+      analyze_trend({make_entry(1.0, 1000.0, 500.0, 0, 1)});
+  EXPECT_TRUE(rep.ok()) << "a label's first run must never fail CI";
+  ASSERT_EQ(rep.notes.size(), 1u);
+  EXPECT_NE(rep.notes[0].find("only 1 run"), std::string::npos);
+}
+
+TEST(Trend, IdenticalRunsAreClean) {
+  // The CI self-check: N identical runs of a deterministic flow trend flat.
+  std::vector<LedgerEntry> runs;
+  for (int i = 0; i < 4; ++i) {
+    runs.push_back(make_entry(1.25, 4000.0, 15000.0, 0, 100 + i));
+  }
+  const TrendReport rep = analyze_trend(runs);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.regressions, 0);
+  ASSERT_EQ(rep.series.size(), 1u);
+  EXPECT_EQ(rep.series[0].runs, 4);
+  const std::string text = format_trend(rep);
+  EXPECT_NE(text.find("TREND OK"), std::string::npos);
+  EXPECT_EQ(text.find("REGRESSION"), std::string::npos);
+}
+
+TEST(Trend, FrequencyDropBeyondThresholdRegresses) {
+  std::vector<LedgerEntry> runs = {make_entry(1.00, 4000.0, 15000.0, 0, 1),
+                                   make_entry(1.00, 4000.0, 15000.0, 0, 2),
+                                   make_entry(0.97, 4000.0, 15000.0, 0, 3)};
+  const TrendReport rep = analyze_trend(runs);  // default gate: 1 % drop
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.regressions, 1);
+  EXPECT_NE(format_trend(rep).find("REGRESSION"), std::string::npos);
+
+  // Within threshold: a 0.5 % drop passes.
+  runs.back().metrics["achieved_freq_ghz"] = 0.995;
+  EXPECT_TRUE(analyze_trend(runs).ok());
+}
+
+TEST(Trend, DrvRiseAndValidityLossRegress) {
+  std::vector<LedgerEntry> runs = {make_entry(1.0, 4000.0, 15000.0, 0, 1),
+                                   make_entry(1.0, 4000.0, 15000.0, 0, 2),
+                                   make_entry(1.0, 4000.0, 15000.0, 2, 3)};
+  EXPECT_FALSE(analyze_trend(runs).ok()) << "any DRV rise regresses";
+
+  runs[2].metrics["drv"] = 0;
+  runs[2].valid = false;
+  const TrendReport rep = analyze_trend(runs);
+  EXPECT_FALSE(rep.ok()) << "valid -> invalid regresses";
+  EXPECT_TRUE(rep.series[0].validity_regression);
+
+  TrendOptions lax;
+  lax.gate_validity = false;
+  EXPECT_TRUE(analyze_trend(runs, lax).ok());
+}
+
+TEST(Trend, MedianWindowIgnoresOlderRuns) {
+  // Power history 9000,9000,4000,4000,4100: with window=2 the baseline is
+  // the recent 4000s and +2.5 % regresses; a full-history median would
+  // hide it behind the old 9000s.
+  std::vector<LedgerEntry> runs = {make_entry(1.0, 9000.0, 1.0, 0, 1),
+                                   make_entry(1.0, 9000.0, 1.0, 0, 2),
+                                   make_entry(1.0, 4000.0, 1.0, 0, 3),
+                                   make_entry(1.0, 4000.0, 1.0, 0, 4),
+                                   make_entry(1.0, 4100.0, 1.0, 0, 5)};
+  TrendOptions o;
+  o.window = 2;
+  EXPECT_FALSE(analyze_trend(runs, o).ok());
+  o.window = 4;
+  EXPECT_TRUE(analyze_trend(runs, o).ok())
+      << "median of {9000,9000,4000,4000} = 6500; 4100 is below it";
+}
+
+TEST(Trend, RssAndRuntimeAreUngatedByDefault) {
+  std::vector<LedgerEntry> runs = {make_entry(1.0, 4000.0, 1.0, 0, 1),
+                                   make_entry(1.0, 4000.0, 1.0, 0, 2)};
+  runs[1].metrics["peak_rss_kb"] = 80000.0;  // 4x the baseline
+  runs[1].metrics["runtime_ms"] = 500.0;     // 10x
+  EXPECT_TRUE(analyze_trend(runs).ok())
+      << "machine-dependent metrics must not gate by default";
+
+  TrendOptions strict;
+  strict.rss_rise_pct = 5.0;
+  const TrendReport rep = analyze_trend(runs, strict);
+  EXPECT_FALSE(rep.ok());
+  ASSERT_EQ(rep.series.size(), 1u);
+  bool rss_flagged = false;
+  for (const TrendMetric& m : rep.series[0].metrics) {
+    if (m.metric == "peak_rss_kb") rss_flagged = m.regression;
+  }
+  EXPECT_TRUE(rss_flagged);
+}
+
+TEST(Trend, GroupsByKindAndLabelWithFilters) {
+  LedgerEntry bench = make_entry(0.0, 0.0, 0.0, 0, 1);
+  bench.kind = "bench";
+  bench.label = "bench_x";
+  bench.metrics = {{"runtime_ms", 100.0}};
+  const std::vector<LedgerEntry> runs = {
+      make_entry(1.0, 4000.0, 1.0, 0, 1), bench,
+      make_entry(1.0, 4000.0, 1.0, 0, 2)};
+  EXPECT_EQ(analyze_trend(runs).series.size(), 2u);
+  TrendOptions only_flow;
+  only_flow.kind = "flow";
+  const TrendReport rep = analyze_trend(runs, only_flow);
+  ASSERT_EQ(rep.series.size(), 1u);
+  EXPECT_EQ(rep.series[0].kind, "flow");
+  TrendOptions none;
+  none.label = "no-such-label";
+  EXPECT_EQ(analyze_trend(runs, none).series.size(), 0u);
+}
+
+TEST(Trend, HistoryListsChronologicallyAndFilters) {
+  const std::vector<LedgerEntry> runs = {make_entry(1.0, 4000.0, 1.0, 0, 11),
+                                         make_entry(1.0, 4000.0, 1.0, 0, 22)};
+  const std::string text = format_history(runs, "unit");
+  EXPECT_LT(text.find("[11]"), text.find("[22]"));
+  EXPECT_NE(text.find("achieved_freq_ghz=1"), std::string::npos);
+  EXPECT_NE(format_history(runs, "absent").find("no ledger entries"),
+            std::string::npos);
+}
+
+// ----------------------------------------- ledger emission from the flow
+
+TEST(LedgerFlow, EmissionNeverPerturbsFlowResults) {
+  // With the resource probe pinned off, the flow report is a pure function
+  // of the config — running with the ledger enabled must produce the very
+  // same bytes as running without it, plus exactly one ledger line.
+#if defined(__unix__) || defined(__APPLE__)
+  ::unsetenv("FFET_LEDGER");  // the "plain" run must really be ledger-free
+#endif
+  obs::set_resource(false);
+  flow::FlowConfig cfg;
+  cfg.tech_kind = tech::TechKind::Ffet3p5T;
+  cfg.rv32_registers = 4;
+  cfg.utilization = 0.65;
+  cfg.front_layers = 4;
+  cfg.back_layers = 4;
+
+  const std::string ledger =
+      ::testing::TempDir() + "ffet_test_flow_ledger.jsonl";
+  std::remove(ledger.c_str());
+
+  const auto ctx = flow::prepare_design(cfg);
+  const flow::FlowResult plain = flow::run_physical(*ctx, cfg);
+
+  flow::FlowConfig with_ledger = cfg;
+  with_ledger.ledger_path = ledger;
+  const auto ctx2 = flow::prepare_design(with_ledger);
+  const flow::FlowResult recorded = flow::run_physical(*ctx2, with_ledger);
+  obs::set_resource(true);
+
+  // Wall-clock stage timings are noisy run to run regardless of the
+  // ledger; everything else in the report must be byte-identical.
+  flow::FlowResult plain_qor = plain;
+  flow::FlowResult recorded_qor = recorded;
+  plain_qor.stage_times.clear();
+  recorded_qor.stage_times.clear();
+  recorded_qor.config.ledger_path.clear();
+  EXPECT_EQ(flow::flow_report_json(plain_qor),
+            flow::flow_report_json(recorded_qor))
+      << "ledger writes must not perturb the flow";
+
+  ReadStats stats;
+  std::string err;
+  const std::vector<LedgerEntry> entries =
+      read_ledger_file(ledger, &stats, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].kind, "flow");
+  EXPECT_EQ(entries[0].label, cfg.label());
+  EXPECT_TRUE(entries[0].valid == recorded.valid());
+  EXPECT_DOUBLE_EQ(entries[0].metrics.at("achieved_freq_ghz"),
+                   recorded.achieved_freq_ghz);
+  EXPECT_DOUBLE_EQ(entries[0].metrics.at("power_uw"), recorded.power_uw);
+  EXPECT_DOUBLE_EQ(
+      entries[0].metrics.at("wirelength_um"),
+      recorded.wirelength_front_um + recorded.wirelength_back_um);
+  EXPECT_EQ(entries[0].metrics.count("peak_rss_kb"), 0u)
+      << "probe off: no resource metrics in the ledger either";
+  std::remove(ledger.c_str());
+}
+
+TEST(LedgerFlow, ResolveLedgerPathSemantics) {
+  // Explicit path wins; FFET_LEDGER=0/empty disables; =1 -> default path.
+  EXPECT_EQ(flow::resolve_ledger_path("x/y.jsonl"), "x/y.jsonl");
+#if defined(__unix__) || defined(__APPLE__)
+  ::setenv("FFET_LEDGER", "0", 1);
+  EXPECT_EQ(flow::resolve_ledger_path(), "");
+  ::setenv("FFET_LEDGER", "", 1);
+  EXPECT_EQ(flow::resolve_ledger_path(), "");
+  ::setenv("FFET_LEDGER", "1", 1);
+  EXPECT_EQ(flow::resolve_ledger_path(), flow::kDefaultLedgerPath);
+  ::setenv("FFET_LEDGER", "custom/path.jsonl", 1);
+  EXPECT_EQ(flow::resolve_ledger_path(), "custom/path.jsonl");
+  ::unsetenv("FFET_LEDGER");
+  EXPECT_EQ(flow::resolve_ledger_path(), "");
+#endif
 }
 
 // ------------------------------------------- reports over a real flow
