@@ -1,0 +1,179 @@
+// bench_scale.cpp — million-cell data-plane scaling sweep.
+//
+// The paper's block is one RISC-V core (~12k instances); the data-plane
+// refactor (CSR pin table + interned/lazy names, flat RC arena, streaming
+// DEF/SPEF) exists so the same flow holds up at SoC-tile scale.  This
+// bench sweeps the replicated-tile workload mesh from ~10k to 1M+ cells
+// and runs each point end-to-end through floorplan -> place -> CTS ->
+// route -> extract -> STA, recording per-stage throughput (cells/second)
+// and the process peak RSS.
+//
+// Always writes BENCH_scale.json (cwd).  The committed copy at the repo
+// root is the reference series CI's trend machinery tracks; the rss_rise
+// soft gate in `ffet_report trend --rss-rise` reads the kind=bench ledger
+// lines this bench (via run_benches.sh) appends.
+//
+//   --quick   caps the sweep at the ~50k-cell point (CI smoke).
+//
+// Points use the anonymous workload mode: gates and internal nets carry no
+// name bytes (objects answer to the synthesized `_i<N>`/`_n<N>` names), as
+// a synthesized SoC-scale netlist would be consumed from a binary DB.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "liberty/characterize.h"
+#include "netlist/workload.h"
+#include "pnr/floorplan.h"
+#include "stdcell/stdcell.h"
+#include "tech/tech.h"
+
+namespace {
+
+using namespace ffet;
+
+struct Point {
+  int tile_cols = 1;
+  int tile_rows = 1;
+};
+
+struct StageRate {
+  const char* stage;
+  double wall_ms = 0.0;
+};
+
+double stage_ms(const flow::FlowResult& res, const char* name) {
+  double ms = 0.0;
+  for (const flow::StageTiming& st : res.stage_times) {
+    if (st.stage == name) ms += st.wall_ms;
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args =
+      bench::parse_bench_args(argc, argv, "bench_scale");
+  bench::print_title("SCALE", "data-plane scaling sweep (workload mesh, "
+                              "~10k -> 1M+ cells)");
+
+  // ~11k cells per tile (the paper-block ballpark); the mesh multiplies.
+  netlist::WorkloadOptions wopt;
+  wopt.num_gates = 10000;
+  wopt.num_flops = 1000;
+  wopt.num_inputs = 64;
+  wopt.num_outputs = 64;
+  wopt.anonymous = true;
+
+  std::vector<Point> points = {{1, 1}, {2, 2}, {3, 3}, {7, 7}, {10, 10}};
+  if (args.quick) points.resize(2);  // 11k + 44k: CI smoke
+
+  flow::FlowConfig cfg;
+  cfg.tech_kind = tech::TechKind::Ffet3p5T;
+  cfg.front_layers = 12;
+  cfg.back_layers = 12;
+  cfg.backside_input_fraction = 0.5;
+  cfg.utilization = 0.60;
+  cfg.eco_passes = 0;
+  cfg.threads = 0;  // auto (FFET_THREADS)
+
+  bench::SweepTimer timer("bench_scale", static_cast<int>(points.size()),
+                          cfg.threads);
+
+  std::printf("\n  %-5s %9s | %11s %11s %11s %11s %11s | %9s %8s %5s\n",
+              "mesh", "cells", "gen_c/s", "place_c/s", "route_c/s",
+              "extract_c/s", "sta_c/s", "peak_rss", "B/cell", "ok");
+
+  std::string json;
+  json.reserve(4096);
+  flow::JsonBuilder j(json);
+  j.open_obj();
+  j.field("bench", "bench_scale");
+  j.field("design", "workload_mesh_11k_tile_anon_ffet_dual0.5_util0.60");
+  j.field("quick", args.quick);
+  j.open_array("points");
+
+  bool all_valid = true;
+  for (const Point& pt : points) {
+    netlist::WorkloadOptions opt = wopt;
+    opt.tile_cols = pt.tile_cols;
+    opt.tile_rows = pt.tile_rows;
+
+    // Mirror flow::prepare_design's tech/library construction, swapping
+    // the RISC-V core for the mesh workload (synthesis untouched: the
+    // sweep measures the physical data plane, not the sizer).
+    tech::Technology tech =
+        tech::make_ffet_3p5t().with_routing_limit(cfg.front_layers,
+                                                  cfg.back_layers);
+    stdcell::PinConfig pc;
+    pc.backside_input_fraction = cfg.backside_input_fraction;
+    auto ctx_tech = std::make_unique<tech::Technology>(std::move(tech));
+    auto lib = std::make_unique<stdcell::Library>(
+        stdcell::build_library(*ctx_tech, pc));
+    liberty::characterize_library(*lib);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    netlist::Netlist nl = netlist::generate_workload(*lib, opt);
+    const double gen_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    const double cells = static_cast<double>(nl.num_instances());
+
+    flow::DesignContext ctx(cfg, std::move(ctx_tech), std::move(lib),
+                            std::move(nl));
+    const flow::FlowResult res = flow::run_physical(ctx, cfg);
+    all_valid = all_valid && res.valid();
+
+    const double place_ms =
+        stage_ms(res, "placement") + stage_ms(res, "placement_drc");
+    const double route_ms = stage_ms(res, "route");
+    const double extract_ms = stage_ms(res, "extract");
+    const double sta_ms =
+        stage_ms(res, "sta_timing") + stage_ms(res, "sta_hold");
+    const long long peak_kb =
+        res.resource.peak_rss_kb > 0
+            ? res.resource.peak_rss_kb
+            : obs::sample_resources().peak_rss_kb;
+    auto rate = [&](double ms) { return ms > 0.0 ? cells / (ms / 1000.0) : 0.0; };
+
+    char mesh[16];
+    std::snprintf(mesh, sizeof(mesh), "%dx%d", pt.tile_cols, pt.tile_rows);
+    std::printf("  %-5s %9.0f | %11.0f %11.0f %11.0f %11.0f %11.0f | %8lld %8.1f %5s\n",
+                mesh, cells, rate(gen_ms), rate(place_ms), rate(route_ms),
+                rate(extract_ms), rate(sta_ms), peak_kb,
+                static_cast<double>(peak_kb) * 1024.0 / cells,
+                res.valid() ? "yes" : "NO");
+
+    j.element();
+    j.open_obj();
+    j.field("tile_cols", pt.tile_cols);
+    j.field("tile_rows", pt.tile_rows);
+    j.field("cells", static_cast<long long>(cells));
+    j.field("gen_cells_per_s", std::round(rate(gen_ms)));
+    j.field("place_cells_per_s", std::round(rate(place_ms)));
+    j.field("route_cells_per_s", std::round(rate(route_ms)));
+    j.field("extract_cells_per_s", std::round(rate(extract_ms)));
+    j.field("sta_cells_per_s", std::round(rate(sta_ms)));
+    j.field("peak_rss_kb", peak_kb);
+    j.field("rss_bytes_per_cell",
+            std::round(static_cast<double>(peak_kb) * 1024.0 / cells * 10.0) /
+                10.0);
+    j.field("valid", res.valid());
+    j.close_obj();
+  }
+  j.close_array();
+  j.field("all_valid", all_valid);
+  j.close_obj();
+  json += '\n';
+
+  if (std::FILE* f = std::fopen("BENCH_scale.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    bench::print_note("scaling series written to BENCH_scale.json");
+  }
+  return all_valid ? 0 : 1;
+}

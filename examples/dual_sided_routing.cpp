@@ -9,6 +9,7 @@
 //   $ ./dual_sided_routing
 
 #include <cstdio>
+#include <map>
 #include <fstream>
 
 #include "extract/extract.h"
@@ -122,7 +123,7 @@ int main() {
     }
     if (!has_f || !has_b) continue;
     const auto id = nl.find_net(dn.name);
-    const extract::RcTree& t = rc.trees[static_cast<std::size_t>(*id)];
+    const extract::RcTreeView t = rc.tree(*id);
     std::printf("\nRC tree of dual-sided net '%s': %zu nodes, %.3f fF total "
                 "load\n",
                 dn.name.c_str(), t.nodes.size(), t.total_cap_ff);

@@ -19,7 +19,11 @@
 # .ffet_ledger/ledger.jsonl; set FFET_LEDGER=0 to disable).
 # bench_router additionally writes BENCH_router.json (maze-routing kernel:
 # legacy vs. windowed A*); the committed copy is the baseline CI's
-# quick-bench regression gate diffs against (scripts/check_bench.py router).  With
+# quick-bench regression gate diffs against (scripts/check_bench.py router).
+# bench_scale writes BENCH_scale.json (workload-mesh scaling series:
+# per-stage cells/sec + peak RSS from ~10k to 1M+ cells); the committed
+# copy is the reference series, and CI's `ffet_report trend --rss-rise`
+# soft gate watches the quick points' peak RSS in the run ledger.  With
 # --trace each bench additionally writes trace_<bench>.json (Chrome
 # trace-event format — load in chrome://tracing or https://ui.perfetto.dev)
 # and appends per-point flow reports to flow_reports.jsonl.  Benches that
@@ -31,8 +35,9 @@ cd "$(dirname "$0")"
 
 FULL="bench_table1 bench_fig4 bench_table2 bench_fig8 bench_fig9 \
       bench_fig10 bench_fig11 bench_table3 bench_fig12 bench_fig13 \
-      bench_ablation bench_cost_extension bench_router bench_eco"
-QUICK="bench_table1 bench_fig4 bench_table2 bench_eco"
+      bench_ablation bench_cost_extension bench_router bench_eco \
+      bench_scale"
+QUICK="bench_table1 bench_fig4 bench_table2 bench_eco bench_scale"
 
 run_stages=1
 trace=0

@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
@@ -46,8 +47,12 @@ class DensityGrid {
     rows_ = std::max(1, static_cast<int>(geom::to_um(def.die.height()) /
                                          kDensityBinUm) +
                             1);
-    load_[0].assign(static_cast<std::size_t>(cols_ * rows_), 0.0);
-    load_[1].assign(static_cast<std::size_t>(cols_ * rows_), 0.0);
+    load_[0].assign(static_cast<std::size_t>(cols_) *
+                        static_cast<std::size_t>(rows_),
+                    0.0);
+    load_[1].assign(static_cast<std::size_t>(cols_) *
+                        static_cast<std::size_t>(rows_),
+                    0.0);
 
     // Wire length per bin, per side.
     for (const io::DefNet& n : def.nets) {
@@ -116,7 +121,16 @@ struct NodeKey {
   Side side;
   geom::Nm x;
   geom::Nm y;
-  auto operator<=>(const NodeKey&) const = default;
+  bool operator==(const NodeKey&) const = default;
+};
+
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& k) const noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(k.side == Side::Back);
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(k.x);
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(k.y);
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
 };
 
 Side side_of_layer(const std::string& layer) {
@@ -129,16 +143,14 @@ struct Adj {
 };
 
 /// Build (or rebuild, resetting any prior contents) one net's RC tree from
-/// the merged-DEF wire index, the side density grids, and the current pin
+/// its merged-DEF wires, the side density grids, and the current pin
 /// landscape — the shared kernel of extract_rc and reextract_nets.
-void build_net_tree(RcTree& tree, int net_id, const Netlist& nl,
-                    const Technology& tech,
-                    const std::map<std::string, const io::DefNet*>& def_nets,
+void build_net_tree(RcTree& tree, netlist::NetId net_id, const Netlist& nl,
+                    const Technology& tech, const io::DefNet* dn,
                     const DensityGrid& density, double drain_merge_r) {
   FFET_TRACE_SCOPE("extract.net");
-  tree = RcTree{};
+  tree.clear();
   const netlist::Net& net = nl.net(net_id);
-  tree.net_name = net.name;
 
   // Driver position.
   geom::Point drv_pos{0, 0};
@@ -149,27 +161,24 @@ void build_net_tree(RcTree& tree, int net_id, const Netlist& nl,
   }
 
   // Root node.
-  tree.nodes.push_back({drv_pos, Side::Front, 0.0, -1, 0.0});
+  tree.nodes.push_back({drv_pos, 0.0, 0.0, -1, Side::Front});
 
   // Wire graph.
-  std::map<NodeKey, int> node_of;
+  std::unordered_map<NodeKey, int, NodeKeyHash> node_of;
   std::vector<std::vector<Adj>> adj(1);
   auto get_node = [&](Side s, geom::Point p) {
     const NodeKey key{s, p.x, p.y};
     auto it = node_of.find(key);
     if (it != node_of.end()) return it->second;
     const int idx = static_cast<int>(tree.nodes.size());
-    tree.nodes.push_back({p, s, 0.0, -1, 0.0});
+    tree.nodes.push_back({p, 0.0, 0.0, -1, s});
     adj.emplace_back();
     node_of.emplace(key, idx);
     return idx;
   };
 
-  const io::DefNet* dn = nullptr;
-  if (auto it = def_nets.find(net.name); it != def_nets.end()) {
-    dn = it->second;
-  }
   if (dn) {
+    node_of.reserve(dn->wires.size() * 2);
     for (const io::DefWire& w : dn->wires) {
       const Side s = side_of_layer(w.layer);
       const tech::MetalLayer* layer = tech.find_layer(w.layer);
@@ -256,7 +265,7 @@ void build_net_tree(RcTree& tree, int net_id, const Netlist& nl,
     // hookup resistance.
     const int pin_node = static_cast<int>(tree.nodes.size());
     tree.nodes.push_back(
-        {pos, s, nl.pin_cap_ff(sref), nearest, kPinHookupOhm});
+        {pos, nl.pin_cap_ff(sref), kPinHookupOhm, nearest, s});
     seen.push_back(true);
     tree.sink_nodes.push_back(pin_node);
   }
@@ -269,47 +278,108 @@ void build_net_tree(RcTree& tree, int net_id, const Netlist& nl,
   tree.wire_cap_ff = std::max(0.0, tree.total_cap_ff - pin_cap);
 }
 
+/// Per-net pointers into the merged DEF, indexed by NetId (null = the net
+/// has no DEF record, i.e. no wires).
+std::vector<const io::DefNet*> index_def_nets(const io::Def& merged,
+                                              const Netlist& nl) {
+  std::vector<const io::DefNet*> by_id(
+      static_cast<std::size_t>(nl.num_nets()), nullptr);
+  for (const io::DefNet& n : merged.nets) {
+    if (const auto id = nl.find_net(n.name)) {
+      by_id[static_cast<std::size_t>(*id)] = &n;
+    }
+  }
+  return by_id;
+}
+
 /// Recompute the aggregate totals from scratch in net order (shared tail
 /// of the full and incremental extractions; keeps them bit-identical).
 void sum_totals(RcNetlist& out) {
   out.total_wire_cap_ff = 0.0;
   out.total_wire_res_kohm = 0.0;
-  for (const RcTree& tree : out.trees) {
-    out.total_wire_cap_ff += tree.wire_cap_ff;
-    for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
-      out.total_wire_res_kohm += tree.nodes[i].r_ohm / 1000.0;
+  for (netlist::NetId n = 0; n < static_cast<netlist::NetId>(out.num_trees());
+       ++n) {
+    const RcTreeView t = out.tree(n);
+    out.total_wire_cap_ff += t.wire_cap_ff;
+    for (std::size_t i = 1; i < t.nodes.size(); ++i) {
+      out.total_wire_res_kohm += t.nodes[i].r_ohm / 1000.0;
     }
   }
 }
 
 }  // namespace
 
+void RcNetlist::assign_tree(netlist::NetId id, const RcTree& t) {
+  RcSpan& s = spans_[static_cast<std::size_t>(id)];
+  const auto n_nodes = static_cast<std::uint32_t>(t.nodes.size());
+  const auto n_sinks = static_cast<std::uint32_t>(t.sink_nodes.size());
+  if (n_nodes > s.num_nodes) {
+    s.first_node = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.resize(nodes_.size() + n_nodes);
+    elmore_.resize(elmore_.size() + n_nodes);
+  }
+  if (n_sinks > s.num_sinks) {
+    s.first_sink = static_cast<std::uint32_t>(sinks_.size());
+    sinks_.resize(sinks_.size() + n_sinks);
+  }
+  std::copy(t.nodes.begin(), t.nodes.end(), nodes_.begin() + s.first_node);
+  std::copy(t.elmore_ps.begin(), t.elmore_ps.end(),
+            elmore_.begin() + s.first_node);
+  std::copy(t.sink_nodes.begin(), t.sink_nodes.end(),
+            sinks_.begin() + s.first_sink);
+  s.num_nodes = n_nodes;
+  s.num_sinks = n_sinks;
+  s.total_cap_ff = t.total_cap_ff;
+  s.wire_cap_ff = t.wire_cap_ff;
+}
+
 RcNetlist extract_rc(const io::Def& merged, const Netlist& nl,
                      const Technology& tech, int threads) {
   FFET_TRACE_SCOPE("extract.rc");
+  const auto num_nets = static_cast<std::size_t>(nl.num_nets());
   RcNetlist out;
-  out.trees.resize(static_cast<std::size_t>(nl.num_nets()));
+  out.resize_trees(num_nets);
 
-  // Index DEF nets by name.
-  std::map<std::string, const io::DefNet*> def_nets;
-  for (const io::DefNet& n : merged.nets) def_nets.emplace(n.name, &n);
+  const std::vector<const io::DefNet*> def_nets = index_def_nets(merged, nl);
+
+  // Arena pre-sizing: root + per-sink pin node per net, plus at most two
+  // endpoint nodes per DEF wire segment.
+  {
+    std::size_t sinks = 0, wires = 0;
+    for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+      sinks += nl.net(n).sinks.size();
+    }
+    for (const io::DefNet& n : merged.nets) wires += n.wires.size();
+    out.reserve_arena(num_nets + sinks + 2 * wires, sinks);
+  }
 
   // Neighborhood wire density per side (coupling model).
   const DensityGrid density(merged, tech);
 
   const double drain_merge_r = tech.device().np_link_r_ohm;
 
-  // Each net's tree is built from read-only shared state (DEF index,
-  // density grid, netlist) into its own out.trees slot, so the per-net loop
-  // parallelizes without synchronization; the aggregate totals are summed
-  // in net order afterwards to stay bit-identical to the serial loop.
-  auto build_tree = [&](std::size_t net_index) {
-    build_net_tree(out.trees[net_index], static_cast<int>(net_index), nl,
-                   tech, def_nets, density, drain_merge_r);
-  };
-
-  runtime::parallel_for(static_cast<std::size_t>(nl.num_nets()), build_tree,
-                        threads, 0);
+  // Each net's tree is a pure function of read-only shared state (DEF
+  // index, density grid, netlist), so a chunk of nets is built into
+  // per-net scratch slots in parallel without synchronization, then packed
+  // into the arena serially in net order — bit-identical to the serial
+  // loop while bounding scratch memory to one chunk.
+  constexpr std::size_t kChunk = 1024;
+  std::vector<RcTree> scratch(std::min(kChunk, std::max<std::size_t>(
+                                                   num_nets, 1)));
+  for (std::size_t base = 0; base < num_nets; base += kChunk) {
+    const std::size_t count = std::min(kChunk, num_nets - base);
+    runtime::parallel_for(
+        count,
+        [&](std::size_t i) {
+          build_net_tree(scratch[i],
+                         static_cast<netlist::NetId>(base + i), nl, tech,
+                         def_nets[base + i], density, drain_merge_r);
+        },
+        threads, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.assign_tree(static_cast<netlist::NetId>(base + i), scratch[i]);
+    }
+  }
   FFET_METRIC_ADD("extract.nets", nl.num_nets());
 
   sum_totals(out);
@@ -320,10 +390,9 @@ void reextract_nets(RcNetlist& rc, const io::Def& merged,
                     const Netlist& nl, const Technology& tech,
                     const std::vector<netlist::NetId>& dirty_nets) {
   FFET_TRACE_SCOPE("extract.reextract");
-  rc.trees.resize(static_cast<std::size_t>(nl.num_nets()));
+  rc.resize_trees(static_cast<std::size_t>(nl.num_nets()));
 
-  std::map<std::string, const io::DefNet*> def_nets;
-  for (const io::DefNet& n : merged.nets) def_nets.emplace(n.name, &n);
+  const std::vector<const io::DefNet*> def_nets = index_def_nets(merged, nl);
 
   // The density grid is global state: any rerouted wire shifts the coupling
   // neighborhoods, so it is rebuilt from the *current* merged DEF.  Only
@@ -334,10 +403,12 @@ void reextract_nets(RcNetlist& rc, const io::Def& merged,
   const double drain_merge_r = tech.device().np_link_r_ohm;
 
   long rebuilt = 0;
+  RcTree scratch;
   for (const netlist::NetId n : dirty_nets) {
     if (n < 0 || n >= nl.num_nets()) continue;
-    build_net_tree(rc.trees[static_cast<std::size_t>(n)], n, nl, tech,
-                   def_nets, density, drain_merge_r);
+    build_net_tree(scratch, n, nl, tech, def_nets[static_cast<std::size_t>(n)],
+                   density, drain_merge_r);
+    rc.assign_tree(n, scratch);
     ++rebuilt;
   }
   FFET_METRIC_ADD("extract.reextracted_nets", rebuilt);

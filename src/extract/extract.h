@@ -21,10 +21,17 @@
 //
 // Elmore delays to every node are precomputed; STA consumes the driver's
 // total load and the per-sink Elmore/slew-degradation terms.
+//
+// Storage: the design's RC lives in ONE flat node/elmore/sink arena inside
+// RcNetlist, with a per-net span table — no per-net allocations.  `RcTree`
+// remains as the scratch type one net is built into before being packed
+// into the arena; STA/report consumers read nets through the lightweight
+// `RcTreeView` spans (index-only traversals).
 
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,18 +43,19 @@ namespace ffet::extract {
 
 struct RcNode {
   geom::Point pos;
-  tech::Side side = tech::Side::Front;
   double cap_ff = 0.0;        ///< lumped capacitance at this node
-  int parent = -1;            ///< tree parent (-1 for the driver root)
   double r_ohm = 0.0;         ///< resistance to parent
+  std::int32_t parent = -1;   ///< tree parent (-1 for the driver root)
+  tech::Side side = tech::Side::Front;
 };
 
+/// Scratch representation of one net's RC tree (the build/IO type; packed
+/// designs store nets in the RcNetlist arena instead).
 class RcTree {
  public:
-  std::string net_name;
   std::vector<RcNode> nodes;  ///< nodes[0] is the driver root
   /// Node index for each sink pin, parallel to the net's sink list.
-  std::vector<int> sink_nodes;
+  std::vector<std::int32_t> sink_nodes;
 
   double total_cap_ff = 0.0;  ///< wire + sink-pin capacitance seen by driver
   double wire_cap_ff = 0.0;   ///< wire-only share (for switching power)
@@ -58,12 +66,99 @@ class RcTree {
   double elmore_to_sink(std::size_t sink_idx) const {
     return elmore_ps[static_cast<std::size_t>(sink_nodes[sink_idx])];
   }
+
+  void clear() {
+    nodes.clear();
+    sink_nodes.clear();
+    elmore_ps.clear();
+    total_cap_ff = wire_cap_ff = 0.0;
+  }
 };
 
-struct RcNetlist {
-  std::vector<RcTree> trees;          ///< indexed by NetId
+/// One net's location in the RcNetlist arena.  Node/sink indices inside a
+/// span are span-local (sink_nodes values index the span's node range).
+struct RcSpan {
+  std::uint32_t first_node = 0;
+  std::uint32_t num_nodes = 0;
+  std::uint32_t first_sink = 0;
+  std::uint32_t num_sinks = 0;
+  double total_cap_ff = 0.0;
+  double wire_cap_ff = 0.0;
+};
+
+/// Read-only view of one net's tree inside the arena; cheap to construct,
+/// traversals are pure index arithmetic.
+class RcTreeView {
+ public:
+  std::span<const RcNode> nodes;
+  std::span<const double> elmore_ps;
+  std::span<const std::int32_t> sink_nodes;
+  double total_cap_ff = 0.0;
+  double wire_cap_ff = 0.0;
+
+  double elmore_to_sink(std::size_t sink_idx) const {
+    return elmore_ps[static_cast<std::size_t>(sink_nodes[sink_idx])];
+  }
+};
+
+/// All nets' parasitics in one flat arena (nodes, Elmore delays and sink
+/// hookups), indexed by NetId through the span table.  Copyable — the ECO
+/// engine snapshots it for revert.
+class RcNetlist {
+ public:
   double total_wire_cap_ff = 0.0;
   double total_wire_res_kohm = 0.0;
+
+  std::size_t num_trees() const { return spans_.size(); }
+
+  RcTreeView tree(netlist::NetId id) const {
+    const RcSpan& s = spans_[static_cast<std::size_t>(id)];
+    RcTreeView v;
+    v.nodes = {nodes_.data() + s.first_node, s.num_nodes};
+    v.elmore_ps = {elmore_.data() + s.first_node, s.num_nodes};
+    v.sink_nodes = {sinks_.data() + s.first_sink, s.num_sinks};
+    v.total_cap_ff = s.total_cap_ff;
+    v.wire_cap_ff = s.wire_cap_ff;
+    return v;
+  }
+
+  const std::vector<RcSpan>& spans() const { return spans_; }
+  /// One net's span record (totals without constructing a view).
+  const RcSpan& span_of(netlist::NetId id) const {
+    return spans_[static_cast<std::size_t>(id)];
+  }
+
+  /// Grow (or shrink) the span table; new nets get empty trees.
+  void resize_trees(std::size_t n) { spans_.resize(n); }
+
+  /// Pack one net's scratch tree into the arena.  Rebuilt trees that fit
+  /// their existing span are overwritten in place; larger ones are appended
+  /// (the abandoned range becomes a hole — acceptable across ECO loops,
+  /// which rebuild a handful of nets).
+  void assign_tree(netlist::NetId id, const RcTree& t);
+
+  /// Sum of per-net node counts (holes excluded) — the structure-size
+  /// counter reports track.
+  std::int64_t tree_node_count() const {
+    std::int64_t n = 0;
+    for (const RcSpan& s : spans_) n += s.num_nodes;
+    return n;
+  }
+  /// Arena occupancy including holes left by incremental re-extraction.
+  std::size_t arena_nodes() const { return nodes_.size(); }
+
+  /// Pre-size the arenas (optional; the full extractor estimates totals).
+  void reserve_arena(std::size_t nodes, std::size_t sinks) {
+    nodes_.reserve(nodes);
+    elmore_.reserve(nodes);
+    sinks_.reserve(sinks);
+  }
+
+ private:
+  std::vector<RcSpan> spans_;       ///< indexed by NetId
+  std::vector<RcNode> nodes_;
+  std::vector<double> elmore_;      ///< parallel to nodes_
+  std::vector<std::int32_t> sinks_;
 };
 
 /// Extract RC for every net of `nl` from the merged DEF.  `merged` must
@@ -71,7 +166,8 @@ struct RcNetlist {
 /// present in the netlist but absent from the DEF get pin-only trees.
 /// Per-net trees are independent, so `threads > 1` builds them in parallel
 /// (bit-identical to serial: each net's tree is a pure function of its DEF
-/// wires, and the totals are summed serially in net order).
+/// wires, built into a per-net scratch slot and packed into the arena
+/// serially in net order; the totals are summed in net order too).
 RcNetlist extract_rc(const io::Def& merged, const netlist::Netlist& nl,
                      const tech::Technology& tech, int threads = 1);
 
@@ -80,7 +176,7 @@ RcNetlist extract_rc(const io::Def& merged, const netlist::Netlist& nl,
 /// tree untouched, then recompute the aggregate totals.  The density grid
 /// driving the coupling model is rebuilt from the current DEF (it is global
 /// state); the dirty trees therefore see exactly the field a full
-/// extraction would.  `rc.trees` is resized to the current netlist, so
+/// extraction would.  The span table is resized to the current netlist, so
 /// nets added since the last extraction must be listed dirty.  The ECO
 /// engine's extraction primitive.
 void reextract_nets(RcNetlist& rc, const io::Def& merged,

@@ -1,58 +1,70 @@
 #include "extract/spef.h"
 
-#include <map>
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "io/stream_writer.h"
 
 namespace ffet::extract {
 
 void write_spef(const RcNetlist& rc, const netlist::Netlist& nl,
                 std::ostream& os) {
-  os << "*SPEF \"IEEE 1481-1998\"\n";
-  os << "*DESIGN \"" << nl.name() << "\"\n";
-  os << "*PROGRAM \"OpenFFET dual-sided extractor\"\n";
-  os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n\n";
+  io::StreamWriter w(os);
+  w << "*SPEF \"IEEE 1481-1998\"\n";
+  w << "*DESIGN \"" << nl.name() << "\"\n";
+  w << "*PROGRAM \"OpenFFET dual-sided extractor\"\n";
+  w << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n\n";
 
-  for (std::size_t net_id = 0; net_id < rc.trees.size(); ++net_id) {
-    const RcTree& t = rc.trees[net_id];
+  std::string net_name;
+  std::string inst_name;
+  for (std::size_t net_id = 0; net_id < rc.num_trees(); ++net_id) {
+    const RcTreeView t = rc.tree(static_cast<netlist::NetId>(net_id));
     const netlist::Net& net = nl.net(static_cast<netlist::NetId>(net_id));
     if (net.driver.inst == netlist::kNoInst && net.sinks.empty()) continue;
 
-    os << "*D_NET " << t.net_name << " " << t.total_cap_ff << "\n";
-    os << "*CONN\n";
+    net_name.clear();
+    nl.append_net_name(net_name, static_cast<netlist::NetId>(net_id));
+
+    w << "*D_NET " << net_name << ' ' << t.total_cap_ff << '\n';
+    w << "*CONN\n";
     if (net.driver.inst != netlist::kNoInst) {
       const netlist::Instance& d = nl.instance(net.driver.inst);
-      os << "*I " << d.name << ":"
-         << d.type->pins()[static_cast<std::size_t>(net.driver.pin)].name
-         << " O\n";
+      inst_name.clear();
+      nl.append_instance_name(inst_name, net.driver.inst);
+      w << "*I " << inst_name << ':'
+        << d.type->pins()[static_cast<std::size_t>(net.driver.pin)].name
+        << " O\n";
     } else if (net.port >= 0) {
-      os << "*P " << nl.port(net.port).name << " I\n";
+      w << "*P " << nl.port(net.port).name << " I\n";
     }
     for (const netlist::PinRef& s : net.sinks) {
       const netlist::Instance& i = nl.instance(s.inst);
-      os << "*I " << i.name << ":"
-         << i.type->pins()[static_cast<std::size_t>(s.pin)].name << " I\n";
+      inst_name.clear();
+      nl.append_instance_name(inst_name, s.inst);
+      w << "*I " << inst_name << ':'
+        << i.type->pins()[static_cast<std::size_t>(s.pin)].name << " I\n";
     }
 
     // Convention consumed by read_spef: node 0 is the driver root and the
     // last |sinks| node indices are the sink pin nodes in netlist order.
-    os << "*CAP\n";
+    w << "*CAP\n";
     int cap_idx = 1;
     for (std::size_t n = 0; n < t.nodes.size(); ++n) {
       if (t.nodes[n].cap_ff <= 0.0) continue;
-      os << cap_idx++ << " " << t.net_name << ":" << n << " "
-         << t.nodes[n].cap_ff << " // side="
-         << tech::to_string(t.nodes[n].side) << "\n";
+      w << cap_idx++ << ' ' << net_name << ':' << n << ' '
+        << t.nodes[n].cap_ff << " // side="
+        << tech::to_string(t.nodes[n].side) << '\n';
     }
-    os << "*RES\n";
+    w << "*RES\n";
     int res_idx = 1;
     for (std::size_t n = 1; n < t.nodes.size(); ++n) {
       if (t.nodes[n].parent < 0) continue;
-      os << res_idx++ << " " << t.net_name << ":" << t.nodes[n].parent << " "
-         << t.net_name << ":" << n << " " << t.nodes[n].r_ohm << "\n";
+      w << res_idx++ << ' ' << net_name << ':' << t.nodes[n].parent << ' '
+        << net_name << ':' << n << ' ' << t.nodes[n].r_ohm << '\n';
     }
-    os << "*END\n\n";
+    w << "*END\n\n";
   }
 }
 
@@ -77,48 +89,48 @@ int node_index_of(const std::string& token) {
 
 RcNetlist read_spef(std::istream& is, const netlist::Netlist& nl) {
   RcNetlist out;
-  out.trees.resize(static_cast<std::size_t>(nl.num_nets()));
-
-  // Pre-create pin-only trees for every net so nets absent from the file
-  // still behave (root-only, no parasitics).
-  for (int n = 0; n < nl.num_nets(); ++n) {
-    RcTree& t = out.trees[static_cast<std::size_t>(n)];
-    t.net_name = nl.net(n).name;
-    t.nodes.push_back({});
-  }
+  out.resize_trees(static_cast<std::size_t>(nl.num_nets()));
 
   std::string line;
-  RcTree* cur = nullptr;
   netlist::NetId cur_net = netlist::kNoNet;
   enum class Section { None, Cap, Res } section = Section::None;
-  // Collected entries per net; nodes may appear in any order.
-  std::map<int, RcNode> nodes;
+  // Collected entries per net; nodes may appear in any order, but their
+  // indices are dense (the writer numbers 0..N-1), so a plain growable
+  // vector replaces the former ordered map on this hot path.
+  std::vector<RcNode> nodes;
+  auto node_at = [&nodes](int idx) -> RcNode& {
+    if (static_cast<std::size_t>(idx) >= nodes.size()) {
+      nodes.resize(static_cast<std::size_t>(idx) + 1);
+    }
+    return nodes[static_cast<std::size_t>(idx)];
+  };
+  RcTree scratch;
 
   auto flush = [&]() {
-    if (!cur) return;
-    int max_idx = 0;
-    for (const auto& [k, nd] : nodes) max_idx = std::max(max_idx, k);
-    cur->nodes.assign(static_cast<std::size_t>(max_idx) + 1, RcNode{});
-    cur->nodes[0].parent = -1;
-    for (const auto& [k, nd] : nodes) cur->nodes[static_cast<std::size_t>(k)] = nd;
+    if (cur_net == netlist::kNoNet) return;
+    scratch.clear();
+    const int max_idx =
+        nodes.empty() ? 0 : static_cast<int>(nodes.size()) - 1;
+    scratch.nodes = nodes;
+    if (scratch.nodes.empty()) scratch.nodes.emplace_back();
+    scratch.nodes[0].parent = -1;
     // Sink nodes: by the writer's construction, the last |sinks| node
     // indices are the sink pin nodes, in netlist sink order.
     const netlist::Net& net = nl.net(cur_net);
-    cur->sink_nodes.clear();
     const int n_sinks = static_cast<int>(net.sinks.size());
     for (int i = 0; i < n_sinks; ++i) {
-      cur->sink_nodes.push_back(max_idx - n_sinks + 1 + i);
+      scratch.sink_nodes.push_back(max_idx - n_sinks + 1 + i);
     }
-    finalize_rc_tree(*cur);
+    finalize_rc_tree(scratch);
     double pin_cap = 0.0;
     for (const netlist::PinRef& s : net.sinks) pin_cap += nl.pin_cap_ff(s);
-    cur->wire_cap_ff = std::max(0.0, cur->total_cap_ff - pin_cap);
-    out.total_wire_cap_ff += cur->wire_cap_ff;
-    for (std::size_t i = 1; i < cur->nodes.size(); ++i) {
-      out.total_wire_res_kohm += cur->nodes[i].r_ohm / 1000.0;
+    scratch.wire_cap_ff = std::max(0.0, scratch.total_cap_ff - pin_cap);
+    out.assign_tree(cur_net, scratch);
+    out.total_wire_cap_ff += scratch.wire_cap_ff;
+    for (std::size_t i = 1; i < scratch.nodes.size(); ++i) {
+      out.total_wire_res_kohm += scratch.nodes[i].r_ohm / 1000.0;
     }
     nodes.clear();
-    cur = nullptr;
     cur_net = netlist::kNoNet;
   };
 
@@ -135,8 +147,7 @@ RcNetlist read_spef(std::istream& is, const netlist::Netlist& nl) {
         throw std::runtime_error("SPEF net '" + name + "' not in netlist");
       }
       cur_net = *id;
-      cur = &out.trees[static_cast<std::size_t>(*id)];
-      nodes[0] = RcNode{};
+      node_at(0) = RcNode{};
       nodes[0].parent = -1;
       section = Section::None;
     } else if (tok == "*CAP") {
@@ -148,31 +159,43 @@ RcNetlist read_spef(std::istream& is, const netlist::Netlist& nl) {
     } else if (tok == "*END") {
       flush();
       section = Section::None;
-    } else if (section == Section::Cap && cur) {
+    } else if (section == Section::Cap && cur_net != netlist::kNoNet) {
       // "<k> <net>:<n> <cap> // side=..."
       std::string node_tok;
       double cap = 0.0;
       std::string side_comment, side_val;
       ls >> node_tok >> cap >> side_comment >> side_val;
-      const int idx = node_index_of(node_tok);
-      nodes[idx].cap_ff = cap;
+      RcNode& nd = node_at(node_index_of(node_tok));
+      nd.cap_ff = cap;
       if (side_val.rfind("side=", 0) == 0) {
-        nodes[idx].side = side_val.substr(5) == "back" ? tech::Side::Back
-                                                       : tech::Side::Front;
+        nd.side = side_val.substr(5) == "back" ? tech::Side::Back
+                                               : tech::Side::Front;
       }
-    } else if (section == Section::Res && cur) {
+    } else if (section == Section::Res && cur_net != netlist::kNoNet) {
       // "<k> <net>:<a> <net>:<b> <r>"  — a is b's parent by construction.
       std::string a_tok, b_tok;
       double r = 0.0;
       ls >> a_tok >> b_tok >> r;
       const int a = node_index_of(a_tok);
       const int b = node_index_of(b_tok);
-      nodes[b].parent = a;
-      nodes[b].r_ohm = r;
-      nodes.try_emplace(a);
+      node_at(std::max(a, b));
+      nodes[static_cast<std::size_t>(b)].parent = a;
+      nodes[static_cast<std::size_t>(b)].r_ohm = r;
     }
   }
   flush();
+
+  // Nets absent from the file still behave: give them root-only trees
+  // (no parasitics) after the fact, so no arena holes are created when a
+  // *D_NET would otherwise replace a pre-seeded stub.
+  scratch.clear();
+  scratch.nodes.push_back({});
+  scratch.elmore_ps.assign(1, 0.0);
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    if (out.spans()[static_cast<std::size_t>(n)].num_nodes == 0) {
+      out.assign_tree(n, scratch);
+    }
+  }
   return out;
 }
 

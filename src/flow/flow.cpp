@@ -84,10 +84,12 @@ void rebalance_pin_sides(stdcell::Library& lib, const netlist::Netlist& nl,
     long uses;
   };
   std::map<std::pair<const stdcell::CellType*, std::size_t>, long> counts;
-  for (const netlist::Instance& inst : nl.instances()) {
+  for (netlist::InstId i = 0; i < nl.num_instances(); ++i) {
+    const netlist::Instance& inst = nl.instance(i);
     if (inst.type->physical_only()) continue;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-      if (inst.pin_nets[p] == netlist::kNoNet) continue;
+    const auto pins = nl.pin_nets(i);
+    for (std::size_t p = 0; p < pins.size(); ++p) {
+      if (pins[p] == netlist::kNoNet) continue;
       if (inst.type->pins()[p].dir != stdcell::PinDir::Input) continue;
       counts[{inst.type, p}] += 1;
     }
@@ -164,10 +166,13 @@ std::unique_ptr<DesignContext> prepare_design(const FlowConfig& config) {
   // Realized fraction, instance-weighted (what the router actually sees).
   {
     long total = 0, back = 0;
-    for (const netlist::Instance& inst : ctx->netlist.instances()) {
+    const netlist::Netlist& cnl = ctx->netlist;
+    for (netlist::InstId i = 0; i < cnl.num_instances(); ++i) {
+      const netlist::Instance& inst = cnl.instance(i);
       if (inst.type->physical_only()) continue;
-      for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-        if (inst.pin_nets[p] == netlist::kNoNet) continue;
+      const auto pnets = cnl.pin_nets(i);
+      for (std::size_t p = 0; p < pnets.size(); ++p) {
+        if (pnets[p] == netlist::kNoNet) continue;
         const auto& pin = inst.type->pins()[p];
         if (pin.dir != stdcell::PinDir::Input) continue;
         ++total;
@@ -450,10 +455,7 @@ FlowResult run_physical(const DesignContext& ctx, const FlowConfig& config) {
   const auto record_structure_sizes = [&](const io::Def& def,
                                           const extract::RcNetlist& rcn) {
     if (!resource_on) return;
-    long long rc_nodes = 0;
-    for (const extract::RcTree& t : rcn.trees) {
-      rc_nodes += static_cast<long long>(t.nodes.size());
-    }
+    const long long rc_nodes = rcn.tree_node_count();
     long long wires = 0;
     for (const io::DefNet& n : def.nets) {
       wires += static_cast<long long>(n.wires.size());

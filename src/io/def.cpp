@@ -1,9 +1,12 @@
 #include "io/def.h"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+
+#include "io/stream_writer.h"
 
 namespace ffet::io {
 
@@ -20,42 +23,51 @@ Def build_def(const Netlist& nl, const RouteResult& routes, Side side,
   def.die = geom::make_rect({0, 0}, routes.gcols * routes.gcell_w,
                             routes.grows * routes.gcell_h);
 
-  for (const netlist::Instance& inst : nl.instances()) {
+  def.components.reserve(static_cast<std::size_t>(nl.num_instances()));
+  for (netlist::InstId i = 0; i < nl.num_instances(); ++i) {
+    const netlist::Instance& inst = nl.instance(i);
     def.components.push_back(
-        {inst.name, inst.type->name(), inst.pos, inst.fixed});
+        {nl.instance_name(i), inst.type->name(), inst.pos, inst.fixed});
   }
   for (const netlist::Port& p : nl.ports()) {
     def.ports.push_back({p.name, p.is_input, p.pos});
   }
 
-  // Nets: connectivity always, wires only for this side's routes.
-  std::map<netlist::NetId, DefNet> by_net;
+  // Nets: connectivity always, wires only for this side's routes.  Slots
+  // are NetId-indexed (def.nets is emitted in NetId order; `present` marks
+  // fully unconnected nets, which are skipped).
+  std::vector<DefNet> by_net(static_cast<std::size_t>(nl.num_nets()));
+  std::vector<char> present(static_cast<std::size_t>(nl.num_nets()), 0);
   for (int n = 0; n < nl.num_nets(); ++n) {
     const netlist::Net& net = nl.net(n);
     if (net.driver.inst == netlist::kNoInst && net.sinks.empty()) continue;
-    DefNet dn;
-    dn.name = net.name;
+    DefNet& dn = by_net[static_cast<std::size_t>(n)];
+    present[static_cast<std::size_t>(n)] = 1;
+    dn.name = nl.net_name(n);
+    dn.pins.reserve(net.sinks.size() + 1 + (net.port >= 0 ? 1 : 0));
     if (net.port >= 0) {
       dn.pins.push_back({"", nl.port(net.port).name});
     }
     auto pin_name = [&](const netlist::PinRef& r) {
       const netlist::Instance& inst = nl.instance(r.inst);
-      return DefNetPin{inst.name,
+      return DefNetPin{nl.instance_name(r.inst),
                        inst.type->pins()[static_cast<std::size_t>(r.pin)].name};
     };
     if (net.driver.inst != netlist::kNoInst) {
       dn.pins.push_back(pin_name(net.driver));
     }
     for (const netlist::PinRef& s : net.sinks) dn.pins.push_back(pin_name(s));
-    by_net.emplace(n, std::move(dn));
   }
 
   const char prefix = side == Side::Front ? 'F' : 'B';
   for (std::size_t ri = 0; ri < routes.routes.size(); ++ri) {
     const NetRoute& r = routes.routes[ri];
     if (r.side != side) continue;
-    auto it = by_net.find(r.net);
-    if (it == by_net.end()) continue;
+    if (r.net < 0 || r.net >= nl.num_nets() ||
+        !present[static_cast<std::size_t>(r.net)]) {
+      continue;
+    }
+    DefNet& dn = by_net[static_cast<std::size_t>(r.net)];
     for (std::size_t ei = 0; ei < r.edges.size(); ++ei) {
       const pnr::GEdge& e = r.edges[ei];
       const int a = std::min(e.a, e.b);
@@ -81,14 +93,17 @@ Def build_def(const Netlist& nl, const RouteResult& routes, Side side,
         }
       }
       const int layer_index = horizontal ? r.h_layer_index : r.v_layer_index;
-      it->second.wires.push_back(
+      dn.wires.push_back(
           {std::string(1, prefix) + "M" + std::to_string(layer_index), pa,
            pb});
     }
   }
 
-  def.nets.reserve(by_net.size());
-  for (auto& [id, dn] : by_net) def.nets.push_back(std::move(dn));
+  def.nets.reserve(
+      static_cast<std::size_t>(std::count(present.begin(), present.end(), 1)));
+  for (std::size_t n = 0; n < by_net.size(); ++n) {
+    if (present[n]) def.nets.push_back(std::move(by_net[n]));
+  }
   return def;
 }
 
@@ -102,7 +117,8 @@ Def merge_defs(const Def& front, const Def& back) {
   Def merged = front;
   merged.die = front.die.united(back.die);
   // Index back nets by name; append their wires to the front net.
-  std::map<std::string, const DefNet*> back_nets;
+  std::unordered_map<std::string_view, const DefNet*> back_nets;
+  back_nets.reserve(back.nets.size());
   for (const DefNet& n : back.nets) back_nets.emplace(n.name, &n);
   for (DefNet& n : merged.nets) {
     auto it = back_nets.find(n.name);
@@ -124,47 +140,48 @@ Def merge_defs(const Def& front, const Def& back) {
 // ---------------------------------------------------------------------------
 
 void write_def(const Def& def, std::ostream& os) {
-  os << "VERSION 5.8 ;\n";
-  os << "DESIGN " << def.design << " ;\n";
-  os << "UNITS DISTANCE MICRONS " << def.dbu_per_micron << " ;\n";
-  os << "DIEAREA ( " << def.die.lo.x << " " << def.die.lo.y << " ) ( "
-     << def.die.hi.x << " " << def.die.hi.y << " ) ;\n";
+  StreamWriter w(os);
+  w << "VERSION 5.8 ;\n";
+  w << "DESIGN " << def.design << " ;\n";
+  w << "UNITS DISTANCE MICRONS " << def.dbu_per_micron << " ;\n";
+  w << "DIEAREA ( " << def.die.lo.x << ' ' << def.die.lo.y << " ) ( "
+    << def.die.hi.x << ' ' << def.die.hi.y << " ) ;\n";
 
-  os << "COMPONENTS " << def.components.size() << " ;\n";
+  w << "COMPONENTS " << def.components.size() << " ;\n";
   for (const DefComponent& c : def.components) {
-    os << "- " << c.name << " " << c.cell << " + "
-       << (c.fixed ? "FIXED" : "PLACED") << " ( " << c.pos.x << " "
-       << c.pos.y << " ) N ;\n";
+    w << "- " << c.name << ' ' << c.cell << " + "
+      << (c.fixed ? "FIXED" : "PLACED") << " ( " << c.pos.x << ' '
+      << c.pos.y << " ) N ;\n";
   }
-  os << "END COMPONENTS\n";
+  w << "END COMPONENTS\n";
 
-  os << "PINS " << def.ports.size() << " ;\n";
+  w << "PINS " << def.ports.size() << " ;\n";
   for (const DefPort& p : def.ports) {
-    os << "- " << p.name << " + DIRECTION "
-       << (p.is_input ? "INPUT" : "OUTPUT") << " + PLACED ( " << p.pos.x
-       << " " << p.pos.y << " ) ;\n";
+    w << "- " << p.name << " + DIRECTION "
+      << (p.is_input ? "INPUT" : "OUTPUT") << " + PLACED ( " << p.pos.x
+      << ' ' << p.pos.y << " ) ;\n";
   }
-  os << "END PINS\n";
+  w << "END PINS\n";
 
-  os << "NETS " << def.nets.size() << " ;\n";
+  w << "NETS " << def.nets.size() << " ;\n";
   for (const DefNet& n : def.nets) {
-    os << "- " << n.name;
+    w << "- " << n.name;
     for (const DefNetPin& p : n.pins) {
       if (p.component.empty()) {
-        os << " ( PIN " << p.pin << " )";
+        w << " ( PIN " << p.pin << " )";
       } else {
-        os << " ( " << p.component << " " << p.pin << " )";
+        w << " ( " << p.component << ' ' << p.pin << " )";
       }
     }
-    for (std::size_t w = 0; w < n.wires.size(); ++w) {
-      os << "\n  " << (w == 0 ? "+ ROUTED " : "NEW ") << n.wires[w].layer
-         << " ( " << n.wires[w].from.x << " " << n.wires[w].from.y
-         << " ) ( " << n.wires[w].to.x << " " << n.wires[w].to.y << " )";
+    for (std::size_t wi = 0; wi < n.wires.size(); ++wi) {
+      w << "\n  " << (wi == 0 ? "+ ROUTED " : "NEW ") << n.wires[wi].layer
+        << " ( " << n.wires[wi].from.x << ' ' << n.wires[wi].from.y
+        << " ) ( " << n.wires[wi].to.x << ' ' << n.wires[wi].to.y << " )";
     }
-    os << " ;\n";
+    w << " ;\n";
   }
-  os << "END NETS\n";
-  os << "END DESIGN\n";
+  w << "END NETS\n";
+  w << "END DESIGN\n";
 }
 
 std::string to_def_string(const Def& def) {

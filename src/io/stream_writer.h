@@ -1,0 +1,76 @@
+// stream_writer.h — buffered text emission for the streaming writers.
+//
+// The DEF/LEF/SPEF writers emit millions of short tokens on large designs;
+// pushing each one through std::ostream's virtual sentry/locale machinery
+// dominates their runtime.  StreamWriter batches output in a local buffer
+// and formats numbers with std::to_chars (locale-free, and for doubles the
+// shortest representation that round-trips exactly), flushing to the
+// underlying stream in large writes.
+
+#pragma once
+
+#include <charconv>
+#include <cstddef>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace ffet::io {
+
+class StreamWriter {
+ public:
+  explicit StreamWriter(std::ostream& os, std::size_t capacity = 1 << 16)
+      : os_(os) {
+    buf_.reserve(capacity);
+  }
+  ~StreamWriter() { flush(); }
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  StreamWriter& operator<<(std::string_view s) {
+    if (buf_.size() + s.size() > buf_.capacity()) flush();
+    if (s.size() >= buf_.capacity()) {
+      os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    } else {
+      buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+    return *this;
+  }
+  StreamWriter& operator<<(const char* s) {
+    return *this << std::string_view(s);
+  }
+  StreamWriter& operator<<(char c) {
+    if (buf_.size() == buf_.capacity()) flush();
+    buf_.push_back(c);
+    return *this;
+  }
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  StreamWriter& operator<<(T v) {
+    char tmp[24];
+    const auto [p, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+    return *this << std::string_view(tmp, static_cast<std::size_t>(p - tmp));
+  }
+
+  /// Shortest decimal form that parses back to exactly `v`.
+  StreamWriter& operator<<(double v) {
+    char tmp[32];
+    const auto [p, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+    return *this << std::string_view(tmp, static_cast<std::size_t>(p - tmp));
+  }
+
+  void flush() {
+    if (!buf_.empty()) {
+      os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+      buf_.clear();
+    }
+  }
+
+ private:
+  std::ostream& os_;
+  std::vector<char> buf_;
+};
+
+}  // namespace ffet::io

@@ -18,10 +18,10 @@ namespace {
 
 /// Nets attached to a port are referenced by the PORT name (the module
 /// interface) everywhere in the emitted Verilog.
-const std::string& printed_net_name(const Netlist& nl, netlist::NetId id) {
+std::string printed_net_name(const Netlist& nl, netlist::NetId id) {
   const netlist::Net& n = nl.net(id);
   if (n.port >= 0) return nl.port(n.port).name;
-  return n.name;
+  return nl.net_name(id);
 }
 
 }  // namespace
@@ -40,20 +40,22 @@ void write_verilog(const Netlist& nl, std::ostream& os) {
        << ";\n";
   }
   // Wires: every net that is not a port net.
-  for (const netlist::Net& n : nl.nets()) {
-    if (n.port >= 0) continue;
-    os << "  wire " << n.name << ";\n";
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    if (nl.net(n).port >= 0) continue;
+    os << "  wire " << nl.net_name(n) << ";\n";
   }
   os << "\n";
-  for (const netlist::Instance& inst : nl.instances()) {
-    os << "  " << inst.type->name() << " " << inst.name << " (";
+  for (netlist::InstId i = 0; i < nl.num_instances(); ++i) {
+    const netlist::Instance& inst = nl.instance(i);
+    os << "  " << inst.type->name() << " " << nl.instance_name(i) << " (";
     bool first = true;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-      if (inst.pin_nets[p] == netlist::kNoNet) continue;
+    const auto pin_nets = nl.pin_nets(i);
+    for (std::size_t p = 0; p < pin_nets.size(); ++p) {
+      if (pin_nets[p] == netlist::kNoNet) continue;
       if (!first) os << ", ";
       first = false;
       os << "." << inst.type->pins()[p].name << "("
-         << printed_net_name(nl, inst.pin_nets[p]) << ")";
+         << printed_net_name(nl, pin_nets[p]) << ")";
     }
     os << ");\n";
   }

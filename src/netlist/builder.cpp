@@ -15,13 +15,15 @@ std::string Builder::fresh(std::string_view hint) {
 }
 
 NetId Builder::wire(const std::string& hint) {
-  return nl_.add_net(fresh(hint));
+  return anonymous_ ? nl_.add_net() : nl_.add_net(fresh(hint));
 }
 
 InstId Builder::place_gate(std::string_view cell,
                            std::initializer_list<NetId> data_inputs) {
   const stdcell::CellType& type = lib_->at(cell);
-  const InstId inst = nl_.add_instance(fresh(type.name()), &type);
+  const InstId inst = anonymous_
+                          ? nl_.add_instance(&type)
+                          : nl_.add_instance(fresh(type.name()), &type);
   // Wire data inputs in pin order (clock pins are not part of this list).
   auto it = data_inputs.begin();
   for (const stdcell::CellPin& p : type.pins()) {
@@ -40,7 +42,7 @@ InstId Builder::place_gate(std::string_view cell,
 NetId Builder::gate(std::string_view cell,
                     std::initializer_list<NetId> data_inputs) {
   const InstId inst = place_gate(cell, data_inputs);
-  const NetId out = nl_.add_net(fresh("n"));
+  const NetId out = anonymous_ ? nl_.add_net() : nl_.add_net(fresh("n"));
   nl_.connect(inst, nl_.instance(inst).type->output_pin()->name, out);
   return out;
 }
@@ -97,21 +99,25 @@ NetId Builder::mux2(NetId i0, NetId i1, NetId s) {
 
 NetId Builder::dff(NetId d, NetId clk) {
   const stdcell::CellType& type = lib_->at("DFFD1");
-  const InstId inst = nl_.add_instance(fresh("DFFD1"), &type);
+  const InstId inst = anonymous_
+                          ? nl_.add_instance(&type)
+                          : nl_.add_instance(fresh("DFFD1"), &type);
   nl_.connect(inst, "D", d);
   nl_.connect(inst, "CP", clk);
-  const NetId q = nl_.add_net(fresh("q"));
+  const NetId q = anonymous_ ? nl_.add_net() : nl_.add_net(fresh("q"));
   nl_.connect(inst, "Q", q);
   return q;
 }
 
 NetId Builder::dffr(NetId d, NetId clk, NetId rn) {
   const stdcell::CellType& type = lib_->at("DFFRD1");
-  const InstId inst = nl_.add_instance(fresh("DFFRD1"), &type);
+  const InstId inst = anonymous_
+                          ? nl_.add_instance(&type)
+                          : nl_.add_instance(fresh("DFFRD1"), &type);
   nl_.connect(inst, "D", d);
   nl_.connect(inst, "RN", rn);
   nl_.connect(inst, "CP", clk);
-  const NetId q = nl_.add_net(fresh("q"));
+  const NetId q = anonymous_ ? nl_.add_net() : nl_.add_net(fresh("q"));
   nl_.connect(inst, "Q", q);
   return q;
 }

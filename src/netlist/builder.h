@@ -31,6 +31,18 @@ class Builder {
   /// Move the finished netlist out; the builder must not be used afterwards.
   Netlist take() { return std::move(nl_); }
 
+  /// Anonymous mode: subsequently created gates and intermediate nets carry
+  /// no explicit names (they answer to the synthesized `_i<N>`/`_n<N>`
+  /// spellings) — zero name bytes per object, the million-cell setting.
+  /// Ports keep their explicit names either way.
+  void set_anonymous(bool on) { anonymous_ = on; }
+  bool anonymous() const { return anonymous_; }
+
+  /// Pre-size the underlying netlist arenas (instances / nets / pins).
+  void reserve(std::size_t insts, std::size_t nets, std::size_t pins) {
+    nl_.reserve(insts, nets, pins);
+  }
+
   // --- ports ---------------------------------------------------------------
 
   NetId input(const std::string& name) {
@@ -129,6 +141,7 @@ class Builder {
 
   Netlist nl_;
   const stdcell::Library* lib_;
+  bool anonymous_ = false;
   std::uint64_t counter_ = 0;
   NetId tie_lo_ = kNoNet;
   NetId tie_hi_ = kNoNet;

@@ -7,17 +7,29 @@
 // (src/sta).
 //
 // Identifiers are dense integer indices (InstId / NetId) into flat vectors —
-// the representation every serious P&R database uses; string names are kept
-// for DEF emission and debugging only.
+// the representation every serious P&R database uses.  The storage is laid
+// out for million-cell designs:
+//
+//   * pin connectivity lives in one shared CSR arena — instance i's pins
+//     are `pin_net_arena[inst_first_pin[i] .. inst_first_pin[i+1])` — so an
+//     instance costs no per-object heap allocation;
+//   * names are interned into a chunked character pool and referenced by
+//     string_view; instances/nets created without a name (`add_instance(
+//     type)` / `add_net()`) cost zero name bytes and synthesize a stable
+//     `_i<N>` / `_n<N>` on demand.  `find_instance`/`find_net` resolve both
+//     explicit and synthesized spellings.
 
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <map>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "geom/geom.h"
@@ -39,12 +51,10 @@ struct PinRef {
   friend bool operator==(const PinRef&, const PinRef&) = default;
 };
 
-/// One placed cell instance.
+/// One placed cell instance.  Pin connectivity and the (optional) name live
+/// in the Netlist's shared arenas; the struct itself is flat.
 struct Instance {
-  std::string name;
   const stdcell::CellType* type = nullptr;
-  /// Net bound to each cell pin, parallel to type->pins(); kNoNet = open.
-  std::vector<NetId> pin_nets;
   /// Placement origin (lower-left), set by the placer.
   geom::Point pos;
   /// Fixed instances (Power Tap Cells, nTSV blockages) may not be moved.
@@ -59,7 +69,6 @@ struct Instance {
 /// driverless nets attached to an input port; primary outputs as ports
 /// listed among the sinks.
 struct Net {
-  std::string name;
   PinRef driver;               ///< invalid (inst == kNoInst) for PI nets
   std::vector<PinRef> sinks;   ///< cell input pins
   PortId port = -1;            ///< attached primary port, if any
@@ -74,28 +83,90 @@ struct Port {
   geom::Point pos;
 };
 
-/// Aggregate statistics used by reports and the floorplanner.
+/// Aggregate statistics used by reports and the floorplanner.  Pin and area
+/// accumulators are wide: a 1M-cell design crosses 2^31 total pins long
+/// before it crosses 2^31 instances.
 struct NetlistStats {
   int num_instances = 0;
   int num_sequential = 0;
   int num_nets = 0;
-  int num_pins = 0;
+  std::int64_t num_pins = 0;
   double total_cell_area_um2 = 0.0;
   double avg_fanout = 0.0;
+};
+
+/// Chunked character arena with stable storage: interned views stay valid
+/// for the pool's lifetime (chunks are never reallocated or freed).
+class NamePool {
+ public:
+  NamePool() = default;
+  NamePool(NamePool&&) = default;
+  NamePool& operator=(NamePool&&) = default;
+  NamePool(const NamePool&) = delete;
+  NamePool& operator=(const NamePool&) = delete;
+
+  std::string_view intern(std::string_view s) {
+    if (s.empty()) return {};
+    if (s.size() > cap_ - used_) grow(s.size());
+    char* dst = chunks_.back().get() + used_;
+    std::memcpy(dst, s.data(), s.size());
+    used_ += s.size();
+    return {dst, s.size()};
+  }
+
+  void clear() {
+    chunks_.clear();
+    used_ = cap_ = 0;
+  }
+
+ private:
+  void grow(std::size_t need) {
+    const std::size_t sz = std::max(need, kChunkBytes);
+    chunks_.push_back(std::make_unique<char[]>(sz));
+    used_ = 0;
+    cap_ = sz;
+  }
+
+  static constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t used_ = 0;
+  std::size_t cap_ = 0;
+};
+
+/// Heterogeneous string hasher so name maps accept string_view lookups
+/// without materializing a std::string.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
 };
 
 class Netlist {
  public:
   explicit Netlist(std::string name, const stdcell::Library* lib);
 
+  // Names reference the internal pool; copying re-interns them, moving is
+  // O(1) (chunk storage is pointer-stable).
+  Netlist(const Netlist& other);
+  Netlist& operator=(const Netlist& other);
+  Netlist(Netlist&&) = default;
+  Netlist& operator=(Netlist&&) = default;
+
   const std::string& name() const { return name_; }
   const stdcell::Library& library() const { return *lib_; }
 
   // --- construction -------------------------------------------------------
 
-  InstId add_instance(std::string inst_name, std::string_view cell_name);
-  InstId add_instance(std::string inst_name, const stdcell::CellType* type);
-  NetId add_net(std::string net_name);
+  InstId add_instance(std::string_view inst_name, std::string_view cell_name);
+  InstId add_instance(std::string_view inst_name,
+                      const stdcell::CellType* type);
+  /// Anonymous instance: no name bytes are stored; the instance answers to
+  /// the synthesized spelling `_i<id>`.
+  InstId add_instance(const stdcell::CellType* type);
+  NetId add_net(std::string_view net_name);
+  /// Anonymous net (synthesized spelling `_n<id>`).
+  NetId add_net();
   PortId add_input(std::string port_name);   ///< creates and attaches a net
   PortId add_output(std::string port_name);  ///< creates and attaches a net
   /// Expose an existing (internally driven) net as a primary output.
@@ -122,8 +193,9 @@ class Netlist {
   void disconnect_pin(InstId inst, std::string_view pin_name);
 
   /// Remove the most recently added instance; all its pins must be
-  /// disconnected.  LIFO-only removal keeps InstId/NetId dense, so a trial
-  /// add_net/add_instance is undone by disconnect + pop in reverse order.
+  /// disconnected.  LIFO-only removal keeps InstId/NetId dense (and the CSR
+  /// pin arena append-only), so a trial add_net/add_instance is undone by
+  /// disconnect + pop in reverse order.
   void pop_instance();
   /// Remove the most recently added net; it must have no driver, no sinks,
   /// and no attached port.
@@ -154,6 +226,38 @@ class Netlist {
   Port& port(PortId id) { return ports_[static_cast<std::size_t>(id)]; }
   const Port& port(PortId id) const { return ports_[static_cast<std::size_t>(id)]; }
 
+  /// Nets bound to the instance's pins, parallel to type->pins();
+  /// kNoNet = open.  A view into the shared CSR arena — invalidated by
+  /// add_instance/pop_instance, like any vector iterator.
+  std::span<const NetId> pin_nets(InstId id) const {
+    const auto first = inst_first_pin_[static_cast<std::size_t>(id)];
+    const auto last = inst_first_pin_[static_cast<std::size_t>(id) + 1];
+    return {pin_net_arena_.data() + first, pin_net_arena_.data() + last};
+  }
+  NetId pin_net(InstId id, int pin) const {
+    return pin_net_arena_[inst_first_pin_[static_cast<std::size_t>(id)] +
+                          static_cast<std::size_t>(pin)];
+  }
+  int pin_count(InstId id) const {
+    return static_cast<int>(inst_first_pin_[static_cast<std::size_t>(id) + 1] -
+                            inst_first_pin_[static_cast<std::size_t>(id)]);
+  }
+
+  /// The instance's name: the explicit one if given, else the synthesized
+  /// `_i<id>`.  `append_*` variants extend `out` without an intermediate
+  /// allocation (the streaming-writer path).
+  std::string instance_name(InstId id) const;
+  std::string net_name(NetId id) const;
+  void append_instance_name(std::string& out, InstId id) const;
+  void append_net_name(std::string& out, NetId id) const;
+  /// True when the object was created with an explicit name.
+  bool instance_has_explicit_name(InstId id) const {
+    return !inst_names_[static_cast<std::size_t>(id)].empty();
+  }
+  bool net_has_explicit_name(NetId id) const {
+    return !net_names_[static_cast<std::size_t>(id)].empty();
+  }
+
   std::optional<NetId> find_net(std::string_view net_name) const;
   std::optional<InstId> find_instance(std::string_view inst_name) const;
   std::optional<PortId> find_port(std::string_view port_name) const;
@@ -181,17 +285,44 @@ class Netlist {
   /// Throws std::runtime_error on a combinational cycle.
   std::vector<InstId> topo_order() const;
 
+  /// Pre-size the instance/net/pin arenas (builder-scale hint; optional).
+  void reserve(std::size_t insts, std::size_t nets, std::size_t pins);
+
  private:
+  InstId add_instance_impl(std::string_view inst_name,
+                           const stdcell::CellType* type);
+  NetId add_net_impl(std::string_view net_name);
+  static std::uint64_t pin_key(InstId inst, int pin) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(inst))
+            << 32) |
+           static_cast<std::uint32_t>(pin);
+  }
+
   std::string name_;
   const stdcell::Library* lib_;
   std::vector<Instance> instances_;
   std::vector<Net> nets_;
   std::vector<Port> ports_;
-  std::map<std::string, InstId, std::less<>> inst_by_name_;
-  std::map<std::string, NetId, std::less<>> net_by_name_;
-  std::map<std::string, PortId, std::less<>> port_by_name_;
-  /// Sparse per-instance pin-side overrides (empty outside ECO flows).
-  std::map<std::pair<InstId, int>, stdcell::PinSide> pin_side_override_;
+
+  // CSR pin table: instance i's pin nets are
+  // pin_net_arena_[inst_first_pin_[i] .. inst_first_pin_[i+1]).
+  std::vector<std::uint32_t> inst_first_pin_{0};
+  std::vector<NetId> pin_net_arena_;
+
+  // Interned names; an empty view marks an anonymous object.
+  NamePool pool_;
+  std::vector<std::string_view> inst_names_;
+  std::vector<std::string_view> net_names_;
+
+  std::unordered_map<std::string_view, InstId, StringHash, std::equal_to<>>
+      inst_by_name_;
+  std::unordered_map<std::string_view, NetId, StringHash, std::equal_to<>>
+      net_by_name_;
+  std::unordered_map<std::string, PortId, StringHash, std::equal_to<>>
+      port_by_name_;
+  /// Sparse per-instance pin-side overrides (empty outside ECO flows),
+  /// keyed by (inst << 32 | pin).
+  std::unordered_map<std::uint64_t, stdcell::PinSide> pin_side_override_;
 };
 
 }  // namespace ffet::netlist

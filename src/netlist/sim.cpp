@@ -43,31 +43,32 @@ void Simulator::evaluate() {
       bool q = ff_state_[static_cast<std::size_t>(id)];
       if (inst.type->function() == Function::DffR) {
         const int rn = inst.type->pin_index("RN");
-        const NetId rn_net = inst.pin_nets[static_cast<std::size_t>(rn)];
+        const NetId rn_net = nl_->pin_net(id, rn);
         if (rn_net != kNoNet && !values_[static_cast<std::size_t>(rn_net)]) {
           q = false;
         }
       }
+      const auto pin_nets = nl_->pin_nets(id);
       for (std::size_t p = 0; p < pins.size(); ++p) {
-        if (pins[p].dir == PinDir::Output &&
-            inst.pin_nets[p] != kNoNet) {
-          set_net(inst.pin_nets[p], q);
+        if (pins[p].dir == PinDir::Output && pin_nets[p] != kNoNet) {
+          set_net(pin_nets[p], q);
         }
       }
       continue;
     }
+    const auto pin_nets = nl_->pin_nets(id);
     std::vector<bool> in;
     in.reserve(pins.size());
     for (std::size_t p = 0; p < pins.size(); ++p) {
       if (pins[p].dir != PinDir::Input) continue;
-      const NetId n = inst.pin_nets[p];
+      const NetId n = pin_nets[p];
       in.push_back(n == kNoNet ? false : values_[static_cast<std::size_t>(n)]);
     }
     const auto out = stdcell::evaluate(inst.type->function(), in);
     if (!out) continue;  // physical-only
     for (std::size_t p = 0; p < pins.size(); ++p) {
-      if (pins[p].dir == PinDir::Output && inst.pin_nets[p] != kNoNet) {
-        set_net(inst.pin_nets[p], *out);
+      if (pins[p].dir == PinDir::Output && pin_nets[p] != kNoNet) {
+        set_net(pin_nets[p], *out);
       }
     }
   }
@@ -80,12 +81,12 @@ void Simulator::tick() {
     const Instance& inst = nl_->instance(static_cast<InstId>(i));
     if (!inst.type->sequential()) continue;
     const int d = inst.type->pin_index("D");
-    const NetId d_net = inst.pin_nets[static_cast<std::size_t>(d)];
+    const NetId d_net = nl_->pin_net(static_cast<InstId>(i), d);
     bool next = d_net == kNoNet ? false
                                 : values_[static_cast<std::size_t>(d_net)];
     if (inst.type->function() == Function::DffR) {
       const int rn = inst.type->pin_index("RN");
-      const NetId rn_net = inst.pin_nets[static_cast<std::size_t>(rn)];
+      const NetId rn_net = nl_->pin_net(static_cast<InstId>(i), rn);
       if (rn_net != kNoNet && !values_[static_cast<std::size_t>(rn_net)]) {
         next = false;
       }

@@ -1,5 +1,6 @@
 #include "netlist/workload.h"
 
+#include <algorithm>
 #include <random>
 #include <stdexcept>
 #include <vector>
@@ -8,23 +9,16 @@
 
 namespace ffet::netlist {
 
-Netlist generate_workload(const stdcell::Library& lib,
-                          const WorkloadOptions& opt) {
-  if (opt.num_inputs < 2 || opt.num_gates < 1) {
-    throw std::invalid_argument("workload needs >= 2 inputs and >= 1 gate");
-  }
-  Builder b("workload", &lib);
-  std::mt19937 rng(opt.seed);
+namespace {
 
-  const NetId clk = b.input("clk");
-  b.netlist().mark_clock_net(clk);
+/// Number of boundary nets a tile exports to its east/south neighbours.
+constexpr int kFrontier = 16;
 
-  std::vector<NetId> nets;
-  nets.reserve(static_cast<std::size_t>(opt.num_gates + opt.num_inputs));
-  for (int i = 0; i < opt.num_inputs; ++i) {
-    nets.push_back(b.input("in" + std::to_string(i)));
-  }
-
+/// Generate one tile's gates into `b`, drawing inputs from `nets` (which
+/// already holds the tile's boundary/input nets) and appending every new
+/// output.  Returns nothing; `nets` is the tile's net population afterwards.
+void generate_tile(Builder& b, std::mt19937& rng, const WorkloadOptions& opt,
+                   NetId clk, std::vector<NetId>& nets) {
   auto pick = [&]() {
     std::uniform_real_distribution<double> coin(0.0, 1.0);
     if (coin(rng) < opt.locality &&
@@ -63,10 +57,81 @@ Netlist generate_workload(const stdcell::Library& lib,
     }
     nets.push_back(out);
   }
+}
 
-  // Outputs: tap the most recent gate outputs (never input-port nets,
-  // which already carry a port).
-  const int n_out = std::min(opt.num_outputs, total);
+}  // namespace
+
+Netlist generate_workload(const stdcell::Library& lib,
+                          const WorkloadOptions& opt) {
+  if (opt.num_inputs < 2 || opt.num_gates < 1) {
+    throw std::invalid_argument("workload needs >= 2 inputs and >= 1 gate");
+  }
+  if (opt.tile_cols < 1 || opt.tile_rows < 1) {
+    throw std::invalid_argument("workload tile mesh must be >= 1x1");
+  }
+  Builder b("workload", &lib);
+  b.set_anonymous(opt.anonymous);
+  std::mt19937 rng(opt.seed);
+
+  const int tiles = opt.tile_cols * opt.tile_rows;
+  const int per_tile = opt.num_gates + opt.num_flops;
+  {
+    // Arena pre-sizing: each gate is one instance plus one output net
+    // (plus ports/ties); ~4 pins per instance covers the mix.
+    const std::size_t insts = static_cast<std::size_t>(tiles) *
+                              static_cast<std::size_t>(per_tile) + 8;
+    b.reserve(insts, insts + static_cast<std::size_t>(opt.num_inputs) + 8,
+              insts * 4);
+  }
+
+  const NetId clk = b.input("clk");
+  b.netlist().mark_clock_net(clk);
+
+  std::vector<NetId> primary;
+  primary.reserve(static_cast<std::size_t>(opt.num_inputs));
+  for (int i = 0; i < opt.num_inputs; ++i) {
+    primary.push_back(b.input("in" + std::to_string(i)));
+  }
+
+  // Output frontier (last kFrontier nets) of each finished tile, row-major.
+  std::vector<std::vector<NetId>> frontier(static_cast<std::size_t>(tiles));
+  std::vector<NetId> nets;
+
+  for (int tr = 0; tr < opt.tile_rows; ++tr) {
+    for (int tc = 0; tc < opt.tile_cols; ++tc) {
+      const int t = tr * opt.tile_cols + tc;
+      nets.clear();
+      nets.reserve(static_cast<std::size_t>(per_tile) + primary.size() +
+                   2 * kFrontier);
+      if (t == 0) {
+        nets.insert(nets.end(), primary.begin(), primary.end());
+      } else {
+        // Boundary inputs: the west and north neighbours' frontiers (mesh
+        // traffic); fall back to the primary inputs at the mesh edge.
+        if (tc > 0) {
+          const auto& west = frontier[static_cast<std::size_t>(t - 1)];
+          nets.insert(nets.end(), west.begin(), west.end());
+        }
+        if (tr > 0) {
+          const auto& north =
+              frontier[static_cast<std::size_t>(t - opt.tile_cols)];
+          nets.insert(nets.end(), north.begin(), north.end());
+        }
+        if (nets.empty()) {
+          nets.insert(nets.end(), primary.begin(), primary.end());
+        }
+      }
+      generate_tile(b, rng, opt, clk, nets);
+      auto& f = frontier[static_cast<std::size_t>(t)];
+      const std::size_t n_f =
+          std::min<std::size_t>(kFrontier, nets.size());
+      f.assign(nets.end() - static_cast<std::ptrdiff_t>(n_f), nets.end());
+    }
+  }
+
+  // Outputs: tap the most recent gate outputs of the last tile (never
+  // input-port nets, which already carry a port).
+  const int n_out = std::min(opt.num_outputs, per_tile);
   for (int i = 0; i < n_out; ++i) {
     b.output("out" + std::to_string(i),
              nets[nets.size() - 1 - static_cast<std::size_t>(i)]);

@@ -16,13 +16,25 @@
 namespace ffet::netlist {
 
 struct WorkloadOptions {
-  int num_gates = 2000;      ///< combinational instances
-  int num_flops = 200;       ///< sequential instances (DFF)
+  int num_gates = 2000;      ///< combinational instances (per tile)
+  int num_flops = 200;       ///< sequential instances (DFF, per tile)
   int num_inputs = 32;
   int num_outputs = 32;
   double locality = 0.8;     ///< P(input drawn from the recent window)
   int window = 64;           ///< size of the "recent nets" window
   unsigned seed = 1;
+
+  /// Mesh replication (the million-cell scale knob): the generated block is
+  /// tiled `tile_cols` x `tile_rows` times — total cells ≈ tiles *
+  /// (num_gates + num_flops).  Each non-origin tile draws its boundary
+  /// inputs from the output frontier of its west and north neighbours, so
+  /// the stitched design has the nearest-neighbour traffic of a mesh.
+  /// 1x1 (the default) reproduces the untiled generator bit-for-bit.
+  int tile_cols = 1;
+  int tile_rows = 1;
+  /// Create gates/internal nets anonymously (no name bytes; objects answer
+  /// to the synthesized `_i<N>`/`_n<N>` spellings).  Ports stay named.
+  bool anonymous = false;
 };
 
 /// Generate a random sequential netlist on `lib`.  The result validates

@@ -53,11 +53,11 @@ const stdcell::CellType* prev_drive(const stdcell::Library& lib,
   return lib.find(base + "D" + std::to_string(d / 2));
 }
 
-NetId output_net_of(const netlist::Instance& inst) {
-  const auto& pins = inst.type->pins();
+NetId output_net_of(const Netlist& nl, InstId id) {
+  const auto& pins = nl.instance(id).type->pins();
   for (std::size_t p = 0; p < pins.size(); ++p) {
     if (pins[p].dir == stdcell::PinDir::Output) {
-      return inst.pin_nets[p];
+      return nl.pin_net(id, p);
     }
   }
   return netlist::kNoNet;
@@ -66,7 +66,7 @@ NetId output_net_of(const netlist::Instance& inst) {
 /// All nets touching any pin of `inst`, sorted and deduplicated.
 std::vector<NetId> incident_nets(const Netlist& nl, InstId id) {
   std::vector<NetId> nets;
-  for (const NetId n : nl.instance(id).pin_nets) {
+  for (const NetId n : nl.pin_nets(id)) {
     if (n != netlist::kNoNet) nets.push_back(n);
   }
   std::sort(nets.begin(), nets.end());
@@ -76,11 +76,10 @@ std::vector<NetId> incident_nets(const Netlist& nl, InstId id) {
 
 /// The input pin of `sink_inst` connected to `net` (-1 if none).
 int input_pin_on_net(const Netlist& nl, InstId sink_inst, NetId net) {
-  const netlist::Instance& inst = nl.instance(sink_inst);
-  const auto& pins = inst.type->pins();
+  const auto& pins = nl.instance(sink_inst).type->pins();
   for (std::size_t p = 0; p < pins.size(); ++p) {
     if (pins[p].dir != stdcell::PinDir::Output &&
-        inst.pin_nets[p] == net) {
+        nl.pin_net(sink_inst, p) == net) {
       return static_cast<int>(p);
     }
   }
@@ -466,14 +465,14 @@ EcoReport run_eco(Netlist& nl, const pnr::Floorplan& fp,
     };
     std::vector<Link> links;
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      const NetId n = output_net_of(nl.instance(path[i]));
+      const NetId n = output_net_of(nl, path[i]);
       if (n == netlist::kNoNet || nl.net(n).is_clock) continue;
       const int pin = input_pin_on_net(nl, path[i + 1], n);
       if (pin < 0) continue;
       Link l;
       l.net = n;
       l.sink = {path[i + 1], pin};
-      const extract::RcTree& tree = rc.trees[static_cast<std::size_t>(n)];
+      const extract::RcTreeView tree = rc.tree(n);
       const netlist::Net& net = nl.net(n);
       for (std::size_t k = 0; k < net.sinks.size(); ++k) {
         if (net.sinks[k] == l.sink &&
@@ -601,7 +600,7 @@ EcoReport run_eco(Netlist& nl, const pnr::Floorplan& fp,
           inst.type->sequential()) {
         continue;
       }
-      const NetId out = output_net_of(inst);
+      const NetId out = output_net_of(nl, *it);
       if (out != netlist::kNoNet && nl.net(out).is_clock) continue;
       const stdcell::CellType* up = next_drive(lib, *inst.type);
       if (!up) continue;
@@ -616,8 +615,7 @@ EcoReport run_eco(Netlist& nl, const pnr::Floorplan& fp,
     // Repeater insertion on the most resistive link.
     if (worst_link && worst_link->elmore_ps >= options.repeater_elmore_ps) {
       const netlist::Net& net = nl.net(worst_link->net);
-      const extract::RcTree& tree =
-          rc.trees[static_cast<std::size_t>(worst_link->net)];
+      const extract::RcTreeView tree = rc.tree(worst_link->net);
       if (net.driver.inst != netlist::kNoInst &&
           tree.sink_nodes.size() == net.sinks.size()) {
         Mutation m;
@@ -678,7 +676,7 @@ EcoReport run_eco(Netlist& nl, const pnr::Floorplan& fp,
             inst.type->sequential()) {
           continue;
         }
-        const NetId out = output_net_of(inst);
+        const NetId out = output_net_of(nl, id);
         if (out != netlist::kNoNet && nl.net(out).is_clock) continue;
         if (inst.type->structure().drive > best_drive &&
             prev_drive(lib, *inst.type)) {

@@ -45,34 +45,35 @@ DrcReport check_placement(const netlist::Netlist& nl, const Floorplan& fp,
   DrcReport rep;
 
   // Tap-cell footprints double as blockages; skip self-matches below.
-  std::map<geom::Nm, std::vector<std::pair<geom::Rect, const netlist::Instance*>>>
+  std::map<geom::Nm, std::vector<std::pair<geom::Rect, netlist::InstId>>>
       by_row;
 
-  for (const netlist::Instance& inst : nl.instances()) {
+  for (netlist::InstId id = 0; id < nl.num_instances(); ++id) {
+    const netlist::Instance& inst = nl.instance(id);
     const geom::Rect box = inst.bbox();
     if (!fp.core.contains(box)) {
       rep.violations.push_back(
-          {DrcViolation::Kind::OutsideCore, inst.name, "", box});
+          {DrcViolation::Kind::OutsideCore, nl.instance_name(id), "", box});
     }
     if (box.lo.x % fp.site_width != 0) {
       rep.violations.push_back(
-          {DrcViolation::Kind::OffSiteGrid, inst.name, "", box});
+          {DrcViolation::Kind::OffSiteGrid, nl.instance_name(id), "", box});
     }
     if (box.lo.y % fp.row_height != 0) {
       rep.violations.push_back(
-          {DrcViolation::Kind::OffRowGrid, inst.name, "", box});
+          {DrcViolation::Kind::OffRowGrid, nl.instance_name(id), "", box});
     }
     if (!inst.fixed) {
       for (const geom::Rect& b : pp.blockages) {
         if (box.overlaps_interior(b)) {
           rep.violations.push_back(
-              {DrcViolation::Kind::BlockageOverlap, inst.name, "",
+              {DrcViolation::Kind::BlockageOverlap, nl.instance_name(id), "",
                box.intersected(b)});
           break;
         }
       }
     }
-    by_row[box.lo.y].push_back({box, &inst});
+    by_row[box.lo.y].push_back({box, id});
   }
 
   // Overlap scan per row (cells share a row exactly when legal).
@@ -83,7 +84,8 @@ DrcReport check_placement(const netlist::Netlist& nl, const Floorplan& fp,
     for (std::size_t i = 0; i + 1 < v.size(); ++i) {
       if (v[i].first.hi.x > v[i + 1].first.lo.x) {
         rep.violations.push_back({DrcViolation::Kind::CellOverlap,
-                                  v[i].second->name, v[i + 1].second->name,
+                                  nl.instance_name(v[i].second),
+                                  nl.instance_name(v[i + 1].second),
                                   v[i].first.intersected(v[i + 1].first)});
       }
     }

@@ -223,8 +223,9 @@ PlacementResult place(Netlist& nl, const Floorplan& fp, const PowerPlan& pp,
       const netlist::Instance& inst = nl.instance(id);
       double sx = 0, sy = 0;
       int n = 0;
-      for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-        const netlist::NetId net_id = inst.pin_nets[p];
+      const auto pin_nets = nl.pin_nets(id);
+      for (std::size_t p = 0; p < pin_nets.size(); ++p) {
+        const netlist::NetId net_id = pin_nets[p];
         if (net_id == netlist::kNoNet) continue;
         const netlist::Net& net = nl.net(net_id);
         if (net.is_clock) continue;  // the clock net doesn't pull placement

@@ -671,8 +671,9 @@ GridSetup build_grid_setup(const Netlist& nl, const Floorplan& fp,
   for (int i = 0; i < nl.num_instances(); ++i) {
     const netlist::Instance& inst = nl.instance(i);
     if (inst.type->physical_only()) continue;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-      if (inst.pin_nets[p] == netlist::kNoNet) continue;
+    const auto pin_nets = nl.pin_nets(i);
+    for (std::size_t p = 0; p < pin_nets.size(); ++p) {
+      if (pin_nets[p] == netlist::kNoNet) continue;
       const auto& pin = inst.type->pins()[p];
       const geom::Point pos = inst.pos + pin.offset;
       // Per-instance side (pin_side consults the ECO overrides; identical
@@ -735,13 +736,13 @@ std::vector<SubNet> decompose_subnets(const Netlist& nl,
       if (s == Side::Back) {
         if (!has_back) {
           throw std::runtime_error(
-              "net " + net.name +
+              "net " + nl.net_name(n) +
               " has backside sinks but the technology has no backside "
               "routing layers (no bridging cells in this flow)");
         }
         if (src_side != PinSide::Both) {
           throw std::runtime_error(
-              "net " + net.name +
+              "net " + nl.net_name(n) +
               " has backside sinks but its source pin is frontside-only");
         }
       }

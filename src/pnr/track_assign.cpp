@@ -1,6 +1,8 @@
 #include "pnr/track_assign.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_map>
 
 namespace ffet::pnr {
 
@@ -9,9 +11,12 @@ TrackAssignment assign_tracks(const RouteResult& routes,
   TrackAssignment ta;
   ta.track_of.resize(routes.routes.size());
 
-  // Edge key: (side, min node, max node).  Crossings collected in route
-  // order (deterministic: routes and edges are produced deterministically).
-  std::map<std::tuple<int, int, int>, int> next_track;
+  // Edge key: side bit + min/max node packed into one word (node ids are
+  // grid indices, well under 2^31).  Crossings collected in route order
+  // (deterministic: routes and edges are produced deterministically; the
+  // map only holds per-edge counters, so iteration order never matters).
+  std::unordered_map<std::uint64_t, int> next_track;
+  next_track.reserve(routes.routes.size() * 4);
 
   for (std::size_t r = 0; r < routes.routes.size(); ++r) {
     const NetRoute& route = routes.routes[r];
@@ -19,8 +24,10 @@ TrackAssignment assign_tracks(const RouteResult& routes,
     for (std::size_t e = 0; e < route.edges.size(); ++e) {
       const int a = std::min(route.edges[e].a, route.edges[e].b);
       const int b = std::max(route.edges[e].a, route.edges[e].b);
-      const auto key = std::make_tuple(
-          route.side == tech::Side::Front ? 0 : 1, a, b);
+      const std::uint64_t key =
+          (route.side == tech::Side::Front ? 0u : (std::uint64_t{1} << 62)) |
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 31) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
       int& counter = next_track[key];
       int track = counter++;
       if (tracks_per_edge > 0 && track >= tracks_per_edge) {

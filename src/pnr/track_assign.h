@@ -15,7 +15,6 @@
 
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "pnr/router.h"

@@ -55,8 +55,14 @@ NetReport build_net_report(const netlist::Netlist& nl, const io::Def& merged,
   NetReport rep;
   const double dbu = static_cast<double>(merged.dbu_per_micron);
 
-  std::map<std::string, const io::DefNet*> def_by_name;
-  for (const io::DefNet& dn : merged.nets) def_by_name[dn.name] = &dn;
+  // NetId-indexed DEF lookup (no name-keyed map on the hot path).
+  std::vector<const io::DefNet*> def_of(
+      static_cast<std::size_t>(nl.num_nets()), nullptr);
+  for (const io::DefNet& dn : merged.nets) {
+    if (const auto id = nl.find_net(dn.name)) {
+      def_of[static_cast<std::size_t>(*id)] = &dn;
+    }
+  }
 
   obs::Histogram length_h, cap_h, elmore_h;
 
@@ -65,18 +71,18 @@ NetReport build_net_report(const netlist::Netlist& nl, const io::Def& merged,
     const netlist::Net& net = nl.net(id);
     NetAttribution a;
     a.net = id;
-    a.name = net.name;
+    a.name = nl.net_name(id);
     a.is_clock = net.is_clock;
     a.fanout = static_cast<int>(net.sinks.size());
 
-    if (const auto it = def_by_name.find(net.name); it != def_by_name.end()) {
+    if (const io::DefNet* dn = def_of[static_cast<std::size_t>(id)]) {
       std::map<std::string, double> per_layer;
       // Distinct layers meeting at a wire endpoint imply a via stack there
       // (front<->back meetings are the Drain-Merge hookup).
       std::map<std::pair<geom::Nm, geom::Nm>,
                std::vector<const std::string*>>
           point_layers;
-      for (const io::DefWire& w : it->second->wires) {
+      for (const io::DefWire& w : dn->wires) {
         const double len_um =
             (std::abs(static_cast<double>(w.to.x - w.from.x)) +
              std::abs(static_cast<double>(w.to.y - w.from.y))) /
@@ -102,8 +108,8 @@ NetReport build_net_report(const netlist::Netlist& nl, const io::Def& merged,
       a.dual_sided = a.length_front_um > 0.0 && a.length_back_um > 0.0;
     }
 
-    if (static_cast<std::size_t>(id) < rc.trees.size()) {
-      const extract::RcTree& tree = rc.trees[static_cast<std::size_t>(id)];
+    if (static_cast<std::size_t>(id) < rc.num_trees()) {
+      const extract::RcTreeView tree = rc.tree(id);
       a.total_cap_ff = tree.total_cap_ff;
       a.wire_cap_ff = tree.wire_cap_ff;
       for (const extract::RcNode& n : tree.nodes) a.wire_r_ohm += n.r_ohm;

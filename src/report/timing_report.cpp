@@ -11,11 +11,11 @@ using netlist::NetId;
 using stdcell::PinDir;
 using stdcell::PinSide;
 
-NetId output_net_of(const netlist::Instance& inst) {
-  const auto& pins = inst.type->pins();
+NetId output_net_of(const netlist::Netlist& nl, InstId id) {
+  const auto& pins = nl.instance(id).type->pins();
   for (std::size_t p = 0; p < pins.size(); ++p) {
-    if (pins[p].dir == PinDir::Output && inst.pin_nets[p] != netlist::kNoNet) {
-      return inst.pin_nets[p];
+    if (pins[p].dir == PinDir::Output && nl.pin_net(id, p) != netlist::kNoNet) {
+      return nl.pin_net(id, p);
     }
   }
   return netlist::kNoNet;
@@ -72,9 +72,10 @@ std::vector<TimingPath> build_timing_paths(
     for (std::size_t i = 0; i < path.size(); ++i) {
       const netlist::Instance& inst = nl.instance(path[i]);
       const auto& pins = inst.type->pins();
+      const auto pin_nets = nl.pin_nets(path[i]);
       PathStage st;
       st.inst = path[i];
-      st.inst_name = inst.name;
+      st.inst_name = nl.instance_name(path[i]);
       st.cell = inst.type->name();
       st.is_endpoint = (i + 1 == path.size());
 
@@ -92,7 +93,7 @@ std::vector<TimingPath> build_timing_paths(
         }
       } else {
         for (std::size_t p = 0; p < pins.size(); ++p) {
-          if (inst.pin_nets[p] != prev_out) continue;
+          if (pin_nets[p] != prev_out) continue;
           if (pins[p].dir == PinDir::Output) continue;
           st.in_pin = pins[p].name;
           st.in_side = nl.pin_side({path[i], static_cast<int>(p)});
@@ -105,7 +106,7 @@ std::vector<TimingPath> build_timing_paths(
         }
       }
 
-      const NetId out_net = output_net_of(inst);
+      const NetId out_net = output_net_of(nl, path[i]);
       // A flip-flop endpoint row reports its D arrival, not its Q output.
       if (st.is_endpoint && !e.is_port) {
         st.arrival_ps = e.path_ps;
@@ -117,12 +118,12 @@ std::vector<TimingPath> build_timing_paths(
         if (out_net != netlist::kNoNet) {
           st.has_output = true;
           st.fanout = static_cast<int>(nl.net(out_net).sinks.size());
-          if (rc && static_cast<std::size_t>(out_net) < rc->trees.size()) {
-            st.load_ff = rc->trees[static_cast<std::size_t>(out_net)].total_cap_ff;
+          if (rc && static_cast<std::size_t>(out_net) < rc->num_trees()) {
+            st.load_ff = rc->span_of(out_net).total_cap_ff;
           }
           for (std::size_t p = 0; p < pins.size(); ++p) {
             if (pins[p].dir == PinDir::Output &&
-                inst.pin_nets[p] == out_net) {
+                pin_nets[p] == out_net) {
               st.out_side = nl.pin_side({path[i], static_cast<int>(p)});
               break;
             }

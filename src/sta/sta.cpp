@@ -50,9 +50,11 @@ double clock_latency_of(
 }
 
 /// The (unique) output net of an instance, kNoNet if none is connected.
-NetId output_net_of(const netlist::Instance& inst) {
-  for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-    if (inst.type->pins()[p].dir == PinDir::Output) return inst.pin_nets[p];
+NetId output_net_of(const Netlist& nl, InstId id) {
+  const netlist::Instance& inst = nl.instance(id);
+  const auto pin_nets = nl.pin_nets(id);
+  for (std::size_t p = 0; p < pin_nets.size(); ++p) {
+    if (inst.type->pins()[p].dir == PinDir::Output) return pin_nets[p];
   }
   return netlist::kNoNet;
 }
@@ -64,7 +66,7 @@ std::string format_path_names(const Netlist& nl,
   std::string desc;
   for (std::size_t i = 0; i < path.size(); ++i) {
     if (i) desc += " -> ";
-    desc += nl.instance(path[i]).name;
+    nl.append_instance_name(desc, path[i]);
     if (desc.size() > 400) {
       desc += " ...";
       break;
@@ -79,7 +81,7 @@ Sta::Sta(const Netlist* nl, const extract::RcNetlist* rc, StaOptions options)
 
 double Sta::compute_net_load_ff(NetId net) const {
   if (rc_) {
-    return rc_->trees[static_cast<std::size_t>(net)].total_cap_ff;
+    return rc_->span_of(net).total_cap_ff;
   }
   const netlist::Net& n = nl_->net(net);
   double pins = 0.0;
@@ -117,8 +119,9 @@ void Sta::ensure_caches() const {
   // list, so parallel per-net fills touch disjoint cells.
   sink_index_.resize(n_inst);
   for (std::size_t i = 0; i < n_inst; ++i) {
-    sink_index_[i].assign(nl_->instance(static_cast<InstId>(i)).pin_nets.size(),
-                          kNoSinkIndex);
+    sink_index_[i].assign(
+        static_cast<std::size_t>(nl_->pin_count(static_cast<InstId>(i))),
+        kNoSinkIndex);
   }
   runtime::parallel_for(
       n_nets,
@@ -144,7 +147,7 @@ void Sta::refresh_caches_for(const std::vector<NetId>& nets) const {
   sink_index_.resize(n_inst);
   for (std::size_t i = 0; i < n_inst; ++i) {
     const std::size_t pins =
-        nl_->instance(static_cast<InstId>(i)).pin_nets.size();
+        static_cast<std::size_t>(nl_->pin_count(static_cast<InstId>(i)));
     if (sink_index_[i].size() != pins) {
       sink_index_[i].assign(pins, kNoSinkIndex);
     }
@@ -170,7 +173,7 @@ void Sta::refresh_caches_for(const std::vector<NetId>& nets) const {
 
 double Sta::sink_wire_delay_ps(NetId net, std::size_t sink_idx) const {
   if (rc_) {
-    return rc_->trees[static_cast<std::size_t>(net)].elmore_to_sink(sink_idx);
+    return rc_->tree(net).elmore_to_sink(sink_idx);
   }
   // Wireload: lumped R times downstream cap.
   return 0.69 * opt_.wl_res_ohm * net_load_ff(net) / 1000.0;
@@ -210,7 +213,7 @@ bool Sta::propagate_instance(
   const TimingModel* model = inst.type->timing_model();
   if (!model) return false;  // tie cells keep arrival 0
 
-  const NetId out_net = output_net_of(inst);
+  const NetId out_net = output_net_of(*nl_, id);
   if (out_net == netlist::kNoNet) return false;
   const double load = net_load_ff(out_net);
   const auto sid = static_cast<std::size_t>(id);
@@ -236,10 +239,11 @@ bool Sta::propagate_instance(
   double best = 0.0;
   double best_slew = opt_.input_slew_ps;
   InstId best_src = netlist::kNoInst;
-  for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+  const auto pin_nets = nl_->pin_nets(id);
+  for (std::size_t p = 0; p < pin_nets.size(); ++p) {
     const auto& pin = inst.type->pins()[p];
     if (pin.dir == PinDir::Output) continue;
-    const NetId in_net = inst.pin_nets[p];
+    const NetId in_net = pin_nets[p];
     if (in_net == netlist::kNoNet) continue;
     // This pin's position in the net's sink list (for the Elmore lookup).
     const std::size_t sink_idx = sink_index(id, p);
@@ -277,7 +281,7 @@ TimingReport Sta::build_report(
     const netlist::Instance& inst = nl_->instance(i);
     const TimingModel* model = inst.type->timing_model();
     if (!model || inst.type->sequential()) continue;
-    if (output_net_of(inst) == netlist::kNoNet) continue;
+    if (output_net_of(*nl_, i) == netlist::kNoNet) continue;
     rep.max_slew_ps =
         std::max(rep.max_slew_ps, slew_[static_cast<std::size_t>(i)]);
   }
@@ -291,10 +295,11 @@ TimingReport Sta::build_report(
     if (!inst.type->sequential()) continue;
     const TimingModel* model = inst.type->timing_model();
     if (!model) continue;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+    const auto pin_nets = nl_->pin_nets(i);
+    for (std::size_t p = 0; p < pin_nets.size(); ++p) {
       const auto& pin = inst.type->pins()[p];
       if (pin.dir != PinDir::Input || pin.name != "D") continue;
-      const NetId net_id = inst.pin_nets[p];
+      const NetId net_id = pin_nets[p];
       if (net_id == netlist::kNoNet) continue;
       const std::size_t sink_idx = sink_index(i, p);
       double arr, slw;
@@ -383,7 +388,7 @@ TimingReport Sta::update_timing(
   // new wire delays when it was resized/moved).
   std::vector<NetId> nets = dirty.nets;
   for (const InstId id : dirty.insts) {
-    for (const NetId n : nl_->instance(id).pin_nets) {
+    for (const NetId n : nl_->pin_nets(id)) {
       if (n != netlist::kNoNet) nets.push_back(n);
     }
   }
@@ -429,7 +434,7 @@ TimingReport Sta::update_timing(
     // must recompute.  Sequential sinks are endpoints — their launch does
     // not depend on the D input, and the endpoint scan below re-reads the
     // new arrival directly.
-    const NetId out_net = output_net_of(nl_->instance(id));
+    const NetId out_net = output_net_of(*nl_, id);
     if (out_net == netlist::kNoNet) continue;
     for (const PinRef& s : nl_->net(out_net).sinks) {
       const auto ss = static_cast<std::size_t>(s.inst);
@@ -454,10 +459,11 @@ std::vector<PathEnd> Sta::worst_paths(
     if (!inst.type->sequential()) continue;
     const TimingModel* model = inst.type->timing_model();
     if (!model) continue;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+    const auto pin_nets = nl_->pin_nets(i);
+    for (std::size_t p = 0; p < pin_nets.size(); ++p) {
       const auto& pin = inst.type->pins()[p];
       if (pin.dir != PinDir::Input || pin.name != "D") continue;
-      const NetId net_id = inst.pin_nets[p];
+      const NetId net_id = pin_nets[p];
       if (net_id == netlist::kNoNet) continue;
       const std::size_t sink_idx = sink_index(i, p);
       double arr, slw;
@@ -497,10 +503,11 @@ double Sta::endpoint_path_ps(
   const netlist::Instance& inst = nl_->instance(endpoint);
   const TimingModel* model = inst.type->timing_model();
   if (!model) return 0.0;
-  for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+  const auto pin_nets = nl_->pin_nets(endpoint);
+  for (std::size_t p = 0; p < pin_nets.size(); ++p) {
     const auto& pin = inst.type->pins()[p];
     if (pin.dir != PinDir::Input || pin.name != "D") continue;
-    const NetId net_id = inst.pin_nets[p];
+    const NetId net_id = pin_nets[p];
     if (net_id == netlist::kNoNet) continue;
     const std::size_t sink_idx = sink_index(endpoint, p);
     double arr, slw;
@@ -519,10 +526,11 @@ std::vector<InstId> Sta::path_instances(const PathEnd& e) const {
     src = from_[static_cast<std::size_t>(e.endpoint)];
   } else {
     const netlist::Instance& inst = nl_->instance(e.endpoint);
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+    const auto pin_nets = nl_->pin_nets(e.endpoint);
+    for (std::size_t p = 0; p < pin_nets.size(); ++p) {
       const auto& pin = inst.type->pins()[p];
       if (pin.dir != PinDir::Input || pin.name != "D") continue;
-      const NetId net_id = inst.pin_nets[p];
+      const NetId net_id = pin_nets[p];
       if (net_id == netlist::kNoNet) continue;
       src = nl_->net(net_id).driver.inst;
       break;
@@ -543,14 +551,14 @@ std::string Sta::path_string(const PathEnd& e) const {
 }
 
 std::string Sta::endpoint_name(const PathEnd& e) const {
-  if (!e.is_port) return nl_->instance(e.endpoint).name + "/D";
+  if (!e.is_port) return nl_->instance_name(e.endpoint) + "/D";
   for (const netlist::Port& port : nl_->ports()) {
     if (port.is_input || port.net == netlist::kNoNet) continue;
     if (nl_->net(port.net).driver.inst == e.endpoint) {
       return "port:" + port.name;
     }
   }
-  return nl_->instance(e.endpoint).name + "/out";
+  return nl_->instance_name(e.endpoint) + "/out";
 }
 
 int Sta::path_side_crossings(const PathEnd& e) const {
@@ -559,11 +567,12 @@ int Sta::path_side_crossings(const PathEnd& e) const {
   bool have_prev = false;
   stdcell::PinSide prev = stdcell::PinSide::Front;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    const NetId out = output_net_of(nl_->instance(path[i]));
+    const NetId out = output_net_of(*nl_, path[i]);
     if (out == netlist::kNoNet) continue;
     const netlist::Instance& sink = nl_->instance(path[i + 1]);
-    for (std::size_t p = 0; p < sink.pin_nets.size(); ++p) {
-      if (sink.pin_nets[p] != out) continue;
+    const auto sink_pins = nl_->pin_nets(path[i + 1]);
+    for (std::size_t p = 0; p < sink_pins.size(); ++p) {
+      if (sink_pins[p] != out) continue;
       if (sink.type->pins()[p].dir == PinDir::Output) continue;
       stdcell::PinSide s =
           nl_->pin_side({path[i + 1], static_cast<int>(p)});
@@ -595,13 +604,7 @@ HoldReport Sta::analyze_hold(
     const netlist::Instance& inst = nl_->instance(id);
     const stdcell::TimingModel* model = inst.type->timing_model();
     if (!model) continue;
-    NetId out_net = netlist::kNoNet;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-      if (inst.type->pins()[p].dir == PinDir::Output) {
-        out_net = inst.pin_nets[p];
-        break;
-      }
-    }
+    const NetId out_net = output_net_of(*nl_, id);
     if (out_net == netlist::kNoNet) continue;
     const double load = net_load_ff(out_net);
 
@@ -620,10 +623,11 @@ HoldReport Sta::analyze_hold(
 
     double best = std::numeric_limits<double>::max();
     double best_slew = opt_.input_slew_ps;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+    const auto pin_nets = nl_->pin_nets(id);
+    for (std::size_t p = 0; p < pin_nets.size(); ++p) {
       const auto& pin = inst.type->pins()[p];
       if (pin.dir == PinDir::Output) continue;
-      const NetId in_net = inst.pin_nets[p];
+      const NetId in_net = pin_nets[p];
       if (in_net == netlist::kNoNet) continue;
       const netlist::Net& net = nl_->net(in_net);
       const std::size_t sink_idx = sink_index(id, p);
@@ -660,10 +664,11 @@ HoldReport Sta::analyze_hold(
     if (!inst.type->sequential()) continue;
     const stdcell::TimingModel* model = inst.type->timing_model();
     if (!model) continue;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+    const auto pin_nets = nl_->pin_nets(i);
+    for (std::size_t p = 0; p < pin_nets.size(); ++p) {
       const auto& pin = inst.type->pins()[p];
       if (pin.dir != PinDir::Input || pin.name != "D") continue;
-      const NetId net_id = inst.pin_nets[p];
+      const NetId net_id = pin_nets[p];
       if (net_id == netlist::kNoNet) continue;
       const netlist::Net& net = nl_->net(net_id);
       const std::size_t sink_idx = sink_index(i, p);
@@ -679,7 +684,7 @@ HoldReport Sta::analyze_hold(
       const double slack = arr - model->hold_ps - skew;
       if (slack < rep.worst_slack_ps) {
         rep.worst_slack_ps = slack;
-        rep.worst_endpoint = inst.name + "/D";
+        rep.worst_endpoint = nl_->instance_name(i) + "/D";
       }
       if (slack < 0.0) {
         ++rep.violations;
@@ -721,13 +726,7 @@ PowerReport Sta::analyze_power(double freq_ghz,
     if (!model) continue;
     rep.leakage_uw += model->leakage_nw / 1000.0;
     if (model->arcs.empty()) continue;
-    NetId out_net = netlist::kNoNet;
-    for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
-      if (inst.type->pins()[p].dir == PinDir::Output) {
-        out_net = inst.pin_nets[p];
-        break;
-      }
-    }
+    const NetId out_net = output_net_of(*nl_, i);
     if (out_net == netlist::kNoNet) continue;
     const double load = net_load_ff(out_net);
     const double slw =

@@ -27,7 +27,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -194,7 +194,17 @@ class Library {
   PinConfig pin_config_;
   std::string name_;
   std::vector<std::unique_ptr<CellType>> cells_;
-  std::map<std::string, CellType*, std::less<>> by_name_;
+  /// Heterogeneous-lookup hash map (find() takes string_view without a
+  /// temporary std::string); ordering is irrelevant — cells() iterates the
+  /// insertion-ordered vector.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, CellType*, NameHash, std::equal_to<>>
+      by_name_;
   std::string tap_cell_name_;
 };
 

@@ -193,9 +193,9 @@ int fix_hold(netlist::Netlist& nl,
     for (const auto& [ff, slack] : rep.violating_endpoints) {
       const int need = std::max(
           1, static_cast<int>((margin_ps - slack) / buf_delay + 0.999));
-      netlist::Instance& inst = nl.instance(ff);
-      const int d_pin = inst.type->pin_index("D");
-      netlist::NetId src = inst.pin_nets[static_cast<std::size_t>(d_pin)];
+      const geom::Point ff_pos = nl.instance(ff).pos;
+      const int d_pin = nl.instance(ff).type->pin_index("D");
+      netlist::NetId src = nl.pin_net(ff, static_cast<std::size_t>(d_pin));
       for (int k = 0; k < need; ++k) {
         const netlist::NetId mid =
             nl.add_net("hold_net_" + std::to_string(serial));
@@ -203,7 +203,7 @@ int fix_hold(netlist::Netlist& nl,
             "hold_buf_" + std::to_string(serial), &buf);
         ++serial;
         // Place the buffer at the flop (same idealization as CTS buffers).
-        nl.instance(b).pos = inst.pos;
+        nl.instance(b).pos = ff_pos;
         nl.connect(b, "I", src);
         nl.connect(b, "Z", mid);
         src = mid;

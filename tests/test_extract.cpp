@@ -65,23 +65,23 @@ io::Def* ExtractTest::merged_ = nullptr;
 RcNetlist* ExtractTest::rc_ = nullptr;
 
 TEST_F(ExtractTest, OneTreePerNet) {
-  ASSERT_EQ(rc_->trees.size(), static_cast<std::size_t>(nl_->num_nets()));
+  ASSERT_EQ(rc_->num_trees(), static_cast<std::size_t>(nl_->num_nets()));
   for (int n = 0; n < nl_->num_nets(); ++n) {
-    const RcTree& t = rc_->trees[static_cast<std::size_t>(n)];
-    EXPECT_EQ(t.net_name, nl_->net(n).name);
+    const RcTreeView t = rc_->tree(n);
     EXPECT_EQ(t.sink_nodes.size(), nl_->net(n).sinks.size());
   }
 }
 
 TEST_F(ExtractTest, TreesAreWellFormed) {
-  for (const RcTree& t : rc_->trees) {
+  for (int n = 0; n < nl_->num_nets(); ++n) {
+    const RcTreeView t = rc_->tree(n);
     ASSERT_FALSE(t.nodes.empty());
     EXPECT_EQ(t.nodes[0].parent, -1);  // driver root
     for (std::size_t i = 1; i < t.nodes.size(); ++i) {
       // Parents exist; resistances positive.
       if (t.nodes[i].parent >= 0) {
         EXPECT_LT(t.nodes[i].parent, static_cast<int>(t.nodes.size()));
-        EXPECT_GT(t.nodes[i].r_ohm, 0.0) << t.net_name;
+        EXPECT_GT(t.nodes[i].r_ohm, 0.0) << nl_->net_name(n);
       }
       EXPECT_GE(t.nodes[i].cap_ff, 0.0);
     }
@@ -90,14 +90,15 @@ TEST_F(ExtractTest, TreesAreWellFormed) {
 }
 
 TEST_F(ExtractTest, ElmoreNonNegativeAndMonotoneAlongPaths) {
-  for (const RcTree& t : rc_->trees) {
+  for (int n = 0; n < nl_->num_nets(); ++n) {
+    const RcTreeView t = rc_->tree(n);
     ASSERT_EQ(t.elmore_ps.size(), t.nodes.size());
     for (std::size_t i = 1; i < t.nodes.size(); ++i) {
       const int p = t.nodes[i].parent;
       if (p < 0) continue;
       // Elmore is non-decreasing from driver to leaves.
       EXPECT_GE(t.elmore_ps[i] + 1e-12, t.elmore_ps[static_cast<std::size_t>(p)])
-          << t.net_name;
+          << nl_->net_name(n);
     }
   }
 }
@@ -105,11 +106,11 @@ TEST_F(ExtractTest, ElmoreNonNegativeAndMonotoneAlongPaths) {
 TEST_F(ExtractTest, TotalCapIncludesSinkPins) {
   for (int n = 0; n < nl_->num_nets(); ++n) {
     const netlist::Net& net = nl_->net(n);
-    const RcTree& t = rc_->trees[static_cast<std::size_t>(n)];
+    const RcTreeView t = rc_->tree(n);
     double pins = 0.0;
     for (const netlist::PinRef& s : net.sinks) pins += nl_->pin_cap_ff(s);
-    EXPECT_GE(t.total_cap_ff + 1e-9, pins) << net.name;
-    EXPECT_NEAR(t.total_cap_ff - t.wire_cap_ff, pins, 1e-6) << net.name;
+    EXPECT_GE(t.total_cap_ff + 1e-9, pins) << nl_->net_name(n);
+    EXPECT_NEAR(t.total_cap_ff - t.wire_cap_ff, pins, 1e-6) << nl_->net_name(n);
   }
 }
 
@@ -126,7 +127,7 @@ TEST_F(ExtractTest, DualSidedNetsJoinThroughDrainMerge) {
     if (!has_f || !has_b) continue;
     const auto id = nl_->find_net(dn.name);
     ASSERT_TRUE(id.has_value());
-    const RcTree& t = rc_->trees[static_cast<std::size_t>(*id)];
+    const RcTreeView t = rc_->tree(*id);
     bool node_f = false, node_b = false;
     for (const RcNode& nd : t.nodes) {
       (nd.side == tech::Side::Back ? node_b : node_f) = true;
@@ -155,7 +156,7 @@ TEST_F(ExtractTest, LongerWiresMoreCapacitance) {
     }
     const auto id = nl_->find_net(dn.name);
     if (!id) continue;
-    const RcTree& t = rc_->trees[static_cast<std::size_t>(*id)];
+    const RcTreeView t = rc_->tree(*id);
     if (len > best_len) {
       best_len = len;
       best_cap = t.wire_cap_ff;
@@ -203,12 +204,12 @@ TEST(ExtractMicro, SingleWireElmoreMatchesHandComputation) {
   io::Def def;
   def.design = nl.name();
   io::DefNet dn;
-  dn.name = nl.net(mid).name;
+  dn.name = nl.net_name(mid);
   dn.wires.push_back({"FM2", {0, 0}, {4500, 0}});
   def.nets.push_back(dn);
 
   const RcNetlist rc = extract_rc(def, nl, tech);
-  const RcTree& t = rc.trees[static_cast<std::size_t>(mid)];
+  const RcTreeView t = rc.tree(mid);
   const tech::MetalLayer* fm2 = tech.find_layer("FM2");
   const double len_um = 4.5;
   const double wire_c = len_um * fm2->c_ff_per_um;

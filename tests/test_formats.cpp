@@ -257,20 +257,21 @@ TEST_F(FormatsTest, SpefRoundTripReproducesRc) {
 
   const extract::RcNetlist again =
       extract::read_spef_string(extract::to_spef_string(rc, nl), nl);
-  ASSERT_EQ(again.trees.size(), rc.trees.size());
+  ASSERT_EQ(again.num_trees(), rc.num_trees());
   EXPECT_NEAR(again.total_wire_cap_ff, rc.total_wire_cap_ff,
               1e-3 * rc.total_wire_cap_ff + 1e-6);
   int compared = 0;
-  for (std::size_t n = 0; n < rc.trees.size(); ++n) {
-    const auto& a = rc.trees[n];
-    const auto& b = again.trees[n];
+  for (std::size_t n = 0; n < rc.num_trees(); ++n) {
+    const auto a = rc.tree(static_cast<netlist::NetId>(n));
+    const auto b = again.tree(static_cast<netlist::NetId>(n));
     EXPECT_NEAR(b.total_cap_ff, a.total_cap_ff, 1e-6 + 1e-4 * a.total_cap_ff)
-        << a.net_name;
-    ASSERT_EQ(b.sink_nodes.size(), a.sink_nodes.size()) << a.net_name;
+        << nl.net_name(static_cast<netlist::NetId>(n));
+    ASSERT_EQ(b.sink_nodes.size(), a.sink_nodes.size())
+        << nl.net_name(static_cast<netlist::NetId>(n));
     for (std::size_t s = 0; s < a.sink_nodes.size(); ++s) {
       EXPECT_NEAR(b.elmore_to_sink(s), a.elmore_to_sink(s),
                   1e-6 + 1e-4 * a.elmore_to_sink(s))
-          << a.net_name;
+          << nl.net_name(static_cast<netlist::NetId>(n));
       ++compared;
     }
   }
@@ -327,26 +328,31 @@ TEST_F(FormatsTest, AccumulatorDefRoundTripReExtractsIdentically) {
   const extract::RcNetlist rc2 =
       extract::extract_rc(io::merge_defs(front2, back2), nl, tech_);
 
-  ASSERT_EQ(rc2.trees.size(), rc.trees.size());
+  ASSERT_EQ(rc2.num_trees(), rc.num_trees());
   EXPECT_EQ(rc2.total_wire_cap_ff, rc.total_wire_cap_ff);
   EXPECT_EQ(rc2.total_wire_res_kohm, rc.total_wire_res_kohm);
   bool saw_dual_sided = false;
-  for (std::size_t n = 0; n < rc.trees.size(); ++n) {
-    const extract::RcTree& a = rc.trees[n];
-    const extract::RcTree& c = rc2.trees[n];
-    ASSERT_EQ(c.nodes.size(), a.nodes.size()) << a.net_name;
-    EXPECT_EQ(c.total_cap_ff, a.total_cap_ff) << a.net_name;
-    EXPECT_EQ(c.wire_cap_ff, a.wire_cap_ff) << a.net_name;
+  for (std::size_t n = 0; n < rc.num_trees(); ++n) {
+    const netlist::NetId id = static_cast<netlist::NetId>(n);
+    const std::string nname = nl.net_name(id);
+    const extract::RcTreeView a = rc.tree(id);
+    const extract::RcTreeView c = rc2.tree(id);
+    ASSERT_EQ(c.nodes.size(), a.nodes.size()) << nname;
+    EXPECT_EQ(c.total_cap_ff, a.total_cap_ff) << nname;
+    EXPECT_EQ(c.wire_cap_ff, a.wire_cap_ff) << nname;
     bool has_f = false, has_b = false;
     for (std::size_t i = 0; i < a.nodes.size(); ++i) {
-      EXPECT_EQ(c.nodes[i].parent, a.nodes[i].parent) << a.net_name;
-      EXPECT_EQ(c.nodes[i].r_ohm, a.nodes[i].r_ohm) << a.net_name;
-      EXPECT_EQ(c.nodes[i].cap_ff, a.nodes[i].cap_ff) << a.net_name;
-      EXPECT_EQ(c.nodes[i].side, a.nodes[i].side) << a.net_name;
-      EXPECT_EQ(c.elmore_ps[i], a.elmore_ps[i]) << a.net_name;
+      EXPECT_EQ(c.nodes[i].parent, a.nodes[i].parent) << nname;
+      EXPECT_EQ(c.nodes[i].r_ohm, a.nodes[i].r_ohm) << nname;
+      EXPECT_EQ(c.nodes[i].cap_ff, a.nodes[i].cap_ff) << nname;
+      EXPECT_EQ(c.nodes[i].side, a.nodes[i].side) << nname;
+      EXPECT_EQ(c.elmore_ps[i], a.elmore_ps[i]) << nname;
       (a.nodes[i].side == tech::Side::Front ? has_f : has_b) = true;
     }
-    EXPECT_EQ(c.sink_nodes, a.sink_nodes) << a.net_name;
+    ASSERT_EQ(c.sink_nodes.size(), a.sink_nodes.size()) << nname;
+    for (std::size_t i = 0; i < a.sink_nodes.size(); ++i) {
+      EXPECT_EQ(c.sink_nodes[i], a.sink_nodes[i]) << nname;
+    }
     saw_dual_sided |= has_f && has_b;
   }
   EXPECT_TRUE(saw_dual_sided) << "fixture must exercise dual-sided trees";
@@ -356,11 +362,12 @@ TEST_F(FormatsTest, AccumulatorDefRoundTripReExtractsIdentically) {
   // RV32 round-trip above).
   const extract::RcNetlist spef_rt =
       extract::read_spef_string(extract::to_spef_string(rc2, nl), nl);
-  ASSERT_EQ(spef_rt.trees.size(), rc.trees.size());
-  for (std::size_t n = 0; n < rc.trees.size(); ++n) {
-    EXPECT_NEAR(spef_rt.trees[n].total_cap_ff, rc.trees[n].total_cap_ff,
-                1e-6 + 1e-4 * rc.trees[n].total_cap_ff)
-        << rc.trees[n].net_name;
+  ASSERT_EQ(spef_rt.num_trees(), rc.num_trees());
+  for (std::size_t n = 0; n < rc.num_trees(); ++n) {
+    const netlist::NetId id = static_cast<netlist::NetId>(n);
+    EXPECT_NEAR(spef_rt.tree(id).total_cap_ff, rc.tree(id).total_cap_ff,
+                1e-6 + 1e-4 * rc.tree(id).total_cap_ff)
+        << nl.net_name(id);
   }
 }
 

@@ -59,7 +59,7 @@ TEST_F(NetlistTest, ReconnectSinkMovesPin) {
   nl.reconnect_sink(inv, "I", bn);
   EXPECT_TRUE(nl.net(a).sinks.empty());
   ASSERT_EQ(nl.net(bn).sinks.size(), 1u);
-  EXPECT_EQ(nl.instance(inv).pin_nets[0], bn);
+  EXPECT_EQ(nl.pin_net(inv, 0), bn);
 }
 
 TEST_F(NetlistTest, ResizeKeepsConnectivity) {
@@ -313,9 +313,10 @@ TEST_F(NetlistTest, FastAdderIsShallower) {
     for (InstId id : nl.topo_order()) {
       const Instance& inst = nl.instance(id);
       int d = 0;
-      for (std::size_t p = 0; p < inst.pin_nets.size(); ++p) {
+      const auto pin_nets = nl.pin_nets(id);
+      for (std::size_t p = 0; p < pin_nets.size(); ++p) {
         if (inst.type->pins()[p].dir != stdcell::PinDir::Input) continue;
-        const NetId n = inst.pin_nets[p];
+        const NetId n = pin_nets[p];
         if (n == kNoNet) continue;
         const PinRef drv = nl.net(n).driver;
         if (drv.inst == kNoInst) continue;
@@ -370,7 +371,7 @@ TEST_F(NetlistTest, SimulatorTracksActivity) {
   sim.reset_activity();
   for (int i = 0; i < 10; ++i) sim.tick();
   EXPECT_EQ(sim.cycles(), 10u);
-  const NetId qn = *nl.find_net(nl.net(q).name);
+  const NetId qn = *nl.find_net(nl.net_name(q));
   EXPECT_NEAR(sim.toggle_rate(qn), 1.0, 0.01);  // toggles every cycle
 }
 

@@ -186,9 +186,10 @@ TEST(EcoTest, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(a.routes.wirelength_front_um, b.routes.wirelength_front_um);
   EXPECT_EQ(a.routes.wirelength_back_um, b.routes.wirelength_back_um);
   EXPECT_EQ(a.routes.drv_estimate, b.routes.drv_estimate);
-  ASSERT_EQ(a.rc.trees.size(), b.rc.trees.size());
-  for (std::size_t n = 0; n < a.rc.trees.size(); ++n) {
-    EXPECT_EQ(a.rc.trees[n].total_cap_ff, b.rc.trees[n].total_cap_ff) << n;
+  ASSERT_EQ(a.rc.num_trees(), b.rc.num_trees());
+  for (std::size_t n = 0; n < a.rc.num_trees(); ++n) {
+    const netlist::NetId id = static_cast<netlist::NetId>(n);
+    EXPECT_EQ(a.rc.tree(id).total_cap_ff, b.rc.tree(id).total_cap_ff) << n;
   }
 }
 
@@ -224,11 +225,16 @@ TEST(EcoTest, AllRevertedTrialsRestoreStateBitExactly) {
   EXPECT_EQ(f.routes.wirelength_front_um, pristine.routes.wirelength_front_um);
   EXPECT_EQ(f.routes.wirelength_back_um, pristine.routes.wirelength_back_um);
   EXPECT_EQ(f.routes.drv_estimate, pristine.routes.drv_estimate);
-  ASSERT_EQ(f.rc.trees.size(), pristine.rc.trees.size());
-  for (std::size_t n = 0; n < f.rc.trees.size(); ++n) {
-    EXPECT_EQ(f.rc.trees[n].total_cap_ff, pristine.rc.trees[n].total_cap_ff)
-        << n;
-    EXPECT_EQ(f.rc.trees[n].sink_nodes, pristine.rc.trees[n].sink_nodes) << n;
+  ASSERT_EQ(f.rc.num_trees(), pristine.rc.num_trees());
+  for (std::size_t n = 0; n < f.rc.num_trees(); ++n) {
+    const netlist::NetId id = static_cast<netlist::NetId>(n);
+    const extract::RcTreeView fa = f.rc.tree(id);
+    const extract::RcTreeView pa = pristine.rc.tree(id);
+    EXPECT_EQ(fa.total_cap_ff, pa.total_cap_ff) << n;
+    ASSERT_EQ(fa.sink_nodes.size(), pa.sink_nodes.size()) << n;
+    for (std::size_t s = 0; s < fa.sink_nodes.size(); ++s) {
+      EXPECT_EQ(fa.sink_nodes[s], pa.sink_nodes[s]) << n;
+    }
   }
 }
 

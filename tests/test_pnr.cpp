@@ -209,11 +209,11 @@ TEST_F(PnrTest, PlacementLegalizesWithoutOverlaps) {
   // No interior overlaps between any two instances (incl. taps), cells in
   // rows, inside the core.
   std::vector<geom::Rect> boxes;
-  for (const netlist::Instance& inst : nl.instances()) {
-    const geom::Rect b = inst.bbox();
-    EXPECT_TRUE(fp.core.contains(b)) << inst.name;
-    EXPECT_EQ(b.lo.y % fp.row_height, 0) << inst.name;
-    EXPECT_EQ(b.lo.x % fp.site_width, 0) << inst.name;
+  for (netlist::InstId i = 0; i < nl.num_instances(); ++i) {
+    const geom::Rect b = nl.instance(i).bbox();
+    EXPECT_TRUE(fp.core.contains(b)) << nl.instance_name(i);
+    EXPECT_EQ(b.lo.y % fp.row_height, 0) << nl.instance_name(i);
+    EXPECT_EQ(b.lo.x % fp.site_width, 0) << nl.instance_name(i);
     boxes.push_back(b);
   }
   // Overlap scan via row bucketing (O(n^2) within rows is fine here).
@@ -373,7 +373,7 @@ void expect_all_sinks_connected(const netlist::Netlist& nl,
     const int root = find(r.source_gcell);
     for (int s : r.sink_gcells) {
       EXPECT_EQ(find(s), root)
-          << "disconnected sink in net " << nl.net(r.net).name;
+          << "disconnected sink in net " << nl.net_name(r.net);
     }
   }
 }
@@ -406,8 +406,9 @@ TEST_F(PnrTest, Algorithm1DecomposesNetsBySinkSide) {
     }
     // Every sink side demanded must have a routed subnet, and no side
     // without sinks may carry one (Algorithm 1 lines 2-8).
-    EXPECT_EQ(routed.contains({n, Side::Front}), want_front) << net.name;
-    EXPECT_EQ(routed.contains({n, Side::Back}), want_back) << net.name;
+    EXPECT_EQ(routed.contains({n, Side::Front}), want_front)
+        << nl.net_name(n);
+    EXPECT_EQ(routed.contains({n, Side::Back}), want_back) << nl.net_name(n);
     if (want_front && want_back) ++dual_sided_nets;
   }
   // The 50/50 library must actually produce dual-sided nets.
@@ -441,7 +442,7 @@ TEST_F(PnrTest, RoutesFormConnectedTrees) {
     const int root = find(r.source_gcell);
     for (int s : r.sink_gcells) {
       EXPECT_EQ(find(s), root)
-          << "disconnected sink in net " << rd.nl.net(r.net).name;
+          << "disconnected sink in net " << rd.nl.net_name(r.net);
     }
   }
 }

@@ -123,7 +123,7 @@ TEST_F(StaIncrementalTest, ResizeMutationsMatchFullAnalysis) {
 
     DirtySet dirty;
     dirty.insts.push_back(id);
-    for (const NetId n : inst.pin_nets) {
+    for (const NetId n : nl.pin_nets(id)) {
       if (n != netlist::kNoNet) dirty.nets.push_back(n);
     }
     const TimingReport upd = sta.update_timing(dirty);

@@ -42,9 +42,10 @@ TEST_F(SynthTest, BuffersHighFanoutNets) {
   const SynthReport rep = size_for_frequency(nl, so);
   EXPECT_GT(rep.buffers_added, 0);
   EXPECT_TRUE(rep.met);
-  for (const netlist::Net& net : nl.nets()) {
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
     if (net.is_clock) continue;
-    EXPECT_LE(net.sinks.size(), 12u) << net.name;
+    EXPECT_LE(net.sinks.size(), 12u) << nl.net_name(n);
   }
   EXPECT_TRUE(nl.validate().empty());
 }
@@ -169,7 +170,7 @@ TEST_F(SynthTest, LongNetRepeatersSplitFarSinks) {
     const geom::Point d = nl.pin_position(net.driver);
     for (const netlist::PinRef& s : net.sinks) {
       EXPECT_LE(geom::manhattan(d, nl.pin_position(s)), 2 * 15000)
-          << net.name;
+          << nl.net_name(n);
     }
   }
 }
