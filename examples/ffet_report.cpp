@@ -64,7 +64,7 @@ namespace {
       stderr,
       "usage: %s timing  [flow-opts] [--top K] [--period PS]\n"
       "       %s nets    [flow-opts] [--top N] [--net NAME]\n"
-      "       %s diff    [--mode flow|eco|router] [--freq-drop PCT]\n"
+      "       %s diff    [--mode flow|eco|router] [--qor] [--freq-drop PCT]\n"
       "                  [--power-rise PCT] [--wl-rise PCT] [--runtime-rise "
       "PCT] BASE NEW\n"
       "       %s history [LABEL] [--ledger PATH] [--kind flow|bench]\n"
@@ -222,6 +222,10 @@ int cmd_diff(ArgReader& args) {
       opts.wirelength_rise_pct = std::atof(args.need_value("--wl-rise"));
     } else if (!std::strcmp(args.argv[args.i], "--runtime-rise")) {
       opts.runtime_rise_pct = std::atof(args.need_value("--runtime-rise"));
+    } else if (!std::strcmp(args.argv[args.i], "--qor")) {
+      // QoR-identity mode for results streamed back from ffet_serve:
+      // compare only the QoR sections, and gate on exact equality.
+      opts.qor_only = true;
     } else if (args.argv[args.i][0] == '-' && args.argv[args.i][1] == '-') {
       usage(args.argv[0]);
     } else {

@@ -1,0 +1,114 @@
+// ffet_serve — the sweep-service daemon.
+//
+// Listens on a Unix-domain socket for framed sweep submissions (see
+// src/serve/protocol.h), shards the points across a fleet of forked worker
+// processes, streams one ffet.flow_report.v1 line back per point in
+// submission order, and memoizes every completed point in a persistent
+// result cache keyed on FlowConfig::label().  A second submission of the
+// same sweep — even from a different client, even after a daemon restart —
+// runs zero flows.
+//
+//   ffet_serve [--socket PATH] [--workers N] [--cache DIR|none]
+//              [--log PATH] [--version]
+//
+// Worker count: --workers beats FFET_WORKERS beats the default of 2.
+// SIGINT/SIGTERM (and a client's `ffet_submit --shutdown`) stop the daemon
+// cleanly: workers are retired via EOF and reaped, the socket unlinked.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "flow/version.h"
+#include "serve/server.h"
+
+using namespace ffet;
+
+namespace {
+
+serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  // Async-signal-safe enough for our purpose: stop() is NOT safe here, so
+  // just ask wait() to return; main does the teardown.  Re-raise semantics
+  // are unnecessary — a second signal while stopping kills us, fine.
+  if (g_server) g_server->request_stop_from_signal();
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--workers N] [--cache DIR|none]\n"
+               "       [--log PATH] [--version]\n"
+               "defaults: --socket .ffet_serve.sock --workers $FFET_WORKERS"
+               "|2 --cache .ffet_serve_cache\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeOptions opts;
+  std::string log_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--socket")) {
+      opts.socket_path = need("--socket");
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      opts.workers = std::atoi(need("--workers"));
+      if (opts.workers <= 0) usage(argv[0]);
+    } else if (!std::strcmp(argv[i], "--cache")) {
+      const std::string v = need("--cache");
+      opts.cache_dir = v == "none" ? std::string() : v;
+    } else if (!std::strcmp(argv[i], "--log")) {
+      log_path = need("--log");
+    } else if (!std::strcmp(argv[i], "--version")) {
+      std::printf("ffet_serve %s\n", kVersion);
+      return 0;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::FILE* log = nullptr;
+  if (!log_path.empty()) {
+    log = std::fopen(log_path.c_str(), "a");
+    if (!log) {
+      std::fprintf(stderr, "cannot open log file %s\n", log_path.c_str());
+      return 2;
+    }
+    opts.log = log;
+  }
+
+  serve::Server server(opts);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "ffet_serve: %s\n", error.c_str());
+    if (log) std::fclose(log);
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  server.wait();
+  g_server = nullptr;
+  server.stop();
+
+  const serve::ServeStats st = server.stats();
+  std::fprintf(stderr,
+               "ffet_serve: served %lld request(s), %lld point(s) "
+               "(%lld cached, %lld joined, %lld flow runs, %lld worker "
+               "deaths)\n",
+               st.requests, st.points, st.cache_hits, st.single_flight_joins,
+               st.flow_runs, st.worker_deaths);
+  if (log) std::fclose(log);
+  return 0;
+}

@@ -1,0 +1,292 @@
+// ffet_submit — client CLI for the ffet_serve sweep service.
+//
+//   ffet_submit [--socket PATH] [--out FILE] SWEEP
+//   ffet_submit --ping | --shutdown [--socket PATH]
+//
+// SWEEP is one of:
+//   --configs FILE     submit the JSON array of FlowConfig objects in FILE
+//   --fig8-quick       the Fig. 8 --quick sweep (3 curves x 6 utilization
+//                      points), the CI smoke workload
+//   [flow-opts]        a single point built from --tech/--fm/--bm/... flags
+//                      (the same flags ffet_report takes); flow-opts also
+//                      override every point of --fig8-quick
+//
+// Results (one ffet.flow_report.v1 line per point, in sweep order) go to
+// --out FILE or stdout, ready for `ffet_report diff --qor`.
+//
+//   --local            run the sweep in-process with flow::run_sweep
+//                      instead of contacting a daemon — the baseline side
+//                      of the service-vs-in-process identity check
+//   --expect-cached    exit 3 unless every point was served from the
+//                      daemon's cache (CI asserts the second submission of
+//                      an identical sweep runs zero flows)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+#include "flow/report_json.h"
+#include "flow/version.h"
+#include "serve/client.h"
+#include "serve/config_codec.h"
+
+using namespace ffet;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--socket PATH] [--out FILE] [--configs FILE |"
+      " --fig8-quick | flow-opts]\n"
+      "       %s [--socket PATH] --ping | --shutdown\n"
+      "       %s --version\n"
+      "options: --local (run in-process, no daemon)   --expect-cached\n"
+      "flow-opts: --tech ffet|cfet --fm N --bm N --backside-pins F --util F\n"
+      "           --freq F --registers N --eco N --seed N --threads N\n",
+      argv0, argv0, argv0);
+  std::exit(2);
+}
+
+/// The Fig. 8 --quick grid: CFET, FFET FM12BM12 (pins 50/50) and FFET FM12
+/// single-sided, each at utilization 0.46 + 0.08*i for i in [0, 6).  Must
+/// stay in lockstep with bench_fig8.cpp so the CI smoke exercises the same
+/// points the bench does.
+std::vector<flow::FlowConfig> fig8_quick_sweep() {
+  flow::FlowConfig cfet;
+  cfet.tech_kind = tech::TechKind::Cfet4T;
+  cfet.front_layers = 12;
+  cfet.back_layers = 0;
+
+  flow::FlowConfig dual;
+  dual.tech_kind = tech::TechKind::Ffet3p5T;
+  dual.front_layers = 12;
+  dual.back_layers = 12;
+  dual.backside_input_fraction = 0.5;
+
+  flow::FlowConfig single;
+  single.tech_kind = tech::TechKind::Ffet3p5T;
+  single.front_layers = 12;
+  single.back_layers = 0;
+  single.backside_input_fraction = 0.0;
+
+  std::vector<flow::FlowConfig> sweep;
+  for (flow::FlowConfig base : {cfet, dual, single}) {
+    for (int i = 0; i < 6; ++i) {
+      base.utilization = 0.46 + 0.08 * i;
+      sweep.push_back(base);
+    }
+  }
+  return sweep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = ".ffet_serve.sock";
+  std::string out_path;
+  std::string configs_path;
+  bool fig8_quick = false;
+  bool local = false;
+  bool expect_cached = false;
+  bool do_ping = false;
+  bool do_shutdown = false;
+  // Flow-opt overrides are applied on top of whatever SWEEP source is
+  // chosen; `overridden` tracks whether they alone define a single point.
+  flow::FlowConfig point;
+  bool any_flow_opt = false;
+  struct Override {
+    void (*apply)(flow::FlowConfig&, const char*);
+    const char* value;
+  };
+  std::vector<Override> overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    const auto add = [&](void (*apply)(flow::FlowConfig&, const char*),
+                         const char* flag) {
+      overrides.push_back({apply, need(flag)});
+      any_flow_opt = true;
+    };
+    if (!std::strcmp(argv[i], "--socket")) {
+      socket_path = need("--socket");
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out_path = need("--out");
+    } else if (!std::strcmp(argv[i], "--configs")) {
+      configs_path = need("--configs");
+    } else if (!std::strcmp(argv[i], "--fig8-quick")) {
+      fig8_quick = true;
+    } else if (!std::strcmp(argv[i], "--local")) {
+      local = true;
+    } else if (!std::strcmp(argv[i], "--expect-cached")) {
+      expect_cached = true;
+    } else if (!std::strcmp(argv[i], "--ping")) {
+      do_ping = true;
+    } else if (!std::strcmp(argv[i], "--shutdown")) {
+      do_shutdown = true;
+    } else if (!std::strcmp(argv[i], "--version")) {
+      std::printf("ffet_submit %s\n", kVersion);
+      return 0;
+    } else if (!std::strcmp(argv[i], "--tech")) {
+      add(
+          [](flow::FlowConfig& c, const char* v) {
+            if (!std::strcmp(v, "ffet")) {
+              c.tech_kind = tech::TechKind::Ffet3p5T;
+            } else if (!std::strcmp(v, "cfet")) {
+              c.tech_kind = tech::TechKind::Cfet4T;
+            } else {
+              std::fprintf(stderr, "unknown tech \"%s\"\n", v);
+              std::exit(2);
+            }
+          },
+          "--tech");
+    } else if (!std::strcmp(argv[i], "--fm")) {
+      add([](flow::FlowConfig& c, const char* v) { c.front_layers = std::atoi(v); },
+          "--fm");
+    } else if (!std::strcmp(argv[i], "--bm")) {
+      add([](flow::FlowConfig& c, const char* v) { c.back_layers = std::atoi(v); },
+          "--bm");
+    } else if (!std::strcmp(argv[i], "--backside-pins")) {
+      add(
+          [](flow::FlowConfig& c, const char* v) {
+            c.backside_input_fraction = std::atof(v);
+          },
+          "--backside-pins");
+    } else if (!std::strcmp(argv[i], "--util")) {
+      add([](flow::FlowConfig& c, const char* v) { c.utilization = std::atof(v); },
+          "--util");
+    } else if (!std::strcmp(argv[i], "--freq")) {
+      add(
+          [](flow::FlowConfig& c, const char* v) {
+            c.target_freq_ghz = std::atof(v);
+          },
+          "--freq");
+    } else if (!std::strcmp(argv[i], "--registers")) {
+      add(
+          [](flow::FlowConfig& c, const char* v) {
+            c.rv32_registers = std::atoi(v);
+          },
+          "--registers");
+    } else if (!std::strcmp(argv[i], "--eco")) {
+      add([](flow::FlowConfig& c, const char* v) { c.eco_passes = std::atoi(v); },
+          "--eco");
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      add([](flow::FlowConfig& c, const char* v) { c.seed = std::atoi(v); },
+          "--seed");
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      add([](flow::FlowConfig& c, const char* v) { c.threads = std::atoi(v); },
+          "--threads");
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  if (do_ping || do_shutdown) {
+    std::string error;
+    const bool ok = do_ping ? serve::ping(socket_path, &error)
+                            : serve::request_shutdown(socket_path, &error);
+    if (!ok) {
+      std::fprintf(stderr, "ffet_submit: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s ok\n", do_ping ? "ping" : "shutdown");
+    return 0;
+  }
+
+  // ---- assemble the sweep -------------------------------------------------
+  std::vector<flow::FlowConfig> sweep;
+  if (!configs_path.empty()) {
+    std::ifstream f(configs_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot read %s\n", configs_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    std::string error;
+    const auto parsed = serve::configs_from_json_text(ss.str(), &error);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: %s\n", configs_path.c_str(), error.c_str());
+      return 2;
+    }
+    sweep = *parsed;
+  } else if (fig8_quick) {
+    sweep = fig8_quick_sweep();
+  } else if (any_flow_opt) {
+    sweep.push_back(point);
+  } else {
+    std::fprintf(stderr, "no sweep given (--configs, --fig8-quick or "
+                         "flow-opts)\n");
+    usage(argv[0]);
+  }
+  for (flow::FlowConfig& cfg : sweep) {
+    for (const Override& o : overrides) o.apply(cfg, o.value);
+  }
+
+  // ---- run it -------------------------------------------------------------
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+
+  int rc = 0;
+  if (local) {
+    const std::vector<flow::FlowResult> results = flow::run_sweep(sweep);
+    for (const flow::FlowResult& r : results) {
+      const std::string line = flow::flow_report_json(r);
+      std::fwrite(line.data(), 1, line.size(), out);
+      std::fputc('\n', out);
+    }
+    std::fprintf(stderr, "ffet_submit: ran %zu point(s) in-process\n",
+                 results.size());
+  } else {
+    std::vector<serve::ResultLine> results;
+    serve::SubmitStats stats;
+    std::string error;
+    if (!serve::submit_sweep(socket_path, sweep, &results, &stats, &error)) {
+      std::fprintf(stderr, "ffet_submit: %s\n", error.c_str());
+      if (out != stdout) std::fclose(out);
+      return 1;
+    }
+    for (const serve::ResultLine& r : results) {
+      std::fwrite(r.line.data(), 1, r.line.size(), out);
+      std::fputc('\n', out);
+    }
+    std::fprintf(stderr,
+                 "ffet_submit: %lld point(s): %lld cached, %lld joined, "
+                 "%lld ran, %lld retried, %lld worker_died\n",
+                 stats.points, stats.cache_hits, stats.joined, stats.ran,
+                 stats.retried, stats.worker_died);
+    if (expect_cached && stats.cache_hits != stats.points) {
+      std::fprintf(stderr,
+                   "ffet_submit: --expect-cached: %lld of %lld point(s) "
+                   "missed the cache\n",
+                   stats.points - stats.cache_hits, stats.points);
+      rc = 3;
+    }
+    for (const serve::ResultLine& r : results) {
+      if (r.worker_died) {
+        std::fprintf(stderr, "ffet_submit: point %u reported worker_died\n",
+                     r.index);
+        rc = rc == 0 ? 4 : rc;
+      }
+    }
+  }
+  if (out != stdout) std::fclose(out);
+  return rc;
+}

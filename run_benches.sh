@@ -6,7 +6,11 @@
 #   ./run_benches.sh                  # full set
 #   ./run_benches.sh --quick          # fast smoke subset (CI)
 #   ./run_benches.sh --trace          # also capture per-bench Chrome traces
-#   ./run_benches.sh bench_fig10 ...  # only the named benches
+#   ./run_benches.sh --serve          # sweep-service smoke: Fig. 8 --quick
+#                                     # through a local ffet_serve daemon,
+#                                     # gated on QoR identity + cache hits
+#   ./run_benches.sh bench_fig10 ...  # only the named benches (unknown
+#                                     # names are an error, not a skip)
 #
 # Wall-clock timing of every sweep bench is collected (via the
 # FFET_BENCH_JSON hook in bench_common.h) into BENCH_sweeps.json; the lines
@@ -42,12 +46,27 @@ QUICK="bench_table1 bench_fig4 bench_table2 bench_eco bench_scale"
 run_stages=1
 trace=0
 quick=0
+serve=0
 named=""
 for arg in "$@"; do
   case "$arg" in
     --quick) quick=1 ;;
     --trace) trace=1 ;;
+    --serve) serve=1 ;;
     *) named="$named $arg" ;;
+  esac
+done
+
+# A named bench must exist: an unknown name (a typo, or a bench that was
+# renamed) used to fall through to "./build/bench/<name>: not found" buried
+# in the output — and, worse, a name list that matched *nothing* ran zero
+# benches and exited 0.  Skipped-by-filter must never read as passed.
+for b in $named; do
+  case " $FULL bench_stages " in
+    *" $b "*) ;;
+    *) echo "run_benches.sh: unknown bench '$b'" >&2
+       echo "known benches:$(echo '' $FULL bench_stages)" >&2
+       exit 2 ;;
   esac
 done
 
@@ -57,6 +76,9 @@ done
 # soon as a bench list was named.
 if [ -n "$named" ]; then
   benches=$named
+  run_stages=0
+elif [ "$serve" = 1 ] && [ "$quick" = 0 ]; then
+  benches=""     # bare --serve runs just the service smoke
   run_stages=0
 elif [ "$quick" = 1 ]; then
   benches=$QUICK
@@ -141,6 +163,66 @@ for b in $benches; do
   fi
   run_bench "$b" ./build/bench/$b $flags || failures="$failures $b"
 done
+
+# --serve: route the Fig. 8 --quick sweep through a local ffet_serve daemon
+# and gate on the service contract: per-point QoR identity with the
+# in-process run (ffet_report diff --qor must be empty) and a second
+# identical submission served 100% from the daemon's cache.  Artifacts:
+# serve_smoke_local.jsonl / serve_smoke_served{,2}.jsonl and the daemon log
+# serve_smoke_daemon.log (CI uploads them).  FFET_SERVE_SMOKE_OPTS can
+# shrink the workload (e.g. "--registers 8").
+run_serve_smoke() {
+  echo ""
+  echo "=== serve smoke: Fig. 8 --quick sweep through ffet_serve ==="
+  _sock=".ffet_serve_smoke.sock"
+  _cache=".ffet_serve_smoke_cache"
+  _dlog="serve_smoke_daemon.log"
+  rm -rf "$_cache"
+  rm -f "$_sock" "$_dlog"
+  ./build/examples/ffet_serve --socket "$_sock" --cache "$_cache" \
+    --workers "${FFET_WORKERS:-2}" --log "$_dlog" &
+  _daemon=$!
+  _up=0
+  for _i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    if ./build/examples/ffet_submit --socket "$_sock" --ping \
+        >/dev/null 2>&1; then
+      _up=1
+      break
+    fi
+    sleep 0.25
+  done
+  if [ "$_up" != 1 ]; then
+    echo "serve smoke: daemon did not come up" >&2
+    kill "$_daemon" 2>/dev/null || true
+    return 1
+  fi
+  _rc=0
+  # shellcheck disable=SC2086  # OPTS is intentionally word-split
+  ./build/examples/ffet_submit --local --fig8-quick ${FFET_SERVE_SMOKE_OPTS-} \
+    --out serve_smoke_local.jsonl || _rc=1
+  ./build/examples/ffet_submit --socket "$_sock" --fig8-quick \
+    ${FFET_SERVE_SMOKE_OPTS-} --out serve_smoke_served.jsonl || _rc=1
+  # Second submission of the identical sweep: zero flow runs allowed.
+  ./build/examples/ffet_submit --socket "$_sock" --fig8-quick \
+    ${FFET_SERVE_SMOKE_OPTS-} --expect-cached \
+    --out serve_smoke_served2.jsonl || _rc=1
+  ./build/examples/ffet_report diff --mode flow --qor \
+    serve_smoke_local.jsonl serve_smoke_served.jsonl || _rc=1
+  ./build/examples/ffet_report diff --mode flow --qor \
+    serve_smoke_local.jsonl serve_smoke_served2.jsonl || _rc=1
+  ./build/examples/ffet_submit --socket "$_sock" --shutdown || _rc=1
+  wait "$_daemon" || _rc=1
+  if [ "$_rc" = 0 ]; then
+    echo "serve smoke: PASS (QoR-identical to in-process, resubmit fully cached)"
+  else
+    echo "serve smoke: FAIL" >&2
+  fi
+  return $_rc
+}
+
+if [ "$serve" = 1 ]; then
+  run_serve_smoke || failures="$failures serve_smoke"
+fi
 
 # google-benchmark microbenchmarks last (shorter repetitions).
 if [ "$run_stages" = 1 ]; then

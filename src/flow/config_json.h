@@ -1,0 +1,49 @@
+// config_json.h — FlowConfig as a machine-readable JSON object.
+//
+// The sweep service (`src/serve`) ships FlowConfigs over the wire as JSON:
+// a client submits a list of config objects, the daemon hands each one to a
+// forked worker, and the worker reconstructs the FlowConfig and runs the
+// flow.  This header is the write side (byte-deterministic, emitted with
+// the same JsonBuilder as every other artifact); the read side lives in
+// serve/config_codec.h because it reuses the strict parser from src/report
+// (which links *against* this library — flow cannot link back).
+//
+// Every member of FlowConfig is serialized, including the ones that do not
+// change PPA (threads, sink paths): the wire format is a faithful
+// round-trip, and the *worker* decides which fields to honor.  A
+// compile-time member census (kFlowConfigFieldCount) pins the struct shape:
+// adding a FlowConfig field breaks the build here until the serializer, the
+// parser, FlowConfig::label() and the round-trip test are revisited —
+// that's the guard against a new PPA-affecting knob silently aliasing two
+// cache keys (the service cache is keyed on label()).
+
+#pragma once
+
+#include <string>
+
+#include "flow/flow.h"
+
+namespace ffet::flow {
+
+class JsonBuilder;
+
+/// The number of data members FlowConfig currently has.  Checked against
+/// the real struct by a static_assert in config_json.cpp (aggregate
+/// brace-initializability census).  When this fails to compile you added or
+/// removed a field: update config_to_json, serve/config_codec's
+/// config_from_json, label() (if the field changes PPA), the
+/// FlowConfigJson tests in test_serve.cpp — and then this constant.
+inline constexpr int kFlowConfigFieldCount = 16;
+
+/// Append `cfg` as a JSON object ({"tech":"ffet",...}) to an open builder.
+void append_config_json(JsonBuilder& j, const FlowConfig& cfg);
+
+/// One compact JSON object for `cfg`; serializing the same config twice
+/// yields identical bytes (to_chars doubles, fixed field order).
+std::string config_to_json(const FlowConfig& cfg);
+
+/// A list of configs as a compact JSON array — the payload of a service
+/// sweep submission.
+std::string configs_to_json(const std::vector<FlowConfig>& cfgs);
+
+}  // namespace ffet::flow

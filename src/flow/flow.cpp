@@ -263,22 +263,16 @@ class StageClock {
 
 /// Append one flow-report line (see flow_report_json) to the sink named by
 /// FlowConfig::flow_report_path, or the FFET_FLOW_REPORT environment
-/// variable when the config leaves it empty.  A process-wide mutex keeps
-/// lines whole when sweep points finish concurrently.
+/// variable when the config leaves it empty.  obs::append_jsonl_line keeps
+/// lines whole across threads *and* processes (O_APPEND + one write) — the
+/// serve worker fleet appends to a shared sink from forked workers.
 void emit_flow_report(const FlowResult& res) {
   std::string path = res.config.flow_report_path;
   if (path.empty()) {
     if (const char* env = std::getenv("FFET_FLOW_REPORT")) path = env;
   }
   if (path.empty()) return;
-  const std::string line = flow_report_json(res);
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lk(mu);
-  if (std::FILE* f = std::fopen(path.c_str(), "ab")) {
-    std::fwrite(line.data(), 1, line.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-  }
+  obs::append_jsonl_line(path, flow_report_json(res));
 }
 
 std::string host_name() {
@@ -294,7 +288,9 @@ std::string host_name() {
 /// (FlowConfig::ledger_path / FFET_LEDGER, see resolve_ledger_path).  Runs
 /// strictly after the result is complete — the ledger can record but never
 /// influence a flow.  Creates the ledger's parent directory on first use
-/// (the default path lives under .ffet_ledger/).
+/// (the default path lives under .ffet_ledger/).  The append is
+/// multi-process-safe (O_APPEND, one write): serve workers from a forked
+/// fleet share one ledger file.
 void emit_ledger(const FlowResult& res, int threads) {
   const std::string path = resolve_ledger_path(res.config.ledger_path);
   if (path.empty()) return;
@@ -327,19 +323,7 @@ void emit_ledger(const FlowResult& res, int threads) {
   j.close_obj();
   j.close_obj();
 
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lk(mu);
-#if defined(FFET_FLOW_HAVE_UNISTD)
-  if (const auto slash = path.find_last_of('/');
-      slash != std::string::npos && slash > 0) {
-    ::mkdir(path.substr(0, slash).c_str(), 0777);  // best-effort, one level
-  }
-#endif
-  if (std::FILE* f = std::fopen(path.c_str(), "ab")) {
-    std::fwrite(line.data(), 1, line.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-  }
+  obs::append_jsonl_line(path, line);
 }
 
 }  // namespace

@@ -14,6 +14,16 @@
 // relaxed atomic load).  Enable with `obs::set_metrics(true)` or
 // `FFET_METRICS=1`; an FFET_METRICS value that names a file (anything other
 // than 0/1) additionally dumps the registry as JSON there at process exit.
+//
+// Instrument families by prefix (the registry itself is name-agnostic):
+//
+//   flow.*      per-point stage timings and sweep counters (src/flow)
+//   route.*     router convergence counters (src/pnr)
+//   pool.*      thread-pool queue depth / steals (src/runtime)
+//   resource.*  RSS / fault gauges (obs/resource via src/flow)
+//   serve.*     sweep-service daemon (src/serve): requests, points,
+//               cache_hits, cache_misses, single_flight_joins, flow_runs,
+//               worker_restarts, worker_deaths, retries; gauge queue_depth.
 
 #pragma once
 

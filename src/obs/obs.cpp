@@ -1,9 +1,19 @@
 #include "obs/obs.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <time.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define FFET_OBS_HAVE_UNISTD 1
+#endif
 
 namespace ffet::obs {
 
@@ -21,6 +31,50 @@ bool verbose() {
     return e != nullptr && *e != '\0' && std::string_view(e) != "0";
   }();
   return v;
+}
+
+bool append_jsonl_line(const std::string& path, std::string_view line,
+                       std::string* error) {
+  if (path.empty()) {
+    if (error) *error = "empty sink path";
+    return false;
+  }
+  // One contiguous record so the kernel-side O_APPEND write is all-or-
+  // nothing relative to other appenders (processes included).
+  std::string record;
+  record.reserve(line.size() + 1);
+  record.append(line);
+  record += '\n';
+#if defined(FFET_OBS_HAVE_UNISTD)
+  if (const std::size_t slash = path.find_last_of('/');
+      slash != std::string::npos && slash > 0) {
+    ::mkdir(path.substr(0, slash).c_str(), 0777);  // best effort, one level
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+  if (fd < 0) {
+    if (error) *error = "cannot open sink file: " + path;
+    return false;
+  }
+  ssize_t n;
+  do {
+    n = ::write(fd, record.data(), record.size());
+  } while (n < 0 && errno == EINTR);
+  ::close(fd);
+  const bool ok = n == static_cast<ssize_t>(record.size());
+  if (!ok && error) *error = "short write to sink file: " + path;
+  return ok;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) {
+    if (error) *error = "cannot open sink file: " + path;
+    return false;
+  }
+  const bool ok =
+      std::fwrite(record.data(), 1, record.size(), f) == record.size();
+  std::fclose(f);
+  if (!ok && error) *error = "short write to sink file: " + path;
+  return ok;
+#endif
 }
 
 double thread_cpu_ms() {

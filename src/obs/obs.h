@@ -46,6 +46,18 @@ bool verbose();
 /// parallel-stage speedups and lock waits are visible.
 double thread_cpu_ms();
 
+/// Append `line` + '\n' to the JSONL file at `path` so that the record
+/// stays whole even when *multiple processes* append concurrently: the file
+/// is opened with O_APPEND and the whole record (newline included) goes out
+/// in a single write(2), which POSIX makes atomic with respect to other
+/// O_APPEND writers for regular files.  Creates one parent directory level
+/// on first use.  This is the one writer behind every append-only sink
+/// (flow report, run ledger, serve cache journal) — a worker fleet of
+/// forked processes shares those files.  Returns false (and sets `error`
+/// when non-null) on open/short-write failure; never throws.
+bool append_jsonl_line(const std::string& path, std::string_view line,
+                       std::string* error = nullptr);
+
 namespace detail {
 void init_tracing_from_env();  // trace.cpp
 void init_metrics_from_env();  // metrics.cpp

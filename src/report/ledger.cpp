@@ -7,13 +7,9 @@
 #include <sstream>
 #include <string_view>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/stat.h>
-#define FFET_LEDGER_HAVE_MKDIR 1
-#endif
-
 #include "flow/report_json.h"  // flow::JsonBuilder
 #include "obs/numfmt.h"
+#include "obs/obs.h"  // append_jsonl_line (multi-process-safe append)
 #include "report/json.h"
 
 namespace ffet::report {
@@ -131,22 +127,10 @@ bool append_ledger_line(const std::string& path, const std::string& line,
     if (error) *error = "empty ledger path";
     return false;
   }
-#ifdef FFET_LEDGER_HAVE_MKDIR
-  const std::size_t slash = path.find_last_of('/');
-  if (slash != std::string::npos && slash > 0) {
-    ::mkdir(path.substr(0, slash).c_str(), 0777);  // best effort, one level
-  }
-#endif
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (!f) {
-    if (error) *error = "cannot open ledger file: " + path;
-    return false;
-  }
-  const bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
-                  std::fputc('\n', f) != EOF;
-  std::fclose(f);
-  if (!ok && error) *error = "short write to ledger file: " + path;
-  return ok;
+  // O_APPEND + a single write(2) of the whole record: concurrent appenders
+  // — including forked serve workers in other processes — cannot tear or
+  // interleave lines (see obs::append_jsonl_line).
+  return obs::append_jsonl_line(path, line, error);
 }
 
 std::vector<LedgerEntry> read_ledger(std::istream& is, ReadStats* stats) {

@@ -190,6 +190,12 @@ void apply_gate(Delta& d, const DiffOptions& o) {
 
 void push_delta(DiffReport& rep, Delta d, const DiffOptions& o) {
   apply_gate(d, o);
+  // QoR-identity mode: every delta that made it this far is on a compared
+  // (QoR) section, and exact equality is the contract.
+  if (o.qor_only && !d.regression) {
+    d.regression = true;
+    if (d.note.empty()) d.note = "QoR values differ (identity gate)";
+  }
   if (d.regression) ++rep.regressions;
   rep.deltas.push_back(std::move(d));
 }
@@ -243,9 +249,11 @@ void diff_pair(const FlowRecord& b, const FlowRecord& n, const DiffOptions& o,
   diff_maps(label, "diagnostics.", b.diagnostics, n.diagnostics, o, rep);
   diff_maps(label, "ppa.", b.ppa, n.ppa, o, rep);
   diff_maps(label, "eco.", b.eco, n.eco, o, rep);
-  diff_maps(label, "metrics.", b.metrics, n.metrics, o, rep);
-  diff_maps(label, "resource.", b.resource, n.resource, o, rep);
-  diff_maps(label, "extra.", b.extra, n.extra, o, rep);
+  if (!o.qor_only) {
+    diff_maps(label, "metrics.", b.metrics, n.metrics, o, rep);
+    diff_maps(label, "resource.", b.resource, n.resource, o, rep);
+    diff_maps(label, "extra.", b.extra, n.extra, o, rep);
+  }
 
   // Total wirelength carries the gate (one side may legitimately shrink
   // while the other grows — only the sum is a QoR).
@@ -259,25 +267,28 @@ void diff_pair(const FlowRecord& b, const FlowRecord& n, const DiffOptions& o,
   }
 
   // Stage timings: aggregate first (the gated number), then per-stage wall
-  // deltas matched by stage name (first occurrence wins).
-  if (b.total_wall_ms() != n.total_wall_ms()) {
-    push_delta(
-        rep,
-        {label, "stages.total_wall_ms", b.total_wall_ms(), n.total_wall_ms(),
-         false, ""},
-        o);
+  // deltas matched by stage name (first occurrence wins).  Skipped in
+  // QoR-identity mode — wall/CPU time is never QoR.
+  if (!o.qor_only) {
+    if (b.total_wall_ms() != n.total_wall_ms()) {
+      push_delta(
+          rep,
+          {label, "stages.total_wall_ms", b.total_wall_ms(), n.total_wall_ms(),
+           false, ""},
+          o);
+    }
+    if (b.total_cpu_ms() != n.total_cpu_ms()) {
+      push_delta(
+          rep,
+          {label, "stages.total_cpu_ms", b.total_cpu_ms(), n.total_cpu_ms(),
+           false, ""},
+          o);
+    }
+    std::map<std::string, double> b_stage, n_stage;
+    for (const StageTime& s : b.stages) b_stage.emplace(s.stage, s.wall_ms);
+    for (const StageTime& s : n.stages) n_stage.emplace(s.stage, s.wall_ms);
+    diff_maps(label, "stage_wall_ms.", b_stage, n_stage, o, rep);
   }
-  if (b.total_cpu_ms() != n.total_cpu_ms()) {
-    push_delta(
-        rep,
-        {label, "stages.total_cpu_ms", b.total_cpu_ms(), n.total_cpu_ms(),
-         false, ""},
-        o);
-  }
-  std::map<std::string, double> b_stage, n_stage;
-  for (const StageTime& s : b.stages) b_stage.emplace(s.stage, s.wall_ms);
-  for (const StageTime& s : n.stages) n_stage.emplace(s.stage, s.wall_ms);
-  diff_maps(label, "stage_wall_ms.", b_stage, n_stage, o, rep);
 
   // ECO accept-rule self-check on the new record: the transform loop must
   // never end slower than it started (the revert path's contract).

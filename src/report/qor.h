@@ -85,6 +85,14 @@ struct DiffOptions {
   double runtime_rise_pct = -1.0;  ///< total stage wall; off by default
   bool gate_drv = true;            ///< any DRV increase is a regression
   bool gate_validity = true;       ///< valid -> invalid is a regression
+  /// QoR-identity mode (the gate for results streamed back from the sweep
+  /// service): only config / validity / diagnostics / ppa / eco sections
+  /// are compared — stage timings, metrics, resource and unknown-field
+  /// sections are machine- and run-dependent and are skipped entirely —
+  /// and *any* surviving delta is a regression.  Two runs of the same
+  /// points pass iff they are bit-identical per point on everything that
+  /// is QoR.  `ffet_report diff --qor` sets this.
+  bool qor_only = false;
 };
 
 /// One changed metric between a paired base/new record.

@@ -1,0 +1,69 @@
+// cache.h — the daemon's persistent, content-addressed result cache.
+//
+// One flow run per distinct FlowConfig, ever: results are keyed on
+// FlowConfig::label() (the same string that keys the characterization
+// cache and the bench baselines — every PPA-changing knob is encoded in
+// it; see the member census in flow/config_json.h).  Each entry is one
+// file holding the point's flow-report line:
+//
+//   <dir>/<hh>/<fnv64 hex>.json        (hh = first two hash hex digits)
+//
+// The stored line carries its own "label" field, so a hash collision or a
+// stale file from a different schema is detected on read (label mismatch
+// -> miss) rather than served wrong.  Writes go through a temp file +
+// rename, so a daemon killed mid-store can never leave a torn entry — a
+// half-written temp file is simply never renamed in.  The in-memory index
+// (label -> line) is loaded by scanning the directory once at startup and
+// is write-through afterwards.
+//
+// Thread-safe; the single-flight layer above it (server.cpp) is what
+// guarantees *at most one* flow run per label even under concurrent
+// identical submissions — the cache itself only guarantees safe
+// concurrent lookup/store.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ffet::serve {
+
+/// FNV-1a 64-bit — the content address of a label.
+std::uint64_t fnv1a64(std::string_view s);
+
+class ResultCache {
+ public:
+  /// `dir` empty disables the cache (lookup always misses, store drops).
+  explicit ResultCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Scan the cache directory into the in-memory index.  Unreadable or
+  /// label-mismatched files are skipped (and counted); returns the number
+  /// of entries loaded.
+  int load_index();
+
+  /// The flow-report line cached for `label`, if any.
+  bool lookup(const std::string& label, std::string* line);
+
+  /// Persist `line` (one flow-report JSON line, no trailing newline) for
+  /// `label` and add it to the index.  Returns false on I/O failure — the
+  /// index is still updated so the running daemon stays consistent.
+  bool store(const std::string& label, const std::string& line);
+
+  int entries();
+  int skipped_files() const { return skipped_; }
+
+ private:
+  std::string entry_path(const std::string& label) const;
+
+  std::string dir_;
+  std::mutex mu_;
+  std::map<std::string, std::string> index_;  ///< label -> report line
+  int skipped_ = 0;
+};
+
+}  // namespace ffet::serve

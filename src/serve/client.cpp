@@ -1,0 +1,127 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include "flow/config_json.h"
+#include "report/json.h"
+#include "serve/protocol.h"
+
+namespace ffet::serve {
+
+namespace {
+
+/// RAII socket: every early return below must close the fd.
+struct Conn {
+  int fd = -1;
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+long long stat_field(const report::json::Value& obj, const char* key) {
+  const report::json::Value* v = obj.find(key);
+  return v && v->is_number() ? static_cast<long long>(v->number) : 0;
+}
+
+/// One-frame request / one-frame reply exchanges (ping, shutdown).
+bool simple_exchange(const std::string& socket_path, FrameType type,
+                     std::string* error) {
+  Conn c;
+  c.fd = connect_unix(socket_path, error);
+  if (c.fd < 0) return false;
+  if (!write_frame(c.fd, type, "")) {
+    if (error) *error = "write failed";
+    return false;
+  }
+  const auto reply = read_frame(c.fd);
+  if (!reply || reply->type != FrameType::kDone) {
+    if (error) {
+      *error = reply && reply->type == FrameType::kError
+                   ? reply->payload
+                   : std::string("daemon closed the connection");
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool submit_sweep(const std::string& socket_path,
+                  const std::vector<flow::FlowConfig>& configs,
+                  std::vector<ResultLine>* out, SubmitStats* stats,
+                  std::string* error) {
+  if (out) out->clear();
+  if (configs.empty()) {
+    if (error) *error = "empty sweep";
+    return false;
+  }
+  Conn c;
+  c.fd = connect_unix(socket_path, error);
+  if (c.fd < 0) return false;
+  if (!write_frame(c.fd, FrameType::kSubmit,
+                   flow::configs_to_json(configs))) {
+    if (error) *error = "submit write failed";
+    return false;
+  }
+  while (true) {
+    const auto frame = read_frame(c.fd);
+    if (!frame) {
+      if (error) *error = "daemon closed the connection mid-sweep";
+      return false;
+    }
+    if (frame->type == FrameType::kResult) {
+      ResultLine r;
+      std::uint32_t flags = 0;
+      if (!unpack_result(frame->payload, r.index, flags, r.line)) {
+        if (error) *error = "malformed result frame";
+        return false;
+      }
+      r.cached = (flags & kFlagCached) != 0;
+      r.joined = (flags & kFlagJoined) != 0;
+      r.retried = (flags & kFlagRetried) != 0;
+      r.worker_died = (flags & kFlagWorkerDied) != 0;
+      if (out) out->push_back(std::move(r));
+      continue;
+    }
+    if (frame->type == FrameType::kDone) {
+      if (stats) {
+        *stats = SubmitStats{};
+        if (const auto doc = report::json::parse(frame->payload);
+            doc && doc->is_object()) {
+          stats->points = stat_field(*doc, "points");
+          stats->cache_hits = stat_field(*doc, "cache_hits");
+          stats->joined = stat_field(*doc, "joined");
+          stats->ran = stat_field(*doc, "ran");
+          stats->retried = stat_field(*doc, "retried");
+          stats->worker_died = stat_field(*doc, "worker_died");
+        }
+      }
+      if (out && out->size() != configs.size()) {
+        if (error) {
+          *error = "daemon streamed " + std::to_string(out->size()) +
+                   " results for " + std::to_string(configs.size()) +
+                   " points";
+        }
+        return false;
+      }
+      return true;
+    }
+    if (error) {
+      *error = frame->type == FrameType::kError
+                   ? frame->payload
+                   : std::string("unexpected frame from daemon");
+    }
+    return false;
+  }
+}
+
+bool ping(const std::string& socket_path, std::string* error) {
+  return simple_exchange(socket_path, FrameType::kPing, error);
+}
+
+bool request_shutdown(const std::string& socket_path, std::string* error) {
+  return simple_exchange(socket_path, FrameType::kShutdown, error);
+}
+
+}  // namespace ffet::serve

@@ -1,0 +1,53 @@
+// client.h — the library half of `ffet_submit`.
+//
+// A thin synchronous client over protocol.h: connect to the daemon's Unix
+// socket, submit a sweep (a vector of FlowConfigs), collect the streamed
+// per-point result lines in order.  Used by the submit CLI, bench_serve
+// and the tests; keeping it a library means every caller exercises the
+// same framing code the daemon speaks.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+
+namespace ffet::serve {
+
+/// One streamed sweep-point result.
+struct ResultLine {
+  std::uint32_t index = 0;  ///< position in the submitted sweep
+  bool cached = false;      ///< served from the persistent cache
+  bool joined = false;      ///< deduped onto a concurrent identical point
+  bool retried = false;     ///< re-ran after a worker death, then passed
+  bool worker_died = false; ///< synthetic invalid line; all attempts died
+  std::string line;         ///< the ffet.flow_report.v1 JSON line
+};
+
+/// The daemon's kDone stats for one submission.
+struct SubmitStats {
+  long long points = 0;
+  long long cache_hits = 0;
+  long long joined = 0;
+  long long ran = 0;
+  long long retried = 0;
+  long long worker_died = 0;
+};
+
+/// Submit `configs` and collect every result line (daemon streams them in
+/// point order; `out` preserves that order).  False + `error` on connect,
+/// protocol or daemon-side (kError) failure.
+bool submit_sweep(const std::string& socket_path,
+                  const std::vector<flow::FlowConfig>& configs,
+                  std::vector<ResultLine>* out, SubmitStats* stats,
+                  std::string* error);
+
+/// Readiness probe: true once the daemon answers a kPing.
+bool ping(const std::string& socket_path, std::string* error = nullptr);
+
+/// Ask the daemon to exit its serve loop.
+bool request_shutdown(const std::string& socket_path,
+                      std::string* error = nullptr);
+
+}  // namespace ffet::serve

@@ -1,0 +1,183 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ffet::serve {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-frame
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool known_type(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(FrameType::kSubmit) &&
+         t <= static_cast<std::uint32_t>(FrameType::kJob);
+}
+
+bool fill_sockaddr(const std::string& path, sockaddr_un& addr,
+                   std::string* error) {
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    if (error) *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxPayload) return false;
+  std::string header;
+  header.reserve(8);
+  put_u32(header, static_cast<std::uint32_t>(type));
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  // Header + payload in one buffer: one write for small frames keeps the
+  // syscall count down on the worker hot path.
+  if (payload.size() <= 64 * 1024) {
+    header.append(payload);
+    return write_all(fd, header.data(), header.size());
+  }
+  return write_all(fd, header.data(), header.size()) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<Frame> read_frame(int fd) {
+  unsigned char header[8];
+  if (!read_all(fd, header, sizeof(header))) return std::nullopt;
+  const std::uint32_t type = get_u32(header);
+  const std::uint32_t length = get_u32(header + 4);
+  if (!known_type(type) || length > kMaxPayload) return std::nullopt;
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.payload.resize(length);
+  if (length > 0 && !read_all(fd, f.payload.data(), length)) {
+    return std::nullopt;
+  }
+  return f;
+}
+
+std::string pack_result(std::uint32_t index, std::uint32_t flags,
+                        std::string_view line) {
+  std::string out;
+  out.reserve(8 + line.size());
+  put_u32(out, index);
+  put_u32(out, flags);
+  out.append(line);
+  return out;
+}
+
+bool unpack_result(std::string_view payload, std::uint32_t& index,
+                   std::uint32_t& flags, std::string& line) {
+  if (payload.size() < 8) return false;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(payload.data());
+  index = get_u32(p);
+  flags = get_u32(p + 4);
+  line.assign(payload.substr(8));
+  return true;
+}
+
+std::string pack_job(std::uint32_t attempt, std::string_view config_json) {
+  std::string out;
+  out.reserve(4 + config_json.size());
+  put_u32(out, attempt);
+  out.append(config_json);
+  return out;
+}
+
+bool unpack_job(std::string_view payload, std::uint32_t& attempt,
+                std::string& config_json) {
+  if (payload.size() < 4) return false;
+  attempt = get_u32(reinterpret_cast<const unsigned char*>(payload.data()));
+  config_json.assign(payload.substr(4));
+  return true;
+}
+
+int listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_sockaddr(path, addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = "socket() failed";
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error) *error = "cannot bind " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) < 0) {
+    if (error) *error = "cannot listen on " + path;
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_sockaddr(path, addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = "socket() failed";
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error) {
+      *error = "cannot connect to " + path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace ffet::serve

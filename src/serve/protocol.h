@@ -1,0 +1,93 @@
+// protocol.h — the framed wire protocol of the sweep service.
+//
+// One daemon (`ffet_serve`) talks to clients over a Unix-domain stream
+// socket and to its forked workers over socketpairs, both with the same
+// length-prefixed framing:
+//
+//   [u32 type][u32 payload_length][payload bytes]     (little-endian)
+//
+// Client -> daemon:
+//   kSubmit    payload = JSON array of FlowConfig objects (config_json.h)
+//   kPing      empty; daemon answers kDone (readiness probe)
+//   kShutdown  empty; daemon answers kDone, then exits its accept loop
+//
+// Daemon -> client (per kSubmit, in sweep-point order):
+//   kResult    payload = [u32 index][u32 flags][flow-report line bytes]
+//   kDone      payload = JSON stats object (points, cache_hits, ...)
+//   kError     payload = human-readable message (request rejected)
+//
+// Daemon <-> worker (socketpair):
+//   kJob       payload = [u32 attempt][config JSON object bytes]
+//   kResult    payload = [u32 0][u32 0][flow-report line bytes]
+//
+// Frames are small (one flow-report line is ~2 kB), so reads/writes are
+// simple full-buffer loops; a peer that dies mid-frame surfaces as a short
+// read, which the daemon treats as worker/client death.  Payloads are
+// capped (kMaxPayload) so a corrupt header cannot make a reader allocate
+// gigabytes.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ffet::serve {
+
+enum class FrameType : std::uint32_t {
+  kSubmit = 1,
+  kResult = 2,
+  kDone = 3,
+  kError = 4,
+  kPing = 5,
+  kShutdown = 6,
+  kJob = 7,
+};
+
+/// Largest payload either side will accept (a submission of ~100k sweep
+/// points at ~300 B of config JSON each still fits).
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Flags carried in a kResult frame (bitmask).
+enum ResultFlag : std::uint32_t {
+  kFlagCached = 1u << 0,      ///< served from the persistent result cache
+  kFlagJoined = 1u << 1,      ///< joined an in-flight identical point
+  kFlagRetried = 1u << 2,     ///< first worker died; point re-ran and passed
+  kFlagWorkerDied = 1u << 3,  ///< all attempts died; line is synthetic
+};
+
+/// Write one frame to `fd`, looping over partial writes.  False on any
+/// write error (EPIPE when the peer is gone — callers must have SIGPIPE
+/// ignored, the daemon does this at start()).
+bool write_frame(int fd, FrameType type, std::string_view payload);
+
+/// Read one frame from `fd`.  nullopt on EOF, short read, oversized or
+/// unknown-type header — for the daemon every one of those means "peer is
+/// gone or corrupt", which is handled identically.
+std::optional<Frame> read_frame(int fd);
+
+/// Pack / unpack the [u32 index][u32 flags][line] result payload.
+std::string pack_result(std::uint32_t index, std::uint32_t flags,
+                        std::string_view line);
+bool unpack_result(std::string_view payload, std::uint32_t& index,
+                   std::uint32_t& flags, std::string& line);
+
+/// Pack / unpack the [u32 attempt][config JSON] job payload.
+std::string pack_job(std::uint32_t attempt, std::string_view config_json);
+bool unpack_job(std::string_view payload, std::uint32_t& attempt,
+                std::string& config_json);
+
+/// Create, bind and listen on a Unix-domain socket at `path` (unlinking a
+/// stale socket first).  Returns the listening fd or -1 (with `error`).
+int listen_unix(const std::string& path, std::string* error);
+
+/// Connect to the daemon's socket.  Returns the fd or -1.
+int connect_unix(const std::string& path, std::string* error);
+
+}  // namespace ffet::serve

@@ -1,0 +1,597 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "flow/config_json.h"
+#include "flow/flow.h"
+#include "flow/report_json.h"
+#include "obs/metrics.h"
+#include "serve/cache.h"
+#include "serve/config_codec.h"
+#include "serve/protocol.h"
+#include "serve/worker.h"
+
+namespace ffet::serve {
+
+namespace {
+
+/// Close every inherited fd except std{in,out,err} and `keep` — a freshly
+/// forked worker must not hold the listening socket, client connections or
+/// sibling socketpairs open (a held listen fd would keep the socket alive
+/// after the daemon exits; a held client fd would defeat EOF detection).
+void close_all_fds_except(int keep) {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d) {
+    const int dfd = ::dirfd(d);
+    std::vector<int> fds;
+    while (const dirent* e = ::readdir(d)) {
+      const int fd = std::atoi(e->d_name);
+      if (fd > 2 && fd != keep && fd != dfd) fds.push_back(fd);
+    }
+    ::closedir(d);
+    for (const int fd : fds) ::close(fd);
+    return;
+  }
+  for (int fd = 3; fd < 1024; ++fd) {
+    if (fd != keep) ::close(fd);
+  }
+}
+
+/// The synthetic flow-report line for a point whose worker died on every
+/// attempt: a valid()==false record whose invalid_reason names worker_died,
+/// so it flows through ffet_report / read_flow_reports like any other
+/// invalid point instead of poisoning the stream.  Never cached.
+std::string worker_died_line(const flow::FlowConfig& config, int attempts) {
+  flow::FlowResult res;
+  res.config = config;
+  res.invalid_reason =
+      "worker_died: worker process exited abnormally on all " +
+      std::to_string(attempts) + " attempt(s)";
+  return flow::flow_report_json(res);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  // ---- immutable after start() -------------------------------------------
+  ServeOptions opts;
+  int n_workers = 0;
+  ResultCache cache;
+
+  // ---- single-flight + job queue (guarded by mu) -------------------------
+  struct Flight {
+    bool done = false;
+    std::uint32_t flags = 0;  ///< ResultFlag bits of the *producing* run
+    std::string line;
+  };
+  struct Job {
+    std::string label;
+    std::string config_json;       ///< canonical (config_to_json) object
+    flow::FlowConfig config;       ///< for the synthetic worker_died line
+    std::shared_ptr<Flight> flight;
+  };
+  std::mutex mu;
+  std::condition_variable queue_cv;   ///< workers: a job or stop arrived
+  std::condition_variable flight_cv;  ///< clients: some flight completed
+  std::deque<Job> queue;
+  std::map<std::string, std::shared_ptr<Flight>> flights;  ///< label -> open
+  bool stopping = false;
+  bool shutdown_requested = false;
+  /// Set from a signal handler — the only member a handler may touch.
+  std::atomic<bool> signal_stop{false};
+
+  // ---- worker fleet ------------------------------------------------------
+  struct Slot {
+    pid_t pid = -1;
+    int fd = -1;
+  };
+  std::vector<Slot> slots;            ///< guarded by mu
+  std::vector<std::thread> monitors;  ///< one per slot
+
+  // ---- accept loop + clients ---------------------------------------------
+  int listen_fd = -1;
+  std::thread acceptor;
+  std::vector<std::thread> handlers;  ///< guarded by mu
+  std::set<int> client_fds;           ///< guarded by mu
+  bool started = false;
+  bool stopped = false;
+
+  ServeStats st;  ///< guarded by mu
+
+  explicit Impl(ServeOptions o) : opts(std::move(o)), cache(opts.cache_dir) {}
+
+  // ---- logging -----------------------------------------------------------
+  void logf(const char* fmt, ...) {
+    std::FILE* out = opts.log ? opts.log : stderr;
+    char ts[32];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    localtime_r(&now, &tm);
+    std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm);
+    std::fprintf(out, "[ffet_serve %s] ", ts);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(out, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', out);
+    std::fflush(out);
+  }
+
+  // ---- fleet management --------------------------------------------------
+  bool fork_worker(Slot& slot, std::string* error) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      if (error) *error = "socketpair failed: " + std::string(strerror(errno));
+      return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      if (error) *error = "fork failed: " + std::string(strerror(errno));
+      return false;
+    }
+    if (pid == 0) {
+      // Worker child.  Drop everything inherited except our pair end; the
+      // loop never returns.
+      close_all_fds_except(sv[1]);
+      worker_loop(sv[1]);
+    }
+    ::close(sv[1]);
+    slot.pid = pid;
+    slot.fd = sv[0];
+    return true;
+  }
+
+  /// Reap a dead worker and (unless stopping) put a fresh fork in its slot.
+  void replace_worker(int idx) {
+    Slot dead;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      dead = slots[idx];
+      slots[idx] = Slot{};
+    }
+    if (dead.fd >= 0) ::close(dead.fd);
+    int status = 0;
+    if (dead.pid > 0) ::waitpid(dead.pid, &status, 0);
+    const char* how = WIFSIGNALED(status) ? "signal" : "exit";
+    const int code = WIFSIGNALED(status) ? WTERMSIG(status)
+                                         : (WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++st.worker_deaths;
+      if (stopping) return;
+    }
+    FFET_METRIC_ADD("serve.worker_deaths", 1);
+    logf("worker %ld died (%s %d); forking replacement",
+         static_cast<long>(dead.pid), how, code);
+    Slot fresh;
+    std::string error;
+    if (!fork_worker(fresh, &error)) {
+      logf("worker respawn failed: %s", error.c_str());
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++st.worker_restarts;
+      slots[idx] = fresh;
+    }
+    FFET_METRIC_ADD("serve.worker_restarts", 1);
+    logf("worker %ld up in slot %d", static_cast<long>(fresh.pid), idx);
+  }
+
+  /// One monitor thread per worker slot: pop a job, run it on this slot's
+  /// worker, retrying once on a fresh worker if the process dies mid-point.
+  void monitor_loop(int idx) {
+    while (true) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        queue_cv.wait(lk, [&] { return stopping || !queue.empty(); });
+        if (stopping) return;
+        job = std::move(queue.front());
+        queue.pop_front();
+        FFET_METRIC_GAUGE_SET("serve.queue_depth",
+                          static_cast<double>(queue.size()));
+      }
+
+      std::uint32_t flags = 0;
+      std::string line;
+      bool ran = false;
+      int attempt = 0;
+      for (; attempt < std::max(1, opts.max_attempts); ++attempt) {
+        int fd = -1;
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          if (stopping) break;
+          fd = slots[idx].fd;
+        }
+        if (fd < 0) break;  // respawn failed earlier; fail the point
+        if (attempt > 0) {
+          std::lock_guard<std::mutex> lk(mu);
+          ++st.retries;
+        }
+        if (attempt > 0) FFET_METRIC_ADD("serve.retries", 1);
+        const bool sent = write_frame(
+            fd, FrameType::kJob,
+            pack_job(static_cast<std::uint32_t>(attempt), job.config_json));
+        std::optional<Frame> reply;
+        if (sent) reply = read_frame(fd);
+        if (!sent || !reply || reply->type != FrameType::kResult) {
+          // Short read / EPIPE: the worker process is gone (segfault, OOM
+          // kill, test SIGKILL).  Reap it, refresh the slot, maybe retry.
+          replace_worker(idx);
+          continue;
+        }
+        std::uint32_t ignored_index = 0, ignored_flags = 0;
+        if (!unpack_result(reply->payload, ignored_index, ignored_flags,
+                           line)) {
+          replace_worker(idx);
+          continue;
+        }
+        ran = true;
+        if (attempt > 0) flags |= kFlagRetried;
+        break;
+      }
+
+      if (ran) {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          ++st.flow_runs;
+        }
+        FFET_METRIC_ADD("serve.flow_runs", 1);
+        // Write-through to the persistent cache — only genuine results;
+        // a worker_died line must never mask a future successful run.
+        cache.store(job.label, line);
+      } else {
+        flags |= kFlagWorkerDied;
+        line = worker_died_line(job.config, std::max(1, opts.max_attempts));
+        logf("point failed on all attempts (worker_died): %s",
+             job.label.c_str());
+      }
+
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        job.flight->done = true;
+        job.flight->flags = flags;
+        job.flight->line = std::move(line);
+        flights.erase(job.label);
+      }
+      flight_cv.notify_all();
+    }
+  }
+
+  // ---- request handling --------------------------------------------------
+  /// Resolve one sweep point to a Flight (completed or pending) plus the
+  /// requester-side flags.  Exactly one resolve() per label schedules a
+  /// flow run; everyone else hits the cache or joins the open flight.
+  std::shared_ptr<Flight> resolve(const flow::FlowConfig& config,
+                                  std::uint32_t* req_flags) {
+    const std::string label = config.label();
+    *req_flags = 0;
+
+    std::string cached_line;
+    std::unique_lock<std::mutex> lk(mu);
+    // Cache lookup under mu: the check and the flight insertion must be
+    // one atomic step or two concurrent misses both schedule the point.
+    if (cache.lookup(label, &cached_line)) {
+      ++st.cache_hits;
+      lk.unlock();
+      FFET_METRIC_ADD("serve.cache_hits", 1);
+      auto f = std::make_shared<Flight>();
+      f->done = true;
+      f->flags = kFlagCached;
+      f->line = std::move(cached_line);
+      *req_flags = kFlagCached;
+      return f;
+    }
+    if (const auto it = flights.find(label); it != flights.end()) {
+      ++st.single_flight_joins;
+      lk.unlock();
+      FFET_METRIC_ADD("serve.single_flight_joins", 1);
+      *req_flags = kFlagJoined;
+      return it->second;
+    }
+    ++st.cache_misses;
+    auto f = std::make_shared<Flight>();
+    flights[label] = f;
+    queue.push_back(Job{label, flow::config_to_json(config), config, f});
+    FFET_METRIC_GAUGE_SET("serve.queue_depth", static_cast<double>(queue.size()));
+    lk.unlock();
+    FFET_METRIC_ADD("serve.cache_misses", 1);
+    queue_cv.notify_one();
+    return f;
+  }
+
+  void handle_submit(int fd, const std::string& payload) {
+    std::string error;
+    const auto configs = configs_from_json_text(payload, &error);
+    if (!configs) {
+      write_frame(fd, FrameType::kError, "bad submission: " + error);
+      return;
+    }
+    if (configs->empty()) {
+      write_frame(fd, FrameType::kError, "bad submission: empty sweep");
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++st.requests;
+      st.points += static_cast<long long>(configs->size());
+    }
+    FFET_METRIC_ADD("serve.requests", 1);
+    FFET_METRIC_ADD("serve.points", static_cast<long long>(configs->size()));
+    logf("submit: %zu point(s)", configs->size());
+
+    struct Pending {
+      std::shared_ptr<Flight> flight;
+      std::uint32_t req_flags = 0;
+    };
+    std::vector<Pending> pending(configs->size());
+    for (std::size_t i = 0; i < configs->size(); ++i) {
+      pending[i].flight = resolve((*configs)[i], &pending[i].req_flags);
+    }
+
+    // Stream results back in point order: workers complete out of order,
+    // but waiting on flight i before i+1 makes the reply deterministic.
+    long long hits = 0, joins = 0, runs = 0, retried = 0, died = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      std::string line;
+      std::uint32_t flags = 0;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        flight_cv.wait(lk, [&] {
+          return pending[i].flight->done || stopping;
+        });
+        if (!pending[i].flight->done) {
+          // Daemon is tearing down under us; answer what we can.
+          write_frame(fd, FrameType::kError, "daemon shutting down");
+          return;
+        }
+        line = pending[i].flight->line;
+        flags = pending[i].flight->flags | pending[i].req_flags;
+      }
+      if (flags & kFlagCached) ++hits;
+      if (flags & kFlagJoined) ++joins;
+      if (flags & kFlagRetried) ++retried;
+      if (flags & kFlagWorkerDied) ++died;
+      if (!(flags & (kFlagCached | kFlagJoined))) ++runs;
+      if (!write_frame(fd, FrameType::kResult,
+                       pack_result(static_cast<std::uint32_t>(i), flags,
+                                   line))) {
+        logf("client went away mid-stream (point %zu)", i);
+        return;  // flights keep running; their results stay cached
+      }
+    }
+
+    std::string stats_buf;
+    flow::JsonBuilder stats_json(stats_buf);
+    stats_json.open_obj();
+    stats_json.field("points", static_cast<long long>(pending.size()));
+    stats_json.field("cache_hits", hits);
+    stats_json.field("joined", joins);
+    stats_json.field("ran", runs);
+    stats_json.field("retried", retried);
+    stats_json.field("worker_died", died);
+    stats_json.close_obj();
+    write_frame(fd, FrameType::kDone, stats_buf);
+    logf("submit done: %lld cached, %lld joined, %lld ran, %lld died", hits,
+         joins, runs, died);
+  }
+
+  void handle_client(int fd) {
+    while (true) {
+      const auto frame = read_frame(fd);
+      if (!frame) break;
+      if (frame->type == FrameType::kSubmit) {
+        handle_submit(fd, frame->payload);
+      } else if (frame->type == FrameType::kPing) {
+        write_frame(fd, FrameType::kDone, "{}");
+      } else if (frame->type == FrameType::kShutdown) {
+        write_frame(fd, FrameType::kDone, "{}");
+        logf("shutdown requested by client");
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          shutdown_requested = true;
+        }
+        // wait() observes the flag and the daemon main calls stop();
+        // stopping from this thread would join ourselves.
+        flight_cv.notify_all();
+        break;
+      } else {
+        write_frame(fd, FrameType::kError, "unexpected frame type");
+        break;
+      }
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lk(mu);
+    client_fds.erase(fd);
+  }
+
+  void accept_loop() {
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listen fd closed by stop()
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      if (stopping) {
+        ::close(fd);
+        return;
+      }
+      client_fds.insert(fd);
+      handlers.emplace_back([this, fd] { handle_client(fd); });
+    }
+  }
+};
+
+Server::Server(ServeOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() { stop(); }
+
+int Server::resolve_workers(int requested) {
+  if (requested > 0) return std::min(requested, 64);
+  if (const char* env = std::getenv("FFET_WORKERS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return std::min(n, 64);
+  }
+  return 2;
+}
+
+bool Server::start(std::string* error) {
+  Impl& im = *impl_;
+  if (im.started) {
+    if (error) *error = "server already started";
+    return false;
+  }
+  // A client or worker that vanishes mid-write must surface as EPIPE, not
+  // kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  im.n_workers = resolve_workers(im.opts.workers);
+  if (im.cache.enabled()) {
+    const int loaded = im.cache.load_index();
+    im.logf("cache %s: %d entr%s loaded%s", im.cache.dir().c_str(), loaded,
+            loaded == 1 ? "y" : "ies",
+            im.cache.skipped_files() > 0 ? " (some files skipped)" : "");
+  } else {
+    im.logf("cache disabled");
+  }
+
+  im.listen_fd = listen_unix(im.opts.socket_path, error);
+  if (im.listen_fd < 0) return false;
+
+  // Fork the fleet BEFORE any request threads exist: each worker inherits
+  // only the daemon's quiescent state plus its own socketpair end.
+  im.slots.resize(static_cast<std::size_t>(im.n_workers));
+  for (int i = 0; i < im.n_workers; ++i) {
+    if (!im.fork_worker(im.slots[static_cast<std::size_t>(i)], error)) {
+      stop();
+      return false;
+    }
+  }
+  for (int i = 0; i < im.n_workers; ++i) {
+    im.monitors.emplace_back([this, i] { impl_->monitor_loop(i); });
+  }
+  im.acceptor = std::thread([this] { impl_->accept_loop(); });
+  im.started = true;
+  im.logf("listening on %s with %d worker(s)", im.opts.socket_path.c_str(),
+          im.n_workers);
+  return true;
+}
+
+void Server::wait() {
+  Impl& im = *impl_;
+  std::unique_lock<std::mutex> lk(im.mu);
+  // Polling interval exists only for signal_stop, which a signal handler
+  // sets without being able to notify the condition variable.
+  while (!im.shutdown_requested && !im.stopping &&
+         !im.signal_stop.load(std::memory_order_relaxed)) {
+    im.flight_cv.wait_for(lk, std::chrono::milliseconds(200));
+  }
+}
+
+void Server::request_stop_from_signal() {
+  impl_->signal_stop.store(true, std::memory_order_relaxed);
+}
+
+void Server::stop() {
+  Impl& im = *impl_;
+  if (!im.started || im.stopped) return;
+  im.stopped = true;
+
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.stopping = true;
+    // Unresolved flights stay !done; handlers woken below observe stopping
+    // and answer kError instead of hanging on them.
+    im.queue.clear();
+  }
+  im.queue_cv.notify_all();
+  im.flight_cv.notify_all();
+
+  // Unblock the acceptor and any handler blocked in read_frame.
+  if (im.listen_fd >= 0) {
+    ::shutdown(im.listen_fd, SHUT_RDWR);
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (const int fd : im.client_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (im.acceptor.joinable()) im.acceptor.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    handlers.swap(im.handlers);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+
+  // Retire the fleet: closing a worker's pair delivers EOF, the worker
+  // _exit(0)s, and the monitor (already stopped) leaves reaping to us.
+  std::vector<Impl::Slot> slots;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    slots = im.slots;
+    for (auto& s : im.slots) s = Impl::Slot{};
+  }
+  for (const auto& s : slots) {
+    if (s.fd >= 0) ::close(s.fd);
+  }
+  for (const auto& s : slots) {
+    if (s.pid > 0) ::waitpid(s.pid, nullptr, 0);
+  }
+  for (std::thread& t : im.monitors) {
+    if (t.joinable()) t.join();
+  }
+  im.monitors.clear();
+
+  ::unlink(im.opts.socket_path.c_str());
+  im.logf("stopped");
+}
+
+int Server::workers() const { return impl_->n_workers; }
+
+std::vector<pid_t> Server::worker_pids() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<pid_t> pids;
+  for (const auto& s : impl_->slots) {
+    if (s.pid > 0) pids.push_back(s.pid);
+  }
+  return pids;
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->st;
+}
+
+int Server::cache_entries() const { return impl_->cache.entries(); }
+
+}  // namespace ffet::serve

@@ -1,0 +1,86 @@
+#include "serve/worker.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "flow/flow.h"
+#include "flow/report_json.h"
+#include "serve/config_codec.h"
+#include "serve/protocol.h"
+
+namespace ffet::serve {
+
+namespace {
+
+/// Deterministic crash hooks for the crash-isolation tests:
+///   FFET_SERVE_TEST_CRASH=<substr>         SIGKILL ourselves mid-point on
+///                                          the *first* attempt of any
+///                                          label containing <substr> (the
+///                                          retry then succeeds);
+///   FFET_SERVE_TEST_CRASH_ALWAYS=<substr>  die on every attempt (the
+///                                          daemon must report the point
+///                                          as worker_died and survive).
+void maybe_crash(const std::string& label, std::uint32_t attempt) {
+  const char* once = std::getenv("FFET_SERVE_TEST_CRASH");
+  const char* always = std::getenv("FFET_SERVE_TEST_CRASH_ALWAYS");
+  const bool hit_once =
+      once && *once && attempt == 0 && label.find(once) != std::string::npos;
+  const bool hit_always =
+      always && *always && label.find(always) != std::string::npos;
+  if (hit_once || hit_always) {
+    ::raise(SIGKILL);  // indistinguishable from a real segfault/OOM kill
+  }
+}
+
+}  // namespace
+
+void worker_loop(int fd) {
+  // The daemon streams result lines back to clients itself; a worker
+  // appending to the process-wide report/trace sinks would duplicate every
+  // line.  The ledger stays on (per env) — its appends are multi-process-
+  // safe and "one ledger line per flow run" is exactly what a worker does.
+  ::unsetenv("FFET_FLOW_REPORT");
+  ::unsetenv("FFET_TRACE");
+
+  while (true) {
+    const auto frame = read_frame(fd);
+    if (!frame) _exit(0);  // daemon closed the pair: clean shutdown
+    if (frame->type != FrameType::kJob) _exit(1);
+
+    std::uint32_t attempt = 0;
+    std::string config_json;
+    if (!unpack_job(frame->payload, attempt, config_json)) _exit(1);
+
+    std::string error;
+    auto cfg = configs_from_json_text("[" + config_json + "]", &error);
+    if (!cfg || cfg->size() != 1) {
+      // The daemon validated the submission; a bad job here is a protocol
+      // bug, not a client error.  Die loudly — the daemon will flag the
+      // point rather than wedge.
+      _exit(1);
+    }
+    flow::FlowConfig config = (*cfg)[0];
+    // The fleet owns the parallelism: an auto-thread point would spawn one
+    // pool per worker times one worker per core.  Explicit requests are
+    // honored (mirrors flow::run_sweep's pin_point_threads).
+    if (config.threads == 0) config.threads = 1;
+    // Per-point sinks are daemon-side concerns; a worker writing trace
+    // files would race its siblings on one path.
+    config.trace_path.clear();
+    config.flow_report_path.clear();
+
+    maybe_crash(config.label(), attempt);
+
+    const flow::FlowResult res = flow::run_flow(config);
+    const std::string line = flow::flow_report_json(res);
+    if (!write_frame(fd, FrameType::kResult, pack_result(0, 0, line))) {
+      _exit(0);  // daemon went away mid-result
+    }
+  }
+}
+
+}  // namespace ffet::serve

@@ -1,0 +1,18 @@
+// worker.h — the forked worker's half of the service.
+//
+// Each worker is a fork of the daemon that loops on one socketpair fd:
+// read a kJob frame (a FlowConfig as JSON), run the full flow for it, and
+// answer with a kResult frame holding the point's flow-report line.  A
+// worker owns nothing shared — if the flow segfaults, OOMs, or the test
+// harness SIGKILLs it, only this process dies; the daemon reaps it with
+// waitpid, forks a replacement and retries the in-flight point.
+
+#pragma once
+
+namespace ffet::serve {
+
+/// The worker main loop.  Never returns: _exit(0) on daemon EOF, _exit(1)
+/// on a protocol error.  `fd` is the worker's end of the socketpair.
+[[noreturn]] void worker_loop(int fd);
+
+}  // namespace ffet::serve

@@ -15,6 +15,9 @@
 #include <cstdio>
 #include <fstream>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "flow/flow.h"
 #include "flow/report_json.h"
 #include "io/def.h"
@@ -752,6 +755,90 @@ TEST_F(ReportFlowTest, NetAttributionCoversRoutedDesign) {
   EXPECT_NE(detail.find(rep.nets.front().name), std::string::npos);
   EXPECT_NE(format_net_detail(rep, "no_such_net").find("not found"),
             std::string::npos);
+}
+
+// ------------------------------------------------- qor_only diff mode
+
+TEST(QorDiff, QorOnlyIgnoresTimingsButGatesQorExactly) {
+  // Two runs of the same point: identical QoR, different stage timings (a
+  // rerun never reproduces wall clocks).  The default diff surfaces the
+  // timing deltas; qor_only must report a clean pass — this is the mode
+  // the serve smoke uses to compare a daemon run against an in-process
+  // run.
+  flow::FlowResult a = make_result(1.2, 4000.0, 0, 0);
+  flow::FlowResult b = make_result(1.2, 4000.0, 0, 0);
+  b.stage_times = {{"floorplan", 2.5, 2.0}, {"route", 55.0, 50.0}};
+  const std::vector<FlowRecord> base = {record_of(a)};
+  const std::vector<FlowRecord> now = {record_of(b)};
+
+  EXPECT_FALSE(diff_flow_reports(base, now).deltas.empty());
+  DiffOptions qor;
+  qor.qor_only = true;
+  const DiffReport rep = diff_flow_reports(base, now, qor);
+  EXPECT_TRUE(rep.deltas.empty()) << format_diff(rep);
+  EXPECT_TRUE(rep.ok());
+
+  // A QoR drift far below the percent thresholds passes the default diff
+  // but fails qor_only: identity mode gates on exact equality.
+  flow::FlowResult c = make_result(1.2, 4002.0, 0, 0);  // +0.05 % power
+  const std::vector<FlowRecord> drifted = {record_of(c)};
+  EXPECT_TRUE(diff_flow_reports(base, drifted).ok());
+  EXPECT_FALSE(diff_flow_reports(base, drifted, qor).ok());
+}
+
+// ------------------------------------------- multi-process ledger appends
+
+TEST(Ledger, ForkedWritersInterleaveWithoutTearing) {
+  // The serve daemon's forked workers all append to one ledger file; each
+  // append must be one atomic O_APPEND write or concurrent lines shear
+  // into fragments.  Fork real processes (threads share the file table
+  // and would not exercise cross-process interleaving) and hammer one
+  // path.
+  const std::string dir = ::testing::TempDir() + "ffet_ledger_fork_test";
+  const std::string path = dir + "/ledger.jsonl";
+  std::remove(path.c_str());
+
+  constexpr int kWriters = 6;
+  constexpr int kLinesPerWriter = 40;
+  std::vector<pid_t> pids;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      for (int i = 0; i < kLinesPerWriter; ++i) {
+        LedgerEntry e = make_entry(1.0 + w, 1000.0 + i, 500.0, 0, 1);
+        e.label = "writer-" + std::to_string(w);
+        // Pad the line through real metrics so a torn write could not
+        // accidentally still parse.
+        for (int m = 0; m < 8; ++m) {
+          e.metrics["padding_metric_" + std::to_string(m)] = m * 1.25;
+        }
+        if (!append_ledger_line(path, ledger_entry_json(e))) _exit(2);
+      }
+      _exit(0);
+    }
+    pids.push_back(pid);
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  ReadStats stats;
+  std::string err;
+  const std::vector<LedgerEntry> entries = read_ledger_file(path, &stats, &err);
+  EXPECT_TRUE(err.empty());
+  EXPECT_EQ(stats.malformed, 0) << "a torn line means appends interleaved";
+  ASSERT_EQ(entries.size(),
+            static_cast<std::size_t>(kWriters * kLinesPerWriter));
+  std::map<std::string, int> per_writer;
+  for (const LedgerEntry& e : entries) ++per_writer[e.label];
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(per_writer["writer-" + std::to_string(w)], kLinesPerWriter);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
