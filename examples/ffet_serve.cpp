@@ -13,7 +13,8 @@
 //
 // Worker count: --workers beats FFET_WORKERS beats the default of 2.
 // SIGINT/SIGTERM (and a client's `ffet_submit --shutdown`) stop the daemon
-// cleanly: workers are retired via EOF and reaped, the socket unlinked.
+// cleanly: workers are retired via shutdown(2)+SIGTERM and reaped, the
+// socket unlinked.
 
 #include <csignal>
 #include <cstdio>

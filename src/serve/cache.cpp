@@ -31,6 +31,14 @@ std::string hash_hex(std::uint64_t h) {
   return buf;
 }
 
+/// First line of `path`, or empty when missing/unreadable.
+std::string read_first_line(const std::string& path) {
+  std::ifstream f(path);
+  std::string line;
+  if (!f || !std::getline(f, line)) return {};
+  return line;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view s) {
@@ -100,14 +108,28 @@ bool ResultCache::lookup(const std::string& label, std::string* line) {
 
 bool ResultCache::store(const std::string& label, const std::string& line) {
   if (!enabled()) return false;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    index_[label] = line;
-  }
-  const std::string path = entry_path(label);
-  const std::size_t slash = path.find_last_of('/');
+  // mu_ is held across the disk write too: two colliding labels probing
+  // suffixed paths concurrently must not pick the same file.  Stores are
+  // rare (one per completed flow run) so the brief lookup stall is fine.
+  std::lock_guard<std::mutex> lk(mu_);
+  index_[label] = line;
+  const std::string base = entry_path(label);
+  const std::size_t slash = base.find_last_of('/');
   ::mkdir(dir_.c_str(), 0777);
-  ::mkdir(path.substr(0, slash).c_str(), 0777);
+  ::mkdir(base.substr(0, slash).c_str(), 0777);
+  // An FNV-64 filename collision must not let this label's store clobber
+  // another label's entry: only overwrite a file that is unreadable or
+  // already carries this label, else probe "-1", "-2", ... suffixes.
+  // load_index keys by the label stored *inside* each file, so a suffixed
+  // entry is indexed exactly like a base one.
+  std::string path;
+  for (int i = 0; i < 16 && path.empty(); ++i) {
+    std::string cand = base;
+    if (i > 0) cand.insert(cand.size() - 5, "-" + std::to_string(i));
+    const std::string existing = read_first_line(cand);
+    if (existing.empty() || line_label(existing) == label) path = cand;
+  }
+  if (path.empty()) return false;  // 16 distinct labels on one hash
   // Temp-then-rename: the entry appears atomically or not at all.  The
   // temp name carries the pid so two daemons on one cache dir (unusual but
   // legal — rename is last-writer-wins on identical content) don't collide.

@@ -6,11 +6,15 @@
 // it; see the member census in flow/config_json.h).  Each entry is one
 // file holding the point's flow-report line:
 //
-//   <dir>/<hh>/<fnv64 hex>.json        (hh = first two hash hex digits)
+//   <dir>/<hh>/<fnv64 hex>[-N].json    (hh = first two hash hex digits)
 //
-// The stored line carries its own "label" field, so a hash collision or a
-// stale file from a different schema is detected on read (label mismatch
-// -> miss) rather than served wrong.  Writes go through a temp file +
+// The stored line carries its own "label" field, which is the source of
+// truth: load_index keys the index by it, and store never overwrites a
+// readable file carrying a *different* label — an FNV-64 filename
+// collision diverts to a "-1", "-2", ... suffixed sibling instead of
+// clobbering the other label's entry.  A stale or foreign file is
+// detected on read (no parseable label -> skipped) rather than served
+// wrong.  Writes go through a temp file +
 // rename, so a daemon killed mid-store can never leave a torn entry — a
 // half-written temp file is simply never renamed in.  The in-memory index
 // (label -> line) is loaded by scanning the directory once at startup and

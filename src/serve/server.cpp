@@ -18,7 +18,6 @@
 #include <vector>
 
 #include <csignal>
-#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -40,20 +39,15 @@ namespace {
 /// forked worker must not hold the listening socket, client connections or
 /// sibling socketpairs open (a held listen fd would keep the socket alive
 /// after the daemon exits; a held client fd would defeat EOF detection).
+/// Respawn forks happen from a monitor thread while other threads run, so
+/// the child side must stick to async-signal-safe calls here: a plain
+/// close() loop, no opendir/readdir (either may block on a lock a sibling
+/// thread held at fork time).
 void close_all_fds_except(int keep) {
-  DIR* d = ::opendir("/proc/self/fd");
-  if (d) {
-    const int dfd = ::dirfd(d);
-    std::vector<int> fds;
-    while (const dirent* e = ::readdir(d)) {
-      const int fd = std::atoi(e->d_name);
-      if (fd > 2 && fd != keep && fd != dfd) fds.push_back(fd);
-    }
-    ::closedir(d);
-    for (const int fd : fds) ::close(fd);
-    return;
-  }
-  for (int fd = 3; fd < 1024; ++fd) {
+  int max_fd = ::getdtablesize();
+  if (max_fd < 1024) max_fd = 1024;
+  if (max_fd > 65536) max_fd = 65536;
+  for (int fd = 3; fd < max_fd; ++fd) {
     if (fd != keep) ::close(fd);
   }
 }
@@ -154,7 +148,11 @@ struct Server::Impl {
     }
     if (pid == 0) {
       // Worker child.  Drop everything inherited except our pair end; the
-      // loop never returns.
+      // loop never returns.  A respawned child inherits the daemon's
+      // stop-requesting SIGTERM/SIGINT handlers — reset them so stop()'s
+      // SIGTERM actually terminates the worker.
+      ::signal(SIGTERM, SIG_DFL);
+      ::signal(SIGINT, SIG_DFL);
       close_all_fds_except(sv[1]);
       worker_loop(sv[1]);
     }
@@ -164,7 +162,10 @@ struct Server::Impl {
     return true;
   }
 
-  /// Reap a dead worker and (unless stopping) put a fresh fork in its slot.
+  /// Reap a dead worker and (unless stopping) put a fresh fork in its
+  /// slot, retrying with backoff on transient fork/socketpair failure — a
+  /// slot left with no worker would otherwise keep draining jobs it can
+  /// never run.  On return the slot is live unless the daemon is stopping.
   void replace_worker(int idx) {
     Slot dead;
     {
@@ -186,19 +187,45 @@ struct Server::Impl {
     FFET_METRIC_ADD("serve.worker_deaths", 1);
     logf("worker %ld died (%s %d); forking replacement",
          static_cast<long>(dead.pid), how, code);
-    Slot fresh;
-    std::string error;
-    if (!fork_worker(fresh, &error)) {
-      logf("worker respawn failed: %s", error.c_str());
-      return;
+    int delay_ms = 10;
+    while (true) {
+      Slot fresh;
+      std::string error;
+      if (fork_worker(fresh, &error)) {
+        bool discard = false;
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          if (stopping) {
+            discard = true;  // raced with stop(); nobody will retire it
+          } else {
+            ++st.worker_restarts;
+            slots[idx] = fresh;
+          }
+        }
+        if (discard) {
+          ::kill(fresh.pid, SIGTERM);
+          ::close(fresh.fd);
+          ::waitpid(fresh.pid, nullptr, 0);
+          return;
+        }
+        FFET_METRIC_ADD("serve.worker_restarts", 1);
+        logf("worker %ld up in slot %d", static_cast<long>(fresh.pid), idx);
+        return;
+      }
+      logf("worker respawn failed: %s (retry in %d ms)", error.c_str(),
+           delay_ms);
+      // Sleep in short slices so a concurrent stop() is never held up by
+      // the backoff.
+      for (int slept = 0; slept < delay_ms; slept += 50) {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          if (stopping) return;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min(50, delay_ms - slept)));
+      }
+      delay_ms = std::min(delay_ms * 2, 1000);
     }
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      ++st.worker_restarts;
-      slots[idx] = fresh;
-    }
-    FFET_METRIC_ADD("serve.worker_restarts", 1);
-    logf("worker %ld up in slot %d", static_cast<long>(fresh.pid), idx);
   }
 
   /// One monitor thread per worker slot: pop a job, run it on this slot's
@@ -224,10 +251,19 @@ struct Server::Impl {
         int fd = -1;
         {
           std::lock_guard<std::mutex> lk(mu);
-          if (stopping) break;
-          fd = slots[idx].fd;
+          fd = stopping ? -1 : slots[idx].fd;
         }
-        if (fd < 0) break;  // respawn failed earlier; fail the point
+        if (fd < 0) {
+          // Only possible when the daemon is stopping (replace_worker
+          // retries respawns until it succeeds or stop() begins): hand
+          // the job back instead of consuming and failing the point.
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            queue.push_front(std::move(job));
+          }
+          queue_cv.notify_one();
+          return;
+        }
         if (attempt > 0) {
           std::lock_guard<std::mutex> lk(mu);
           ++st.retries;
@@ -308,10 +344,14 @@ struct Server::Impl {
     }
     if (const auto it = flights.find(label); it != flights.end()) {
       ++st.single_flight_joins;
+      // Copy the shared_ptr while still holding mu: the producing monitor
+      // erases this map entry the moment the flight completes, so `it`
+      // must not be dereferenced after the unlock.
+      auto f = it->second;
       lk.unlock();
       FFET_METRIC_ADD("serve.single_flight_joins", 1);
       *req_flags = kFlagJoined;
-      return it->second;
+      return f;
     }
     ++st.cache_misses;
     auto f = std::make_shared<Flight>();
@@ -434,7 +474,7 @@ struct Server::Impl {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
-        return;  // listen fd closed by stop()
+        return;  // listen fd shut down by stop()
       }
       std::lock_guard<std::mutex> lk(mu);
       if (stopping) {
@@ -533,17 +573,20 @@ void Server::stop() {
   im.queue_cv.notify_all();
   im.flight_cv.notify_all();
 
-  // Unblock the acceptor and any handler blocked in read_frame.
-  if (im.listen_fd >= 0) {
-    ::shutdown(im.listen_fd, SHUT_RDWR);
-    ::close(im.listen_fd);
-    im.listen_fd = -1;
-  }
+  // Unblock the acceptor and any handler blocked in read_frame.  The
+  // listen fd is shutdown() now but close()d only after the acceptor is
+  // joined — the acceptor reads it unlocked, and closing early would both
+  // race that read and allow the fd number to be reused under it.
+  if (im.listen_fd >= 0) ::shutdown(im.listen_fd, SHUT_RDWR);
   {
     std::lock_guard<std::mutex> lk(im.mu);
     for (const int fd : im.client_fds) ::shutdown(fd, SHUT_RDWR);
   }
   if (im.acceptor.joinable()) im.acceptor.join();
+  if (im.listen_fd >= 0) {
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+  }
   std::vector<std::thread> handlers;
   {
     std::lock_guard<std::mutex> lk(im.mu);
@@ -553,8 +596,23 @@ void Server::stop() {
     if (t.joinable()) t.join();
   }
 
-  // Retire the fleet: closing a worker's pair delivers EOF, the worker
-  // _exit(0)s, and the monitor (already stopped) leaves reaping to us.
+  // Retire the fleet.  shutdown() first: unlike close() it wakes a
+  // monitor blocked in read_frame on the pair, and the worker end sees
+  // EOF; SIGTERM cuts short a worker mid-flow so the waitpid below never
+  // waits out a long point.  Monitors are joined BEFORE any slot fd is
+  // closed so a concurrently reused fd number can never be misrouted
+  // into worker I/O.
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (const auto& s : im.slots) {
+      if (s.fd >= 0) ::shutdown(s.fd, SHUT_RDWR);
+      if (s.pid > 0) ::kill(s.pid, SIGTERM);
+    }
+  }
+  for (std::thread& t : im.monitors) {
+    if (t.joinable()) t.join();
+  }
+  im.monitors.clear();
   std::vector<Impl::Slot> slots;
   {
     std::lock_guard<std::mutex> lk(im.mu);
@@ -567,10 +625,6 @@ void Server::stop() {
   for (const auto& s : slots) {
     if (s.pid > 0) ::waitpid(s.pid, nullptr, 0);
   }
-  for (std::thread& t : im.monitors) {
-    if (t.joinable()) t.join();
-  }
-  im.monitors.clear();
 
   ::unlink(im.opts.socket_path.c_str());
   im.logf("stopped");

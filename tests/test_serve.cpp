@@ -334,6 +334,42 @@ TEST(ResultCache, CorruptAndForeignFilesAreSkippedNotServed) {
   rm_rf(dir);
 }
 
+TEST(ResultCache, HashCollisionDoesNotClobberOtherLabel) {
+  const std::string dir = scratch("cache");
+  rm_rf(dir);
+  // Simulate an FNV-64 filename collision: plant label "other"'s entry at
+  // exactly the file store("victim") hashes to.
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(serve::fnv1a64("victim")));
+  const std::string sub = dir + "/" + std::string(hex, 2);
+  ASSERT_EQ(std::system(("mkdir -p '" + sub + "'").c_str()), 0);
+  const std::string other_line = "{\"label\":\"other\",\"x\":1}";
+  {
+    std::ofstream f(sub + "/" + hex + ".json");
+    f << other_line << "\n";
+  }
+  serve::ResultCache cache(dir);
+  EXPECT_EQ(cache.load_index(), 1);
+  const std::string victim_line = "{\"label\":\"victim\",\"x\":2}";
+  ASSERT_TRUE(cache.store("victim", victim_line));
+  // Both labels survive a daemon restart: the colliding store diverted to
+  // a suffixed sibling file instead of overwriting the other label.
+  serve::ResultCache fresh(dir);
+  EXPECT_EQ(fresh.load_index(), 2);
+  std::string got;
+  EXPECT_TRUE(fresh.lookup("other", &got));
+  EXPECT_EQ(got, other_line);
+  EXPECT_TRUE(fresh.lookup("victim", &got));
+  EXPECT_EQ(got, victim_line);
+  // Re-storing an already-diverted label updates its own file in place
+  // rather than growing a new suffix each time.
+  ASSERT_TRUE(fresh.store("victim", victim_line));
+  serve::ResultCache again(dir);
+  EXPECT_EQ(again.load_index(), 2);
+  rm_rf(dir);
+}
+
 TEST(ResultCache, DisabledCacheNeverHits) {
   serve::ResultCache cache("");
   EXPECT_FALSE(cache.enabled());
