@@ -26,6 +26,7 @@
 
 #include "bench_common.h"
 #include "report/qor.h"
+#include "report/serve_stats.h"
 #include "serve/client.h"
 #include "serve/server.h"
 
@@ -141,8 +142,31 @@ int main(int argc, char** argv) {
     serve::SubmitStats cold, warm;
     const double cold_s = run_once("cold", &cold_jsonl, &cold);
     const double warm_s = run_once("warm", &warm_jsonl, &warm);
+
+    // Live introspection: the snapshot must parse and its histograms must
+    // have seen the cold pass (every point crossed queue-wait and
+    // cache-probe at least once).
+    bool stats_ok = false;
+    {
+      std::string serr;
+      if (const auto snap =
+              report::parse_serve_stats(server.stats_json(), &serr)) {
+        stats_ok = snap->phases.count("queue_wait") != 0 &&
+                   snap->phases.at("queue_wait").count > 0 &&
+                   snap->phases.count("cache_probe") != 0 &&
+                   snap->phases.at("cache_probe").count > 0;
+        if (!stats_ok) {
+          std::printf("  [FAIL] %s stats: empty latency histograms\n",
+                      tag.c_str());
+        }
+      } else {
+        std::printf("  [FAIL] %s stats snapshot: %s\n", tag.c_str(),
+                    serr.c_str());
+      }
+    }
     server.stop();
     if (cold_s < 0 || warm_s < 0) return 1;
+    all_identical = all_identical && stats_ok;
 
     const bool cold_ok = qor_identical(baseline_jsonl, cold_jsonl, tag.c_str());
     const bool warm_ok = qor_identical(baseline_jsonl, warm_jsonl, tag.c_str());

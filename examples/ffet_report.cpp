@@ -27,12 +27,18 @@
 //       flow and run_benches.sh append to), optionally filtered to one
 //       label.
 //
-//   ffet_report trend [LABEL] [--ledger PATH] [--kind flow|bench]
+//   ffet_report trend [LABEL] [--ledger PATH] [--kind flow|bench|serve]
 //                     [--window N] [thresholds]
 //       Per-label time series over the ledger: for every (kind, label)
 //       group the latest run is gated against the median of the previous
 //       N runs (default 5) with the same thresholds as `diff`.  Exit 0 =
 //       no regression, 1 = regression, 2 = bad input.
+//
+//   ffet_report serve-stats FILE
+//       Pretty-print an ffet.serve_stats.v1 snapshot (the output of
+//       `ffet_submit --stats`; "-" reads stdin): daemon header, counters,
+//       per-phase latency table, per-worker slot lines.  Exit 0 = ok,
+//       2 = missing or malformed snapshot.
 //
 // Flow options (timing/nets): --tech ffet|cfet  --fm N  --bm N
 //   --backside-pins F  --util F  --freq F  --registers N  --eco N
@@ -41,6 +47,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -49,6 +56,7 @@
 #include "report/ledger.h"
 #include "report/net_report.h"
 #include "report/qor.h"
+#include "report/serve_stats.h"
 #include "report/snapshot.h"
 #include "report/timing_report.h"
 #include "sta/sta.h"
@@ -67,15 +75,16 @@ namespace {
       "       %s diff    [--mode flow|eco|router] [--qor] [--freq-drop PCT]\n"
       "                  [--power-rise PCT] [--wl-rise PCT] [--runtime-rise "
       "PCT] BASE NEW\n"
-      "       %s history [LABEL] [--ledger PATH] [--kind flow|bench]\n"
-      "       %s trend   [LABEL] [--ledger PATH] [--kind flow|bench]\n"
+      "       %s history [LABEL] [--ledger PATH] [--kind flow|bench|serve]\n"
+      "       %s trend   [LABEL] [--ledger PATH] [--kind flow|bench|serve]\n"
       "                  [--window N] [--freq-drop PCT] [--power-rise PCT]\n"
       "                  [--wl-rise PCT] [--runtime-rise PCT] [--rss-rise "
       "PCT]\n"
+      "       %s serve-stats FILE   (\"-\" reads stdin)\n"
       "       %s --version\n"
       "flow-opts: --tech ffet|cfet --fm N --bm N --backside-pins F --util F\n"
       "           --freq F --registers N --eco N --seed N --threads N\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -357,6 +366,41 @@ int cmd_history(ArgReader& args) {
   return 0;
 }
 
+int cmd_serve_stats(ArgReader& args) {
+  std::string path;
+  for (; args.i < args.argc; ++args.i) {
+    if (args.argv[args.i][0] == '-' && args.argv[args.i][1] == '-') {
+      usage(args.argv[0]);
+    } else if (path.empty()) {
+      path = args.argv[args.i];
+    } else {
+      usage(args.argv[0]);
+    }
+  }
+  if (path.empty()) usage(args.argv[0]);
+
+  std::string text;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else if (!read_file(path, text)) {
+    // Exit 2 on a missing file, matching diff's stderr/exit-code
+    // convention — a calling script must never mistake this for an empty
+    // but healthy snapshot.
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string err;
+  const auto snap = report::parse_serve_stats(text, &err);
+  if (!snap) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), err.c_str());
+    return 2;
+  }
+  std::fputs(report::format_serve_stats(*snap).c_str(), stdout);
+  return 0;
+}
+
 int cmd_trend(ArgReader& args) {
   LedgerArgs la;
   if (!parse_ledger_args(args, la, /*trend=*/true)) usage(args.argv[0]);
@@ -384,5 +428,6 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "diff")) return cmd_diff(args);
   if (!std::strcmp(argv[1], "history")) return cmd_history(args);
   if (!std::strcmp(argv[1], "trend")) return cmd_trend(args);
+  if (!std::strcmp(argv[1], "serve-stats")) return cmd_serve_stats(args);
   usage(argv[0]);
 }

@@ -9,15 +9,30 @@
 // runs zero flows.
 //
 //   ffet_serve [--socket PATH] [--workers N] [--cache DIR|none]
-//              [--log PATH] [--version]
+//              [--log PATH] [--trace PATH] [--attrib] [--ledger PATH]
+//              [--version]
 //
 // Worker count: --workers beats FFET_WORKERS beats the default of 2.
+//
+// Observability plane (all off by default):
+//   --trace PATH   write ONE merged Chrome trace at shutdown covering the
+//                  daemon and every worker process (real pids; workers ship
+//                  span files the daemon merges).  FFET_TRACE=<path> means
+//                  the same thing here — the daemon consumes the variable,
+//                  so the in-process atexit dump never clobbers the merge.
+//   --attrib       annotate every served flow_report line with a "serve"
+//                  latency object (queue/cache/run ms, retries, worker pid,
+//                  cache_hit) and append kind="serve" ledger lines.
+//                  FFET_SERVE_ATTRIB=1 is the env spelling.
+//   --ledger PATH  where those serve ledger lines go (defaults to the flow
+//                  ledger resolution: FFET_LEDGER or .ffet_ledger.jsonl).
 // SIGINT/SIGTERM (and a client's `ffet_submit --shutdown`) stop the daemon
 // cleanly: workers are retired via shutdown(2)+SIGTERM and reaped, the
 // socket unlinked.
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -40,9 +55,12 @@ void on_signal(int) {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--socket PATH] [--workers N] [--cache DIR|none]\n"
-               "       [--log PATH] [--version]\n"
+               "       [--log PATH] [--trace PATH] [--attrib] [--ledger "
+               "PATH] [--version]\n"
                "defaults: --socket .ffet_serve.sock --workers $FFET_WORKERS"
-               "|2 --cache .ffet_serve_cache\n",
+               "|2 --cache .ffet_serve_cache\n"
+               "env: FFET_TRACE=<path> == --trace   FFET_SERVE_ATTRIB=1 == "
+               "--attrib\n",
                argv0);
   std::exit(2);
 }
@@ -52,6 +70,14 @@ void on_signal(int) {
 int main(int argc, char** argv) {
   serve::ServeOptions opts;
   std::string log_path;
+  // The daemon owns FFET_TRACE: consume it into the merged-trace path and
+  // unset it, so neither the in-process atexit dump (which would overwrite
+  // the merge) nor a forked worker inherits it.  --trace beats the env.
+  if (const char* env_trace = std::getenv("FFET_TRACE");
+      env_trace != nullptr && *env_trace != '\0') {
+    opts.trace_path = env_trace;
+    ::unsetenv("FFET_TRACE");
+  }
   for (int i = 1; i < argc; ++i) {
     const auto need = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -70,6 +96,12 @@ int main(int argc, char** argv) {
       opts.cache_dir = v == "none" ? std::string() : v;
     } else if (!std::strcmp(argv[i], "--log")) {
       log_path = need("--log");
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      opts.trace_path = need("--trace");
+    } else if (!std::strcmp(argv[i], "--attrib")) {
+      opts.attribution = true;
+    } else if (!std::strcmp(argv[i], "--ledger")) {
+      opts.ledger_path = need("--ledger");
     } else if (!std::strcmp(argv[i], "--version")) {
       std::printf("ffet_serve %s\n", kVersion);
       return 0;

@@ -1,7 +1,8 @@
 // ffet_submit — client CLI for the ffet_serve sweep service.
 //
-//   ffet_submit [--socket PATH] [--out FILE] SWEEP
-//   ffet_submit --ping | --shutdown [--socket PATH]
+//   ffet_submit [--socket PATH] [--out FILE] [--trace-id ID] SWEEP
+//   ffet_submit --ping [--count N] | --shutdown [--socket PATH]
+//   ffet_submit --stats [--watch] [--socket PATH] [--out FILE]
 //
 // SWEEP is one of:
 //   --configs FILE     submit the JSON array of FlowConfig objects in FILE
@@ -20,13 +21,24 @@
 //   --expect-cached    exit 3 unless every point was served from the
 //                      daemon's cache (CI asserts the second submission of
 //                      an identical sweep runs zero flows)
+//   --trace-id ID      stamp the submission: the daemon names its request
+//                      span after ID so a merged cross-process trace ties
+//                      this client's points to their worker spans
+//   --ping             one round trip; prints the RTT in ms.  --count N
+//                      repeats N times and adds a min/avg/max summary
+//   --stats            fetch the daemon's live ffet.serve_stats.v1 JSON
+//                      snapshot (pretty-print with `ffet_report
+//                      serve-stats`); --watch re-polls every 2 s, one
+//                      snapshot line per poll, until the daemon goes away
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flow/flow.h"
@@ -42,14 +54,15 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--socket PATH] [--out FILE] [--configs FILE |"
-      " --fig8-quick | flow-opts]\n"
-      "       %s [--socket PATH] --ping | --shutdown\n"
+      "usage: %s [--socket PATH] [--out FILE] [--trace-id ID] [--configs "
+      "FILE | --fig8-quick | flow-opts]\n"
+      "       %s [--socket PATH] --ping [--count N] | --shutdown\n"
+      "       %s [--socket PATH] [--out FILE] --stats [--watch]\n"
       "       %s --version\n"
       "options: --local (run in-process, no daemon)   --expect-cached\n"
       "flow-opts: --tech ffet|cfet --fm N --bm N --backside-pins F --util F\n"
       "           --freq F --registers N --eco N --seed N --threads N\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -96,6 +109,10 @@ int main(int argc, char** argv) {
   bool expect_cached = false;
   bool do_ping = false;
   bool do_shutdown = false;
+  bool do_stats = false;
+  bool watch = false;
+  int ping_count = 1;
+  std::string trace_id;
   // Flow-opt overrides are applied on top of whatever SWEEP source is
   // chosen; `overridden` tracks whether they alone define a single point.
   flow::FlowConfig point;
@@ -133,8 +150,17 @@ int main(int argc, char** argv) {
       expect_cached = true;
     } else if (!std::strcmp(argv[i], "--ping")) {
       do_ping = true;
+    } else if (!std::strcmp(argv[i], "--count")) {
+      ping_count = std::atoi(need("--count"));
+      if (ping_count < 1) ping_count = 1;
     } else if (!std::strcmp(argv[i], "--shutdown")) {
       do_shutdown = true;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      do_stats = true;
+    } else if (!std::strcmp(argv[i], "--watch")) {
+      watch = true;
+    } else if (!std::strcmp(argv[i], "--trace-id")) {
+      trace_id = need("--trace-id");
     } else if (!std::strcmp(argv[i], "--version")) {
       std::printf("ffet_submit %s\n", kVersion);
       return 0;
@@ -192,16 +218,59 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (do_ping || do_shutdown) {
+  if (do_ping) {
+    double min_ms = 0.0, max_ms = 0.0, sum_ms = 0.0;
+    for (int n = 0; n < ping_count; ++n) {
+      std::string error;
+      double rtt_ms = 0.0;
+      if (!serve::ping(socket_path, &error, &rtt_ms)) {
+        std::fprintf(stderr, "ffet_submit: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("ping ok  rtt %.3f ms\n", rtt_ms);
+      if (n == 0 || rtt_ms < min_ms) min_ms = rtt_ms;
+      if (rtt_ms > max_ms) max_ms = rtt_ms;
+      sum_ms += rtt_ms;
+    }
+    if (ping_count > 1) {
+      std::printf("rtt min/avg/max = %.3f/%.3f/%.3f ms over %d ping(s)\n",
+                  min_ms, sum_ms / ping_count, max_ms, ping_count);
+    }
+    return 0;
+  }
+  if (do_shutdown) {
     std::string error;
-    const bool ok = do_ping ? serve::ping(socket_path, &error)
-                            : serve::request_shutdown(socket_path, &error);
-    if (!ok) {
+    if (!serve::request_shutdown(socket_path, &error)) {
       std::fprintf(stderr, "ffet_submit: %s\n", error.c_str());
       return 1;
     }
-    std::printf("%s ok\n", do_ping ? "ping" : "shutdown");
+    std::printf("shutdown ok\n");
     return 0;
+  }
+  if (do_stats) {
+    std::FILE* out = stdout;
+    if (!out_path.empty()) {
+      out = std::fopen(out_path.c_str(), "w");
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 2;
+      }
+    }
+    int rc = 0;
+    do {
+      std::string stats_json, error;
+      if (!serve::query_stats(socket_path, &stats_json, &error)) {
+        std::fprintf(stderr, "ffet_submit: %s\n", error.c_str());
+        rc = 1;
+        break;
+      }
+      std::fwrite(stats_json.data(), 1, stats_json.size(), out);
+      std::fputc('\n', out);
+      std::fflush(out);
+      if (watch) std::this_thread::sleep_for(std::chrono::seconds(2));
+    } while (watch);
+    if (out != stdout) std::fclose(out);
+    return rc;
   }
 
   // ---- assemble the sweep -------------------------------------------------
@@ -258,7 +327,8 @@ int main(int argc, char** argv) {
     std::vector<serve::ResultLine> results;
     serve::SubmitStats stats;
     std::string error;
-    if (!serve::submit_sweep(socket_path, sweep, &results, &stats, &error)) {
+    if (!serve::submit_sweep(socket_path, sweep, &results, &stats, &error,
+                             trace_id)) {
       std::fprintf(stderr, "ffet_submit: %s\n", error.c_str());
       if (out != stdout) std::fclose(out);
       return 1;

@@ -167,20 +167,28 @@ done
 # --serve: route the Fig. 8 --quick sweep through a local ffet_serve daemon
 # and gate on the service contract: per-point QoR identity with the
 # in-process run (ffet_report diff --qor must be empty) and a second
-# identical submission served 100% from the daemon's cache.  Artifacts:
-# serve_smoke_local.jsonl / serve_smoke_served{,2}.jsonl and the daemon log
-# serve_smoke_daemon.log (CI uploads them).  FFET_SERVE_SMOKE_OPTS can
-# shrink the workload (e.g. "--registers 8").
+# identical submission served 100% from the daemon's cache.  The daemon
+# runs with the full observability plane on: a merged cross-process Chrome
+# trace (serve_smoke_trace.json — must contain the daemon plus >=2 worker
+# pids), per-point latency attribution, and a live STATS snapshot
+# (serve_smoke_stats.json) that must parse through `ffet_report
+# serve-stats` and show at least one cache hit after the resubmission.
+# Artifacts: serve_smoke_local.jsonl / serve_smoke_served{,2}.jsonl, the
+# daemon log serve_smoke_daemon.log, trace and stats (CI uploads them).
+# FFET_SERVE_SMOKE_OPTS can shrink the workload (e.g. "--registers 8").
 run_serve_smoke() {
   echo ""
   echo "=== serve smoke: Fig. 8 --quick sweep through ffet_serve ==="
   _sock=".ffet_serve_smoke.sock"
   _cache=".ffet_serve_smoke_cache"
   _dlog="serve_smoke_daemon.log"
+  _strace="serve_smoke_trace.json"
+  _stats="serve_smoke_stats.json"
   rm -rf "$_cache"
-  rm -f "$_sock" "$_dlog"
+  rm -f "$_sock" "$_dlog" "$_strace" "$_stats"
   ./build/examples/ffet_serve --socket "$_sock" --cache "$_cache" \
-    --workers "${FFET_WORKERS:-2}" --log "$_dlog" &
+    --workers "${FFET_WORKERS:-2}" --log "$_dlog" \
+    --trace "$_strace" --attrib &
   _daemon=$!
   _up=0
   for _i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
@@ -197,21 +205,47 @@ run_serve_smoke() {
     return 1
   fi
   _rc=0
+  ./build/examples/ffet_submit --socket "$_sock" --ping --count 3 || _rc=1
   # shellcheck disable=SC2086  # OPTS is intentionally word-split
   ./build/examples/ffet_submit --local --fig8-quick ${FFET_SERVE_SMOKE_OPTS-} \
     --out serve_smoke_local.jsonl || _rc=1
   ./build/examples/ffet_submit --socket "$_sock" --fig8-quick \
-    ${FFET_SERVE_SMOKE_OPTS-} --out serve_smoke_served.jsonl || _rc=1
+    --trace-id serve-smoke ${FFET_SERVE_SMOKE_OPTS-} \
+    --out serve_smoke_served.jsonl || _rc=1
   # Second submission of the identical sweep: zero flow runs allowed.
   ./build/examples/ffet_submit --socket "$_sock" --fig8-quick \
-    ${FFET_SERVE_SMOKE_OPTS-} --expect-cached \
+    --trace-id serve-smoke-resubmit ${FFET_SERVE_SMOKE_OPTS-} --expect-cached \
     --out serve_smoke_served2.jsonl || _rc=1
   ./build/examples/ffet_report diff --mode flow --qor \
     serve_smoke_local.jsonl serve_smoke_served.jsonl || _rc=1
   ./build/examples/ffet_report diff --mode flow --qor \
     serve_smoke_local.jsonl serve_smoke_served2.jsonl || _rc=1
+  # Live stats: the snapshot must parse and the resubmission must have
+  # produced at least one cache hit.
+  ./build/examples/ffet_submit --socket "$_sock" --stats \
+    --out "$_stats" || _rc=1
+  ./build/examples/ffet_report serve-stats "$_stats" || _rc=1
+  if ! grep -q '"cache_hits":[1-9]' "$_stats"; then
+    echo "serve smoke: no cache hits in $_stats after resubmission" >&2
+    _rc=1
+  fi
   ./build/examples/ffet_submit --socket "$_sock" --shutdown || _rc=1
   wait "$_daemon" || _rc=1
+  # The merged trace is written at daemon shutdown: one file, real pids —
+  # the daemon plus at least two distinct worker processes.
+  if [ ! -s "$_strace" ]; then
+    echo "serve smoke: merged trace $_strace missing" >&2
+    _rc=1
+  else
+    _pids=$(tr ',' '\n' < "$_strace" | sed -n 's/.*"pid":\([0-9]*\).*/\1/p' \
+      | sort -u | wc -l)
+    if [ "$_pids" -lt 3 ]; then
+      echo "serve smoke: merged trace has $_pids pid(s), want >=3" >&2
+      _rc=1
+    else
+      echo "serve smoke: merged trace covers $_pids process(es)"
+    fi
+  fi
   if [ "$_rc" = 0 ]; then
     echo "serve smoke: PASS (QoR-identical to in-process, resubmit fully cached)"
   else

@@ -268,4 +268,28 @@ void write_flow_report(const FlowResult& result, std::ostream& os) {
   os << flow_report_json(result);
 }
 
+bool append_serve_report(std::string& line, const ServeAttribution& serve) {
+  // Find the closing brace of the report object (the line may carry a
+  // trailing newline); splice the serve object in front of it.
+  std::size_t end = line.find_last_of('}');
+  if (end == std::string::npos || line.find_first_of('{') == std::string::npos) {
+    return false;
+  }
+  std::string obj;
+  {
+    JsonBuilder j(obj);
+    j.open_obj();
+    j.field("queue_ms", serve.queue_ms);
+    j.field("cache_ms", serve.cache_ms);
+    j.field("run_ms", serve.run_ms);
+    j.field("retries", serve.retries);
+    j.field("worker_pid", serve.worker_pid);
+    j.field("cache_hit", serve.cache_hit);
+    j.close_obj();
+  }
+  const bool empty_obj = end > 0 && line[end - 1] == '{';
+  line.insert(end, (empty_obj ? "\"serve\":" : ",\"serve\":") + obj);
+  return true;
+}
+
 }  // namespace ffet::flow

@@ -106,4 +106,24 @@ std::string flow_report_json(const FlowResult& result);
 
 void write_flow_report(const FlowResult& result, std::ostream& os);
 
+/// Where a served point spent its time inside the sweep service: queued
+/// behind other points, probing the result cache, and running in a worker.
+/// Attached to the flow-report line by the daemon (never by run_flow), and
+/// only when attribution is enabled — lines are byte-identical to the
+/// unserved flow otherwise.
+struct ServeAttribution {
+  double queue_ms = 0.0;
+  double cache_ms = 0.0;
+  double run_ms = 0.0;
+  int retries = 0;
+  int worker_pid = 0;
+  bool cache_hit = false;
+};
+
+/// Inject `"serve":{...}` as the last member of an ffet.flow_report.v1
+/// line (string surgery before the closing brace — the daemon annotates
+/// worker-produced lines without re-serializing them).  Returns false and
+/// leaves `line` untouched when it does not look like a JSON object.
+bool append_serve_report(std::string& line, const ServeAttribution& serve);
+
 }  // namespace ffet::flow

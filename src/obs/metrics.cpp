@@ -108,6 +108,44 @@ void Histogram::observe(double v) {
   }
 }
 
+HistSnapshot Histogram::snapshot() const {
+  HistSnapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = s.count == 0 ? 0.0 : min();
+  s.max = s.count == 0 ? 0.0 : max();
+  s.buckets.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) s.buckets[i] = bucket(i);
+  return s;
+}
+
+double HistSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [0, count]; walk the cumulative bucket counts to the
+  // bucket containing it, then interpolate linearly inside the bucket.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  const int n = static_cast<int>(buckets.size());
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      const double lo = Histogram::bucket_lower_bound(i);
+      // The top bucket is open-ended; cap it at the observed max.
+      const double hi =
+          i + 1 < Histogram::kBuckets ? Histogram::bucket_lower_bound(i + 1)
+                                      : max;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      const double v = lo + frac * (hi > lo ? hi - lo : 0.0);
+      return std::clamp(v, min, max);
+    }
+    cum += c;
+  }
+  return max;
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

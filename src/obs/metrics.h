@@ -68,6 +68,24 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+/// One-moment copy of a Histogram's state, with quantile estimation over
+/// the log buckets (linear interpolation inside a bucket, clamped to the
+/// observed [min, max]).  Taken with Histogram::snapshot(); safe to read
+/// and serialize while the source histogram keeps recording.
+struct HistSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;  ///< 0 when empty
+  std::vector<std::uint64_t> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Estimated value at quantile q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+};
+
 /// Histogram over fixed base-2 log buckets.  Bucket i spans
 /// [2^(i-9), 2^(i-8)) — i.e. bucket 9 is [1, 2); bucket 0 additionally
 /// collects everything below 2^-8 (including zero and negatives), and the
@@ -97,6 +115,7 @@ class Histogram {
   std::uint64_t bucket(int i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  HistSnapshot snapshot() const;
   void reset();
 
  private:

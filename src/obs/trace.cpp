@@ -58,9 +58,27 @@ ThreadBuf& local_buf() {
   return *buf;
 }
 
-std::chrono::steady_clock::time_point trace_epoch() {
-  static const auto t0 = std::chrono::steady_clock::now();
-  return t0;
+std::uint64_t steady_raw_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Raw steady_clock ns of the trace epoch; 0 = not yet pinned.
+std::atomic<std::uint64_t> g_epoch_raw_ns{0};
+
+std::uint64_t trace_epoch() {
+  std::uint64_t e = g_epoch_raw_ns.load(std::memory_order_relaxed);
+  if (e == 0) {
+    std::uint64_t now = steady_raw_ns();
+    if (now == 0) now = 1;  // 0 means "unpinned"; never store it
+    if (g_epoch_raw_ns.compare_exchange_strong(e, now,
+                                               std::memory_order_relaxed)) {
+      e = now;
+    }
+  }
+  return e;
 }
 
 std::string& exit_dump_path() {
@@ -118,10 +136,15 @@ void set_thread_name(std::string name) {
 }
 
 std::uint64_t trace_now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - trace_epoch())
-          .count());
+  const std::uint64_t epoch = trace_epoch();
+  const std::uint64_t now = steady_raw_ns();
+  return now > epoch ? now - epoch : 0;
+}
+
+std::uint64_t trace_epoch_raw_ns() { return trace_epoch(); }
+
+void set_trace_epoch_raw_ns(std::uint64_t raw_ns) {
+  g_epoch_raw_ns.store(raw_ns == 0 ? 1 : raw_ns, std::memory_order_relaxed);
 }
 
 void record_span(std::string name, std::uint64_t start_ns,

@@ -40,6 +40,14 @@ void set_thread_name(std::string name);
 /// Monotonic nanoseconds since the process trace epoch.
 std::uint64_t trace_now_ns();
 
+/// The trace epoch as raw steady_clock (CLOCK_MONOTONIC) nanoseconds —
+/// pinned lazily on first use.  A parent process may pass this value to a
+/// forked child, which calls set_trace_epoch_raw_ns() so spans recorded in
+/// both processes share one timeline (steady_clock is machine-wide on
+/// Linux).  Setting the epoch does not rebase spans already recorded.
+std::uint64_t trace_epoch_raw_ns();
+void set_trace_epoch_raw_ns(std::uint64_t raw_ns);
+
 /// Append one complete span to the calling thread's lane.
 void record_span(std::string name, std::uint64_t start_ns,
                  std::uint64_t end_ns);

@@ -107,6 +107,8 @@ std::vector<FlowRecord> read_flow_reports(std::istream& is, ReadStats* stats) {
         read_number_map(v, rec.metrics, stats);
       } else if (key == "resource" && v.is_object()) {
         read_number_map(v, rec.resource, stats);
+      } else if (key == "serve" && v.is_object()) {
+        read_number_map(v, rec.serve, stats);
       } else if (key == "stages" && v.is_array()) {
         for (const json::Value& sv : v.items) {
           if (!sv.is_object()) continue;
@@ -252,6 +254,11 @@ void diff_pair(const FlowRecord& b, const FlowRecord& n, const DiffOptions& o,
   if (!o.qor_only) {
     diff_maps(label, "metrics.", b.metrics, n.metrics, o, rep);
     diff_maps(label, "resource.", b.resource, n.resource, o, rep);
+    // Serve attribution is service latency, not QoR: reported so drift is
+    // visible, never matched by a gate (apply_gate names no serve.*), and
+    // skipped entirely in --qor identity mode — a cached resubmit must
+    // compare clean against the run that produced it.
+    diff_maps(label, "serve.", b.serve, n.serve, o, rep);
     diff_maps(label, "extra.", b.extra, n.extra, o, rep);
   }
 

@@ -52,6 +52,7 @@ struct FlowRecord {
   std::map<std::string, double> eco;
   std::map<std::string, double> metrics;
   std::map<std::string, double> resource;  ///< peak RSS, faults, sizes
+  std::map<std::string, double> serve;  ///< sweep-service latency attribution
   std::map<std::string, double> extra;  ///< unknown numeric top-level fields
   std::vector<StageTime> stages;
 

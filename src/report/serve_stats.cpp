@@ -1,0 +1,175 @@
+#include "report/serve_stats.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "report/json.h"
+
+namespace ffet::report {
+
+namespace {
+
+bool set_error(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+  return false;
+}
+
+long long ll(const json::Value& obj, const char* key) {
+  return static_cast<long long>(obj.member_number(key, 0.0));
+}
+
+ServeStatsPhase parse_phase(const json::Value& h) {
+  ServeStatsPhase p;
+  p.count = ll(h, "count");
+  p.sum = h.member_number("sum");
+  p.min = h.member_number("min");
+  p.max = h.member_number("max");
+  p.mean = h.member_number("mean");
+  p.p50 = h.member_number("p50");
+  p.p95 = h.member_number("p95");
+  p.p99 = h.member_number("p99");
+  if (const json::Value* buckets = h.find("buckets");
+      buckets != nullptr && buckets->is_array()) {
+    for (const json::Value& b : buckets->items) {
+      if (!b.is_array() || b.items.size() != 2) continue;
+      p.buckets.emplace_back(
+          b.items[0].number_or(0.0),
+          static_cast<long long>(b.items[1].number_or(0.0)));
+    }
+  }
+  return p;
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                   sizeof(buf) - 1));
+}
+
+}  // namespace
+
+std::optional<ServeStatsSnapshot> parse_serve_stats(std::string_view text,
+                                                    std::string* error) {
+  std::string perr;
+  const auto doc = json::parse(text, &perr);
+  if (!doc) {
+    set_error(error, "malformed snapshot: " + perr);
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    set_error(error, "snapshot must be a JSON object");
+    return std::nullopt;
+  }
+  ServeStatsSnapshot snap;
+  if (const json::Value* schema = doc->find("schema");
+      schema != nullptr && schema->is_string()) {
+    snap.schema = schema->str;
+  }
+  if (snap.schema != "ffet.serve_stats.v1") {
+    set_error(error, "not an ffet.serve_stats.v1 snapshot (schema \"" +
+                         snap.schema + "\")");
+    return std::nullopt;
+  }
+  snap.pid = ll(*doc, "pid");
+  snap.uptime_ms = doc->member_number("uptime_ms");
+  snap.workers = static_cast<int>(doc->member_number("workers"));
+  snap.queue_depth = ll(*doc, "queue_depth");
+  snap.in_flight = ll(*doc, "in_flight");
+  snap.cache_entries = ll(*doc, "cache_entries");
+  if (const json::Value* counters = doc->find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [key, v] : counters->members) {
+      if (v.is_number()) snap.counters[key] = static_cast<long long>(v.number);
+    }
+  }
+  if (const json::Value* latency = doc->find("latency_ms");
+      latency != nullptr && latency->is_object()) {
+    for (const auto& [key, v] : latency->members) {
+      if (!v.is_object()) continue;
+      snap.phases[key] = parse_phase(v);
+      snap.phase_order.push_back(key);
+    }
+  }
+  if (const json::Value* slots = doc->find("worker_slots");
+      slots != nullptr && slots->is_array()) {
+    for (const json::Value& sv : slots->items) {
+      if (!sv.is_object()) continue;
+      ServeStatsSlot s;
+      s.slot = static_cast<int>(sv.member_number("slot"));
+      s.pid = ll(sv, "pid");
+      if (const json::Value* state = sv.find("state");
+          state != nullptr && state->is_string()) {
+        s.state = state->str;
+      }
+      if (const json::Value* point = sv.find("point");
+          point != nullptr && point->is_string()) {
+        s.point = point->str;
+      }
+      s.jobs = ll(sv, "jobs");
+      s.deaths = ll(sv, "deaths");
+      s.uptime_ms = sv.member_number("uptime_ms");
+      snap.slots.push_back(std::move(s));
+    }
+  }
+  return snap;
+}
+
+std::string format_serve_stats(const ServeStatsSnapshot& snap) {
+  std::string out;
+  appendf(out,
+          "ffet_serve pid %lld  up %.1f s  %d worker(s)  queue %lld  "
+          "in-flight %lld  cache %lld\n",
+          snap.pid, snap.uptime_ms / 1000.0, snap.workers, snap.queue_depth,
+          snap.in_flight, snap.cache_entries);
+
+  out += "counters:";
+  // Fixed narrative order first, then anything a newer daemon added.
+  static const char* kKnown[] = {
+      "requests",  "points",        "cache_hits",
+      "cache_misses", "single_flight_joins", "flow_runs",
+      "retries",   "worker_deaths", "worker_restarts",
+  };
+  for (const char* key : kKnown) {
+    if (const auto it = snap.counters.find(key); it != snap.counters.end()) {
+      appendf(out, " %s=%lld", key, it->second);
+    }
+  }
+  for (const auto& [key, v] : snap.counters) {
+    bool known = false;
+    for (const char* k : kKnown) known = known || key == k;
+    if (!known) appendf(out, " %s=%lld", key.c_str(), v);
+  }
+  out += '\n';
+
+  if (!snap.phase_order.empty()) {
+    appendf(out, "latency (ms)  %10s %10s %10s %10s %10s %10s\n", "count",
+            "mean", "p50", "p95", "p99", "max");
+    for (const std::string& key : snap.phase_order) {
+      const ServeStatsPhase& p = snap.phases.at(key);
+      appendf(out, "  %-12s%10lld %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+              key.c_str(), p.count, p.mean, p.p50, p.p95, p.p99, p.max);
+    }
+  }
+
+  for (const ServeStatsSlot& s : snap.slots) {
+    appendf(out, "worker slot %d: pid %lld %-7s jobs=%lld deaths=%lld up "
+            "%.1f s", s.slot, s.pid, s.state.c_str(), s.jobs, s.deaths,
+            s.uptime_ms / 1000.0);
+    if (!s.point.empty()) {
+      out += "  point ";
+      out += s.point;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ffet::report

@@ -1,0 +1,83 @@
+// serve_stats.h — reader + pretty printer for ffet.serve_stats.v1.
+//
+// The sweep-service daemon answers the kStats protocol verb with one JSON
+// snapshot of its live state (src/serve/server.h Server::stats_json).
+// `ffet_submit --stats` saves that snapshot raw; this is the read side:
+// a strict parse into a plain struct, and the human-readable rendering
+// behind `ffet_report serve-stats`.
+//
+// Schema of one snapshot:
+//
+//   {"schema":"ffet.serve_stats.v1","pid":...,"uptime_ms":...,
+//    "workers":...,"queue_depth":...,"in_flight":...,"cache_entries":...,
+//    "counters":{"requests":...,"points":...,"cache_hits":...,
+//                "cache_misses":...,"single_flight_joins":...,
+//                "flow_runs":...,"retries":...,"worker_deaths":...,
+//                "worker_restarts":...},
+//    "latency_ms":{"queue_wait":H,"cache_probe":H,"worker_run":H},
+//    "worker_slots":[{"slot":...,"pid":...,"state":"idle"|"running",
+//                     "point":...,"jobs":...,"deaths":...,"uptime_ms":...}]}
+//
+// where H = {"count":...,"sum":...,"min":...,"max":...,"mean":...,
+//            "p50":...,"p95":...,"p99":...,"buckets":[[lower_ms,count],...]}
+// (only non-empty histogram buckets are listed).
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ffet::report {
+
+struct ServeStatsPhase {
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::pair<double, long long>> buckets;  ///< (lower_ms, count)
+};
+
+struct ServeStatsSlot {
+  int slot = 0;
+  long long pid = 0;
+  std::string state;
+  std::string point;
+  long long jobs = 0;
+  long long deaths = 0;
+  double uptime_ms = 0.0;
+};
+
+struct ServeStatsSnapshot {
+  std::string schema;
+  long long pid = 0;
+  double uptime_ms = 0.0;
+  int workers = 0;
+  long long queue_depth = 0;
+  long long in_flight = 0;
+  long long cache_entries = 0;
+  std::map<std::string, long long> counters;
+  /// Keyed "queue_wait" / "cache_probe" / "worker_run" (document order of
+  /// the snapshot's latency_ms object is preserved in `phase_order`).
+  std::map<std::string, ServeStatsPhase> phases;
+  std::vector<std::string> phase_order;
+  std::vector<ServeStatsSlot> slots;
+};
+
+/// Parse one snapshot.  nullopt + `error` on malformed JSON or a schema
+/// other than ffet.serve_stats.v1.
+std::optional<ServeStatsSnapshot> parse_serve_stats(
+    std::string_view text, std::string* error = nullptr);
+
+/// Human-readable rendering: header line, counters, a per-phase latency
+/// table (count / mean / p50 / p95 / p99 / max), and one line per worker
+/// slot.
+std::string format_serve_stats(const ServeStatsSnapshot& snap);
+
+}  // namespace ffet::report

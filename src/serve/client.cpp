@@ -1,8 +1,11 @@
 #include "serve/client.h"
 
+#include <chrono>
+
 #include <unistd.h>
 
 #include "flow/config_json.h"
+#include "obs/numfmt.h"
 #include "report/json.h"
 #include "serve/protocol.h"
 
@@ -23,17 +26,27 @@ long long stat_field(const report::json::Value& obj, const char* key) {
   return v && v->is_number() ? static_cast<long long>(v->number) : 0;
 }
 
-/// One-frame request / one-frame reply exchanges (ping, shutdown).
+/// One-frame request / one-frame reply exchanges (ping, stats, shutdown).
+/// `reply_payload` receives the kDone payload; `rtt_ms` the write->reply
+/// round trip.
 bool simple_exchange(const std::string& socket_path, FrameType type,
-                     std::string* error) {
+                     std::string* error,
+                     std::string* reply_payload = nullptr,
+                     double* rtt_ms = nullptr) {
   Conn c;
   c.fd = connect_unix(socket_path, error);
   if (c.fd < 0) return false;
+  const auto t0 = std::chrono::steady_clock::now();
   if (!write_frame(c.fd, type, "")) {
     if (error) *error = "write failed";
     return false;
   }
-  const auto reply = read_frame(c.fd);
+  auto reply = read_frame(c.fd);
+  if (rtt_ms) {
+    *rtt_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  }
   if (!reply || reply->type != FrameType::kDone) {
     if (error) {
       *error = reply && reply->type == FrameType::kError
@@ -42,6 +55,7 @@ bool simple_exchange(const std::string& socket_path, FrameType type,
     }
     return false;
   }
+  if (reply_payload) *reply_payload = std::move(reply->payload);
   return true;
 }
 
@@ -50,7 +64,7 @@ bool simple_exchange(const std::string& socket_path, FrameType type,
 bool submit_sweep(const std::string& socket_path,
                   const std::vector<flow::FlowConfig>& configs,
                   std::vector<ResultLine>* out, SubmitStats* stats,
-                  std::string* error) {
+                  std::string* error, const std::string& trace_id) {
   if (out) out->clear();
   if (configs.empty()) {
     if (error) *error = "empty sweep";
@@ -59,8 +73,16 @@ bool submit_sweep(const std::string& socket_path,
   Conn c;
   c.fd = connect_unix(socket_path, error);
   if (c.fd < 0) return false;
-  if (!write_frame(c.fd, FrameType::kSubmit,
-                   flow::configs_to_json(configs))) {
+  std::string payload = flow::configs_to_json(configs);
+  if (!trace_id.empty()) {
+    std::string wrapped = "{\"trace_id\":\"";
+    obs::append_escaped(wrapped, trace_id);
+    wrapped += "\",\"configs\":";
+    wrapped += payload;
+    wrapped += '}';
+    payload = std::move(wrapped);
+  }
+  if (!write_frame(c.fd, FrameType::kSubmit, payload)) {
     if (error) *error = "submit write failed";
     return false;
   }
@@ -116,8 +138,15 @@ bool submit_sweep(const std::string& socket_path,
   }
 }
 
-bool ping(const std::string& socket_path, std::string* error) {
-  return simple_exchange(socket_path, FrameType::kPing, error);
+bool ping(const std::string& socket_path, std::string* error,
+          double* rtt_ms) {
+  return simple_exchange(socket_path, FrameType::kPing, error, nullptr,
+                         rtt_ms);
+}
+
+bool query_stats(const std::string& socket_path, std::string* stats_json,
+                 std::string* error) {
+  return simple_exchange(socket_path, FrameType::kStats, error, stats_json);
 }
 
 bool request_shutdown(const std::string& socket_path, std::string* error) {

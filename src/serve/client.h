@@ -37,14 +37,23 @@ struct SubmitStats {
 
 /// Submit `configs` and collect every result line (daemon streams them in
 /// point order; `out` preserves that order).  False + `error` on connect,
-/// protocol or daemon-side (kError) failure.
+/// protocol or daemon-side (kError) failure.  A non-empty `trace_id` stamps
+/// the submission (the daemon names its request span with it) — the
+/// payload then uses the {"trace_id":...,"configs":[...]} wrapper; empty
+/// keeps the PR 9 bare-array wire shape.
 bool submit_sweep(const std::string& socket_path,
                   const std::vector<flow::FlowConfig>& configs,
                   std::vector<ResultLine>* out, SubmitStats* stats,
-                  std::string* error);
+                  std::string* error, const std::string& trace_id = {});
 
-/// Readiness probe: true once the daemon answers a kPing.
-bool ping(const std::string& socket_path, std::string* error = nullptr);
+/// Readiness probe: true once the daemon answers a kPing.  When `rtt_ms`
+/// is non-null it receives the request->reply round-trip latency.
+bool ping(const std::string& socket_path, std::string* error = nullptr,
+          double* rtt_ms = nullptr);
+
+/// Fetch the daemon's live ffet.serve_stats.v1 snapshot (kStats verb).
+bool query_stats(const std::string& socket_path, std::string* stats_json,
+                 std::string* error = nullptr);
 
 /// Ask the daemon to exit its serve loop.
 bool request_shutdown(const std::string& socket_path,

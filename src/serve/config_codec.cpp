@@ -88,6 +88,29 @@ std::optional<flow::FlowConfig> config_from_json(const Value& obj,
   return cfg;
 }
 
+namespace {
+
+std::optional<std::vector<flow::FlowConfig>> configs_from_array(
+    const Value& arr, std::string* error) {
+  if (!arr.is_array()) {
+    set_error(error, "submission must be a JSON array of config objects");
+    return std::nullopt;
+  }
+  std::vector<flow::FlowConfig> out;
+  out.reserve(arr.items.size());
+  for (std::size_t i = 0; i < arr.items.size(); ++i) {
+    auto cfg = config_from_json(arr.items[i], error);
+    if (!cfg) {
+      if (error) *error = "point " + std::to_string(i) + ": " + *error;
+      return std::nullopt;
+    }
+    out.push_back(std::move(*cfg));
+  }
+  return out;
+}
+
+}  // namespace
+
 std::optional<std::vector<flow::FlowConfig>> configs_from_json_text(
     std::string_view text, std::string* error) {
   std::string perr;
@@ -96,21 +119,53 @@ std::optional<std::vector<flow::FlowConfig>> configs_from_json_text(
     set_error(error, "malformed submission: " + perr);
     return std::nullopt;
   }
-  if (!doc->is_array()) {
-    set_error(error, "submission must be a JSON array of config objects");
+  return configs_from_array(*doc, error);
+}
+
+std::optional<Submission> submission_from_json_text(std::string_view text,
+                                                    std::string* error) {
+  std::string perr;
+  const auto doc = report::json::parse(text, &perr);
+  if (!doc) {
+    set_error(error, "malformed submission: " + perr);
     return std::nullopt;
   }
-  std::vector<flow::FlowConfig> out;
-  out.reserve(doc->items.size());
-  for (std::size_t i = 0; i < doc->items.size(); ++i) {
-    auto cfg = config_from_json(doc->items[i], error);
-    if (!cfg) {
-      if (error) *error = "point " + std::to_string(i) + ": " + *error;
+  Submission sub;
+  if (doc->is_array()) {
+    auto cfgs = configs_from_array(*doc, error);
+    if (!cfgs) return std::nullopt;
+    sub.configs = std::move(*cfgs);
+    return sub;
+  }
+  if (!doc->is_object()) {
+    set_error(error, "submission must be a JSON array or wrapper object");
+    return std::nullopt;
+  }
+  const Value* configs = nullptr;
+  for (const auto& [key, v] : doc->members) {
+    if (key == "trace_id") {
+      if (!v.is_string()) {
+        set_error(error, "submission \"trace_id\" must be a string");
+        return std::nullopt;
+      }
+      sub.trace_id = v.str;
+    } else if (key == "configs") {
+      configs = &v;
+    } else {
+      // Same strictness as config fields: an unknown wrapper key is a
+      // protocol mismatch, not something to silently drop.
+      set_error(error, "unknown submission field \"" + key + "\"");
       return std::nullopt;
     }
-    out.push_back(std::move(*cfg));
   }
-  return out;
+  if (configs == nullptr) {
+    set_error(error, "submission wrapper is missing \"configs\"");
+    return std::nullopt;
+  }
+  auto cfgs = configs_from_array(*configs, error);
+  if (!cfgs) return std::nullopt;
+  sub.configs = std::move(*cfgs);
+  return sub;
 }
 
 }  // namespace ffet::serve

@@ -31,4 +31,15 @@ std::optional<flow::FlowConfig> config_from_json(
 std::optional<std::vector<flow::FlowConfig>> configs_from_json_text(
     std::string_view text, std::string* error = nullptr);
 
+/// A parsed kSubmit payload.  Both wire shapes are accepted: the bare
+/// config array of PR 9 clients, and the {"trace_id":"...","configs":[...]}
+/// wrapper a tracing client sends to stamp the submission.
+struct Submission {
+  std::string trace_id;  ///< empty when the client sent a bare array
+  std::vector<flow::FlowConfig> configs;
+};
+
+std::optional<Submission> submission_from_json_text(
+    std::string_view text, std::string* error = nullptr);
+
 }  // namespace ffet::serve

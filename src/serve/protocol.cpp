@@ -56,7 +56,17 @@ std::uint32_t get_u32(const unsigned char* p) {
 
 bool known_type(std::uint32_t t) {
   return t >= static_cast<std::uint32_t>(FrameType::kSubmit) &&
-         t <= static_cast<std::uint32_t>(FrameType::kJob);
+         t <= static_cast<std::uint32_t>(FrameType::kStats);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
 }
 
 bool fill_sockaddr(const std::string& path, sockaddr_un& addr,
@@ -124,19 +134,31 @@ bool unpack_result(std::string_view payload, std::uint32_t& index,
   return true;
 }
 
-std::string pack_job(std::uint32_t attempt, std::string_view config_json) {
+std::string pack_job(std::uint32_t attempt, std::string_view config_json,
+                     std::uint64_t trace_epoch_raw_ns,
+                     std::string_view span_path) {
   std::string out;
-  out.reserve(4 + config_json.size());
+  out.reserve(16 + config_json.size() + span_path.size());
   put_u32(out, attempt);
+  put_u64(out, trace_epoch_raw_ns);
+  put_u32(out, static_cast<std::uint32_t>(config_json.size()));
   out.append(config_json);
+  out.append(span_path);
   return out;
 }
 
 bool unpack_job(std::string_view payload, std::uint32_t& attempt,
-                std::string& config_json) {
-  if (payload.size() < 4) return false;
-  attempt = get_u32(reinterpret_cast<const unsigned char*>(payload.data()));
-  config_json.assign(payload.substr(4));
+                std::string& config_json, std::uint64_t& trace_epoch_raw_ns,
+                std::string& span_path) {
+  if (payload.size() < 16) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(payload.data());
+  attempt = get_u32(p);
+  trace_epoch_raw_ns = get_u64(p + 4);
+  const std::uint32_t cfg_len = get_u32(p + 12);
+  if (payload.size() - 16 < cfg_len) return false;
+  config_json.assign(payload.substr(16, cfg_len));
+  span_path.assign(payload.substr(16 + cfg_len));
   return true;
 }
 

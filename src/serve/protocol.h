@@ -7,8 +7,12 @@
 //   [u32 type][u32 payload_length][payload bytes]     (little-endian)
 //
 // Client -> daemon:
-//   kSubmit    payload = JSON array of FlowConfig objects (config_json.h)
+//   kSubmit    payload = JSON array of FlowConfig objects (config_json.h),
+//              or {"trace_id":"...","configs":[...]} when the client stamps
+//              the submission with a trace id (see config_codec.h)
 //   kPing      empty; daemon answers kDone (readiness probe)
+//   kStats     empty; daemon answers kDone with an ffet.serve_stats.v1
+//              JSON snapshot (live introspection, never blocks on work)
 //   kShutdown  empty; daemon answers kDone, then exits its accept loop
 //
 // Daemon -> client (per kSubmit, in sweep-point order):
@@ -17,7 +21,9 @@
 //   kError     payload = human-readable message (request rejected)
 //
 // Daemon <-> worker (socketpair):
-//   kJob       payload = [u32 attempt][config JSON object bytes]
+//   kJob       payload = [u32 attempt][u64 trace_epoch_raw_ns]
+//              [u32 config_length][config JSON][span file path bytes];
+//              epoch/span path are zero/empty when tracing is off
 //   kResult    payload = [u32 0][u32 0][flow-report line bytes]
 //
 // Frames are small (one flow-report line is ~2 kB), so reads/writes are
@@ -43,6 +49,7 @@ enum class FrameType : std::uint32_t {
   kPing = 5,
   kShutdown = 6,
   kJob = 7,
+  kStats = 8,
 };
 
 /// Largest payload either side will accept (a submission of ~100k sweep
@@ -78,10 +85,16 @@ std::string pack_result(std::uint32_t index, std::uint32_t flags,
 bool unpack_result(std::string_view payload, std::uint32_t& index,
                    std::uint32_t& flags, std::string& line);
 
-/// Pack / unpack the [u32 attempt][config JSON] job payload.
-std::string pack_job(std::uint32_t attempt, std::string_view config_json);
+/// Pack / unpack the job payload.  `trace_epoch_raw_ns` is the daemon's
+/// trace epoch (obs::trace_epoch_raw_ns()) and `span_path` the file the
+/// worker must dump its spans to after the job; both zero/empty when the
+/// job is untraced.
+std::string pack_job(std::uint32_t attempt, std::string_view config_json,
+                     std::uint64_t trace_epoch_raw_ns = 0,
+                     std::string_view span_path = {});
 bool unpack_job(std::string_view payload, std::uint32_t& attempt,
-                std::string& config_json);
+                std::string& config_json, std::uint64_t& trace_epoch_raw_ns,
+                std::string& span_path);
 
 /// Create, bind and listen on a Unix-domain socket at `path` (unlinking a
 /// stale socket first).  Returns the listening fd or -1 (with `error`).

@@ -19,6 +19,7 @@
 
 #include <csignal>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -26,9 +27,12 @@
 #include "flow/flow.h"
 #include "flow/report_json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "report/ledger.h"
 #include "serve/cache.h"
 #include "serve/config_codec.h"
 #include "serve/protocol.h"
+#include "serve/tracemerge.h"
 #include "serve/worker.h"
 
 namespace ffet::serve {
@@ -65,6 +69,49 @@ std::string worker_died_line(const flow::FlowConfig& config, int attempts) {
   return flow::flow_report_json(res);
 }
 
+enum class LogLevel { kInfo, kWarn, kError };
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    default:
+      return "info";
+  }
+}
+
+/// Serialize one phase histogram into an open "latency_ms" object:
+///   "<key>":{"count":..,"sum":..,"min":..,"max":..,"mean":..,
+///            "p50":..,"p95":..,"p99":..,"buckets":[[lower_ms,count],...]}
+/// Only non-empty buckets are listed — 32 mostly-zero pairs per phase
+/// would dwarf the rest of the snapshot.
+void append_hist_json(std::string& out, flow::JsonBuilder& j, const char* key,
+                      const obs::HistSnapshot& h) {
+  j.open_nested(key);
+  j.field("count", static_cast<long long>(h.count));
+  j.field("sum", h.sum);
+  j.field("min", h.min);
+  j.field("max", h.max);
+  j.field("mean", h.mean());
+  j.field("p50", h.quantile(0.50));
+  j.field("p95", h.quantile(0.95));
+  j.field("p99", h.quantile(0.99));
+  j.open_array("buckets");
+  for (int i = 0; i < static_cast<int>(h.buckets.size()); ++i) {
+    if (h.buckets[i] == 0) continue;
+    j.element();
+    out += '[';
+    obs::append_double(out, obs::Histogram::bucket_lower_bound(i));
+    out += ',';
+    out += std::to_string(h.buckets[i]);
+    out += ']';
+  }
+  j.close_array();
+  j.close_obj();
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -78,12 +125,18 @@ struct Server::Impl {
     bool done = false;
     std::uint32_t flags = 0;  ///< ResultFlag bits of the *producing* run
     std::string line;
+    // Latency attribution of the producing run (zero for cached flights).
+    double queue_ms = 0.0;
+    double run_ms = 0.0;
+    int retries = 0;
+    int worker_pid = 0;
   };
   struct Job {
     std::string label;
     std::string config_json;       ///< canonical (config_to_json) object
     flow::FlowConfig config;       ///< for the synthetic worker_died line
     std::shared_ptr<Flight> flight;
+    std::uint64_t enqueue_ns = 0;  ///< trace-epoch clock, for queue-wait
   };
   std::mutex mu;
   std::condition_variable queue_cv;   ///< workers: a job or stop arrived
@@ -99,6 +152,10 @@ struct Server::Impl {
   struct Slot {
     pid_t pid = -1;
     int fd = -1;
+    std::uint64_t spawn_ns = 0;  ///< trace-epoch clock at fork
+    long long jobs = 0;          ///< jobs completed, cumulative per slot
+    long long deaths = 0;        ///< worker deaths, cumulative per slot
+    std::string running;         ///< label of the in-flight point, "" = idle
   };
   std::vector<Slot> slots;            ///< guarded by mu
   std::vector<std::thread> monitors;  ///< one per slot
@@ -113,17 +170,37 @@ struct Server::Impl {
 
   ServeStats st;  ///< guarded by mu
 
+  // ---- observability plane -----------------------------------------------
+  /// Cross-process tracing: on iff opts.trace_path is non-empty.
+  bool tracing = false;
+  bool prev_tracing = false;  ///< obs state to restore at stop()
+  std::string span_dir;       ///< <trace_path>.spans/, worker span files
+  std::atomic<std::uint64_t> span_seq{0};
+  TraceMerger merger;
+  /// Latency attribution on served flow-report lines (opts.attribution or
+  /// FFET_SERVE_ATTRIB=1), resolved at start().
+  bool attribution = false;
+  std::string serve_ledger_path;  ///< "" = no serve ledger lines
+  /// Phase latency histograms (milliseconds).  Pure atomics, recorded
+  /// unconditionally — they surface only through the kStats snapshot, so
+  /// always-on costs nothing on any output path.
+  obs::Histogram hist_queue_wait;
+  obs::Histogram hist_cache_probe;
+  obs::Histogram hist_worker_run;
+  std::uint64_t start_ns = 0;  ///< trace-epoch clock at start(), for uptime
+
   explicit Impl(ServeOptions o) : opts(std::move(o)), cache(opts.cache_dir) {}
 
   // ---- logging -----------------------------------------------------------
-  void logf(const char* fmt, ...) {
+  void logf(LogLevel level, const char* fmt, ...) {
     std::FILE* out = opts.log ? opts.log : stderr;
-    char ts[32];
+    char ts[40];
     const std::time_t now = std::time(nullptr);
     std::tm tm{};
     localtime_r(&now, &tm);
-    std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm);
-    std::fprintf(out, "[ffet_serve %s] ", ts);
+    // ISO-8601 with the numeric UTC offset, e.g. 2026-08-08T14:03:07+0000.
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%S%z", &tm);
+    std::fprintf(out, "[ffet_serve %s %s] ", ts, level_name(level));
     va_list ap;
     va_start(ap, fmt);
     std::vfprintf(out, fmt, ap);
@@ -159,6 +236,7 @@ struct Server::Impl {
     ::close(sv[1]);
     slot.pid = pid;
     slot.fd = sv[0];
+    slot.spawn_ns = obs::trace_now_ns();
     return true;
   }
 
@@ -166,12 +244,17 @@ struct Server::Impl {
   /// slot, retrying with backoff on transient fork/socketpair failure — a
   /// slot left with no worker would otherwise keep draining jobs it can
   /// never run.  On return the slot is live unless the daemon is stopping.
-  void replace_worker(int idx) {
+  void replace_worker(int idx, const std::string& label) {
     Slot dead;
     {
       std::lock_guard<std::mutex> lk(mu);
       dead = slots[idx];
       slots[idx] = Slot{};
+      // The slot's job/death history survives the respawn — the stats
+      // snapshot reports them per slot, not per incarnation.
+      slots[idx].jobs = dead.jobs;
+      slots[idx].deaths = dead.deaths + 1;
+      slots[idx].running = dead.running;
     }
     if (dead.fd >= 0) ::close(dead.fd);
     int status = 0;
@@ -185,8 +268,9 @@ struct Server::Impl {
       if (stopping) return;
     }
     FFET_METRIC_ADD("serve.worker_deaths", 1);
-    logf("worker %ld died (%s %d); forking replacement",
-         static_cast<long>(dead.pid), how, code);
+    logf(LogLevel::kWarn, "worker %ld died (%s %d) on point %s; forking "
+         "replacement", static_cast<long>(dead.pid), how, code,
+         label.empty() ? "(idle)" : label.c_str());
     int delay_ms = 10;
     while (true) {
       Slot fresh;
@@ -199,6 +283,9 @@ struct Server::Impl {
             discard = true;  // raced with stop(); nobody will retire it
           } else {
             ++st.worker_restarts;
+            fresh.jobs = slots[idx].jobs;
+            fresh.deaths = slots[idx].deaths;
+            fresh.running = slots[idx].running;
             slots[idx] = fresh;
           }
         }
@@ -209,11 +296,12 @@ struct Server::Impl {
           return;
         }
         FFET_METRIC_ADD("serve.worker_restarts", 1);
-        logf("worker %ld up in slot %d", static_cast<long>(fresh.pid), idx);
+        logf(LogLevel::kInfo, "worker %ld up in slot %d",
+             static_cast<long>(fresh.pid), idx);
         return;
       }
-      logf("worker respawn failed: %s (retry in %d ms)", error.c_str(),
-           delay_ms);
+      logf(LogLevel::kWarn, "worker respawn failed: %s (retry in %d ms)",
+           error.c_str(), delay_ms);
       // Sleep in short slices so a concurrent stop() is never held up by
       // the backoff.
       for (int slept = 0; slept < delay_ms; slept += 50) {
@@ -231,6 +319,7 @@ struct Server::Impl {
   /// One monitor thread per worker slot: pop a job, run it on this slot's
   /// worker, retrying once on a fresh worker if the process dies mid-point.
   void monitor_loop(int idx) {
+    if (tracing) obs::set_thread_name("serve.monitor." + std::to_string(idx));
     while (true) {
       Job job;
       {
@@ -239,19 +328,45 @@ struct Server::Impl {
         if (stopping) return;
         job = std::move(queue.front());
         queue.pop_front();
+        slots[idx].running = job.label;
         FFET_METRIC_GAUGE_SET("serve.queue_depth",
                           static_cast<double>(queue.size()));
+      }
+
+      // Queue-wait phase ends the moment a monitor picks the job up.
+      const std::uint64_t dequeue_ns = obs::trace_now_ns();
+      const double queue_ms =
+          dequeue_ns > job.enqueue_ns
+              ? static_cast<double>(dequeue_ns - job.enqueue_ns) / 1e6
+              : 0.0;
+      hist_queue_wait.observe(queue_ms);
+      if (obs::tracing_enabled()) {
+        obs::record_span("serve.queue_wait " + job.label, job.enqueue_ns,
+                         dequeue_ns);
+      }
+
+      // One span file per job; a retry on a fresh worker overwrites it.
+      std::string span_path;
+      if (tracing) {
+        span_path =
+            span_dir + "/span." +
+            std::to_string(span_seq.fetch_add(1, std::memory_order_relaxed)) +
+            ".json";
       }
 
       std::uint32_t flags = 0;
       std::string line;
       bool ran = false;
       int attempt = 0;
+      int run_pid = 0;
+      double run_ms = 0.0;
       for (; attempt < std::max(1, opts.max_attempts); ++attempt) {
         int fd = -1;
+        pid_t wpid = -1;
         {
           std::lock_guard<std::mutex> lk(mu);
           fd = stopping ? -1 : slots[idx].fd;
+          wpid = slots[idx].pid;
         }
         if (fd < 0) {
           // Only possible when the daemon is stopping (replace_worker
@@ -265,36 +380,64 @@ struct Server::Impl {
           return;
         }
         if (attempt > 0) {
-          std::lock_guard<std::mutex> lk(mu);
-          ++st.retries;
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            ++st.retries;
+          }
+          FFET_METRIC_ADD("serve.retries", 1);
+          logf(LogLevel::kWarn, "retrying point %s on worker %ld (attempt %d)",
+               job.label.c_str(), static_cast<long>(wpid), attempt + 1);
         }
-        if (attempt > 0) FFET_METRIC_ADD("serve.retries", 1);
+        const std::uint64_t run_start_ns = obs::trace_now_ns();
         const bool sent = write_frame(
             fd, FrameType::kJob,
-            pack_job(static_cast<std::uint32_t>(attempt), job.config_json));
+            pack_job(static_cast<std::uint32_t>(attempt), job.config_json,
+                     tracing ? obs::trace_epoch_raw_ns() : 0, span_path));
         std::optional<Frame> reply;
         if (sent) reply = read_frame(fd);
         if (!sent || !reply || reply->type != FrameType::kResult) {
           // Short read / EPIPE: the worker process is gone (segfault, OOM
           // kill, test SIGKILL).  Reap it, refresh the slot, maybe retry.
-          replace_worker(idx);
+          replace_worker(idx, job.label);
           continue;
         }
         std::uint32_t ignored_index = 0, ignored_flags = 0;
         if (!unpack_result(reply->payload, ignored_index, ignored_flags,
                            line)) {
-          replace_worker(idx);
+          replace_worker(idx, job.label);
           continue;
+        }
+        const std::uint64_t run_end_ns = obs::trace_now_ns();
+        run_ms = static_cast<double>(run_end_ns - run_start_ns) / 1e6;
+        run_pid = static_cast<int>(wpid);
+        hist_worker_run.observe(run_ms);
+        if (obs::tracing_enabled()) {
+          obs::record_span("serve.worker_run " + job.label, run_start_ns,
+                           run_end_ns);
+        }
+        if (tracing) {
+          merger.set_process_name(run_pid,
+                                  "worker." + std::to_string(run_pid));
+          std::string ierr;
+          if (!merger.ingest_file(span_path, run_pid, &ierr)) {
+            logf(LogLevel::kWarn, "cannot merge worker spans: %s",
+                 ierr.c_str());
+          }
+          ::unlink(span_path.c_str());
         }
         ran = true;
         if (attempt > 0) flags |= kFlagRetried;
         break;
+      }
+      if (tracing && !ran && !span_path.empty()) {
+        ::unlink(span_path.c_str());  // a dead worker may have left a torn file
       }
 
       if (ran) {
         {
           std::lock_guard<std::mutex> lk(mu);
           ++st.flow_runs;
+          ++slots[idx].jobs;
         }
         FFET_METRIC_ADD("serve.flow_runs", 1);
         // Write-through to the persistent cache — only genuine results;
@@ -303,15 +446,20 @@ struct Server::Impl {
       } else {
         flags |= kFlagWorkerDied;
         line = worker_died_line(job.config, std::max(1, opts.max_attempts));
-        logf("point failed on all attempts (worker_died): %s",
+        logf(LogLevel::kError, "point failed on all attempts (worker_died): %s",
              job.label.c_str());
       }
 
       {
         std::lock_guard<std::mutex> lk(mu);
+        slots[idx].running.clear();
         job.flight->done = true;
         job.flight->flags = flags;
         job.flight->line = std::move(line);
+        job.flight->queue_ms = queue_ms;
+        job.flight->run_ms = run_ms;
+        job.flight->retries = ran ? attempt : std::max(1, opts.max_attempts) - 1;
+        job.flight->worker_pid = run_pid;
         flights.erase(job.label);
       }
       flight_cv.notify_all();
@@ -323,15 +471,25 @@ struct Server::Impl {
   /// requester-side flags.  Exactly one resolve() per label schedules a
   /// flow run; everyone else hits the cache or joins the open flight.
   std::shared_ptr<Flight> resolve(const flow::FlowConfig& config,
-                                  std::uint32_t* req_flags) {
+                                  std::uint32_t* req_flags,
+                                  double* cache_ms) {
     const std::string label = config.label();
     *req_flags = 0;
 
     std::string cached_line;
+    const std::uint64_t probe_start_ns = obs::trace_now_ns();
     std::unique_lock<std::mutex> lk(mu);
     // Cache lookup under mu: the check and the flight insertion must be
     // one atomic step or two concurrent misses both schedule the point.
-    if (cache.lookup(label, &cached_line)) {
+    const bool hit = cache.lookup(label, &cached_line);
+    const std::uint64_t probe_end_ns = obs::trace_now_ns();
+    *cache_ms = static_cast<double>(probe_end_ns - probe_start_ns) / 1e6;
+    hist_cache_probe.observe(*cache_ms);
+    if (obs::tracing_enabled()) {
+      obs::record_span("serve.cache_probe " + label, probe_start_ns,
+                       probe_end_ns);
+    }
+    if (hit) {
       ++st.cache_hits;
       lk.unlock();
       FFET_METRIC_ADD("serve.cache_hits", 1);
@@ -356,7 +514,8 @@ struct Server::Impl {
     ++st.cache_misses;
     auto f = std::make_shared<Flight>();
     flights[label] = f;
-    queue.push_back(Job{label, flow::config_to_json(config), config, f});
+    queue.push_back(Job{label, flow::config_to_json(config), config, f,
+                        probe_end_ns});
     FFET_METRIC_GAUGE_SET("serve.queue_depth", static_cast<double>(queue.size()));
     lk.unlock();
     FFET_METRIC_ADD("serve.cache_misses", 1);
@@ -364,33 +523,75 @@ struct Server::Impl {
     return f;
   }
 
+  /// Append one kind="serve" ledger line for a streamed point, so
+  /// `ffet_report trend` can watch queue/cache/run latency drift per label.
+  void append_serve_ledger(const std::string& label,
+                           const flow::ServeAttribution& attr,
+                           bool line_valid) {
+    report::LedgerEntry e;
+    e.schema = "ffet.ledger.v1";
+    e.kind = "serve";
+    e.label = label;
+    char host[256] = {0};
+    if (::gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+    e.host = host;
+    e.timestamp_s = static_cast<long long>(std::time(nullptr));
+    e.threads = n_workers;
+    e.valid = line_valid;
+    e.metrics["queue_ms"] = attr.queue_ms;
+    e.metrics["cache_ms"] = attr.cache_ms;
+    e.metrics["run_ms"] = attr.run_ms;
+    e.metrics["retries"] = attr.retries;
+    e.metrics["cache_hit"] = attr.cache_hit ? 1.0 : 0.0;
+    std::string error;
+    if (!report::append_ledger_line(serve_ledger_path, ledger_entry_json(e),
+                                    &error)) {
+      logf(LogLevel::kWarn, "serve ledger append failed: %s", error.c_str());
+    }
+  }
+
   void handle_submit(int fd, const std::string& payload) {
     std::string error;
-    const auto configs = configs_from_json_text(payload, &error);
-    if (!configs) {
+    const auto sub = submission_from_json_text(payload, &error);
+    if (!sub) {
       write_frame(fd, FrameType::kError, "bad submission: " + error);
       return;
     }
-    if (configs->empty()) {
+    const std::vector<flow::FlowConfig>& configs = sub->configs;
+    if (configs.empty()) {
       write_frame(fd, FrameType::kError, "bad submission: empty sweep");
       return;
     }
     {
       std::lock_guard<std::mutex> lk(mu);
       ++st.requests;
-      st.points += static_cast<long long>(configs->size());
+      st.points += static_cast<long long>(configs.size());
     }
     FFET_METRIC_ADD("serve.requests", 1);
-    FFET_METRIC_ADD("serve.points", static_cast<long long>(configs->size()));
-    logf("submit: %zu point(s)", configs->size());
+    FFET_METRIC_ADD("serve.points", static_cast<long long>(configs.size()));
+    if (sub->trace_id.empty()) {
+      logf(LogLevel::kInfo, "submit: %zu point(s)", configs.size());
+    } else {
+      logf(LogLevel::kInfo, "submit: %zu point(s) [trace %s]", configs.size(),
+           sub->trace_id.c_str());
+    }
+    // The whole request — resolution through streaming — as one span on
+    // this handler's lane, named by the client's trace id when present.
+    obs::TraceScope submit_scope(
+        sub->trace_id.empty() ? std::string("serve.submit")
+                              : "serve.submit " + sub->trace_id);
 
     struct Pending {
       std::shared_ptr<Flight> flight;
       std::uint32_t req_flags = 0;
+      std::string label;
+      double cache_ms = 0.0;
     };
-    std::vector<Pending> pending(configs->size());
-    for (std::size_t i = 0; i < configs->size(); ++i) {
-      pending[i].flight = resolve((*configs)[i], &pending[i].req_flags);
+    std::vector<Pending> pending(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      pending[i].label = configs[i].label();
+      pending[i].flight =
+          resolve(configs[i], &pending[i].req_flags, &pending[i].cache_ms);
     }
 
     // Stream results back in point order: workers complete out of order,
@@ -399,6 +600,7 @@ struct Server::Impl {
     for (std::size_t i = 0; i < pending.size(); ++i) {
       std::string line;
       std::uint32_t flags = 0;
+      flow::ServeAttribution attr;
       {
         std::unique_lock<std::mutex> lk(mu);
         flight_cv.wait(lk, [&] {
@@ -411,6 +613,19 @@ struct Server::Impl {
         }
         line = pending[i].flight->line;
         flags = pending[i].flight->flags | pending[i].req_flags;
+        attr.queue_ms = pending[i].flight->queue_ms;
+        attr.run_ms = pending[i].flight->run_ms;
+        attr.retries = pending[i].flight->retries;
+        attr.worker_pid = pending[i].flight->worker_pid;
+      }
+      attr.cache_ms = pending[i].cache_ms;
+      attr.cache_hit = (flags & kFlagCached) != 0;
+      if (attribution) {
+        flow::append_serve_report(line, attr);
+        if (!serve_ledger_path.empty()) {
+          append_serve_ledger(pending[i].label, attr,
+                              line.find("\"valid\":true") != std::string::npos);
+        }
       }
       if (flags & kFlagCached) ++hits;
       if (flags & kFlagJoined) ++joins;
@@ -420,7 +635,7 @@ struct Server::Impl {
       if (!write_frame(fd, FrameType::kResult,
                        pack_result(static_cast<std::uint32_t>(i), flags,
                                    line))) {
-        logf("client went away mid-stream (point %zu)", i);
+        logf(LogLevel::kWarn, "client went away mid-stream (point %zu)", i);
         return;  // flights keep running; their results stay cached
       }
     }
@@ -436,11 +651,83 @@ struct Server::Impl {
     stats_json.field("worker_died", died);
     stats_json.close_obj();
     write_frame(fd, FrameType::kDone, stats_buf);
-    logf("submit done: %lld cached, %lld joined, %lld ran, %lld died", hits,
+    logf(LogLevel::kInfo,
+         "submit done: %lld cached, %lld joined, %lld ran, %lld died", hits,
          joins, runs, died);
   }
 
+  /// The ffet.serve_stats.v1 snapshot.  One pass under mu for counters and
+  /// slots; the phase histograms are snapshotted lock-free (atomics).
+  std::string stats_json_impl() {
+    const obs::HistSnapshot queue_wait = hist_queue_wait.snapshot();
+    const obs::HistSnapshot cache_probe = hist_cache_probe.snapshot();
+    const obs::HistSnapshot worker_run = hist_worker_run.snapshot();
+    const std::uint64_t now_ns = obs::trace_now_ns();
+
+    ServeStats counters;
+    std::size_t queue_depth = 0, in_flight = 0;
+    std::vector<Slot> slot_copy;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      counters = st;
+      queue_depth = queue.size();
+      in_flight = flights.size();
+      slot_copy = slots;
+    }
+
+    std::string out;
+    flow::JsonBuilder j(out);
+    j.open_obj();
+    j.field("schema", "ffet.serve_stats.v1");
+    j.field("pid", static_cast<long long>(::getpid()));
+    j.field("uptime_ms",
+            static_cast<double>(now_ns > start_ns ? now_ns - start_ns : 0) /
+                1e6);
+    j.field("workers", n_workers);
+    j.field("queue_depth", static_cast<long long>(queue_depth));
+    j.field("in_flight", static_cast<long long>(in_flight));
+    j.field("cache_entries", cache.entries());
+    j.open_nested("counters");
+    j.field("requests", counters.requests);
+    j.field("points", counters.points);
+    j.field("cache_hits", counters.cache_hits);
+    j.field("cache_misses", counters.cache_misses);
+    j.field("single_flight_joins", counters.single_flight_joins);
+    j.field("flow_runs", counters.flow_runs);
+    j.field("retries", counters.retries);
+    j.field("worker_deaths", counters.worker_deaths);
+    j.field("worker_restarts", counters.worker_restarts);
+    j.close_obj();
+    j.open_nested("latency_ms");
+    append_hist_json(out, j, "queue_wait", queue_wait);
+    append_hist_json(out, j, "cache_probe", cache_probe);
+    append_hist_json(out, j, "worker_run", worker_run);
+    j.close_obj();
+    j.open_array("worker_slots");
+    for (std::size_t i = 0; i < slot_copy.size(); ++i) {
+      const Slot& s = slot_copy[i];
+      j.element();
+      j.open_obj();
+      j.field("slot", static_cast<long long>(i));
+      j.field("pid", static_cast<long long>(s.pid > 0 ? s.pid : 0));
+      j.field("state", s.running.empty() ? "idle" : "running");
+      j.field("point", s.running);
+      j.field("jobs", s.jobs);
+      j.field("deaths", s.deaths);
+      j.field("uptime_ms",
+              static_cast<double>(s.pid > 0 && now_ns > s.spawn_ns
+                                      ? now_ns - s.spawn_ns
+                                      : 0) /
+                  1e6);
+      j.close_obj();
+    }
+    j.close_array();
+    j.close_obj();
+    return out;
+  }
+
   void handle_client(int fd) {
+    if (tracing) obs::set_thread_name("serve.client");
     while (true) {
       const auto frame = read_frame(fd);
       if (!frame) break;
@@ -448,9 +735,11 @@ struct Server::Impl {
         handle_submit(fd, frame->payload);
       } else if (frame->type == FrameType::kPing) {
         write_frame(fd, FrameType::kDone, "{}");
+      } else if (frame->type == FrameType::kStats) {
+        write_frame(fd, FrameType::kDone, stats_json_impl());
       } else if (frame->type == FrameType::kShutdown) {
         write_frame(fd, FrameType::kDone, "{}");
-        logf("shutdown requested by client");
+        logf(LogLevel::kInfo, "shutdown requested by client");
         {
           std::lock_guard<std::mutex> lk(mu);
           shutdown_requested = true;
@@ -470,6 +759,7 @@ struct Server::Impl {
   }
 
   void accept_loop() {
+    if (tracing) obs::set_thread_name("serve.acceptor");
     while (true) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) {
@@ -512,13 +802,40 @@ bool Server::start(std::string* error) {
   ::signal(SIGPIPE, SIG_IGN);
 
   im.n_workers = resolve_workers(im.opts.workers);
+  im.start_ns = obs::trace_now_ns();
+
+  if (const char* attrib = std::getenv("FFET_SERVE_ATTRIB");
+      im.opts.attribution || (attrib && *attrib && std::strcmp(attrib, "0"))) {
+    im.attribution = true;
+    im.serve_ledger_path = flow::resolve_ledger_path(im.opts.ledger_path);
+    im.logf(LogLevel::kInfo, "latency attribution on%s",
+            im.serve_ledger_path.empty() ? "" : " (with serve ledger)");
+  }
+
+  im.tracing = !im.opts.trace_path.empty();
+  if (im.tracing) {
+    // The daemon records its own spans; workers dump theirs to private
+    // files under <trace_path>.spans/ and the merger stitches everything
+    // into one Chrome trace at stop().
+    im.prev_tracing = obs::tracing_enabled();
+    obs::set_tracing(true);
+    im.span_dir = im.opts.trace_path + ".spans";
+    if (::mkdir(im.span_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      if (error) *error = "cannot create span dir " + im.span_dir;
+      return false;
+    }
+    obs::set_thread_name("serve.main");
+    im.logf(LogLevel::kInfo, "tracing to %s (span dir %s)",
+            im.opts.trace_path.c_str(), im.span_dir.c_str());
+  }
   if (im.cache.enabled()) {
     const int loaded = im.cache.load_index();
-    im.logf("cache %s: %d entr%s loaded%s", im.cache.dir().c_str(), loaded,
+    im.logf(LogLevel::kInfo, "cache %s: %d entr%s loaded%s",
+            im.cache.dir().c_str(), loaded,
             loaded == 1 ? "y" : "ies",
             im.cache.skipped_files() > 0 ? " (some files skipped)" : "");
   } else {
-    im.logf("cache disabled");
+    im.logf(LogLevel::kInfo, "cache disabled");
   }
 
   im.listen_fd = listen_unix(im.opts.socket_path, error);
@@ -538,7 +855,8 @@ bool Server::start(std::string* error) {
   }
   im.acceptor = std::thread([this] { impl_->accept_loop(); });
   im.started = true;
-  im.logf("listening on %s with %d worker(s)", im.opts.socket_path.c_str(),
+  im.logf(LogLevel::kInfo, "listening on %s with %d worker(s)",
+          im.opts.socket_path.c_str(),
           im.n_workers);
   return true;
 }
@@ -626,8 +944,25 @@ void Server::stop() {
     if (s.pid > 0) ::waitpid(s.pid, nullptr, 0);
   }
 
+  if (im.tracing) {
+    // All monitors are joined, so every ingested span file is final; add
+    // the daemon's own spans and write the single merged timeline.
+    im.merger.set_process_name(static_cast<int>(::getpid()), "ffet_serve");
+    im.merger.ingest_local(static_cast<int>(::getpid()));
+    if (im.merger.write(im.opts.trace_path)) {
+      im.logf(LogLevel::kInfo, "merged trace: %s (%zu span(s), %zu process(es))",
+              im.opts.trace_path.c_str(), im.merger.span_count(),
+              im.merger.process_count());
+    } else {
+      im.logf(LogLevel::kError, "cannot write merged trace %s",
+              im.opts.trace_path.c_str());
+    }
+    ::rmdir(im.span_dir.c_str());  // best effort; non-empty on torn points
+    obs::set_tracing(im.prev_tracing);
+  }
+
   ::unlink(im.opts.socket_path.c_str());
-  im.logf("stopped");
+  im.logf(LogLevel::kInfo, "stopped");
 }
 
 int Server::workers() const { return impl_->n_workers; }
@@ -647,5 +982,7 @@ ServeStats Server::stats() const {
 }
 
 int Server::cache_entries() const { return impl_->cache.entries(); }
+
+std::string Server::stats_json() const { return impl_->stats_json_impl(); }
 
 }  // namespace ffet::serve

@@ -45,6 +45,21 @@ struct ServeOptions {
   int max_attempts = 2;
   /// Daemon log sink; nullptr = stderr.
   std::FILE* log = nullptr;
+  /// Merged cross-process trace output path; empty = tracing off.  When
+  /// set, the daemon records its own spans (queueing, cache probes, worker
+  /// dispatch), runs every job with a per-process span file and a shared
+  /// trace epoch, and writes ONE Chrome trace covering the daemon plus all
+  /// worker pids at stop().  The ffet_serve binary maps FFET_TRACE here.
+  std::string trace_path;
+  /// Attach the "serve" latency-attribution object to every streamed
+  /// flow-report line (queue_ms / cache_ms / run_ms / retries / worker_pid
+  /// / cache_hit).  Also enabled by FFET_SERVE_ATTRIB=1.  Off by default:
+  /// served lines stay byte-identical to an in-process run.
+  bool attribution = false;
+  /// When attribution is on and this is non-empty, the daemon also appends
+  /// one kind="serve" ffet.ledger.v1 line per served point here, so
+  /// `ffet_report trend` can watch service-latency drift.
+  std::string ledger_path;
 };
 
 /// Cumulative counters since start() (mirrored to obs serve.* metrics when
@@ -89,6 +104,12 @@ class Server {
   std::vector<pid_t> worker_pids() const;
   ServeStats stats() const;
   int cache_entries() const;
+
+  /// The live ffet.serve_stats.v1 snapshot (what the kStats verb answers):
+  /// queue depth, in-flight points, per-slot worker state, the ServeStats
+  /// counters, and p50/p95/p99 latency histograms for the queue-wait,
+  /// cache-probe and worker-run phases.  Safe to call from any thread.
+  std::string stats_json() const;
 
   /// Resolve the fleet size an options struct implies (FFET_WORKERS etc.).
   static int resolve_workers(int requested);

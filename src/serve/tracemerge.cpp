@@ -1,0 +1,195 @@
+#include "serve/tracemerge.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/numfmt.h"
+#include "obs/trace.h"
+#include "report/json.h"
+
+namespace ffet::serve {
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok && error) *error = "read error on " + path;
+  return ok;
+}
+
+}  // namespace
+
+void TraceMerger::set_process_name(int pid, std::string name) {
+  std::lock_guard<std::mutex> lk(m_);
+  process_names_[pid] = std::move(name);
+}
+
+bool TraceMerger::ingest_file(const std::string& path, int pid,
+                              std::string* error) {
+  std::string text;
+  if (!read_file(path, text, error)) return false;
+  std::string perr;
+  const auto doc = report::json::parse(text, &perr);
+  if (!doc) {
+    if (error) *error = path + ": " + perr;
+    return false;
+  }
+  const report::json::Value* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    if (error) *error = path + ": no traceEvents array";
+    return false;
+  }
+  // Pass 1: lane names from "M" thread_name metadata.
+  std::map<int, std::string> lanes;
+  for (const auto& e : events->items) {
+    const auto* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str != "M") continue;
+    const auto* name = e.find("name");
+    if (name == nullptr || !name->is_string() || name->str != "thread_name") {
+      continue;
+    }
+    const auto* args = e.find("args");
+    const auto* lane = args != nullptr ? args->find("name") : nullptr;
+    if (lane != nullptr && lane->is_string()) {
+      lanes[static_cast<int>(e.member_number("tid", 0.0))] = lane->str;
+    }
+  }
+  // Pass 2: the "X" complete events.
+  std::vector<Span> taken;
+  for (const auto& e : events->items) {
+    const auto* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str != "X") continue;
+    const auto* name = e.find("name");
+    Span s;
+    s.pid = pid;
+    s.tid = static_cast<int>(e.member_number("tid", 0.0));
+    s.name = name != nullptr && name->is_string() ? name->str : "";
+    s.ts_us = e.member_number("ts", 0.0);
+    s.dur_us = e.member_number("dur", 0.0);
+    const auto it = lanes.find(s.tid);
+    s.thread =
+        it != lanes.end() ? it->second : "thread." + std::to_string(s.tid);
+    taken.push_back(std::move(s));
+  }
+  std::lock_guard<std::mutex> lk(m_);
+  spans_.insert(spans_.end(), std::make_move_iterator(taken.begin()),
+                std::make_move_iterator(taken.end()));
+  return true;
+}
+
+void TraceMerger::ingest_local(int pid) {
+  const auto events = obs::snapshot_trace();
+  std::lock_guard<std::mutex> lk(m_);
+  spans_.reserve(spans_.size() + events.size());
+  for (const auto& e : events) {
+    Span s;
+    s.pid = pid;
+    s.tid = e.tid;
+    s.thread = e.thread;
+    s.name = e.name;
+    s.ts_us = static_cast<double>(e.start_ns) / 1000.0;
+    s.dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+    spans_.push_back(std::move(s));
+  }
+}
+
+std::size_t TraceMerger::span_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return spans_.size();
+}
+
+std::size_t TraceMerger::process_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<int> pids;
+  for (const Span& s : spans_) pids.push_back(s.pid);
+  std::sort(pids.begin(), pids.end());
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  return pids.size();
+}
+
+std::string TraceMerger::to_json() const {
+  std::vector<Span> spans;
+  std::map<int, std::string> names;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    spans = spans_;
+    names = process_names_;
+  }
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.pid != b.pid) return a.pid < b.pid;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+    return a.name < b.name;
+  });
+
+  std::string out;
+  out.reserve(spans.size() * 112 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  // Process-name metadata for every pid that recorded something.
+  int last_pid = -1;
+  for (const Span& s : spans) {
+    if (s.pid == last_pid) continue;
+    last_pid = s.pid;
+    const auto it = names.find(s.pid);
+    const std::string pname =
+        it != names.end() ? it->second : "pid." + std::to_string(s.pid);
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(s.pid) +
+           ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+    obs::append_escaped(out, pname);
+    out += "\"}}";
+  }
+  // Thread-name metadata per (pid, tid) lane.
+  last_pid = -1;
+  int last_tid = -1;
+  for (const Span& s : spans) {
+    if (s.pid == last_pid && s.tid == last_tid) continue;
+    last_pid = s.pid;
+    last_tid = s.tid;
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(s.pid) +
+           ",\"tid\":" + std::to_string(s.tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    obs::append_escaped(out, s.thread);
+    out += "\"}}";
+  }
+  for (const Span& s : spans) {
+    sep();
+    out += "{\"ph\":\"X\",\"pid\":" + std::to_string(s.pid) +
+           ",\"tid\":" + std::to_string(s.tid) + ",\"ts\":";
+    obs::append_double(out, s.ts_us);
+    out += ",\"dur\":";
+    obs::append_double(out, s.dur_us);
+    out += ",\"cat\":\"ffet\",\"name\":\"";
+    obs::append_escaped(out, s.name);
+    out += "\"}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceMerger::write(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return n == json.size();
+}
+
+}  // namespace ffet::serve

@@ -1,0 +1,69 @@
+// tracemerge.h — merge per-process span dumps into one Chrome trace.
+//
+// The sweep service runs one flow per forked worker, so a traced sweep
+// scatters spans across processes: the daemon records queueing / cache /
+// dispatch spans in its own obs buffers, and each worker dumps its flow
+// spans to a private span file (obs::dump_trace) after every traced job.
+// All processes share one trace epoch (obs::set_trace_epoch_raw_ns, carried
+// in the kJob frame), so their timestamps are directly comparable.
+//
+// TraceMerger collects those pieces — parsing worker span files with the
+// same report::json parser that mirrors the emitters — and serializes one
+// Chrome trace-event JSON where, unlike the single-process obs dump, `pid`
+// is the real process id: the daemon and every worker render as separate
+// process groups ("ffet_serve" / "worker.<pid>" lanes) on one timeline.
+//
+// Thread-safe: the daemon's monitor threads ingest span files concurrently
+// as points complete.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ffet::serve {
+
+class TraceMerger {
+ public:
+  struct Span {
+    int pid = 0;
+    int tid = 0;
+    std::string thread;  ///< lane name
+    std::string name;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+  };
+
+  /// Label a process group in the merged trace (e.g. "ffet_serve").
+  void set_process_name(int pid, std::string name);
+
+  /// Parse a Chrome trace file dumped by obs::dump_trace in process `pid`
+  /// and take its spans.  False (with `error`) on I/O or parse failure; the
+  /// merger is unchanged on failure.
+  bool ingest_file(const std::string& path, int pid,
+                   std::string* error = nullptr);
+
+  /// Take the calling process's own recorded spans (obs::snapshot_trace())
+  /// under `pid`.
+  void ingest_local(int pid);
+
+  std::size_t span_count() const;
+  std::size_t process_count() const;
+
+  /// Merged Chrome trace-event JSON.  Deterministic for a given set of
+  /// ingested spans: events sort by (pid, tid, ts, dur, name).
+  std::string to_json() const;
+
+  /// Write to_json() to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  mutable std::mutex m_;
+  std::vector<Span> spans_;
+  std::map<int, std::string> process_names_;
+};
+
+}  // namespace ffet::serve

@@ -9,6 +9,7 @@
 
 #include "flow/flow.h"
 #include "flow/report_json.h"
+#include "obs/trace.h"
 #include "serve/config_codec.h"
 #include "serve/protocol.h"
 
@@ -53,7 +54,12 @@ void worker_loop(int fd) {
 
     std::uint32_t attempt = 0;
     std::string config_json;
-    if (!unpack_job(frame->payload, attempt, config_json)) _exit(1);
+    std::uint64_t trace_epoch = 0;
+    std::string span_path;
+    if (!unpack_job(frame->payload, attempt, config_json, trace_epoch,
+                    span_path)) {
+      _exit(1);
+    }
 
     std::string error;
     auto cfg = configs_from_json_text("[" + config_json + "]", &error);
@@ -75,7 +81,22 @@ void worker_loop(int fd) {
 
     maybe_crash(config.label(), attempt);
 
+    // Traced job: record this flow's spans against the daemon's shared
+    // epoch and dump them to the private span file the daemon named — it
+    // ingests (and unlinks) the file when the point completes.
+    const bool traced = !span_path.empty();
+    if (traced) {
+      if (trace_epoch != 0) obs::set_trace_epoch_raw_ns(trace_epoch);
+      obs::set_thread_name("worker." + std::to_string(::getpid()));
+      obs::clear_trace();
+      obs::set_tracing(true);
+    }
     const flow::FlowResult res = flow::run_flow(config);
+    if (traced) {
+      obs::set_tracing(false);
+      obs::dump_trace(span_path);
+      obs::clear_trace();
+    }
     const std::string line = flow::flow_report_json(res);
     if (!write_frame(fd, FrameType::kResult, pack_result(0, 0, line))) {
       _exit(0);  // daemon went away mid-result

@@ -206,6 +206,71 @@ TEST(Metrics, HistogramObserveTracksExactStats) {
   EXPECT_EQ(h.bucket(obs::Histogram::bucket_index(0.25)), 1u);
 }
 
+TEST(Metrics, HistogramSnapshotQuantiles) {
+  obs::Histogram h;  // standalone: records regardless of the enable flags
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);
+
+  // A single observation is every quantile (the clamp to [min, max] makes
+  // the in-bucket interpolation exact here).
+  h.observe(5.0);
+  {
+    const obs::HistSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  }
+
+  // A spread of values: quantiles are bucket estimates, so assert order
+  // statistics and bounds rather than exact ranks.
+  h.reset();
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  {
+    const obs::HistSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    const double p25 = s.quantile(0.25), p50 = s.quantile(0.5),
+                 p95 = s.quantile(0.95);
+    EXPECT_LE(p25, p50);
+    EXPECT_LE(p50, p95);
+    EXPECT_GE(p25, s.min);
+    EXPECT_LE(p95, s.max);
+    // p50 of 1..100 lands in the [32, 64) bucket.
+    EXPECT_GE(p50, 32.0);
+    EXPECT_LT(p50, 64.0);
+  }
+
+  // Open-ended top bucket is capped at the observed max, not infinity.
+  h.reset();
+  h.observe(1e300);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(1.0), 1e300);
+}
+
+TEST(Trace, EpochOverridePinsACrossProcessTimeline) {
+  // The service forks workers and ships the daemon's raw epoch in the job
+  // frame; set_trace_epoch_raw_ns() must take effect exactly and restore
+  // cleanly (steady_clock is machine-wide, so sharing the raw value aligns
+  // both processes' span timestamps).
+  const std::uint64_t saved = obs::trace_epoch_raw_ns();
+  EXPECT_NE(saved, 0u);  // reading pins it
+  obs::set_trace_epoch_raw_ns(saved > 1000000 ? saved - 1000000 : saved + 1);
+  EXPECT_EQ(obs::trace_epoch_raw_ns(),
+            saved > 1000000 ? saved - 1000000 : saved + 1);
+  // trace_now_ns is relative to the (new) epoch and monotone.
+  const std::uint64_t a = obs::trace_now_ns();
+  const std::uint64_t b = obs::trace_now_ns();
+  EXPECT_GE(b, a);
+  // 0 is the "unpinned" sentinel on the wire; setting it must not leave the
+  // epoch genuinely unpinned (a later lazy pin would tear the timeline).
+  obs::set_trace_epoch_raw_ns(0);
+  EXPECT_NE(obs::trace_epoch_raw_ns(), 0u);
+  obs::set_trace_epoch_raw_ns(saved);
+  EXPECT_EQ(obs::trace_epoch_raw_ns(), saved);
+}
+
 TEST(Metrics, ConcurrentRecordingIsExact) {
   ObsGuard g(false, true);
   constexpr int kThreads = 8;

@@ -26,6 +26,7 @@
 #include "report/ledger.h"
 #include "report/net_report.h"
 #include "report/qor.h"
+#include "report/serve_stats.h"
 #include "report/snapshot.h"
 #include "report/timing_report.h"
 #include "sta/sta.h"
@@ -338,6 +339,141 @@ TEST(QorDiff, ResourceDeltasAreReportedButNeverGated) {
   bool saw = false;
   for (const Delta& d : rep.deltas) saw |= d.metric == "resource.peak_rss_kb";
   EXPECT_TRUE(saw) << "the delta itself must still be surfaced";
+}
+
+// ----------------------------------------------- serve attribution section
+
+TEST(FlowReportReader, ServeSectionRoundTripsAndPlainLinesHaveNone) {
+  const flow::FlowResult r = make_result(1.25, 4000.0, 0, 0);
+  std::string line = flow::flow_report_json(r);
+  ASSERT_EQ(line.find("\"serve\""), std::string::npos)
+      << "attribution is daemon-injected, never emitted by the flow";
+
+  flow::ServeAttribution attr;
+  attr.queue_ms = 1.5;
+  attr.cache_ms = 0.25;
+  attr.run_ms = 104.0;
+  attr.retries = 1;
+  attr.worker_pid = 4242;
+  attr.cache_hit = false;
+  ASSERT_TRUE(flow::append_serve_report(line, attr));
+
+  std::istringstream is(line + "\n");
+  ReadStats stats;
+  const std::vector<FlowRecord> recs = read_flow_reports(is, &stats);
+  ASSERT_EQ(stats.parsed, 1);
+  ASSERT_EQ(recs.size(), 1u);
+  const FlowRecord& rec = recs[0];
+  EXPECT_DOUBLE_EQ(rec.serve.at("queue_ms"), 1.5);
+  EXPECT_DOUBLE_EQ(rec.serve.at("cache_ms"), 0.25);
+  EXPECT_DOUBLE_EQ(rec.serve.at("run_ms"), 104.0);
+  EXPECT_DOUBLE_EQ(rec.serve.at("retries"), 1.0);
+  EXPECT_DOUBLE_EQ(rec.serve.at("worker_pid"), 4242.0);
+  EXPECT_DOUBLE_EQ(rec.serve.at("cache_hit"), 0.0);
+  // The annotation must not perturb any mapped QoR section.
+  EXPECT_DOUBLE_EQ(rec.ppa.at("achieved_freq_ghz"), 1.25);
+
+  // Non-object input is refused untouched.
+  std::string not_json = "[1,2,3]";
+  EXPECT_FALSE(flow::append_serve_report(not_json, attr));
+  EXPECT_EQ(not_json, "[1,2,3]");
+}
+
+TEST(QorDiff, ServeDeltasAreReportedButNeverGatedAndSkippedInQorOnly) {
+  const flow::FlowResult r = make_result(1.25, 4000.0, 0, 0);
+  std::string base_line = flow::flow_report_json(r);
+  std::string now_line = base_line;
+  flow::ServeAttribution slow;
+  slow.queue_ms = 0.5;
+  slow.run_ms = 100.0;
+  flow::ServeAttribution fast;
+  fast.run_ms = 0.0;
+  fast.cache_hit = true;
+  ASSERT_TRUE(flow::append_serve_report(base_line, slow));
+  ASSERT_TRUE(flow::append_serve_report(now_line, fast));
+
+  std::istringstream bs(base_line + "\n"), ns(now_line + "\n");
+  const auto base = read_flow_reports(bs);
+  const auto now = read_flow_reports(ns);
+
+  // Default diff: the serve.* drift is surfaced but can never regress —
+  // service latency is machine- and load-dependent, like resource.*.
+  const DiffReport rep = diff_flow_reports(base, now);
+  EXPECT_TRUE(rep.ok());
+  bool saw_run = false;
+  for (const Delta& d : rep.deltas) saw_run |= d.metric == "serve.run_ms";
+  EXPECT_TRUE(saw_run);
+
+  // qor_only (the service-identity gate): serve.* is invisible, so a
+  // cached replay diffs clean against the run that populated the cache.
+  DiffOptions qopts;
+  qopts.qor_only = true;
+  const DiffReport qrep = diff_flow_reports(base, now, qopts);
+  EXPECT_TRUE(qrep.ok());
+  EXPECT_EQ(qrep.deltas.size(), 0u) << format_diff(qrep);
+}
+
+// ----------------------------------------------------------- serve stats
+
+TEST(ServeStats, ParsesSnapshotAndFormatsTables) {
+  const std::string json =
+      "{\"schema\":\"ffet.serve_stats.v1\",\"pid\":777,\"uptime_ms\":2500.0,"
+      "\"workers\":2,\"queue_depth\":1,\"in_flight\":3,\"cache_entries\":18,"
+      "\"counters\":{\"requests\":4,\"points\":36,\"cache_hits\":18,"
+      "\"cache_misses\":18,\"single_flight_joins\":0,\"flow_runs\":18,"
+      "\"retries\":1,\"worker_deaths\":1,\"worker_restarts\":1},"
+      "\"latency_ms\":{\"queue_wait\":{\"count\":18,\"sum\":90.0,"
+      "\"min\":1.0,\"max\":20.0,\"mean\":5.0,\"p50\":4.0,\"p95\":18.0,"
+      "\"p99\":19.5,\"buckets\":[[1,10],[2,6],[16,2]]},"
+      "\"worker_run\":{\"count\":18,\"sum\":1800.0,\"min\":90.0,"
+      "\"max\":130.0,\"mean\":100.0,\"p50\":99.0,\"p95\":120.0,"
+      "\"p99\":128.0,\"buckets\":[[64,18]]}},"
+      "\"worker_slots\":[{\"slot\":0,\"pid\":1001,\"state\":\"running\","
+      "\"point\":\"rv32_u0.50\",\"jobs\":9,\"deaths\":0,\"uptime_ms\":2400.0},"
+      "{\"slot\":1,\"pid\":1002,\"state\":\"idle\",\"point\":\"\",\"jobs\":9,"
+      "\"deaths\":1,\"uptime_ms\":800.0}]}";
+  std::string err;
+  const auto snap = parse_serve_stats(json, &err);
+  ASSERT_TRUE(snap.has_value()) << err;
+  EXPECT_EQ(snap->pid, 777);
+  EXPECT_EQ(snap->workers, 2);
+  EXPECT_EQ(snap->queue_depth, 1);
+  EXPECT_EQ(snap->in_flight, 3);
+  EXPECT_EQ(snap->cache_entries, 18);
+  EXPECT_EQ(snap->counters.at("flow_runs"), 18);
+  ASSERT_EQ(snap->phase_order.size(), 2u);
+  EXPECT_EQ(snap->phase_order[0], "queue_wait");  // document order kept
+  const ServeStatsPhase& qw = snap->phases.at("queue_wait");
+  EXPECT_EQ(qw.count, 18);
+  EXPECT_DOUBLE_EQ(qw.p95, 18.0);
+  ASSERT_EQ(qw.buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(qw.buckets[2].first, 16.0);
+  EXPECT_EQ(qw.buckets[2].second, 2);
+  ASSERT_EQ(snap->slots.size(), 2u);
+  EXPECT_EQ(snap->slots[0].state, "running");
+  EXPECT_EQ(snap->slots[0].point, "rv32_u0.50");
+  EXPECT_EQ(snap->slots[1].deaths, 1);
+
+  const std::string pretty = format_serve_stats(*snap);
+  EXPECT_NE(pretty.find("ffet_serve pid 777"), std::string::npos) << pretty;
+  EXPECT_NE(pretty.find("cache_hits=18"), std::string::npos);
+  EXPECT_NE(pretty.find("queue_wait"), std::string::npos);
+  EXPECT_NE(pretty.find("worker slot 0"), std::string::npos);
+  EXPECT_NE(pretty.find("rv32_u0.50"), std::string::npos);
+  EXPECT_NE(pretty.find("deaths=1"), std::string::npos);
+}
+
+TEST(ServeStats, RejectsMalformedAndForeignSchemas) {
+  std::string err;
+  EXPECT_FALSE(parse_serve_stats("{not json", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_serve_stats("[1,2]", &err).has_value());
+  EXPECT_FALSE(
+      parse_serve_stats("{\"schema\":\"ffet.flow_report.v1\"}", &err)
+          .has_value());
+  EXPECT_NE(err.find("ffet.serve_stats.v1"), std::string::npos);
+  EXPECT_FALSE(parse_serve_stats("{}", &err).has_value())
+      << "schema field is mandatory";
 }
 
 // --------------------------------------------------------------- ledger

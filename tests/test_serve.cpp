@@ -18,11 +18,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <csignal>
@@ -33,7 +36,9 @@
 #include "flow/config_json.h"
 #include "flow/flow.h"
 #include "flow/report_json.h"
+#include "report/json.h"
 #include "report/qor.h"
+#include "report/serve_stats.h"
 #include "serve/cache.h"
 #include "serve/client.h"
 #include "serve/config_codec.h"
@@ -258,10 +263,23 @@ TEST(Protocol, ResultAndJobPayloadsRoundTrip) {
 
   const std::string job = serve::pack_job(1, "{\"seed\":2}");
   std::uint32_t attempt = 0;
-  std::string cfg;
-  ASSERT_TRUE(serve::unpack_job(job, attempt, cfg));
+  std::uint64_t epoch = 99;
+  std::string cfg, span_path;
+  ASSERT_TRUE(serve::unpack_job(job, attempt, cfg, epoch, span_path));
   EXPECT_EQ(attempt, 1u);
   EXPECT_EQ(cfg, "{\"seed\":2}");
+  EXPECT_EQ(epoch, 0u);
+  EXPECT_TRUE(span_path.empty());
+
+  // Traced job: the shared epoch and the span file path ride along.
+  const std::string traced =
+      serve::pack_job(0, "{\"seed\":3}", 123456789ull, "/tmp/span.7.json");
+  ASSERT_TRUE(serve::unpack_job(traced, attempt, cfg, epoch, span_path));
+  EXPECT_EQ(attempt, 0u);
+  EXPECT_EQ(cfg, "{\"seed\":3}");
+  EXPECT_EQ(epoch, 123456789ull);
+  EXPECT_EQ(span_path, "/tmp/span.7.json");
+  EXPECT_FALSE(serve::unpack_job("short", attempt, cfg, epoch, span_path));
 }
 
 TEST(Protocol, OversizedHeaderIsRejectedNotAllocated) {
@@ -676,4 +694,323 @@ TEST(Serve, BadSubmissionGetsErrorNotHang) {
   EXPECT_NE(reply->payload.find("bogus_knob"), std::string::npos);
   ::close(fd);
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane: STATS verb, cross-process tracing, attribution
+// ---------------------------------------------------------------------------
+
+TEST(ServeObs, StatsVerbReturnsParseableSnapshot) {
+  const std::string sock = scratch("sock");
+  const std::string cache_dir = scratch("cache");
+  rm_rf(cache_dir);
+  std::remove(sock.c_str());
+
+  serve::ServeOptions opts;
+  opts.socket_path = sock;
+  opts.cache_dir = cache_dir;
+  opts.workers = 1;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const std::vector<flow::FlowConfig> sweep = {small_config(0.48),
+                                               small_config(0.56)};
+  std::vector<serve::ResultLine> results;
+  ASSERT_TRUE(serve::submit_sweep(sock, sweep, &results, nullptr, &error))
+      << error;
+
+  // Over the wire: the kStats verb answers with the same JSON the in-process
+  // accessor returns.
+  std::string wire_json;
+  ASSERT_TRUE(serve::query_stats(sock, &wire_json, &error)) << error;
+  std::string perr;
+  const auto snap = report::parse_serve_stats(wire_json, &perr);
+  ASSERT_TRUE(snap.has_value()) << perr;
+
+  EXPECT_EQ(snap->schema, "ffet.serve_stats.v1");
+  EXPECT_EQ(snap->pid, static_cast<long long>(::getpid()));
+  EXPECT_EQ(snap->workers, 1);
+  EXPECT_GT(snap->uptime_ms, 0.0);
+  EXPECT_EQ(snap->queue_depth, 0);
+  EXPECT_EQ(snap->in_flight, 0);
+  EXPECT_EQ(snap->cache_entries, 2);
+  EXPECT_EQ(snap->counters.at("requests"), 1);
+  EXPECT_EQ(snap->counters.at("points"), 2);
+  EXPECT_EQ(snap->counters.at("cache_misses"), 2);
+  EXPECT_EQ(snap->counters.at("flow_runs"), 2);
+  EXPECT_EQ(snap->counters.at("worker_deaths"), 0);
+
+  // All three phase histograms saw both points.
+  ASSERT_EQ(snap->phase_order.size(), 3u);
+  for (const char* phase : {"queue_wait", "cache_probe", "worker_run"}) {
+    ASSERT_TRUE(snap->phases.count(phase)) << phase;
+    const report::ServeStatsPhase& p = snap->phases.at(phase);
+    EXPECT_EQ(p.count, 2) << phase;
+    EXPECT_GE(p.max, p.min) << phase;
+    EXPECT_GE(p.p95, p.p50) << phase;
+    EXPECT_FALSE(p.buckets.empty()) << phase;
+  }
+  // worker_run of a real flow is not instantaneous.
+  EXPECT_GT(snap->phases.at("worker_run").sum, 0.0);
+
+  ASSERT_EQ(snap->slots.size(), 1u);
+  EXPECT_GT(snap->slots[0].pid, 0);
+  EXPECT_EQ(snap->slots[0].state, "idle");
+  EXPECT_EQ(snap->slots[0].jobs, 2);
+  EXPECT_EQ(snap->slots[0].deaths, 0);
+
+  // Resubmission moves the cache counters, not the run counters.
+  ASSERT_TRUE(serve::submit_sweep(sock, sweep, &results, nullptr, &error))
+      << error;
+  ASSERT_TRUE(serve::query_stats(sock, &wire_json, &error)) << error;
+  const auto snap2 = report::parse_serve_stats(wire_json, &perr);
+  ASSERT_TRUE(snap2.has_value()) << perr;
+  EXPECT_EQ(snap2->counters.at("cache_hits"), 2);
+  EXPECT_EQ(snap2->counters.at("flow_runs"), 2);
+  // The human rendering carries the headline numbers.
+  const std::string pretty = report::format_serve_stats(*snap2);
+  EXPECT_NE(pretty.find("cache_hits=2"), std::string::npos) << pretty;
+  EXPECT_NE(pretty.find("worker_run"), std::string::npos) << pretty;
+
+  server.stop();
+  rm_rf(cache_dir);
+}
+
+TEST(ServeObs, StatsUnderConcurrentLoad) {
+  const std::string sock = scratch("sock");
+  std::remove(sock.c_str());
+  serve::ServeOptions opts;
+  opts.socket_path = sock;
+  opts.cache_dir.clear();
+  opts.workers = 2;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Three clients submit disjoint 3-point sweeps while a fourth thread
+  // hammers the STATS verb: every snapshot must parse and the cumulative
+  // counters must be monotone.
+  constexpr int kClients = 3, kPointsEach = 3;
+  std::atomic<int> done{0};
+  std::atomic<bool> submit_ok{true};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<flow::FlowConfig> sweep;
+      for (int i = 0; i < kPointsEach; ++i) {
+        sweep.push_back(small_config(0.40 + 0.02 * (t * kPointsEach + i)));
+      }
+      std::vector<serve::ResultLine> results;
+      std::string err;
+      if (!serve::submit_sweep(sock, sweep, &results, nullptr, &err) ||
+          results.size() != sweep.size()) {
+        submit_ok = false;
+      }
+      ++done;
+    });
+  }
+
+  long long prev_points = 0, prev_runs = 0;
+  int polls = 0, parse_failures = 0, monotone_violations = 0;
+  while (done.load() < kClients) {
+    std::string json, err, perr;
+    if (!serve::query_stats(sock, &json, &err)) {
+      ++parse_failures;
+      continue;
+    }
+    const auto snap = report::parse_serve_stats(json, &perr);
+    if (!snap) {
+      ++parse_failures;
+      continue;
+    }
+    ++polls;
+    const long long points = snap->counters.at("points");
+    const long long runs = snap->counters.at("flow_runs");
+    if (points < prev_points || runs < prev_runs) ++monotone_violations;
+    prev_points = points;
+    prev_runs = runs;
+    EXPECT_EQ(snap->slots.size(), 2u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_TRUE(submit_ok.load());
+  EXPECT_EQ(parse_failures, 0);
+  EXPECT_EQ(monotone_violations, 0);
+  EXPECT_GT(polls, 0);
+
+  // Quiescent accounting: every point resolved exactly one way, and with
+  // disjoint sweeps and no cache that way was a flow run.
+  std::string json, perr;
+  ASSERT_TRUE(serve::query_stats(sock, &json, &error)) << error;
+  const auto fin = report::parse_serve_stats(json, &perr);
+  ASSERT_TRUE(fin.has_value()) << perr;
+  const long long total = kClients * kPointsEach;
+  EXPECT_EQ(fin->counters.at("points"), total);
+  EXPECT_EQ(fin->counters.at("cache_hits") +
+                fin->counters.at("single_flight_joins") +
+                fin->counters.at("cache_misses"),
+            total);
+  EXPECT_EQ(fin->counters.at("flow_runs"), total);
+  EXPECT_EQ(fin->queue_depth, 0);
+  EXPECT_EQ(fin->in_flight, 0);
+  long long slot_jobs = 0;
+  for (const report::ServeStatsSlot& s : fin->slots) slot_jobs += s.jobs;
+  EXPECT_EQ(slot_jobs, total);
+
+  server.stop();
+}
+
+TEST(ServeObs, CrossProcessTraceMergesWorkerSpans) {
+  const std::string sock = scratch("sock");
+  const std::string trace_path = scratch("trace.json");
+  std::remove(sock.c_str());
+  std::remove(trace_path.c_str());
+
+  serve::ServeOptions opts;
+  opts.socket_path = sock;
+  opts.cache_dir.clear();
+  opts.workers = 2;
+  opts.trace_path = trace_path;
+  std::string error;
+  {
+    serve::Server server(opts);
+    ASSERT_TRUE(server.start(&error)) << error;
+    // Enough distinct points to keep both workers busy.
+    std::vector<flow::FlowConfig> sweep;
+    for (int i = 0; i < 4; ++i) sweep.push_back(small_config(0.46 + 0.08 * i));
+    std::vector<serve::ResultLine> results;
+    ASSERT_TRUE(serve::submit_sweep(sock, sweep, &results, nullptr, &error,
+                                    "trace-test-1"))
+        << error;
+    server.stop();  // merge happens at stop()
+  }
+
+  std::ifstream f(trace_path);
+  ASSERT_TRUE(f.is_open()) << trace_path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+
+  std::string perr;
+  const auto doc = report::json::parse(text, &perr);
+  ASSERT_TRUE(doc.has_value()) << perr;
+  const report::json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // ONE file, real pids: the daemon plus at least two worker processes.
+  std::set<long long> span_pids;
+  std::set<std::string> names;
+  for (const report::json::Value& ev : events->items) {
+    if (!ev.is_object()) continue;
+    const report::json::Value* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    if (const report::json::Value* name = ev.find("name");
+        name != nullptr && name->is_string() && ph->str == "X") {
+      names.insert(name->str);
+      span_pids.insert(static_cast<long long>(ev.member_number("pid")));
+      EXPECT_GE(ev.member_number("dur"), 0.0);
+    }
+  }
+  EXPECT_TRUE(span_pids.count(static_cast<long long>(::getpid())));
+  EXPECT_GE(span_pids.size(), 3u) << "daemon + 2 workers expected";
+
+  // Daemon-side phase spans are labeled per point; the submit span carries
+  // the client's trace id; worker spans include the flow stages themselves.
+  bool has_queue_wait = false, has_cache_probe = false, has_worker_run = false,
+       has_submit = false, has_flow_point = false;
+  for (const std::string& n : names) {
+    has_queue_wait = has_queue_wait || n.rfind("serve.queue_wait", 0) == 0;
+    has_cache_probe = has_cache_probe || n.rfind("serve.cache_probe", 0) == 0;
+    has_worker_run = has_worker_run || n.rfind("serve.worker_run", 0) == 0;
+    has_submit = has_submit || n == "serve.submit trace-test-1";
+    has_flow_point = has_flow_point || n == "flow.point";
+  }
+  EXPECT_TRUE(has_queue_wait);
+  EXPECT_TRUE(has_cache_probe);
+  EXPECT_TRUE(has_worker_run);
+  EXPECT_TRUE(has_submit);
+  EXPECT_TRUE(has_flow_point);
+  EXPECT_NE(text.find("\"worker."), std::string::npos);
+
+  std::remove(trace_path.c_str());
+}
+
+TEST(ServeObs, ServeAttributionInjectedWhenEnabled) {
+  const std::string sock = scratch("sock");
+  const std::string cache_dir = scratch("cache");
+  const std::string ledger = scratch("ledger.jsonl");
+  rm_rf(cache_dir);
+  std::remove(sock.c_str());
+  std::remove(ledger.c_str());
+
+  serve::ServeOptions opts;
+  opts.socket_path = sock;
+  opts.cache_dir = cache_dir;
+  opts.workers = 1;
+  opts.attribution = true;
+  opts.ledger_path = ledger;
+  serve::Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const std::vector<flow::FlowConfig> sweep = {small_config(0.5)};
+  std::vector<serve::ResultLine> first, second;
+  ASSERT_TRUE(serve::submit_sweep(sock, sweep, &first, nullptr, &error))
+      << error;
+  ASSERT_TRUE(serve::submit_sweep(sock, sweep, &second, nullptr, &error))
+      << error;
+  server.stop();
+
+  // Both lines carry the gated "serve" object and still parse as
+  // flow_report.v1; the run/cache split matches how each was served.
+  const std::string jsonl = first[0].line + "\n" + second[0].line + "\n";
+  std::istringstream is(jsonl);
+  const auto recs = report::read_flow_reports(is);
+  ASSERT_EQ(recs.size(), 2u);
+  ASSERT_TRUE(recs[0].serve.count("run_ms"));
+  EXPECT_GT(recs[0].serve.at("run_ms"), 0.0);
+  EXPECT_EQ(recs[0].serve.at("cache_hit"), 0.0);
+  EXPECT_GT(recs[0].serve.at("worker_pid"), 0.0);
+  EXPECT_EQ(recs[0].serve.at("retries"), 0.0);
+  EXPECT_EQ(recs[1].serve.at("cache_hit"), 1.0);
+  EXPECT_EQ(recs[1].serve.at("run_ms"), 0.0);
+
+  // Attribution is reported, never gated: the annotated lines remain
+  // QoR-identical to an in-process run of the same point.
+  expect_qor_identical(run_sweep_jsonl(sweep), jsonl.substr(0, jsonl.find('\n') + 1));
+
+  // The serve ledger got one kind="serve" line per served point.
+  std::ifstream lf(ledger);
+  ASSERT_TRUE(lf.is_open());
+  std::string line;
+  int serve_lines = 0;
+  while (std::getline(lf, line)) {
+    if (line.find("\"kind\":\"serve\"") != std::string::npos) {
+      ++serve_lines;
+      EXPECT_NE(line.find("\"queue_ms\""), std::string::npos);
+      EXPECT_NE(line.find("\"cache_hit\""), std::string::npos);
+    }
+  }
+  EXPECT_EQ(serve_lines, 2);
+
+  // Control: with the plane off (defaults), no "serve" key appears at all.
+  const std::string sock2 = scratch("sock2");
+  std::remove(sock2.c_str());
+  serve::ServeOptions plain;
+  plain.socket_path = sock2;
+  plain.cache_dir.clear();
+  plain.workers = 1;
+  serve::Server server2(plain);
+  ASSERT_TRUE(server2.start(&error)) << error;
+  std::vector<serve::ResultLine> bare;
+  ASSERT_TRUE(serve::submit_sweep(sock2, sweep, &bare, nullptr, &error))
+      << error;
+  EXPECT_EQ(bare[0].line.find("\"serve\""), std::string::npos);
+  server2.stop();
+
+  rm_rf(cache_dir);
+  std::remove(ledger.c_str());
 }
